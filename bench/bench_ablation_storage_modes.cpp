@@ -1,0 +1,73 @@
+// Ablation X2: storage modes and data movement (paper Section 2.4).
+//
+// Compares the three ways to get a matrix to the GPU:
+//   (a) malloc + explicit copy into a device buffer (the traditional path),
+//   (b) MTLResourceStorageModeShared no-copy wrap (the paper's zero-copy
+//       path: "This eliminates manual data transfers"),
+//   (c) device-allocated shared buffer written in place.
+// Reported cost: simulated data-movement time per matrix size, using the
+// memory-controller model for the explicit copy.
+
+#include <iostream>
+
+#include "core/system.hpp"
+#include "harness/matrix_workload.hpp"
+#include "mem/memory_controller.hpp"
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace ao;
+
+  core::System system(soc::ChipModel::kM4);
+  mem::MemoryController controller(system.soc());
+
+  util::TablePrinter table({"n", "Matrix bytes", "malloc+copy (3 matrices)",
+                            "Shared no-copy wrap", "Device-shared in-place"});
+
+  for (const std::size_t n : {1024u, 2048u, 4096u, 8192u, 16384u}) {
+    const std::uint64_t bytes =
+        util::AlignedBuffer::round_up(n * n * sizeof(float), 16384);
+    // (a) CPU writes the staging copy, then the copy engine moves it again:
+    // 2x traffic for each of the 3 matrices, at the CPU link rate.
+    const double copy_ns = 2.0 * 3.0 *
+                           controller.transfer_time_ns(
+                               soc::MemoryAgent::kCpu, bytes,
+                               {true, false, false});
+    // (b) wrapping is O(1): buffer-object creation only.
+    const double wrap_ns = 3.0 * 1500.0;
+    // (c) in-place initialization writes each matrix once at CPU link rate.
+    const double inplace_ns = 3.0 * controller.transfer_time_ns(
+                                        soc::MemoryAgent::kCpu, bytes,
+                                        {true, false, false});
+    table.add_row({std::to_string(n), util::format_bytes(bytes),
+                   util::format_fixed(copy_ns / 1e6, 2) + " ms",
+                   util::format_fixed(wrap_ns / 1e6, 4) + " ms",
+                   util::format_fixed(inplace_ns / 1e6, 2) + " ms"});
+  }
+  table.print(std::cout,
+              "Ablation X2: data-movement cost to make matrices GPU-visible "
+              "(M4 model)");
+
+  // Demonstrate the API-level rules with real buffers.
+  harness::MatrixSet matrices(1024, /*fill=*/false);
+  auto wrapped = system.device().new_buffer_with_bytes_no_copy(
+      matrices.left(), matrices.memory_length(), mem::StorageMode::kShared);
+  std::cout << "\nZero-copy check: wrapped buffer contents() == host pointer: "
+            << (wrapped->contents() == matrices.left() ? "yes" : "NO") << "\n";
+
+  auto priv = system.device().new_buffer(1 << 20, mem::StorageMode::kPrivate);
+  bool cpu_blocked = false;
+  try {
+    (void)priv->contents();
+  } catch (const util::Error&) {
+    cpu_blocked = true;
+  }
+  std::cout << "Private-mode buffer rejects CPU access: "
+            << (cpu_blocked ? "yes" : "NO") << "\n";
+  std::cout << "\nReading: the paper's no-copy wrapping pays a fixed "
+               "microsecond-scale cost regardless of size, while explicit "
+               "staging pays twice the matrix traffic - the unified-memory "
+               "advantage Section 2.4 describes.\n";
+  return 0;
+}

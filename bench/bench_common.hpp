@@ -1,0 +1,58 @@
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "core/system.hpp"
+#include "harness/experiment.hpp"
+#include "harness/matrix_workload.hpp"
+
+namespace ao::bench {
+
+/// Runs the paper's full GEMM sweep (all implementations x all sizes x all
+/// chips) in model-only mode — the configuration every figure bench shares.
+/// `repetitions` mirrors the paper's five; power sampling is always on.
+inline std::vector<harness::GemmMeasurement> model_sweep(int repetitions = 5) {
+  std::vector<harness::GemmMeasurement> all;
+  for (const auto chip : soc::kAllChipModels) {
+    core::System system(chip);
+    harness::GemmExperiment::Options opts;
+    opts.repetitions = repetitions;
+    for (auto& [impl, ceiling] : opts.functional_n_max) {
+      ceiling = 0;  // figures cover n up to 16384: model-only
+    }
+    harness::GemmExperiment experiment(system.gemm_context(), opts);
+    auto results = experiment.run_suite(
+        {soc::kAllGemmImpls.begin(), soc::kAllGemmImpls.end()},
+        harness::paper_sizes());
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  return all;
+}
+
+/// Functional spot-check at a small size: verifies every implementation
+/// against the reference before the model sweep is reported. Prints one
+/// status line; aborts if any implementation is wrong.
+inline void verify_implementations(std::size_t n = 128) {
+  core::System system(soc::ChipModel::kM1);
+  harness::GemmExperiment::Options opts;
+  opts.repetitions = 1;
+  opts.verify_n_max = n;
+  harness::GemmExperiment experiment(system.gemm_context(), opts);
+  harness::MatrixSet matrices(n, true);
+  for (const auto kind : soc::kAllGemmImpls) {
+    auto impl = gemm::create_gemm(kind, system.gemm_context());
+    matrices.clear_out();
+    const auto m = experiment.measure(*impl, matrices);
+    if (!m.verified) {
+      std::cerr << "FATAL: " << soc::to_string(kind)
+                << " failed verification at n=" << n
+                << " (max error " << m.max_error << ")\n";
+      std::exit(1);
+    }
+  }
+  std::cout << "[verify] all 6 implementations match the reference SGEMM at n="
+            << n << "\n\n";
+}
+
+}  // namespace ao::bench

@@ -1,0 +1,47 @@
+// Extension X4: the mixed-precision study the paper names as future work
+// ("future studies could explore the impact of mixed-precision workloads on
+// computational efficiency and accuracy", Section 7).
+//
+// For each chip: GEMM accuracy (vs FP64 reference) and modeled throughput at
+// FP64-native, FP64-emulated, FP32 and FP16 — the full accuracy/performance
+// frontier of the M-series units.
+
+#include <iostream>
+
+#include "precision/precision_study.hpp"
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace ao;
+
+  std::cout << "Extension X4: mixed-precision GEMM study (n=256, uniform "
+               "[0,1) inputs, error vs FP64 reference)\n\n";
+
+  for (const auto chip : soc::kAllChipModels) {
+    const auto results = precision::run_gemm_precision_study(chip, 256);
+    util::TablePrinter table({"Format", "Unit", "max |err|", "mean |err|",
+                              "sig. digits", "modeled GFLOPS"});
+    table.set_align(1, util::TablePrinter::Align::kLeft);
+    for (const auto& r : results) {
+      table.add_row({to_string(r.format), r.executing_unit,
+                     r.max_abs_error == 0.0
+                         ? "0 (reference)"
+                         : util::format_fixed(r.max_abs_error, 12),
+                     util::format_fixed(r.mean_abs_error, 12),
+                     util::format_fixed(r.significant_digits, 1),
+                     util::format_fixed(r.modeled_gflops, 0)});
+    }
+    table.print(std::cout, "Chip " + soc::to_string(chip));
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: FP16 doubles throughput but keeps ~3 digits - fine "
+               "for ML, unusable for most HPC (the paper's Neural Engine "
+               "caveat); FP32 holds ~6 digits at full rate; double-single "
+               "emulation recovers ~14 digits at a ~10x cost. This is the "
+               "quantitative backdrop for the paper's conclusion that FP32 "
+               "viability 'must be carefully evaluated depending on workload "
+               "requirements'.\n";
+  return 0;
+}

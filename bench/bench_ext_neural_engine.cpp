@@ -1,0 +1,92 @@
+// Extension X1: Neural Engine testing — the paper's named future-work item
+// ("A large gap left behind in this research is the lack of Neural Engine
+// testing, which would better contextualize the M-Series with respect to
+// TensorCore performance", Section 7).
+//
+// Runs FP16 GEMM through the Core ML dispatch model on every chip and places
+// the ANE next to AMX (CPU-Accelerate) and GPU-MPS in throughput and
+// efficiency — the M-series' closest analogue to the GH200's TF32 tensor
+// path, with the same mixed-precision caveat the paper applies there.
+
+#include <iostream>
+#include <vector>
+
+#include "ane/neural_engine.hpp"
+#include "baseline/reference_systems.hpp"
+#include "core/system.hpp"
+#include "soc/calibration.hpp"
+#include "util/rng.hpp"
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace ao;
+
+  // Functional spot check: the ANE path really multiplies (through FP16).
+  {
+    core::System system(soc::ChipModel::kM1);
+    ane::NeuralEngine engine(system.soc());
+    const std::size_t n = 64;
+    std::vector<float> a(n * n);
+    std::vector<float> b(n * n);
+    std::vector<float> c(n * n);
+    util::fill_uniform(std::span<float>(a), 1);
+    util::fill_uniform(std::span<float>(b), 2);
+    engine.run_gemm_fp16(n, n, n, a.data(), b.data(), c.data());
+    double sum = 0.0;
+    for (const float v : c) {
+      sum += v;
+    }
+    std::cout << "[verify] ANE FP16 GEMM produced mean element "
+              << util::format_fixed(sum / (n * n), 3) << " (expected ~"
+              << util::format_fixed(n / 4.0, 1) << ")\n\n";
+  }
+
+  util::TablePrinter table({"Chip", "ANE FP16 TFLOPS (sustained)",
+                            "ANE power (W)", "ANE GFLOPS/W",
+                            "AMX FP32 TFLOPS", "GPU-MPS FP32 TFLOPS",
+                            "ANE vs MPS"});
+  for (const auto chip : soc::kAllChipModels) {
+    core::System system(chip);
+    ane::NeuralEngine engine(system.soc());
+    const double ane_gflops = engine.sustained_fp16_gflops();
+    const double ane_watts = engine.active_power_watts();
+    const double amx =
+        soc::gemm_calibration(chip, soc::GemmImpl::kCpuAccelerate).peak_gflops;
+    const double mps =
+        soc::gemm_calibration(chip, soc::GemmImpl::kGpuMps).peak_gflops;
+    table.add_row({soc::to_string(chip),
+                   util::format_fixed(ane_gflops / 1e3, 2),
+                   util::format_fixed(ane_watts, 1),
+                   util::format_fixed(ane_gflops / ane_watts, 0),
+                   util::format_fixed(amx / 1e3, 2),
+                   util::format_fixed(mps / 1e3, 2),
+                   util::format_fixed(ane_gflops / mps, 2) + "x"});
+  }
+  table.print(std::cout,
+              "Extension X1: Neural Engine FP16 GEMM vs AMX / GPU-MPS "
+              "(mixed-precision caveat applies, as for TensorCores)");
+
+  // Dispatch opacity demonstration (Section 2.3).
+  std::cout << "\nCore ML dispatch plans (M4):\n";
+  core::System m4(soc::ChipModel::kM4);
+  ane::CoreMLRuntime runtime(m4.soc(), ane::ComputeUnits::kAll);
+  struct Case {
+    std::size_t m, n, k;
+    const char* note;
+  };
+  for (const Case c : {Case{1024, 1024, 1024, "aligned GEMM"},
+                       Case{1000, 1000, 1000, "unaligned GEMM"},
+                       Case{256, 256, 32768, "deep-K GEMM"}}) {
+    std::cout << "  " << c.m << "x" << c.n << "x" << c.k << " (" << c.note
+              << ") -> " << to_string(runtime.plan_gemm(c.m, c.n, c.k))
+              << "\n";
+  }
+
+  std::cout << "\nReading: the ANE's FP16 throughput sits 2-5x above GPU-MPS "
+               "FP32 at several-fold better GFLOPS/W, mirroring the "
+               "TensorCore-vs-CUDA-core relationship on the GH200 (338 vs 41 "
+               "TFLOPS) - but Core ML may silently place work elsewhere, so "
+               "none of it is guaranteed (paper Section 2.3).\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates Figure 1: STREAM bandwidth for CPU and GPU on every chip,
+// against the theoretical-bandwidth line, with the paper's methodology:
+// CPU thread sweep (1..cores, 10 reps, max kept), GPU 20 reps (max kept).
+// A functional validation pass runs first so the numbers come from kernels
+// that demonstrably compute STREAM correctly.
+
+#include <iostream>
+
+#include "baseline/reference_systems.hpp"
+#include "core/system.hpp"
+#include "harness/reporting.hpp"
+#include "stream/cpu_stream.hpp"
+#include "stream/gpu_stream.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace ao;
+
+  std::cout << "Figure 1 reproduction: STREAM benchmark (Copy/Scale/Add/"
+               "Triad), CPU and GPU, M1-M4\n\n";
+
+  std::vector<harness::StreamFigureEntry> entries;
+  for (const auto chip : soc::kAllChipModels) {
+    core::System system(chip);
+
+    // Functional validation on small arrays (stream.c's check + GPU check).
+    stream::CpuStream validation_cpu(system.soc(), 1u << 16);
+    const double cpu_err = validation_cpu.validate(3);
+    stream::GpuStream validation_gpu(system.device(), 1u << 16);
+    const float gpu_err = validation_gpu.validate();
+    std::cout << "[validate] " << soc::to_string(chip)
+              << ": CPU rel. err " << cpu_err << ", GPU abs. err " << gpu_err
+              << "\n";
+
+    // The paper's measurement configuration (modeled timing).
+    stream::CpuStream cpu(system.soc());
+    const auto sweep = cpu.sweep(/*repetitions=*/10);
+    stream::GpuStream gpu(system.device());
+    const auto gpu_run = gpu.run(/*repetitions=*/20);
+
+    harness::StreamFigureEntry e;
+    e.chip = chip;
+    e.theoretical_gbs = system.soc().spec().memory_bandwidth_gbs;
+    e.cpu_gbs = sweep.best_gbs_per_kernel;
+    for (std::size_t k = 0; k < 4; ++k) {
+      e.gpu_gbs[k] = gpu_run.kernels[k].best_gbs;
+    }
+    entries.push_back(e);
+  }
+  std::cout << "\n";
+
+  harness::figure1_table(entries).print(
+      std::cout, "Figure 1 data: STREAM bandwidth per chip (GB/s)");
+  std::cout << "\n" << harness::figure1_chart(entries);
+  std::cout << "CSV:\n" << harness::figure1_csv(entries).to_string() << "\n";
+
+  // Section 5.1 HPC Perspective.
+  std::cout << "HPC Perspective (paper Section 5.1):\n";
+  for (const auto& ref : baseline::stream_references()) {
+    std::cout << "  " << ref.system << " (" << ref.memory << "): "
+              << util::format_fixed(ref.measured_gbs, 0) << " GB/s ("
+              << util::format_fixed(ref.efficiency() * 100.0, 0)
+              << "% of theoretical) - " << ref.source << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Regenerates Figure 2: GFLOPS for all six implementations across matrix
+// sizes 32..16384 on all four chips (log-log panels), plus the Section-5.2
+// peak table and the GH200 / Xeon Max HPC-perspective rows.
+
+#include <iostream>
+
+#include "baseline/reference_systems.hpp"
+#include "bench_common.hpp"
+#include "harness/reporting.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace ao;
+
+  std::cout << "Figure 2 reproduction: GEMM FP32 performance, all "
+               "implementations x sizes x chips\n\n";
+  bench::verify_implementations(128);
+
+  const auto results = bench::model_sweep();
+
+  for (const auto chip : soc::kAllChipModels) {
+    harness::figure2_table(chip, results)
+        .print(std::cout, "Figure 2 panel - " + soc::to_string(chip) +
+                              " (best GFLOPS over 5 repetitions)");
+    std::cout << "\n" << harness::figure2_plot(chip, results) << "\n";
+  }
+
+  harness::peak_gflops_table(results).print(
+      std::cout, "Peak measured FP32 performance (Section 5.2 headline "
+                 "numbers)");
+
+  std::cout << "\nCSV:\n" << harness::figure2_csv(results).to_string() << "\n";
+
+  std::cout << "HPC Perspective (paper Section 5.2):\n";
+  for (const auto& ref : baseline::gemm_references()) {
+    std::cout << "  " << ref.system << ", " << ref.path << " ["
+              << ref.precision << "]: "
+              << util::format_fixed(ref.measured_tflops, 1) << " TFLOPS";
+    if (ref.peak_fraction > 0.0) {
+      std::cout << " (" << util::format_fixed(ref.peak_fraction * 100.0, 0)
+                << "% of peak)";
+    }
+    if (ref.mixed_precision_caveat) {
+      std::cout << " [mixed-precision caveat]";
+    }
+    std::cout << " - " << ref.source << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Regenerates Figure 3: power dissipation (mW) of every implementation over
+// matrix sizes 2048..16384, measured by the powermetrics substrate
+// piggybacking on the performance runs (paper Section 3.3 methodology).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/reporting.hpp"
+#include "util/ascii_chart.hpp"
+
+int main() {
+  using namespace ao;
+
+  std::cout << "Figure 3 reproduction: power dissipation during GEMM, "
+               "powermetrics piggyback, sizes 2048-16384\n\n";
+
+  const auto all = bench::model_sweep();
+  // Figure 3's size range.
+  std::vector<harness::GemmMeasurement> results;
+  for (const auto& r : all) {
+    if (r.n >= 2048) {
+      results.push_back(r);
+    }
+  }
+
+  for (const auto chip : soc::kAllChipModels) {
+    harness::figure3_table(chip, results)
+        .print(std::cout, "Figure 3 panel - " + soc::to_string(chip) +
+                              " (combined power, mW)");
+    std::cout << "\n";
+
+    util::BarChart chart("Power at n=16384 - " + soc::to_string(chip), "mW");
+    chart.add_group(soc::to_string(chip));
+    for (const auto& r : harness::for_chip(results, chip)) {
+      if (r.n == 16384) {
+        chart.add_bar(soc::to_string(r.impl), r.power_mw);
+      }
+    }
+    std::cout << chart.render() << "\n";
+  }
+
+  std::cout << "CSV:\n" << harness::figure3_csv(results).to_string() << "\n";
+
+  // The two headline observations of Section 5.3 / Section 7.
+  double max_mw = 0.0;
+  std::string max_label;
+  for (const auto& r : results) {
+    if (r.power_mw > max_mw) {
+      max_mw = r.power_mw;
+      max_label = soc::to_string(r.chip) + "/" + soc::to_string(r.impl);
+    }
+  }
+  std::cout << "Highest draw: " << max_label << " at "
+            << static_cast<int>(max_mw) << " mW (paper: M4 with the "
+            << "Cutlass-style shader, ~20 W)\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Regenerates Figure 4: power efficiency (GFLOPS/W, log scale) of every
+// implementation over sizes 2048..16384, plus the Section-5.3 peak table and
+// the Green500 / A100 / RTX 4090 perspective rows.
+
+#include <iostream>
+
+#include "baseline/reference_systems.hpp"
+#include "bench_common.hpp"
+#include "harness/reporting.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace ao;
+
+  std::cout << "Figure 4 reproduction: power efficiency (GFLOPS per Watt), "
+               "sizes 2048-16384\n\n";
+
+  const auto all = bench::model_sweep();
+  std::vector<harness::GemmMeasurement> results;
+  for (const auto& r : all) {
+    if (r.n >= 2048) {
+      results.push_back(r);
+    }
+  }
+
+  for (const auto chip : soc::kAllChipModels) {
+    harness::figure4_table(chip, results)
+        .print(std::cout, "Figure 4 panel - " + soc::to_string(chip) +
+                              " (GFLOPS/W, higher is better)");
+    std::cout << "\n";
+
+    util::LinePlot plot("Efficiency - " + soc::to_string(chip), "n",
+                        "GFLOPS/W");
+    plot.set_log_x(true);
+    plot.set_log_y(true);
+    for (std::size_t i = 0; i < soc::kAllGemmImpls.size(); ++i) {
+      const auto impl = soc::kAllGemmImpls[i];
+      std::vector<double> xs;
+      std::vector<double> ys;
+      for (const auto& r : harness::for_chip(results, chip)) {
+        if (r.impl == impl && r.gflops_per_watt > 0.0) {
+          xs.push_back(static_cast<double>(r.n));
+          ys.push_back(r.gflops_per_watt);
+        }
+      }
+      if (!xs.empty()) {
+        static constexpr std::array<char, 6> kMarkers = {'s', 'o', 'a',
+                                                         'n', 'c', 'm'};
+        plot.add_series(soc::to_string(impl), kMarkers[i], xs, ys);
+      }
+    }
+    std::cout << plot.render() << "\n";
+  }
+
+  harness::peak_efficiency_table(results).print(
+      std::cout,
+      "Peak efficiency (Section 5.3: MPS 0.21/0.40/0.46/0.33 TFLOPS/W; "
+      "Accelerate 0.25/0.20/0.27/0.23 TFLOPS/W)");
+
+  std::cout << "\nCSV:\n" << harness::figure4_csv(results).to_string() << "\n";
+
+  std::cout << "HPC Perspective (paper Section 5.3):\n";
+  for (const auto& ref : baseline::efficiency_references()) {
+    std::cout << "  " << ref.system << " (" << ref.workload
+              << "): " << util::format_fixed(ref.gflops_per_watt, 0)
+              << " GFLOPS/W";
+    if (ref.power_watts > 0.0) {
+      std::cout << " at " << util::format_fixed(ref.power_watts, 0) << " W";
+    }
+    if (ref.mixed_precision_caveat) {
+      std::cout << " [mixed-precision caveat]";
+    }
+    std::cout << " - " << ref.source << "\n";
+  }
+  std::cout << "\nNote: powermetrics readings are software estimates; Apple "
+               "advises against cross-device comparison (paper Section "
+               "5.3).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Regenerates Table 1: "Comparison of Baseline Apple Silicon M Series
+// Architecture" from the chip-spec registry.
+
+#include <iostream>
+#include <sstream>
+
+#include "soc/chip_spec.hpp"
+#include "util/table_printer.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace ao;
+
+  util::TablePrinter table({"Feature", "M1", "M2", "M3", "M4"});
+  table.set_align(1, util::TablePrinter::Align::kLeft);
+  table.set_align(2, util::TablePrinter::Align::kLeft);
+  table.set_align(3, util::TablePrinter::Align::kLeft);
+  table.set_align(4, util::TablePrinter::Align::kLeft);
+
+  auto row = [&table](const std::string& feature, auto getter) {
+    std::vector<std::string> cells = {feature};
+    for (const auto& spec : soc::all_chip_specs()) {
+      cells.push_back(getter(spec));
+    }
+    table.add_row(std::move(cells));
+  };
+
+  row("Process Technology (nm)",
+      [](const soc::ChipSpec& s) { return s.process_technology; });
+  row("CPU Architecture",
+      [](const soc::ChipSpec& s) { return s.cpu_architecture; });
+  row("Performance/Efficiency Cores", [](const soc::ChipSpec& s) {
+    return std::to_string(s.performance_cores) + "/" +
+           std::to_string(s.efficiency_cores);
+  });
+  row("Clock Frequency (GHz)", [](const soc::ChipSpec& s) {
+    return util::format_fixed(s.p_clock_ghz, 2) + " (P)/" +
+           util::format_fixed(s.e_clock_ghz, 2) + " (E)";
+  });
+  row("Vector Unit (name/size)", [](const soc::ChipSpec& s) {
+    return s.vector_unit + "/" + std::to_string(s.vector_width_bits);
+  });
+  row("L1 Cache (KB)", [](const soc::ChipSpec& s) {
+    return std::to_string(s.l1_kb_per_p_core) + " (P)/" +
+           std::to_string(s.l1_kb_per_e_core) + " (E)";
+  });
+  row("L2 Cache (MB)", [](const soc::ChipSpec& s) {
+    return std::to_string(s.l2_mb_p_cluster) + " (P)/" +
+           std::to_string(s.l2_mb_e_cluster) + " (E)";
+  });
+  row("AMX Characteristics", [](const soc::ChipSpec& s) {
+    return s.amx_precisions + (s.amx_is_sme ? " (SME)" : "");
+  });
+  row("GPU Cores", [](const soc::ChipSpec& s) {
+    return std::to_string(s.gpu_cores_min) + "-" +
+           std::to_string(s.gpu_cores_max);
+  });
+  row("Native Precision Support",
+      [](const soc::ChipSpec& s) { return s.gpu_native_precisions; });
+  row("GPU Clock Frequency (GHz)",
+      [](const soc::ChipSpec& s) { return util::format_fixed(s.gpu_clock_ghz, 2); });
+  row("Theoretical FP32 (TFLOPS)", [](const soc::ChipSpec& s) {
+    if (s.theoretical_fp32_tflops_min == s.theoretical_fp32_tflops_max) {
+      return util::format_fixed(s.theoretical_fp32_tflops_max, 2);
+    }
+    return util::format_fixed(s.theoretical_fp32_tflops_min, 2) + "-" +
+           util::format_fixed(s.theoretical_fp32_tflops_max, 2);
+  });
+  row("Neural Engine Units (Core)", [](const soc::ChipSpec& s) {
+    return std::to_string(s.neural_engine_cores);
+  });
+  row("Memory Technology",
+      [](const soc::ChipSpec& s) { return s.memory_technology; });
+  row("Max Unified Memory (GB)", [](const soc::ChipSpec& s) {
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < s.unified_memory_gb_options.size(); ++i) {
+      oss << (i > 0 ? "-" : "") << s.unified_memory_gb_options[i];
+    }
+    return oss.str();
+  });
+  row("Memory Bandwidth (GB/s)", [](const soc::ChipSpec& s) {
+    return util::format_fixed(s.memory_bandwidth_gbs, 0);
+  });
+
+  table.print(std::cout,
+              "Table 1. Comparison of Baseline Apple Silicon M Series "
+              "Architecture.");
+  return 0;
+}

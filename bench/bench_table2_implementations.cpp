@@ -1,0 +1,83 @@
+// Regenerates Table 2: "Overview of matrix multiplication implementations",
+// then microbenchmarks the *functional* host-side cost of each
+// implementation at n = 256 with google-benchmark. The microbenchmark
+// measures this repository's simulation engines (host wall time), not the
+// simulated Apple silicon — simulated results are the figure benches' job.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "core/system.hpp"
+#include "gemm/gemm_interface.hpp"
+#include "harness/matrix_workload.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+constexpr std::size_t kMicroN = 256;
+
+void print_table2() {
+  using namespace ao;
+  util::TablePrinter table({"Implementation", "Framework", "Hardware"});
+  table.set_align(1, util::TablePrinter::Align::kLeft);
+  table.set_align(2, util::TablePrinter::Align::kLeft);
+  const std::vector<std::pair<soc::GemmImpl, std::string>> rows = {
+      {soc::GemmImpl::kCpuSingle, "Naive algorithm"},
+      {soc::GemmImpl::kCpuOmp, "Tiled loop (OpenMP)"},
+      {soc::GemmImpl::kCpuAccelerate, "BLAS/vDSP"},
+      {soc::GemmImpl::kGpuNaive, "Naive algorithm as shader"},
+      {soc::GemmImpl::kGpuCutlass, "Cutlass-style tiled shader"},
+      {soc::GemmImpl::kGpuMps, "Metal Performance Shaders (MPS)"},
+  };
+  for (const auto& [impl, description] : rows) {
+    table.add_row({description, soc::gemm_framework(impl),
+                   soc::gemm_hardware(impl)});
+  }
+  table.print(std::cout,
+              "Table 2. Overview of matrix multiplication implementations.");
+  std::cout << "\nHost-side functional microbenchmarks (n=" << kMicroN
+            << ", simulation engine cost, not Apple-silicon time):\n";
+}
+
+void run_impl(benchmark::State& state, ao::soc::GemmImpl kind) {
+  ao::core::System system(ao::soc::ChipModel::kM1);
+  auto impl = ao::gemm::create_gemm(kind, system.gemm_context());
+  ao::harness::MatrixSet matrices(kMicroN, true);
+  for (auto _ : state) {
+    impl->multiply(kMicroN, matrices.memory_length(), matrices.left(),
+                   matrices.right(), matrices.out(), /*functional=*/true);
+    benchmark::DoNotOptimize(matrices.out()[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flops"] = ao::soc::gemm_flops(kMicroN);
+}
+
+void BM_CpuSingle(benchmark::State& s) { run_impl(s, ao::soc::GemmImpl::kCpuSingle); }
+void BM_CpuOmp(benchmark::State& s) { run_impl(s, ao::soc::GemmImpl::kCpuOmp); }
+void BM_CpuAccelerate(benchmark::State& s) {
+  run_impl(s, ao::soc::GemmImpl::kCpuAccelerate);
+}
+void BM_GpuNaive(benchmark::State& s) { run_impl(s, ao::soc::GemmImpl::kGpuNaive); }
+void BM_GpuCutlass(benchmark::State& s) {
+  run_impl(s, ao::soc::GemmImpl::kGpuCutlass);
+}
+void BM_GpuMps(benchmark::State& s) { run_impl(s, ao::soc::GemmImpl::kGpuMps); }
+
+BENCHMARK(BM_CpuSingle)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CpuOmp)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CpuAccelerate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GpuNaive)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GpuCutlass)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GpuMps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Regenerates Table 3: "Basic information of devices used."
+
+#include <iostream>
+
+#include "soc/device_info.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace ao;
+
+  util::TablePrinter table({"Feature", "M1", "M2", "M3", "M4"});
+  for (std::size_t c = 1; c <= 4; ++c) {
+    table.set_align(c, util::TablePrinter::Align::kLeft);
+  }
+
+  auto row = [&table](const std::string& feature, auto getter) {
+    std::vector<std::string> cells = {feature};
+    for (const auto model : soc::kAllChipModels) {
+      cells.push_back(getter(soc::device_info(model)));
+    }
+    table.add_row(std::move(cells));
+  };
+
+  row("Device", [](const soc::DeviceInfo& d) { return d.device; });
+  row("Release",
+      [](const soc::DeviceInfo& d) { return std::to_string(d.release_year); });
+  row("Memory",
+      [](const soc::DeviceInfo& d) { return std::to_string(d.memory_gb) + "GB"; });
+  row("Cooling", [](const soc::DeviceInfo& d) { return to_string(d.cooling); });
+  row("MacOS", [](const soc::DeviceInfo& d) { return d.macos_version; });
+
+  table.print(std::cout, "Table 3. Basic information of devices used.");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Programming the AMX coprocessor directly, the way the reverse-engineered
+// instruction sequences do (paper Section 2.1: "AMX extends the ARM
+// instruction set to include undocumented matrix-specific operations, which
+// include instructions for loading, processing, and storing matrix data").
+//
+// Computes a 16x16 outer-product accumulation with explicit AMX_SET / LDX /
+// LDY / FMA32 / STZ / AMX_CLR steps, then shows the same math through the
+// Accelerate front end (what the paper's Listing-1 path compiles to).
+
+#include <iostream>
+
+#include "core/ao.hpp"
+
+int main() {
+  using namespace ao;
+
+  amx::AmxUnit unit;
+  unit.set();  // AMX_SET: power the coprocessor on
+  std::cout << "AMX register file: " << amx::AmxUnit::kXRegs << " X + "
+            << amx::AmxUnit::kYRegs << " Y registers of "
+            << amx::AmxUnit::kRegBytes << " B, " << amx::AmxUnit::kZRows
+            << " Z rows\n\n";
+
+  // Two 16-float vectors.
+  alignas(64) float x[16];
+  alignas(64) float y[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = static_cast<float>(i + 1);      // 1..16
+    y[i] = static_cast<float>(16 - i);     // 16..1
+  }
+
+  // ldx/ldy: 64-byte register loads. fma32: rank-1 update of the Z grid,
+  // z[j][i] += x[i]*y[j], with fp32 rows interleaved by 4.
+  unit.ldx(0, x);
+  unit.ldy(0, y);
+  unit.fma32(0, 0);
+  unit.fma32(0, 0);  // accumulate a second rank-1 update
+
+  // stz: read back row j of the product grid (row j lives at Z row 4j).
+  alignas(64) float row[16];
+  unit.stz(0 * 4, row);
+  std::cout << "Z[0][0..3] after two fma32: " << row[0] << " " << row[1] << " "
+            << row[2] << " " << row[3] << " (expect 2*x[i]*y[0] = 32, 64, 96, "
+               "128)\n";
+  std::cout << "MACs executed: " << unit.mac_count() << "\n";
+  unit.clr();  // AMX_CLR: release the unit
+
+  // The same outer product via the Accelerate clone (rank-1 as a 16x16
+  // GEMM with k=1): this is what vDSP/BLAS lower to internally.
+  alignas(64) float c[16 * 16] = {};
+  accelerate::cblas_sgemm(accelerate::CblasRowMajor, accelerate::CblasNoTrans,
+                          accelerate::CblasNoTrans, 16, 16, 1, 2.0f, y, 1, x,
+                          16, 0.0f, c, 16);
+  std::cout << "cblas_sgemm rank-1 check: C[0][0..3] = " << c[0] << " " << c[1]
+            << " " << c[2] << " " << c[3] << "\n";
+
+  const bool match = c[0] == 32.0f && c[1] == 64.0f && c[2] == 96.0f;
+  std::cout << (match ? "\nAMX intrinsics and Accelerate agree."
+                      : "\nMISMATCH between AMX and Accelerate!")
+            << "\n";
+  return match ? 0 : 1;
+}

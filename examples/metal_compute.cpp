@@ -1,0 +1,102 @@
+// Writing a custom compute shader against the Metal-like API: a SAXPY
+// kernel, dispatched the way the paper's Objective-C++ dispatches its MSL
+// shaders (library -> pipeline -> command buffer -> encoder -> commit).
+
+#include <iostream>
+
+#include "core/ao.hpp"
+
+namespace {
+
+/// The "MSL source" of our kernel, as a simulator kernel object:
+///   kernel void saxpy(device const float* x [[buffer(0)]],
+///                     device float* y [[buffer(1)]],
+///                     constant float& a [[buffer(2)]],
+///                     constant uint& n [[buffer(3)]],
+///                     uint gid [[thread_position_in_grid]]) {
+///     if (gid < n) y[gid] = a * x[gid] + y[gid];
+///   }
+ao::metal::Kernel make_saxpy() {
+  ao::metal::Kernel k;
+  k.name = "saxpy";
+  k.body = ao::metal::ThreadKernelFn(
+      [](const ao::metal::ArgumentTable& args,
+         const ao::metal::ThreadContext& ctx) {
+        const auto n = args.value<std::uint32_t>(3);
+        const std::uint32_t gid = ctx.thread_position_in_grid.x;
+        if (gid >= n) {
+          return;
+        }
+        const float* x = args.buffer_data<float>(0);
+        float* y = args.buffer_data<float>(1);
+        const auto a = args.value<float>(2);
+        y[gid] = a * x[gid] + y[gid];
+      });
+  // Cost estimate: 2 flops and 12 bytes per element -> generic GPU roofline.
+  k.estimator = [](const ao::metal::ArgumentTable& args,
+                   const ao::metal::DispatchShape&) {
+    const auto n = args.value<std::uint32_t>(3);
+    return ao::metal::WorkEstimate::generic(2.0 * n, 12.0 * n);
+  };
+  return k;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ao;
+
+  core::System system(soc::ChipModel::kM1);
+  metal::Device& device = system.device();
+  std::cout << "Custom Metal compute on " << device.name() << " ("
+            << device.gpu_core_count() << " GPU cores)\n";
+
+  // Build a library with our kernel and create the pipeline state.
+  metal::Library lib("example.metallib");
+  lib.add(make_saxpy());
+  auto pipeline = device.new_compute_pipeline_state(lib, "saxpy");
+  std::cout << "Pipeline: maxTotalThreadsPerThreadgroup="
+            << pipeline->max_total_threads_per_threadgroup()
+            << ", threadExecutionWidth=" << pipeline->thread_execution_width()
+            << "\n";
+
+  // Shared unified-memory buffers, written by the CPU, read by the GPU.
+  constexpr std::uint32_t kN = 1 << 20;
+  auto x = device.new_buffer(kN * sizeof(float), mem::StorageMode::kShared);
+  auto y = device.new_buffer(kN * sizeof(float), mem::StorageMode::kShared);
+  auto* px = static_cast<float*>(x->contents());
+  auto* py = static_cast<float*>(y->contents());
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    px[i] = 1.0f;
+    py[i] = static_cast<float>(i % 7);
+  }
+
+  // Encode and run: y = 2.5 * x + y.
+  auto queue = device.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  enc->set_buffer(x.get(), 0, 0);
+  enc->set_buffer(y.get(), 0, 1);
+  enc->set_value<float>(2.5f, 2);
+  enc->set_value<std::uint32_t>(kN, 3);
+  enc->dispatch_threads({kN, 1, 1}, {256, 1, 1});
+  enc->end_encoding();
+  cmd->commit();
+  cmd->wait_until_completed();
+
+  // Verify on the CPU through the same shared memory (zero-copy).
+  std::size_t errors = 0;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    if (py[i] != 2.5f + static_cast<float>(i % 7)) {
+      ++errors;
+    }
+  }
+  std::cout << "SAXPY over " << kN << " elements: " << errors << " errors, "
+            << util::format_fixed(cmd->gpu_time_ns() / 1e6, 3)
+            << " ms simulated GPU time ("
+            << util::format_fixed(
+                   util::gb_per_s(12.0 * kN, cmd->gpu_time_ns()), 1)
+            << " GB/s effective)\n";
+  return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// powermetrics session demo: drives the power-monitor substrate exactly the
+// way the paper's framework does (Section 3.3) and prints the raw tool
+// output next to the parsed values.
+
+#include <iostream>
+
+#include "core/ao.hpp"
+
+int main() {
+  using namespace ao;
+
+  core::System system(soc::ChipModel::kM3);
+  std::cout << "powermetrics -i 0 -a 0 -s cpu_power,gpu_power,ane_power "
+               "(simulated M3 MacBook Air)\n\n";
+
+  power::PowerMetrics monitor(system.soc(),
+                              power::SamplerSet::parse("cpu_power,gpu_power,ane_power"));
+  monitor.start();
+
+  // Two-second warm-up, then SIGINFO resets the sampler (paper protocol).
+  system.soc().idle(2e9);
+  monitor.siginfo();
+
+  // Workload 1: Accelerate GEMM (AMX -> shows up as CPU power).
+  auto accelerate =
+      gemm::create_gemm(soc::GemmImpl::kCpuAccelerate, system.gemm_context());
+  harness::MatrixSet matrices(2048, /*fill=*/false);
+  accelerate->multiply(2048, matrices.memory_length(), matrices.left(),
+                       matrices.right(), matrices.out(), /*functional=*/false);
+  monitor.siginfo();
+
+  // Workload 2: MPS GEMM (shows up as GPU power).
+  auto mps = gemm::create_gemm(soc::GemmImpl::kGpuMps, system.gemm_context());
+  mps->multiply(2048, matrices.memory_length(), matrices.left(),
+                matrices.right(), matrices.out(), /*functional=*/false);
+  monitor.siginfo();
+
+  // Workload 3: Neural Engine (shows up as ANE power).
+  ane::NeuralEngine engine(system.soc());
+  std::vector<float> a(256 * 256, 0.5f);
+  std::vector<float> b(256 * 256, 0.5f);
+  std::vector<float> c(256 * 256);
+  engine.run_gemm_fp16(256, 256, 256, a.data(), b.data(), c.data(),
+                       /*functional=*/false);
+  monitor.siginfo();
+
+  monitor.stop();
+
+  std::cout << "---- raw tool output ----\n"
+            << monitor.output_text() << "-------------------------\n\n";
+
+  const auto samples = power::parse_powermetrics_output(monitor.output_text());
+  std::cout << "Parsed " << samples.size() << " samples:\n";
+  const char* labels[] = {"warm-up (idle)", "Accelerate/AMX GEMM", "MPS GEMM",
+                          "Neural Engine GEMM"};
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    std::cout << "  [" << labels[i] << "] cpu=" << samples[i].cpu_mw
+              << " mW, gpu=" << samples[i].gpu_mw
+              << " mW, ane=" << samples[i].ane_mw
+              << " mW, combined=" << samples[i].combined_mw << " mW over "
+              << util::format_fixed(samples[i].window_seconds * 1e3, 2)
+              << " ms\n";
+  }
+  std::cout << "\nNote how each workload lights up its own power rail — the "
+               "attribution powermetrics gives the paper its Figure 3.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// STREAM survey: the paper's Figure-1 measurement on all four chips in one
+// program — CPU thread sweep plus GPU run, with functional validation.
+
+#include <iostream>
+
+#include "core/ao.hpp"
+
+int main() {
+  using namespace ao;
+
+  std::cout << "STREAM survey across the M-series (methodology of paper "
+               "Section 3.1)\n\n";
+
+  for (const auto chip : soc::kAllChipModels) {
+    core::System system(chip);
+    const auto& spec = system.soc().spec();
+
+    // Functional validation on small arrays first (stream.c's check).
+    stream::CpuStream check(system.soc(), 1u << 16);
+    std::cout << soc::to_string(chip)
+              << ": validation rel. error = " << check.validate() << "\n";
+
+    // CPU: OMP_NUM_THREADS sweep, 10 reps, max kept.
+    stream::CpuStream cpu(system.soc());
+    const auto sweep = cpu.sweep(10);
+    std::cout << "  CPU best (at " << sweep.best_thread_count
+              << " threads): " << util::format_fixed(sweep.best_overall_gbs(), 1)
+              << " GB/s of " << util::format_fixed(spec.memory_bandwidth_gbs, 0)
+              << " GB/s theoretical\n";
+    for (std::size_t k = 0; k < 4; ++k) {
+      std::cout << "    " << soc::to_string(soc::kAllStreamKernels[k]) << ": "
+                << util::format_fixed(sweep.best_gbs_per_kernel[k], 1)
+                << " GB/s\n";
+    }
+
+    // GPU: 20 reps, max kept.
+    stream::GpuStream gpu(system.device());
+    const auto run = gpu.run(20);
+    std::cout << "  GPU best: " << util::format_fixed(run.best_overall_gbs(), 1)
+              << " GB/s\n";
+    for (const auto& k : run.kernels) {
+      std::cout << "    " << soc::to_string(k.kernel) << ": "
+                << util::format_fixed(k.best_gbs, 1) << " GB/s\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "Reference: GH200 Grace 310 GB/s (81%), Hopper HBM3 3700 GB/s "
+               "(94%) — paper Section 5.1.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "accelerate/cblas.hpp"
+
+#include <vector>
+
+#include "amx/amx_gemm.hpp"
+#include "util/error.hpp"
+
+namespace ao::accelerate {
+namespace {
+
+/// Packs op(X) into a freshly allocated contiguous row-major rows x cols
+/// panel. `transposed` means op(X) = X^T where X itself has shape
+/// cols x rows with leading dimension ldx.
+std::vector<float> pack_operand(bool transposed, const float* x, int rows,
+                                int cols, int ldx) {
+  std::vector<float> panel(static_cast<std::size_t>(rows) * cols);
+  if (!transposed) {
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        panel[static_cast<std::size_t>(i) * cols + j] =
+            x[static_cast<std::size_t>(i) * ldx + j];
+      }
+    }
+  } else {
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) {
+        panel[static_cast<std::size_t>(i) * cols + j] =
+            x[static_cast<std::size_t>(j) * ldx + i];
+      }
+    }
+  }
+  return panel;
+}
+
+}  // namespace
+
+void cblas_sgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a,
+                 CBLAS_TRANSPOSE trans_b, int m, int n, int k, float alpha,
+                 const float* a, int lda, const float* b, int ldb, float beta,
+                 float* c, int ldc) {
+  AO_REQUIRE(m >= 0 && n >= 0 && k >= 0, "cblas_sgemm dimensions must be >= 0");
+  AO_REQUIRE(order == CblasRowMajor || order == CblasColMajor,
+             "invalid CBLAS order");
+  if (m == 0 || n == 0) {
+    return;
+  }
+
+  if (order == CblasColMajor) {
+    // Column-major C = op(A)*op(B) is row-major C^T = op(B)^T * op(A)^T:
+    // swap the operands and the output dimensions.
+    cblas_sgemm(CblasRowMajor, trans_b, trans_a, n, m, k, alpha, b, ldb, a, lda,
+                beta, c, ldc);
+    return;
+  }
+
+  const bool ta = trans_a == CblasTrans;
+  const bool tb = trans_b == CblasTrans;
+
+  // Leading-dimension validity (row-major): the stored matrix A is m x k
+  // (no-trans) or k x m (trans); same for B and C.
+  AO_REQUIRE(lda >= (ta ? m : k), "lda too small");
+  AO_REQUIRE(ldb >= (tb ? k : n), "ldb too small");
+  AO_REQUIRE(ldc >= n, "ldc too small");
+
+  const float* a_eff = a;
+  const float* b_eff = b;
+  std::size_t lda_eff = static_cast<std::size_t>(lda);
+  std::size_t ldb_eff = static_cast<std::size_t>(ldb);
+
+  // The AMX tile walk wants contiguous row-major op(A) (m x k) and op(B)
+  // (k x n); pack transposed operands first, as the library's packing
+  // stage does.
+  std::vector<float> a_panel;
+  std::vector<float> b_panel;
+  if (ta) {
+    a_panel = pack_operand(true, a, m, k, lda);
+    a_eff = a_panel.data();
+    lda_eff = static_cast<std::size_t>(k);
+  }
+  if (tb) {
+    b_panel = pack_operand(true, b, k, n, ldb);
+    b_eff = b_panel.data();
+    ldb_eff = static_cast<std::size_t>(n);
+  }
+
+  amx::amx_sgemm(static_cast<std::size_t>(m), static_cast<std::size_t>(n),
+                 static_cast<std::size_t>(k), alpha, a_eff, lda_eff, b_eff,
+                 ldb_eff, beta, c, static_cast<std::size_t>(ldc));
+}
+
+}  // namespace ao::accelerate

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ao::accelerate {
+
+/// CBLAS enums, named as in Accelerate's <Accelerate/Accelerate.h> so the
+/// paper's Listing 1 compiles against this header with the ao::accelerate
+/// namespace opened.
+enum CBLAS_ORDER { CblasRowMajor = 101, CblasColMajor = 102 };
+enum CBLAS_TRANSPOSE { CblasNoTrans = 111, CblasTrans = 112 };
+
+/// Single-precision general matrix multiply:
+///   C = alpha * op(A) * op(B) + beta * C
+///
+/// Drop-in signature-compatible with Accelerate's cblas_sgemm (the paper's
+/// CPU fast path, Listing 1). Executes on the AMX coprocessor emulator —
+/// "BLAS and vDSP perform nearly identically, and thus only vDSP is
+/// considered — they assumedly both run on AMX" (Section 5.2).
+///
+/// Transposed operands are handled by packing into contiguous row-major
+/// panels before the AMX tile walk, as the real library's packing stage does.
+void cblas_sgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE trans_a,
+                 CBLAS_TRANSPOSE trans_b, int m, int n, int k, float alpha,
+                 const float* a, int lda, const float* b, int ldb, float beta,
+                 float* c, int ldc);
+
+}  // namespace ao::accelerate

@@ -1,0 +1,98 @@
+#include "accelerate/vdsp.hpp"
+
+#include <algorithm>
+
+#include "amx/amx_gemm.hpp"
+#include "util/error.hpp"
+
+namespace ao::accelerate {
+namespace {
+
+std::size_t at(vDSP_Stride stride, vDSP_Length i) {
+  return static_cast<std::size_t>(stride) * i;
+}
+
+}  // namespace
+
+void vDSP_mmul(const float* a, vDSP_Stride a_stride, const float* b,
+               vDSP_Stride b_stride, float* c, vDSP_Stride c_stride,
+               vDSP_Length m, vDSP_Length n, vDSP_Length p) {
+  AO_REQUIRE(a_stride == 1 && b_stride == 1 && c_stride == 1,
+             "vDSP_mmul supports unit strides (as the benchmark uses)");
+  AO_REQUIRE(m > 0 && n > 0 && p > 0, "vDSP_mmul dimensions must be positive");
+  amx::amx_sgemm(m, n, p, 1.0f, a, p, b, n, 0.0f, c, n);
+}
+
+void vDSP_vadd(const float* a, vDSP_Stride a_stride, const float* b,
+               vDSP_Stride b_stride, float* c, vDSP_Stride c_stride,
+               vDSP_Length n) {
+  for (vDSP_Length i = 0; i < n; ++i) {
+    c[at(c_stride, i)] = a[at(a_stride, i)] + b[at(b_stride, i)];
+  }
+}
+
+void vDSP_vsub(const float* b, vDSP_Stride b_stride, const float* a,
+               vDSP_Stride a_stride, float* c, vDSP_Stride c_stride,
+               vDSP_Length n) {
+  // vDSP_vsub(B, A, C): C = A - B (the historically confusing operand order).
+  for (vDSP_Length i = 0; i < n; ++i) {
+    c[at(c_stride, i)] = a[at(a_stride, i)] - b[at(b_stride, i)];
+  }
+}
+
+void vDSP_vsmul(const float* a, vDSP_Stride a_stride, const float* scalar,
+                float* c, vDSP_Stride c_stride, vDSP_Length n) {
+  AO_REQUIRE(scalar != nullptr, "vDSP_vsmul scalar is null");
+  for (vDSP_Length i = 0; i < n; ++i) {
+    c[at(c_stride, i)] = a[at(a_stride, i)] * (*scalar);
+  }
+}
+
+void vDSP_vfill(const float* value, float* c, vDSP_Stride c_stride,
+                vDSP_Length n) {
+  AO_REQUIRE(value != nullptr, "vDSP_vfill value is null");
+  for (vDSP_Length i = 0; i < n; ++i) {
+    c[at(c_stride, i)] = *value;
+  }
+}
+
+void vDSP_dotpr(const float* a, vDSP_Stride a_stride, const float* b,
+                vDSP_Stride b_stride, float* result, vDSP_Length n) {
+  AO_REQUIRE(result != nullptr, "vDSP_dotpr result is null");
+  float acc = 0.0f;
+  for (vDSP_Length i = 0; i < n; ++i) {
+    acc += a[at(a_stride, i)] * b[at(b_stride, i)];
+  }
+  *result = acc;
+}
+
+void vDSP_sve(const float* a, vDSP_Stride a_stride, float* result,
+              vDSP_Length n) {
+  AO_REQUIRE(result != nullptr, "vDSP_sve result is null");
+  float acc = 0.0f;
+  for (vDSP_Length i = 0; i < n; ++i) {
+    acc += a[at(a_stride, i)];
+  }
+  *result = acc;
+}
+
+void vDSP_vsq(const float* a, vDSP_Stride a_stride, float* c,
+              vDSP_Stride c_stride, vDSP_Length n) {
+  for (vDSP_Length i = 0; i < n; ++i) {
+    const float v = a[at(a_stride, i)];
+    c[at(c_stride, i)] = v * v;
+  }
+}
+
+void vDSP_maxv(const float* a, vDSP_Stride a_stride, float* result,
+               vDSP_Length n) {
+  AO_REQUIRE(result != nullptr, "vDSP_maxv result is null");
+  AO_REQUIRE(n > 0, "vDSP_maxv needs at least one element");
+  float best = a[0];
+  for (vDSP_Length i = 1; i < n; ++i) {
+    best = std::max(best, a[at(a_stride, i)]);
+  }
+  *result = best;
+}
+
+}  // namespace ao::accelerate

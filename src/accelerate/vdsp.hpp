@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ao::accelerate {
+
+/// vDSP subset (Accelerate's vector DSP library), with the real API's
+/// stride-based signatures: every vector argument is a (pointer, stride)
+/// pair and lengths count elements, exactly as in <Accelerate/vDSP.h>.
+/// The GEMM benchmark uses vDSP_mmul; the vector ops exercise the
+/// "vector units + AMX" claim in tests and the quickstart example.
+using vDSP_Length = std::size_t;
+using vDSP_Stride = long;
+
+/// Out-of-place matrix multiply: C(m x n) = A(m x p) * B(p x n), row-major
+/// contiguous. Runs on the AMX emulator (same engine as cblas_sgemm, which
+/// is why the paper found "vDSP and BLAS perform nearly identically").
+void vDSP_mmul(const float* a, vDSP_Stride a_stride, const float* b,
+               vDSP_Stride b_stride, float* c, vDSP_Stride c_stride,
+               vDSP_Length m, vDSP_Length n, vDSP_Length p);
+
+/// c[i] = a[i] + b[i]
+void vDSP_vadd(const float* a, vDSP_Stride a_stride, const float* b,
+               vDSP_Stride b_stride, float* c, vDSP_Stride c_stride,
+               vDSP_Length n);
+
+/// c[i] = a[i] - b[i]  (note vDSP's operand order: vsub computes B - A)
+void vDSP_vsub(const float* b, vDSP_Stride b_stride, const float* a,
+               vDSP_Stride a_stride, float* c, vDSP_Stride c_stride,
+               vDSP_Length n);
+
+/// c[i] = a[i] * scalar
+void vDSP_vsmul(const float* a, vDSP_Stride a_stride, const float* scalar,
+                float* c, vDSP_Stride c_stride, vDSP_Length n);
+
+/// c[i] = value
+void vDSP_vfill(const float* value, float* c, vDSP_Stride c_stride,
+                vDSP_Length n);
+
+/// result = sum(a[i] * b[i])
+void vDSP_dotpr(const float* a, vDSP_Stride a_stride, const float* b,
+                vDSP_Stride b_stride, float* result, vDSP_Length n);
+
+/// result = sum(a[i])
+void vDSP_sve(const float* a, vDSP_Stride a_stride, float* result,
+              vDSP_Length n);
+
+/// c[i] = a[i]^2
+void vDSP_vsq(const float* a, vDSP_Stride a_stride, float* c,
+              vDSP_Stride c_stride, vDSP_Length n);
+
+/// result = max(a[i])
+void vDSP_maxv(const float* a, vDSP_Stride a_stride, float* result,
+               vDSP_Length n);
+
+}  // namespace ao::accelerate

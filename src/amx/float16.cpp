@@ -1,0 +1,99 @@
+#include "amx/float16.hpp"
+
+#include <cstring>
+
+namespace ao::amx {
+
+Half float_to_half(float value) {
+  std::uint32_t f;
+  std::memcpy(&f, &value, sizeof(f));
+
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((f >> 23) & 0xFFu) - 127 + 15;
+  std::uint32_t mantissa = f & 0x007FFFFFu;
+
+  Half out;
+  if (((f >> 23) & 0xFFu) == 0xFFu) {
+    // Inf / NaN: keep a non-zero mantissa bit for NaN.
+    out.bits = static_cast<std::uint16_t>(
+        sign | 0x7C00u | (mantissa != 0 ? 0x0200u : 0u));
+    return out;
+  }
+  if (exponent >= 0x1F) {
+    // Overflow -> infinity.
+    out.bits = static_cast<std::uint16_t>(sign | 0x7C00u);
+    return out;
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) {
+      // Underflows to signed zero.
+      out.bits = static_cast<std::uint16_t>(sign);
+      return out;
+    }
+    // Subnormal: shift mantissa (with implicit leading 1) into place.
+    mantissa |= 0x00800000u;
+    const int shift = 14 - exponent;
+    std::uint32_t sub = mantissa >> shift;
+    // Round to nearest even.
+    const std::uint32_t round_bit = 1u << (shift - 1);
+    if ((mantissa & round_bit) &&
+        ((mantissa & (round_bit - 1)) || (sub & 1u))) {
+      ++sub;
+    }
+    out.bits = static_cast<std::uint16_t>(sign | sub);
+    return out;
+  }
+  // Normal: round mantissa from 23 to 10 bits, to nearest even.
+  std::uint32_t half_mant = mantissa >> 13;
+  const std::uint32_t round_bit = 0x00001000u;
+  if ((mantissa & round_bit) && ((mantissa & (round_bit - 1)) || (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflow bumps the exponent
+      half_mant = 0;
+      if (exponent + 1 >= 0x1F) {
+        out.bits = static_cast<std::uint16_t>(sign | 0x7C00u);
+        return out;
+      }
+      out.bits = static_cast<std::uint16_t>(
+          sign | (static_cast<std::uint32_t>(exponent + 1) << 10));
+      return out;
+    }
+  }
+  out.bits = static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | half_mant);
+  return out;
+}
+
+float half_to_float(Half value) {
+  const std::uint32_t h = value.bits;
+  const std::uint32_t sign = (h & 0x8000u) << 16;
+  const std::uint32_t exponent = (h >> 10) & 0x1Fu;
+  const std::uint32_t mantissa = h & 0x3FFu;
+
+  std::uint32_t f;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      std::uint32_t m = mantissa;
+      std::int32_t e = -1;
+      do {
+        m <<= 1;
+        ++e;
+      } while ((m & 0x400u) == 0);
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x3FFu) << 13);
+    }
+  } else if (exponent == 0x1F) {
+    f = sign | 0x7F800000u | (mantissa << 13);  // Inf / NaN
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float out;
+  std::memcpy(&out, &f, sizeof(out));
+  return out;
+}
+
+}  // namespace ao::amx

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ao::amx {
+
+/// IEEE 754 binary16 stored as raw bits. The AMX fp16 path and the Neural
+/// Engine model both compute through this software half type (the host is
+/// x86 and portable C++20 has no native half).
+struct Half {
+  std::uint16_t bits = 0;
+};
+
+/// FP32 -> FP16 with round-to-nearest-even, handling subnormals, infinities
+/// and NaN.
+Half float_to_half(float value);
+
+/// FP16 -> FP32 (exact).
+float half_to_float(Half value);
+
+}  // namespace ao::amx

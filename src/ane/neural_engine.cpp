@@ -1,0 +1,125 @@
+#include "ane/neural_engine.hpp"
+
+#include <vector>
+
+#include "amx/float16.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ao::ane {
+
+NeuralEngine::NeuralEngine(soc::Soc& soc) : soc_(&soc) {}
+
+double NeuralEngine::peak_int8_tops() const {
+  // Apple's stated Neural Engine throughput per generation.
+  switch (soc_->spec().model) {
+    case soc::ChipModel::kM1:
+      return 11.0;
+    case soc::ChipModel::kM2:
+      return 15.8;
+    case soc::ChipModel::kM3:
+      return 18.0;
+    case soc::ChipModel::kM4:
+      return 38.0;
+  }
+  return 0.0;
+}
+
+double NeuralEngine::active_power_watts() const {
+  // The ANE runs tensor work at single-digit Watts across the series.
+  switch (soc_->spec().model) {
+    case soc::ChipModel::kM1:
+      return 2.0;
+    case soc::ChipModel::kM2:
+      return 2.4;
+    case soc::ChipModel::kM3:
+      return 2.6;
+    case soc::ChipModel::kM4:
+      return 4.2;
+  }
+  return 0.0;
+}
+
+double NeuralEngine::run_gemm_fp16(std::size_t m, std::size_t n, std::size_t k,
+                                   const float* a, const float* b, float* c,
+                                   bool functional) {
+  AO_REQUIRE(m > 0 && n > 0 && k > 0, "GEMM dimensions must be positive");
+  AO_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+             "GEMM operands must not be null");
+
+  if (functional) {
+    // Inputs round through FP16 (the ANE datapath ingests half precision);
+    // accumulation is FP32, as on the real unit.
+    std::vector<float> a16(m * k);
+    std::vector<float> b16(k * n);
+    for (std::size_t i = 0; i < m * k; ++i) {
+      a16[i] = amx::half_to_float(amx::float_to_half(a[i]));
+    }
+    for (std::size_t i = 0; i < k * n; ++i) {
+      b16[i] = amx::half_to_float(amx::float_to_half(b[i]));
+    }
+    util::global_pool().parallel_for(m, [&](std::size_t i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          acc += a16[i * k + kk] * b16[kk * n + j];
+        }
+        c[i * n + j] = acc;
+      }
+    });
+  }
+
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                           static_cast<double>(k) -
+                       static_cast<double>(m) * static_cast<double>(n);
+  const double time_ns = 25e3 /* CoreML dispatch */ +
+                         flops / sustained_fp16_gflops();  // GFLOPS == FLOP/ns
+  soc_->execute(soc::ComputeUnit::kNeuralEngine, time_ns, active_power_watts(),
+                0.7);
+  return time_ns;
+}
+
+std::string to_string(ComputeUnits units) {
+  switch (units) {
+    case ComputeUnits::kAll:
+      return "MLComputeUnitsAll";
+    case ComputeUnits::kCpuOnly:
+      return "MLComputeUnitsCPUOnly";
+    case ComputeUnits::kCpuAndGpu:
+      return "MLComputeUnitsCPUAndGPU";
+    case ComputeUnits::kCpuAndNeuralEngine:
+      return "MLComputeUnitsCPUAndNeuralEngine";
+  }
+  return "unknown";
+}
+
+std::string to_string(DispatchTarget target) {
+  switch (target) {
+    case DispatchTarget::kNeuralEngine:
+      return "NeuralEngine";
+    case DispatchTarget::kGpu:
+      return "GPU";
+    case DispatchTarget::kCpu:
+      return "CPU";
+  }
+  return "unknown";
+}
+
+CoreMLRuntime::CoreMLRuntime(soc::Soc& soc, ComputeUnits preference)
+    : soc_(&soc), preference_(preference), engine_(soc) {}
+
+DispatchTarget CoreMLRuntime::plan_gemm(std::size_t m, std::size_t n,
+                                        std::size_t k) const {
+  const bool ane_allowed = preference_ == ComputeUnits::kAll ||
+                           preference_ == ComputeUnits::kCpuAndNeuralEngine;
+  const bool ane_compatible =
+      m % 16 == 0 && n % 16 == 0 && k % 16 == 0 && k <= 16384;
+  if (ane_allowed && ane_compatible) {
+    return DispatchTarget::kNeuralEngine;
+  }
+  const bool gpu_allowed = preference_ == ComputeUnits::kAll ||
+                           preference_ == ComputeUnits::kCpuAndGpu;
+  return gpu_allowed ? DispatchTarget::kGpu : DispatchTarget::kCpu;
+}
+
+}  // namespace ao::ane

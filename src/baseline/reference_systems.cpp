@@ -1,0 +1,44 @@
+#include "baseline/reference_systems.hpp"
+
+namespace ao::baseline {
+
+const std::vector<StreamReference>& stream_references() {
+  static const std::vector<StreamReference> refs = {
+      {"Nvidia GH200 (Grace CPU)", "LPDDR5X", Gh200::kGraceStreamGbs,
+       Gh200::kGraceStreamTheoreticalGbs,
+       "measured, Nvidia HPC benchmark 24.9 (paper Section 5.1)"},
+      {"Nvidia GH200 (Hopper GPU)", "HBM3", Gh200::kHopperHbm3StreamGbs,
+       Gh200::kHopperHbm3TheoreticalGbs,
+       "measured, Nvidia HPC benchmark 24.9 (paper Section 5.1)"},
+      {"AMD MI250X", "HBM2e (fabric-limited path)", 28.0, 33.0,
+       "literature [21]: 85% of its theoretical peak at only 28 GB/s"},
+  };
+  return refs;
+}
+
+const std::vector<GemmReference>& gemm_references() {
+  static const std::vector<GemmReference> refs = {
+      {"Nvidia GH200", "cublasSgemm / CUDA cores", "FP32",
+       Gh200::kCudaSgemmTflops, 0.61, false,
+       "measured, cuBLAS 12.4.2 (paper Section 5.2)"},
+      {"Nvidia GH200", "cublasSgemm / Tensor Cores", "TF32",
+       Gh200::kTensorTf32Tflops, 0.69, true,
+       "measured, cuBLAS 12.4.2 (paper Section 5.2; mixed-precision caveat)"},
+      {"Intel Xeon CPU Max 9468", "DGEMM (Sapphire Rapids + HBM)", "FP64", 5.7,
+       0.0, false, "literature [24]"},
+  };
+  return refs;
+}
+
+const std::vector<EfficiencyReference>& efficiency_references() {
+  static const std::vector<EfficiencyReference> refs = {
+      {"Green500 #1 (Nov 2024)", "HPL", 72.0, 0.0, false, "Green500 list [27]"},
+      {"Nvidia A100", "mma (Tensor Cores)", 700.0, 0.0, true,
+       "literature [13]; mixed precision, not perfectly fair"},
+      {"Nvidia RTX 4090", "dense MMA (Tensor Cores)", 510.0, 174.0, true,
+       "literature [13]; 174 W at 0.51 TFLOPS/W"},
+  };
+  return refs;
+}
+
+}  // namespace ao::baseline

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ao::baseline {
+
+/// Reference points the paper quotes in its "HPC Perspective" boxes: the
+/// internal Nvidia GH200 system the authors benchmarked, plus literature
+/// values for MI250X, Xeon Max, A100, RTX 4090 and the Green500 leader.
+/// These are published measurements, reproduced as data (this repository
+/// does not simulate the comparison hardware beyond these anchors).
+
+/// A STREAM-class bandwidth reference (Section 5.1 HPC Perspective).
+struct StreamReference {
+  std::string system;
+  std::string memory;          ///< "LPDDR5X", "HBM3", ...
+  double measured_gbs = 0.0;
+  double theoretical_gbs = 0.0;
+  std::string source;          ///< "measured (this paper)" or citation
+
+  double efficiency() const { return measured_gbs / theoretical_gbs; }
+};
+
+/// A GEMM-class compute reference (Section 5.2 HPC Perspective).
+struct GemmReference {
+  std::string system;
+  std::string path;            ///< "cublasSgemm / CUDA cores", ...
+  std::string precision;       ///< "FP32", "TF32", "FP64"
+  double measured_tflops = 0.0;
+  double peak_fraction = 0.0;  ///< fraction of theoretical peak
+  bool mixed_precision_caveat = false;  ///< tensor-core style comparison
+  std::string source;
+};
+
+/// A power-efficiency reference (Section 5.3 HPC Perspective).
+struct EfficiencyReference {
+  std::string system;
+  std::string workload;
+  double gflops_per_watt = 0.0;
+  double power_watts = 0.0;    ///< 0 when not reported
+  bool mixed_precision_caveat = false;
+  std::string source;
+};
+
+const std::vector<StreamReference>& stream_references();
+const std::vector<GemmReference>& gemm_references();
+const std::vector<EfficiencyReference>& efficiency_references();
+
+/// GH200 anchors used directly in the comparison rows.
+struct Gh200 {
+  static constexpr double kGraceStreamGbs = 310.0;        ///< 81% of peak
+  static constexpr double kGraceStreamTheoreticalGbs = 384.0;
+  static constexpr double kHopperHbm3StreamGbs = 3700.0;  ///< 94% of peak
+  static constexpr double kHopperHbm3TheoreticalGbs = 3936.0;
+  static constexpr double kCudaSgemmTflops = 41.0;        ///< 61% of peak
+  static constexpr double kTensorTf32Tflops = 338.0;      ///< 69% of peak
+  static constexpr double kLpddr5xGb = 480.0;
+  static constexpr double kHbm3Gb = 96.0;
+};
+
+}  // namespace ao::baseline

@@ -1,0 +1,13 @@
+#include "core/system.hpp"
+
+namespace ao::core {
+
+System::System(soc::ChipModel model)
+    : soc_(model),
+      memory_(soc_),
+      device_(soc_, memory_),
+      queue_(device_.new_command_queue()),
+      perf_(soc_),
+      gemm_context_{soc_, device_, queue_, shaders::default_library()} {}
+
+}  // namespace ao::core

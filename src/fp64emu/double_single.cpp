@@ -1,0 +1,68 @@
+#include "fp64emu/double_single.hpp"
+
+namespace ao::fp64emu {
+namespace {
+
+/// Dekker's splitter for FP32: 2^12 + 1 cleaves a 24-bit significand into
+/// two 12-bit halves whose products are exact in FP32.
+constexpr float kSplit = 4097.0f;
+
+struct Split {
+  float hi;
+  float lo;
+};
+
+Split split(float a) {
+  const float t = kSplit * a;
+  const float hi = t - (t - a);
+  return {hi, a - hi};
+}
+
+}  // namespace
+
+DoubleSingle DoubleSingle::from_double(double value) {
+  const auto hi = static_cast<float>(value);
+  const auto lo = static_cast<float>(value - static_cast<double>(hi));
+  return {hi, lo};
+}
+
+DoubleSingle two_sum(float a, float b) {
+  const float s = a + b;
+  const float v = s - a;
+  const float e = (a - (s - v)) + (b - v);
+  return {s, e};
+}
+
+DoubleSingle two_prod(float a, float b) {
+  const float p = a * b;
+  const Split sa = split(a);
+  const Split sb = split(b);
+  const float e = ((sa.hi * sb.hi - p) + sa.hi * sb.lo + sa.lo * sb.hi) +
+                  sa.lo * sb.lo;
+  return {p, e};
+}
+
+DoubleSingle ds_add(DoubleSingle a, DoubleSingle b) {
+  DoubleSingle s = two_sum(a.hi, b.hi);
+  s.lo += a.lo + b.lo;
+  // Renormalize: fold the accumulated error back into a canonical pair.
+  const DoubleSingle r = two_sum(s.hi, s.lo);
+  return r;
+}
+
+DoubleSingle ds_sub(DoubleSingle a, DoubleSingle b) {
+  return ds_add(a, {-b.hi, -b.lo});
+}
+
+DoubleSingle ds_mul(DoubleSingle a, DoubleSingle b) {
+  DoubleSingle p = two_prod(a.hi, b.hi);
+  p.lo += a.hi * b.lo + a.lo * b.hi;
+  const DoubleSingle r = two_sum(p.hi, p.lo);
+  return r;
+}
+
+DoubleSingle ds_fma(DoubleSingle a, DoubleSingle b, DoubleSingle c) {
+  return ds_add(ds_mul(a, b), c);
+}
+
+}  // namespace ao::fp64emu

@@ -1,0 +1,47 @@
+#pragma once
+
+namespace ao::fp64emu {
+
+/// Double-single ("float-float") arithmetic: an unevaluated sum of two FP32
+/// values carrying ~49 bits of significand — the standard way to emulate
+/// double precision on FP32-only GPUs, which is how the paper's Section 1
+/// footnotes that the M-series GPUs' missing FP64 "can be emulated".
+///
+/// The algorithms are the classical error-free transformations (Knuth's
+/// TwoSum, Dekker's split/TwoProd), written FMA-free because Metal's FP32
+/// fma contraction cannot be relied on across all GPU generations.
+struct DoubleSingle {
+  float hi = 0.0f;  ///< leading component
+  float lo = 0.0f;  ///< trailing error term, |lo| <= ulp(hi)/2
+
+  constexpr DoubleSingle() = default;
+  constexpr DoubleSingle(float h, float l) : hi(h), lo(l) {}
+
+  /// Splits a double into hi + lo FP32 components (exact for the top 48
+  /// mantissa bits).
+  static DoubleSingle from_double(double value);
+
+  double to_double() const { return static_cast<double>(hi) + lo; }
+
+  static DoubleSingle from_float(float value) { return {value, 0.0f}; }
+};
+
+/// Error-free sum: a + b = s + e exactly (Knuth TwoSum, no branch).
+DoubleSingle two_sum(float a, float b);
+
+/// Error-free product: a * b = p + e exactly (Dekker split TwoProd).
+DoubleSingle two_prod(float a, float b);
+
+/// ds arithmetic. Results are accurate to ~2 ulps of the 49-bit format.
+DoubleSingle ds_add(DoubleSingle a, DoubleSingle b);
+DoubleSingle ds_sub(DoubleSingle a, DoubleSingle b);
+DoubleSingle ds_mul(DoubleSingle a, DoubleSingle b);
+
+/// Fused a*b + c in ds arithmetic (the GEMM inner-loop operation).
+DoubleSingle ds_fma(DoubleSingle a, DoubleSingle b, DoubleSingle c);
+
+/// FP32 operation count of one ds_fma — the cost model's basis for the
+/// emulated-FP64 GEMM (ds_mul ~ 10 ops + ds_add ~ 11 ops).
+inline constexpr double kFlopsPerDsFma = 21.0;
+
+}  // namespace ao::fp64emu

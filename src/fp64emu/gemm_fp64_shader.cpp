@@ -1,0 +1,63 @@
+#include "fp64emu/gemm_fp64_shader.hpp"
+
+#include "fp64emu/double_single.hpp"
+
+namespace ao::fp64emu {
+
+metal::Kernel make_gemm_fp64_emulated() {
+  metal::Kernel k;
+  k.name = "gemm_fp64_emulated";
+  k.body = metal::ThreadKernelFn([](const metal::ArgumentTable& args,
+                                    const metal::ThreadContext& ctx) {
+    const auto n = args.value<std::uint32_t>(6);
+    const std::uint32_t col = ctx.thread_position_in_grid.x;
+    const std::uint32_t row = ctx.thread_position_in_grid.y;
+    if (row >= n || col >= n) {
+      return;
+    }
+    const float* a_hi = args.buffer_data<float>(0);
+    const float* a_lo = args.buffer_data<float>(1);
+    const float* b_hi = args.buffer_data<float>(2);
+    const float* b_lo = args.buffer_data<float>(3);
+    float* c_hi = args.buffer_data<float>(4);
+    float* c_lo = args.buffer_data<float>(5);
+
+    DoubleSingle acc;
+    for (std::uint32_t kk = 0; kk < n; ++kk) {
+      const std::size_t ai = static_cast<std::size_t>(row) * n + kk;
+      const std::size_t bi = static_cast<std::size_t>(kk) * n + col;
+      acc = ds_fma({a_hi[ai], a_lo[ai]}, {b_hi[bi], b_lo[bi]}, acc);
+    }
+    const std::size_t ci = static_cast<std::size_t>(row) * n + col;
+    c_hi[ci] = acc.hi;
+    c_lo[ci] = acc.lo;
+  });
+  k.estimator = [](const metal::ArgumentTable& args, const metal::DispatchShape&) {
+    const auto n = args.value<std::uint32_t>(6);
+    const double nd = static_cast<double>(n);
+    // n^3 emulated FMAs, each kFlopsPerDsFma FP32 ops; six FP32 planes of
+    // traffic. Compute efficiency mirrors the naive FP32 shader's (~0.15 of
+    // peak), since the access pattern is identical.
+    return metal::WorkEstimate::generic(nd * nd * nd * kFlopsPerDsFma,
+                                        6.0 * nd * nd * sizeof(float),
+                                        /*efficiency=*/0.15);
+  };
+  return k;
+}
+
+void split_matrix(const double* src, float* hi, float* lo, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const DoubleSingle ds = DoubleSingle::from_double(src[i]);
+    hi[i] = ds.hi;
+    lo[i] = ds.lo;
+  }
+}
+
+void join_matrix(const float* hi, const float* lo, double* dst,
+                 std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    dst[i] = DoubleSingle{hi[i], lo[i]}.to_double();
+  }
+}
+
+}  // namespace ao::fp64emu

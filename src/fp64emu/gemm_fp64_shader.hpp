@@ -1,0 +1,31 @@
+#pragma once
+
+#include "metal/kernel.hpp"
+
+namespace ao::fp64emu {
+
+/// GEMM shader computing in emulated FP64 (double-single arithmetic) on the
+/// FP32-only simulated GPU — the extension experiment for the paper's FP64
+/// limitation ("the M-Series GPUs lack native FP64 support (which can be
+/// emulated)", Section 1; "this might limit their suitability for certain
+/// scientific applications requiring double-precision", Section 7).
+///
+/// Bindings (all FP32 buffers; hi/lo component pairs for the ds format):
+///   slot 0: A.hi   slot 1: A.lo
+///   slot 2: B.hi   slot 3: B.lo
+///   slot 4: C.hi   slot 5: C.lo
+///   slot 6: uint32 n
+///
+/// The work estimate prices each emulated FMA at kFlopsPerDsFma FP32
+/// operations on the generic GPU roofline, which produces the ~20x
+/// FP32-to-emulated-FP64 throughput gap the technique is known for.
+metal::Kernel make_gemm_fp64_emulated();
+
+/// Splits a host FP64 matrix into hi/lo FP32 planes.
+void split_matrix(const double* src, float* hi, float* lo, std::size_t count);
+
+/// Reassembles hi/lo planes into FP64.
+void join_matrix(const float* hi, const float* lo, double* dst,
+                 std::size_t count);
+
+}  // namespace ao::fp64emu

@@ -1,0 +1,122 @@
+#include "harness/experiment.hpp"
+
+#include <vector>
+
+#include "accelerate/reference_blas.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ao::harness {
+
+GemmExperiment::GemmExperiment(gemm::GemmContext& context)
+    : GemmExperiment(context, Options{}) {}
+
+GemmExperiment::GemmExperiment(gemm::GemmContext& context, Options options)
+    : ctx_(&context), options_(std::move(options)) {
+  AO_REQUIRE(options_.repetitions >= 1, "need at least one repetition");
+}
+
+bool GemmExperiment::should_run_functional(soc::GemmImpl impl,
+                                           std::size_t n) const {
+  const auto it = options_.functional_n_max.find(impl);
+  return it != options_.functional_n_max.end() && n <= it->second;
+}
+
+GemmMeasurement GemmExperiment::measure(gemm::IGemm& impl, MatrixSet& matrices) {
+  const std::size_t n = matrices.n();
+  soc::Soc& soc = ctx_->soc;
+
+  // The paper runs each test session from a cold, idle machine ("tests are
+  // conducted after a system reboot, followed by an idle period until the
+  // system is fully idle", Section 4). Restore the thermal state so one
+  // measurement's heat soak does not throttle the next; the sustained-load
+  // cooling ablation drives multiplications directly to study that effect.
+  soc.thermal().reset();
+
+  GemmMeasurement m;
+  m.chip = soc.spec().model;
+  m.impl = impl.kind();
+  m.n = n;
+  m.functional = should_run_functional(impl.kind(), n);
+
+  // Power monitor: started before the run, warmed up, reset via SIGINFO
+  // (Section 3.3). The warm-up interval is simulated idle time.
+  std::optional<power::PowerMetrics> monitor;
+  if (options_.use_powermetrics) {
+    monitor.emplace(soc, power::SamplerSet{true, true, true});
+    monitor->start();
+    soc.idle(options_.warmup_seconds * 1e9);
+    monitor->siginfo();  // reset: discard the warm-up window
+  }
+
+  const double flops = soc::gemm_flops(n);
+  for (int rep = 0; rep < options_.repetitions; ++rep) {
+    // Functional execution only on the first repetition: the numeric result
+    // cannot change across repetitions, while the modeled time may (thermal
+    // drift), exactly what the repeated timing is for.
+    const bool functional = m.functional && rep == 0;
+    const std::uint64_t t0 = soc.clock().now();
+    impl.multiply(n, matrices.memory_length(), matrices.left(),
+                  matrices.right(), matrices.out(), functional);
+    const auto dt = static_cast<double>(soc.clock().now() - t0);
+    m.time_ns.add(dt);
+  }
+
+  if (monitor.has_value()) {
+    const power::PowerSample sample = monitor->siginfo();  // capture the run
+    monitor->stop();
+    // The paper parses the tool's text output rather than reading values
+    // programmatically; round-trip through the same path.
+    const auto parsed = power::parse_powermetrics_output(monitor->output_text());
+    AO_REQUIRE(parsed.size() == 2, "expected warm-up + run samples");
+    m.power_mw = parsed.back().combined_mw;
+    m.cpu_power_mw = parsed.back().cpu_mw;
+    m.gpu_power_mw = parsed.back().gpu_mw;
+    (void)sample;
+  }
+
+  m.best_gflops = util::gflops(flops, m.time_ns.min());
+  m.mean_gflops = util::gflops(flops, m.time_ns.mean());
+  // Efficiency pairs the *mean* rate with the power sample: powermetrics
+  // averages over the whole five-repetition window, so dividing the coolest
+  // repetition's rate by the window-average power would overstate
+  // GFLOPS/W whenever the package throttles mid-window.
+  m.gflops_per_watt = util::gflops_per_watt(m.mean_gflops, m.power_mw);
+
+  // Verification against the double-accumulating reference.
+  if (m.functional && n <= options_.verify_n_max) {
+    std::vector<float> expected(n * n);
+    accelerate::reference::sgemm(false, false, n, n, n, 1.0f, matrices.left(),
+                                 n, matrices.right(), n, 0.0f, expected.data(),
+                                 n);
+    m.max_error = accelerate::reference::max_abs_diff(expected.data(),
+                                                      matrices.out(), n, n, n);
+    m.verified = m.max_error <= accelerate::reference::gemm_tolerance(n);
+  }
+  return m;
+}
+
+std::vector<GemmMeasurement> GemmExperiment::run_suite(
+    const std::vector<soc::GemmImpl>& impls,
+    const std::vector<std::size_t>& sizes) {
+  std::vector<GemmMeasurement> results;
+  for (const std::size_t n : sizes) {
+    // Fill only if some implementation will actually read the data.
+    bool any_functional = false;
+    for (const auto impl : impls) {
+      any_functional |= !paper_skips(impl, n) && should_run_functional(impl, n);
+    }
+    MatrixSet matrices(n, /*fill=*/any_functional);
+    for (const auto impl_kind : impls) {
+      if (paper_skips(impl_kind, n)) {
+        continue;
+      }
+      auto impl = gemm::create_gemm(impl_kind, *ctx_);
+      matrices.clear_out();
+      results.push_back(measure(*impl, matrices));
+    }
+  }
+  return results;
+}
+
+}  // namespace ao::harness

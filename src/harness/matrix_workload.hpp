@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "soc/benchmark_taxonomy.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace ao::harness {
+
+/// The paper's matrix-size sweep (Section 4): powers of two from 32 to
+/// 16384, "as this provides further hardware optimizations and as padding to
+/// such sizes occurs often".
+const std::vector<std::size_t>& paper_sizes();
+
+/// Sizes shown in the paper's figures (Figure 2 starts at 256; Figures 3-4
+/// at 2048).
+const std::vector<std::size_t>& figure2_sizes();
+const std::vector<std::size_t>& figure34_sizes();
+
+/// The paper skips the slowest CPU paths at the largest sizes: "Except for
+/// CPU-Single (Baseline) and CPU-OMP, which did not execute 8,192 and
+/// 16,384 due to the long execution time."
+bool paper_skips(soc::GemmImpl impl, std::size_t n);
+
+/// One benchmark operand set: three n x n FP32 matrices allocated exactly as
+/// the paper allocates them — aligned_alloc with the 16384-byte page size,
+/// lengths extended to the nearest page multiple "such that the GPU could
+/// bypass memory copying".
+class MatrixSet {
+ public:
+  /// Allocates and (optionally) fills A and B with uniform [0, 1) values;
+  /// C starts zeroed. Filling is skipped for model-only runs where content
+  /// is never read.
+  MatrixSet(std::size_t n, bool fill = true, std::uint64_t seed = 42);
+
+  std::size_t n() const { return n_; }
+  /// Page-rounded byte length of each matrix (the `memory_length` the
+  /// paper's callback receives).
+  std::size_t memory_length() const { return left_.capacity(); }
+
+  float* left() { return left_.as_span<float>().data(); }
+  float* right() { return right_.as_span<float>().data(); }
+  float* out() { return out_.as_span<float>().data(); }
+  const float* left() const { return left_.as_span<float>().data(); }
+  const float* right() const { return right_.as_span<float>().data(); }
+  const float* out() const { return out_.as_span<float>().data(); }
+
+  /// Zeroes the output matrix (between repetitions).
+  void clear_out();
+
+ private:
+  std::size_t n_;
+  util::AlignedBuffer left_;
+  util::AlignedBuffer right_;
+  util::AlignedBuffer out_;
+};
+
+/// Parallel uniform [0,1) fill with per-chunk deterministic seeding.
+void parallel_fill_uniform(float* data, std::size_t count, std::uint64_t seed);
+
+}  // namespace ao::harness

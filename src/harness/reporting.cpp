@@ -1,0 +1,243 @@
+#include "harness/reporting.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/units.hpp"
+
+namespace ao::harness {
+namespace {
+
+std::vector<std::size_t> sorted_sizes(const std::vector<GemmMeasurement>& rs) {
+  std::set<std::size_t> sizes;
+  for (const auto& r : rs) {
+    sizes.insert(r.n);
+  }
+  return {sizes.begin(), sizes.end()};
+}
+
+const GemmMeasurement* find(const std::vector<GemmMeasurement>& rs,
+                            soc::GemmImpl impl, std::size_t n) {
+  for (const auto& r : rs) {
+    if (r.impl == impl && r.n == n) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+constexpr std::array<char, 6> kImplMarkers = {'s', 'o', 'a', 'n', 'c', 'm'};
+
+}  // namespace
+
+std::vector<GemmMeasurement> for_chip(const std::vector<GemmMeasurement>& all,
+                                      soc::ChipModel chip) {
+  std::vector<GemmMeasurement> out;
+  for (const auto& r : all) {
+    if (r.chip == chip) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+util::TablePrinter figure1_table(const std::vector<StreamFigureEntry>& entries) {
+  util::TablePrinter table({"Chip", "Theoretical", "Agent", "Copy", "Scale",
+                            "Add", "Triad", "Best", "% of peak"});
+  for (const auto& e : entries) {
+    auto row = [&](const char* agent, const std::array<double, 4>& gbs) {
+      const double best = *std::max_element(gbs.begin(), gbs.end());
+      table.add_row({soc::to_string(e.chip),
+                     util::format_fixed(e.theoretical_gbs, 0) + " GB/s", agent,
+                     util::format_fixed(gbs[0], 1), util::format_fixed(gbs[1], 1),
+                     util::format_fixed(gbs[2], 1), util::format_fixed(gbs[3], 1),
+                     util::format_fixed(best, 1),
+                     util::format_fixed(best / e.theoretical_gbs * 100.0, 1) + "%"});
+    };
+    row("CPU", e.cpu_gbs);
+    row("GPU", e.gpu_gbs);
+  }
+  return table;
+}
+
+util::CsvWriter figure1_csv(const std::vector<StreamFigureEntry>& entries) {
+  util::CsvWriter csv({"chip", "agent", "kernel", "gbs", "theoretical_gbs"});
+  for (const auto& e : entries) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::string kernel = soc::to_string(soc::kAllStreamKernels[k]);
+      csv.add_row({soc::to_string(e.chip), "CPU", kernel,
+                   util::format_fixed(e.cpu_gbs[k], 2),
+                   util::format_fixed(e.theoretical_gbs, 1)});
+      csv.add_row({soc::to_string(e.chip), "GPU", kernel,
+                   util::format_fixed(e.gpu_gbs[k], 2),
+                   util::format_fixed(e.theoretical_gbs, 1)});
+    }
+  }
+  return csv;
+}
+
+std::string figure1_chart(const std::vector<StreamFigureEntry>& entries) {
+  std::string out;
+  for (const auto& e : entries) {
+    util::BarChart chart("STREAM bandwidth - " + soc::to_string(e.chip), "GB/s");
+    chart.set_reference_line(e.theoretical_gbs, "theoretical");
+    chart.add_group("CPU");
+    for (std::size_t k = 0; k < 4; ++k) {
+      chart.add_bar(soc::to_string(soc::kAllStreamKernels[k]) + " (CPU)",
+                    e.cpu_gbs[k]);
+    }
+    chart.add_group("GPU");
+    for (std::size_t k = 0; k < 4; ++k) {
+      chart.add_bar(soc::to_string(soc::kAllStreamKernels[k]) + " (GPU)",
+                    e.gpu_gbs[k]);
+    }
+    out += chart.render() + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+util::TablePrinter per_chip_metric_table(
+    soc::ChipModel chip, const std::vector<GemmMeasurement>& results,
+    const std::string& unit, double (*metric)(const GemmMeasurement&)) {
+  std::vector<std::string> headers = {"n \\ impl (" + unit + ")"};
+  for (const auto impl : soc::kAllGemmImpls) {
+    headers.push_back(soc::to_string(impl));
+  }
+  util::TablePrinter table(headers);
+  const auto chip_results = for_chip(results, chip);
+  for (const std::size_t n : sorted_sizes(chip_results)) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const auto impl : soc::kAllGemmImpls) {
+      const auto* r = find(chip_results, impl, n);
+      row.push_back(r == nullptr ? "-" : util::format_fixed(metric(*r), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+util::TablePrinter figure2_table(soc::ChipModel chip,
+                                 const std::vector<GemmMeasurement>& results) {
+  return per_chip_metric_table(chip, results, "GFLOPS",
+                               [](const GemmMeasurement& r) { return r.best_gflops; });
+}
+
+util::CsvWriter figure2_csv(const std::vector<GemmMeasurement>& results) {
+  util::CsvWriter csv({"chip", "impl", "n", "best_gflops", "mean_gflops",
+                       "min_time_ns", "verified"});
+  for (const auto& r : results) {
+    csv.add_row({soc::to_string(r.chip), soc::to_string(r.impl),
+                 std::to_string(r.n), util::format_fixed(r.best_gflops, 3),
+                 util::format_fixed(r.mean_gflops, 3),
+                 util::format_fixed(r.time_ns.min(), 0),
+                 r.verified ? "yes" : (r.functional ? "unchecked" : "model-only")});
+  }
+  return csv;
+}
+
+std::string figure2_plot(soc::ChipModel chip,
+                         const std::vector<GemmMeasurement>& results) {
+  util::LinePlot plot("GEMM FP32 performance - " + soc::to_string(chip),
+                      "matrix size n", "GFLOPS");
+  plot.set_log_x(true);
+  plot.set_log_y(true);
+  const auto chip_results = for_chip(results, chip);
+  for (std::size_t i = 0; i < soc::kAllGemmImpls.size(); ++i) {
+    const auto impl = soc::kAllGemmImpls[i];
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const std::size_t n : sorted_sizes(chip_results)) {
+      if (const auto* r = find(chip_results, impl, n)) {
+        xs.push_back(static_cast<double>(n));
+        ys.push_back(r->best_gflops);
+      }
+    }
+    if (!xs.empty()) {
+      plot.add_series(soc::to_string(impl), kImplMarkers[i], xs, ys);
+    }
+  }
+  return plot.render();
+}
+
+util::TablePrinter peak_gflops_table(
+    const std::vector<GemmMeasurement>& results) {
+  util::TablePrinter table(
+      {"Implementation", "M1", "M2", "M3", "M4", "unit"});
+  for (const auto impl : soc::kAllGemmImpls) {
+    std::vector<std::string> row = {soc::to_string(impl)};
+    for (const auto chip : soc::kAllChipModels) {
+      double best = 0.0;
+      for (const auto& r : results) {
+        if (r.chip == chip && r.impl == impl) {
+          best = std::max(best, r.best_gflops);
+        }
+      }
+      row.push_back(best == 0.0 ? "-" : util::format_fixed(best, 1));
+    }
+    row.push_back("GFLOPS");
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+util::TablePrinter figure3_table(soc::ChipModel chip,
+                                 const std::vector<GemmMeasurement>& results) {
+  return per_chip_metric_table(chip, results, "mW",
+                               [](const GemmMeasurement& r) { return r.power_mw; });
+}
+
+util::CsvWriter figure3_csv(const std::vector<GemmMeasurement>& results) {
+  util::CsvWriter csv(
+      {"chip", "impl", "n", "combined_mw", "cpu_mw", "gpu_mw"});
+  for (const auto& r : results) {
+    csv.add_row({soc::to_string(r.chip), soc::to_string(r.impl),
+                 std::to_string(r.n), util::format_fixed(r.power_mw, 1),
+                 util::format_fixed(r.cpu_power_mw, 1),
+                 util::format_fixed(r.gpu_power_mw, 1)});
+  }
+  return csv;
+}
+
+util::TablePrinter figure4_table(soc::ChipModel chip,
+                                 const std::vector<GemmMeasurement>& results) {
+  return per_chip_metric_table(
+      chip, results, "GFLOPS/W",
+      [](const GemmMeasurement& r) { return r.gflops_per_watt; });
+}
+
+util::CsvWriter figure4_csv(const std::vector<GemmMeasurement>& results) {
+  util::CsvWriter csv({"chip", "impl", "n", "gflops_per_watt"});
+  for (const auto& r : results) {
+    csv.add_row({soc::to_string(r.chip), soc::to_string(r.impl),
+                 std::to_string(r.n),
+                 util::format_fixed(r.gflops_per_watt, 2)});
+  }
+  return csv;
+}
+
+util::TablePrinter peak_efficiency_table(
+    const std::vector<GemmMeasurement>& results) {
+  util::TablePrinter table(
+      {"Implementation", "M1", "M2", "M3", "M4", "unit"});
+  for (const auto impl : soc::kAllGemmImpls) {
+    std::vector<std::string> row = {soc::to_string(impl)};
+    for (const auto chip : soc::kAllChipModels) {
+      double best = 0.0;
+      for (const auto& r : results) {
+        if (r.chip == chip && r.impl == impl) {
+          best = std::max(best, r.gflops_per_watt);
+        }
+      }
+      row.push_back(best == 0.0 ? "-" : util::format_fixed(best, 1));
+    }
+    row.push_back("GFLOPS/W");
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace ao::harness

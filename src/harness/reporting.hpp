@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "stream/stream_result.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv_writer.hpp"
+#include "util/table_printer.hpp"
+
+namespace ao::harness {
+
+/// Reporters that render measurement sets in the shape of the paper's
+/// figures: a numeric table, a CSV dump, and an ASCII chart per artifact.
+
+/// --- Figure 1: STREAM ----------------------------------------------------
+
+struct StreamFigureEntry {
+  soc::ChipModel chip{};
+  double theoretical_gbs = 0.0;
+  std::array<double, 4> cpu_gbs{};  ///< by StreamKernel
+  std::array<double, 4> gpu_gbs{};
+};
+
+util::TablePrinter figure1_table(const std::vector<StreamFigureEntry>& entries);
+util::CsvWriter figure1_csv(const std::vector<StreamFigureEntry>& entries);
+std::string figure1_chart(const std::vector<StreamFigureEntry>& entries);
+
+/// --- Figure 2: GEMM GFLOPS -----------------------------------------------
+
+/// One table per chip: rows = sizes, columns = implementations.
+util::TablePrinter figure2_table(soc::ChipModel chip,
+                                 const std::vector<GemmMeasurement>& results);
+util::CsvWriter figure2_csv(const std::vector<GemmMeasurement>& results);
+/// Log-log GFLOPS-vs-size plot for one chip (the paper's panel).
+std::string figure2_plot(soc::ChipModel chip,
+                         const std::vector<GemmMeasurement>& results);
+/// Peak GFLOPS per (chip, impl) — the numbers quoted in Section 5.2.
+util::TablePrinter peak_gflops_table(const std::vector<GemmMeasurement>& results);
+
+/// --- Figure 3: power -----------------------------------------------------
+
+util::TablePrinter figure3_table(soc::ChipModel chip,
+                                 const std::vector<GemmMeasurement>& results);
+util::CsvWriter figure3_csv(const std::vector<GemmMeasurement>& results);
+
+/// --- Figure 4: efficiency ------------------------------------------------
+
+util::TablePrinter figure4_table(soc::ChipModel chip,
+                                 const std::vector<GemmMeasurement>& results);
+util::CsvWriter figure4_csv(const std::vector<GemmMeasurement>& results);
+/// Peak GFLOPS/W per (chip, impl) — the numbers quoted in Section 5.3.
+util::TablePrinter peak_efficiency_table(
+    const std::vector<GemmMeasurement>& results);
+
+/// Filters helpers.
+std::vector<GemmMeasurement> for_chip(const std::vector<GemmMeasurement>& all,
+                                      soc::ChipModel chip);
+
+}  // namespace ao::harness

@@ -1,0 +1,24 @@
+#include "harness/test_suite.hpp"
+
+#include "util/error.hpp"
+
+namespace ao::harness {
+
+void test_suite(const MultiplyCallback& callback, const std::string& data_dir,
+                const std::vector<std::size_t>& sizes, int repetitions) {
+  AO_REQUIRE(static_cast<bool>(callback), "test_suite needs a callback");
+  AO_REQUIRE(repetitions >= 1, "need at least one repetition");
+  (void)data_dir;  // matrices are generated deterministically, not loaded
+
+  for (const std::size_t n : sizes) {
+    MatrixSet matrices(n, /*fill=*/true);
+    for (int rep = 0; rep < repetitions; ++rep) {
+      matrices.clear_out();
+      callback(static_cast<unsigned int>(n),
+               static_cast<unsigned int>(matrices.memory_length()),
+               matrices.left(), matrices.right(), matrices.out());
+    }
+  }
+}
+
+}  // namespace ao::harness

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/matrix_workload.hpp"
+
+namespace ao::harness {
+
+/// The paper's test-library callback signature (Listings 1-2): the suite
+/// hands each implementation the matrix size, the page-rounded allocation
+/// length in bytes, and the three page-aligned matrices.
+using MultiplyCallback =
+    std::function<void(unsigned int n, unsigned int memory_length, float* left,
+                       float* right, float* out)>;
+
+/// Faithful form of the paper's test_suite(): for every size in `sizes`,
+/// allocates page-aligned matrices filled with uniform [0, 1) values,
+/// invokes the callback `repetitions` times, and discards the data. The
+/// `data_dir` parameter mirrors the original's matrix-data directory
+/// argument; pass an empty string (matrices are generated, not loaded).
+void test_suite(const MultiplyCallback& callback,
+                const std::string& data_dir = {},
+                const std::vector<std::size_t>& sizes = paper_sizes(),
+                int repetitions = 5);
+
+}  // namespace ao::harness

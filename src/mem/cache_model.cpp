@@ -1,0 +1,96 @@
+#include "mem/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ao::mem {
+
+std::string to_string(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kSequential:
+      return "sequential";
+    case AccessPattern::kStrided:
+      return "strided";
+    case AccessPattern::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+CacheModel::CacheModel(const soc::ChipSpec& spec) {
+  levels_.push_back({"L1",
+                     static_cast<std::size_t>(spec.l1_kb_per_p_core) * util::kKiB,
+                     64, 1.0});
+  levels_.push_back({"L2",
+                     static_cast<std::size_t>(spec.l2_mb_p_cluster) * util::kMiB,
+                     128, 5.0});
+  levels_.push_back({"SLC", 8 * util::kMiB, 128, 18.0});
+  // LPDDR4X (M1) has distinctly higher first-word latency than LPDDR5/5X.
+  dram_latency_ns_ = spec.memory_technology == "LPDDR4X" ? 110.0 : 96.0;
+}
+
+double CacheModel::hit_rate(std::size_t level, std::size_t working_set_bytes,
+                            AccessPattern pattern) const {
+  AO_REQUIRE(level < levels_.size(), "cache level out of range");
+  const CacheLevel& l = levels_[level];
+  // Fraction of the working set resident in this level. A working set no
+  // bigger than the level hits (nearly) always; beyond that, reuse decays
+  // with the ratio. Streaming prefetchers rescue sequential misses, strided
+  // access defeats part of the line utilization, random defeats most of it.
+  const double resident = std::min(
+      1.0, static_cast<double>(l.capacity_bytes) /
+               static_cast<double>(std::max<std::size_t>(working_set_bytes, 1)));
+  double pattern_factor = 1.0;
+  switch (pattern) {
+    case AccessPattern::kSequential:
+      pattern_factor = 1.0;  // prefetch hides the rest
+      break;
+    case AccessPattern::kStrided:
+      pattern_factor = 0.75;
+      break;
+    case AccessPattern::kRandom:
+      pattern_factor = 0.5;
+      break;
+  }
+  if (working_set_bytes <= l.capacity_bytes) {
+    return pattern_factor;  // fully resident (cold misses amortized)
+  }
+  return resident * pattern_factor;
+}
+
+double CacheModel::average_latency_ns(std::size_t working_set_bytes,
+                                      AccessPattern pattern) const {
+  // Probability mass that filters past each level.
+  double remaining = 1.0;
+  double latency = 0.0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const double h = hit_rate(i, working_set_bytes, pattern);
+    latency += remaining * h * levels_[i].latency_ns;
+    remaining *= (1.0 - h);
+  }
+  latency += remaining * dram_latency_ns_;
+  return latency;
+}
+
+double CacheModel::effective_bandwidth_gbs(std::size_t working_set_bytes,
+                                           AccessPattern pattern) const {
+  // One 64-byte line per average latency, per core; sequential streams issue
+  // multiple outstanding misses (modeled as 8-deep MLP).
+  const double latency = average_latency_ns(working_set_bytes, pattern);
+  const double mlp = pattern == AccessPattern::kSequential ? 8.0
+                     : pattern == AccessPattern::kStrided  ? 4.0
+                                                           : 2.0;
+  return 64.0 * mlp / latency;  // bytes per ns == GB/s
+}
+
+std::size_t CacheModel::gemm_l2_knee() const {
+  const std::size_t l2 = levels_[1].capacity_bytes;
+  // 3 matrices * n^2 * 4 bytes  >  L2  =>  n > sqrt(L2 / 12)
+  return static_cast<std::size_t>(
+      std::floor(std::sqrt(static_cast<double>(l2) / 12.0)));
+}
+
+}  // namespace ao::mem

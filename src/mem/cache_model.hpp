@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "soc/chip_spec.hpp"
+
+namespace ao::mem {
+
+/// Memory access pattern classes the cache model distinguishes. STREAM is
+/// kSequential; the naive GEMM's B-matrix walk is kStrided; pointer chasing
+/// would be kRandom.
+enum class AccessPattern { kSequential, kStrided, kRandom };
+
+std::string to_string(AccessPattern pattern);
+
+/// One cache level's geometry and timing.
+struct CacheLevel {
+  std::string name;          ///< "L1", "L2", "SLC"
+  std::size_t capacity_bytes = 0;
+  std::size_t line_bytes = 64;
+  double latency_ns = 0.0;   ///< load-to-use
+};
+
+/// Analytic model of an M-series P-cluster cache hierarchy (L1 per core,
+/// shared cluster L2, system-level cache in front of DRAM).
+///
+/// This substrate explains — rather than tabulates — the size-dependent
+/// effects the paper reports: the naive CPU GEMM collapsing once three
+/// matrices exceed the L2 (Figure 2) and STREAM arrays being sized to defeat
+/// caching. Tests pin its monotonicity properties; the ablation benches use
+/// it to show where the working-set knees fall per chip.
+class CacheModel {
+ public:
+  /// Builds the hierarchy for `spec` (L1/L2 from Table 1; SLC modeled at
+  /// 8 MiB with DRAM latency derived from the memory technology generation).
+  explicit CacheModel(const soc::ChipSpec& spec);
+
+  const std::vector<CacheLevel>& levels() const { return levels_; }
+  double dram_latency_ns() const { return dram_latency_ns_; }
+
+  /// Estimated hit fraction at `level` (0 = L1) for a working set of
+  /// `working_set_bytes` accessed with `pattern`.
+  double hit_rate(std::size_t level, std::size_t working_set_bytes,
+                  AccessPattern pattern) const;
+
+  /// Average latency per access for the working set / pattern, in ns.
+  double average_latency_ns(std::size_t working_set_bytes,
+                            AccessPattern pattern) const;
+
+  /// Effective per-core streaming bandwidth implied by the hierarchy for the
+  /// working set, in GB/s (element size 4 bytes assumed FP32).
+  double effective_bandwidth_gbs(std::size_t working_set_bytes,
+                                 AccessPattern pattern) const;
+
+  /// The matrix size n at which three n x n FP32 matrices no longer fit in
+  /// the cluster L2 — the knee of the naive GEMM curve.
+  std::size_t gemm_l2_knee() const;
+
+ private:
+  std::vector<CacheLevel> levels_;
+  double dram_latency_ns_;
+};
+
+}  // namespace ao::mem

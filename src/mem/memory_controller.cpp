@@ -1,0 +1,60 @@
+#include "mem/memory_controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ao::mem {
+
+MemoryController::MemoryController(const soc::Soc& soc) : soc_(&soc) {}
+
+double MemoryController::link_ceiling_gbs(soc::MemoryAgent agent) const {
+  const auto& s = soc_->calib().stream;
+  switch (agent) {
+    case soc::MemoryAgent::kCpu:
+      return s.cpu_peak_gbs();
+    case soc::MemoryAgent::kGpu:
+      return s.gpu_peak_gbs();
+    case soc::MemoryAgent::kNeuralEngine:
+      return s.gpu_peak_gbs() * 0.6;
+  }
+  return 0.0;
+}
+
+double MemoryController::fabric_ceiling_gbs() const {
+  return soc_->spec().memory_bandwidth_gbs;
+}
+
+double MemoryController::arbitrated_bandwidth_gbs(
+    soc::MemoryAgent agent, const std::array<bool, 3>& active) const {
+  const auto idx = static_cast<std::size_t>(agent);
+  AO_REQUIRE(active[idx], "querying bandwidth for an inactive agent");
+
+  constexpr std::array<soc::MemoryAgent, 3> kAgents = {
+      soc::MemoryAgent::kCpu, soc::MemoryAgent::kGpu,
+      soc::MemoryAgent::kNeuralEngine};
+
+  double total_demand = 0.0;
+  for (std::size_t i = 0; i < kAgents.size(); ++i) {
+    if (active[i]) {
+      total_demand += link_ceiling_gbs(kAgents[i]);
+    }
+  }
+  const double own = link_ceiling_gbs(agent);
+  const double fabric = fabric_ceiling_gbs();
+  if (total_demand <= fabric) {
+    return own;  // no contention: every link runs at its own ceiling
+  }
+  // Proportional-share scaling down to the fabric ceiling.
+  return own * (fabric / total_demand);
+}
+
+double MemoryController::transfer_time_ns(soc::MemoryAgent agent,
+                                          std::uint64_t bytes,
+                                          const std::array<bool, 3>& active) const {
+  const double gbs = arbitrated_bandwidth_gbs(agent, active);
+  AO_REQUIRE(gbs > 0.0, "arbitrated bandwidth must be positive");
+  return static_cast<double>(bytes) / gbs;  // bytes / (GB/s) == ns
+}
+
+}  // namespace ao::mem

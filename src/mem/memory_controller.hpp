@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "soc/benchmark_taxonomy.hpp"
+#include "soc/soc.hpp"
+
+namespace ao::mem {
+
+/// Bandwidth arbitration model of the on-die memory controller.
+///
+/// The M-series memory controller "dynamically allocates resources across
+/// different compute units" (Section 2.4). This model exposes per-agent link
+/// ceilings (calibrated to the Figure-1 anchors), a fabric-wide ceiling (the
+/// Table-1 theoretical bandwidth), and proportional-share arbitration when
+/// several agents stream concurrently — used by the contention tests and the
+/// storage-mode ablation.
+class MemoryController {
+ public:
+  explicit MemoryController(const soc::Soc& soc);
+
+  /// Peak sustained link bandwidth for one agent in isolation, GB/s (the
+  /// best STREAM kernel for that agent).
+  double link_ceiling_gbs(soc::MemoryAgent agent) const;
+
+  /// Theoretical package bandwidth (the Figure-1 horizontal line).
+  double fabric_ceiling_gbs() const;
+
+  /// Effective bandwidth for `agent` when the set of simultaneously active
+  /// agents is given by `active` flags (CPU, GPU, ANE in that order).
+  /// Isolated agents get their link ceiling; concurrent demand is scaled so
+  /// the sum never exceeds the fabric ceiling, preserving each agent's
+  /// relative link capability.
+  double arbitrated_bandwidth_gbs(soc::MemoryAgent agent,
+                                  const std::array<bool, 3>& active) const;
+
+  /// Time to move `bytes` for `agent` at the arbitrated rate, ns.
+  double transfer_time_ns(soc::MemoryAgent agent, std::uint64_t bytes,
+                          const std::array<bool, 3>& active) const;
+
+ private:
+  const soc::Soc* soc_;
+};
+
+}  // namespace ao::mem

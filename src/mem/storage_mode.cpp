@@ -1,0 +1,55 @@
+#include "mem/storage_mode.hpp"
+
+namespace ao::mem {
+
+std::string to_string(StorageMode mode) {
+  switch (mode) {
+    case StorageMode::kCpuMalloc:
+      return "CpuMalloc";
+    case StorageMode::kShared:
+      return "Shared";
+    case StorageMode::kPrivate:
+      return "Private";
+    case StorageMode::kManaged:
+      return "Managed";
+  }
+  return "unknown";
+}
+
+bool cpu_accessible(StorageMode mode) {
+  switch (mode) {
+    case StorageMode::kCpuMalloc:
+    case StorageMode::kShared:
+    case StorageMode::kManaged:
+      return true;
+    case StorageMode::kPrivate:
+      return false;
+  }
+  return false;
+}
+
+bool gpu_accessible(StorageMode mode) {
+  switch (mode) {
+    case StorageMode::kCpuMalloc:
+      return false;
+    case StorageMode::kShared:
+    case StorageMode::kPrivate:
+    case StorageMode::kManaged:
+      return true;
+  }
+  return false;
+}
+
+bool requires_explicit_transfer(StorageMode mode) {
+  switch (mode) {
+    case StorageMode::kCpuMalloc:
+    case StorageMode::kManaged:
+      return true;
+    case StorageMode::kShared:
+    case StorageMode::kPrivate:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace ao::mem

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace ao::mem {
+
+/// Storage modes of unified-memory allocations, mirroring Metal's
+/// MTLResourceStorageMode options plus plain CPU malloc (Section 2.4):
+///
+///  - kCpuMalloc: standard malloc; visible to the CPU only. The GPU needs an
+///    explicit transfer (or a re-wrap into a shared buffer).
+///  - kShared:    page-aligned buffer visible to CPU and GPU at the same
+///    physical address (MTLResourceStorageModeShared) — the zero-copy path
+///    the paper's benchmarks use.
+///  - kPrivate:   GPU-optimal placement, not directly CPU-accessible
+///    (MTLResourceStorageModePrivate).
+///  - kManaged:   mirrored pair kept coherent by explicit synchronization
+///    (exists on Metal for discrete-GPU Macs; on Apple Silicon it degenerates
+///    to shared storage but the API accepts it).
+enum class StorageMode { kCpuMalloc, kShared, kPrivate, kManaged };
+
+std::string to_string(StorageMode mode);
+
+/// True if the CPU may dereference the allocation directly.
+bool cpu_accessible(StorageMode mode);
+
+/// True if the GPU may access the allocation directly (zero-copy).
+bool gpu_accessible(StorageMode mode);
+
+/// True if moving data between CPU and GPU requires an explicit copy.
+bool requires_explicit_transfer(StorageMode mode);
+
+}  // namespace ao::mem

@@ -1,0 +1,50 @@
+#include "mem/unified_memory.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ao::mem {
+
+Region::Region(UnifiedMemory* pool, std::uint64_t id, std::size_t length,
+               StorageMode mode)
+    : pool_(pool), id_(id), mode_(mode), backing_(length, UnifiedMemory::kPageSize) {}
+
+Region::~Region() {
+  if (pool_ != nullptr) {
+    pool_->release(backing_.capacity());
+  }
+}
+
+UnifiedMemory::UnifiedMemory(soc::Soc& soc)
+    : soc_(&soc), capacity_(soc.memory_capacity_bytes()) {}
+
+UnifiedMemory::~UnifiedMemory() = default;
+
+std::unique_ptr<Region> UnifiedMemory::allocate(std::size_t length,
+                                                StorageMode mode) {
+  AO_REQUIRE(length > 0, "cannot allocate an empty region");
+  const std::size_t reserved = util::AlignedBuffer::round_up(length, kPageSize);
+  if (allocated_ + reserved > capacity_) {
+    throw util::ResourceExhausted(
+        "unified memory exhausted: requested " + util::format_bytes(reserved) +
+        ", in use " + util::format_bytes(allocated_) + " of " +
+        util::format_bytes(capacity_));
+  }
+  // Construct first (may throw bad_alloc) so accounting stays consistent.
+  std::unique_ptr<Region> region(new Region(this, next_id_++, length, mode));
+  allocated_ += reserved;
+  peak_allocated_ = std::max(peak_allocated_, allocated_);
+  ++live_count_;
+  return region;
+}
+
+void UnifiedMemory::release(std::size_t reserved_bytes) {
+  AO_REQUIRE(allocated_ >= reserved_bytes,
+             "double release detected in pool accounting");
+  allocated_ -= reserved_bytes;
+  --live_count_;
+}
+
+}  // namespace ao::mem

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "mem/storage_mode.hpp"
+#include "soc/soc.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace ao::mem {
+
+class UnifiedMemory;
+
+/// One allocation inside the unified memory pool. RAII: returning the bytes
+/// to the pool on destruction. Allocations are page-aligned and page-granular
+/// (16384-byte Apple pages), which is what lets ao::metal::Buffer wrap them
+/// zero-copy the way the paper wraps aligned_alloc'd matrices.
+class Region {
+ public:
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+  Region(Region&&) = delete;
+  Region& operator=(Region&&) = delete;
+  ~Region();
+
+  std::uint64_t id() const { return id_; }
+  StorageMode mode() const { return mode_; }
+  /// Requested length in bytes.
+  std::size_t length() const { return backing_.length(); }
+  /// Reserved bytes (length rounded up to whole pages).
+  std::size_t reserved() const { return backing_.capacity(); }
+
+  /// Host pointer. Dereferencing is only legal if the mode is CPU-accessible;
+  /// the GPU simulator accesses kPrivate regions through this pointer too
+  /// (it *is* host memory underneath), but the API-level rule is enforced by
+  /// ao::metal::Buffer::contents().
+  void* data() { return backing_.data(); }
+  const void* data() const { return backing_.data(); }
+
+  template <typename T>
+  std::span<T> as_span() {
+    return backing_.as_span<T>();
+  }
+  template <typename T>
+  std::span<const T> as_span() const {
+    return backing_.as_span<T>();
+  }
+
+ private:
+  friend class UnifiedMemory;
+  Region(UnifiedMemory* pool, std::uint64_t id, std::size_t length,
+         StorageMode mode);
+
+  UnifiedMemory* pool_;
+  std::uint64_t id_;
+  StorageMode mode_;
+  util::AlignedBuffer backing_;
+};
+
+/// The unified memory pool of one simulated SoC.
+///
+/// Tracks capacity (the Table-3 device configuration: 8 GB on the M1/M2
+/// machines, 16 GB on M3/M4), enforces it, and keeps allocation accounting
+/// for the tests and the storage-mode ablation bench. The pool must outlive
+/// every Region it hands out.
+class UnifiedMemory {
+ public:
+  explicit UnifiedMemory(soc::Soc& soc);
+  ~UnifiedMemory();
+
+  UnifiedMemory(const UnifiedMemory&) = delete;
+  UnifiedMemory& operator=(const UnifiedMemory&) = delete;
+
+  /// Allocates `length` bytes (rounded up to whole pages) with `mode`.
+  /// Throws util::ResourceExhausted if the device capacity would be exceeded.
+  std::unique_ptr<Region> allocate(std::size_t length, StorageMode mode);
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::uint64_t allocated_bytes() const { return allocated_; }
+  std::uint64_t peak_allocated_bytes() const { return peak_allocated_; }
+  std::size_t live_allocations() const { return live_count_; }
+
+  soc::Soc& soc() { return *soc_; }
+  const soc::Soc& soc() const { return *soc_; }
+
+  static constexpr std::size_t kPageSize = soc::ChipSpec::kPageSize;
+
+ private:
+  friend class Region;
+  void release(std::size_t reserved_bytes);
+
+  soc::Soc* soc_;
+  std::uint64_t capacity_;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t peak_allocated_ = 0;
+  std::size_t live_count_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ao::mem

@@ -1,0 +1,77 @@
+#include "metal/argument_table.hpp"
+
+#include "metal/buffer.hpp"
+
+namespace ao::metal {
+
+void ArgumentTable::set_buffer(std::size_t index, Buffer* buffer,
+                               std::size_t offset) {
+  AO_REQUIRE(buffer != nullptr, "cannot bind a null buffer");
+  AO_REQUIRE(offset < buffer->length(), "buffer offset out of range");
+  Slot& s = mutable_slot(index);
+  s.kind = Slot::Kind::kBuffer;
+  s.buffer = buffer;
+  s.offset = offset;
+  s.bytes.clear();
+}
+
+void ArgumentTable::set_bytes(std::size_t index, const void* data,
+                              std::size_t length) {
+  AO_REQUIRE(data != nullptr && length > 0, "setBytes needs data");
+  // Metal limits setBytes payloads to 4 KiB.
+  AO_REQUIRE(length <= 4096, "inline constants limited to 4 KiB (use a buffer)");
+  Slot& s = mutable_slot(index);
+  s.kind = Slot::Kind::kBytes;
+  s.buffer = nullptr;
+  s.offset = 0;
+  s.bytes.resize(length);
+  std::memcpy(s.bytes.data(), data, length);
+}
+
+bool ArgumentTable::has_slot(std::size_t index) const {
+  return index < slots_.size() && slots_[index].kind != Slot::Kind::kEmpty;
+}
+
+Buffer* ArgumentTable::buffer(std::size_t index) const {
+  const Slot& s = slot(index);
+  AO_REQUIRE(s.kind == Slot::Kind::kBuffer, "slot does not hold a buffer");
+  return s.buffer;
+}
+
+std::size_t ArgumentTable::buffer_offset(std::size_t index) const {
+  const Slot& s = slot(index);
+  AO_REQUIRE(s.kind == Slot::Kind::kBuffer, "slot does not hold a buffer");
+  return s.offset;
+}
+
+const ArgumentTable::Slot& ArgumentTable::slot(std::size_t index) const {
+  AO_REQUIRE(index < slots_.size() && slots_[index].kind != Slot::Kind::kEmpty,
+             "argument slot " + std::to_string(index) + " is not bound");
+  return slots_[index];
+}
+
+ArgumentTable::Slot& ArgumentTable::mutable_slot(std::size_t index) {
+  AO_REQUIRE(index < kMaxSlots, "argument slot index exceeds Metal's limit");
+  if (index >= slots_.size()) {
+    slots_.resize(index + 1);
+  }
+  return slots_[index];
+}
+
+template <typename T>
+T* ArgumentTable::buffer_data(std::size_t index) const {
+  const Slot& s = slot(index);
+  AO_REQUIRE(s.kind == Slot::Kind::kBuffer, "slot does not hold a buffer");
+  auto* base = static_cast<std::byte*>(s.buffer->gpu_contents());
+  return reinterpret_cast<T*>(base + s.offset);
+}
+
+// The kernels in this repository bind FP32 and byte data.
+template float* ArgumentTable::buffer_data<float>(std::size_t) const;
+template const float* ArgumentTable::buffer_data<const float>(std::size_t) const;
+template double* ArgumentTable::buffer_data<double>(std::size_t) const;
+template const double* ArgumentTable::buffer_data<const double>(std::size_t) const;
+template std::uint32_t* ArgumentTable::buffer_data<std::uint32_t>(std::size_t) const;
+template std::byte* ArgumentTable::buffer_data<std::byte>(std::size_t) const;
+
+}  // namespace ao::metal

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ao::metal {
+
+class Buffer;
+
+/// The argument bindings of one dispatch: buffers set with setBuffer:offset:
+/// atIndex: and inline constants set with setBytes:length:atIndex:. Kernels
+/// read their inputs through this table, exactly as MSL kernels receive
+/// device pointers and constant references by buffer index.
+class ArgumentTable {
+ public:
+  static constexpr std::size_t kMaxSlots = 31;  // Metal's buffer-slot budget
+
+  void set_buffer(std::size_t index, Buffer* buffer, std::size_t offset = 0);
+  void set_bytes(std::size_t index, const void* data, std::size_t length);
+
+  template <typename T>
+  void set_value(std::size_t index, const T& value) {
+    set_bytes(index, &value, sizeof(T));
+  }
+
+  bool has_slot(std::size_t index) const;
+
+  /// The buffer bound at `index` (throws if the slot holds inline bytes or
+  /// nothing).
+  Buffer* buffer(std::size_t index) const;
+  std::size_t buffer_offset(std::size_t index) const;
+
+  /// Typed pointer into the bound buffer's contents (+offset).
+  template <typename T>
+  T* buffer_data(std::size_t index) const;
+
+  /// Inline-constant accessor (setBytes slot).
+  template <typename T>
+  T value(std::size_t index) const {
+    const Slot& s = slot(index);
+    AO_REQUIRE(s.kind == Slot::Kind::kBytes, "slot does not hold inline bytes");
+    AO_REQUIRE(s.bytes.size() == sizeof(T), "inline byte length mismatch");
+    T out;
+    std::memcpy(&out, s.bytes.data(), sizeof(T));
+    return out;
+  }
+
+ private:
+  struct Slot {
+    enum class Kind { kEmpty, kBuffer, kBytes };
+    Kind kind = Kind::kEmpty;
+    Buffer* buffer = nullptr;
+    std::size_t offset = 0;
+    std::vector<std::byte> bytes;
+  };
+
+  const Slot& slot(std::size_t index) const;
+  Slot& mutable_slot(std::size_t index);
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ao::metal

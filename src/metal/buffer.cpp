@@ -1,0 +1,36 @@
+#include "metal/buffer.hpp"
+
+#include "metal/device.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/error.hpp"
+
+namespace ao::metal {
+
+Buffer::Buffer(Device* device, std::unique_ptr<mem::Region> region,
+               mem::StorageMode mode)
+    : device_(device),
+      region_(std::move(region)),
+      data_(region_->data()),
+      length_(region_->length()),
+      mode_(mode) {}
+
+Buffer::Buffer(Device* device, void* wrapped, std::size_t length,
+               mem::StorageMode mode)
+    : device_(device), data_(wrapped), length_(length), mode_(mode) {}
+
+Buffer::~Buffer() = default;
+
+void* Buffer::contents() {
+  if (!mem::cpu_accessible(mode_)) {
+    throw util::StateError(
+        "contents() on a private buffer: MTLResourceStorageModePrivate memory "
+        "is not CPU-accessible");
+  }
+  return data_;
+}
+
+const void* Buffer::contents() const {
+  return const_cast<Buffer*>(this)->contents();
+}
+
+}  // namespace ao::metal

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "mem/storage_mode.hpp"
+#include "mem/unified_memory.hpp"
+
+namespace ao::metal {
+
+class Device;
+
+/// MTLBuffer equivalent.
+///
+/// Two creation paths, as in Metal:
+///  - Device::new_buffer(length, mode): the device allocates unified memory.
+///  - Device::new_buffer_with_bytes_no_copy(ptr, length, mode): wraps caller
+///    memory zero-copy. Metal requires the pointer to be page-aligned and
+///    the length a whole number of pages; the same rule is enforced here.
+///    This is the path the paper uses for every matrix ("an MTL-shared
+///    no-copy buffer is made to wrap around the matrix data").
+class Buffer {
+ public:
+  ~Buffer();
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  std::size_t length() const { return length_; }
+  mem::StorageMode storage_mode() const { return mode_; }
+  Device& device() { return *device_; }
+
+  /// Host pointer to the buffer contents, as MTLBuffer.contents. Throws
+  /// StateError for kPrivate buffers, which the CPU must not touch.
+  void* contents();
+  const void* contents() const;
+
+  /// Internal accessor for the GPU simulator: bypasses the CPU-visibility
+  /// rule (the simulated GPU *is* host code).
+  void* gpu_contents() { return data_; }
+  const void* gpu_contents() const { return data_; }
+
+  /// True if this buffer wraps caller-owned memory (no-copy).
+  bool is_no_copy() const { return region_ == nullptr; }
+
+ private:
+  friend class Device;
+  Buffer(Device* device, std::unique_ptr<mem::Region> region,
+         mem::StorageMode mode);
+  Buffer(Device* device, void* wrapped, std::size_t length,
+         mem::StorageMode mode);
+
+  Device* device_;
+  std::unique_ptr<mem::Region> region_;  ///< null when wrapping no-copy
+  void* data_;
+  std::size_t length_;
+  mem::StorageMode mode_;
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+}  // namespace ao::metal

@@ -1,0 +1,154 @@
+#include "metal/command_buffer.hpp"
+
+#include <memory>
+
+#include "metal/command_queue.hpp"
+#include "metal/compute_command_encoder.hpp"
+#include "metal/device.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ao::metal {
+namespace {
+
+/// Executes one dispatch functionally on the host thread pool: threadgroups
+/// are the unit of parallel work, matching how the TBDR GPU schedules
+/// threadgroups onto its cores.
+void run_functional(const DispatchCommand& cmd) {
+  const Kernel& kernel = cmd.pipeline->kernel();
+  const DispatchShape& shape = cmd.shape;
+  const UInt3 groups = shape.threadgroups_per_grid;
+  const std::uint64_t group_count = groups.volume();
+  if (group_count == 0 || shape.threads_per_threadgroup.volume() == 0) {
+    return;
+  }
+
+  auto group_coord = [&groups](std::uint64_t index) {
+    UInt3 g;
+    g.x = static_cast<std::uint32_t>(index % groups.x);
+    g.y = static_cast<std::uint32_t>((index / groups.x) % groups.y);
+    g.z = static_cast<std::uint32_t>(index / (static_cast<std::uint64_t>(groups.x) * groups.y));
+    return g;
+  };
+
+  if (kernel.is_group_kernel()) {
+    const auto& body = std::get<GroupKernelFn>(kernel.body);
+    util::global_pool().parallel_for(group_count, [&](std::size_t gi) {
+      // Each worker gets its own threadgroup-memory scratch.
+      thread_local std::vector<std::byte> scratch;
+      if (scratch.size() < cmd.threadgroup_memory_length) {
+        scratch.resize(cmd.threadgroup_memory_length);
+      }
+      GroupContext ctx;
+      ctx.threadgroup_position_in_grid = group_coord(gi);
+      ctx.threads_per_threadgroup = shape.threads_per_threadgroup;
+      ctx.threadgroups_per_grid = groups;
+      ctx.threadgroup_memory = {scratch.data(), cmd.threadgroup_memory_length};
+      body(cmd.arguments, ctx);
+    });
+    return;
+  }
+
+  const auto& body = std::get<ThreadKernelFn>(kernel.body);
+  const UInt3 tpg = shape.threads_per_threadgroup;
+  util::global_pool().parallel_for(group_count, [&](std::size_t gi) {
+    const UInt3 g = group_coord(gi);
+    ThreadContext ctx;
+    ctx.threadgroup_position_in_grid = g;
+    ctx.threads_per_threadgroup = tpg;
+    ctx.threadgroups_per_grid = groups;
+    for (std::uint32_t tz = 0; tz < tpg.z; ++tz) {
+      for (std::uint32_t ty = 0; ty < tpg.y; ++ty) {
+        for (std::uint32_t tx = 0; tx < tpg.x; ++tx) {
+          ctx.thread_position_in_threadgroup = {tx, ty, tz};
+          ctx.thread_position_in_grid = {g.x * tpg.x + tx, g.y * tpg.y + ty,
+                                         g.z * tpg.z + tz};
+          body(cmd.arguments, ctx);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+CommandBuffer::CommandBuffer(CommandQueue* queue) : queue_(queue) {}
+
+Device& CommandBuffer::device() { return queue_->device(); }
+
+std::shared_ptr<ComputeCommandEncoder> CommandBuffer::compute_command_encoder() {
+  if (status_ != Status::kNotEnqueued) {
+    throw util::StateError("cannot encode into a committed command buffer");
+  }
+  if (encoder_open_) {
+    throw util::StateError("a compute command encoder is already open");
+  }
+  encoder_open_ = true;
+  return std::shared_ptr<ComputeCommandEncoder>(
+      new ComputeCommandEncoder(shared_from_this()));
+}
+
+void CommandBuffer::commit() {
+  if (status_ != Status::kNotEnqueued) {
+    throw util::StateError("command buffer was already committed");
+  }
+  if (encoder_open_) {
+    throw util::StateError("commit with an open encoder: call end_encoding first");
+  }
+  status_ = Status::kCommitted;
+
+  soc::Soc& soc = device().soc();
+  const soc::PerfModel& perf = device().perf();
+  start_ns_ = soc.clock().now();
+
+  for (const DispatchCommand& cmd : commands_) {
+    if (cmd.functional) {
+      run_functional(cmd);
+    }
+
+    const WorkEstimate est =
+        cmd.pipeline->kernel().estimator(cmd.arguments, cmd.shape);
+    double time_ns = 0.0;
+    double watts = 0.0;
+    double utilization = 0.5;
+    switch (est.timing) {
+      case WorkEstimate::Timing::kGeneric:
+        time_ns =
+            perf.gpu_kernel_time_ns(est.flops, est.bytes, est.compute_efficiency);
+        watts = perf.gpu_kernel_power_watts();
+        break;
+      case WorkEstimate::Timing::kGemm:
+        time_ns = perf.gemm_time_ns(est.gemm_impl, est.gemm_n);
+        watts = perf.gemm_power_watts(est.gemm_impl, est.gemm_n);
+        utilization = perf.gemm_utilization(est.gemm_impl, est.gemm_n);
+        break;
+      case WorkEstimate::Timing::kStream:
+        time_ns = perf.stream_time_ns(soc::MemoryAgent::kGpu, est.stream_kernel,
+                                      est.stream_bytes, /*threads=*/1);
+        watts = perf.stream_power_watts(soc::MemoryAgent::kGpu);
+        utilization = 0.6;
+        break;
+    }
+    soc.execute(soc::ComputeUnit::kGpu, time_ns, watts, utilization);
+  }
+
+  end_ns_ = soc.clock().now();
+  status_ = Status::kCompleted;
+  ++queue_->buffers_completed_;
+}
+
+void CommandBuffer::wait_until_completed() {
+  if (status_ == Status::kNotEnqueued) {
+    throw util::StateError("waitUntilCompleted before commit");
+  }
+  // commit() executes synchronously; by the time it returns the buffer is
+  // complete, so this is a state check, mirroring Metal's blocking wait.
+}
+
+double CommandBuffer::gpu_time_ns() const {
+  AO_REQUIRE(status_ == Status::kCompleted,
+             "gpu_time_ns is only valid on a completed command buffer");
+  return static_cast<double>(end_ns_ - start_ns_);
+}
+
+}  // namespace ao::metal

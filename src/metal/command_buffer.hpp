@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metal/argument_table.hpp"
+#include "metal/compute_pipeline.hpp"
+#include "metal/shader_types.hpp"
+
+namespace ao::metal {
+
+class CommandQueue;
+class Device;
+class ComputeCommandEncoder;
+
+/// One recorded compute dispatch.
+struct DispatchCommand {
+  ComputePipelineStatePtr pipeline;
+  ArgumentTable arguments;
+  DispatchShape shape;
+  std::size_t threadgroup_memory_length = 0;
+  /// When false the functional body is skipped (timing is still modeled).
+  /// The GEMM drivers disable functional execution for problem sizes whose
+  /// O(n^3) host cost would dwarf the simulation (the paper itself skips the
+  /// slowest CPU paths at n >= 8192).
+  bool functional = true;
+};
+
+/// MTLCommandBuffer equivalent with the same lifecycle the paper's listings
+/// use: create from a queue, encode dispatches, commit, waitUntilCompleted.
+class CommandBuffer : public std::enable_shared_from_this<CommandBuffer> {
+ public:
+  enum class Status { kNotEnqueued, kCommitted, kCompleted };
+
+  /// computeCommandEncoder — begins encoding. Only one encoder may be open
+  /// at a time.
+  std::shared_ptr<ComputeCommandEncoder> compute_command_encoder();
+
+  /// commit — submits the recorded work. Executes the dispatches on the
+  /// simulated GPU: functional bodies run on the host pool; simulated time
+  /// and power are charged to the SoC per the work estimates.
+  void commit();
+
+  /// waitUntilCompleted — blocks until execution finished. (Execution is
+  /// synchronous inside commit(), so this validates state and returns.)
+  void wait_until_completed();
+
+  Status status() const { return status_; }
+
+  /// Simulated GPU time consumed by this command buffer, ns (valid once
+  /// completed) — the interval between its scheduled start and end on the
+  /// simulated timeline.
+  double gpu_time_ns() const;
+
+  Device& device();
+
+ private:
+  friend class CommandQueue;
+  friend class ComputeCommandEncoder;
+  explicit CommandBuffer(CommandQueue* queue);
+
+  CommandQueue* queue_;
+  std::vector<DispatchCommand> commands_;
+  bool encoder_open_ = false;
+  Status status_ = Status::kNotEnqueued;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t end_ns_ = 0;
+};
+
+using CommandBufferPtr = std::shared_ptr<CommandBuffer>;
+
+}  // namespace ao::metal

@@ -1,0 +1,10 @@
+#include "metal/command_queue.hpp"
+
+namespace ao::metal {
+
+CommandBufferPtr CommandQueue::command_buffer() {
+  ++buffers_created_;
+  return CommandBufferPtr(new CommandBuffer(this));
+}
+
+}  // namespace ao::metal

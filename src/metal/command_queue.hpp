@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "metal/command_buffer.hpp"
+
+namespace ao::metal {
+
+class Device;
+
+/// MTLCommandQueue equivalent. Command buffers created from one queue
+/// execute in commit order (the simulated timeline advances monotonically,
+/// which serializes them naturally).
+class CommandQueue {
+ public:
+  /// commandBuffer — creates a fresh command buffer.
+  CommandBufferPtr command_buffer();
+
+  Device& device() { return *device_; }
+
+  std::uint64_t buffers_created() const { return buffers_created_; }
+  std::uint64_t buffers_completed() const { return buffers_completed_; }
+
+ private:
+  friend class Device;
+  friend class CommandBuffer;
+  explicit CommandQueue(Device* device) : device_(device) {}
+
+  Device* device_;
+  std::uint64_t buffers_created_ = 0;
+  std::uint64_t buffers_completed_ = 0;
+};
+
+using CommandQueuePtr = std::shared_ptr<CommandQueue>;
+
+}  // namespace ao::metal

@@ -1,0 +1,71 @@
+#include "metal/compute_command_encoder.hpp"
+
+#include "metal/device.hpp"
+#include "util/error.hpp"
+
+namespace ao::metal {
+
+ComputeCommandEncoder::ComputeCommandEncoder(std::shared_ptr<CommandBuffer> buffer)
+    : buffer_(std::move(buffer)) {}
+
+void ComputeCommandEncoder::set_compute_pipeline_state(
+    ComputePipelineStatePtr pipeline) {
+  AO_REQUIRE(pipeline != nullptr, "null pipeline state");
+  AO_REQUIRE(is_open(), "encoder already ended");
+  pipeline_ = std::move(pipeline);
+}
+
+void ComputeCommandEncoder::set_buffer(Buffer* buffer, std::size_t offset,
+                                       std::size_t index) {
+  AO_REQUIRE(is_open(), "encoder already ended");
+  arguments_.set_buffer(index, buffer, offset);
+}
+
+void ComputeCommandEncoder::set_bytes(const void* bytes, std::size_t length,
+                                      std::size_t index) {
+  AO_REQUIRE(is_open(), "encoder already ended");
+  arguments_.set_bytes(index, bytes, length);
+}
+
+void ComputeCommandEncoder::set_threadgroup_memory_length(std::size_t length) {
+  AO_REQUIRE(is_open(), "encoder already ended");
+  AO_REQUIRE(length <= ComputePipelineState::kMaxThreadgroupMemory,
+             "threadgroup memory exceeds the 32 KiB budget");
+  threadgroup_memory_length_ = length;
+}
+
+void ComputeCommandEncoder::dispatch_threadgroups(UInt3 threadgroups_per_grid,
+                                                  UInt3 threads_per_threadgroup) {
+  AO_REQUIRE(is_open(), "encoder already ended");
+  AO_REQUIRE(pipeline_ != nullptr, "no pipeline state set before dispatch");
+  AO_REQUIRE(threadgroups_per_grid.volume() > 0, "empty threadgroup grid");
+  AO_REQUIRE(threads_per_threadgroup.volume() > 0, "empty threadgroup");
+  AO_REQUIRE(threads_per_threadgroup.volume() <=
+                 pipeline_->max_total_threads_per_threadgroup(),
+             "threadgroup exceeds maxTotalThreadsPerThreadgroup");
+  DispatchCommand cmd;
+  cmd.pipeline = pipeline_;
+  cmd.arguments = arguments_;
+  cmd.shape = {threadgroups_per_grid, threads_per_threadgroup};
+  cmd.threadgroup_memory_length = threadgroup_memory_length_;
+  cmd.functional = functional_;
+  buffer_->commands_.push_back(std::move(cmd));
+}
+
+void ComputeCommandEncoder::dispatch_threads(UInt3 threads_per_grid,
+                                             UInt3 threads_per_threadgroup) {
+  AO_REQUIRE(threads_per_threadgroup.volume() > 0, "empty threadgroup");
+  auto div_up = [](std::uint32_t a, std::uint32_t b) { return (a + b - 1) / b; };
+  const UInt3 groups = {div_up(threads_per_grid.x, threads_per_threadgroup.x),
+                        div_up(threads_per_grid.y, threads_per_threadgroup.y),
+                        div_up(threads_per_grid.z, threads_per_threadgroup.z)};
+  dispatch_threadgroups(groups, threads_per_threadgroup);
+}
+
+void ComputeCommandEncoder::end_encoding() {
+  AO_REQUIRE(is_open(), "end_encoding called twice");
+  open_ = false;
+  buffer_->encoder_open_ = false;
+}
+
+}  // namespace ao::metal

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+
+#include "metal/command_buffer.hpp"
+
+namespace ao::metal {
+
+/// MTLComputeCommandEncoder equivalent: binds a pipeline and arguments, then
+/// records dispatches into its command buffer.
+class ComputeCommandEncoder {
+ public:
+  /// setComputePipelineState:
+  void set_compute_pipeline_state(ComputePipelineStatePtr pipeline);
+
+  /// setBuffer:offset:atIndex:
+  void set_buffer(Buffer* buffer, std::size_t offset, std::size_t index);
+
+  /// setBytes:length:atIndex:
+  void set_bytes(const void* bytes, std::size_t length, std::size_t index);
+
+  template <typename T>
+  void set_value(const T& value, std::size_t index) {
+    set_bytes(&value, sizeof(T), index);
+  }
+
+  /// setThreadgroupMemoryLength:atIndex: (single scratch slot supported).
+  void set_threadgroup_memory_length(std::size_t length);
+
+  /// Disables functional execution for subsequent dispatches (model-only).
+  void set_functional_execution(bool enabled) { functional_ = enabled; }
+
+  /// dispatchThreadgroups:threadsPerThreadgroup:
+  void dispatch_threadgroups(UInt3 threadgroups_per_grid,
+                             UInt3 threads_per_threadgroup);
+
+  /// dispatchThreads:threadsPerThreadgroup: (grid-size variant; Metal rounds
+  /// coverage via partial threadgroups — the simulator requires kernels to
+  /// bounds-check, as MSL kernels must).
+  void dispatch_threads(UInt3 threads_per_grid, UInt3 threads_per_threadgroup);
+
+  /// endEncoding
+  void end_encoding();
+
+  bool is_open() const { return open_; }
+
+ private:
+  friend class CommandBuffer;
+  explicit ComputeCommandEncoder(std::shared_ptr<CommandBuffer> buffer);
+
+  std::shared_ptr<CommandBuffer> buffer_;
+  ComputePipelineStatePtr pipeline_;
+  ArgumentTable arguments_;
+  std::size_t threadgroup_memory_length_ = 0;
+  bool functional_ = true;
+  bool open_ = true;
+};
+
+}  // namespace ao::metal

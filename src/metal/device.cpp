@@ -1,0 +1,49 @@
+#include "metal/device.hpp"
+
+#include "util/error.hpp"
+
+namespace ao::metal {
+
+Device::Device(soc::Soc& soc, mem::UnifiedMemory& memory)
+    : soc_(&soc), memory_(&memory), perf_(soc) {}
+
+std::string Device::name() const { return "Apple " + soc_->spec().name; }
+
+CommandQueuePtr Device::new_command_queue() {
+  return CommandQueuePtr(new CommandQueue(this));
+}
+
+BufferPtr Device::new_buffer(std::size_t length, mem::StorageMode mode) {
+  AO_REQUIRE(mode != mem::StorageMode::kCpuMalloc,
+             "Metal buffers require a Metal storage mode");
+  auto region = memory_->allocate(length, mode);
+  return BufferPtr(new Buffer(this, std::move(region), mode));
+}
+
+BufferPtr Device::new_buffer_with_bytes_no_copy(void* pointer, std::size_t length,
+                                                mem::StorageMode mode) {
+  AO_REQUIRE(pointer != nullptr, "no-copy buffer needs a pointer");
+  AO_REQUIRE(mode == mem::StorageMode::kShared || mode == mem::StorageMode::kManaged,
+             "newBufferWithBytesNoCopy requires shared (or managed) storage");
+  if (!util::AlignedBuffer::is_aligned(pointer, mem::UnifiedMemory::kPageSize)) {
+    throw util::InvalidArgument(
+        "newBufferWithBytesNoCopy: pointer is not page-aligned (16384 B)");
+  }
+  if (length == 0 || length % mem::UnifiedMemory::kPageSize != 0) {
+    throw util::InvalidArgument(
+        "newBufferWithBytesNoCopy: length must be a positive multiple of the "
+        "16384-byte page size");
+  }
+  return BufferPtr(new Buffer(this, pointer, length, mode));
+}
+
+ComputePipelineStatePtr Device::new_compute_pipeline_state(const Kernel& kernel) {
+  return ComputePipelineStatePtr(new ComputePipelineState(this, kernel));
+}
+
+ComputePipelineStatePtr Device::new_compute_pipeline_state(
+    const Library& library, const std::string& name) {
+  return new_compute_pipeline_state(library.function(name));
+}
+
+}  // namespace ao::metal

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mem/unified_memory.hpp"
+#include "metal/buffer.hpp"
+#include "metal/command_queue.hpp"
+#include "metal/compute_pipeline.hpp"
+#include "metal/library.hpp"
+#include "soc/perf_model.hpp"
+#include "soc/soc.hpp"
+
+namespace ao::metal {
+
+/// MTLDevice equivalent: the GPU of one simulated SoC.
+///
+/// Creation mirrors MTLCreateSystemDefaultDevice(): a Device is obtained
+/// from the SoC it belongs to and hands out queues, buffers and pipeline
+/// states. All simulated GPU time/energy flows through the SoC the device
+/// wraps.
+class Device {
+ public:
+  /// `memory` is the SoC's unified memory pool; both must outlive the device.
+  Device(soc::Soc& soc, mem::UnifiedMemory& memory);
+
+  /// Device name as Metal reports it ("Apple M1", ...).
+  std::string name() const;
+
+  soc::Soc& soc() { return *soc_; }
+  const soc::Soc& soc() const { return *soc_; }
+  mem::UnifiedMemory& memory() { return *memory_; }
+  const soc::PerfModel& perf() const { return perf_; }
+
+  /// newCommandQueue
+  CommandQueuePtr new_command_queue();
+
+  /// newBufferWithLength:options: — device-allocated unified memory.
+  BufferPtr new_buffer(std::size_t length, mem::StorageMode mode);
+
+  /// newBufferWithBytesNoCopy:length:options:deallocator: — wraps caller
+  /// memory zero-copy. Enforces Metal's rules: page-aligned pointer,
+  /// page-multiple length, and a storage mode the GPU can map (kPrivate
+  /// cannot wrap host memory).
+  BufferPtr new_buffer_with_bytes_no_copy(void* pointer, std::size_t length,
+                                          mem::StorageMode mode);
+
+  /// newComputePipelineStateWithFunction:
+  ComputePipelineStatePtr new_compute_pipeline_state(const Kernel& kernel);
+
+  /// Convenience: look the function up in `library` first.
+  ComputePipelineStatePtr new_compute_pipeline_state(const Library& library,
+                                                     const std::string& name);
+
+  /// Number of GPU cores of this device (base model, fully enabled).
+  int gpu_core_count() const { return soc_->spec().gpu_cores_max; }
+
+ private:
+  soc::Soc* soc_;
+  mem::UnifiedMemory* memory_;
+  soc::PerfModel perf_;
+};
+
+}  // namespace ao::metal

@@ -1,0 +1,41 @@
+#include "metal/library.hpp"
+
+#include "util/error.hpp"
+
+namespace ao::metal {
+
+Library::Library(std::string name) : name_(std::move(name)) {}
+
+void Library::add(Kernel kernel) {
+  AO_REQUIRE(!kernel.name.empty(), "kernel must have a name");
+  AO_REQUIRE(static_cast<bool>(kernel.estimator),
+             "kernel must provide a work estimator");
+  const auto [it, inserted] = kernels_.emplace(kernel.name, std::move(kernel));
+  (void)it;
+  AO_REQUIRE(inserted, "duplicate kernel name in library");
+}
+
+bool Library::contains(const std::string& kernel_name) const {
+  return kernels_.count(kernel_name) != 0;
+}
+
+const Kernel& Library::function(const std::string& kernel_name) const {
+  const auto it = kernels_.find(kernel_name);
+  if (it == kernels_.end()) {
+    throw util::InvalidArgument("no kernel named '" + kernel_name +
+                                "' in library '" + name_ + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Library::function_names() const {
+  std::vector<std::string> names;
+  names.reserve(kernels_.size());
+  for (const auto& [name, kernel] : kernels_) {
+    (void)kernel;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace ao::metal

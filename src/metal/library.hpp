@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metal/kernel.hpp"
+
+namespace ao::metal {
+
+/// MTLLibrary equivalent: a named collection of compiled kernels. The
+/// paper's shaders are "compiled into a .metallib library ... then loaded by
+/// their respective implementations on startup"; here a Library is built
+/// from Kernel descriptors (ao::shaders provides the default library) and
+/// functions are looked up by name, as with newFunctionWithName:.
+class Library {
+ public:
+  Library() = default;
+  explicit Library(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a kernel; duplicate names are rejected.
+  void add(Kernel kernel);
+
+  bool contains(const std::string& kernel_name) const;
+
+  /// newFunctionWithName: — throws InvalidArgument for unknown names.
+  const Kernel& function(const std::string& kernel_name) const;
+
+  std::vector<std::string> function_names() const;
+  std::size_t size() const { return kernels_.size(); }
+
+ private:
+  std::string name_ = "default";
+  std::map<std::string, Kernel> kernels_;
+};
+
+}  // namespace ao::metal

@@ -1,0 +1,30 @@
+#include "metal/kernel.hpp"
+
+namespace ao::metal {
+
+WorkEstimate WorkEstimate::generic(double flops, double bytes, double efficiency) {
+  WorkEstimate e;
+  e.timing = Timing::kGeneric;
+  e.flops = flops;
+  e.bytes = bytes;
+  e.compute_efficiency = efficiency;
+  return e;
+}
+
+WorkEstimate WorkEstimate::gemm(soc::GemmImpl impl, std::size_t n) {
+  WorkEstimate e;
+  e.timing = Timing::kGemm;
+  e.gemm_impl = impl;
+  e.gemm_n = n;
+  return e;
+}
+
+WorkEstimate WorkEstimate::stream(soc::StreamKernel kernel, std::uint64_t bytes) {
+  WorkEstimate e;
+  e.timing = Timing::kStream;
+  e.stream_kernel = kernel;
+  e.stream_bytes = bytes;
+  return e;
+}
+
+}  // namespace ao::metal

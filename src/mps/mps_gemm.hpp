@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+
+#include "metal/command_buffer.hpp"
+#include "metal/device.hpp"
+#include "mps/mps_matrix.hpp"
+
+namespace ao::mps {
+
+/// MPSMatrixMultiplication: Apple's first-party tuned GEMM kernel, the
+/// implementation that dominates Figure 2 ("MPS demonstrates superior FLOPS
+/// on all processors").
+///
+/// Computes  C = alpha * op(A) * op(B) + beta * C.
+///
+/// The functional body is a cache-blocked, multi-threaded SGEMM whose
+/// threadgroups each own a block of C rows; its simulated cost routes to the
+/// GPU-MPS calibration anchors. Usage mirrors the paper's Listing 2:
+///
+///   MatrixMultiplication mm(device, n, n, n);
+///   mm.encode_to_command_buffer(*cmd_buf, mat_a, mat_b, mat_c);
+///   cmd_buf->commit();
+///   cmd_buf->wait_until_completed();
+class MatrixMultiplication {
+ public:
+  /// initWithDevice:resultRows:resultColumns:interiorColumns:
+  /// (alpha = 1, beta = 0, no transposes — the paper's configuration).
+  MatrixMultiplication(metal::Device& device, std::size_t result_rows,
+                       std::size_t result_columns, std::size_t interior_columns);
+
+  /// Full initializer with transposes and scaling factors.
+  MatrixMultiplication(metal::Device& device, bool transpose_left,
+                       bool transpose_right, std::size_t result_rows,
+                       std::size_t result_columns, std::size_t interior_columns,
+                       double alpha, double beta);
+
+  /// encodeToCommandBuffer:leftMatrix:rightMatrix:resultMatrix:
+  /// Validates the operand shapes against the configured dimensions and
+  /// records the multiplication into `command_buffer`.
+  void encode_to_command_buffer(metal::CommandBuffer& command_buffer,
+                                Matrix& left, Matrix& right, Matrix& result);
+
+  /// Skips the functional body for encodes after this call (model-only);
+  /// used by the harness above the verification size threshold.
+  void set_functional_execution(bool enabled) { functional_ = enabled; }
+
+  std::size_t result_rows() const { return result_rows_; }
+  std::size_t result_columns() const { return result_columns_; }
+  std::size_t interior_columns() const { return interior_columns_; }
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+ private:
+  metal::Device* device_;
+  bool transpose_left_;
+  bool transpose_right_;
+  std::size_t result_rows_;
+  std::size_t result_columns_;
+  std::size_t interior_columns_;
+  double alpha_;
+  double beta_;
+  bool functional_ = true;
+  metal::ComputePipelineStatePtr pipeline_;
+};
+
+namespace detail {
+
+/// The tuned CPU-side micro-kernel the MPS simulation executes: blocked
+/// SGEMM over a row range [row_begin, row_end) with strides, transposes and
+/// alpha/beta support. Exposed for direct unit testing.
+void sgemm_block(bool transpose_a, bool transpose_b, std::size_t row_begin,
+                 std::size_t row_end, std::size_t n_cols, std::size_t k_dim,
+                 float alpha, const float* a, std::size_t lda, const float* b,
+                 std::size_t ldb, float beta, float* c, std::size_t ldc);
+
+}  // namespace detail
+
+}  // namespace ao::mps

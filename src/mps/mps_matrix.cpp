@@ -1,0 +1,62 @@
+#include "mps/mps_matrix.hpp"
+
+#include "util/error.hpp"
+
+namespace ao::mps {
+
+std::size_t element_size(DataType type) {
+  switch (type) {
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kFloat16:
+      return 2;
+  }
+  return 0;
+}
+
+MatrixDescriptor::MatrixDescriptor(std::size_t rows, std::size_t columns,
+                                   std::size_t row_bytes, DataType data_type)
+    : rows_(rows), columns_(columns), row_bytes_(row_bytes), data_type_(data_type) {
+  AO_REQUIRE(rows > 0 && columns > 0, "matrix dimensions must be positive");
+  AO_REQUIRE(row_bytes >= columns * element_size(data_type),
+             "rowBytes smaller than a packed row");
+  AO_REQUIRE(row_bytes % element_size(data_type) == 0,
+             "rowBytes must be a multiple of the element size");
+}
+
+MatrixDescriptor MatrixDescriptor::with_rows(std::size_t rows, std::size_t columns,
+                                             std::size_t row_bytes,
+                                             DataType data_type) {
+  return MatrixDescriptor(rows, columns, row_bytes, data_type);
+}
+
+MatrixDescriptor MatrixDescriptor::packed(std::size_t rows, std::size_t columns,
+                                          DataType data_type) {
+  return MatrixDescriptor(rows, columns, columns * element_size(data_type),
+                          data_type);
+}
+
+Matrix::Matrix(metal::Buffer* buffer, const MatrixDescriptor& descriptor)
+    : buffer_(buffer), descriptor_(descriptor) {
+  AO_REQUIRE(buffer != nullptr, "MPSMatrix needs a buffer");
+  AO_REQUIRE(buffer->length() >= descriptor.required_length(),
+             "buffer too small for the matrix descriptor");
+}
+
+float* Matrix::row_f32(std::size_t r) {
+  AO_REQUIRE(descriptor_.data_type() == DataType::kFloat32,
+             "row_f32 on a non-FP32 matrix");
+  AO_REQUIRE(r < rows(), "row index out of range");
+  auto* base = static_cast<std::byte*>(buffer_->gpu_contents());
+  return reinterpret_cast<float*>(base + r * descriptor_.row_bytes());
+}
+
+const float* Matrix::row_f32(std::size_t r) const {
+  return const_cast<Matrix*>(this)->row_f32(r);
+}
+
+std::size_t Matrix::stride_f32() const {
+  return descriptor_.row_bytes() / sizeof(float);
+}
+
+}  // namespace ao::mps

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "metal/buffer.hpp"
+
+namespace ao::mps {
+
+/// MPSDataType subset — the paper computes exclusively in FP32
+/// (MPSDataTypeFloat32); FP16 exists for the Neural-Engine extension bench.
+enum class DataType { kFloat32, kFloat16 };
+
+std::size_t element_size(DataType type);
+
+/// MPSMatrixDescriptor: layout of a row-major matrix inside an MTLBuffer.
+class MatrixDescriptor {
+ public:
+  /// matrixDescriptorWithRows:columns:rowBytes:dataType:
+  static MatrixDescriptor with_rows(std::size_t rows, std::size_t columns,
+                                    std::size_t row_bytes, DataType data_type);
+
+  /// Convenience: packed rows (rowBytes = columns * element size).
+  static MatrixDescriptor packed(std::size_t rows, std::size_t columns,
+                                 DataType data_type);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t columns() const { return columns_; }
+  std::size_t row_bytes() const { return row_bytes_; }
+  DataType data_type() const { return data_type_; }
+
+  /// Minimum buffer length this layout requires.
+  std::size_t required_length() const { return rows_ * row_bytes_; }
+
+ private:
+  MatrixDescriptor(std::size_t rows, std::size_t columns, std::size_t row_bytes,
+                   DataType data_type);
+
+  std::size_t rows_;
+  std::size_t columns_;
+  std::size_t row_bytes_;
+  DataType data_type_;
+};
+
+/// MPSMatrix: an MTLBuffer interpreted through a descriptor. Non-owning view
+/// of the buffer (as in MPS, where the MTLBuffer is retained by the caller).
+class Matrix {
+ public:
+  /// initWithBuffer:descriptor:
+  Matrix(metal::Buffer* buffer, const MatrixDescriptor& descriptor);
+
+  metal::Buffer* buffer() const { return buffer_; }
+  const MatrixDescriptor& descriptor() const { return descriptor_; }
+
+  std::size_t rows() const { return descriptor_.rows(); }
+  std::size_t columns() const { return descriptor_.columns(); }
+
+  /// Typed pointer to row `r` (FP32 matrices).
+  float* row_f32(std::size_t r);
+  const float* row_f32(std::size_t r) const;
+
+  /// Elements per row stride (rowBytes / 4 for FP32).
+  std::size_t stride_f32() const;
+
+ private:
+  metal::Buffer* buffer_;
+  MatrixDescriptor descriptor_;
+};
+
+}  // namespace ao::mps

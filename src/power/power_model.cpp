@@ -1,0 +1,52 @@
+#include "power/power_model.hpp"
+
+#include "util/error.hpp"
+
+namespace ao::power {
+
+PowerModel::PowerModel(const soc::Soc& soc) : soc_(&soc) {}
+
+PowerSample PowerModel::idle_floor(double window_seconds) const {
+  const auto& idle = soc_->calib().idle;
+  PowerSample s;
+  s.window_seconds = window_seconds;
+  s.cpu_mw = idle.cpu_watts * 1e3;
+  s.gpu_mw = idle.gpu_watts * 1e3;
+  s.ane_mw = 0.0;
+  s.dram_mw = idle.dram_watts * 1e3;
+  s.combined_mw = s.cpu_mw + s.gpu_mw + s.ane_mw;
+  return s;
+}
+
+PowerSample PowerModel::average_over(std::uint64_t from_ns,
+                                     std::uint64_t to_ns) const {
+  AO_REQUIRE(to_ns > from_ns, "power sampling window is empty");
+  const double window_s = static_cast<double>(to_ns - from_ns) * 1e-9;
+  const auto& log = soc_->activity();
+
+  auto avg_mw = [&](soc::ComputeUnit unit) {
+    return log.energy_in_window(unit, from_ns, to_ns) / window_s * 1e3;
+  };
+
+  PowerSample s = idle_floor(window_s);
+  // AMX power is attributed to the CPU complex, as powermetrics reports it.
+  s.cpu_mw += avg_mw(soc::ComputeUnit::kCpuPCluster) +
+              avg_mw(soc::ComputeUnit::kCpuECluster) +
+              avg_mw(soc::ComputeUnit::kAmx);
+  s.gpu_mw += avg_mw(soc::ComputeUnit::kGpu);
+  s.ane_mw += avg_mw(soc::ComputeUnit::kNeuralEngine);
+  s.dram_mw += avg_mw(soc::ComputeUnit::kDram);
+  s.combined_mw = s.cpu_mw + s.gpu_mw + s.ane_mw;
+  return s;
+}
+
+double PowerModel::energy_joules(std::uint64_t from_ns, std::uint64_t to_ns) const {
+  AO_REQUIRE(to_ns >= from_ns, "inverted energy window");
+  const double window_s = static_cast<double>(to_ns - from_ns) * 1e-9;
+  const auto& idle = soc_->calib().idle;
+  const double idle_joules =
+      (idle.cpu_watts + idle.gpu_watts + idle.dram_watts) * window_s;
+  return idle_joules + soc_->activity().total_energy_in_window(from_ns, to_ns);
+}
+
+}  // namespace ao::power

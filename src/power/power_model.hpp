@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "soc/soc.hpp"
+
+namespace ao::power {
+
+/// One power reading over a sampling window, split the way powermetrics
+/// reports it (cpu_power / gpu_power / ane_power / combined, in mW).
+struct PowerSample {
+  double window_seconds = 0.0;
+  double cpu_mw = 0.0;       ///< P+E clusters and AMX (fed from the CPU)
+  double gpu_mw = 0.0;
+  double ane_mw = 0.0;
+  double dram_mw = 0.0;
+  double combined_mw = 0.0;  ///< CPU + GPU + ANE, as powermetrics sums it
+
+  double combined_watts() const { return combined_mw / 1e3; }
+};
+
+/// Integrates the SoC's activity log into powermetrics-style readings.
+///
+/// Average power over a window = idle floor + activity energy / window. The
+/// AMX coprocessor is part of the CPU complex, so its draw lands in cpu_mw —
+/// which is why the paper's "CPU-Accelerate" rows carry CPU power.
+class PowerModel {
+ public:
+  explicit PowerModel(const soc::Soc& soc);
+
+  /// Average reading across [from_ns, to_ns) on the simulated timeline.
+  PowerSample average_over(std::uint64_t from_ns, std::uint64_t to_ns) const;
+
+  /// Total energy (J) drawn in the window, idle floor included.
+  double energy_joules(std::uint64_t from_ns, std::uint64_t to_ns) const;
+
+  /// The idle floor alone, in mW (what powermetrics shows at rest).
+  PowerSample idle_floor(double window_seconds) const;
+
+ private:
+  const soc::Soc* soc_;
+};
+
+}  // namespace ao::power

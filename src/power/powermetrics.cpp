@@ -1,0 +1,132 @@
+#include "power/powermetrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ao::power {
+
+SamplerSet SamplerSet::parse(const std::string& list) {
+  SamplerSet s;
+  s.cpu_power = list.find("cpu_power") != std::string::npos;
+  s.gpu_power = list.find("gpu_power") != std::string::npos;
+  s.ane_power = list.find("ane_power") != std::string::npos;
+  AO_REQUIRE(s.cpu_power || s.gpu_power || s.ane_power,
+             "no known samplers in list: " + list);
+  return s;
+}
+
+std::string SamplerSet::to_string() const {
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += name;
+  };
+  if (cpu_power) append("cpu_power");
+  if (gpu_power) append("gpu_power");
+  if (ane_power) append("ane_power");
+  return out;
+}
+
+PowerMetrics::PowerMetrics(soc::Soc& soc, SamplerSet samplers)
+    : soc_(&soc), samplers_(samplers), model_(soc) {}
+
+void PowerMetrics::start() {
+  AO_REQUIRE(!running_, "powermetrics is already running");
+  running_ = true;
+  window_start_ns_ = soc_->clock().now();
+  sample_index_ = 0;
+  std::ostringstream oss;
+  oss << "Machine model: " << soc_->device().device << " ("
+      << soc_->spec().name << ")\n"
+      << "OS version: macOS " << soc_->device().macos_version << "\n"
+      << "Samplers: " << samplers_.to_string() << "\n"
+      << "Sampling: signal-driven (-i 0 -a 0); send SIGINFO to sample\n\n";
+  output_ += oss.str();
+}
+
+PowerSample PowerMetrics::siginfo() {
+  if (!running_) {
+    throw util::StateError("SIGINFO sent to a stopped powermetrics monitor");
+  }
+  const std::uint64_t now = soc_->clock().now();
+  AO_REQUIRE(now > window_start_ns_,
+             "powermetrics window is empty (no simulated time elapsed)");
+  const PowerSample sample = model_.average_over(window_start_ns_, now);
+  window_start_ns_ = now;
+  ++sample_index_;
+
+  std::ostringstream oss;
+  oss << "*** Sampled system activity (sample " << sample_index_ << ", "
+      << util::format_fixed(sample.window_seconds * 1e3, 2) << "ms elapsed) ***\n"
+      << "**** Processor usage ****\n";
+  if (samplers_.cpu_power) {
+    oss << "CPU Power: " << std::llround(sample.cpu_mw) << " mW\n";
+  }
+  if (samplers_.gpu_power) {
+    oss << "GPU Power: " << std::llround(sample.gpu_mw) << " mW\n";
+  }
+  if (samplers_.ane_power) {
+    oss << "ANE Power: " << std::llround(sample.ane_mw) << " mW\n";
+  }
+  oss << "Combined Power (CPU + GPU + ANE): " << std::llround(sample.combined_mw)
+      << " mW\n\n";
+  output_ += oss.str();
+  samples_.push_back(sample);
+  return sample;
+}
+
+void PowerMetrics::stop() {
+  AO_REQUIRE(running_, "powermetrics is not running");
+  running_ = false;
+  output_ += "Monitor stopped.\n";
+}
+
+std::vector<PowerSample> parse_powermetrics_output(const std::string& text) {
+  std::vector<PowerSample> samples;
+  std::istringstream iss(text);
+  std::string line;
+  PowerSample current;
+  bool in_sample = false;
+
+  auto parse_mw = [](const std::string& l, const std::string& prefix,
+                     double& out) {
+    if (l.rfind(prefix, 0) != 0) {
+      return false;
+    }
+    out = std::stod(l.substr(prefix.size()));
+    return true;
+  };
+
+  while (std::getline(iss, line)) {
+    if (line.rfind("*** Sampled system activity", 0) == 0) {
+      in_sample = true;
+      current = PowerSample{};
+      const auto comma = line.find(", ");
+      const auto ms_pos = line.find("ms elapsed");
+      if (comma != std::string::npos && ms_pos != std::string::npos) {
+        current.window_seconds =
+            std::stod(line.substr(comma + 2, ms_pos - comma - 2)) / 1e3;
+      }
+      continue;
+    }
+    if (!in_sample) {
+      continue;
+    }
+    parse_mw(line, "CPU Power: ", current.cpu_mw);
+    parse_mw(line, "GPU Power: ", current.gpu_mw);
+    parse_mw(line, "ANE Power: ", current.ane_mw);
+    if (parse_mw(line, "Combined Power (CPU + GPU + ANE): ",
+                 current.combined_mw)) {
+      samples.push_back(current);
+      in_sample = false;
+    }
+  }
+  return samples;
+}
+
+}  // namespace ao::power

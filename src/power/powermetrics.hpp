@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/power_model.hpp"
+
+namespace ao::power {
+
+/// Samplers the tool can enable, as `powermetrics -s cpu_power,gpu_power`.
+struct SamplerSet {
+  bool cpu_power = true;
+  bool gpu_power = true;
+  bool ane_power = false;
+
+  static SamplerSet parse(const std::string& list);  ///< "cpu_power,gpu_power"
+  std::string to_string() const;
+};
+
+/// Simulation of Apple's `powermetrics` utility in the exact mode the paper
+/// drives it (Section 3.3):
+///
+///   powermetrics -i 0 -a 0 -s cpu_power,gpu_power -o FILENAME
+///
+/// i.e. no periodic sampling; the monitor idles until it receives SIGINFO,
+/// at which point it emits one sample covering the time SINCE THE PREVIOUS
+/// SIGNAL (or since startup) and resets. The paper sends one SIGINFO after a
+/// two-second warm-up (resetting the sampler), runs the multiplication,
+/// sends a second SIGINFO (capturing the run), then shuts the monitor down.
+///
+/// Simulated time comes from the SoC's clock; output is the tool's text
+/// format, which PowerMetricsParser reads back — reproducing the paper's
+/// "results are written into a text file, which is then parsed" pipeline.
+class PowerMetrics {
+ public:
+  PowerMetrics(soc::Soc& soc, SamplerSet samplers = {});
+
+  /// Starts the monitor (begins the first accumulation window).
+  void start();
+
+  /// SIGINFO: emits a sample for the window since the last marker and
+  /// starts a new window. Returns the sample.
+  PowerSample siginfo();
+
+  /// Stops the monitor. Further siginfo() calls throw.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// Everything the tool has written so far (the -o FILENAME content).
+  const std::string& output_text() const { return output_; }
+
+  /// All samples emitted so far.
+  const std::vector<PowerSample>& samples() const { return samples_; }
+
+ private:
+  soc::Soc* soc_;
+  SamplerSet samplers_;
+  PowerModel model_;
+  bool running_ = false;
+  std::uint64_t window_start_ns_ = 0;
+  int sample_index_ = 0;
+  std::string output_;
+  std::vector<PowerSample> samples_;
+};
+
+/// Parses powermetrics text output back into samples (the benchmark
+/// framework's ingestion path).
+std::vector<PowerSample> parse_powermetrics_output(const std::string& text);
+
+}  // namespace ao::power

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/chip_spec.hpp"
+
+namespace ao::precision {
+
+/// The numeric formats the M-series exposes across its units (Table 1 and
+/// Sections 2.1-2.3): FP64 on the CPU only, FP32 everywhere, FP16 on
+/// GPU/ANE/AMX, plus double-single emulation as the GPU's FP64 workaround.
+enum class Format {
+  kFp64Cpu,        ///< native double (CPU / AMX)
+  kFp64Emulated,   ///< double-single on the GPU
+  kFp32,           ///< native FP32 (GPU / CPU / AMX)
+  kFp16,           ///< half precision (GPU / ANE / AMX)
+};
+
+std::string to_string(Format format);
+
+/// One row of the mixed-precision study: accuracy and modeled throughput of
+/// a GEMM at one format — the experiment the paper names as future work
+/// ("future studies could explore the impact of mixed-precision workloads on
+/// computational efficiency and accuracy", Section 7).
+struct StudyResult {
+  Format format{};
+  std::size_t n = 0;
+  double max_abs_error = 0.0;     ///< vs the FP64 reference
+  double mean_abs_error = 0.0;
+  double significant_digits = 0.0;  ///< -log10(relative error)
+  double modeled_gflops = 0.0;    ///< effective rate on the given chip
+  std::string executing_unit;
+};
+
+/// Runs the GEMM accuracy study at size n on uniformly random [0,1) inputs:
+/// computes the FP64 reference once, then each format's result functionally,
+/// and attaches the modeled throughput for `chip`.
+std::vector<StudyResult> run_gemm_precision_study(soc::ChipModel chip,
+                                                  std::size_t n,
+                                                  std::uint64_t seed = 99);
+
+}  // namespace ao::precision

@@ -1,0 +1,22 @@
+#include "shaders/default_library.hpp"
+
+#include "shaders/gemm_shaders.hpp"
+#include "shaders/stream_kernels.hpp"
+
+namespace ao::shaders {
+
+const metal::Library& default_library() {
+  static const metal::Library library = [] {
+    metal::Library lib("appleoranges.metallib");
+    lib.add(make_stream_copy());
+    lib.add(make_stream_scale());
+    lib.add(make_stream_add());
+    lib.add(make_stream_triad());
+    lib.add(make_gemm_naive());
+    lib.add(make_gemm_tiled());
+    return lib;
+  }();
+  return library;
+}
+
+}  // namespace ao::shaders

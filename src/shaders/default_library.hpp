@@ -1,0 +1,15 @@
+#pragma once
+
+#include "metal/library.hpp"
+
+namespace ao::shaders {
+
+/// The project's ".metallib": every built-in shader compiled into one
+/// library, loaded by the benchmark implementations on startup exactly as
+/// the paper loads its compiled shader library before running.
+///
+/// Functions: stream_copy, stream_scale, stream_add, stream_triad,
+///            gemm_naive, gemm_tiled.
+const metal::Library& default_library();
+
+}  // namespace ao::shaders

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+
+namespace ao::simd {
+
+/// Portable re-implementation of the ARM NEON 128-bit intrinsics surface the
+/// paper's programmability section describes (Section 2.1: "For programming
+/// the CPU's vector units, developers can use ARM intrinsics to write SIMD
+/// operations explicitly"). The M-series CPUs expose 128-bit NEON vectors —
+/// four FP32 lanes — and this header provides the same names and semantics
+/// (vld1q_f32, vfmaq_f32, ...) over a plain struct so vector kernels written
+/// for Apple silicon compile and run in the simulator unchanged. The
+/// compiler auto-vectorizes the lane loops on the host, so the code path is
+/// SIMD in practice as well as in shape.
+struct float32x4_t {
+  std::array<float, 4> lanes{};
+};
+
+inline constexpr std::size_t kNeonLanesF32 = 4;
+inline constexpr std::size_t kNeonVectorBits = 128;
+
+/// vld1q_f32: load four consecutive floats.
+inline float32x4_t vld1q_f32(const float* ptr) {
+  float32x4_t v;
+  std::memcpy(v.lanes.data(), ptr, sizeof(v.lanes));
+  return v;
+}
+
+/// vst1q_f32: store four consecutive floats.
+inline void vst1q_f32(float* ptr, float32x4_t v) {
+  std::memcpy(ptr, v.lanes.data(), sizeof(v.lanes));
+}
+
+/// vdupq_n_f32: broadcast a scalar into every lane.
+inline float32x4_t vdupq_n_f32(float value) {
+  return {{value, value, value, value}};
+}
+
+/// vmovq_n_f32: alias of vdupq_n_f32 (both exist in arm_neon.h).
+inline float32x4_t vmovq_n_f32(float value) { return vdupq_n_f32(value); }
+
+inline float32x4_t vaddq_f32(float32x4_t a, float32x4_t b) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] + b.lanes[i];
+  }
+  return r;
+}
+
+inline float32x4_t vsubq_f32(float32x4_t a, float32x4_t b) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] - b.lanes[i];
+  }
+  return r;
+}
+
+inline float32x4_t vmulq_f32(float32x4_t a, float32x4_t b) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] * b.lanes[i];
+  }
+  return r;
+}
+
+/// vfmaq_f32(a, b, c) = a + b * c, the NEON fused multiply-add shape.
+inline float32x4_t vfmaq_f32(float32x4_t a, float32x4_t b, float32x4_t c) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] + b.lanes[i] * c.lanes[i];
+  }
+  return r;
+}
+
+/// vfmaq_n_f32(a, b, s) = a + b * s (scalar multiplier form).
+inline float32x4_t vfmaq_n_f32(float32x4_t a, float32x4_t b, float s) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] + b.lanes[i] * s;
+  }
+  return r;
+}
+
+inline float32x4_t vmulq_n_f32(float32x4_t a, float s) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] * s;
+  }
+  return r;
+}
+
+inline float32x4_t vmaxq_f32(float32x4_t a, float32x4_t b) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] > b.lanes[i] ? a.lanes[i] : b.lanes[i];
+  }
+  return r;
+}
+
+inline float32x4_t vminq_f32(float32x4_t a, float32x4_t b) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] < b.lanes[i] ? a.lanes[i] : b.lanes[i];
+  }
+  return r;
+}
+
+inline float32x4_t vnegq_f32(float32x4_t a) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = -a.lanes[i];
+  }
+  return r;
+}
+
+inline float32x4_t vabsq_f32(float32x4_t a) {
+  float32x4_t r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lanes[i] = a.lanes[i] < 0.0f ? -a.lanes[i] : a.lanes[i];
+  }
+  return r;
+}
+
+/// vaddvq_f32: horizontal add of all four lanes (ARMv8 across-vector op).
+inline float vaddvq_f32(float32x4_t a) {
+  return a.lanes[0] + a.lanes[1] + a.lanes[2] + a.lanes[3];
+}
+
+/// vmaxvq_f32: horizontal max.
+inline float vmaxvq_f32(float32x4_t a) {
+  float best = a.lanes[0];
+  for (std::size_t i = 1; i < 4; ++i) {
+    best = a.lanes[i] > best ? a.lanes[i] : best;
+  }
+  return best;
+}
+
+/// vgetq_lane_f32 / vsetq_lane_f32.
+inline float vgetq_lane_f32(float32x4_t a, int lane) {
+  return a.lanes[static_cast<std::size_t>(lane)];
+}
+
+inline float32x4_t vsetq_lane_f32(float value, float32x4_t a, int lane) {
+  a.lanes[static_cast<std::size_t>(lane)] = value;
+  return a;
+}
+
+}  // namespace ao::simd

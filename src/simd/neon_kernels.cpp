@@ -1,0 +1,117 @@
+#include "simd/neon_kernels.hpp"
+
+#include <algorithm>
+
+#include "simd/neon.hpp"
+
+namespace ao::simd {
+
+void neon_copy(const float* a, float* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kNeonLanesF32 <= n; i += kNeonLanesF32) {
+    vst1q_f32(c + i, vld1q_f32(a + i));
+  }
+  for (; i < n; ++i) {
+    c[i] = a[i];
+  }
+}
+
+void neon_scale(float* b, const float* c, float scalar, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kNeonLanesF32 <= n; i += kNeonLanesF32) {
+    vst1q_f32(b + i, vmulq_n_f32(vld1q_f32(c + i), scalar));
+  }
+  for (; i < n; ++i) {
+    b[i] = scalar * c[i];
+  }
+}
+
+void neon_add(const float* a, const float* b, float* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kNeonLanesF32 <= n; i += kNeonLanesF32) {
+    vst1q_f32(c + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void neon_triad(float* a, const float* b, const float* c, float scalar,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kNeonLanesF32 <= n; i += kNeonLanesF32) {
+    vst1q_f32(a + i, vfmaq_n_f32(vld1q_f32(b + i), vld1q_f32(c + i), scalar));
+  }
+  for (; i < n; ++i) {
+    a[i] = b[i] + scalar * c[i];
+  }
+}
+
+void neon_saxpy(float a, const float* x, float* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kNeonLanesF32 <= n; i += kNeonLanesF32) {
+    vst1q_f32(y + i, vfmaq_n_f32(vld1q_f32(y + i), vld1q_f32(x + i), a));
+  }
+  for (; i < n; ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+float neon_dot(const float* x, const float* y, std::size_t n) {
+  // Four independent accumulators hide the FMA latency chain.
+  float32x4_t acc0 = vdupq_n_f32(0.0f);
+  float32x4_t acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f);
+  float32x4_t acc3 = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(x + i), vld1q_f32(y + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(x + i + 4), vld1q_f32(y + i + 4));
+    acc2 = vfmaq_f32(acc2, vld1q_f32(x + i + 8), vld1q_f32(y + i + 8));
+    acc3 = vfmaq_f32(acc3, vld1q_f32(x + i + 12), vld1q_f32(y + i + 12));
+  }
+  float32x4_t acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
+  for (; i + kNeonLanesF32 <= n; i += kNeonLanesF32) {
+    acc = vfmaq_f32(acc, vld1q_f32(x + i), vld1q_f32(y + i));
+  }
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) {
+    sum += x[i] * y[i];
+  }
+  return sum;
+}
+
+void neon_sgemm(std::size_t m, std::size_t n_cols, std::size_t k,
+                const float* a, std::size_t lda, const float* b,
+                std::size_t ldb, float* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* c_row = c + i * ldc;
+    std::fill(c_row, c_row + n_cols, 0.0f);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float a_ik = a[i * lda + kk];
+      const float* b_row = b + kk * ldb;
+      std::size_t j = 0;
+      // 16 columns per iteration: four NEON registers of C updated per A
+      // element, the classic outer-product register blocking.
+      for (; j + 16 <= n_cols; j += 16) {
+        vst1q_f32(c_row + j,
+                  vfmaq_n_f32(vld1q_f32(c_row + j), vld1q_f32(b_row + j), a_ik));
+        vst1q_f32(c_row + j + 4, vfmaq_n_f32(vld1q_f32(c_row + j + 4),
+                                             vld1q_f32(b_row + j + 4), a_ik));
+        vst1q_f32(c_row + j + 8, vfmaq_n_f32(vld1q_f32(c_row + j + 8),
+                                             vld1q_f32(b_row + j + 8), a_ik));
+        vst1q_f32(c_row + j + 12, vfmaq_n_f32(vld1q_f32(c_row + j + 12),
+                                              vld1q_f32(b_row + j + 12), a_ik));
+      }
+      for (; j + kNeonLanesF32 <= n_cols; j += kNeonLanesF32) {
+        vst1q_f32(c_row + j,
+                  vfmaq_n_f32(vld1q_f32(c_row + j), vld1q_f32(b_row + j), a_ik));
+      }
+      for (; j < n_cols; ++j) {
+        c_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace ao::simd

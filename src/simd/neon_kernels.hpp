@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ao::simd {
+
+/// Hand-vectorized kernels written against the NEON intrinsics layer — what
+/// a performance engineer following the paper's Section-2.1 guidance would
+/// write by hand on an M-series CPU before reaching for Accelerate.
+
+/// STREAM kernels, explicitly 4-lane vectorized with scalar tails.
+void neon_copy(const float* a, float* c, std::size_t n);
+void neon_scale(float* b, const float* c, float scalar, std::size_t n);
+void neon_add(const float* a, const float* b, float* c, std::size_t n);
+void neon_triad(float* a, const float* b, const float* c, float scalar,
+                std::size_t n);
+
+/// saxpy: y += a * x.
+void neon_saxpy(float a, const float* x, float* y, std::size_t n);
+
+/// dot product with four parallel accumulators (reduces dependency chains,
+/// the standard NEON reduction idiom).
+float neon_dot(const float* x, const float* y, std::size_t n);
+
+/// SGEMM micro-kernel: C (row-major, m x n_cols) += A * B using a 4-column
+/// register-blocked inner loop over vfmaq_n_f32. Square, no-transpose,
+/// beta = 0 form (the benchmark's configuration).
+void neon_sgemm(std::size_t m, std::size_t n_cols, std::size_t k,
+                const float* a, std::size_t lda, const float* b,
+                std::size_t ldb, float* c, std::size_t ldc);
+
+}  // namespace ao::simd

@@ -1,0 +1,59 @@
+#include "soc/activity_log.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ao::soc {
+namespace {
+
+/// Overlap of [a0, a1) and [b0, b1) in seconds.
+double overlap_seconds(std::uint64_t a0, std::uint64_t a1, std::uint64_t b0,
+                       std::uint64_t b1) {
+  const std::uint64_t lo = std::max(a0, b0);
+  const std::uint64_t hi = std::min(a1, b1);
+  return hi > lo ? static_cast<double>(hi - lo) * 1e-9 : 0.0;
+}
+
+}  // namespace
+
+void ActivityLog::record(const ActivityRecord& record) {
+  AO_REQUIRE(record.end_ns >= record.start_ns, "activity interval is inverted");
+  AO_REQUIRE(record.watts >= 0.0, "activity power must be non-negative");
+  records_.push_back(record);
+}
+
+double ActivityLog::energy_in_window(ComputeUnit unit, std::uint64_t from_ns,
+                                     std::uint64_t to_ns) const {
+  double joules = 0.0;
+  for (const auto& r : records_) {
+    if (r.unit != unit) {
+      continue;
+    }
+    joules += r.watts * overlap_seconds(r.start_ns, r.end_ns, from_ns, to_ns);
+  }
+  return joules;
+}
+
+double ActivityLog::total_energy_in_window(std::uint64_t from_ns,
+                                           std::uint64_t to_ns) const {
+  double joules = 0.0;
+  for (const auto& r : records_) {
+    joules += r.watts * overlap_seconds(r.start_ns, r.end_ns, from_ns, to_ns);
+  }
+  return joules;
+}
+
+double ActivityLog::busy_seconds_in_window(ComputeUnit unit, std::uint64_t from_ns,
+                                           std::uint64_t to_ns) const {
+  double seconds = 0.0;
+  for (const auto& r : records_) {
+    if (r.unit != unit) {
+      continue;
+    }
+    seconds += overlap_seconds(r.start_ns, r.end_ns, from_ns, to_ns);
+  }
+  return seconds;
+}
+
+}  // namespace ao::soc

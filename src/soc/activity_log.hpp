@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/compute_unit.hpp"
+
+namespace ao::soc {
+
+/// One simulated execution interval on one compute unit, with the package
+/// power it drew. Executors (Metal dispatcher, Accelerate, the CPU GEMM
+/// drivers) append records here; the powermetrics substrate integrates them.
+struct ActivityRecord {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  ComputeUnit unit = ComputeUnit::kCpuPCluster;
+  double watts = 0.0;        ///< average draw attributable to this activity
+  double utilization = 0.0;  ///< fraction of the unit's capacity in use
+
+  double duration_s() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+  double energy_joules() const { return watts * duration_s(); }
+};
+
+/// Append-only log of simulated activity, the power model's ground truth.
+class ActivityLog {
+ public:
+  void record(const ActivityRecord& record);
+
+  const std::vector<ActivityRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Total energy (J) drawn by `unit` within [from_ns, to_ns), prorating
+  /// records that partially overlap the window.
+  double energy_in_window(ComputeUnit unit, std::uint64_t from_ns,
+                          std::uint64_t to_ns) const;
+
+  /// Total energy (J) across all units within the window.
+  double total_energy_in_window(std::uint64_t from_ns, std::uint64_t to_ns) const;
+
+  /// Busy time (s) of `unit` within the window.
+  double busy_seconds_in_window(ComputeUnit unit, std::uint64_t from_ns,
+                                std::uint64_t to_ns) const;
+
+ private:
+  std::vector<ActivityRecord> records_;
+};
+
+}  // namespace ao::soc

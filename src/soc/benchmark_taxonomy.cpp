@@ -1,0 +1,98 @@
+#include "soc/benchmark_taxonomy.hpp"
+
+namespace ao::soc {
+
+std::string to_string(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::kCopy:
+      return "Copy";
+    case StreamKernel::kScale:
+      return "Scale";
+    case StreamKernel::kAdd:
+      return "Add";
+    case StreamKernel::kTriad:
+      return "Triad";
+  }
+  return "unknown";
+}
+
+int stream_arrays_touched(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::kCopy:
+    case StreamKernel::kScale:
+      return 2;
+    case StreamKernel::kAdd:
+    case StreamKernel::kTriad:
+      return 3;
+  }
+  return 0;
+}
+
+int stream_flops_per_element(StreamKernel kernel) {
+  switch (kernel) {
+    case StreamKernel::kCopy:
+      return 0;
+    case StreamKernel::kScale:
+    case StreamKernel::kAdd:
+      return 1;
+    case StreamKernel::kTriad:
+      return 2;
+  }
+  return 0;
+}
+
+std::string to_string(GemmImpl impl) {
+  switch (impl) {
+    case GemmImpl::kCpuSingle:
+      return "CPU-Single";
+    case GemmImpl::kCpuOmp:
+      return "CPU-OMP";
+    case GemmImpl::kCpuAccelerate:
+      return "CPU-Accelerate";
+    case GemmImpl::kGpuNaive:
+      return "GPU-Naive";
+    case GemmImpl::kGpuCutlass:
+      return "GPU-CUTLASS";
+    case GemmImpl::kGpuMps:
+      return "GPU-MPS";
+  }
+  return "unknown";
+}
+
+std::string gemm_framework(GemmImpl impl) {
+  switch (impl) {
+    case GemmImpl::kCpuSingle:
+      return "C++";
+    case GemmImpl::kCpuOmp:
+      return "C++/OpenMP";
+    case GemmImpl::kCpuAccelerate:
+      return "Accelerate";
+    case GemmImpl::kGpuNaive:
+    case GemmImpl::kGpuCutlass:
+    case GemmImpl::kGpuMps:
+      return "Metal";
+  }
+  return "unknown";
+}
+
+std::string gemm_hardware(GemmImpl impl) {
+  return is_gpu_impl(impl) ? "GPU" : "CPU";
+}
+
+bool is_gpu_impl(GemmImpl impl) {
+  switch (impl) {
+    case GemmImpl::kGpuNaive:
+    case GemmImpl::kGpuCutlass:
+    case GemmImpl::kGpuMps:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double gemm_flops(std::size_t n) {
+  const double nd = static_cast<double>(n);
+  return nd * nd * (2.0 * nd - 1.0);
+}
+
+}  // namespace ao::soc

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace ao::soc {
+
+/// The four STREAM kernels (McCalpin). Both the CPU port (stream.c) and the
+/// GPU port (MSL, after the CUDA/HIP stream_cpugpu.cpp) measure all four.
+enum class StreamKernel { kCopy, kScale, kAdd, kTriad };
+
+inline constexpr std::array<StreamKernel, 4> kAllStreamKernels = {
+    StreamKernel::kCopy, StreamKernel::kScale, StreamKernel::kAdd,
+    StreamKernel::kTriad};
+
+std::string to_string(StreamKernel kernel);
+
+/// Bytes moved per array element for each kernel (read + write traffic, as
+/// STREAM accounts it): Copy/Scale touch 2 arrays, Add/Triad touch 3.
+int stream_arrays_touched(StreamKernel kernel);
+
+/// FLOPs per element: Copy 0, Scale 1, Add 1, Triad 2.
+int stream_flops_per_element(StreamKernel kernel);
+
+/// The six GEMM implementations of Table 2, in the order the paper's figures
+/// list them.
+enum class GemmImpl {
+  kCpuSingle,      ///< naive triple loop, C++ (baseline)
+  kCpuOmp,         ///< multi-threaded tiled loop, OpenMP
+  kCpuAccelerate,  ///< Accelerate BLAS/vDSP, runs on AMX
+  kGpuNaive,       ///< naive algorithm as Metal shader
+  kGpuCutlass,     ///< Cutlass-style tiled Metal shader
+  kGpuMps,         ///< Metal Performance Shaders
+};
+
+inline constexpr std::array<GemmImpl, 6> kAllGemmImpls = {
+    GemmImpl::kCpuSingle,     GemmImpl::kCpuOmp,    GemmImpl::kCpuAccelerate,
+    GemmImpl::kGpuNaive,      GemmImpl::kGpuCutlass, GemmImpl::kGpuMps};
+
+/// Figure-legend name ("CPU-Single", "GPU-MPS", ...).
+std::string to_string(GemmImpl impl);
+
+/// Framework / hardware columns of Table 2.
+std::string gemm_framework(GemmImpl impl);
+std::string gemm_hardware(GemmImpl impl);
+
+/// True for the three implementations that execute on the GPU.
+bool is_gpu_impl(GemmImpl impl);
+
+/// FLOP count of an n x n x n matrix multiplication as the paper counts it:
+/// n^2 * (2n - 1)  (n multiplies and n-1 adds per output element).
+double gemm_flops(std::size_t n);
+
+}  // namespace ao::soc

@@ -1,0 +1,35 @@
+#include "soc/compute_unit.hpp"
+
+namespace ao::soc {
+
+std::string to_string(ComputeUnit unit) {
+  switch (unit) {
+    case ComputeUnit::kCpuPCluster:
+      return "CPU P-cluster";
+    case ComputeUnit::kCpuECluster:
+      return "CPU E-cluster";
+    case ComputeUnit::kAmx:
+      return "AMX";
+    case ComputeUnit::kGpu:
+      return "GPU";
+    case ComputeUnit::kNeuralEngine:
+      return "Neural Engine";
+    case ComputeUnit::kDram:
+      return "DRAM";
+  }
+  return "unknown";
+}
+
+std::string to_string(MemoryAgent agent) {
+  switch (agent) {
+    case MemoryAgent::kCpu:
+      return "CPU";
+    case MemoryAgent::kGpu:
+      return "GPU";
+    case MemoryAgent::kNeuralEngine:
+      return "ANE";
+  }
+  return "unknown";
+}
+
+}  // namespace ao::soc

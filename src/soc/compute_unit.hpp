@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace ao::soc {
+
+/// The compute agents integrated on an M-series SoC that the paper's
+/// benchmarks exercise or discuss. DRAM appears as a "unit" so the power
+/// model can attribute memory-controller energy separately, the way
+/// powermetrics splits its report.
+enum class ComputeUnit {
+  kCpuPCluster,   ///< performance cores (Firestorm/Avalanche/...)
+  kCpuECluster,   ///< efficiency cores (Icestorm/Blizzard/...)
+  kAmx,           ///< Apple Matrix eXtension coprocessor (SME on M4)
+  kGpu,           ///< integrated TBDR GPU
+  kNeuralEngine,  ///< 16-core ANE
+  kDram,          ///< unified memory + controller
+};
+
+/// Human-readable unit name ("CPU P-cluster", "GPU", ...).
+std::string to_string(ComputeUnit unit);
+
+/// Memory agents: who is driving traffic to unified memory. The STREAM
+/// benchmark measures CPU and GPU agents separately (Figure 1).
+enum class MemoryAgent {
+  kCpu,
+  kGpu,
+  kNeuralEngine,
+};
+
+std::string to_string(MemoryAgent agent);
+
+}  // namespace ao::soc

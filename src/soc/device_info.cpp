@@ -1,0 +1,39 @@
+#include "soc/device_info.hpp"
+
+#include <array>
+
+namespace ao::soc {
+
+std::string to_string(CoolingSolution cooling) {
+  switch (cooling) {
+    case CoolingSolution::kPassive:
+      return "Passive";
+    case CoolingSolution::kActiveAir:
+      return "Air";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::array<DeviceInfo, 4> make_devices() {
+  return {{
+      {ChipModel::kM1, "MacBook Air", 2020, 8, CoolingSolution::kPassive,
+       "14.7.2"},
+      {ChipModel::kM2, "Mac mini", 2023, 8, CoolingSolution::kActiveAir,
+       "15.1.1"},
+      {ChipModel::kM3, "MacBook Air", 2024, 16, CoolingSolution::kPassive,
+       "15.2"},
+      {ChipModel::kM4, "Mac mini", 2024, 16, CoolingSolution::kActiveAir,
+       "15.1.1"},
+  }};
+}
+
+}  // namespace
+
+const DeviceInfo& device_info(ChipModel model) {
+  static const std::array<DeviceInfo, 4> devices = make_devices();
+  return devices[static_cast<std::size_t>(model)];
+}
+
+}  // namespace ao::soc

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "soc/chip_spec.hpp"
+
+namespace ao::soc {
+
+/// Cooling solution of the host computer. Table 3: the MacBook Airs (M1, M3)
+/// are passively cooled, the Mac minis (M2, M4) have active air cooling. The
+/// paper's discussion (Section 7) attributes the laptops' lower sustained
+/// power dissipation to exactly this difference; the thermal model consumes
+/// this field.
+enum class CoolingSolution { kPassive, kActiveAir };
+
+std::string to_string(CoolingSolution cooling);
+
+/// One row of Table 3: the physical machine each chip was benchmarked in.
+struct DeviceInfo {
+  ChipModel chip{};
+  std::string device;        ///< "MacBook Air" / "Mac mini"
+  int release_year = 0;
+  int memory_gb = 0;
+  CoolingSolution cooling{};
+  std::string macos_version;
+
+  bool is_laptop() const { return cooling == CoolingSolution::kPassive; }
+};
+
+/// Returns the Table-3 device for `model`.
+const DeviceInfo& device_info(ChipModel model);
+
+}  // namespace ao::soc

@@ -1,0 +1,42 @@
+#include "soc/frequency_governor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ao::soc {
+
+FrequencyGovernor::FrequencyGovernor(const ChipSpec& spec) : spec_(&spec) {}
+
+double FrequencyGovernor::effective_clock_ghz(ComputeUnit unit, int active_cores,
+                                              double throttle) const {
+  AO_REQUIRE(active_cores >= 0, "active core count must be non-negative");
+  AO_REQUIRE(throttle > 0.0 && throttle <= 1.0, "throttle must be in (0, 1]");
+  switch (unit) {
+    case ComputeUnit::kCpuPCluster: {
+      // Boost with one core busy, tapering linearly to the all-core derate.
+      const int cores = std::max(1, std::min(active_cores, spec_->performance_cores));
+      const double span = spec_->performance_cores > 1
+                              ? static_cast<double>(cores - 1) /
+                                    static_cast<double>(spec_->performance_cores - 1)
+                              : 0.0;
+      const double multiplier = 1.0 - span * (1.0 - kAllCoreDerate);
+      return spec_->p_clock_ghz * multiplier * throttle;
+    }
+    case ComputeUnit::kCpuECluster:
+      return spec_->e_clock_ghz * throttle;
+    case ComputeUnit::kAmx:
+      // AMX is fed from the P-cluster's instruction stream and clocks with it.
+      return spec_->p_clock_ghz * kAllCoreDerate * throttle;
+    case ComputeUnit::kGpu:
+      return spec_->gpu_clock_ghz * throttle;
+    case ComputeUnit::kNeuralEngine:
+      // ANE clock is undocumented; model it as GPU-class.
+      return spec_->gpu_clock_ghz * throttle;
+    case ComputeUnit::kDram:
+      return 0.0;  // not a clocked compute unit in this model
+  }
+  return 0.0;
+}
+
+}  // namespace ao::soc

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "soc/chip_spec.hpp"
+#include "soc/compute_unit.hpp"
+
+namespace ao::soc {
+
+/// Simplified DVFS model of the M-series performance controller.
+///
+/// Apple's big.LITTLE scheduler places demanding threads on the P-cluster and
+/// background work on the E-cluster, and trades boost clocks against active
+/// core count. The governor exposes the *effective clock multiplier* the
+/// performance model applies on top of the Table-1 nominal clocks:
+///
+///  - single active P-core: full boost (1.0 x nominal P clock)
+///  - all P-cores active:   slight all-core derate (0.95)
+///  - E-cluster:            always nominal E clock
+///  - GPU:                  nominal, scaled only by thermal throttle
+class FrequencyGovernor {
+ public:
+  explicit FrequencyGovernor(const ChipSpec& spec);
+
+  /// Effective clock in GHz for `unit` with `active_cores` busy and the
+  /// thermal throttle factor `throttle` from ThermalModel.
+  double effective_clock_ghz(ComputeUnit unit, int active_cores,
+                             double throttle) const;
+
+  /// All-core multiplier applied to the P-cluster when every core is busy.
+  static constexpr double kAllCoreDerate = 0.95;
+
+ private:
+  const ChipSpec* spec_;
+};
+
+}  // namespace ao::soc

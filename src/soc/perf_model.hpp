@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+
+#include "soc/benchmark_taxonomy.hpp"
+#include "soc/soc.hpp"
+
+namespace ao::soc {
+
+/// Analytic performance/power model of the simulated SoCs.
+///
+/// All reported numbers in this reproduction flow through this class. It maps
+/// a workload description (GEMM implementation + size, or STREAM kernel +
+/// bytes + agent) to a duration in simulated nanoseconds and a package power
+/// in Watts, anchored by the calibration tables (soc/calibration.cpp) and
+/// modulated by the live thermal state of the Soc it is attached to.
+class PerfModel {
+ public:
+  explicit PerfModel(const Soc& soc);
+
+  // --- GEMM (Table 2 implementations, Figures 2-4) ------------------------
+
+  /// Modeled wall time of one n x n x n multiplication, in ns, at the
+  /// current thermal state.
+  double gemm_time_ns(GemmImpl impl, std::size_t n) const;
+
+  /// Average package power during that multiplication, in Watts. Tracks the
+  /// saturation curve: small problems do not light the whole unit up.
+  double gemm_power_watts(GemmImpl impl, std::size_t n) const;
+
+  /// Unit utilization in [0, 1] (feeds the activity log).
+  double gemm_utilization(GemmImpl impl, std::size_t n) const;
+
+  /// Convenience: flops(n) / time(n) in GFLOPS.
+  double gemm_gflops(GemmImpl impl, std::size_t n) const;
+
+  // --- STREAM (Figure 1) ---------------------------------------------------
+
+  /// Modeled time for one STREAM kernel pass moving `bytes` of total traffic
+  /// with `threads` CPU threads (ignored for the GPU agent).
+  double stream_time_ns(MemoryAgent agent, StreamKernel kernel,
+                        std::size_t bytes, int threads) const;
+
+  /// Effective bandwidth the model yields for that configuration, GB/s.
+  double stream_bandwidth_gbs(MemoryAgent agent, StreamKernel kernel,
+                              int threads) const;
+
+  double stream_power_watts(MemoryAgent agent) const;
+
+  // --- generic GPU kernels (custom shaders outside the GEMM suite) --------
+
+  /// Roofline cost for an arbitrary compute kernel on the GPU: max of the
+  /// compute time at `compute_efficiency` x theoretical FP32 peak and the
+  /// memory time at STREAM-copy bandwidth, plus launch overhead.
+  double gpu_kernel_time_ns(double flops, double bytes,
+                            double compute_efficiency = 0.60) const;
+
+  /// Power draw attributed to such a generic kernel.
+  double gpu_kernel_power_watts() const;
+
+  /// The saturation ("rise") factor in (0, 1] for an implementation at n.
+  static double rise_factor(const GemmCalibration& c, std::size_t n);
+  /// The cache-decay factor in (0, 1].
+  static double decay_factor(const GemmCalibration& c, std::size_t n);
+
+ private:
+  const Soc* soc_;
+};
+
+}  // namespace ao::soc

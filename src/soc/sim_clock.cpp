@@ -1,0 +1,14 @@
+#include "soc/sim_clock.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ao::soc {
+
+void SimClock::advance(double ns) {
+  AO_REQUIRE(ns >= 0.0, "cannot advance the clock backwards");
+  now_ns_ += static_cast<Nanos>(std::llround(ns));
+}
+
+}  // namespace ao::soc

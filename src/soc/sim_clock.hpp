@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ao::soc {
+
+/// Monotone simulated-time source, in nanoseconds.
+///
+/// The paper times kernels with std::chrono::high_resolution_clock at
+/// nanosecond granularity on real silicon. Here the substrate is a model, so
+/// every simulated execution *advances* this clock by its modeled duration
+/// and the harness reads timestamps from it exactly where the paper reads
+/// wall clock. Host wall time never leaks into reported results.
+class SimClock {
+ public:
+  using Nanos = std::uint64_t;
+
+  Nanos now() const { return now_ns_; }
+
+  /// Advances time by `ns` (fractional model outputs are rounded to ns, the
+  /// paper's reporting granularity).
+  void advance(double ns);
+
+  /// Advances by an exact integer amount.
+  void advance_ns(Nanos ns) { now_ns_ += ns; }
+
+  void reset() { now_ns_ = 0; }
+
+ private:
+  Nanos now_ns_ = 0;
+};
+
+}  // namespace ao::soc

@@ -1,0 +1,43 @@
+#include "soc/soc.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ao::soc {
+
+Soc::Soc(ChipModel model)
+    : spec_(&chip_spec(model)),
+      device_(&device_info(model)),
+      calib_(&calibration(model)),
+      thermal_(device_->cooling),
+      governor_(*spec_) {}
+
+std::uint64_t Soc::memory_capacity_bytes() const {
+  return static_cast<std::uint64_t>(device_->memory_gb) * util::kGiB;
+}
+
+std::uint64_t Soc::execute(ComputeUnit unit, double duration_ns, double watts,
+                           double utilization) {
+  AO_REQUIRE(duration_ns >= 0.0, "duration must be non-negative");
+  AO_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+             "utilization must be in [0, 1]");
+  const std::uint64_t start = clock_.now();
+  clock_.advance(duration_ns);
+  activity_.record({start, clock_.now(), unit, watts, utilization});
+  thermal_.integrate(watts, duration_ns * 1e-9);
+  return start;
+}
+
+void Soc::idle(double duration_ns) {
+  AO_REQUIRE(duration_ns >= 0.0, "duration must be non-negative");
+  clock_.advance(duration_ns);
+  thermal_.cool(duration_ns * 1e-9);
+}
+
+void Soc::reset() {
+  clock_.reset();
+  thermal_.reset();
+  activity_.clear();
+}
+
+}  // namespace ao::soc

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "soc/activity_log.hpp"
+#include "soc/calibration.hpp"
+#include "soc/chip_spec.hpp"
+#include "soc/device_info.hpp"
+#include "soc/frequency_governor.hpp"
+#include "soc/sim_clock.hpp"
+#include "soc/thermal_model.hpp"
+
+namespace ao::soc {
+
+/// One simulated Apple Silicon system: a chip (Table 1) inside a device
+/// (Table 3), with a simulated clock, a thermal state, a DVFS governor and an
+/// activity log that the power tooling samples.
+///
+/// Every higher-level substrate (unified memory, the Metal device, the
+/// Accelerate engine, powermetrics) is constructed over one Soc and drives
+/// simulated execution exclusively through Soc::execute()/idle(), which keeps
+/// time, energy and heat mutually consistent.
+class Soc {
+ public:
+  explicit Soc(ChipModel model);
+
+  const ChipSpec& spec() const { return *spec_; }
+  const DeviceInfo& device() const { return *device_; }
+  const ChipCalibration& calib() const { return *calib_; }
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+
+  ThermalModel& thermal() { return thermal_; }
+  const ThermalModel& thermal() const { return thermal_; }
+
+  const FrequencyGovernor& governor() const { return governor_; }
+
+  ActivityLog& activity() { return activity_; }
+  const ActivityLog& activity() const { return activity_; }
+
+  /// Installed unified memory in bytes (the Table-3 configuration).
+  std::uint64_t memory_capacity_bytes() const;
+
+  /// Simulates `duration_ns` of execution on `unit` drawing `watts`:
+  /// advances the clock, appends an activity record, and heats the package.
+  /// Returns the simulated start timestamp.
+  std::uint64_t execute(ComputeUnit unit, double duration_ns, double watts,
+                        double utilization);
+
+  /// Simulates idle time (clock advances, package cools, no activity).
+  void idle(double duration_ns);
+
+  /// Restores boot state: clock to zero, package to ambient, log cleared.
+  /// (The paper reboots and idles the machines between test sessions.)
+  void reset();
+
+ private:
+  const ChipSpec* spec_;
+  const DeviceInfo* device_;
+  const ChipCalibration* calib_;
+  SimClock clock_;
+  ThermalModel thermal_;
+  FrequencyGovernor governor_;
+  ActivityLog activity_;
+};
+
+}  // namespace ao::soc

@@ -1,0 +1,56 @@
+#include "soc/thermal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ao::soc {
+
+ThermalModel::ThermalModel(CoolingSolution cooling, double ambient_celsius)
+    : cooling_(cooling), ambient_(ambient_celsius), temperature_(ambient_celsius) {
+  if (cooling == CoolingSolution::kPassive) {
+    // Fanless chassis: high junction-to-ambient resistance, slow
+    // equalization, earlier and deeper throttling. ~12 K/W puts a sustained
+    // 6-7 W GPU load (the M1 MPS draw) at the edge of the throttle band,
+    // matching MacBook Air behaviour under minutes of load.
+    r_th_ = 12.0;
+    tau_ = 45.0;
+    throttle_start_ = 85.0;
+    critical_ = 105.0;
+    min_throttle_ = 0.82;
+  } else {
+    // Active air: the fan keeps effective thermal resistance low; even a
+    // 20 W sustained load stays under the throttle threshold (Mac mini).
+    r_th_ = 2.2;
+    tau_ = 30.0;
+    throttle_start_ = 95.0;
+    critical_ = 110.0;
+    min_throttle_ = 0.90;
+  }
+}
+
+void ThermalModel::integrate(double watts, double seconds) {
+  AO_REQUIRE(watts >= 0.0, "power must be non-negative");
+  AO_REQUIRE(seconds >= 0.0, "duration must be non-negative");
+  // Exact solution of the first-order ODE over the interval (power constant):
+  // T(t) -> T_inf + (T0 - T_inf) * exp(-t / tau), T_inf = T_amb + P * R_th.
+  const double t_inf = ambient_ + watts * r_th_;
+  temperature_ = t_inf + (temperature_ - t_inf) * std::exp(-seconds / tau_);
+}
+
+void ThermalModel::reset() { temperature_ = ambient_; }
+
+double ThermalModel::throttle_factor() const {
+  if (temperature_ <= throttle_start_) {
+    return 1.0;
+  }
+  if (temperature_ >= critical_) {
+    return min_throttle_;
+  }
+  const double frac =
+      (temperature_ - throttle_start_) / (critical_ - throttle_start_);
+  return 1.0 - frac * (1.0 - min_throttle_);
+}
+
+}  // namespace ao::soc

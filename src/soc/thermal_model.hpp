@@ -1,0 +1,57 @@
+#pragma once
+
+#include "soc/device_info.hpp"
+
+namespace ao::soc {
+
+/// First-order lumped thermal model of the package + chassis.
+///
+/// The paper observes (Section 7) that "the Apple laptops with M1 and M3 SoCs
+/// have relatively lower Power Dissipation compared to desktops (M2, M4),
+/// which might show the impact of power strategy and cooling methods of
+/// different device models". This model produces that behaviour: a passively
+/// cooled chassis (MacBook Air) accumulates heat under sustained load and the
+/// governor sheds frequency (and therefore power) once the package crosses
+/// its throttle threshold; the actively cooled Mac mini holds boost clocks.
+///
+///   dT/dt = (P * R_th - (T - T_amb)) / tau
+///
+/// with R_th (K/W) and tau (s) depending on the cooling solution.
+class ThermalModel {
+ public:
+  explicit ThermalModel(CoolingSolution cooling, double ambient_celsius = 22.0);
+
+  /// Integrates `watts` of package power over `seconds` of simulated time.
+  void integrate(double watts, double seconds);
+
+  /// Lets the package cool for `seconds` of simulated idle time.
+  void cool(double seconds) { integrate(0.0, seconds); }
+
+  /// Resets to ambient (the paper reboots and idles between test sessions).
+  void reset();
+
+  double temperature_celsius() const { return temperature_; }
+  double ambient_celsius() const { return ambient_; }
+  CoolingSolution cooling() const { return cooling_; }
+
+  /// Multiplier in (0, 1] applied to peak compute clocks. 1.0 below the
+  /// throttle threshold; decays linearly to `min_throttle` at the critical
+  /// temperature.
+  double throttle_factor() const;
+
+  /// Temperatures (deg C) at which throttling starts / bottoms out.
+  double throttle_start_celsius() const { return throttle_start_; }
+  double critical_celsius() const { return critical_; }
+
+ private:
+  CoolingSolution cooling_;
+  double ambient_;
+  double temperature_;
+  double r_th_;            ///< thermal resistance, K/W
+  double tau_;             ///< time constant, s
+  double throttle_start_;  ///< deg C
+  double critical_;        ///< deg C
+  double min_throttle_;    ///< clock multiplier floor
+};
+
+}  // namespace ao::soc

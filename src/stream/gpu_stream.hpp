@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+
+#include "metal/compute_command_encoder.hpp"
+#include "metal/device.hpp"
+#include "stream/stream_result.hpp"
+
+namespace ao::stream {
+
+/// GPU STREAM — the paper's MSL port of the CUDA/HIP GPU STREAM
+/// (stream_cpugpu.cpp [20, 22]): the Copy/Scale/Add/Triad kernels as compute
+/// shaders over FP32 arrays in shared unified-memory buffers, driven by
+/// command buffers; 20 repetitions, maximum bandwidth kept.
+class GpuStream {
+ public:
+  /// Allocates three FP32 device buffers of `elements` each in shared
+  /// storage (zero-copy visible to CPU for validation). Default 2^25 floats
+  /// = 128 MiB per array, large enough to amortize launch overhead below 2%.
+  GpuStream(metal::Device& device, std::size_t elements = 1u << 25);
+
+  /// Runs `repetitions` of the four-kernel sequence.
+  RunResult run(int repetitions, bool functional = false);
+
+  /// Functional correctness check of all four kernels against expected
+  /// values (a=1, b=2, c=0 start, one sequence pass). Returns worst absolute
+  /// error.
+  float validate();
+
+  std::size_t elements() const { return elements_; }
+  static constexpr float kScalar = 3.0f;
+
+ private:
+  void encode_kernel(soc::StreamKernel kernel, bool functional);
+
+  metal::Device* device_;
+  metal::CommandQueuePtr queue_;
+  std::size_t elements_;
+  metal::BufferPtr a_;
+  metal::BufferPtr b_;
+  metal::BufferPtr c_;
+  std::array<metal::ComputePipelineStatePtr, 4> pipelines_;
+};
+
+}  // namespace ao::stream

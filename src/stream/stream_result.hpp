@@ -1,0 +1,55 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "soc/benchmark_taxonomy.hpp"
+
+namespace ao::stream {
+
+/// Result of one STREAM kernel across repetitions. STREAM methodology (and
+/// the paper's): "only the maximum bandwidth is considered".
+struct KernelResult {
+  soc::StreamKernel kernel{};
+  std::uint64_t bytes_per_pass = 0;
+  double best_gbs = 0.0;      ///< max over repetitions
+  double avg_gbs = 0.0;
+  double min_time_ns = 0.0;
+};
+
+/// One full run: all four kernels.
+struct RunResult {
+  std::array<KernelResult, 4> kernels{};
+  int threads = 1;  ///< CPU only; 0 for GPU
+
+  const KernelResult& of(soc::StreamKernel k) const {
+    return kernels[static_cast<std::size_t>(k)];
+  }
+  double best_overall_gbs() const {
+    double best = 0.0;
+    for (const auto& k : kernels) {
+      best = std::max(best, k.best_gbs);
+    }
+    return best;
+  }
+};
+
+/// CPU thread sweep: best run per thread count plus the overall maximum per
+/// kernel (what Figure 1 plots).
+struct SweepResult {
+  std::vector<RunResult> per_thread_count;
+  std::array<double, 4> best_gbs_per_kernel{};
+  int best_thread_count = 1;
+
+  double best_overall_gbs() const {
+    double best = 0.0;
+    for (double v : best_gbs_per_kernel) {
+      best = std::max(best, v);
+    }
+    return best;
+  }
+};
+
+}  // namespace ao::stream

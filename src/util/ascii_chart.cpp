@@ -1,0 +1,176 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ao::util {
+
+BarChart::BarChart(std::string title, std::string unit)
+    : title_(std::move(title)), unit_(std::move(unit)) {}
+
+void BarChart::set_reference_line(double value, std::string label) {
+  reference_value_ = value;
+  reference_label_ = std::move(label);
+  has_reference_ = true;
+}
+
+void BarChart::add_group(const std::string& group_label) {
+  groups_.push_back({group_label, {}});
+}
+
+void BarChart::add_bar(const std::string& series_label, double value) {
+  AO_REQUIRE(!groups_.empty(), "add_group before add_bar");
+  groups_.back().bars.push_back({series_label, value});
+}
+
+std::string BarChart::render(std::size_t width) const {
+  double max_value = has_reference_ ? reference_value_ : 0.0;
+  std::size_t label_width = 0;
+  for (const auto& g : groups_) {
+    for (const auto& b : g.bars) {
+      max_value = std::max(max_value, b.value);
+      label_width = std::max(label_width, b.label.size());
+    }
+  }
+  if (max_value <= 0.0) {
+    max_value = 1.0;
+  }
+
+  std::ostringstream oss;
+  oss << title_;
+  if (has_reference_) {
+    oss << "   [| marks " << reference_label_ << " = "
+        << format_fixed(reference_value_, 1) << ' ' << unit_ << ']';
+  }
+  oss << '\n';
+
+  const auto ref_col = static_cast<std::size_t>(
+      has_reference_ ? std::lround(reference_value_ / max_value *
+                                   static_cast<double>(width))
+                     : width + 1);
+
+  for (const auto& g : groups_) {
+    oss << g.label << '\n';
+    for (const auto& b : g.bars) {
+      const auto bar_len = static_cast<std::size_t>(
+          std::lround(b.value / max_value * static_cast<double>(width)));
+      std::string line(width + 1, ' ');
+      for (std::size_t i = 0; i < bar_len && i < line.size(); ++i) {
+        line[i] = '#';
+      }
+      if (has_reference_ && ref_col < line.size()) {
+        line[ref_col] = '|';
+      }
+      oss << "  " << b.label << std::string(label_width - b.label.size(), ' ')
+          << " " << line << ' ' << format_fixed(b.value, 1) << ' ' << unit_
+          << '\n';
+    }
+  }
+  return oss.str();
+}
+
+LinePlot::LinePlot(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void LinePlot::add_series(const std::string& name, char marker,
+                          const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  AO_REQUIRE(xs.size() == ys.size(), "series xs/ys size mismatch");
+  series_.push_back({name, marker, xs, ys});
+}
+
+std::string LinePlot::render(std::size_t width, std::size_t height) const {
+  AO_REQUIRE(width >= 8 && height >= 4, "plot area too small");
+
+  auto tx = [&](double x) { return log_x_ ? std::log10(std::max(x, 1e-300)) : x; };
+  auto ty = [&](double y) { return log_y_ ? std::log10(std::max(y, 1e-300)) : y; };
+
+  bool any = false;
+  double min_x = 0.0;
+  double max_x = 0.0;
+  double min_y = 0.0;
+  double max_y = 0.0;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double x = tx(s.xs[i]);
+      const double y = ty(s.ys[i]);
+      if (!any) {
+        min_x = max_x = x;
+        min_y = max_y = y;
+        any = true;
+      } else {
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+      }
+    }
+  }
+  if (!any) {
+    return title_ + "\n(no data)\n";
+  }
+  if (max_x == min_x) {
+    max_x = min_x + 1.0;
+  }
+  if (max_y == min_y) {
+    max_y = min_y + 1.0;
+  }
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (tx(s.xs[i]) - min_x) / (max_x - min_x);
+      const double fy = (ty(s.ys[i]) - min_y) / (max_y - min_y);
+      const auto col = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(width - 1)));
+      const auto row = static_cast<std::size_t>(
+          std::lround((1.0 - fy) * static_cast<double>(height - 1)));
+      grid[row][col] = s.marker;
+    }
+  }
+
+  auto axis_value = [&](double t, bool log_axis) {
+    return log_axis ? std::pow(10.0, t) : t;
+  };
+
+  std::ostringstream oss;
+  oss << title_ << "   (y: " << y_label_ << (log_y_ ? ", log" : "")
+      << "; x: " << x_label_ << (log_x_ ? ", log" : "") << ")\n";
+  const std::string y_top = format_fixed(axis_value(max_y, log_y_), 1);
+  const std::string y_bot = format_fixed(axis_value(min_y, log_y_), 1);
+  const std::size_t margin = std::max(y_top.size(), y_bot.size());
+
+  for (std::size_t r = 0; r < height; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = y_top;
+    } else if (r == height - 1) {
+      label = y_bot;
+    }
+    oss << std::string(margin - label.size(), ' ') << label << " |" << grid[r]
+        << '\n';
+  }
+  oss << std::string(margin, ' ') << " +" << std::string(width, '-') << '\n';
+  const std::string x_lo = format_fixed(axis_value(min_x, log_x_), 0);
+  const std::string x_hi = format_fixed(axis_value(max_x, log_x_), 0);
+  oss << std::string(margin + 2, ' ') << x_lo
+      << std::string(width > x_lo.size() + x_hi.size()
+                         ? width - x_lo.size() - x_hi.size()
+                         : 1,
+                     ' ')
+      << x_hi << '\n';
+  oss << "legend:";
+  for (const auto& s : series_) {
+    oss << "  " << s.marker << '=' << s.name;
+  }
+  oss << '\n';
+  return oss.str();
+}
+
+}  // namespace ao::util

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ao::util {
+
+/// Terminal renderers for the paper's figures.
+///
+/// Figure 1 and Figure 3 are grouped bar charts (per chip / per size); Figure
+/// 2 and Figure 4 are log-scale line plots over matrix size. The bench
+/// binaries print both the exact numeric series (table + CSV) and one of
+/// these charts so the *shape* the paper reports is visible in the terminal.
+
+/// Grouped bar chart: groups on the y-axis, one bar per (group, series).
+class BarChart {
+ public:
+  BarChart(std::string title, std::string unit);
+
+  void set_reference_line(double value, std::string label);
+  void add_group(const std::string& group_label);
+  void add_bar(const std::string& series_label, double value);
+
+  /// Width of the bar area in characters.
+  std::string render(std::size_t width = 60) const;
+
+ private:
+  struct Bar {
+    std::string label;
+    double value;
+  };
+  struct Group {
+    std::string label;
+    std::vector<Bar> bars;
+  };
+
+  std::string title_;
+  std::string unit_;
+  double reference_value_ = 0.0;
+  std::string reference_label_;
+  bool has_reference_ = false;
+  std::vector<Group> groups_;
+};
+
+/// Multi-series scatter/line plot on a character grid with optional log axes.
+class LinePlot {
+ public:
+  LinePlot(std::string title, std::string x_label, std::string y_label);
+
+  void set_log_x(bool log_x) { log_x_ = log_x; }
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+
+  /// Adds a named series; `marker` is the character plotted at each point.
+  void add_series(const std::string& name, char marker,
+                  const std::vector<double>& xs, const std::vector<double>& ys);
+
+  std::string render(std::size_t width = 72, std::size_t height = 20) const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  bool log_x_ = false;
+  bool log_y_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace ao::util

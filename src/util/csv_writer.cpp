@@ -1,0 +1,132 @@
+#include "util/csv_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace ao::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  AO_REQUIRE(!header_.empty(), "CSV header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  AO_REQUIRE(row.size() == header_.size(), "CSV row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_row(const std::string& key, const std::vector<double>& values,
+                        int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(key);
+  for (double v : values) {
+    row.push_back(format_fixed(v, precision));
+  }
+  add_row(std::move(row));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) {
+        oss << ',';
+      }
+      oss << escape(row[i]);
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return oss.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream ofs(path);
+  AO_REQUIRE(ofs.good(), "cannot open CSV output file: " + path);
+  ofs << to_string();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&]() {
+    row.push_back(field);
+    field.clear();
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(row);
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+}  // namespace ao::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ao::util {
+
+/// Minimal RFC-4180-style CSV emitter. Benchmark binaries dump their series
+/// as CSV (next to the human-readable tables) so the figures can be re-plotted
+/// externally, mirroring the paper's "results are written into a text file,
+/// which is then parsed into a numeric format" workflow.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience overloads for mixed textual/numeric rows.
+  void add_row(const std::string& key, const std::vector<double>& values,
+               int precision = 6);
+
+  std::string to_string() const;
+  void write_file(const std::string& path) const;
+
+  static std::string escape(const std::string& field);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses a CSV document produced by CsvWriter (quoted fields supported).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace ao::util

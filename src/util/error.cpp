@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace ao::util::detail {
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& message) {
+  std::ostringstream oss;
+  oss << message << " [requirement `" << expr << "` failed at " << file << ':' << line
+      << ']';
+  throw InvalidArgument(oss.str());
+}
+
+}  // namespace ao::util::detail

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ao::util {
+
+/// Root of the library's exception hierarchy. All error conditions raised by
+/// appleoranges derive from this so callers can catch one type at the API
+/// boundary.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an argument violates a documented precondition (bad matrix
+/// dimension, misaligned pointer, unknown enum value, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a resource limit is exceeded (unified memory capacity,
+/// register-file index, queue depth, ...).
+class ResourceExhausted : public Error {
+ public:
+  explicit ResourceExhausted(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an object is used in a state that does not permit the
+/// operation (committing a command buffer twice, sampling a stopped power
+/// monitor, ...).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file, int line,
+                                         const std::string& message);
+}  // namespace detail
+
+/// Precondition check macro used across the library. Unlike assert() it is
+/// active in all build types: benchmark harnesses must fail loudly, not
+/// produce garbage rows.
+#define AO_REQUIRE(expr, message)                                                \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::ao::util::detail::throw_invalid_argument(#expr, __FILE__, __LINE__,      \
+                                                 (message));                     \
+    }                                                                            \
+  } while (false)
+
+}  // namespace ao::util

@@ -1,0 +1,73 @@
+#include "util/rng.hpp"
+
+namespace ao::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  // Seed the full state from splitmix64 as the xoshiro authors recommend;
+  // guards against the all-zero state.
+  std::uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  // 53 high bits -> [0,1) double.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float Xoshiro256::next_float() {
+  // 24 high bits -> [0,1) float.
+  return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  return bound == 0 ? 0 : next() % bound;
+}
+
+void fill_uniform(std::span<float> out, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& v : out) {
+    v = rng.next_float();
+  }
+}
+
+void fill_value(std::span<float> out, float value) {
+  for (auto& v : out) {
+    v = value;
+  }
+}
+
+void fill_uniform(std::span<double> out, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& v : out) {
+    v = rng.next_double();
+  }
+}
+
+}  // namespace ao::util

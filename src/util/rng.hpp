@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ao::util {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seedable so that the matrix
+/// workloads the paper describes ("dense and initialized single-precision
+/// R^{n x n} in [0,1]") are reproducible across runs and platforms.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedull);
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform float in [0, 1).
+  float next_float();
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Fills `out` with uniform FP32 values in [0, 1), matching the paper's
+/// matrix initialization.
+void fill_uniform(std::span<float> out, std::uint64_t seed);
+
+/// Fills `out` with a fixed scalar (STREAM array initialization helper).
+void fill_value(std::span<float> out, float value);
+
+/// Fills `out` with uniform FP64 values in [0, 1) (CPU STREAM uses doubles,
+/// as McCalpin's stream.c does).
+void fill_uniform(std::span<double> out, std::uint64_t seed);
+
+}  // namespace ao::util

@@ -1,0 +1,115 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ao::util {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const {
+  AO_REQUIRE(count_ > 0, "mean of empty RunningStats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  AO_REQUIRE(count_ > 0, "variance of empty RunningStats");
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  AO_REQUIRE(count_ > 0, "min of empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  AO_REQUIRE(count_ > 0, "max of empty RunningStats");
+  return max_;
+}
+
+void SampleSet::add(double value) { values_.push_back(value); }
+
+void SampleSet::reset() { values_.clear(); }
+
+double SampleSet::min() const {
+  AO_REQUIRE(!values_.empty(), "min of empty SampleSet");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SampleSet::max() const {
+  AO_REQUIRE(!values_.empty(), "max of empty SampleSet");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SampleSet::mean() const {
+  AO_REQUIRE(!values_.empty(), "mean of empty SampleSet");
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double SampleSet::median() const { return percentile(50.0); }
+
+double SampleSet::stddev() const {
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double SampleSet::percentile(double p) const {
+  AO_REQUIRE(!values_.empty(), "percentile of empty SampleSet");
+  AO_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace ao::util

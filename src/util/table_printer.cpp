@@ -1,0 +1,94 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ao::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AO_REQUIRE(!headers_.empty(), "TablePrinter needs at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_.front() = Align::kLeft;
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  AO_REQUIRE(row.size() == headers_.size(),
+             "row arity does not match header arity");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+void TablePrinter::set_align(std::size_t column, Align align) {
+  AO_REQUIRE(column < aligns_.size(), "column index out of range");
+  aligns_[column] = align;
+}
+
+std::string TablePrinter::to_string(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_cell = [&](const std::string& text, std::size_t c) {
+    std::string out;
+    const std::size_t pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) {
+      out.append(pad, ' ');
+      out += text;
+    } else {
+      out += text;
+      out.append(pad, ' ');
+    }
+    return out;
+  };
+
+  auto render_rule = [&]() {
+    std::string out = "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out.append(widths[c] + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::ostringstream oss;
+  if (!title.empty()) {
+    oss << title << '\n';
+  }
+  oss << render_rule();
+  oss << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    oss << ' ' << render_cell(headers_[c], c) << " |";
+  }
+  oss << '\n' << render_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      oss << render_rule();
+      continue;
+    }
+    oss << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << ' ' << render_cell(row[c], c) << " |";
+    }
+    oss << '\n';
+  }
+  oss << render_rule();
+  return oss.str();
+}
+
+void TablePrinter::print(std::ostream& os, const std::string& title) const {
+  os << to_string(title);
+}
+
+}  // namespace ao::util

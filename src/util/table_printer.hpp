@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ao::util {
+
+/// Fixed-width text table renderer for the benchmark binaries. Reproduces the
+/// row/column structure of the paper's tables (Table 1-3) and the series data
+/// behind its figures in plain terminal output.
+class TablePrinter {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator();
+
+  /// Sets the alignment of one column (default: left for first column, right
+  /// for the rest, which suits "name | number | number" benchmark tables).
+  void set_align(std::size_t column, Align align);
+
+  /// Renders the table; `title` (if non-empty) is printed above it.
+  std::string to_string(const std::string& title = {}) const;
+
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+  std::vector<Align> aligns_;
+};
+
+}  // namespace ao::util

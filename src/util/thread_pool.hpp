@@ -1,0 +1,59 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ao::util {
+
+/// Fixed-size worker pool.
+///
+/// This is the execution engine behind the simulated GPU (ao::metal dispatches
+/// threadgroups onto it) and the parallel CPU kernels (MPS-style SGEMM). It is
+/// deliberately simple — a single locked queue — because the simulated
+/// workloads are coarse-grained (one task per threadgroup / per tile row).
+class ThreadPool {
+ public:
+  /// Creates `worker_count` workers (defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw; exceptions escaping a task
+  /// terminate the process (same contract as a detached GPU shader).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+  /// Work is divided into contiguous chunks, one per worker, which matches
+  /// how the GPU dispatcher carves a grid into threadgroup ranges.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Process-wide pool shared by the simulators, sized to the host's hardware
+/// concurrency. Using one pool keeps the simulated "GPU" and "CPU cluster"
+/// from oversubscribing the actual machine.
+ThreadPool& global_pool();
+
+}  // namespace ao::util

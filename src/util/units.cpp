@@ -1,0 +1,31 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace ao::util {
+
+std::string format_fixed(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return std::string(buf.data());
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    return std::to_string(bytes / kGiB) + " GiB";
+  }
+  if (bytes >= kMiB && bytes % kMiB == 0) {
+    return std::to_string(bytes / kMiB) + " MiB";
+  }
+  if (bytes >= kKiB && bytes % kKiB == 0) {
+    return std::to_string(bytes / kKiB) + " KiB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_ghz(double hz) {
+  return format_fixed(hz / 1e9, 2) + " GHz";
+}
+
+}  // namespace ao::util

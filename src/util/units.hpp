@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ao::util {
+
+/// Unit helpers shared by the benchmark harness and reporters. The paper
+/// reports bandwidth in GB/s (decimal, 1e9), compute in GFLOPS/TFLOPS, power
+/// in mW/W and energy in J; these helpers keep the conversions in one place.
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * 1024ull;
+inline constexpr std::uint64_t kGiB = 1024ull * 1024ull * 1024ull;
+
+/// Apple Silicon exposes 16384-byte pages; the paper allocates all matrices
+/// page-aligned with this size so Metal can wrap them without copying.
+inline constexpr std::size_t kApplePageSize = 16384;
+
+/// seconds -> nanoseconds
+constexpr double seconds_to_ns(double s) { return s * 1e9; }
+/// nanoseconds -> seconds
+constexpr double ns_to_seconds(double ns) { return ns * 1e-9; }
+
+/// bytes and nanoseconds -> GB/s (decimal gigabytes, as STREAM reports)
+constexpr double gb_per_s(double bytes, double ns) {
+  return (bytes / kGiga) / (ns * 1e-9);
+}
+
+/// flop count and nanoseconds -> GFLOPS
+constexpr double gflops(double flops, double ns) {
+  return (flops / kGiga) / (ns * 1e-9);
+}
+
+/// GFLOPS and milliwatts -> GFLOPS per Watt
+constexpr double gflops_per_watt(double gf, double milliwatts) {
+  return milliwatts <= 0.0 ? 0.0 : gf / (milliwatts / 1e3);
+}
+
+/// Render a double with fixed precision (reporting helper).
+std::string format_fixed(double value, int precision);
+
+/// Render byte counts human-readably ("8 GiB", "128 KiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Render a frequency in GHz with two decimals.
+std::string format_ghz(double hz);
+
+}  // namespace ao::util

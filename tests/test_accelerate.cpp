@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accelerate/cblas.hpp"
+#include "accelerate/reference_blas.hpp"
+#include "accelerate/vdsp.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ao::accelerate {
+namespace {
+
+std::vector<float> random_matrix(std::size_t elements, std::uint64_t seed) {
+  std::vector<float> m(elements);
+  util::fill_uniform(std::span<float>(m), seed);
+  return m;
+}
+
+// --------------------------------------------------------- cblas_sgemm -----
+
+TEST(CblasSgemm, Listing1Configuration) {
+  // The paper's exact call: row-major, no transposes, alpha 1, beta 0.
+  const int n = 96;
+  const auto a = random_matrix(n * n, 1);
+  const auto b = random_matrix(n * n, 2);
+  std::vector<float> c(n * n, -9.0f);
+  std::vector<float> expected(n * n);
+  cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, n, n, n, 1.0f,
+              a.data(), n, b.data(), n, 0.0f, c.data(), n);
+  reference::sgemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+                   expected.data(), n);
+  EXPECT_LE(reference::max_abs_diff(expected.data(), c.data(), n, n, n),
+            reference::gemm_tolerance(n));
+}
+
+class CblasTransposeTest
+    : public ::testing::TestWithParam<std::tuple<CBLAS_TRANSPOSE, CBLAS_TRANSPOSE>> {};
+
+TEST_P(CblasTransposeTest, RowMajorAllCombos) {
+  const auto [ta, tb] = GetParam();
+  const int m = 24;
+  const int n = 40;
+  const int k = 56;
+  // Stored shapes depend on the transpose flags.
+  const auto a = random_matrix(static_cast<std::size_t>(m) * k, 3);
+  const auto b = random_matrix(static_cast<std::size_t>(k) * n, 4);
+  const int lda = ta == CblasTrans ? m : k;
+  const int ldb = tb == CblasTrans ? k : n;
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 1.0f);
+  std::vector<float> expected = c;
+  cblas_sgemm(CblasRowMajor, ta, tb, m, n, k, 1.25f, a.data(), lda, b.data(),
+              ldb, 0.75f, c.data(), n);
+  reference::sgemm(ta == CblasTrans, tb == CblasTrans, m, n, k, 1.25f, a.data(),
+                   lda, b.data(), ldb, 0.75f, expected.data(), n);
+  EXPECT_LE(reference::max_abs_diff(expected.data(), c.data(), m, n, n),
+            reference::gemm_tolerance(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, CblasTransposeTest,
+    ::testing::Combine(::testing::Values(CblasNoTrans, CblasTrans),
+                       ::testing::Values(CblasNoTrans, CblasTrans)));
+
+TEST(CblasSgemm, ColMajorMatchesRowMajorTransposedProblem) {
+  const int n = 32;
+  const auto a = random_matrix(n * n, 5);
+  const auto b = random_matrix(n * n, 6);
+  std::vector<float> c_col(n * n, 0.0f);
+  std::vector<float> c_row(n * n, 0.0f);
+  // Column-major C = A*B equals row-major computation on re-interpreted
+  // (transposed) storage; validate against explicitly transposed inputs.
+  cblas_sgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, n, n, n, 1.0f,
+              a.data(), n, b.data(), n, 0.0f, c_col.data(), n);
+  // Row-major equivalent: C^T = B^T A^T with the same buffers.
+  cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, n, n, n, 1.0f,
+              b.data(), n, a.data(), n, 0.0f, c_row.data(), n);
+  for (std::size_t i = 0; i < c_col.size(); ++i) {
+    ASSERT_EQ(c_col[i], c_row[i]);
+  }
+}
+
+TEST(CblasSgemm, DegenerateDimensionsAreNoops) {
+  std::vector<float> a(4, 1.0f);
+  std::vector<float> c(4, 3.0f);
+  cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, 0, 2, 2, 1.0f,
+              a.data(), 2, a.data(), 2, 0.0f, c.data(), 2);
+  EXPECT_EQ(c[0], 3.0f);  // untouched
+}
+
+TEST(CblasSgemm, KZeroScalesByBeta) {
+  std::vector<float> a(4, 1.0f);
+  std::vector<float> c(4, 2.0f);
+  cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, 2, 2, 0, 1.0f,
+              a.data(), 1, a.data(), 2, 0.5f, c.data(), 2);
+  for (const float v : c) {
+    EXPECT_EQ(v, 1.0f);
+  }
+}
+
+TEST(CblasSgemm, RejectsBadLeadingDimension) {
+  std::vector<float> buf(64);
+  EXPECT_THROW(cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, 4, 4, 8,
+                           1.0f, buf.data(), 4 /* < k */, buf.data(), 8, 0.0f,
+                           buf.data(), 4),
+               util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------- vDSP -----
+
+TEST(Vdsp, MmulMatchesCblas) {
+  const std::size_t m = 20;
+  const std::size_t n = 28;
+  const std::size_t p = 36;
+  const auto a = random_matrix(m * p, 7);
+  const auto b = random_matrix(p * n, 8);
+  std::vector<float> c_vdsp(m * n);
+  std::vector<float> c_blas(m * n);
+  vDSP_mmul(a.data(), 1, b.data(), 1, c_vdsp.data(), 1, m, n, p);
+  cblas_sgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, static_cast<int>(m),
+              static_cast<int>(n), static_cast<int>(p), 1.0f, a.data(),
+              static_cast<int>(p), b.data(), static_cast<int>(n), 0.0f,
+              c_blas.data(), static_cast<int>(n));
+  // Both run on the same AMX engine: results are identical, reproducing
+  // "the vDSP and BLAS implementations perform nearly identically".
+  for (std::size_t i = 0; i < c_vdsp.size(); ++i) {
+    ASSERT_EQ(c_vdsp[i], c_blas[i]);
+  }
+}
+
+TEST(Vdsp, VectorAddSub) {
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {10, 20, 30, 40};
+  float c[4];
+  vDSP_vadd(a, 1, b, 1, c, 1, 4);
+  EXPECT_EQ(c[3], 44.0f);
+  // vDSP_vsub(B, A, C) computes C = A - B.
+  vDSP_vsub(a, 1, b, 1, c, 1, 4);
+  EXPECT_EQ(c[0], 9.0f);
+  EXPECT_EQ(c[3], 36.0f);
+}
+
+TEST(Vdsp, StridedAccess) {
+  const float a[] = {1, -1, 2, -1, 3, -1};  // stride 2 reads 1, 2, 3
+  float c[6] = {};
+  const float scalar = 10.0f;
+  vDSP_vsmul(a, 2, &scalar, c, 2, 3);
+  EXPECT_EQ(c[0], 10.0f);
+  EXPECT_EQ(c[2], 20.0f);
+  EXPECT_EQ(c[4], 30.0f);
+  EXPECT_EQ(c[1], 0.0f);  // gaps untouched
+}
+
+TEST(Vdsp, FillDotSumSquareMax) {
+  float buf[5];
+  const float value = 2.5f;
+  vDSP_vfill(&value, buf, 1, 5);
+  for (const float v : buf) {
+    EXPECT_EQ(v, 2.5f);
+  }
+
+  const float x[] = {1, 2, 3};
+  const float y[] = {4, 5, 6};
+  float dot = 0.0f;
+  vDSP_dotpr(x, 1, y, 1, &dot, 3);
+  EXPECT_EQ(dot, 32.0f);
+
+  float sum = 0.0f;
+  vDSP_sve(x, 1, &sum, 3);
+  EXPECT_EQ(sum, 6.0f);
+
+  float squares[3];
+  vDSP_vsq(x, 1, squares, 1, 3);
+  EXPECT_EQ(squares[2], 9.0f);
+
+  float max = 0.0f;
+  vDSP_maxv(y, 1, &max, 3);
+  EXPECT_EQ(max, 6.0f);
+}
+
+TEST(Vdsp, MaxvRequiresElements) {
+  float x = 1.0f;
+  float out;
+  EXPECT_THROW(vDSP_maxv(&x, 1, &out, 0), util::InvalidArgument);
+}
+
+// ------------------------------------------------------------ reference ----
+
+TEST(ReferenceBlas, ToleranceScalesWithDepth) {
+  EXPECT_LT(reference::gemm_tolerance(16), reference::gemm_tolerance(1024));
+  EXPECT_GT(reference::gemm_tolerance(16), 0.0f);
+}
+
+TEST(ReferenceBlas, MaxAbsDiffFindsWorstCell) {
+  const float x[] = {1, 2, 3, 4};
+  const float y[] = {1, 2.5f, 3, 3};
+  EXPECT_EQ(reference::max_abs_diff(x, y, 2, 2, 2), 1.0f);
+}
+
+}  // namespace
+}  // namespace ao::accelerate

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accelerate/reference_blas.hpp"
+#include "ane/neural_engine.hpp"
+#include "util/rng.hpp"
+
+namespace ao::ane {
+namespace {
+
+TEST(NeuralEngine, SixteenCoresEveryGeneration) {
+  for (const auto chip : soc::kAllChipModels) {
+    soc::Soc soc(chip);
+    NeuralEngine ane(soc);
+    EXPECT_EQ(ane.core_count(), 16);
+  }
+}
+
+TEST(NeuralEngine, ThroughputGrowsAcrossGenerations) {
+  double prev = 0.0;
+  for (const auto chip : soc::kAllChipModels) {
+    soc::Soc soc(chip);
+    NeuralEngine ane(soc);
+    EXPECT_GT(ane.peak_int8_tops(), prev);
+    prev = ane.peak_int8_tops();
+  }
+  // M4's 38 TOPS headline number.
+  soc::Soc m4(soc::ChipModel::kM4);
+  EXPECT_DOUBLE_EQ(NeuralEngine(m4).peak_int8_tops(), 38.0);
+}
+
+TEST(NeuralEngine, Fp16IsHalfInt8Rate) {
+  soc::Soc soc(soc::ChipModel::kM2);
+  NeuralEngine ane(soc);
+  EXPECT_DOUBLE_EQ(ane.peak_fp16_tflops(), ane.peak_int8_tops() / 2.0);
+}
+
+TEST(NeuralEngine, GemmMatchesReferenceAtFp16Accuracy) {
+  soc::Soc soc(soc::ChipModel::kM1);
+  NeuralEngine ane(soc);
+  const std::size_t n = 64;
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c(n * n);
+  util::fill_uniform(std::span<float>(a), 1);
+  util::fill_uniform(std::span<float>(b), 2);
+  ane.run_gemm_fp16(n, n, n, a.data(), b.data(), c.data());
+
+  std::vector<float> expected(n * n);
+  accelerate::reference::sgemm(false, false, n, n, n, 1.0f, a.data(), n,
+                               b.data(), n, 0.0f, expected.data(), n);
+  // Inputs round through FP16 (~1e-3 relative); dot products of length 64 of
+  // [0,1) values stay below ~16 magnitude: allow a proportional bound.
+  const float err = accelerate::reference::max_abs_diff(expected.data(),
+                                                        c.data(), n, n, n);
+  EXPECT_LT(err, 0.05f);
+  EXPECT_GT(err, 0.0f);  // FP16 rounding must actually be visible
+}
+
+TEST(NeuralEngine, ChargesAneTimeAndPower) {
+  soc::Soc soc(soc::ChipModel::kM3);
+  NeuralEngine ane(soc);
+  const std::size_t n = 32;
+  std::vector<float> a(n * n, 0.5f);
+  std::vector<float> b(n * n, 0.5f);
+  std::vector<float> c(n * n);
+  const double ns = ane.run_gemm_fp16(n, n, n, a.data(), b.data(), c.data());
+  EXPECT_GT(ns, 0.0);
+  ASSERT_FALSE(soc.activity().empty());
+  const auto& rec = soc.activity().records().back();
+  EXPECT_EQ(rec.unit, soc::ComputeUnit::kNeuralEngine);
+  EXPECT_DOUBLE_EQ(rec.watts, ane.active_power_watts());
+}
+
+TEST(NeuralEngine, AneBeatsAmxOnFp16Throughput) {
+  // Section 2.3: "The Neural Engine delivers higher throughput for matrix
+  // operations than AMX but at lower precision."
+  for (const auto chip : soc::kAllChipModels) {
+    soc::Soc soc(chip);
+    NeuralEngine ane(soc);
+    const double accelerate_peak =
+        soc::gemm_calibration(chip, soc::GemmImpl::kCpuAccelerate).peak_gflops;
+    EXPECT_GT(ane.sustained_fp16_gflops(), accelerate_peak) << soc::to_string(chip);
+  }
+}
+
+// ------------------------------------------------------ CoreML dispatch ----
+
+TEST(CoreMLRuntime, AneChosenWhenAllowedAndCompatible) {
+  soc::Soc soc(soc::ChipModel::kM4);
+  CoreMLRuntime runtime(soc, ComputeUnits::kAll);
+  EXPECT_EQ(runtime.plan_gemm(256, 256, 256), DispatchTarget::kNeuralEngine);
+}
+
+TEST(CoreMLRuntime, IncompatibleShapeFallsBackSilently) {
+  // Section 2.3: Core ML "does not provide granular control nor guarantees
+  // that the Neural Engine is used for execution".
+  soc::Soc soc(soc::ChipModel::kM4);
+  CoreMLRuntime runtime(soc, ComputeUnits::kAll);
+  EXPECT_EQ(runtime.plan_gemm(100, 256, 256), DispatchTarget::kGpu);  // m%16
+  EXPECT_EQ(runtime.plan_gemm(256, 256, 32768), DispatchTarget::kGpu);  // k cap
+}
+
+TEST(CoreMLRuntime, PreferenceRestrictsPlacement) {
+  soc::Soc soc(soc::ChipModel::kM1);
+  CoreMLRuntime cpu_only(soc, ComputeUnits::kCpuOnly);
+  EXPECT_EQ(cpu_only.plan_gemm(256, 256, 256), DispatchTarget::kCpu);
+  CoreMLRuntime cpu_gpu(soc, ComputeUnits::kCpuAndGpu);
+  EXPECT_EQ(cpu_gpu.plan_gemm(256, 256, 256), DispatchTarget::kGpu);
+  CoreMLRuntime cpu_ane(soc, ComputeUnits::kCpuAndNeuralEngine);
+  EXPECT_EQ(cpu_ane.plan_gemm(256, 256, 256), DispatchTarget::kNeuralEngine);
+  // ANE-preferring runtime still falls back to CPU for incompatible shapes.
+  EXPECT_EQ(cpu_ane.plan_gemm(100, 100, 100), DispatchTarget::kCpu);
+}
+
+TEST(CoreMLRuntime, NamesMatchCoreML) {
+  EXPECT_EQ(to_string(ComputeUnits::kAll), "MLComputeUnitsAll");
+  EXPECT_EQ(to_string(DispatchTarget::kNeuralEngine), "NeuralEngine");
+}
+
+}  // namespace
+}  // namespace ao::ane

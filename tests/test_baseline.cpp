@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "baseline/reference_systems.hpp"
+#include "soc/calibration.hpp"
+
+namespace ao::baseline {
+namespace {
+
+TEST(Gh200, PaperAnchors) {
+  // Section 5.1-5.2 HPC Perspective boxes.
+  EXPECT_DOUBLE_EQ(Gh200::kGraceStreamGbs, 310.0);
+  EXPECT_DOUBLE_EQ(Gh200::kHopperHbm3StreamGbs, 3700.0);
+  EXPECT_DOUBLE_EQ(Gh200::kCudaSgemmTflops, 41.0);
+  EXPECT_DOUBLE_EQ(Gh200::kTensorTf32Tflops, 338.0);
+}
+
+TEST(Gh200, EfficiencyFractionsMatchPaper) {
+  // Grace 81%, HBM3 94%.
+  const auto& refs = stream_references();
+  ASSERT_GE(refs.size(), 2u);
+  EXPECT_NEAR(refs[0].efficiency(), 0.81, 0.01);
+  EXPECT_NEAR(refs[1].efficiency(), 0.94, 0.015);
+}
+
+TEST(StreamReferences, ContainsAllQuotedSystems) {
+  const auto& refs = stream_references();
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_NE(refs[0].system.find("Grace"), std::string::npos);
+  EXPECT_NE(refs[1].system.find("Hopper"), std::string::npos);
+  EXPECT_NE(refs[2].system.find("MI250X"), std::string::npos);
+  EXPECT_DOUBLE_EQ(refs[2].measured_gbs, 28.0);
+}
+
+TEST(GemmReferences, TensorCoreCaveatMarked) {
+  // "the comparison to Tensor Cores is unfair since these use mixed
+  // precision" — the caveat must travel with the data.
+  const auto& refs = gemm_references();
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_FALSE(refs[0].mixed_precision_caveat);  // CUDA cores, plain FP32
+  EXPECT_TRUE(refs[1].mixed_precision_caveat);   // TF32 tensor cores
+  EXPECT_EQ(refs[1].precision, "TF32");
+  EXPECT_DOUBLE_EQ(refs[2].measured_tflops, 5.7);  // Xeon Max DGEMM
+  EXPECT_EQ(refs[2].precision, "FP64");
+}
+
+TEST(EfficiencyReferences, Green500AndGpus) {
+  const auto& refs = efficiency_references();
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_DOUBLE_EQ(refs[0].gflops_per_watt, 72.0);   // Green500 #1
+  EXPECT_DOUBLE_EQ(refs[1].gflops_per_watt, 700.0);  // A100
+  EXPECT_DOUBLE_EQ(refs[2].gflops_per_watt, 510.0);  // RTX 4090
+  EXPECT_DOUBLE_EQ(refs[2].power_watts, 174.0);
+}
+
+TEST(CrossComparison, Gh200OutclassesMSeriesAsPaperConcludes) {
+  // "a state-of-the-art Nvidia GH200 achieves similar efficiencies at two
+  // orders of magnitude better performance" (bandwidth, HBM3 vs M-series)
+  // and 41 TFLOPS vs 2.9 TFLOPS FP32.
+  const double m4_bw = soc::calibration(soc::ChipModel::kM4).stream.cpu_peak_gbs();
+  EXPECT_GT(Gh200::kHopperHbm3StreamGbs / m4_bw, 30.0);
+  const double m4_mps =
+      soc::gemm_calibration(soc::ChipModel::kM4, soc::GemmImpl::kGpuMps)
+          .peak_gflops;
+  EXPECT_GT(Gh200::kCudaSgemmTflops * 1e3 / m4_mps, 10.0);
+}
+
+TEST(CrossComparison, MSeriesEfficiencyBeatsGreen500Number) {
+  // "Our lowest measurement ... achieved 200 GFLOPS/Watt" vs Green500's 72 —
+  // with the paper's own caveat that powermetrics numbers are estimates.
+  for (const auto chip : soc::kAllChipModels) {
+    const auto& mps = soc::gemm_calibration(chip, soc::GemmImpl::kGpuMps);
+    EXPECT_GT(mps.peak_gflops / mps.power_watts,
+              efficiency_references()[0].gflops_per_watt);
+  }
+}
+
+}  // namespace
+}  // namespace ao::baseline

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "metal/compute_command_encoder.hpp"
+#include "power/powermetrics.hpp"
+#include "util/csv_writer.hpp"
+#include "util/rng.hpp"
+
+namespace ao {
+namespace {
+
+/// Randomized property sweeps: deterministic seeds, so failures reproduce.
+
+// ------------------------------------------------ metal dispatch fuzz ------
+
+TEST(DispatchFuzz, RandomGridsCoverEveryThreadExactlyOnce) {
+  core::System system(soc::ChipModel::kM1);
+  util::Xoshiro256 rng(2024);
+
+  for (int round = 0; round < 25; ++round) {
+    const auto gx = static_cast<std::uint32_t>(1 + rng.next_below(7));
+    const auto gy = static_cast<std::uint32_t>(1 + rng.next_below(5));
+    const auto gz = static_cast<std::uint32_t>(1 + rng.next_below(3));
+    const auto tx = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    const auto ty = static_cast<std::uint32_t>(1 + rng.next_below(8));
+    const auto tz = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    if (tx * ty * tz > 1024) {
+      continue;
+    }
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(gx) * gy * gz * tx * ty * tz;
+
+    std::vector<std::atomic<int>> hits(total);
+    metal::Kernel k;
+    k.name = "coverage_probe";
+    k.body = metal::ThreadKernelFn([&hits, gx, tx, gy, ty](
+                                       const metal::ArgumentTable&,
+                                       const metal::ThreadContext& ctx) {
+      const std::uint64_t w = static_cast<std::uint64_t>(gx) * tx;
+      const std::uint64_t h = static_cast<std::uint64_t>(gy) * ty;
+      const std::uint64_t index =
+          ctx.thread_position_in_grid.x +
+          w * (ctx.thread_position_in_grid.y +
+               h * static_cast<std::uint64_t>(ctx.thread_position_in_grid.z));
+      hits[index].fetch_add(1);
+    });
+    k.estimator = [](const metal::ArgumentTable&, const metal::DispatchShape&) {
+      return metal::WorkEstimate::generic(1.0, 1.0);
+    };
+
+    auto pipeline = system.device().new_compute_pipeline_state(k);
+    auto cmd = system.default_queue()->command_buffer();
+    auto enc = cmd->compute_command_encoder();
+    enc->set_compute_pipeline_state(pipeline);
+    enc->dispatch_threadgroups({gx, gy, gz}, {tx, ty, tz});
+    enc->end_encoding();
+    cmd->commit();
+
+    for (std::uint64_t i = 0; i < total; ++i) {
+      ASSERT_EQ(hits[i].load(), 1)
+          << "round " << round << " grid " << gx << "x" << gy << "x" << gz
+          << " tg " << tx << "x" << ty << "x" << tz << " thread " << i;
+    }
+  }
+}
+
+// -------------------------------------------------- powermetrics fuzz ------
+
+TEST(PowerMetricsFuzz, RandomSessionsParseBackExactly) {
+  util::Xoshiro256 rng(77);
+  for (int round = 0; round < 20; ++round) {
+    soc::Soc soc(soc::kAllChipModels[rng.next_below(4)]);
+    power::PowerMetrics pm(soc, power::SamplerSet{true, true, true});
+    pm.start();
+
+    const int samples = 1 + static_cast<int>(rng.next_below(6));
+    for (int s = 0; s < samples; ++s) {
+      // Random mix of idle and unit activity.
+      const int segments = 1 + static_cast<int>(rng.next_below(4));
+      for (int seg = 0; seg < segments; ++seg) {
+        const double dur = 1e6 + static_cast<double>(rng.next_below(1'000'000'000));
+        switch (rng.next_below(4)) {
+          case 0:
+            soc.idle(dur);
+            break;
+          case 1:
+            soc.execute(soc::ComputeUnit::kGpu, dur, rng.next_double() * 15.0,
+                        0.5);
+            break;
+          case 2:
+            soc.execute(soc::ComputeUnit::kAmx, dur, rng.next_double() * 6.0,
+                        0.5);
+            break;
+          default:
+            soc.execute(soc::ComputeUnit::kNeuralEngine, dur,
+                        rng.next_double() * 4.0, 0.5);
+            break;
+        }
+      }
+      pm.siginfo();
+    }
+    pm.stop();
+
+    const auto parsed = power::parse_powermetrics_output(pm.output_text());
+    ASSERT_EQ(parsed.size(), pm.samples().size()) << "round " << round;
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      // Text rounds to whole mW.
+      EXPECT_NEAR(parsed[i].cpu_mw, pm.samples()[i].cpu_mw, 0.51);
+      EXPECT_NEAR(parsed[i].gpu_mw, pm.samples()[i].gpu_mw, 0.51);
+      EXPECT_NEAR(parsed[i].ane_mw, pm.samples()[i].ane_mw, 0.51);
+      EXPECT_NEAR(parsed[i].combined_mw, pm.samples()[i].combined_mw, 0.51);
+      // Conservation: combined == cpu + gpu + ane in every sample.
+      EXPECT_NEAR(pm.samples()[i].combined_mw,
+                  pm.samples()[i].cpu_mw + pm.samples()[i].gpu_mw +
+                      pm.samples()[i].ane_mw,
+                  1e-9);
+    }
+  }
+}
+
+TEST(PowerMetricsFuzz, EnergyNeverNegativeAndAdditive) {
+  util::Xoshiro256 rng(88);
+  soc::Soc soc(soc::ChipModel::kM4);
+  power::PowerModel model(soc);
+  std::uint64_t checkpoint = 0;
+  double accumulated = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double dur = 1e6 + static_cast<double>(rng.next_below(100'000'000));
+    soc.execute(soc::ComputeUnit::kGpu, dur, rng.next_double() * 20.0, 1.0);
+    const std::uint64_t now = soc.clock().now();
+    const double segment = model.energy_joules(checkpoint, now);
+    EXPECT_GE(segment, 0.0);
+    accumulated += segment;
+    checkpoint = now;
+  }
+  // Sum of disjoint windows equals the full-window integral.
+  EXPECT_NEAR(accumulated, model.energy_joules(0, soc.clock().now()),
+              accumulated * 1e-9);
+}
+
+// --------------------------------------------------------- csv fuzz --------
+
+TEST(CsvFuzz, RandomContentRoundTrips) {
+  util::Xoshiro256 rng(99);
+  const std::string alphabet =
+      "abcXYZ019 ,\"\n\r;|\t-_=()";
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t cols = 1 + rng.next_below(6);
+    const std::size_t rows = rng.next_below(8);
+    std::vector<std::string> header;
+    for (std::size_t c = 0; c < cols; ++c) {
+      header.push_back("col" + std::to_string(c));
+    }
+    util::CsvWriter csv(header);
+    std::vector<std::vector<std::string>> expected;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (std::size_t c = 0; c < cols; ++c) {
+        std::string field;
+        const std::size_t len = rng.next_below(12);
+        for (std::size_t i = 0; i < len; ++i) {
+          field += alphabet[rng.next_below(alphabet.size())];
+        }
+        row.push_back(field);
+      }
+      expected.push_back(row);
+      csv.add_row(row);
+    }
+    const auto parsed = util::parse_csv(csv.to_string());
+    ASSERT_EQ(parsed.size(), rows + 1) << "round " << round;
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(parsed[r + 1], expected[r]) << "round " << round;
+    }
+  }
+}
+
+// -------------------------------------------------- simulated time fuzz ----
+
+TEST(TimelineFuzz, ClockMonotoneUnderRandomWorkloads) {
+  util::Xoshiro256 rng(111);
+  core::System system(soc::ChipModel::kM2);
+  soc::PerfModel perf(system.soc());
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto impl = soc::kAllGemmImpls[rng.next_below(6)];
+    const std::size_t n = 32u << rng.next_below(6);
+    system.soc().execute(
+        soc::ComputeUnit::kGpu, perf.gemm_time_ns(impl, n),
+        perf.gemm_power_watts(impl, n), perf.gemm_utilization(impl, n));
+    ASSERT_GT(system.soc().clock().now(), last);
+    last = system.soc().clock().now();
+  }
+  // Activity log is time-ordered and gap-free under back-to-back execution.
+  const auto& records = system.soc().activity().records();
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    ASSERT_EQ(records[i].start_ns, records[i - 1].end_ns);
+  }
+}
+
+}  // namespace
+}  // namespace ao

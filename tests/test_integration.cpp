@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/system.hpp"
+#include "harness/experiment.hpp"
+#include "harness/matrix_workload.hpp"
+#include "harness/reporting.hpp"
+#include "stream/cpu_stream.hpp"
+#include "stream/gpu_stream.hpp"
+
+namespace ao {
+namespace {
+
+/// Runs the full Figure-2/3/4 pipeline at model-only fidelity over the whole
+/// paper size range for every chip. This is the integration spine: if any
+/// wiring between harness, gemm, metal, mps, power and soc breaks, this
+/// fails.
+std::vector<harness::GemmMeasurement> full_model_sweep() {
+  std::vector<harness::GemmMeasurement> all;
+  for (const auto chip : soc::kAllChipModels) {
+    core::System system(chip);
+    harness::GemmExperiment::Options opts;
+    opts.repetitions = 5;
+    for (auto& [impl, ceiling] : opts.functional_n_max) {
+      ceiling = 0;  // model-only: the sweep covers n up to 16384
+    }
+    harness::GemmExperiment experiment(system.gemm_context(), opts);
+    auto results = experiment.run_suite(
+        {soc::kAllGemmImpls.begin(), soc::kAllGemmImpls.end()},
+        harness::paper_sizes());
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  return all;
+}
+
+const std::vector<harness::GemmMeasurement>& sweep() {
+  static const auto results = full_model_sweep();
+  return results;
+}
+
+double peak_gflops(soc::ChipModel chip, soc::GemmImpl impl) {
+  double best = 0.0;
+  for (const auto& r : sweep()) {
+    if (r.chip == chip && r.impl == impl) {
+      best = std::max(best, r.best_gflops);
+    }
+  }
+  return best;
+}
+
+double peak_efficiency(soc::ChipModel chip, soc::GemmImpl impl) {
+  double best = 0.0;
+  for (const auto& r : sweep()) {
+    if (r.chip == chip && r.impl == impl) {
+      best = std::max(best, r.gflops_per_watt);
+    }
+  }
+  return best;
+}
+
+TEST(Integration, SweepHasExpectedRowCount) {
+  // 10 sizes x 6 impls, minus the 2x2 skipped slow-CPU rows, per chip.
+  const std::size_t per_chip = 10 * 6 - 4;
+  EXPECT_EQ(sweep().size(), per_chip * 4);
+}
+
+TEST(Integration, PaperPeakGflopsReproduced) {
+  // Section 5.2's headline numbers, within 5%.
+  const std::map<std::pair<soc::ChipModel, soc::GemmImpl>, double> expected = {
+      {{soc::ChipModel::kM1, soc::GemmImpl::kCpuAccelerate}, 900},
+      {{soc::ChipModel::kM2, soc::GemmImpl::kCpuAccelerate}, 1090},
+      {{soc::ChipModel::kM3, soc::GemmImpl::kCpuAccelerate}, 1380},
+      {{soc::ChipModel::kM4, soc::GemmImpl::kCpuAccelerate}, 1490},
+      {{soc::ChipModel::kM1, soc::GemmImpl::kGpuMps}, 1360},
+      {{soc::ChipModel::kM2, soc::GemmImpl::kGpuMps}, 2240},
+      {{soc::ChipModel::kM3, soc::GemmImpl::kGpuMps}, 2470},
+      {{soc::ChipModel::kM4, soc::GemmImpl::kGpuMps}, 2900},
+      {{soc::ChipModel::kM1, soc::GemmImpl::kGpuNaive}, 200},
+      {{soc::ChipModel::kM4, soc::GemmImpl::kGpuNaive}, 540},
+      {{soc::ChipModel::kM1, soc::GemmImpl::kGpuCutlass}, 150},
+      {{soc::ChipModel::kM4, soc::GemmImpl::kGpuCutlass}, 340},
+  };
+  for (const auto& [key, gflops] : expected) {
+    EXPECT_NEAR(peak_gflops(key.first, key.second), gflops, gflops * 0.05)
+        << soc::to_string(key.first) << "/" << soc::to_string(key.second);
+  }
+}
+
+TEST(Integration, M1CpuAndGpuComparableThenGpuPullsAhead) {
+  // "the M1 CPU and GPU have similar performance ... while starting from
+  // the M2, the GPU significantly outperforms the CPU."
+  const double m1_ratio = peak_gflops(soc::ChipModel::kM1, soc::GemmImpl::kGpuMps) /
+                          peak_gflops(soc::ChipModel::kM1, soc::GemmImpl::kCpuAccelerate);
+  EXPECT_LT(m1_ratio, 1.6);
+  for (const auto chip :
+       {soc::ChipModel::kM2, soc::ChipModel::kM3, soc::ChipModel::kM4}) {
+    const double ratio = peak_gflops(chip, soc::GemmImpl::kGpuMps) /
+                         peak_gflops(chip, soc::GemmImpl::kCpuAccelerate);
+    EXPECT_GT(ratio, 1.75) << soc::to_string(chip);
+  }
+}
+
+TEST(Integration, GpuLosesAtSmallSizes) {
+  // Figure 2's crossover: at n = 32 every GPU path is slower than the CPU
+  // baseline on every chip.
+  for (const auto& r : sweep()) {
+    if (r.n != 32 || !soc::is_gpu_impl(r.impl)) {
+      continue;
+    }
+    double cpu_single = 0.0;
+    for (const auto& s : sweep()) {
+      if (s.chip == r.chip && s.n == 32 && s.impl == soc::GemmImpl::kCpuSingle) {
+        cpu_single = s.best_gflops;
+      }
+    }
+    EXPECT_LT(r.best_gflops, cpu_single)
+        << soc::to_string(r.chip) << "/" << soc::to_string(r.impl);
+  }
+}
+
+TEST(Integration, MpsEfficiencyReaches200GflopsPerWatt) {
+  // "All four chips reached the efficiency of 200 GFLOPS per Watt with
+  // GPU-MPS"; per-chip peaks 210/400/460/330.
+  const std::array<double, 4> expected = {210, 400, 460, 330};
+  for (std::size_t i = 0; i < soc::kAllChipModels.size(); ++i) {
+    const double eff =
+        peak_efficiency(soc::kAllChipModels[i], soc::GemmImpl::kGpuMps);
+    EXPECT_GE(eff, 200.0) << soc::to_string(soc::kAllChipModels[i]);
+    EXPECT_NEAR(eff, expected[i], expected[i] * 0.10);
+  }
+}
+
+TEST(Integration, AccelerateEfficiencyMatchesPaper) {
+  // CPU-Accelerate: 0.25 / 0.20 / 0.27 / 0.23 TFLOPS/W.
+  const std::array<double, 4> expected = {250, 200, 270, 230};
+  for (std::size_t i = 0; i < soc::kAllChipModels.size(); ++i) {
+    EXPECT_NEAR(peak_efficiency(soc::kAllChipModels[i],
+                                soc::GemmImpl::kCpuAccelerate),
+                expected[i], expected[i] * 0.10);
+  }
+}
+
+TEST(Integration, CpuLoopsStayUnderOneGflopPerWatt) {
+  for (const auto& r : sweep()) {
+    if ((r.impl == soc::GemmImpl::kCpuSingle ||
+         r.impl == soc::GemmImpl::kCpuOmp) &&
+        r.n >= 2048) {
+      EXPECT_LT(r.gflops_per_watt, 1.0)
+          << soc::to_string(r.chip) << "/" << soc::to_string(r.impl)
+          << " n=" << r.n;
+    }
+  }
+}
+
+TEST(Integration, PowerStaysInPaperEnvelope) {
+  // "our measurements range from a few to 20 Watts" (Figure 3: <= ~20000 mW).
+  for (const auto& r : sweep()) {
+    if (r.n >= 2048) {
+      EXPECT_GT(r.power_mw, 500.0) << soc::to_string(r.impl);
+      EXPECT_LE(r.power_mw, 21000.0)
+          << soc::to_string(r.chip) << "/" << soc::to_string(r.impl);
+    }
+  }
+}
+
+TEST(Integration, M4CutlassIsThePowerCeiling) {
+  double cutlass_m4 = 0.0;
+  double overall_max = 0.0;
+  for (const auto& r : sweep()) {
+    if (r.n < 2048) {
+      continue;  // Figure 3's size range
+    }
+    overall_max = std::max(overall_max, r.power_mw);
+    if (r.chip == soc::ChipModel::kM4 && r.impl == soc::GemmImpl::kGpuCutlass) {
+      cutlass_m4 = std::max(cutlass_m4, r.power_mw);
+    }
+  }
+  EXPECT_NEAR(cutlass_m4, overall_max, 1.0);
+}
+
+TEST(Integration, LaptopsDissipateLessThanDesktops) {
+  // Section 7: M1/M3 (MacBook Air) sit below M2/M4 (Mac mini) in sustained
+  // draw for the same implementation class.
+  auto max_power = [&](soc::ChipModel chip) {
+    double best = 0.0;
+    for (const auto& r : sweep()) {
+      if (r.chip == chip && r.impl == soc::GemmImpl::kCpuOmp && r.n >= 2048) {
+        best = std::max(best, r.power_mw);
+      }
+    }
+    return best;
+  };
+  EXPECT_LT(max_power(soc::ChipModel::kM1), max_power(soc::ChipModel::kM2));
+  EXPECT_LT(max_power(soc::ChipModel::kM3), max_power(soc::ChipModel::kM4));
+}
+
+TEST(Integration, ReportsRenderForFullSweep) {
+  for (const auto chip : soc::kAllChipModels) {
+    EXPECT_GT(harness::figure2_table(chip, sweep()).row_count(), 0u);
+    EXPECT_GT(harness::figure3_table(chip, sweep()).row_count(), 0u);
+    EXPECT_GT(harness::figure4_table(chip, sweep()).row_count(), 0u);
+    EXPECT_FALSE(harness::figure2_plot(chip, sweep()).empty());
+  }
+  EXPECT_EQ(harness::figure2_csv(sweep()).row_count(), sweep().size());
+}
+
+TEST(Integration, StreamAndGemmShareOneTimeline) {
+  // Running STREAM then GEMM on one system keeps a single consistent
+  // simulated timeline and activity log.
+  core::System system(soc::ChipModel::kM1);
+  stream::CpuStream cpu_stream(system.soc(), 1u << 16);
+  cpu_stream.run(4, 2);
+  const auto after_stream = system.soc().clock().now();
+  EXPECT_GT(after_stream, 0u);
+
+  harness::GemmExperiment experiment(system.gemm_context());
+  auto impl = gemm::create_gemm(soc::GemmImpl::kGpuMps, system.gemm_context());
+  harness::MatrixSet matrices(128, true);
+  experiment.measure(*impl, matrices);
+  EXPECT_GT(system.soc().clock().now(), after_stream);
+
+  bool has_cpu = false;
+  bool has_gpu = false;
+  for (const auto& rec : system.soc().activity().records()) {
+    has_cpu |= rec.unit == soc::ComputeUnit::kCpuPCluster;
+    has_gpu |= rec.unit == soc::ComputeUnit::kGpu;
+  }
+  EXPECT_TRUE(has_cpu);
+  EXPECT_TRUE(has_gpu);
+}
+
+}  // namespace
+}  // namespace ao

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "mem/unified_memory.hpp"
+#include "metal/compute_command_encoder.hpp"
+#include "metal/device.hpp"
+#include "soc/soc.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/error.hpp"
+
+namespace ao::metal {
+namespace {
+
+class MetalTest : public ::testing::Test {
+ protected:
+  soc::Soc soc_{soc::ChipModel::kM1};
+  mem::UnifiedMemory memory_{soc_};
+  Device device_{soc_, memory_};
+};
+
+/// A trivial per-thread kernel writing its global x index.
+Kernel make_index_kernel() {
+  Kernel k;
+  k.name = "write_index";
+  k.body = ThreadKernelFn([](const ArgumentTable& args, const ThreadContext& ctx) {
+    const auto n = args.value<std::uint32_t>(1);
+    const std::uint32_t i = ctx.thread_position_in_grid.x;
+    if (i < n) {
+      args.buffer_data<float>(0)[i] = static_cast<float>(i);
+    }
+  });
+  k.estimator = [](const ArgumentTable&, const DispatchShape& shape) {
+    return WorkEstimate::generic(static_cast<double>(shape.total_threads()),
+                                 static_cast<double>(shape.total_threads()) * 4);
+  };
+  return k;
+}
+
+// ------------------------------------------------------------ device -------
+
+TEST_F(MetalTest, DeviceNameAndCores) {
+  EXPECT_EQ(device_.name(), "Apple M1");
+  EXPECT_EQ(device_.gpu_core_count(), 8);
+}
+
+TEST_F(MetalTest, NewBufferAllocatesFromPool) {
+  const auto before = memory_.allocated_bytes();
+  auto buf = device_.new_buffer(1 << 20, mem::StorageMode::kShared);
+  EXPECT_GT(memory_.allocated_bytes(), before);
+  EXPECT_EQ(buf->length(), 1u << 20);
+  EXPECT_FALSE(buf->is_no_copy());
+}
+
+TEST_F(MetalTest, NewBufferRejectsMallocMode) {
+  EXPECT_THROW(device_.new_buffer(100, mem::StorageMode::kCpuMalloc),
+               util::InvalidArgument);
+}
+
+TEST_F(MetalTest, PrivateBufferContentsThrows) {
+  auto buf = device_.new_buffer(4096, mem::StorageMode::kPrivate);
+  EXPECT_THROW(buf->contents(), util::StateError);
+  EXPECT_NE(buf->gpu_contents(), nullptr);  // simulator-side access works
+}
+
+// -------------------------------------------------------- no-copy rules ----
+
+TEST_F(MetalTest, NoCopyWrapsPageAlignedMemory) {
+  util::AlignedBuffer host(16384);
+  auto buf = device_.new_buffer_with_bytes_no_copy(host.data(), host.capacity(),
+                                                   mem::StorageMode::kShared);
+  EXPECT_TRUE(buf->is_no_copy());
+  EXPECT_EQ(buf->contents(), host.data());  // zero-copy: same pointer
+}
+
+TEST_F(MetalTest, NoCopyRejectsMisalignedPointer) {
+  util::AlignedBuffer host(2 * 16384);
+  auto* misaligned = static_cast<std::byte*>(host.data()) + 64;
+  EXPECT_THROW(device_.new_buffer_with_bytes_no_copy(misaligned, 16384,
+                                                     mem::StorageMode::kShared),
+               util::InvalidArgument);
+}
+
+TEST_F(MetalTest, NoCopyRejectsPartialPageLength) {
+  util::AlignedBuffer host(16384);
+  EXPECT_THROW(device_.new_buffer_with_bytes_no_copy(host.data(), 1000,
+                                                     mem::StorageMode::kShared),
+               util::InvalidArgument);
+}
+
+TEST_F(MetalTest, NoCopyRejectsPrivateMode) {
+  util::AlignedBuffer host(16384);
+  EXPECT_THROW(device_.new_buffer_with_bytes_no_copy(
+                   host.data(), 16384, mem::StorageMode::kPrivate),
+               util::InvalidArgument);
+}
+
+// ------------------------------------------------------ argument table -----
+
+TEST(ArgumentTable, BytesRoundTrip) {
+  ArgumentTable args;
+  args.set_value<std::uint32_t>(3, 1024);  // (index, value)
+  args.set_value<float>(4, 3.5f);
+  EXPECT_EQ(args.value<std::uint32_t>(3), 1024u);
+  EXPECT_EQ(args.value<float>(4), 3.5f);
+}
+
+TEST(ArgumentTable, UnboundSlotThrows) {
+  ArgumentTable args;
+  EXPECT_THROW(args.value<float>(0), util::InvalidArgument);
+  EXPECT_FALSE(args.has_slot(0));
+}
+
+TEST(ArgumentTable, SlotLimitEnforced) {
+  ArgumentTable args;
+  float v = 0.0f;
+  EXPECT_THROW(args.set_bytes(31, &v, sizeof(v)), util::InvalidArgument);
+}
+
+TEST(ArgumentTable, InlineBytesLimitedTo4K) {
+  ArgumentTable args;
+  std::vector<std::byte> big(8192);
+  EXPECT_THROW(args.set_bytes(0, big.data(), big.size()),
+               util::InvalidArgument);
+}
+
+TEST(ArgumentTable, WrongKindThrows) {
+  ArgumentTable args;
+  args.set_value<float>(1.0f, 0);
+  EXPECT_THROW(args.buffer(0), util::InvalidArgument);
+}
+
+// ------------------------------------------------------------ library ------
+
+TEST_F(MetalTest, LibraryLookup) {
+  Library lib("test.metallib");
+  lib.add(make_index_kernel());
+  EXPECT_TRUE(lib.contains("write_index"));
+  EXPECT_EQ(lib.function("write_index").name, "write_index");
+  EXPECT_THROW(lib.function("missing"), util::InvalidArgument);
+  EXPECT_THROW(lib.add(make_index_kernel()), util::InvalidArgument);  // dup
+}
+
+// -------------------------------------------- command buffer lifecycle -----
+
+TEST_F(MetalTest, LifecycleStateMachine) {
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  EXPECT_EQ(cmd->status(), CommandBuffer::Status::kNotEnqueued);
+  EXPECT_THROW(cmd->wait_until_completed(), util::StateError);
+
+  auto enc = cmd->compute_command_encoder();
+  EXPECT_THROW(cmd->compute_command_encoder(), util::StateError);  // 2nd open
+  EXPECT_THROW(cmd->commit(), util::StateError);  // encoder still open
+  enc->end_encoding();
+  EXPECT_THROW(enc->end_encoding(), util::InvalidArgument);  // twice
+
+  cmd->commit();
+  EXPECT_EQ(cmd->status(), CommandBuffer::Status::kCompleted);
+  EXPECT_THROW(cmd->commit(), util::StateError);  // double commit
+  cmd->wait_until_completed();                    // now legal
+}
+
+TEST_F(MetalTest, DispatchWithoutPipelineThrows) {
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  EXPECT_THROW(enc->dispatch_threadgroups({1, 1, 1}, {1, 1, 1}),
+               util::InvalidArgument);
+}
+
+TEST_F(MetalTest, OversizedThreadgroupRejected) {
+  auto pipeline = device_.new_compute_pipeline_state(make_index_kernel());
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  EXPECT_THROW(enc->dispatch_threadgroups({1, 1, 1}, {64, 64, 1}),
+               util::InvalidArgument);  // 4096 > 1024
+}
+
+TEST_F(MetalTest, QueueCountsBuffers) {
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  cmd->compute_command_encoder()->end_encoding();
+  cmd->commit();
+  EXPECT_EQ(queue->buffers_created(), 1u);
+  EXPECT_EQ(queue->buffers_completed(), 1u);
+}
+
+// --------------------------------------------------------- execution -------
+
+TEST_F(MetalTest, ThreadKernelCoversGrid) {
+  const std::uint32_t n = 1000;
+  auto buf = device_.new_buffer(n * sizeof(float), mem::StorageMode::kShared);
+  auto pipeline = device_.new_compute_pipeline_state(make_index_kernel());
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  enc->set_buffer(buf.get(), 0, 0);
+  enc->set_value<std::uint32_t>(n, 1);
+  enc->dispatch_threads({n, 1, 1}, {256, 1, 1});
+  enc->end_encoding();
+  cmd->commit();
+  cmd->wait_until_completed();
+
+  const auto* data = static_cast<const float*>(buf->contents());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(data[i], static_cast<float>(i)) << "thread " << i << " missing";
+  }
+}
+
+TEST_F(MetalTest, CommitAdvancesSimulatedClockAndLogsGpu) {
+  auto pipeline = device_.new_compute_pipeline_state(make_index_kernel());
+  auto buf = device_.new_buffer(4096, mem::StorageMode::kShared);
+  auto queue = device_.new_command_queue();
+  const auto t0 = soc_.clock().now();
+
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  enc->set_buffer(buf.get(), 0, 0);
+  enc->set_value<std::uint32_t>(64, 1);
+  enc->dispatch_threads({64, 1, 1}, {64, 1, 1});
+  enc->end_encoding();
+  cmd->commit();
+
+  EXPECT_GT(soc_.clock().now(), t0);
+  EXPECT_GT(cmd->gpu_time_ns(), 0.0);
+  ASSERT_FALSE(soc_.activity().empty());
+  EXPECT_EQ(soc_.activity().records().back().unit, soc::ComputeUnit::kGpu);
+}
+
+TEST_F(MetalTest, NonFunctionalDispatchSkipsWork) {
+  const std::uint32_t n = 128;
+  auto buf = device_.new_buffer(n * sizeof(float), mem::StorageMode::kShared);
+  auto pipeline = device_.new_compute_pipeline_state(make_index_kernel());
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  enc->set_buffer(buf.get(), 0, 0);
+  enc->set_value<std::uint32_t>(n, 1);
+  enc->set_functional_execution(false);
+  enc->dispatch_threads({n, 1, 1}, {64, 1, 1});
+  enc->end_encoding();
+  const auto t0 = soc_.clock().now();
+  cmd->commit();
+
+  // Time was charged, but the buffer is untouched.
+  EXPECT_GT(soc_.clock().now(), t0);
+  const auto* data = static_cast<const float*>(buf->contents());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ASSERT_EQ(data[i], 0.0f);
+  }
+}
+
+TEST_F(MetalTest, GroupKernelReceivesScratch) {
+  Kernel k;
+  k.name = "scratch_probe";
+  std::atomic<int> groups_seen{0};
+  k.body = GroupKernelFn(
+      [&groups_seen](const ArgumentTable&, const GroupContext& ctx) {
+        // Scratch must be present and writable.
+        auto scratch = ctx.threadgroup_span<float>();
+        ASSERT_GE(scratch.size(), 16u);
+        scratch[0] = 1.0f;
+        groups_seen.fetch_add(1);
+      });
+  k.estimator = [](const ArgumentTable&, const DispatchShape&) {
+    return WorkEstimate::generic(1.0, 1.0);
+  };
+  auto pipeline = device_.new_compute_pipeline_state(k);
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  enc->set_threadgroup_memory_length(64 * sizeof(float));
+  enc->dispatch_threadgroups({4, 3, 1}, {8, 8, 1});
+  enc->end_encoding();
+  cmd->commit();
+  EXPECT_EQ(groups_seen.load(), 12);
+}
+
+TEST_F(MetalTest, ThreadgroupMemoryBudgetEnforced) {
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  EXPECT_THROW(enc->set_threadgroup_memory_length(64 * 1024),
+               util::InvalidArgument);  // > 32 KiB
+}
+
+TEST_F(MetalTest, DispatchThreadsRoundsUpGroups) {
+  // 100 threads at 64-wide groups -> 2 groups; kernels bounds-check.
+  const std::uint32_t n = 100;
+  auto buf = device_.new_buffer(n * sizeof(float), mem::StorageMode::kShared);
+  auto pipeline = device_.new_compute_pipeline_state(make_index_kernel());
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  enc->set_buffer(buf.get(), 0, 0);
+  enc->set_value<std::uint32_t>(n, 1);
+  enc->dispatch_threads({n, 1, 1}, {64, 1, 1});
+  enc->end_encoding();
+  cmd->commit();
+  const auto* data = static_cast<const float*>(buf->contents());
+  EXPECT_EQ(data[99], 99.0f);
+}
+
+TEST_F(MetalTest, MultipleDispatchesInOneCommandBuffer) {
+  const std::uint32_t n = 64;
+  auto buf = device_.new_buffer(n * sizeof(float), mem::StorageMode::kShared);
+  auto pipeline = device_.new_compute_pipeline_state(make_index_kernel());
+  auto queue = device_.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  enc->set_buffer(buf.get(), 0, 0);
+  enc->set_value<std::uint32_t>(n, 1);
+  enc->dispatch_threads({n, 1, 1}, {32, 1, 1});
+  enc->dispatch_threads({n, 1, 1}, {32, 1, 1});
+  enc->end_encoding();
+  cmd->commit();
+  // Two activity records, one per dispatch.
+  EXPECT_EQ(soc_.activity().records().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ao::metal

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accelerate/reference_blas.hpp"
+#include "mem/unified_memory.hpp"
+#include "metal/device.hpp"
+#include "mps/mps_gemm.hpp"
+#include "mps/mps_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ao::mps {
+namespace {
+
+class MpsTest : public ::testing::Test {
+ protected:
+  soc::Soc soc_{soc::ChipModel::kM4};
+  mem::UnifiedMemory memory_{soc_};
+  metal::Device device_{soc_, memory_};
+  metal::CommandQueuePtr queue_ = device_.new_command_queue();
+
+  metal::BufferPtr buffer_with(const std::vector<float>& data) {
+    auto buf =
+        device_.new_buffer(data.size() * sizeof(float), mem::StorageMode::kShared);
+    std::copy(data.begin(), data.end(), static_cast<float*>(buf->contents()));
+    return buf;
+  }
+};
+
+// --------------------------------------------------------- descriptor ------
+
+TEST_F(MpsTest, DescriptorValidation) {
+  const auto d = MatrixDescriptor::with_rows(4, 8, 8 * sizeof(float),
+                                             DataType::kFloat32);
+  EXPECT_EQ(d.rows(), 4u);
+  EXPECT_EQ(d.columns(), 8u);
+  EXPECT_EQ(d.required_length(), 4u * 8u * sizeof(float));
+  // rowBytes below a packed row is illegal.
+  EXPECT_THROW(
+      MatrixDescriptor::with_rows(4, 8, 4 * sizeof(float), DataType::kFloat32),
+      util::InvalidArgument);
+  // rowBytes must be element-aligned.
+  EXPECT_THROW(MatrixDescriptor::with_rows(4, 8, 33, DataType::kFloat32),
+               util::InvalidArgument);
+}
+
+TEST_F(MpsTest, DescriptorSupportsPadding) {
+  // rowBytes > packed width (row padding, as MPS allows).
+  const auto d =
+      MatrixDescriptor::with_rows(4, 6, 8 * sizeof(float), DataType::kFloat32);
+  EXPECT_EQ(d.row_bytes(), 8 * sizeof(float));
+}
+
+TEST_F(MpsTest, MatrixRequiresBigEnoughBuffer) {
+  auto buf = device_.new_buffer(64, mem::StorageMode::kShared);
+  const auto d = MatrixDescriptor::packed(100, 100, DataType::kFloat32);
+  EXPECT_THROW(Matrix(buf.get(), d), util::InvalidArgument);
+}
+
+TEST_F(MpsTest, MatrixRowAccess) {
+  std::vector<float> data(6 * 4);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i);
+  }
+  auto buf = buffer_with(data);
+  Matrix m(buf.get(), MatrixDescriptor::packed(6, 4, DataType::kFloat32));
+  EXPECT_EQ(m.stride_f32(), 4u);
+  EXPECT_EQ(m.row_f32(0)[0], 0.0f);
+  EXPECT_EQ(m.row_f32(2)[1], 9.0f);
+  EXPECT_THROW(m.row_f32(6), util::InvalidArgument);
+}
+
+// ----------------------------------------------------- sgemm_block unit ----
+
+TEST(SgemmBlock, PlainMultiply) {
+  const std::size_t n = 37;
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c(n * n, -1.0f);
+  std::vector<float> expected(n * n);
+  util::fill_uniform(std::span<float>(a), 1);
+  util::fill_uniform(std::span<float>(b), 2);
+  detail::sgemm_block(false, false, 0, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                      0.0f, c.data(), n);
+  accelerate::reference::sgemm(false, false, n, n, n, 1.0f, a.data(), n,
+                               b.data(), n, 0.0f, expected.data(), n);
+  EXPECT_LE(accelerate::reference::max_abs_diff(expected.data(), c.data(), n, n, n),
+            accelerate::reference::gemm_tolerance(n));
+}
+
+TEST(SgemmBlock, AlphaBetaAndRowRange) {
+  const std::size_t n = 24;
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c(n * n, 2.0f);
+  std::vector<float> expected(n * n, 2.0f);
+  util::fill_uniform(std::span<float>(a), 3);
+  util::fill_uniform(std::span<float>(b), 4);
+  // Rows [8, 16) only, C = 0.5*A*B + 2*C.
+  detail::sgemm_block(false, false, 8, 16, n, n, 0.5f, a.data(), n, b.data(), n,
+                      2.0f, c.data(), n);
+  accelerate::reference::sgemm(false, false, n, n, n, 0.5f, a.data(), n,
+                               b.data(), n, 2.0f, expected.data(), n);
+  // Untouched rows keep their old value.
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(c[0 * n + j], 2.0f);
+    EXPECT_EQ(c[(n - 1) * n + j], 2.0f);
+  }
+  // Computed rows match the reference.
+  EXPECT_LE(accelerate::reference::max_abs_diff(expected.data() + 8 * n,
+                                                c.data() + 8 * n, 8, n, n),
+            accelerate::reference::gemm_tolerance(n));
+}
+
+TEST(SgemmBlock, Transposes) {
+  const std::size_t n = 19;
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  util::fill_uniform(std::span<float>(a), 5);
+  util::fill_uniform(std::span<float>(b), 6);
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      std::vector<float> c(n * n, 0.0f);
+      std::vector<float> expected(n * n, 0.0f);
+      detail::sgemm_block(ta, tb, 0, n, n, n, 1.0f, a.data(), n, b.data(), n,
+                          0.0f, c.data(), n);
+      accelerate::reference::sgemm(ta, tb, n, n, n, 1.0f, a.data(), n, b.data(),
+                                   n, 0.0f, expected.data(), n);
+      EXPECT_LE(
+          accelerate::reference::max_abs_diff(expected.data(), c.data(), n, n, n),
+          accelerate::reference::gemm_tolerance(n))
+          << "ta=" << ta << " tb=" << tb;
+    }
+  }
+}
+
+// ----------------------------------------------- MatrixMultiplication ------
+
+TEST_F(MpsTest, Listing2EndToEnd) {
+  // The paper's Listing 2 flow: buffers -> descriptors -> matrices ->
+  // MPSMatrixMultiplication -> encode -> commit -> waitUntilCompleted.
+  const std::size_t n = 64;
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  util::fill_uniform(std::span<float>(a), 7);
+  util::fill_uniform(std::span<float>(b), 8);
+  auto buf_a = buffer_with(a);
+  auto buf_b = buffer_with(b);
+  auto buf_c = device_.new_buffer(n * n * sizeof(float), mem::StorageMode::kShared);
+
+  const auto desc = MatrixDescriptor::with_rows(n, n, n * sizeof(float),
+                                                DataType::kFloat32);
+  Matrix mat_a(buf_a.get(), desc);
+  Matrix mat_b(buf_b.get(), desc);
+  Matrix mat_c(buf_c.get(), desc);
+
+  MatrixMultiplication mm(device_, n, n, n);
+  auto cmd = queue_->command_buffer();
+  mm.encode_to_command_buffer(*cmd, mat_a, mat_b, mat_c);
+  cmd->commit();
+  cmd->wait_until_completed();
+
+  std::vector<float> expected(n * n);
+  accelerate::reference::sgemm(false, false, n, n, n, 1.0f, a.data(), n,
+                               b.data(), n, 0.0f, expected.data(), n);
+  EXPECT_LE(accelerate::reference::max_abs_diff(
+                expected.data(), static_cast<float*>(buf_c->contents()), n, n, n),
+            accelerate::reference::gemm_tolerance(n));
+}
+
+TEST_F(MpsTest, NonSquareShapes) {
+  const std::size_t m = 48;
+  const std::size_t n = 32;
+  const std::size_t k = 80;
+  std::vector<float> a(m * k);
+  std::vector<float> b(k * n);
+  util::fill_uniform(std::span<float>(a), 9);
+  util::fill_uniform(std::span<float>(b), 10);
+  auto buf_a = buffer_with(a);
+  auto buf_b = buffer_with(b);
+  auto buf_c = device_.new_buffer(m * n * sizeof(float), mem::StorageMode::kShared);
+
+  Matrix mat_a(buf_a.get(), MatrixDescriptor::packed(m, k, DataType::kFloat32));
+  Matrix mat_b(buf_b.get(), MatrixDescriptor::packed(k, n, DataType::kFloat32));
+  Matrix mat_c(buf_c.get(), MatrixDescriptor::packed(m, n, DataType::kFloat32));
+
+  MatrixMultiplication mm(device_, m, n, k);
+  auto cmd = queue_->command_buffer();
+  mm.encode_to_command_buffer(*cmd, mat_a, mat_b, mat_c);
+  cmd->commit();
+
+  std::vector<float> expected(m * n);
+  accelerate::reference::sgemm(false, false, m, n, k, 1.0f, a.data(), k,
+                               b.data(), n, 0.0f, expected.data(), n);
+  EXPECT_LE(accelerate::reference::max_abs_diff(
+                expected.data(), static_cast<float*>(buf_c->contents()), m, n, n),
+            accelerate::reference::gemm_tolerance(k));
+}
+
+TEST_F(MpsTest, TransposeAndScaling) {
+  const std::size_t n = 40;
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c_init(n * n, 1.0f);
+  util::fill_uniform(std::span<float>(a), 11);
+  util::fill_uniform(std::span<float>(b), 12);
+  auto buf_a = buffer_with(a);
+  auto buf_b = buffer_with(b);
+  auto buf_c = buffer_with(c_init);
+
+  const auto desc = MatrixDescriptor::packed(n, n, DataType::kFloat32);
+  Matrix mat_a(buf_a.get(), desc);
+  Matrix mat_b(buf_b.get(), desc);
+  Matrix mat_c(buf_c.get(), desc);
+
+  // C = 2 * A^T * B + 0.5 * C
+  MatrixMultiplication mm(device_, true, false, n, n, n, 2.0, 0.5);
+  auto cmd = queue_->command_buffer();
+  mm.encode_to_command_buffer(*cmd, mat_a, mat_b, mat_c);
+  cmd->commit();
+
+  std::vector<float> expected(n * n, 1.0f);
+  accelerate::reference::sgemm(true, false, n, n, n, 2.0f, a.data(), n,
+                               b.data(), n, 0.5f, expected.data(), n);
+  EXPECT_LE(accelerate::reference::max_abs_diff(
+                expected.data(), static_cast<float*>(buf_c->contents()), n, n, n),
+            accelerate::reference::gemm_tolerance(n) * 2.0f);
+}
+
+TEST_F(MpsTest, ShapeMismatchRejectedAtEncode) {
+  const auto desc = MatrixDescriptor::packed(32, 32, DataType::kFloat32);
+  auto buf = device_.new_buffer(32 * 32 * sizeof(float), mem::StorageMode::kShared);
+  Matrix m32(buf.get(), desc);
+  MatrixMultiplication mm(device_, 64, 64, 64);  // expects 64x64 operands
+  auto cmd = queue_->command_buffer();
+  EXPECT_THROW(mm.encode_to_command_buffer(*cmd, m32, m32, m32),
+               util::InvalidArgument);
+}
+
+TEST_F(MpsTest, ChargesGpuMpsTiming) {
+  const std::size_t n = 256;
+  auto buf_a = device_.new_buffer(n * n * sizeof(float), mem::StorageMode::kShared);
+  auto buf_b = device_.new_buffer(n * n * sizeof(float), mem::StorageMode::kShared);
+  auto buf_c = device_.new_buffer(n * n * sizeof(float), mem::StorageMode::kShared);
+  const auto desc = MatrixDescriptor::packed(n, n, DataType::kFloat32);
+  Matrix ma(buf_a.get(), desc);
+  Matrix mb(buf_b.get(), desc);
+  Matrix mc(buf_c.get(), desc);
+
+  MatrixMultiplication mm(device_, n, n, n);
+  mm.set_functional_execution(false);
+  const auto t0 = soc_.clock().now();
+  auto cmd = queue_->command_buffer();
+  mm.encode_to_command_buffer(*cmd, ma, mb, mc);
+  cmd->commit();
+  const auto dt = static_cast<double>(soc_.clock().now() - t0);
+
+  soc::PerfModel perf(soc_);
+  EXPECT_NEAR(dt, perf.gemm_time_ns(soc::GemmImpl::kGpuMps, n), dt * 0.05);
+  EXPECT_EQ(soc_.activity().records().back().unit, soc::ComputeUnit::kGpu);
+}
+
+TEST_F(MpsTest, Fp16MatricesRejectedByGemm) {
+  auto buf = device_.new_buffer(64 * 64 * 2, mem::StorageMode::kShared);
+  Matrix half_matrix(buf.get(),
+                     MatrixDescriptor::packed(64, 64, DataType::kFloat16));
+  auto buf32 = device_.new_buffer(64 * 64 * 4, mem::StorageMode::kShared);
+  Matrix f32(buf32.get(), MatrixDescriptor::packed(64, 64, DataType::kFloat32));
+  MatrixMultiplication mm(device_, 64, 64, 64);
+  auto cmd = queue_->command_buffer();
+  EXPECT_THROW(mm.encode_to_command_buffer(*cmd, half_matrix, f32, f32),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ao::mps

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "soc/perf_model.hpp"
+#include "util/units.hpp"
+
+namespace ao::soc {
+namespace {
+
+// ------------------------------------------------------ curve mechanics ----
+
+TEST(PerfModelCurves, RiseFactorApproachesOne) {
+  GemmCalibration c;
+  c.n_half = 512;
+  c.rise_exponent = 1.7;
+  EXPECT_LT(PerfModel::rise_factor(c, 64), 0.05);
+  EXPECT_NEAR(PerfModel::rise_factor(c, 512), 0.5, 1e-12);
+  EXPECT_GT(PerfModel::rise_factor(c, 16384), 0.99);
+}
+
+TEST(PerfModelCurves, RiseMonotonic) {
+  GemmCalibration c;
+  c.n_half = 256;
+  c.rise_exponent = 2.0;
+  double prev = 0.0;
+  for (std::size_t n = 32; n <= 16384; n *= 2) {
+    const double r = PerfModel::rise_factor(c, n);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(PerfModelCurves, DecayDisabledWhenZero) {
+  GemmCalibration c;
+  c.n_decay = 0.0;
+  EXPECT_DOUBLE_EQ(PerfModel::decay_factor(c, 16384), 1.0);
+}
+
+TEST(PerfModelCurves, DecayHalvesAtKnee) {
+  GemmCalibration c;
+  c.n_decay = 1200;
+  c.decay_exponent = 1.2;
+  EXPECT_NEAR(PerfModel::decay_factor(c, 1200), 0.5, 1e-12);
+  EXPECT_LT(PerfModel::decay_factor(c, 4096), 0.25);
+}
+
+// --------------------------------------------------- GEMM reproduction -----
+
+class PerfModelGemm : public ::testing::TestWithParam<ChipModel> {};
+
+TEST_P(PerfModelGemm, LargeSizesReachPublishedPeaks) {
+  Soc soc(GetParam());
+  PerfModel perf(soc);
+  for (const auto impl :
+       {GemmImpl::kCpuAccelerate, GemmImpl::kGpuNaive, GemmImpl::kGpuCutlass,
+        GemmImpl::kGpuMps}) {
+    const double peak = gemm_calibration(GetParam(), impl).peak_gflops;
+    const double at_16k = perf.gemm_gflops(impl, 16384);
+    EXPECT_GT(at_16k, peak * 0.95) << to_string(impl);
+    EXPECT_LE(at_16k, peak * 1.001) << to_string(impl);
+  }
+}
+
+TEST_P(PerfModelGemm, TimeGrowsWithSize) {
+  Soc soc(GetParam());
+  PerfModel perf(soc);
+  for (const auto impl : kAllGemmImpls) {
+    double prev = 0.0;
+    for (std::size_t n = 32; n <= 16384; n *= 2) {
+      const double t = perf.gemm_time_ns(impl, n);
+      EXPECT_GT(t, prev) << to_string(impl) << " n=" << n;
+      prev = t;
+    }
+  }
+}
+
+TEST_P(PerfModelGemm, GpuOverheadDominatesSmallSizes) {
+  // "GPU-based methods ... are less optimal at smaller sizes for their large
+  // overhead" — at n = 32 the CPU naive loop must beat every GPU path.
+  Soc soc(GetParam());
+  PerfModel perf(soc);
+  const double cpu_single = perf.gemm_time_ns(GemmImpl::kCpuSingle, 32);
+  for (const auto gpu :
+       {GemmImpl::kGpuNaive, GemmImpl::kGpuCutlass, GemmImpl::kGpuMps}) {
+    EXPECT_LT(cpu_single, perf.gemm_time_ns(gpu, 32)) << to_string(gpu);
+  }
+}
+
+TEST_P(PerfModelGemm, MpsDominatesAtLargeSizes) {
+  Soc soc(GetParam());
+  PerfModel perf(soc);
+  const double mps = perf.gemm_gflops(GemmImpl::kGpuMps, 16384);
+  for (const auto other :
+       {GemmImpl::kCpuSingle, GemmImpl::kCpuOmp, GemmImpl::kCpuAccelerate,
+        GemmImpl::kGpuNaive, GemmImpl::kGpuCutlass}) {
+    EXPECT_GT(mps, perf.gemm_gflops(other, 16384)) << to_string(other);
+  }
+}
+
+TEST_P(PerfModelGemm, NaiveCpuCollapsesBeyondCache) {
+  // Figure 2: the baseline's GFLOPS fall once the matrices leave the L2.
+  Soc soc(GetParam());
+  PerfModel perf(soc);
+  const double small = perf.gemm_gflops(GemmImpl::kCpuSingle, 256);
+  const double large = perf.gemm_gflops(GemmImpl::kCpuSingle, 4096);
+  EXPECT_LT(large, small * 0.5);
+}
+
+TEST_P(PerfModelGemm, PowerRisesWithSaturation) {
+  Soc soc(GetParam());
+  PerfModel perf(soc);
+  for (const auto impl : kAllGemmImpls) {
+    const double p_small = perf.gemm_power_watts(impl, 64);
+    const double p_large = perf.gemm_power_watts(impl, 8192);
+    EXPECT_GT(p_large, p_small) << to_string(impl);
+    EXPECT_LE(p_large,
+              gemm_calibration(GetParam(), impl).power_watts + 1e-9);
+  }
+}
+
+TEST_P(PerfModelGemm, UtilizationInUnitRange) {
+  Soc soc(GetParam());
+  PerfModel perf(soc);
+  for (const auto impl : kAllGemmImpls) {
+    for (std::size_t n = 32; n <= 16384; n *= 4) {
+      const double u = perf.gemm_utilization(impl, n);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChips, PerfModelGemm,
+                         ::testing::ValuesIn(kAllChipModels),
+                         [](const auto& info) { return to_string(info.param); });
+
+// ------------------------------------------------- efficiency anchors ------
+
+TEST(PerfModelEfficiency, MpsReaches200GflopsPerWattEverywhere) {
+  // "All four chips reached the efficiency of 200 GFLOPS per Watt with
+  //  GPU-MPS."
+  for (const auto chip : kAllChipModels) {
+    Soc soc(chip);
+    PerfModel perf(soc);
+    const double gflops = perf.gemm_gflops(GemmImpl::kGpuMps, 16384);
+    const double watts = perf.gemm_power_watts(GemmImpl::kGpuMps, 16384);
+    EXPECT_GE(gflops / watts, 200.0) << to_string(chip);
+  }
+}
+
+TEST(PerfModelEfficiency, CpuPathsBelowOneGflopPerWatt) {
+  // "Both CPU-single and OMP achieve less than 1 GFLOPS per Watt."
+  for (const auto chip : kAllChipModels) {
+    Soc soc(chip);
+    PerfModel perf(soc);
+    for (const auto impl : {GemmImpl::kCpuSingle, GemmImpl::kCpuOmp}) {
+      const double gflops = perf.gemm_gflops(impl, 4096);
+      const double watts = perf.gemm_power_watts(impl, 4096);
+      EXPECT_LT(gflops / watts, 1.0)
+          << to_string(chip) << "/" << to_string(impl);
+    }
+  }
+}
+
+TEST(PerfModelEfficiency, M4CutlassDrawsTheMostPower) {
+  // "M4 exhibited the highest power consumption using the Cutlass-style
+  //  shader" (Figure 3).
+  Soc m4(ChipModel::kM4);
+  PerfModel perf(m4);
+  const double cutlass_m4 =
+      perf.gemm_power_watts(GemmImpl::kGpuCutlass, 16384);
+  for (const auto chip : kAllChipModels) {
+    Soc soc(chip);
+    PerfModel p(soc);
+    for (const auto impl : kAllGemmImpls) {
+      EXPECT_LE(p.gemm_power_watts(impl, 16384), cutlass_m4 + 1e-9)
+          << to_string(chip) << "/" << to_string(impl);
+    }
+  }
+}
+
+// ------------------------------------------------------------- STREAM ------
+
+TEST(PerfModelStream, FullThreadSweepHitsAnchors) {
+  for (const auto chip : kAllChipModels) {
+    Soc soc(chip);
+    PerfModel perf(soc);
+    const auto& s = calibration(chip).stream;
+    const int cores = soc.spec().total_cpu_cores();
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double bw = perf.stream_bandwidth_gbs(
+          MemoryAgent::kCpu, kAllStreamKernels[k], cores);
+      EXPECT_NEAR(bw, s.cpu_gbs[k], s.cpu_gbs[k] * 1e-9) << to_string(chip);
+    }
+  }
+}
+
+TEST(PerfModelStream, ThreadScalingMonotonic) {
+  Soc soc(ChipModel::kM1);
+  PerfModel perf(soc);
+  double prev = 0.0;
+  for (int t = 1; t <= soc.spec().total_cpu_cores(); ++t) {
+    const double bw =
+        perf.stream_bandwidth_gbs(MemoryAgent::kCpu, StreamKernel::kTriad, t);
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(PerfModelStream, SingleThreadCannotSaturate) {
+  Soc soc(ChipModel::kM4);
+  PerfModel perf(soc);
+  const double one =
+      perf.stream_bandwidth_gbs(MemoryAgent::kCpu, StreamKernel::kTriad, 1);
+  const double all = perf.stream_bandwidth_gbs(
+      MemoryAgent::kCpu, StreamKernel::kTriad, soc.spec().total_cpu_cores());
+  EXPECT_LT(one, all * 0.6);
+}
+
+TEST(PerfModelStream, GpuIncludesLaunchOverhead) {
+  Soc soc(ChipModel::kM2);
+  PerfModel perf(soc);
+  const double tiny =
+      perf.stream_time_ns(MemoryAgent::kGpu, StreamKernel::kCopy, 1024, 1);
+  EXPECT_GE(tiny, calibration(ChipModel::kM2).stream.gpu_launch_overhead_ns);
+}
+
+TEST(PerfModelStream, BandwidthNeverExceedsTheoretical) {
+  for (const auto chip : kAllChipModels) {
+    Soc soc(chip);
+    PerfModel perf(soc);
+    const double theo = soc.spec().memory_bandwidth_gbs;
+    for (const auto kernel : kAllStreamKernels) {
+      EXPECT_LE(perf.stream_bandwidth_gbs(MemoryAgent::kGpu, kernel, 1), theo);
+      EXPECT_LE(perf.stream_bandwidth_gbs(MemoryAgent::kCpu, kernel,
+                                          soc.spec().total_cpu_cores()),
+                theo);
+    }
+  }
+}
+
+// ------------------------------------------------------ generic kernels ----
+
+TEST(PerfModelGeneric, RooflineSelectsBindingResource) {
+  Soc soc(ChipModel::kM1);
+  PerfModel perf(soc);
+  const double overhead = calibration(ChipModel::kM1).stream.gpu_launch_overhead_ns;
+  // Pure-compute kernel: time tracks flops.
+  const double t_compute = perf.gpu_kernel_time_ns(1e12, 1e3);
+  // Pure-memory kernel: time tracks bytes.
+  const double t_memory = perf.gpu_kernel_time_ns(1e3, 100e9);
+  EXPECT_GT(t_compute, overhead);
+  EXPECT_GT(t_memory, overhead);
+  // 1 TFLOP at ~60% of 2.61 TFLOPS peak ~ 0.64 ms; 100 GB at 60 GB/s ~ 1.7 s.
+  EXPECT_LT(t_compute, 1e9);
+  EXPECT_GT(t_memory, 1e9);
+}
+
+TEST(PerfModelGeneric, ThermalThrottleSlowsKernels) {
+  Soc soc(ChipModel::kM1);  // passive MacBook Air
+  PerfModel perf(soc);
+  const double cold = perf.gemm_time_ns(GemmImpl::kGpuMps, 4096);
+  // Heat-soak the package.
+  soc.thermal().integrate(20.0, 3600.0);
+  ASSERT_LT(soc.thermal().throttle_factor(), 1.0);
+  const double hot = perf.gemm_time_ns(GemmImpl::kGpuMps, 4096);
+  EXPECT_GT(hot, cold);
+}
+
+}  // namespace
+}  // namespace ao::soc

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "power/power_model.hpp"
+#include "power/powermetrics.hpp"
+#include "util/error.hpp"
+
+namespace ao::power {
+namespace {
+
+// ---------------------------------------------------------- PowerModel -----
+
+TEST(PowerModel, IdleFloorMatchesCalibration) {
+  soc::Soc soc(soc::ChipModel::kM1);
+  PowerModel model(soc);
+  const PowerSample idle = model.idle_floor(1.0);
+  EXPECT_DOUBLE_EQ(idle.cpu_mw, soc.calib().idle.cpu_watts * 1e3);
+  EXPECT_DOUBLE_EQ(idle.gpu_mw, soc.calib().idle.gpu_watts * 1e3);
+  EXPECT_DOUBLE_EQ(idle.combined_mw, idle.cpu_mw + idle.gpu_mw + idle.ane_mw);
+}
+
+TEST(PowerModel, AverageAttributesUnitsCorrectly) {
+  soc::Soc soc(soc::ChipModel::kM2);
+  PowerModel model(soc);
+  // 1 simulated second of GPU work at 5.6 W.
+  soc.execute(soc::ComputeUnit::kGpu, 1e9, 5.6, 1.0);
+  const PowerSample s = model.average_over(0, soc.clock().now());
+  EXPECT_NEAR(s.gpu_mw, 5600.0 + soc.calib().idle.gpu_watts * 1e3, 1.0);
+  EXPECT_NEAR(s.cpu_mw, soc.calib().idle.cpu_watts * 1e3, 1.0);
+}
+
+TEST(PowerModel, AmxCountsAsCpuPower) {
+  // powermetrics reports AMX draw inside "CPU Power" — the paper's
+  // CPU-Accelerate rows rely on this attribution.
+  soc::Soc soc(soc::ChipModel::kM3);
+  PowerModel model(soc);
+  soc.execute(soc::ComputeUnit::kAmx, 1e9, 5.1, 1.0);
+  const PowerSample s = model.average_over(0, soc.clock().now());
+  EXPECT_GT(s.cpu_mw, 5000.0);
+  EXPECT_LT(s.gpu_mw, 100.0);
+}
+
+TEST(PowerModel, IdleGapDilutesAverage) {
+  soc::Soc soc(soc::ChipModel::kM1);
+  PowerModel model(soc);
+  soc.execute(soc::ComputeUnit::kGpu, 1e9, 10.0, 1.0);
+  soc.idle(1e9);  // equal idle stretch halves the average
+  const PowerSample s = model.average_over(0, soc.clock().now());
+  EXPECT_NEAR(s.gpu_mw, 5000.0 + soc.calib().idle.gpu_watts * 1e3, 1.0);
+}
+
+TEST(PowerModel, EnergyIntegrates) {
+  soc::Soc soc(soc::ChipModel::kM4);
+  PowerModel model(soc);
+  soc.execute(soc::ComputeUnit::kGpu, 2e9, 8.8, 1.0);
+  const double joules = model.energy_joules(0, soc.clock().now());
+  const double idle_watts = soc.calib().idle.cpu_watts +
+                            soc.calib().idle.gpu_watts +
+                            soc.calib().idle.dram_watts;
+  EXPECT_NEAR(joules, 2.0 * 8.8 + 2.0 * idle_watts, 0.01);
+}
+
+TEST(PowerModel, EmptyWindowThrows) {
+  soc::Soc soc(soc::ChipModel::kM1);
+  PowerModel model(soc);
+  EXPECT_THROW(model.average_over(100, 100), util::InvalidArgument);
+}
+
+// ----------------------------------------------------------- SamplerSet ----
+
+TEST(SamplerSet, ParsesToolArgument) {
+  const SamplerSet s = SamplerSet::parse("cpu_power,gpu_power");
+  EXPECT_TRUE(s.cpu_power);
+  EXPECT_TRUE(s.gpu_power);
+  EXPECT_FALSE(s.ane_power);
+  EXPECT_EQ(s.to_string(), "cpu_power,gpu_power");
+  EXPECT_THROW(SamplerSet::parse("bogus"), util::InvalidArgument);
+}
+
+// --------------------------------------------------------- PowerMetrics ----
+
+TEST(PowerMetrics, PaperProtocol) {
+  // Section 3.3: start, warm up two seconds, SIGINFO (reset), run, SIGINFO
+  // (capture), stop.
+  soc::Soc soc(soc::ChipModel::kM2);
+  PowerMetrics pm(soc, SamplerSet{true, true, false});
+  pm.start();
+  soc.idle(2e9);
+  const PowerSample warmup = pm.siginfo();
+  EXPECT_NEAR(warmup.window_seconds, 2.0, 1e-9);
+  // Warm-up window is idle: combined power is just the floor.
+  EXPECT_LT(warmup.combined_mw, 200.0);
+
+  soc.execute(soc::ComputeUnit::kGpu, 3e9, 5.6, 1.0);
+  const PowerSample run = pm.siginfo();
+  EXPECT_NEAR(run.window_seconds, 3.0, 1e-9);
+  EXPECT_GT(run.gpu_mw, 5000.0);
+  pm.stop();
+  EXPECT_FALSE(pm.running());
+  EXPECT_EQ(pm.samples().size(), 2u);
+}
+
+TEST(PowerMetrics, LifecycleErrors) {
+  soc::Soc soc(soc::ChipModel::kM1);
+  PowerMetrics pm(soc);
+  EXPECT_THROW(pm.siginfo(), util::StateError);  // before start
+  EXPECT_THROW(pm.stop(), util::InvalidArgument);
+  pm.start();
+  EXPECT_THROW(pm.start(), util::InvalidArgument);  // double start
+  EXPECT_THROW(pm.siginfo(), util::InvalidArgument);  // empty window
+  soc.idle(1e6);
+  pm.siginfo();
+  pm.stop();
+  EXPECT_THROW(pm.siginfo(), util::StateError);  // after stop
+}
+
+TEST(PowerMetrics, OutputTextFormat) {
+  soc::Soc soc(soc::ChipModel::kM4);
+  PowerMetrics pm(soc, SamplerSet{true, true, true});
+  pm.start();
+  soc.execute(soc::ComputeUnit::kGpu, 1e9, 8.8, 1.0);
+  pm.siginfo();
+  pm.stop();
+  const std::string& text = pm.output_text();
+  EXPECT_NE(text.find("Machine model: Mac mini (M4)"), std::string::npos);
+  EXPECT_NE(text.find("CPU Power:"), std::string::npos);
+  EXPECT_NE(text.find("GPU Power:"), std::string::npos);
+  EXPECT_NE(text.find("ANE Power:"), std::string::npos);
+  EXPECT_NE(text.find("Combined Power (CPU + GPU + ANE):"), std::string::npos);
+  EXPECT_NE(text.find("Monitor stopped."), std::string::npos);
+}
+
+TEST(PowerMetrics, ParserRoundTrip) {
+  // The paper's pipeline: write text file, parse it back into numbers.
+  soc::Soc soc(soc::ChipModel::kM3);
+  PowerMetrics pm(soc, SamplerSet{true, true, true});
+  pm.start();
+  soc.idle(2e9);
+  pm.siginfo();
+  soc.execute(soc::ComputeUnit::kAmx, 5e8, 5.1, 1.0);
+  pm.siginfo();
+  pm.stop();
+
+  const auto parsed = parse_powermetrics_output(pm.output_text());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_NEAR(parsed[0].window_seconds, 2.0, 1e-3);
+  EXPECT_NEAR(parsed[1].window_seconds, 0.5, 1e-3);
+  // mW values round to integers in the text; compare at that granularity.
+  EXPECT_NEAR(parsed[1].cpu_mw, pm.samples()[1].cpu_mw, 1.0);
+  EXPECT_NEAR(parsed[1].combined_mw, pm.samples()[1].combined_mw, 1.0);
+}
+
+TEST(PowerMetrics, ParserIgnoresDisabledSamplers) {
+  soc::Soc soc(soc::ChipModel::kM1);
+  PowerMetrics pm(soc, SamplerSet{false, true, false});  // gpu only
+  pm.start();
+  soc.idle(1e9);
+  pm.siginfo();
+  pm.stop();
+  const auto parsed = parse_powermetrics_output(pm.output_text());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].cpu_mw, 0.0);  // absent from the text
+  EXPECT_GT(parsed[0].combined_mw, 0.0);
+}
+
+TEST(PowerMetrics, ParserHandlesGarbage) {
+  EXPECT_TRUE(parse_powermetrics_output("").empty());
+  EXPECT_TRUE(parse_powermetrics_output("random text\nno samples here\n").empty());
+}
+
+}  // namespace
+}  // namespace ao::power

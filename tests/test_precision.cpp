@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "precision/precision_study.hpp"
+#include "util/error.hpp"
+
+namespace ao::precision {
+namespace {
+
+class PrecisionStudyTest : public ::testing::TestWithParam<soc::ChipModel> {};
+
+TEST_P(PrecisionStudyTest, AccuracyOrderingHolds) {
+  const auto results = run_gemm_precision_study(GetParam(), 128);
+  ASSERT_EQ(results.size(), 4u);
+
+  const auto& fp64 = results[0];
+  const auto& emu = results[1];
+  const auto& fp32 = results[2];
+  const auto& fp16 = results[3];
+
+  // FP64 native is the reference: zero error by construction.
+  EXPECT_EQ(fp64.max_abs_error, 0.0);
+  // Emulated FP64 carries ~14 digits, FP32 ~6, FP16 ~3.
+  EXPECT_LT(emu.max_abs_error, 1e-9);
+  EXPECT_GT(fp32.max_abs_error, emu.max_abs_error);
+  EXPECT_GT(fp16.max_abs_error, fp32.max_abs_error * 10.0);
+  EXPECT_GT(emu.significant_digits, 10.0);
+  EXPECT_GT(fp32.significant_digits, 4.0);
+  EXPECT_LT(fp16.significant_digits, 4.0);
+}
+
+TEST_P(PrecisionStudyTest, ThroughputOrderingHolds) {
+  const auto results = run_gemm_precision_study(GetParam(), 64);
+  const auto& fp64 = results[0];
+  const auto& emu = results[1];
+  const auto& fp32 = results[2];
+  const auto& fp16 = results[3];
+
+  // FP16 > FP32 > FP64 native > FP64 emulated, the trade-off the paper's
+  // future-work section asks about.
+  EXPECT_GT(fp16.modeled_gflops, fp32.modeled_gflops);
+  EXPECT_GT(fp32.modeled_gflops, fp64.modeled_gflops);
+  EXPECT_GT(fp64.modeled_gflops, emu.modeled_gflops);
+  // The emulation penalty is roughly an order of magnitude vs FP32.
+  EXPECT_GT(fp32.modeled_gflops / emu.modeled_gflops, 5.0);
+}
+
+TEST_P(PrecisionStudyTest, ErrorGrowsWithSize) {
+  const auto small = run_gemm_precision_study(GetParam(), 32);
+  const auto large = run_gemm_precision_study(GetParam(), 256);
+  // Longer dot products accumulate more rounding error in FP32.
+  EXPECT_GT(large[2].max_abs_error, small[2].max_abs_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChips, PrecisionStudyTest,
+                         ::testing::Values(soc::ChipModel::kM1,
+                                           soc::ChipModel::kM4),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(PrecisionStudy, FormatNames) {
+  EXPECT_NE(to_string(Format::kFp64Emulated).find("double-single"),
+            std::string::npos);
+  EXPECT_NE(to_string(Format::kFp16).find("FP16"), std::string::npos);
+}
+
+TEST(PrecisionStudy, RejectsHugeSizes) {
+  EXPECT_THROW(run_gemm_precision_study(soc::ChipModel::kM1, 4096),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ao::precision

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mem/cache_model.hpp"
+#include "mem/memory_controller.hpp"
+#include "soc/perf_model.hpp"
+
+namespace ao {
+namespace {
+
+using soc::ChipModel;
+using soc::GemmImpl;
+using soc::kAllChipModels;
+using soc::kAllGemmImpls;
+using soc::kAllStreamKernels;
+
+/// Property sweeps over the full (chip x implementation) grid — the
+/// invariants every calibration retune must preserve.
+class ChipImplProperty
+    : public ::testing::TestWithParam<std::tuple<ChipModel, GemmImpl>> {
+ protected:
+  ChipModel chip() const { return std::get<0>(GetParam()); }
+  GemmImpl impl() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ChipImplProperty, TimeStrictlyIncreasesWithSize) {
+  soc::Soc soc(chip());
+  soc::PerfModel perf(soc);
+  double prev = 0.0;
+  for (std::size_t n = 32; n <= 16384; n *= 2) {
+    const double t = perf.gemm_time_ns(impl(), n);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(ChipImplProperty, TimeScalesSuperQuadratically) {
+  // Doubling n multiplies flops by ~8; even with saturation effects the
+  // modeled time at 2n must exceed 4x the time at n once overheads are
+  // amortized (n >= 1024).
+  soc::Soc soc(chip());
+  soc::PerfModel perf(soc);
+  for (std::size_t n = 1024; n <= 8192; n *= 2) {
+    EXPECT_GT(perf.gemm_time_ns(impl(), 2 * n),
+              4.0 * perf.gemm_time_ns(impl(), n))
+        << "n=" << n;
+  }
+}
+
+TEST_P(ChipImplProperty, GflopsNeverExceedCalibratedPeak) {
+  soc::Soc soc(chip());
+  soc::PerfModel perf(soc);
+  const double peak = soc::gemm_calibration(chip(), impl()).peak_gflops;
+  for (std::size_t n = 32; n <= 16384; n *= 2) {
+    EXPECT_LE(perf.gemm_gflops(impl(), n), peak * 1.0001) << "n=" << n;
+  }
+}
+
+TEST_P(ChipImplProperty, PowerMonotoneInSizeAndBounded) {
+  soc::Soc soc(chip());
+  soc::PerfModel perf(soc);
+  const double cap = soc::gemm_calibration(chip(), impl()).power_watts;
+  double prev = 0.0;
+  for (std::size_t n = 32; n <= 16384; n *= 2) {
+    const double w = perf.gemm_power_watts(impl(), n);
+    EXPECT_GE(w, prev);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, cap + 1e-9);
+    prev = w;
+  }
+}
+
+TEST_P(ChipImplProperty, ThrottlingNeverSpeedsUp) {
+  soc::Soc soc(chip());
+  soc::PerfModel perf(soc);
+  const double cold = perf.gemm_time_ns(impl(), 2048);
+  soc.thermal().integrate(20.0, 7200.0);  // two hours of 20 W
+  const double hot = perf.gemm_time_ns(impl(), 2048);
+  EXPECT_GE(hot, cold);
+}
+
+std::string chip_impl_name(
+    const ::testing::TestParamInfo<std::tuple<ChipModel, GemmImpl>>& info) {
+  std::string name = soc::to_string(std::get<0>(info.param)) + "_" +
+                     soc::to_string(std::get<1>(info.param));
+  std::erase(name, '-');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ChipImplProperty,
+                         ::testing::Combine(::testing::ValuesIn(kAllChipModels),
+                                            ::testing::ValuesIn(kAllGemmImpls)),
+                         chip_impl_name);
+
+/// Per-chip properties.
+class ChipProperty : public ::testing::TestWithParam<ChipModel> {};
+
+TEST_P(ChipProperty, StreamBandwidthMonotoneInThreads) {
+  soc::Soc soc(GetParam());
+  soc::PerfModel perf(soc);
+  for (const auto kernel : kAllStreamKernels) {
+    double prev = 0.0;
+    for (int t = 1; t <= soc.spec().total_cpu_cores(); ++t) {
+      const double bw = perf.stream_bandwidth_gbs(soc::MemoryAgent::kCpu,
+                                                  kernel, t);
+      EXPECT_GE(bw, prev);
+      prev = bw;
+    }
+  }
+}
+
+TEST_P(ChipProperty, NoAgentBeatsTheFabric) {
+  soc::Soc soc(GetParam());
+  soc::PerfModel perf(soc);
+  const double fabric = soc.spec().memory_bandwidth_gbs;
+  for (const auto kernel : kAllStreamKernels) {
+    EXPECT_LE(perf.stream_bandwidth_gbs(soc::MemoryAgent::kCpu, kernel,
+                                        soc.spec().total_cpu_cores()),
+              fabric);
+    EXPECT_LE(perf.stream_bandwidth_gbs(soc::MemoryAgent::kGpu, kernel, 1),
+              fabric);
+    EXPECT_LE(perf.stream_bandwidth_gbs(soc::MemoryAgent::kNeuralEngine,
+                                        kernel, 1),
+              fabric);
+  }
+}
+
+TEST_P(ChipProperty, ArbitrationConservesFabricBandwidth) {
+  soc::Soc soc(GetParam());
+  mem::MemoryController mc(soc);
+  const std::array<bool, 3> all_active = {true, true, true};
+  double total = 0.0;
+  for (const auto agent : {soc::MemoryAgent::kCpu, soc::MemoryAgent::kGpu,
+                           soc::MemoryAgent::kNeuralEngine}) {
+    const double bw = mc.arbitrated_bandwidth_gbs(agent, all_active);
+    EXPECT_GT(bw, 0.0);
+    EXPECT_LE(bw, mc.link_ceiling_gbs(agent) + 1e-9);
+    total += bw;
+  }
+  EXPECT_LE(total, mc.fabric_ceiling_gbs() + 1e-9);
+}
+
+TEST_P(ChipProperty, CacheLatencyMonotoneInWorkingSet) {
+  mem::CacheModel cm(soc::chip_spec(GetParam()));
+  for (const auto pattern :
+       {mem::AccessPattern::kSequential, mem::AccessPattern::kStrided,
+        mem::AccessPattern::kRandom}) {
+    double prev = 0.0;
+    for (std::size_t ws = 4 * 1024; ws <= 1ull << 30; ws *= 2) {
+      const double lat = cm.average_latency_ns(ws, pattern);
+      EXPECT_GE(lat, prev - 1e-12);
+      EXPECT_GT(lat, 0.0);
+      prev = lat;
+    }
+  }
+}
+
+TEST_P(ChipProperty, GenericGpuKernelCostIsMonotone) {
+  soc::Soc soc(GetParam());
+  soc::PerfModel perf(soc);
+  double prev = 0.0;
+  for (double flops = 1e6; flops <= 1e13; flops *= 10) {
+    const double t = perf.gpu_kernel_time_ns(flops, flops / 4.0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(ChipProperty, IdlePowerIsTiny) {
+  const auto& idle = soc::calibration(GetParam()).idle;
+  EXPECT_LT(idle.cpu_watts + idle.gpu_watts + idle.dram_watts, 0.5);
+  EXPECT_GT(idle.cpu_watts, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChips, ChipProperty,
+                         ::testing::ValuesIn(kAllChipModels),
+                         [](const auto& info) { return to_string(info.param); });
+
+/// Generational properties across the series.
+TEST(GenerationalProperty, EverySuccessorIsFasterAtPeak) {
+  // Each generation's MPS and Accelerate peaks strictly improve (Fig. 2).
+  for (const auto impl : {GemmImpl::kCpuAccelerate, GemmImpl::kGpuMps,
+                          GemmImpl::kGpuNaive}) {
+    double prev = 0.0;
+    for (const auto chip : kAllChipModels) {
+      const double peak = soc::gemm_calibration(chip, impl).peak_gflops;
+      EXPECT_GT(peak, prev) << soc::to_string(chip) << "/" << soc::to_string(impl);
+      prev = peak;
+    }
+  }
+}
+
+TEST(GenerationalProperty, StreamPeaksNeverRegress) {
+  double prev_cpu = 0.0;
+  double prev_gpu = 0.0;
+  for (const auto chip : kAllChipModels) {
+    const auto& s = soc::calibration(chip).stream;
+    EXPECT_GE(s.cpu_peak_gbs(), prev_cpu) << soc::to_string(chip);
+    EXPECT_GE(s.gpu_peak_gbs(), prev_gpu) << soc::to_string(chip);
+    prev_cpu = s.cpu_peak_gbs();
+    prev_gpu = s.gpu_peak_gbs();
+  }
+}
+
+TEST(GenerationalProperty, CalibrationNeverExceedsTheoretical) {
+  for (const auto chip : kAllChipModels) {
+    const auto& spec = soc::chip_spec(chip);
+    const auto& s = soc::calibration(chip).stream;
+    EXPECT_LE(s.cpu_peak_gbs(), spec.memory_bandwidth_gbs);
+    EXPECT_LE(s.gpu_peak_gbs(), spec.memory_bandwidth_gbs);
+    // MPS peak below the GPU's theoretical FP32 peak.
+    EXPECT_LE(soc::gemm_calibration(chip, GemmImpl::kGpuMps).peak_gflops,
+              spec.gpu_peak_fp32_gflops());
+  }
+}
+
+}  // namespace
+}  // namespace ao

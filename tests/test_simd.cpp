@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "accelerate/reference_blas.hpp"
+#include "simd/neon.hpp"
+#include "simd/neon_kernels.hpp"
+#include "util/rng.hpp"
+
+namespace ao::simd {
+namespace {
+
+// -------------------------------------------------------- intrinsics -------
+
+TEST(NeonIntrinsics, LoadStoreRoundTrip) {
+  const float in[4] = {1.0f, -2.0f, 3.5f, 0.25f};
+  float out[4] = {};
+  vst1q_f32(out, vld1q_f32(in));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i], in[i]);
+  }
+}
+
+TEST(NeonIntrinsics, BroadcastAndLanes) {
+  float32x4_t v = vdupq_n_f32(7.0f);
+  EXPECT_EQ(vgetq_lane_f32(v, 0), 7.0f);
+  EXPECT_EQ(vgetq_lane_f32(v, 3), 7.0f);
+  v = vsetq_lane_f32(-1.0f, v, 2);
+  EXPECT_EQ(vgetq_lane_f32(v, 2), -1.0f);
+  EXPECT_EQ(vgetq_lane_f32(v, 1), 7.0f);
+}
+
+TEST(NeonIntrinsics, Arithmetic) {
+  const float32x4_t a = {{1, 2, 3, 4}};
+  const float32x4_t b = {{10, 20, 30, 40}};
+  EXPECT_EQ(vgetq_lane_f32(vaddq_f32(a, b), 2), 33.0f);
+  EXPECT_EQ(vgetq_lane_f32(vsubq_f32(b, a), 3), 36.0f);
+  EXPECT_EQ(vgetq_lane_f32(vmulq_f32(a, b), 1), 40.0f);
+  EXPECT_EQ(vgetq_lane_f32(vmulq_n_f32(a, 3.0f), 3), 12.0f);
+}
+
+TEST(NeonIntrinsics, FusedMultiplyAdd) {
+  const float32x4_t acc = {{1, 1, 1, 1}};
+  const float32x4_t x = {{2, 3, 4, 5}};
+  const float32x4_t y = {{10, 10, 10, 10}};
+  const float32x4_t r = vfmaq_f32(acc, x, y);  // acc + x*y
+  EXPECT_EQ(vgetq_lane_f32(r, 0), 21.0f);
+  EXPECT_EQ(vgetq_lane_f32(r, 3), 51.0f);
+  const float32x4_t rn = vfmaq_n_f32(acc, x, 2.0f);
+  EXPECT_EQ(vgetq_lane_f32(rn, 2), 9.0f);
+}
+
+TEST(NeonIntrinsics, MinMaxNegAbs) {
+  const float32x4_t a = {{-1, 2, -3, 4}};
+  const float32x4_t b = {{1, -2, 3, -4}};
+  EXPECT_EQ(vgetq_lane_f32(vmaxq_f32(a, b), 0), 1.0f);
+  EXPECT_EQ(vgetq_lane_f32(vminq_f32(a, b), 1), -2.0f);
+  EXPECT_EQ(vgetq_lane_f32(vnegq_f32(a), 0), 1.0f);
+  EXPECT_EQ(vgetq_lane_f32(vabsq_f32(a), 2), 3.0f);
+}
+
+TEST(NeonIntrinsics, HorizontalReductions) {
+  const float32x4_t a = {{1, 2, 3, 4}};
+  EXPECT_EQ(vaddvq_f32(a), 10.0f);
+  EXPECT_EQ(vmaxvq_f32(a), 4.0f);
+}
+
+// ----------------------------------------------------------- kernels -------
+
+class NeonKernelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NeonKernelTest, StreamKernelsMatchScalar) {
+  const std::size_t n = GetParam();
+  std::vector<float> a(n);
+  std::vector<float> b(n);
+  std::vector<float> c(n);
+  util::fill_uniform(std::span<float>(a), 1);
+  util::fill_uniform(std::span<float>(b), 2);
+  util::fill_uniform(std::span<float>(c), 3);
+
+  std::vector<float> out(n);
+  neon_copy(a.data(), out.data(), n);
+  EXPECT_EQ(out, a);
+
+  neon_scale(out.data(), c.data(), 3.0f, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], 3.0f * c[i]);
+  }
+
+  neon_add(a.data(), b.data(), out.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], a[i] + b[i]);
+  }
+
+  neon_triad(out.data(), b.data(), c.data(), 3.0f, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], b[i] + 3.0f * c[i]);
+  }
+}
+
+TEST_P(NeonKernelTest, SaxpyMatchesScalar) {
+  const std::size_t n = GetParam();
+  std::vector<float> x(n);
+  std::vector<float> y(n);
+  util::fill_uniform(std::span<float>(x), 4);
+  util::fill_uniform(std::span<float>(y), 5);
+  std::vector<float> expected = y;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] += 2.5f * x[i];
+  }
+  neon_saxpy(2.5f, x.data(), y.data(), n);
+  EXPECT_EQ(y, expected);
+}
+
+TEST_P(NeonKernelTest, DotMatchesDoubleReference) {
+  const std::size_t n = GetParam();
+  std::vector<float> x(n);
+  std::vector<float> y(n);
+  util::fill_uniform(std::span<float>(x), 6);
+  util::fill_uniform(std::span<float>(y), 7);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected += static_cast<double>(x[i]) * y[i];
+  }
+  const float got = neon_dot(x.data(), y.data(), n);
+  EXPECT_NEAR(got, expected, std::max(1.0, expected) * 1e-5);
+}
+
+// Ragged sizes exercise every tail path (16-wide, 4-wide, scalar).
+INSTANTIATE_TEST_SUITE_P(TailSizes, NeonKernelTest,
+                         ::testing::Values(1, 3, 4, 5, 15, 16, 17, 63, 64,
+                                           100, 1024));
+
+TEST(NeonSgemm, MatchesReference) {
+  for (const std::size_t n : {8u, 17u, 64u, 96u}) {
+    std::vector<float> a(n * n);
+    std::vector<float> b(n * n);
+    std::vector<float> c(n * n, -1.0f);
+    std::vector<float> expected(n * n);
+    util::fill_uniform(std::span<float>(a), 8);
+    util::fill_uniform(std::span<float>(b), 9);
+    neon_sgemm(n, n, n, a.data(), n, b.data(), n, c.data(), n);
+    accelerate::reference::sgemm(false, false, n, n, n, 1.0f, a.data(), n,
+                                 b.data(), n, 0.0f, expected.data(), n);
+    EXPECT_LE(accelerate::reference::max_abs_diff(expected.data(), c.data(), n,
+                                                  n, n),
+              accelerate::reference::gemm_tolerance(n))
+        << "n=" << n;
+  }
+}
+
+TEST(NeonSgemm, NonSquareWithLeadingDimensions) {
+  const std::size_t m = 12;
+  const std::size_t n = 20;
+  const std::size_t k = 36;
+  const std::size_t ld = 40;
+  std::vector<float> a(m * ld);
+  std::vector<float> b(k * ld);
+  std::vector<float> c(m * ld, 0.0f);
+  std::vector<float> expected(m * ld, 0.0f);
+  util::fill_uniform(std::span<float>(a), 10);
+  util::fill_uniform(std::span<float>(b), 11);
+  neon_sgemm(m, n, k, a.data(), ld, b.data(), ld, c.data(), ld);
+  accelerate::reference::sgemm(false, false, m, n, k, 1.0f, a.data(), ld,
+                               b.data(), ld, 0.0f, expected.data(), ld);
+  EXPECT_LE(
+      accelerate::reference::max_abs_diff(expected.data(), c.data(), m, n, ld),
+      accelerate::reference::gemm_tolerance(k));
+}
+
+}  // namespace
+}  // namespace ao::simd

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <thread>
+
+#include "util/aligned_buffer.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv_writer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+#include "util/table_printer.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace ao::util {
+namespace {
+
+// ---------------------------------------------------------------- units ----
+
+TEST(Units, BandwidthConversion) {
+  // 1e9 bytes in 1e9 ns (1 s) is 1 GB/s.
+  EXPECT_DOUBLE_EQ(gb_per_s(1e9, 1e9), 1.0);
+  // 100 GB in 1 s.
+  EXPECT_DOUBLE_EQ(gb_per_s(100e9, 1e9), 100.0);
+}
+
+TEST(Units, GflopsConversion) {
+  EXPECT_DOUBLE_EQ(gflops(2e9, 1e9), 2.0);
+  EXPECT_DOUBLE_EQ(gflops(1e12, 1e9), 1000.0);  // 1 TFLOP in 1 s
+}
+
+TEST(Units, GflopsPerWatt) {
+  EXPECT_DOUBLE_EQ(gflops_per_watt(200.0, 1000.0), 200.0);  // 1 W
+  EXPECT_DOUBLE_EQ(gflops_per_watt(200.0, 2000.0), 100.0);  // 2 W
+  EXPECT_DOUBLE_EQ(gflops_per_watt(200.0, 0.0), 0.0);       // guarded
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(16384), "16 KiB");
+  EXPECT_EQ(format_bytes(8ull * kGiB), "8 GiB");
+  EXPECT_EQ(format_bytes(100), "100 B");
+}
+
+TEST(Units, ApplePageSizeIs16K) { EXPECT_EQ(kApplePageSize, 16384u); }
+
+// ------------------------------------------------------- aligned buffer ----
+
+TEST(AlignedBuffer, AlignsToApplePage) {
+  AlignedBuffer buf(100);
+  EXPECT_TRUE(AlignedBuffer::is_aligned(buf.data(), kApplePageSize));
+  EXPECT_EQ(buf.length(), 100u);
+  EXPECT_EQ(buf.capacity(), kApplePageSize);
+}
+
+TEST(AlignedBuffer, RoundsUpToWholePages) {
+  AlignedBuffer buf(kApplePageSize + 1);
+  EXPECT_EQ(buf.capacity(), 2 * kApplePageSize);
+  AlignedBuffer exact(3 * kApplePageSize);
+  EXPECT_EQ(exact.capacity(), 3 * kApplePageSize);
+}
+
+TEST(AlignedBuffer, ZeroInitialized) {
+  AlignedBuffer buf(4096);
+  const auto span = buf.as_span<std::uint8_t>();
+  for (const auto byte : span) {
+    ASSERT_EQ(byte, 0u);
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(1000);
+  void* ptr = a.data();
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.length(), 0u);
+}
+
+TEST(AlignedBuffer, RejectsZeroLength) {
+  EXPECT_THROW(AlignedBuffer(0), InvalidArgument);
+}
+
+TEST(AlignedBuffer, RejectsNonPowerOfTwoAlignment) {
+  EXPECT_THROW(AlignedBuffer(100, 3000), InvalidArgument);
+}
+
+TEST(AlignedBuffer, TypedSpanCoversRequestedLength) {
+  AlignedBuffer buf(256 * sizeof(float));
+  EXPECT_EQ(buf.as_span<float>().size(), 256u);
+}
+
+// --------------------------------------------------------------- rng -------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, FloatsInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.next_float();
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  std::vector<float> data(100000);
+  fill_uniform(std::span<float>(data), 99);
+  const double mean =
+      std::accumulate(data.begin(), data.end(), 0.0) / data.size();
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(Rng, FillValueSetsEveryElement) {
+  std::vector<float> data(1000, -1.0f);
+  fill_value(std::span<float>(data), 3.5f);
+  for (const float v : data) {
+    ASSERT_EQ(v, 3.5f);
+  }
+}
+
+// --------------------------------------------------------- statistics ------
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), InvalidArgument);
+  EXPECT_THROW(s.min(), InvalidArgument);
+}
+
+TEST(SampleSet, OrderStatistics) {
+  SampleSet s;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 7.5);
+}
+
+TEST(SampleSet, RejectsBadPercentile) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), InvalidArgument);
+  EXPECT_THROW(s.percentile(101), InvalidArgument);
+}
+
+// --------------------------------------------------------------- csv -------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RoundTrip) {
+  CsvWriter csv({"name", "value", "note"});
+  csv.add_row({"alpha", "1.5", "has,comma"});
+  csv.add_row({"beta", "2.0", "has \"quotes\""});
+  const auto rows = parse_csv(csv.to_string());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "value", "note"}));
+  EXPECT_EQ(rows[1][2], "has,comma");
+  EXPECT_EQ(rows[2][2], "has \"quotes\"");
+}
+
+TEST(Csv, NumericRowHelper) {
+  CsvWriter csv({"k", "a", "b"});
+  csv.add_row("row", {1.25, 2.5}, 2);
+  const auto rows = parse_csv(csv.to_string());
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"row", "1.25", "2.50"}));
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), InvalidArgument);
+}
+
+// ------------------------------------------------------- table printer -----
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter t({"Feature", "M1", "M4"});
+  t.add_row({"Cores", "8", "10"});
+  const std::string out = t.to_string("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("Feature"), std::string::npos);
+  EXPECT_NE(out.find("Cores"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(TablePrinter, ArityEnforced) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+}
+
+TEST(TablePrinter, ColumnsAlign) {
+  TablePrinter t({"x", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-label", "22"});
+  const std::string out = t.to_string();
+  // All lines between rules must have equal length.
+  std::size_t expected = 0;
+  std::istringstream iss(out);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (expected == 0) {
+      expected = line.size();
+    }
+    EXPECT_EQ(line.size(), expected);
+  }
+}
+
+// ----------------------------------------------------------- charts --------
+
+TEST(BarChart, RendersBarsAndReference) {
+  BarChart chart("Bandwidth", "GB/s");
+  chart.set_reference_line(100.0, "theoretical");
+  chart.add_group("M1");
+  chart.add_bar("Copy", 55.0);
+  chart.add_bar("Triad", 59.0);
+  const std::string out = chart.render(40);
+  EXPECT_NE(out.find("Copy"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find("59.0"), std::string::npos);
+}
+
+TEST(BarChart, BarBeforeGroupThrows) {
+  BarChart chart("x", "u");
+  EXPECT_THROW(chart.add_bar("oops", 1.0), InvalidArgument);
+}
+
+TEST(LinePlot, RendersLogLogSeries) {
+  LinePlot plot("GFLOPS", "n", "GFLOPS");
+  plot.set_log_x(true);
+  plot.set_log_y(true);
+  plot.add_series("mps", 'm', {256, 1024, 4096, 16384}, {10, 300, 2000, 2900});
+  const std::string out = plot.render(60, 15);
+  EXPECT_NE(out.find('m'), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(LinePlot, MismatchedSeriesThrows) {
+  LinePlot plot("t", "x", "y");
+  EXPECT_THROW(plot.add_series("s", 's', {1, 2}, {1}), InvalidArgument);
+}
+
+TEST(LinePlot, EmptyPlotDoesNotCrash) {
+  LinePlot plot("t", "x", "y");
+  EXPECT_NE(plot.render().find("no data"), std::string::npos);
+}
+
+// -------------------------------------------------------- thread pool ------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, RunsConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    const int now = active.fetch_add(1) + 1;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    active.fetch_sub(1);
+  });
+  EXPECT_GE(peak.load(), 2) << "workers never overlapped";
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ao::util
