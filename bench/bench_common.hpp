@@ -6,28 +6,39 @@
 #include "core/system.hpp"
 #include "harness/experiment.hpp"
 #include "harness/matrix_workload.hpp"
+#include "orchestrator/campaign.hpp"
 
 namespace ao::bench {
 
-/// Runs the paper's full GEMM sweep (all implementations x all sizes x all
-/// chips) in model-only mode — the configuration every figure bench shares.
-/// `repetitions` mirrors the paper's five; power sampling is always on.
-inline std::vector<harness::GemmMeasurement> model_sweep(int repetitions = 5) {
-  std::vector<harness::GemmMeasurement> all;
-  for (const auto chip : soc::kAllChipModels) {
-    core::System system(chip);
-    harness::GemmExperiment::Options opts;
-    opts.repetitions = repetitions;
-    for (auto& [impl, ceiling] : opts.functional_n_max) {
-      ceiling = 0;  // figures cover n up to 16384: model-only
-    }
-    harness::GemmExperiment experiment(system.gemm_context(), opts);
-    auto results = experiment.run_suite(
-        {soc::kAllGemmImpls.begin(), soc::kAllGemmImpls.end()},
-        harness::paper_sizes());
-    all.insert(all.end(), results.begin(), results.end());
+/// The figure benches' shared experiment configuration: the paper's five
+/// repetitions, power sampling on, model-only execution (figures cover n up
+/// to 16384, where host-side O(n^3) would dominate the run).
+inline harness::GemmExperiment::Options model_sweep_options(
+    int repetitions = 5) {
+  harness::GemmExperiment::Options opts;
+  opts.repetitions = repetitions;
+  for (auto& [impl, ceiling] : opts.functional_n_max) {
+    ceiling = 0;
   }
-  return all;
+  return opts;
+}
+
+/// Runs the paper's full GEMM sweep (all implementations x all sizes x all
+/// chips) through the orchestrator: one campaign, all four chips measured
+/// concurrently, batched per-size operands, results in canonical
+/// (chip, n, impl) order. Pass a ResultCache to share points across
+/// campaigns within one process.
+inline std::vector<harness::GemmMeasurement> model_sweep(
+    int repetitions = 5, orchestrator::ResultCache* cache = nullptr) {
+  orchestrator::Campaign campaign;
+  campaign.options(model_sweep_options(repetitions)).cache(cache);
+  const auto result = campaign.run();
+  std::cerr << "[campaign] " << result.stats.jobs_total << " jobs, "
+            << result.stats.jobs_executed << " executed, "
+            << result.stats.cache_hits << " from cache, "
+            << result.stats.batches_allocated << " operand batches, "
+            << result.stats.systems_built << " simulated systems\n";
+  return result.gemm;
 }
 
 /// Functional spot-check at a small size: verifies every implementation

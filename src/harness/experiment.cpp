@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "accelerate/reference_blas.hpp"
+#include "orchestrator/campaign.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -16,14 +17,42 @@ GemmExperiment::GemmExperiment(gemm::GemmContext& context, Options options)
   AO_REQUIRE(options_.repetitions >= 1, "need at least one repetition");
 }
 
-bool GemmExperiment::should_run_functional(soc::GemmImpl impl,
-                                           std::size_t n) const {
-  const auto it = options_.functional_n_max.find(impl);
-  return it != options_.functional_n_max.end() && n <= it->second;
+bool functional_at(const GemmExperiment::Options& options, soc::GemmImpl impl,
+                   std::size_t n) {
+  const auto it = options.functional_n_max.find(impl);
+  return it != options.functional_n_max.end() && n <= it->second;
+}
+
+void verify_measurement(GemmMeasurement& m, const MatrixView& matrices) {
+  if (!m.functional) {
+    return;  // nothing was computed; there is nothing to check
+  }
+  const std::size_t n = matrices.n;
+  AO_REQUIRE(n == m.n, "verification matrices do not match the measurement");
+  std::vector<float> expected(n * n);
+  accelerate::reference::sgemm(false, false, n, n, n, 1.0f, matrices.left, n,
+                               matrices.right, n, 0.0f, expected.data(), n);
+  m.max_error = accelerate::reference::max_abs_diff(expected.data(),
+                                                    matrices.out, n, n, n);
+  m.verified = m.max_error <= accelerate::reference::gemm_tolerance(n);
 }
 
 GemmMeasurement GemmExperiment::measure(gemm::IGemm& impl, MatrixSet& matrices) {
-  const std::size_t n = matrices.n();
+  return measure(impl, matrices.view());
+}
+
+GemmMeasurement GemmExperiment::measure(gemm::IGemm& impl,
+                                        const MatrixView& matrices) {
+  GemmMeasurement m = measure_timed(impl, matrices);
+  if (m.functional && m.n <= options_.verify_n_max) {
+    verify_measurement(m, matrices);
+  }
+  return m;
+}
+
+GemmMeasurement GemmExperiment::measure_timed(gemm::IGemm& impl,
+                                              const MatrixView& matrices) {
+  const std::size_t n = matrices.n;
   soc::Soc& soc = ctx_->soc;
 
   // The paper runs each test session from a cold, idle machine ("tests are
@@ -37,7 +66,7 @@ GemmMeasurement GemmExperiment::measure(gemm::IGemm& impl, MatrixSet& matrices) 
   m.chip = soc.spec().model;
   m.impl = impl.kind();
   m.n = n;
-  m.functional = should_run_functional(impl.kind(), n);
+  m.functional = functional_at(options_, impl.kind(), n);
 
   // Power monitor: started before the run, warmed up, reset via SIGINFO
   // (Section 3.3). The warm-up interval is simulated idle time.
@@ -56,8 +85,8 @@ GemmMeasurement GemmExperiment::measure(gemm::IGemm& impl, MatrixSet& matrices) 
     // drift), exactly what the repeated timing is for.
     const bool functional = m.functional && rep == 0;
     const std::uint64_t t0 = soc.clock().now();
-    impl.multiply(n, matrices.memory_length(), matrices.left(),
-                  matrices.right(), matrices.out(), functional);
+    impl.multiply(n, matrices.memory_length, matrices.left, matrices.right,
+                  matrices.out, functional);
     const auto dt = static_cast<double>(soc.clock().now() - t0);
     m.time_ns.add(dt);
   }
@@ -82,41 +111,24 @@ GemmMeasurement GemmExperiment::measure(gemm::IGemm& impl, MatrixSet& matrices) 
   // repetition's rate by the window-average power would overstate
   // GFLOPS/W whenever the package throttles mid-window.
   m.gflops_per_watt = util::gflops_per_watt(m.mean_gflops, m.power_mw);
-
-  // Verification against the double-accumulating reference.
-  if (m.functional && n <= options_.verify_n_max) {
-    std::vector<float> expected(n * n);
-    accelerate::reference::sgemm(false, false, n, n, n, 1.0f, matrices.left(),
-                                 n, matrices.right(), n, 0.0f, expected.data(),
-                                 n);
-    m.max_error = accelerate::reference::max_abs_diff(expected.data(),
-                                                      matrices.out(), n, n, n);
-    m.verified = m.max_error <= accelerate::reference::gemm_tolerance(n);
-  }
   return m;
 }
 
 std::vector<GemmMeasurement> GemmExperiment::run_suite(
     const std::vector<soc::GemmImpl>& impls,
     const std::vector<std::size_t>& sizes) {
-  std::vector<GemmMeasurement> results;
-  for (const std::size_t n : sizes) {
-    // Fill only if some implementation will actually read the data.
-    bool any_functional = false;
-    for (const auto impl : impls) {
-      any_functional |= !paper_skips(impl, n) && should_run_functional(impl, n);
-    }
-    MatrixSet matrices(n, /*fill=*/any_functional);
-    for (const auto impl_kind : impls) {
-      if (paper_skips(impl_kind, n)) {
-        continue;
-      }
-      auto impl = gemm::create_gemm(impl_kind, *ctx_);
-      matrices.clear_out();
-      results.push_back(measure(*impl, matrices));
-    }
-  }
-  return results;
+  // Route through the orchestrator: the campaign expands the same
+  // (impl x size) grid into jobs, batches the per-size allocations exactly
+  // as the old serial loop shared them, and — because each job runs on a
+  // freshly reset simulated System — produces the measurement set the
+  // serial loop produced. Serial callers keep their historical row order.
+  orchestrator::Campaign campaign;
+  campaign.chips({ctx_->soc.spec().model})
+      .impls(impls)
+      .sizes(sizes)
+      .options(options_)
+      .concurrency(1);
+  return campaign.run().ordered(sizes, impls);
 }
 
 }  // namespace ao::harness

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -52,6 +53,9 @@ class GemmExperiment {
     std::size_t verify_n_max = 256;
     bool use_powermetrics = true;
     double warmup_seconds = 2.0;
+    /// Seed the operand matrices are generated from. Part of a measurement's
+    /// identity: the orchestrator's ResultCache keys on it.
+    std::uint64_t matrix_seed = 42;
     /// Per-impl functional ceilings (0 = never run functionally). Defaults
     /// keep the host-side cost of a full sweep in seconds, not hours.
     std::map<soc::GemmImpl, std::size_t> functional_n_max = {
@@ -68,8 +72,24 @@ class GemmExperiment {
   /// output matrix of) `matrices`.
   GemmMeasurement measure(gemm::IGemm& impl, MatrixSet& matrices);
 
+  /// View form: timed measurement plus verification against the reference
+  /// SGEMM (when functional and n <= verify_n_max).
+  GemmMeasurement measure(gemm::IGemm& impl, const MatrixView& matrices);
+
+  /// Timing + power only, no verification — the orchestrator splits
+  /// verification into a dependent job so it can run off the measurement
+  /// critical path.
+  GemmMeasurement measure_timed(gemm::IGemm& impl, const MatrixView& matrices);
+
   /// Full sweep: every implementation over `sizes`, honoring paper_skips().
   /// Matrices are allocated once per size and shared across implementations.
+  ///
+  /// Routed through the orchestrator: each point is measured on a freshly
+  /// booted simulated System of the bound context's chip model (the paper's
+  /// reboot-and-idle protocol), NOT on the bound System itself — the
+  /// caller's System is left untouched and its activity log stays empty.
+  /// measure() still runs on the bound context for callers that
+  /// pre-condition a System deliberately (e.g. the cooling ablation).
   std::vector<GemmMeasurement> run_suite(
       const std::vector<soc::GemmImpl>& impls,
       const std::vector<std::size_t>& sizes);
@@ -77,10 +97,21 @@ class GemmExperiment {
   const Options& options() const { return options_; }
 
  private:
-  bool should_run_functional(soc::GemmImpl impl, std::size_t n) const;
-
   gemm::GemmContext* ctx_;
   Options options_;
 };
+
+/// True when `impl` at size `n` executes numerically under `options`
+/// (it has a functional ceiling and n is within it). Pure policy — the
+/// campaign expander uses it to decide which jobs need filled matrices.
+bool functional_at(const GemmExperiment::Options& options, soc::GemmImpl impl,
+                   std::size_t n);
+
+/// Checks a functional measurement's output against the double-accumulating
+/// reference SGEMM, filling `m.max_error` / `m.verified`. No-op for
+/// non-functional measurements (nothing was computed). Needs only host
+/// buffers, so the orchestrator can run it as a dependent job without
+/// leasing a simulated System.
+void verify_measurement(GemmMeasurement& m, const MatrixView& matrices);
 
 }  // namespace ao::harness

@@ -37,13 +37,21 @@ MatrixSet::MatrixSet(std::size_t n, bool fill, std::uint64_t seed)
       right_(n * n * sizeof(float)),
       out_(n * n * sizeof(float)) {
   if (fill) {
-    parallel_fill_uniform(left(), n * n, seed);
-    parallel_fill_uniform(right(), n * n, seed + 1);
+    fill_left_operand(left(), n, seed);
+    fill_right_operand(right(), n, seed);
   }
 }
 
 void MatrixSet::clear_out() {
   std::memset(out_.data(), 0, out_.capacity());
+}
+
+void fill_left_operand(float* data, std::size_t n, std::uint64_t seed) {
+  parallel_fill_uniform(data, n * n, seed);
+}
+
+void fill_right_operand(float* data, std::size_t n, std::uint64_t seed) {
+  parallel_fill_uniform(data, n * n, seed + 1);
 }
 
 void parallel_fill_uniform(float* data, std::size_t count, std::uint64_t seed) {

@@ -24,6 +24,20 @@ const std::vector<std::size_t>& figure34_sizes();
 /// 16,384 due to the long execution time."
 bool paper_skips(soc::GemmImpl impl, std::size_t n);
 
+/// Non-owning view of one GEMM operand set: the exact tuple the paper's
+/// test-library callback receives (size, page-rounded byte length, three
+/// page-aligned matrices). Inputs are const — a view can share one
+/// left/right allocation across many concurrent measurements (the
+/// orchestrator's batched scheduling) while each measurement writes its own
+/// output matrix.
+struct MatrixView {
+  std::size_t n = 0;
+  std::size_t memory_length = 0;  ///< page-rounded bytes per matrix
+  const float* left = nullptr;
+  const float* right = nullptr;
+  float* out = nullptr;
+};
+
 /// One benchmark operand set: three n x n FP32 matrices allocated exactly as
 /// the paper allocates them — aligned_alloc with the 16384-byte page size,
 /// lengths extended to the nearest page multiple "such that the GPU could
@@ -50,6 +64,9 @@ class MatrixSet {
   /// Zeroes the output matrix (between repetitions).
   void clear_out();
 
+  /// The view the measurement layer consumes.
+  MatrixView view() { return {n_, memory_length(), left(), right(), out()}; }
+
  private:
   std::size_t n_;
   util::AlignedBuffer left_;
@@ -59,5 +76,14 @@ class MatrixSet {
 
 /// Parallel uniform [0,1) fill with per-chunk deterministic seeding.
 void parallel_fill_uniform(float* data, std::size_t count, std::uint64_t seed);
+
+/// The canonical operand-seeding convention: the left matrix is generated
+/// from `seed`, the right from a derived seed. Every producer of GEMM
+/// operands (MatrixSet, the orchestrator's MatrixBatch, test_suite's
+/// between-repetition restore) goes through these two functions, so
+/// (n, seed) identifies the operand bits everywhere — the property the
+/// orchestrator's ResultCache identity rests on.
+void fill_left_operand(float* data, std::size_t n, std::uint64_t seed);
+void fill_right_operand(float* data, std::size_t n, std::uint64_t seed);
 
 }  // namespace ao::harness

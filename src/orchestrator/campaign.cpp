@@ -1,0 +1,175 @@
+#include "orchestrator/campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace ao::orchestrator {
+
+std::vector<harness::GemmMeasurement> CampaignResult::ordered(
+    const std::vector<std::size_t>& sizes,
+    const std::vector<soc::GemmImpl>& impls) const {
+  // Preserve the chip grouping of the canonical sort, then emit the serial
+  // suite's size-major / implementation-minor row order within each chip.
+  std::vector<soc::ChipModel> chip_order;
+  for (const auto& m : gemm) {
+    if (std::find(chip_order.begin(), chip_order.end(), m.chip) ==
+        chip_order.end()) {
+      chip_order.push_back(m.chip);
+    }
+  }
+  std::map<std::tuple<soc::ChipModel, std::size_t, soc::GemmImpl>,
+           const harness::GemmMeasurement*>
+      by_point;
+  for (const auto& m : gemm) {
+    by_point.emplace(std::tuple(m.chip, m.n, m.impl), &m);
+  }
+  std::vector<harness::GemmMeasurement> out;
+  out.reserve(gemm.size());
+  for (const auto chip : chip_order) {
+    for (const std::size_t n : sizes) {
+      for (const auto impl : impls) {
+        const auto it = by_point.find(std::tuple(chip, n, impl));
+        if (it != by_point.end()) {
+          out.push_back(*it->second);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Campaign& Campaign::chips(std::vector<soc::ChipModel> chips) {
+  chips_ = std::move(chips);
+  return *this;
+}
+
+Campaign& Campaign::impls(std::vector<soc::GemmImpl> impls) {
+  impls_ = std::move(impls);
+  return *this;
+}
+
+Campaign& Campaign::sizes(std::vector<std::size_t> sizes) {
+  sizes_ = std::move(sizes);
+  return *this;
+}
+
+Campaign& Campaign::options(harness::GemmExperiment::Options options) {
+  options_ = std::move(options);
+  return *this;
+}
+
+Campaign& Campaign::concurrency(std::size_t workers) {
+  concurrency_ = workers;
+  return *this;
+}
+
+Campaign& Campaign::cache(ResultCache* cache) {
+  cache_ = cache;
+  return *this;
+}
+
+Campaign& Campaign::stream_sweep(std::vector<int> thread_counts,
+                                 int repetitions) {
+  AO_REQUIRE(repetitions >= 1, "need at least one STREAM repetition");
+  stream_thread_counts_ = std::move(thread_counts);
+  stream_repetitions_ = repetitions;
+  return *this;
+}
+
+Campaign& Campaign::power_idle(double window_seconds) {
+  AO_REQUIRE(window_seconds > 0.0, "power window must be positive");
+  power_idle_ = true;
+  power_window_seconds_ = window_seconds;
+  return *this;
+}
+
+void Campaign::expand(JobQueue& queue) const {
+  AO_REQUIRE(!chips_.empty(), "campaign needs at least one chip");
+  for (const auto chip : chips_) {
+    for (const std::size_t n : sizes_) {
+      for (const auto impl : impls_) {
+        if (harness::paper_skips(impl, n)) {
+          continue;  // the paper's skip rule is part of the sweep contract
+        }
+        ExperimentJob measure;
+        measure.kind = JobKind::kGemmMeasure;
+        // Large sizes first: the long-running points start while the small
+        // ones backfill idle workers.
+        measure.priority = static_cast<int>(n);
+        measure.chip = chip;
+        measure.impl = impl;
+        measure.n = n;
+        measure.expects_verify = harness::functional_at(options_, impl, n) &&
+                                 n <= options_.verify_n_max;
+        const JobId measure_id = queue.push(measure);
+
+        if (measure.expects_verify) {
+          ExperimentJob verify;
+          verify.kind = JobKind::kGemmVerify;
+          verify.priority = measure.priority;
+          verify.chip = chip;
+          verify.impl = impl;
+          verify.n = n;
+          verify.parent = measure_id;
+          queue.push(verify, {measure_id});
+        }
+      }
+    }
+    for (const int threads : stream_thread_counts_) {
+      ExperimentJob job;
+      job.kind = JobKind::kStream;
+      job.chip = chip;
+      job.stream_threads = threads;
+      job.stream_repetitions = stream_repetitions_;
+      queue.push(job);
+    }
+    if (power_idle_) {
+      ExperimentJob job;
+      job.kind = JobKind::kPowerIdle;
+      job.chip = chip;
+      job.power_window_seconds = power_window_seconds_;
+      queue.push(job);
+    }
+  }
+}
+
+std::size_t Campaign::job_count() const {
+  std::size_t count = 0;
+  for (const std::size_t n : sizes_) {
+    for (const auto impl : impls_) {
+      if (harness::paper_skips(impl, n)) {
+        continue;
+      }
+      ++count;
+      if (harness::functional_at(options_, impl, n) &&
+          n <= options_.verify_n_max) {
+        ++count;
+      }
+    }
+  }
+  count += stream_thread_counts_.size();
+  count += power_idle_ ? 1 : 0;
+  return count * chips_.size();
+}
+
+CampaignResult Campaign::run() {
+  JobQueue queue;
+  expand(queue);
+
+  CampaignScheduler::Options scheduler_options;
+  scheduler_options.concurrency = concurrency_;
+  CampaignScheduler scheduler(options_, scheduler_options, cache_);
+  CampaignOutputs outputs = scheduler.run(queue);
+
+  CampaignResult result;
+  result.gemm = std::move(outputs.gemm);
+  result.stream = std::move(outputs.stream);
+  result.power = std::move(outputs.power);
+  result.stats = outputs.stats;
+  return result;
+}
+
+}  // namespace ao::orchestrator

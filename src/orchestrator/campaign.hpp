@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/matrix_workload.hpp"
+#include "orchestrator/job.hpp"
+#include "orchestrator/result_cache.hpp"
+#include "orchestrator/scheduler.hpp"
+
+namespace ao::orchestrator {
+
+/// Aggregated campaign output plus helpers for the reporting layer.
+struct CampaignResult {
+  std::vector<harness::GemmMeasurement> gemm;  ///< sorted (chip, n, impl)
+  std::vector<StreamPoint> stream;
+  std::vector<PowerPoint> power;
+  CampaignStats stats;
+
+  /// Re-orders the GEMM measurements into the serial suite's historical row
+  /// order: chips in the order they first appear in `gemm`'s canonical
+  /// sort, sizes outer, implementations inner. Points the paper skips are
+  /// simply absent.
+  std::vector<harness::GemmMeasurement> ordered(
+      const std::vector<std::size_t>& sizes,
+      const std::vector<soc::GemmImpl>& impls) const;
+};
+
+/// Builder-style front end of the orchestrator: describes a benchmark
+/// campaign as (chips x implementations x sizes), expands it into a
+/// dependency-ordered JobQueue (verification jobs depend on their
+/// measurement jobs; the paper's skip rules are honored), and runs it on a
+/// CampaignScheduler.
+///
+///   orchestrator::ResultCache cache;
+///   orchestrator::Campaign campaign;
+///   campaign.chips({soc::ChipModel::kM1, soc::ChipModel::kM2})
+///       .sizes(harness::figure2_sizes())
+///       .cache(&cache)
+///       .concurrency(8);
+///   auto result = campaign.run();   // result.gemm, result.stats
+///
+/// Unset dimensions default to the paper's full grid: all four chips, all
+/// six Table-2 implementations, all ten sizes.
+class Campaign {
+ public:
+  Campaign& chips(std::vector<soc::ChipModel> chips);
+  Campaign& impls(std::vector<soc::GemmImpl> impls);
+  Campaign& sizes(std::vector<std::size_t> sizes);
+  Campaign& options(harness::GemmExperiment::Options options);
+  /// Worker count for the scheduler; 0 = hardware concurrency, 1 = serial.
+  Campaign& concurrency(std::size_t workers);
+  /// Attaches a (caller-owned) cache; overlapping and repeated campaigns
+  /// service already-measured points from it.
+  Campaign& cache(ResultCache* cache);
+  /// Adds one CPU STREAM job per (chip, thread count).
+  Campaign& stream_sweep(std::vector<int> thread_counts, int repetitions = 10);
+  /// Adds one idle-floor power job per chip.
+  Campaign& power_idle(double window_seconds = 1.0);
+
+  /// Expands the sweep into `queue`. Exposed for tests and custom
+  /// schedulers; run() does this internally.
+  void expand(JobQueue& queue) const;
+
+  /// Number of jobs expand() would push.
+  std::size_t job_count() const;
+
+  /// Expands and executes the campaign.
+  CampaignResult run();
+
+ private:
+  std::vector<soc::ChipModel> chips_{soc::kAllChipModels.begin(),
+                                     soc::kAllChipModels.end()};
+  std::vector<soc::GemmImpl> impls_{soc::kAllGemmImpls.begin(),
+                                    soc::kAllGemmImpls.end()};
+  std::vector<std::size_t> sizes_ = harness::paper_sizes();
+  harness::GemmExperiment::Options options_;
+  std::size_t concurrency_ = 0;
+  ResultCache* cache_ = nullptr;
+  std::vector<int> stream_thread_counts_;
+  int stream_repetitions_ = 10;
+  bool power_idle_ = false;
+  double power_window_seconds_ = 1.0;
+};
+
+}  // namespace ao::orchestrator

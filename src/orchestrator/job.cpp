@@ -1,0 +1,131 @@
+#include "orchestrator/job.hpp"
+
+#include "util/error.hpp"
+
+namespace ao::orchestrator {
+
+std::string to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kGemmMeasure:
+      return "gemm-measure";
+    case JobKind::kGemmVerify:
+      return "gemm-verify";
+    case JobKind::kStream:
+      return "stream";
+    case JobKind::kPowerIdle:
+      return "power-idle";
+  }
+  throw util::InvalidArgument("unknown JobKind");
+}
+
+JobId JobQueue::push(ExperimentJob job, const std::vector<JobId>& deps) {
+  std::lock_guard lock(mutex_);
+  const JobId id = next_id_++;
+  job.id = id;
+
+  Node node;
+  node.job = std::move(job);
+  for (const JobId dep : deps) {
+    const auto it = nodes_.find(dep);
+    AO_REQUIRE(it != nodes_.end(), "job depends on an unknown job");
+    if (!it->second.done) {
+      it->second.dependents.push_back(id);
+      ++node.unmet_deps;
+    }
+  }
+  const bool ready = node.unmet_deps == 0;
+  const int priority = node.job.priority;
+  nodes_.emplace(id, std::move(node));
+  if (ready) {
+    ready_.insert({-priority, id});
+    ready_cv_.notify_one();
+  }
+  return id;
+}
+
+std::optional<ExperimentJob> JobQueue::take_ready_locked() {
+  if (ready_.empty()) {
+    return std::nullopt;
+  }
+  const auto it = ready_.begin();
+  const JobId id = it->second;
+  ready_.erase(it);
+  Node& node = nodes_.at(id);
+  node.popped = true;
+  return node.job;
+}
+
+std::optional<ExperimentJob> JobQueue::pop_ready() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (auto job = take_ready_locked()) {
+      return job;
+    }
+    if (done_count_ == nodes_.size()) {
+      return std::nullopt;  // drained
+    }
+    // Jobs remain but none is ready: their deps are running on other
+    // workers. Wait for a mark_done() (which may ready a dependent or
+    // finish the queue).
+    ready_cv_.wait(lock);
+  }
+}
+
+std::optional<ExperimentJob> JobQueue::try_pop_ready() {
+  std::lock_guard lock(mutex_);
+  return take_ready_locked();
+}
+
+void JobQueue::mark_done(JobId id) {
+  std::lock_guard lock(mutex_);
+  const auto it = nodes_.find(id);
+  AO_REQUIRE(it != nodes_.end(), "mark_done on an unknown job");
+  Node& node = it->second;
+  AO_REQUIRE(!node.done, "job marked done twice");
+  node.done = true;
+  ++done_count_;
+  for (const JobId dependent : node.dependents) {
+    Node& d = nodes_.at(dependent);
+    AO_REQUIRE(d.unmet_deps > 0, "dependency bookkeeping underflow");
+    if (--d.unmet_deps == 0 && !d.popped) {
+      ready_.insert({-d.job.priority, dependent});
+    }
+  }
+  // Wake everyone: dependents may now be ready, or the queue may be done.
+  ready_cv_.notify_all();
+  if (done_count_ == nodes_.size()) {
+    done_cv_.notify_all();
+  }
+}
+
+void JobQueue::wait_all_done() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return done_count_ == nodes_.size(); });
+}
+
+std::size_t JobQueue::total() const {
+  std::lock_guard lock(mutex_);
+  return nodes_.size();
+}
+
+std::size_t JobQueue::done_count() const {
+  std::lock_guard lock(mutex_);
+  return done_count_;
+}
+
+bool JobQueue::all_done() const {
+  std::lock_guard lock(mutex_);
+  return done_count_ == nodes_.size();
+}
+
+std::vector<ExperimentJob> JobQueue::jobs() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ExperimentJob> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    out.push_back(node.job);
+  }
+  return out;
+}
+
+}  // namespace ao::orchestrator

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "soc/benchmark_taxonomy.hpp"
+#include "soc/chip_spec.hpp"
+
+namespace ao::orchestrator {
+
+/// Queue-assigned job identity. 0 is never assigned.
+using JobId = std::uint64_t;
+inline constexpr JobId kInvalidJob = 0;
+
+/// The measurement families a campaign schedules. Verification is its own
+/// kind so it can be expressed as a dependent job and run off the
+/// measurement critical path (it needs host buffers, not a simulated
+/// System).
+enum class JobKind {
+  kGemmMeasure,  ///< one (chip, impl, n) timing + power point
+  kGemmVerify,   ///< checks a measurement's output against the reference
+  kStream,       ///< one CPU STREAM run at a fixed thread count
+  kPowerIdle,    ///< one powermetrics idle-floor sample
+};
+
+std::string to_string(JobKind kind);
+
+/// One schedulable unit of campaign work. A job is a *description* — the
+/// CampaignScheduler interprets it against a leased simulated System. Only
+/// the fields relevant to `kind` are meaningful.
+struct ExperimentJob {
+  JobId id = kInvalidJob;  ///< assigned by JobQueue::push
+  JobKind kind = JobKind::kGemmMeasure;
+  /// Higher-priority jobs are popped first among the ready set (ties break
+  /// on id, so equal-priority work keeps submission order). Campaigns use
+  /// the matrix size, starting the heavyweight points early.
+  int priority = 0;
+
+  soc::ChipModel chip = soc::ChipModel::kM1;
+
+  /// GEMM payload (kGemmMeasure / kGemmVerify).
+  soc::GemmImpl impl = soc::GemmImpl::kCpuSingle;
+  std::size_t n = 0;
+  /// For kGemmVerify: the measurement job whose output is checked.
+  JobId parent = kInvalidJob;
+  /// For kGemmMeasure: a verify job depends on this one, so the scheduler
+  /// must hold the output buffer until that job has consumed it.
+  bool expects_verify = false;
+
+  /// STREAM payload (kStream).
+  int stream_threads = 1;
+  int stream_repetitions = 10;
+
+  /// Power payload (kPowerIdle).
+  double power_window_seconds = 1.0;
+};
+
+/// Thread-safe, priority-ordered queue of experiment jobs with dependency
+/// edges. Dependencies must already be in the queue when a job is pushed,
+/// which makes the graph a DAG by construction. Workers drain it with
+/// pop_ready()/mark_done(); pop_ready() blocks while jobs are in flight and
+/// returns nullopt once every job has been marked done.
+class JobQueue {
+ public:
+  /// Adds a job; `deps` must name existing jobs (done deps are allowed and
+  /// count as satisfied). Returns the assigned id.
+  JobId push(ExperimentJob job, const std::vector<JobId>& deps = {});
+
+  /// Blocks until some job is ready (all deps done), then returns the
+  /// highest-priority one. Returns nullopt when every pushed job is done.
+  std::optional<ExperimentJob> pop_ready();
+
+  /// Non-blocking pop_ready(): nullopt when nothing is ready *right now*.
+  std::optional<ExperimentJob> try_pop_ready();
+
+  /// Marks a popped job complete, unblocking its dependents.
+  void mark_done(JobId id);
+
+  /// Blocks until every pushed job has been marked done.
+  void wait_all_done();
+
+  std::size_t total() const;
+  std::size_t done_count() const;
+  bool all_done() const;
+
+  /// Snapshot of every job ever pushed, in id order — the scheduler plans
+  /// its per-size batches from this before draining the queue.
+  std::vector<ExperimentJob> jobs() const;
+
+ private:
+  struct Node {
+    ExperimentJob job;
+    std::size_t unmet_deps = 0;
+    std::vector<JobId> dependents;
+    bool popped = false;
+    bool done = false;
+  };
+
+  // Ready ordering: (-priority, id) so the set's begin() is the
+  // highest-priority, earliest-submitted job.
+  using ReadyKey = std::pair<int, JobId>;
+
+  std::optional<ExperimentJob> take_ready_locked();
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::condition_variable done_cv_;
+  std::map<JobId, Node> nodes_;
+  std::set<ReadyKey> ready_;
+  JobId next_id_ = 1;
+  std::size_t done_count_ = 0;
+};
+
+}  // namespace ao::orchestrator

@@ -1,0 +1,103 @@
+#include "orchestrator/result_cache.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace ao::orchestrator {
+namespace {
+
+std::uint64_t mix_double(std::uint64_t h, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return util::fnv1a_mix(h, bits);
+}
+
+}  // namespace
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  std::uint64_t h = util::kFnv1aOffset;
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(key.chip));
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(key.impl));
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(key.n));
+  h = util::fnv1a_mix(h, key.options_fingerprint);
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t options_fingerprint(
+    const harness::GemmExperiment::Options& options) {
+  std::uint64_t h = util::kFnv1aOffset;
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(options.repetitions));
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(options.verify_n_max));
+  h = util::fnv1a_mix(h, options.use_powermetrics ? 1 : 0);
+  h = mix_double(h, options.warmup_seconds);
+  h = util::fnv1a_mix(h, options.matrix_seed);
+  // std::map iterates in key order, so the digest is independent of how the
+  // caller built the ceiling table.
+  for (const auto& [impl, ceiling] : options.functional_n_max) {
+    h = util::fnv1a_mix(h, static_cast<std::uint64_t>(impl));
+    h = util::fnv1a_mix(h, static_cast<std::uint64_t>(ceiling));
+  }
+  return h;
+}
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  AO_REQUIRE(capacity >= 1, "ResultCache capacity must be positive");
+}
+
+std::optional<harness::GemmMeasurement> ResultCache::lookup(
+    const CacheKey& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::insert(const CacheKey& key,
+                         const harness::GemmMeasurement& m) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = m;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() == capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, m);
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+}
+
+bool ResultCache::contains(const CacheKey& key) const {
+  std::lock_guard lock(mutex_);
+  return index_.find(key) != index_.end();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ao::orchestrator

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "harness/experiment.hpp"
+
+namespace ao::orchestrator {
+
+/// Content identity of one GEMM measurement point. Two campaigns that agree
+/// on every field would measure bit-identical results (the simulator is a
+/// pure function of chip, implementation, size and experiment options — the
+/// matrix seed is part of the options fingerprint), so the cached
+/// measurement can stand in for a re-run.
+struct CacheKey {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  soc::GemmImpl impl = soc::GemmImpl::kCpuSingle;
+  std::size_t n = 0;
+  std::uint64_t options_fingerprint = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const;
+};
+
+/// FNV-1a digest of every Options field that can change a measurement:
+/// repetitions, verification ceiling, power sampling, warm-up, matrix seed
+/// and the per-impl functional ceilings.
+std::uint64_t options_fingerprint(const harness::GemmExperiment::Options& options);
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+};
+
+/// Thread-safe LRU cache of finished GEMM measurements. Repeated campaigns
+/// and overlapping sweeps service already-measured points from here instead
+/// of re-running the simulator.
+class ResultCache {
+ public:
+  /// `capacity` = maximum retained measurements; at least 1.
+  explicit ResultCache(std::size_t capacity = 4096);
+
+  /// Returns the cached measurement and refreshes its recency, or nullopt.
+  std::optional<harness::GemmMeasurement> lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) a measurement, evicting the least recently used
+  /// entry when full.
+  void insert(const CacheKey& key, const harness::GemmMeasurement& m);
+
+  bool contains(const CacheKey& key) const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  CacheStats stats() const;
+
+ private:
+  using Entry = std::pair<CacheKey, harness::GemmMeasurement>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
+  CacheStats stats_;
+};
+
+}  // namespace ao::orchestrator

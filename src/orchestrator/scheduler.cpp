@@ -1,0 +1,401 @@
+#include "orchestrator/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <tuple>
+
+#include "gemm/gemm_interface.hpp"
+#include "harness/matrix_workload.hpp"
+#include "power/powermetrics.hpp"
+#include "stream/cpu_stream.hpp"
+#include "util/error.hpp"
+
+namespace ao::orchestrator {
+
+// ------------------------------------------------------------ SystemPool ---
+
+SystemPool::Lease::Lease(SystemPool& pool,
+                         std::unique_ptr<core::System> system)
+    : pool_(&pool),
+      system_(std::move(system)),
+      epoch_at_acquire_(system_->soc().clock().epoch()) {}
+
+SystemPool::Lease::~Lease() {
+  if (system_ != nullptr) {
+    pool_->release(std::move(system_));
+  }
+}
+
+SystemPool::Lease SystemPool::acquire(soc::ChipModel chip) {
+  std::unique_ptr<core::System> system;
+  {
+    std::lock_guard lock(mutex_);
+    auto& free_list = free_[chip];
+    if (!free_list.empty()) {
+      system = std::move(free_list.back());
+      free_list.pop_back();
+    }
+  }
+  if (system == nullptr) {
+    system = std::make_unique<core::System>(chip);
+    std::lock_guard lock(mutex_);
+    ++built_;
+  }
+  // The lease hands out boot state — the paper's reboot-and-idle protocol.
+  // A nonzero clock here would mean a previous job leaked out of its lease.
+  AO_REQUIRE(system->soc().clock().now() == 0 &&
+                 system->soc().activity().empty(),
+             "leased System is not at boot state");
+  return Lease(*this, std::move(system));
+}
+
+void SystemPool::release(std::unique_ptr<core::System> system) {
+  system->soc().reset();  // next lease starts a fresh boot epoch
+  std::lock_guard lock(mutex_);
+  free_[system->soc().spec().model].push_back(std::move(system));
+}
+
+std::size_t SystemPool::systems_built() const {
+  std::lock_guard lock(mutex_);
+  return built_;
+}
+
+// ------------------------------------------------------------ MatrixBatch --
+
+MatrixBatch::MatrixBatch(std::size_t n, bool fill, std::uint64_t seed)
+    : n_(n),
+      left_(n * n * sizeof(float)),
+      right_(n * n * sizeof(float)) {
+  if (fill) {
+    // The canonical operand convention, so batched operands are
+    // bit-identical to the serial suite's.
+    harness::fill_left_operand(left_.as_span<float>().data(), n, seed);
+    harness::fill_right_operand(right_.as_span<float>().data(), n, seed);
+  }
+}
+
+MatrixBatch::OutLease::OutLease(MatrixBatch& batch,
+                                std::unique_ptr<util::AlignedBuffer> out)
+    : batch_(&batch), out_(std::move(out)) {}
+
+MatrixBatch::OutLease::~OutLease() {
+  if (out_ != nullptr) {
+    batch_->release_out(std::move(out_));
+  }
+}
+
+harness::MatrixView MatrixBatch::OutLease::view() {
+  return {batch_->n(), batch_->memory_length(),
+          batch_->left_.as_span<float>().data(),
+          batch_->right_.as_span<float>().data(),
+          out_->as_span<float>().data()};
+}
+
+std::unique_ptr<MatrixBatch::OutLease> MatrixBatch::acquire_out() {
+  std::unique_ptr<util::AlignedBuffer> out;
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_outs_.empty()) {
+      out = std::move(free_outs_.back());
+      free_outs_.pop_back();
+    } else {
+      ++outs_built_;
+    }
+  }
+  if (out == nullptr) {
+    // Fresh AlignedBuffers are zeroed; recycled ones are re-zeroed on
+    // release, so every lease starts as clear_out() leaves a MatrixSet.
+    out = std::make_unique<util::AlignedBuffer>(n_ * n_ * sizeof(float));
+  }
+  return std::make_unique<OutLease>(*this, std::move(out));
+}
+
+void MatrixBatch::release_out(std::unique_ptr<util::AlignedBuffer> out) {
+  std::memset(out->data(), 0, out->capacity());
+  std::lock_guard lock(mutex_);
+  free_outs_.push_back(std::move(out));
+}
+
+std::size_t MatrixBatch::out_buffers_built() const {
+  std::lock_guard lock(mutex_);
+  return outs_built_;
+}
+
+// ------------------------------------------------------ CampaignScheduler --
+
+struct CampaignScheduler::MeasureState {
+  harness::GemmMeasurement measurement;
+  std::shared_ptr<MatrixBatch> batch;
+  std::unique_ptr<MatrixBatch::OutLease> out;
+};
+
+CampaignScheduler::CampaignScheduler(
+    harness::GemmExperiment::Options experiment_options)
+    : CampaignScheduler(std::move(experiment_options), Options{}) {}
+
+CampaignScheduler::CampaignScheduler(
+    harness::GemmExperiment::Options experiment_options, Options options,
+    ResultCache* cache)
+    : experiment_options_(std::move(experiment_options)),
+      options_(options),
+      cache_(cache),
+      fingerprint_(options_fingerprint(experiment_options_)) {}
+
+CampaignOutputs CampaignScheduler::run(JobQueue& queue) {
+  CampaignOutputs outputs;
+  stats_ = {};
+  batches_.clear();
+  pending_verify_.clear();
+
+  // Plan the per-size batches: how many gemm jobs touch each size (so the
+  // operands can be freed the moment the last one finishes) and whether any
+  // of them executes numerically (so model-only sizes are never filled).
+  const auto jobs = queue.jobs();
+  stats_.jobs_total = jobs.size();
+  for (const auto& job : jobs) {
+    if (job.kind != JobKind::kGemmMeasure && job.kind != JobKind::kGemmVerify) {
+      continue;
+    }
+    BatchState& bs = batches_[job.n];
+    ++bs.jobs_remaining;
+    if (job.kind == JobKind::kGemmMeasure &&
+        harness::functional_at(experiment_options_, job.impl, job.n)) {
+      bs.fill = true;
+    }
+  }
+
+  // Workers on a private pool: jobs themselves fan subtasks (matrix fills,
+  // simulated GPU threadgroups) onto util::global_pool(), so running jobs
+  // on the global pool would let blocked jobs starve their own subtasks.
+  std::size_t workers = options_.concurrency;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  std::mutex error_mutex;
+  std::string first_error;
+  std::atomic<bool> failed{false};
+  {
+    util::ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.submit([this, &queue, &outputs, &error_mutex, &first_error,
+                   &failed] {
+        while (auto job = queue.pop_ready()) {
+          // After the first failure the campaign's outputs are discarded
+          // anyway; drain the queue without executing instead of burning
+          // hours of simulated work.
+          if (!failed.load(std::memory_order_acquire)) {
+            try {
+              execute(*job, outputs);
+            } catch (const std::exception& e) {
+              failed.store(true, std::memory_order_release);
+              std::lock_guard lock(error_mutex);
+              if (first_error.empty()) {
+                first_error = e.what();
+              }
+            }
+          }
+          queue.mark_done(job->id);
+        }
+      });
+    }
+    queue.wait_all_done();
+  }  // pool drains deterministically here; workers exit via pop_ready()
+
+  if (!first_error.empty()) {
+    throw util::Error("campaign job failed: " + first_error);
+  }
+
+  stats_.systems_built = systems_.systems_built();
+  // Canonical result order, independent of completion interleaving.
+  std::sort(outputs.gemm.begin(), outputs.gemm.end(),
+            [](const harness::GemmMeasurement& a,
+               const harness::GemmMeasurement& b) {
+              return std::tuple(a.chip, a.n, a.impl) <
+                     std::tuple(b.chip, b.n, b.impl);
+            });
+  outputs.stats = stats_;
+  return outputs;
+}
+
+void CampaignScheduler::execute(const ExperimentJob& job,
+                                CampaignOutputs& outputs) {
+  switch (job.kind) {
+    case JobKind::kGemmMeasure:
+      run_gemm_measure(job, outputs);
+      return;
+    case JobKind::kGemmVerify:
+      run_gemm_verify(job, outputs);
+      return;
+    case JobKind::kStream:
+      run_stream(job, outputs);
+      return;
+    case JobKind::kPowerIdle:
+      run_power_idle(job, outputs);
+      return;
+  }
+  throw util::InvalidArgument("unknown JobKind");
+}
+
+std::shared_ptr<MatrixBatch> CampaignScheduler::batch_for(std::size_t n) {
+  std::lock_guard lock(state_mutex_);
+  const auto it = batches_.find(n);
+  AO_REQUIRE(it != batches_.end(), "gemm job for an unplanned matrix size");
+  BatchState& bs = it->second;
+  if (bs.batch == nullptr) {
+    bs.batch = std::make_shared<MatrixBatch>(n, bs.fill,
+                                             experiment_options_.matrix_seed);
+    ++stats_.batches_allocated;
+  }
+  return bs.batch;
+}
+
+void CampaignScheduler::batch_job_finished(std::size_t n) {
+  std::lock_guard lock(state_mutex_);
+  const auto it = batches_.find(n);
+  if (it == batches_.end()) {
+    return;
+  }
+  BatchState& bs = it->second;
+  if (--bs.jobs_remaining == 0) {
+    if (bs.batch != nullptr) {
+      stats_.out_buffers_allocated += bs.batch->out_buffers_built();
+    }
+    // Last job of this size: drop the scheduler's reference. Outstanding
+    // MeasureStates (if any) keep the allocation alive until consumed.
+    batches_.erase(it);
+  }
+}
+
+void CampaignScheduler::publish(const ExperimentJob& job,
+                                const harness::GemmMeasurement& m,
+                                CampaignOutputs& outputs) {
+  if (cache_ != nullptr) {
+    cache_->insert({job.chip, job.impl, job.n, fingerprint_}, m);
+  }
+  std::lock_guard lock(state_mutex_);
+  outputs.gemm.push_back(m);
+}
+
+void CampaignScheduler::run_gemm_measure(const ExperimentJob& job,
+                                         CampaignOutputs& outputs) {
+  // Every gemm job decrements the plan count exactly once, on every exit
+  // path (including a throwing simulator) — otherwise the shared operands
+  // of this size would be retained for the rest of the campaign.
+  struct BatchFinisher {
+    CampaignScheduler& scheduler;
+    std::size_t n;
+    ~BatchFinisher() { scheduler.batch_job_finished(n); }
+  } finisher{*this, job.n};
+
+  if (cache_ != nullptr) {
+    const auto cached =
+        cache_->lookup({job.chip, job.impl, job.n, fingerprint_});
+    if (cached.has_value()) {
+      std::lock_guard lock(state_mutex_);
+      ++stats_.cache_hits;
+      outputs.gemm.push_back(*cached);
+      // No MeasureState is stored: the dependent verify job (if any) sees
+      // the missing entry and treats the point as settled.
+      return;
+    }
+  }
+
+  auto batch = batch_for(job.n);
+  auto out = batch->acquire_out();
+  const harness::MatrixView view = out->view();
+
+  auto lease = systems_.acquire(job.chip);
+  gemm::GemmContext& ctx = lease.system().gemm_context();
+  harness::GemmExperiment experiment(ctx, experiment_options_);
+  auto impl = gemm::create_gemm(job.impl, ctx);
+
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.jobs_executed;
+  }
+  if (job.expects_verify) {
+    auto state = std::make_shared<MeasureState>();
+    state->measurement = experiment.measure_timed(*impl, view);
+    state->batch = std::move(batch);
+    state->out = std::move(out);
+    {
+      std::lock_guard lock(state_mutex_);
+      pending_verify_[job.id] = std::move(state);
+    }
+    // Publication and cache insertion wait for the verify job, so the
+    // cached value always carries its verification verdict.
+  } else {
+    const harness::GemmMeasurement m = experiment.measure(*impl, view);
+    publish(job, m, outputs);
+  }
+  // Per-job clock isolation: the lease's boot epoch must still be current —
+  // a bump here would mean another job interleaved on this System's clock.
+  AO_REQUIRE(lease.system().soc().clock().epoch() == lease.boot_epoch(),
+             "clock epoch changed under a running job");
+}
+
+void CampaignScheduler::run_gemm_verify(const ExperimentJob& job,
+                                        CampaignOutputs& outputs) {
+  struct BatchFinisher {
+    CampaignScheduler& scheduler;
+    std::size_t n;
+    ~BatchFinisher() { scheduler.batch_job_finished(n); }
+  } finisher{*this, job.n};
+
+  std::shared_ptr<MeasureState> state;
+  {
+    std::lock_guard lock(state_mutex_);
+    const auto it = pending_verify_.find(job.parent);
+    if (it != pending_verify_.end()) {
+      state = std::move(it->second);
+      pending_verify_.erase(it);
+    }
+  }
+  if (state == nullptr) {
+    // The measurement was serviced from cache (verdict included) or failed;
+    // nothing to check.
+    return;
+  }
+  harness::verify_measurement(state->measurement, state->out->view());
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.verifications;
+    ++stats_.jobs_executed;
+  }
+  publish(job, state->measurement, outputs);
+  state->out.reset();    // recycle the output buffer
+  state->batch.reset();  // and the operand reference
+}
+
+void CampaignScheduler::run_stream(const ExperimentJob& job,
+                                   CampaignOutputs& outputs) {
+  auto lease = systems_.acquire(job.chip);
+  stream::CpuStream stream(lease.system().soc());
+  StreamPoint point;
+  point.chip = job.chip;
+  point.run = stream.run(job.stream_threads, job.stream_repetitions,
+                         /*functional=*/false);
+  std::lock_guard lock(state_mutex_);
+  ++stats_.jobs_executed;
+  outputs.stream.push_back(point);
+}
+
+void CampaignScheduler::run_power_idle(const ExperimentJob& job,
+                                       CampaignOutputs& outputs) {
+  auto lease = systems_.acquire(job.chip);
+  soc::Soc& soc = lease.system().soc();
+  power::PowerMetrics monitor(soc, power::SamplerSet{true, true, true});
+  monitor.start();
+  soc.idle(job.power_window_seconds * 1e9);
+  PowerPoint point;
+  point.chip = job.chip;
+  point.sample = monitor.siginfo();
+  monitor.stop();
+  std::lock_guard lock(state_mutex_);
+  ++stats_.jobs_executed;
+  outputs.power.push_back(point);
+}
+
+}  // namespace ao::orchestrator

@@ -1,0 +1,196 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/system.hpp"
+#include "harness/experiment.hpp"
+#include "orchestrator/job.hpp"
+#include "orchestrator/result_cache.hpp"
+#include "power/power_model.hpp"
+#include "stream/stream_result.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ao::orchestrator {
+
+/// Pool of simulated Systems, one leased per running job.
+///
+/// A System's SimClock is strictly single-owner: two jobs interleaving on
+/// one timeline would corrupt both measurements. Leasing hands each job a
+/// System reset to boot state (clock at zero, package at ambient, activity
+/// log empty — exactly the paper's reboot-and-idle protocol), so a
+/// measurement is a pure function of (chip, impl, n, options) no matter how
+/// many jobs run concurrently. Returned Systems are reset and reused, so a
+/// campaign builds at most one System per chip per worker.
+class SystemPool {
+ public:
+  class Lease {
+   public:
+    Lease(SystemPool& pool, std::unique_ptr<core::System> system);
+    ~Lease();
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    core::System& system() { return *system_; }
+
+    /// The SimClock boot epoch observed when the lease was taken. While the
+    /// lease is held the clock's epoch must not move — a change means some
+    /// other job reset or shared this System's timeline.
+    std::uint64_t boot_epoch() const { return epoch_at_acquire_; }
+
+   private:
+    SystemPool* pool_;
+    std::unique_ptr<core::System> system_;
+    std::uint64_t epoch_at_acquire_;
+  };
+
+  Lease acquire(soc::ChipModel chip);
+
+  /// Systems constructed over the pool's lifetime (not currently leased).
+  std::size_t systems_built() const;
+
+ private:
+  void release(std::unique_ptr<core::System> system);
+
+  mutable std::mutex mutex_;
+  std::map<soc::ChipModel, std::vector<std::unique_ptr<core::System>>> free_;
+  std::size_t built_ = 0;
+};
+
+/// Shared GEMM operands for every job of one matrix size: the page-aligned
+/// left/right inputs are allocated (and filled) once, while each concurrent
+/// measurement checks out its own output buffer from a small free list.
+/// This extends the per-size sharing the serial suite does to a concurrent
+/// setting — inputs are immutable after construction, outputs never alias.
+class MatrixBatch {
+ public:
+  MatrixBatch(std::size_t n, bool fill, std::uint64_t seed);
+
+  std::size_t n() const { return n_; }
+  std::size_t memory_length() const { return left_.capacity(); }
+
+  /// RAII checkout of one zeroed output buffer.
+  class OutLease {
+   public:
+    OutLease(MatrixBatch& batch, std::unique_ptr<util::AlignedBuffer> out);
+    ~OutLease();
+    OutLease(const OutLease&) = delete;
+    OutLease& operator=(const OutLease&) = delete;
+
+    /// The full operand view for a measurement using this output buffer.
+    harness::MatrixView view();
+
+   private:
+    MatrixBatch* batch_;
+    std::unique_ptr<util::AlignedBuffer> out_;
+  };
+
+  std::unique_ptr<OutLease> acquire_out();
+
+  /// Output buffers ever allocated (they are recycled between jobs).
+  std::size_t out_buffers_built() const;
+
+ private:
+  void release_out(std::unique_ptr<util::AlignedBuffer> out);
+
+  std::size_t n_;
+  util::AlignedBuffer left_;
+  util::AlignedBuffer right_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<util::AlignedBuffer>> free_outs_;
+  std::size_t outs_built_ = 0;
+};
+
+/// Aggregate counters for one scheduler run.
+struct CampaignStats {
+  std::size_t jobs_total = 0;
+  std::size_t jobs_executed = 0;    ///< ran on a leased System
+  std::size_t cache_hits = 0;       ///< measure jobs serviced from cache
+  std::size_t verifications = 0;
+  std::size_t batches_allocated = 0;
+  std::size_t out_buffers_allocated = 0;
+  std::size_t systems_built = 0;
+};
+
+/// One CPU STREAM point produced by a kStream job.
+struct StreamPoint {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  stream::RunResult run;
+};
+
+/// One idle-floor power sample produced by a kPowerIdle job.
+struct PowerPoint {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  power::PowerSample sample;
+};
+
+/// Everything a scheduler run produced.
+struct CampaignOutputs {
+  std::vector<harness::GemmMeasurement> gemm;
+  std::vector<StreamPoint> stream;
+  std::vector<PowerPoint> power;
+  CampaignStats stats;
+};
+
+/// Runs a JobQueue to completion on a private util::ThreadPool.
+///
+/// Workers pop ready jobs, lease a System for the job's chip, execute, and
+/// mark the job done — unblocking dependents. GEMM measure jobs consult the
+/// ResultCache (when attached) before executing and publish into it after
+/// their verification settles; batched operands are allocated lazily on the
+/// first non-cached job of a size and released when the last job of that
+/// size completes.
+class CampaignScheduler {
+ public:
+  struct Options {
+    /// Worker count; 0 means hardware concurrency. 1 reproduces the serial
+    /// suite's execution order.
+    std::size_t concurrency = 0;
+  };
+
+  explicit CampaignScheduler(harness::GemmExperiment::Options experiment_options);
+  CampaignScheduler(harness::GemmExperiment::Options experiment_options,
+                    Options options, ResultCache* cache = nullptr);
+
+  /// Drains `queue`, returning aggregated outputs. GEMM results are sorted
+  /// by (chip, n, impl) — a canonical order independent of completion
+  /// order.
+  CampaignOutputs run(JobQueue& queue);
+
+ private:
+  struct MeasureState;  // per measure-job handoff to its verify job
+
+  struct BatchState {
+    std::shared_ptr<MatrixBatch> batch;  ///< allocated lazily on first miss
+    bool fill = false;
+    std::size_t jobs_remaining = 0;  ///< gemm jobs (measure + verify) of this n
+  };
+
+  void execute(const ExperimentJob& job, CampaignOutputs& outputs);
+  void run_gemm_measure(const ExperimentJob& job, CampaignOutputs& outputs);
+  void run_gemm_verify(const ExperimentJob& job, CampaignOutputs& outputs);
+  void run_stream(const ExperimentJob& job, CampaignOutputs& outputs);
+  void run_power_idle(const ExperimentJob& job, CampaignOutputs& outputs);
+
+  std::shared_ptr<MatrixBatch> batch_for(std::size_t n);
+  void batch_job_finished(std::size_t n);
+  void publish(const ExperimentJob& job, const harness::GemmMeasurement& m,
+               CampaignOutputs& outputs);
+
+  harness::GemmExperiment::Options experiment_options_;
+  Options options_;
+  ResultCache* cache_;
+  std::uint64_t fingerprint_;
+  SystemPool systems_;
+
+  std::mutex state_mutex_;  ///< guards outputs, batches_ and pending_
+  std::map<std::size_t, BatchState> batches_;
+  std::map<JobId, std::shared_ptr<MeasureState>> pending_verify_;
+  CampaignStats stats_;
+};
+
+}  // namespace ao::orchestrator

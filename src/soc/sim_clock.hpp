@@ -24,10 +24,21 @@ class SimClock {
   /// Advances by an exact integer amount.
   void advance_ns(Nanos ns) { now_ns_ += ns; }
 
-  void reset() { now_ns_ = 0; }
+  void reset() {
+    now_ns_ = 0;
+    ++epoch_;
+  }
+
+  /// Boot-epoch counter: bumped every reset(). A SimClock is strictly
+  /// single-owner — concurrent experiment jobs must each observe a private
+  /// epoch. The orchestrator leases one simulated System per job, resets it
+  /// between leases, and asserts the epoch did not change underneath a
+  /// running job (which would mean two jobs interleaved on one timeline).
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   Nanos now_ns_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace ao::soc

@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "util/error.hpp"
 
 namespace ao::util {
 
@@ -14,20 +17,12 @@ ThreadPool::ThreadPool(std::size_t worker_count) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(mutex_);
-    shutting_down_ = true;
-  }
-  task_available_.notify_all();
-  for (auto& w : workers_) {
-    w.join();
-  }
-}
+ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
+    AO_REQUIRE(accepting_, "ThreadPool::submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -39,26 +34,78 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::shutdown() {
+  {
+    std::unique_lock lock(mutex_);
+    // Drain first: tasks already queued — and any tasks they submit from
+    // inside the pool — all run before the workers are released. Nested
+    // submits keep in_flight_ above zero until the whole dependency chain
+    // has executed, so the wait cannot finish with work still queued; only
+    // then (under the same lock, so no task can sneak in between) does the
+    // pool stop accepting.
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    if (shutting_down_) {
+      // A peer won the race and owns the join. Shutdown must not return —
+      // least of all into the destructor — until the workers are actually
+      // joined, or the peer would be joining freed members.
+      joined_cv_.wait(lock, [this] { return joined_; });
+      return;
+    }
+    accepting_ = false;
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard lock(mutex_);
+    joined_ = true;
+  }
+  joined_cv_.notify_all();
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) {
     return;
   }
-  const std::size_t chunks = std::min(count, worker_count());
+  // Per-call completion latch: concurrent callers each wait on their own
+  // remaining-chunk count instead of the pool-wide in_flight_ counter.
+  struct Latch {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining;
+  };
+  const std::size_t chunks = std::min(count, std::max<std::size_t>(1, worker_count()));
   const std::size_t per_chunk = (count + chunks - 1) / chunks;
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = 1;  // guard so early finishers can't hit zero prematurely
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(begin + per_chunk, count);
     if (begin >= end) {
       break;
     }
-    submit([&fn, begin, end] {
+    {
+      std::lock_guard lock(latch->m);
+      ++latch->remaining;
+    }
+    submit([&fn, latch, begin, end] {
       for (std::size_t i = begin; i < end; ++i) {
         fn(i);
       }
+      {
+        std::lock_guard lock(latch->m);
+        --latch->remaining;
+      }
+      latch->cv.notify_one();
     });
   }
-  wait_idle();
+  std::unique_lock lock(latch->m);
+  --latch->remaining;  // drop the guard
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
 }
 
 void ThreadPool::worker_loop() {

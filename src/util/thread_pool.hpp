@@ -13,9 +13,10 @@ namespace ao::util {
 /// Fixed-size worker pool.
 ///
 /// This is the execution engine behind the simulated GPU (ao::metal dispatches
-/// threadgroups onto it) and the parallel CPU kernels (MPS-style SGEMM). It is
-/// deliberately simple — a single locked queue — because the simulated
-/// workloads are coarse-grained (one task per threadgroup / per tile row).
+/// threadgroups onto it), the parallel CPU kernels (MPS-style SGEMM), and the
+/// orchestrator's campaign scheduler. It is deliberately simple — a single
+/// locked queue — because the simulated workloads are coarse-grained (one task
+/// per threadgroup / per tile row / per experiment job).
 class ThreadPool {
  public:
   /// Creates `worker_count` workers (defaults to hardware concurrency).
@@ -29,14 +30,27 @@ class ThreadPool {
 
   /// Enqueues one task. Tasks must not throw; exceptions escaping a task
   /// terminate the process (same contract as a detached GPU shader).
+  /// Throws InvalidArgument after shutdown() has begun: a task accepted
+  /// then could never be guaranteed to run.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
+  /// Deterministic drain: stops accepting new work, runs every task already
+  /// queued (including tasks those tasks submit) to completion, then joins
+  /// the workers. Idempotent; called by the destructor, so destroying a pool
+  /// can never drop queued jobs.
+  void shutdown();
+
   /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
   /// Work is divided into contiguous chunks, one per worker, which matches
   /// how the GPU dispatcher carves a grid into threadgroup ranges.
+  ///
+  /// Completion is tracked per call, not via global pool idleness, so
+  /// concurrent parallel_for calls from different threads (e.g. two campaign
+  /// jobs filling matrices at once) return as soon as *their own* chunks
+  /// finish rather than waiting for the whole pool to go quiet.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -47,8 +61,11 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
+  std::condition_variable joined_cv_;
   std::size_t in_flight_ = 0;
+  bool accepting_ = true;
   bool shutting_down_ = false;
+  bool joined_ = false;
 };
 
 /// Process-wide pool shared by the simulators, sized to the host's hardware

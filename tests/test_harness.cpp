@@ -86,6 +86,45 @@ TEST(TestSuite, RequiresCallback) {
   EXPECT_THROW(test_suite(nullptr, "", {32}, 1), util::InvalidArgument);
 }
 
+TEST(TestSuite, DiscardSemanticsRestoreMutatedInputs) {
+  // A callback that clobbers its inputs must not leak the clobbered bits
+  // into the next repetition: every invocation sees the same generated
+  // matrices (what makes (n, seed) a sound cache identity).
+  std::vector<float> first_left_elements;
+  std::vector<float> first_right_elements;
+  test_suite(
+      [&](unsigned int n, unsigned int, float* left, float* right, float*) {
+        first_left_elements.push_back(left[0]);
+        first_right_elements.push_back(right[n - 1]);
+        left[0] = -1.0f;       // clobber an input
+        right[n - 1] = 99.0f;  // and the other one
+      },
+      "", {64}, 4);
+  ASSERT_EQ(first_left_elements.size(), 4u);
+  for (int rep = 1; rep < 4; ++rep) {
+    EXPECT_EQ(first_left_elements[rep], first_left_elements[0]);
+    EXPECT_EQ(first_right_elements[rep], first_right_elements[0]);
+  }
+}
+
+TEST(TestSuite, SeedSelectsTheGeneratedData) {
+  float seed42 = 0.0f;
+  float seed7 = 0.0f;
+  test_suite([&](unsigned int, unsigned int, float* left, float*, float*) {
+    seed42 = left[0];
+  }, "", {32}, 1, 42);
+  test_suite([&](unsigned int, unsigned int, float* left, float*, float*) {
+    seed7 = left[0];
+  }, "", {32}, 1, 7);
+  EXPECT_NE(seed42, seed7);
+  // Same seed, repeated invocation: bit-identical.
+  float seed42_again = -1.0f;
+  test_suite([&](unsigned int, unsigned int, float* left, float*, float*) {
+    seed42_again = left[0];
+  }, "", {32}, 1, 42);
+  EXPECT_EQ(seed42, seed42_again);
+}
+
 // ------------------------------------------------------------ experiment ---
 
 class ExperimentTest : public ::testing::Test {

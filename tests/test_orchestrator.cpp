@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/system.hpp"
+#include "harness/experiment.hpp"
+#include "harness/matrix_workload.hpp"
+#include "orchestrator/campaign.hpp"
+#include "orchestrator/job.hpp"
+#include "orchestrator/result_cache.hpp"
+#include "orchestrator/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace ao::orchestrator {
+namespace {
+
+// ------------------------------------------------------------- job queue ---
+
+ExperimentJob gemm_job(std::size_t n, int priority = 0) {
+  ExperimentJob job;
+  job.kind = JobKind::kGemmMeasure;
+  job.n = n;
+  job.priority = priority;
+  return job;
+}
+
+TEST(JobQueue, DependentsWaitForTheirMeasurement) {
+  JobQueue queue;
+  const JobId a = queue.push(gemm_job(64));
+  ExperimentJob verify;
+  verify.kind = JobKind::kGemmVerify;
+  verify.n = 64;
+  verify.parent = a;
+  const JobId b = queue.push(verify, {a});
+
+  auto first = queue.try_pop_ready();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, a);
+  // The verify job is pushed but not ready until its measurement finishes.
+  EXPECT_FALSE(queue.try_pop_ready().has_value());
+  queue.mark_done(a);
+  auto second = queue.try_pop_ready();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, b);
+  queue.mark_done(b);
+  EXPECT_TRUE(queue.all_done());
+}
+
+TEST(JobQueue, PriorityOrdersReadyJobs) {
+  JobQueue queue;
+  const JobId small = queue.push(gemm_job(32, /*priority=*/32));
+  const JobId large = queue.push(gemm_job(4096, /*priority=*/4096));
+  const JobId mid = queue.push(gemm_job(256, /*priority=*/256));
+
+  EXPECT_EQ(queue.try_pop_ready()->id, large);
+  EXPECT_EQ(queue.try_pop_ready()->id, mid);
+  EXPECT_EQ(queue.try_pop_ready()->id, small);
+  // Equal priority falls back to submission order.
+  JobQueue tie;
+  const JobId first = tie.push(gemm_job(64, 7));
+  tie.push(gemm_job(64, 7));
+  EXPECT_EQ(tie.try_pop_ready()->id, first);
+}
+
+TEST(JobQueue, UnknownDependencyThrows) {
+  JobQueue queue;
+  EXPECT_THROW(queue.push(gemm_job(64), {JobId{999}}), util::InvalidArgument);
+}
+
+TEST(JobQueue, DoneDependencyCountsAsSatisfied) {
+  JobQueue queue;
+  const JobId a = queue.push(gemm_job(64));
+  queue.try_pop_ready();
+  queue.mark_done(a);
+  queue.push(gemm_job(128), {a});
+  EXPECT_TRUE(queue.try_pop_ready().has_value());
+}
+
+TEST(JobQueue, PopReadyReturnsNulloptWhenDrained) {
+  JobQueue queue;
+  const JobId a = queue.push(gemm_job(64));
+  EXPECT_EQ(queue.pop_ready()->id, a);
+  queue.mark_done(a);
+  EXPECT_FALSE(queue.pop_ready().has_value());
+  EXPECT_FALSE(JobQueue{}.pop_ready().has_value());
+}
+
+// ----------------------------------------------------------- result cache --
+
+harness::GemmMeasurement measurement_stub(std::size_t n) {
+  harness::GemmMeasurement m;
+  m.n = n;
+  m.best_gflops = static_cast<double>(n);
+  return m;
+}
+
+TEST(ResultCache, HitMissAndLruEviction) {
+  ResultCache cache(2);
+  const std::uint64_t fp = 1;
+  const CacheKey k1{soc::ChipModel::kM1, soc::GemmImpl::kGpuMps, 64, fp};
+  const CacheKey k2{soc::ChipModel::kM1, soc::GemmImpl::kGpuMps, 128, fp};
+  const CacheKey k3{soc::ChipModel::kM2, soc::GemmImpl::kGpuMps, 64, fp};
+
+  EXPECT_FALSE(cache.lookup(k1).has_value());
+  cache.insert(k1, measurement_stub(64));
+  cache.insert(k2, measurement_stub(128));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch k1 so k2 becomes the least recently used, then overflow.
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  cache.insert(k3, measurement_stub(64));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.contains(k1));
+  EXPECT_FALSE(cache.contains(k2));  // evicted
+  EXPECT_TRUE(cache.contains(k3));
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(cache.lookup(k1)->n, 64u);
+}
+
+TEST(ResultCache, OptionsFingerprintCoversMeasurementIdentity) {
+  harness::GemmExperiment::Options base;
+  const std::uint64_t fp = options_fingerprint(base);
+  EXPECT_EQ(fp, options_fingerprint(base));  // stable
+
+  auto seeded = base;
+  seeded.matrix_seed = 43;
+  EXPECT_NE(fp, options_fingerprint(seeded));
+
+  auto reps = base;
+  reps.repetitions = 7;
+  EXPECT_NE(fp, options_fingerprint(reps));
+
+  auto ceilings = base;
+  ceilings.functional_n_max[soc::GemmImpl::kGpuMps] = 0;
+  EXPECT_NE(fp, options_fingerprint(ceilings));
+
+  auto power = base;
+  power.use_powermetrics = false;
+  EXPECT_NE(fp, options_fingerprint(power));
+}
+
+// ------------------------------------------------- system + batch leasing --
+
+TEST(SystemPool, LeaseHandsOutBootStateAndRecycles) {
+  SystemPool pool;
+  {
+    auto lease = pool.acquire(soc::ChipModel::kM1);
+    EXPECT_EQ(lease.system().soc().clock().now(), 0u);
+    EXPECT_EQ(lease.system().soc().clock().epoch(), lease.boot_epoch());
+    lease.system().soc().idle(5e9);  // dirty the clock
+  }
+  auto again = pool.acquire(soc::ChipModel::kM1);
+  // Same System object, recycled through a reset: boot state, new epoch.
+  EXPECT_EQ(again.system().soc().clock().now(), 0u);
+  EXPECT_GE(again.system().soc().clock().epoch(), 1u);
+  EXPECT_EQ(pool.systems_built(), 1u);
+}
+
+TEST(MatrixBatch, SharedOperandsMatchTheSerialSuite) {
+  harness::MatrixSet reference(64, /*fill=*/true, /*seed=*/42);
+  MatrixBatch batch(64, /*fill=*/true, /*seed=*/42);
+  auto out = batch.acquire_out();
+  const harness::MatrixView view = out->view();
+  EXPECT_EQ(view.n, 64u);
+  EXPECT_EQ(view.memory_length, reference.memory_length());
+  for (std::size_t i = 0; i < 64 * 64; ++i) {
+    ASSERT_EQ(view.left[i], reference.left()[i]);
+    ASSERT_EQ(view.right[i], reference.right()[i]);
+    ASSERT_EQ(view.out[i], 0.0f);
+  }
+  view.out[7] = 1.0f;
+  out.reset();  // recycle: buffer is re-zeroed for the next job
+  auto out2 = batch.acquire_out();
+  EXPECT_EQ(out2->view().out[7], 0.0f);
+  EXPECT_EQ(batch.out_buffers_built(), 1u);
+}
+
+// --------------------------------------------------------------- campaign --
+
+bool same_measurement(const harness::GemmMeasurement& a,
+                      const harness::GemmMeasurement& b) {
+  return a.chip == b.chip && a.impl == b.impl && a.n == b.n &&
+         a.time_ns.values() == b.time_ns.values() &&
+         a.best_gflops == b.best_gflops && a.mean_gflops == b.mean_gflops &&
+         a.power_mw == b.power_mw && a.cpu_power_mw == b.cpu_power_mw &&
+         a.gpu_power_mw == b.gpu_power_mw &&
+         a.gflops_per_watt == b.gflops_per_watt &&
+         a.functional == b.functional && a.verified == b.verified &&
+         a.max_error == b.max_error;
+}
+
+void expect_same_measurement_sets(std::vector<harness::GemmMeasurement> a,
+                                  std::vector<harness::GemmMeasurement> b) {
+  ASSERT_EQ(a.size(), b.size());
+  const auto canonical = [](const harness::GemmMeasurement& x,
+                            const harness::GemmMeasurement& y) {
+    return std::tuple(x.chip, x.n, x.impl) < std::tuple(y.chip, y.n, y.impl);
+  };
+  std::sort(a.begin(), a.end(), canonical);
+  std::sort(b.begin(), b.end(), canonical);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(same_measurement(a[i], b[i]))
+        << "mismatch at " << soc::to_string(a[i].chip) << " "
+        << soc::to_string(a[i].impl) << " n=" << a[i].n;
+  }
+}
+
+/// The pre-orchestrator serial loop, kept verbatim as the equivalence
+/// reference: one System per chip, matrices allocated per size and shared
+/// across implementations, measure() in sweep order.
+std::vector<harness::GemmMeasurement> legacy_serial_sweep(
+    const std::vector<soc::ChipModel>& chips,
+    const std::vector<soc::GemmImpl>& impls,
+    const std::vector<std::size_t>& sizes,
+    const harness::GemmExperiment::Options& opts) {
+  std::vector<harness::GemmMeasurement> results;
+  for (const auto chip : chips) {
+    core::System system(chip);
+    harness::GemmExperiment experiment(system.gemm_context(), opts);
+    for (const std::size_t n : sizes) {
+      bool any_functional = false;
+      for (const auto impl : impls) {
+        any_functional |= !harness::paper_skips(impl, n) &&
+                          harness::functional_at(opts, impl, n);
+      }
+      harness::MatrixSet matrices(n, any_functional, opts.matrix_seed);
+      for (const auto impl_kind : impls) {
+        if (harness::paper_skips(impl_kind, n)) {
+          continue;
+        }
+        auto impl = gemm::create_gemm(impl_kind, system.gemm_context());
+        matrices.clear_out();
+        results.push_back(experiment.measure(*impl, matrices));
+      }
+    }
+  }
+  return results;
+}
+
+TEST(Campaign, ExpansionBuildsVerifyEdgesAndHonorsSkips) {
+  harness::GemmExperiment::Options opts;  // defaults: functional small sizes
+  Campaign campaign;
+  campaign.chips({soc::ChipModel::kM1})
+      .impls({soc::GemmImpl::kCpuSingle, soc::GemmImpl::kGpuMps})
+      .sizes({64, 8192})
+      .options(opts);
+
+  JobQueue queue;
+  campaign.expand(queue);
+  const auto jobs = queue.jobs();
+  EXPECT_EQ(jobs.size(), campaign.job_count());
+
+  // CPU-Single skips 8192; n=64 is functional + verified for both impls.
+  std::size_t measures = 0;
+  std::size_t verifies = 0;
+  for (const auto& job : jobs) {
+    if (job.kind == JobKind::kGemmMeasure) {
+      ++measures;
+      EXPECT_FALSE(job.impl == soc::GemmImpl::kCpuSingle && job.n == 8192);
+    } else if (job.kind == JobKind::kGemmVerify) {
+      ++verifies;
+      EXPECT_NE(job.parent, kInvalidJob);
+    }
+  }
+  EXPECT_EQ(measures, 3u);
+  EXPECT_EQ(verifies, 2u);
+
+  // No verify job becomes ready before its measurement completed.
+  std::vector<ExperimentJob> first_wave;
+  while (auto job = queue.try_pop_ready()) {
+    first_wave.push_back(*job);
+  }
+  EXPECT_EQ(first_wave.size(), measures);
+  for (const auto& job : first_wave) {
+    EXPECT_EQ(job.kind, JobKind::kGemmMeasure);
+  }
+}
+
+TEST(Campaign, BatchedOperandsAreAllocatedOncePerSize) {
+  harness::GemmExperiment::Options opts;
+  opts.repetitions = 1;
+  Campaign campaign;
+  campaign.chips({soc::ChipModel::kM1})
+      .sizes({64})
+      .options(opts)
+      .concurrency(1);
+  const auto result = campaign.run();
+
+  // All six implementations at n=64: 6 measure + 6 verify jobs, one shared
+  // operand batch, and — serially — one recycled output buffer.
+  EXPECT_EQ(result.gemm.size(), 6u);
+  EXPECT_EQ(result.stats.jobs_total, 12u);
+  EXPECT_EQ(result.stats.jobs_executed, 12u);
+  EXPECT_EQ(result.stats.verifications, 6u);
+  EXPECT_EQ(result.stats.batches_allocated, 1u);
+  EXPECT_EQ(result.stats.out_buffers_allocated, 1u);
+  for (const auto& m : result.gemm) {
+    EXPECT_TRUE(m.functional);
+    EXPECT_TRUE(m.verified) << soc::to_string(m.impl);
+  }
+}
+
+TEST(Campaign, ConcurrentRunMatchesTheSerialSuite) {
+  harness::GemmExperiment::Options opts;
+  opts.repetitions = 2;
+  const std::vector<soc::ChipModel> chips{soc::ChipModel::kM1};
+  const std::vector<soc::GemmImpl> impls{soc::kAllGemmImpls.begin(),
+                                         soc::kAllGemmImpls.end()};
+  const std::vector<std::size_t> sizes{32, 64, 128};
+
+  const auto serial = legacy_serial_sweep(chips, impls, sizes, opts);
+
+  Campaign campaign;
+  campaign.chips(chips).impls(impls).sizes(sizes).options(opts).concurrency(4);
+  const auto result = campaign.run();
+
+  expect_same_measurement_sets(serial, result.gemm);
+}
+
+TEST(Campaign, StreamAndPowerJobsProducePoints) {
+  Campaign campaign;
+  campaign.chips({soc::ChipModel::kM2})
+      .impls({})
+      .sizes({})
+      .stream_sweep({1, 4}, /*repetitions=*/2)
+      .power_idle(0.5)
+      .concurrency(2);
+  const auto result = campaign.run();
+  EXPECT_TRUE(result.gemm.empty());
+  ASSERT_EQ(result.stream.size(), 2u);
+  ASSERT_EQ(result.power.size(), 1u);
+  for (const auto& point : result.stream) {
+    EXPECT_EQ(point.chip, soc::ChipModel::kM2);
+    EXPECT_GT(point.run.best_overall_gbs(), 0.0);
+  }
+  EXPECT_GT(result.power.front().sample.combined_mw, 0.0);
+}
+
+// The ISSUE's acceptance sweep: >= 3 chips x 6 impls x the paper's sizes
+// through the scheduler equals the serial suite, and a repeated campaign is
+// served from the cache. Model-only options keep the host cost bounded the
+// same way the figure benches do.
+TEST(Campaign, AcceptanceThreeChipPaperSweepWithCache) {
+  harness::GemmExperiment::Options opts;
+  opts.repetitions = 2;
+  for (auto& [impl, ceiling] : opts.functional_n_max) {
+    ceiling = 0;  // model-only: the full grid reaches n=16384
+  }
+  const std::vector<soc::ChipModel> chips{
+      soc::ChipModel::kM1, soc::ChipModel::kM2, soc::ChipModel::kM4};
+  const std::vector<soc::GemmImpl> impls{soc::kAllGemmImpls.begin(),
+                                         soc::kAllGemmImpls.end()};
+  const auto& sizes = harness::paper_sizes();
+
+  const auto serial = legacy_serial_sweep(chips, impls, sizes, opts);
+
+  ResultCache cache;
+  Campaign campaign;
+  campaign.chips(chips).impls(impls).sizes(sizes).options(opts).cache(&cache)
+      .concurrency(4);
+
+  const auto first = campaign.run();
+  expect_same_measurement_sets(serial, first.gemm);
+  EXPECT_EQ(first.stats.cache_hits, 0u);
+
+  const auto second = campaign.run();
+  expect_same_measurement_sets(serial, second.gemm);
+  // Every point was measured by the first run: >= 90% (here: all) of the
+  // repeated campaign is serviced from the cache without touching a System.
+  EXPECT_GE(second.stats.cache_hits,
+            static_cast<std::size_t>(0.9 * second.gemm.size()));
+  EXPECT_EQ(second.stats.cache_hits, second.gemm.size());
+  EXPECT_EQ(second.stats.batches_allocated, 0u);
+}
+
+TEST(Campaign, CacheKeyedOnOptionsNotJustThePoint) {
+  harness::GemmExperiment::Options opts;
+  opts.repetitions = 1;
+  ResultCache cache;
+  Campaign campaign;
+  campaign.chips({soc::ChipModel::kM3})
+      .impls({soc::GemmImpl::kGpuMps})
+      .sizes({64})
+      .options(opts)
+      .cache(&cache)
+      .concurrency(1);
+  const auto first = campaign.run();
+  EXPECT_EQ(first.stats.cache_hits, 0u);
+
+  // Same point, different seed: a different experiment, so no cache hit.
+  auto reseeded = opts;
+  reseeded.matrix_seed = 7;
+  campaign.options(reseeded);
+  const auto second = campaign.run();
+  EXPECT_EQ(second.stats.cache_hits, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ao::orchestrator

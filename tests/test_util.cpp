@@ -351,5 +351,53 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_GE(global_pool().worker_count(), 1u);
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    // Tasks that submit more tasks: the nested work must also survive the
+    // drain, since in_flight_ stays positive until the whole chain ran.
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&counter, &pool] {
+        counter.fetch_add(1);
+        pool.submit([&counter] { counter.fetch_add(1); });
+      });
+    }
+  }  // destructor = shutdown(): deterministic drain
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndSubmitAfterThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_THROW(pool.submit([] {}), InvalidArgument);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallersDoNotCrossWait) {
+  // Two threads issue parallel_for on the same pool; per-call latches mean
+  // both complete with each caller seeing exactly its own index space.
+  ThreadPool pool(4);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread ta([&] {
+    for (int round = 0; round < 50; ++round) {
+      pool.parallel_for(16, [&](std::size_t) { a.fetch_add(1); });
+    }
+  });
+  std::thread tb([&] {
+    for (int round = 0; round < 50; ++round) {
+      pool.parallel_for(16, [&](std::size_t) { b.fetch_add(1); });
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), 50 * 16);
+  EXPECT_EQ(b.load(), 50 * 16);
+}
+
 }  // namespace
 }  // namespace ao::util
