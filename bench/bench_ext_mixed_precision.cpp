@@ -4,10 +4,13 @@
 //
 // For each chip: GEMM accuracy (vs FP64 reference) and modeled throughput at
 // FP64-native, FP64-emulated, FP32 and FP16 — the full accuracy/performance
-// frontier of the M-series units.
+// frontier of the M-series units. The per-chip studies run as
+// kPrecisionStudy jobs on the orchestrator, so the four chips proceed
+// concurrently and repeated runs hit the ResultCache.
 
 #include <iostream>
 
+#include "orchestrator/campaign.hpp"
 #include "precision/precision_study.hpp"
 #include "util/table_printer.hpp"
 #include "util/units.hpp"
@@ -18,12 +21,20 @@ int main() {
   std::cout << "Extension X4: mixed-precision GEMM study (n=256, uniform "
                "[0,1) inputs, error vs FP64 reference)\n\n";
 
-  for (const auto chip : soc::kAllChipModels) {
-    const auto results = precision::run_gemm_precision_study(chip, 256);
+  orchestrator::ResultCache cache;
+  orchestrator::Campaign campaign;
+  campaign.chips({soc::kAllChipModels.begin(), soc::kAllChipModels.end()})
+      .impls({})
+      .sizes({})
+      .precision_study({256})
+      .cache(&cache);
+  const auto result = campaign.run();
+
+  for (const auto& study : result.precision) {
     util::TablePrinter table({"Format", "Unit", "max |err|", "mean |err|",
                               "sig. digits", "modeled GFLOPS"});
     table.set_align(1, util::TablePrinter::Align::kLeft);
-    for (const auto& r : results) {
+    for (const auto& r : study.rows) {
       table.add_row({to_string(r.format), r.executing_unit,
                      r.max_abs_error == 0.0
                          ? "0 (reference)"
@@ -32,7 +43,7 @@ int main() {
                      util::format_fixed(r.significant_digits, 1),
                      util::format_fixed(r.modeled_gflops, 0)});
     }
-    table.print(std::cout, "Chip " + soc::to_string(chip));
+    table.print(std::cout, "Chip " + soc::to_string(study.chip));
     std::cout << "\n";
   }
 

@@ -3,62 +3,63 @@
 // testing, which would better contextualize the M-Series with respect to
 // TensorCore performance", Section 7).
 //
-// Runs FP16 GEMM through the Core ML dispatch model on every chip and places
-// the ANE next to AMX (CPU-Accelerate) and GPU-MPS in throughput and
-// efficiency — the M-series' closest analogue to the GH200's TF32 tensor
-// path, with the same mixed-precision caveat the paper applies there.
+// Runs FP16 GEMM through the Core ML dispatch model on every chip — as
+// kAneInference jobs on the orchestrator — and places the ANE next to AMX
+// (CPU-Accelerate) and GPU-MPS in throughput and efficiency: the M-series'
+// closest analogue to the GH200's TF32 tensor path, with the same
+// mixed-precision caveat the paper applies there.
 
 #include <iostream>
-#include <vector>
 
 #include "ane/neural_engine.hpp"
-#include "baseline/reference_systems.hpp"
 #include "core/system.hpp"
+#include "orchestrator/campaign.hpp"
 #include "soc/calibration.hpp"
-#include "util/rng.hpp"
 #include "util/table_printer.hpp"
 #include "util/units.hpp"
 
 int main() {
   using namespace ao;
 
+  // One functional 256x256x256 dispatch per chip through the campaign
+  // scheduler. ANE-compatible shape (multiples of 16), so the plan places
+  // every one of them on the Neural Engine.
+  orchestrator::ResultCache cache;
+  orchestrator::Campaign campaign;
+  campaign.chips({soc::kAllChipModels.begin(), soc::kAllChipModels.end()})
+      .impls({})
+      .sizes({})
+      .ane_inference({256})
+      .cache(&cache);
+  const auto result = campaign.run();
+
   // Functional spot check: the ANE path really multiplies (through FP16).
-  {
-    core::System system(soc::ChipModel::kM1);
-    ane::NeuralEngine engine(system.soc());
-    const std::size_t n = 64;
-    std::vector<float> a(n * n);
-    std::vector<float> b(n * n);
-    std::vector<float> c(n * n);
-    util::fill_uniform(std::span<float>(a), 1);
-    util::fill_uniform(std::span<float>(b), 2);
-    engine.run_gemm_fp16(n, n, n, a.data(), b.data(), c.data());
-    double sum = 0.0;
-    for (const float v : c) {
-      sum += v;
+  // Uniform [0,1) operands make the expected mean element ~k/4.
+  for (const auto& r : result.ane) {
+    if (r.chip == soc::ChipModel::kM1) {
+      std::cout << "[verify] " << to_string(r.target) << " FP16 GEMM produced "
+                << "mean element " << util::format_fixed(r.mean_output, 3)
+                << " (expected ~" << util::format_fixed(r.k / 4.0, 1) << ")\n\n";
     }
-    std::cout << "[verify] ANE FP16 GEMM produced mean element "
-              << util::format_fixed(sum / (n * n), 3) << " (expected ~"
-              << util::format_fixed(n / 4.0, 1) << ")\n\n";
   }
 
-  util::TablePrinter table({"Chip", "ANE FP16 TFLOPS (sustained)",
-                            "ANE power (W)", "ANE GFLOPS/W",
+  util::TablePrinter table({"Chip", "Dispatch", "ANE FP16 TFLOPS (sustained)",
+                            "measured GFLOPS", "ANE power (W)", "ANE GFLOPS/W",
                             "AMX FP32 TFLOPS", "GPU-MPS FP32 TFLOPS",
                             "ANE vs MPS"});
-  for (const auto chip : soc::kAllChipModels) {
-    core::System system(chip);
+  for (const auto& r : result.ane) {
+    core::System system(r.chip);
     ane::NeuralEngine engine(system.soc());
     const double ane_gflops = engine.sustained_fp16_gflops();
-    const double ane_watts = engine.active_power_watts();
     const double amx =
-        soc::gemm_calibration(chip, soc::GemmImpl::kCpuAccelerate).peak_gflops;
+        soc::gemm_calibration(r.chip, soc::GemmImpl::kCpuAccelerate).peak_gflops;
     const double mps =
-        soc::gemm_calibration(chip, soc::GemmImpl::kGpuMps).peak_gflops;
-    table.add_row({soc::to_string(chip),
+        soc::gemm_calibration(r.chip, soc::GemmImpl::kGpuMps).peak_gflops;
+    table.add_row({soc::to_string(r.chip), to_string(r.target),
                    util::format_fixed(ane_gflops / 1e3, 2),
-                   util::format_fixed(ane_watts, 1),
-                   util::format_fixed(ane_gflops / ane_watts, 0),
+                   util::format_fixed(r.gflops, 0),
+                   util::format_fixed(engine.active_power_watts(), 1),
+                   util::format_fixed(r.gflops_per_watt, 0),
                    util::format_fixed(amx / 1e3, 2),
                    util::format_fixed(mps / 1e3, 2),
                    util::format_fixed(ane_gflops / mps, 2) + "x"});

@@ -3,12 +3,19 @@
 // CPU thread sweep (1..cores, 10 reps, max kept), GPU 20 reps (max kept).
 // A functional validation pass runs first so the numbers come from kernels
 // that demonstrably compute STREAM correctly.
+//
+// The measurement sweep is routed through the orchestrator (like the
+// fig2/fig4 benches): every (chip, thread count) CPU point and every GPU
+// run is a first-class job on the campaign scheduler, and a shared
+// ResultCache services repeated points.
 
 #include <iostream>
+#include <numeric>
 
 #include "baseline/reference_systems.hpp"
 #include "core/system.hpp"
 #include "harness/reporting.hpp"
+#include "orchestrator/campaign.hpp"
 #include "stream/cpu_stream.hpp"
 #include "stream/gpu_stream.hpp"
 #include "util/units.hpp"
@@ -19,6 +26,7 @@ int main() {
   std::cout << "Figure 1 reproduction: STREAM benchmark (Copy/Scale/Add/"
                "Triad), CPU and GPU, M1-M4\n\n";
 
+  orchestrator::ResultCache cache;
   std::vector<harness::StreamFigureEntry> entries;
   for (const auto chip : soc::kAllChipModels) {
     core::System system(chip);
@@ -32,18 +40,28 @@ int main() {
               << ": CPU rel. err " << cpu_err << ", GPU abs. err " << gpu_err
               << "\n";
 
-    // The paper's measurement configuration (modeled timing).
-    stream::CpuStream cpu(system.soc());
-    const auto sweep = cpu.sweep(/*repetitions=*/10);
-    stream::GpuStream gpu(system.device());
-    const auto gpu_run = gpu.run(/*repetitions=*/20);
+    // The paper's measurement configuration (modeled timing), as one
+    // orchestrated campaign per chip: the thread sweep 1..cores at 10 reps,
+    // plus the 20-rep GPU run.
+    std::vector<int> thread_counts(system.soc().spec().total_cpu_cores());
+    std::iota(thread_counts.begin(), thread_counts.end(), 1);
+    orchestrator::Campaign campaign;
+    campaign.chips({chip})
+        .impls({})
+        .sizes({})
+        .stream_sweep(thread_counts, /*repetitions=*/10)
+        .gpu_stream(/*repetitions=*/20)
+        .cache(&cache);
+    const auto result = campaign.run();
 
     harness::StreamFigureEntry e;
     e.chip = chip;
     e.theoretical_gbs = system.soc().spec().memory_bandwidth_gbs;
-    e.cpu_gbs = sweep.best_gbs_per_kernel;
-    for (std::size_t k = 0; k < 4; ++k) {
-      e.gpu_gbs[k] = gpu_run.kernels[k].best_gbs;
+    for (const auto& point : result.stream) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        auto& best = point.gpu ? e.gpu_gbs[k] : e.cpu_gbs[k];
+        best = std::max(best, point.run.kernels[k].best_gbs);
+      }
     }
     entries.push_back(e);
   }

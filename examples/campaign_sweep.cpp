@@ -1,19 +1,54 @@
-// Campaign sweep: run a multi-chip GEMM benchmark campaign through the
-// orchestrator — concurrent scheduling, batched operand allocation, and a
-// result cache that services the repeated run without re-measuring.
+// Campaign sweep: run a multi-chip, multi-workload benchmark campaign
+// through the orchestrator — concurrent scheduling over all seven JobKinds
+// (GEMM measure + verify, CPU and GPU STREAM, mixed-precision study, ANE
+// inference, idle power), batched operand allocation, and a disk-backed
+// result cache that services repeated points within AND across processes.
 //
-// Build & run:  ./build/example_campaign_sweep [workers]
+// Build & run:  ./build/example_campaign_sweep [workers] [cache-file]
+//
+// Run it twice with the same cache file: the second process starts with a
+// cold in-memory cache, loads the store, and serves every repeated point
+// from disk. Pass --expect-disk-hits (the CI smoke test does) to fail the
+// run unless the store actually served hits.
 
+#include <cctype>
+#include <cstring>
 #include <iostream>
 
 #include "core/ao.hpp"
 #include "harness/reporting.hpp"
 #include "orchestrator/campaign.hpp"
 
+namespace {
+
+bool all_digits(const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (!std::isdigit(static_cast<unsigned char>(*s))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ao;
 
-  const std::size_t workers = argc > 1 ? std::stoul(argv[1]) : 4;
+  std::size_t workers = 4;
+  std::string cache_path;
+  bool expect_disk_hits = false;
+  bool workers_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--expect-disk-hits") == 0) {
+      expect_disk_hits = true;
+    } else if (!workers_seen && all_digits(argv[i])) {
+      workers = std::stoul(argv[i]);
+      workers_seen = true;
+    } else {
+      cache_path = argv[i];
+    }
+  }
 
   // Campaign options: the paper's five repetitions, functional execution at
   // small sizes (with verification against the reference SGEMM), power
@@ -21,9 +56,18 @@ int main(int argc, char** argv) {
   harness::GemmExperiment::Options options;
   options.repetitions = 5;
 
-  // A cache shared across campaigns: overlapping sweeps reuse points.
+  // A cache shared across campaigns — and, given a store file, across
+  // processes: warm from the previous run, write-through every new point.
   orchestrator::ResultCache cache(/*capacity=*/4096);
+  std::size_t warmed = 0;
+  if (!cache_path.empty()) {
+    warmed = cache.load(cache_path);
+    cache.persist_to(cache_path);
+    std::cout << "Cache store " << cache_path << ": " << warmed
+              << " entries loaded\n";
+  }
 
+  // A mixed-kind sweep: every JobKind the orchestrator schedules.
   orchestrator::Campaign campaign;
   campaign.chips({soc::ChipModel::kM1, soc::ChipModel::kM2,
                   soc::ChipModel::kM3, soc::ChipModel::kM4})
@@ -31,6 +75,11 @@ int main(int argc, char** argv) {
               soc::GemmImpl::kGpuMps})
       .sizes({256, 512, 1024, 2048})
       .options(options)
+      .stream_sweep({1, 4, 8}, /*repetitions=*/10)
+      .gpu_stream(/*repetitions=*/20)
+      .precision_study({128})
+      .ane_inference({256})
+      .power_idle(1.0)
       .cache(&cache)
       .concurrency(workers);
 
@@ -42,6 +91,10 @@ int main(int argc, char** argv) {
             << first.stats.batches_allocated << " operand batches, "
             << first.stats.systems_built << " simulated systems, "
             << first.stats.verifications << " verifications\n";
+  std::cout << "  records: " << first.gemm.size() << " gemm, "
+            << first.stream.size() << " stream, " << first.precision.size()
+            << " precision, " << first.ane.size() << " ane, "
+            << first.power.size() << " power\n";
 
   // The repeated campaign is serviced from the cache: no System is leased,
   // no matrices are allocated.
@@ -58,5 +111,16 @@ int main(int argc, char** argv) {
 
   harness::peak_gflops_table(widened.gemm)
       .print(std::cout, "Peak GFLOPS per (chip, implementation)");
+
+  if (!cache_path.empty()) {
+    std::cout << "\nDisk-warmed points served this process: "
+              << (first.stats.cache_hits) << " (store had " << warmed
+              << " entries at startup)\n";
+  }
+  if (expect_disk_hits && (warmed == 0 || first.stats.cache_hits == 0)) {
+    std::cerr << "FAIL: expected the disk store to serve cache hits on a "
+                 "cold in-memory cache\n";
+    return 1;
+  }
   return 0;
 }

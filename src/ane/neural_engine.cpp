@@ -3,10 +3,47 @@
 #include <vector>
 
 #include "amx/float16.hpp"
+#include "soc/perf_model.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ao::ane {
+namespace {
+
+/// Core ML's model-compilation-and-dispatch overhead per prediction.
+constexpr double kDispatchOverheadNs = 25e3;
+
+/// The FP16-ingest / FP32-accumulate datapath, on the host. Every dispatch
+/// target computes this same result — what differs is where the simulated
+/// time is charged.
+void gemm_fp16_host(std::size_t m, std::size_t n, std::size_t k,
+                    const float* a, const float* b, float* c) {
+  std::vector<float> a16(m * k);
+  std::vector<float> b16(k * n);
+  for (std::size_t i = 0; i < m * k; ++i) {
+    a16[i] = amx::half_to_float(amx::float_to_half(a[i]));
+  }
+  for (std::size_t i = 0; i < k * n; ++i) {
+    b16[i] = amx::half_to_float(amx::float_to_half(b[i]));
+  }
+  util::global_pool().parallel_for(m, [&](std::size_t i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += a16[i * k + kk] * b16[kk * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  });
+}
+
+double gemm_fp16_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+             static_cast<double>(k) -
+         static_cast<double>(m) * static_cast<double>(n);
+}
+
+}  // namespace
 
 NeuralEngine::NeuralEngine(soc::Soc& soc) : soc_(&soc) {}
 
@@ -44,36 +81,17 @@ double NeuralEngine::run_gemm_fp16(std::size_t m, std::size_t n, std::size_t k,
                                    const float* a, const float* b, float* c,
                                    bool functional) {
   AO_REQUIRE(m > 0 && n > 0 && k > 0, "GEMM dimensions must be positive");
-  AO_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
-             "GEMM operands must not be null");
-
   if (functional) {
+    AO_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+               "GEMM operands must not be null");
     // Inputs round through FP16 (the ANE datapath ingests half precision);
     // accumulation is FP32, as on the real unit.
-    std::vector<float> a16(m * k);
-    std::vector<float> b16(k * n);
-    for (std::size_t i = 0; i < m * k; ++i) {
-      a16[i] = amx::half_to_float(amx::float_to_half(a[i]));
-    }
-    for (std::size_t i = 0; i < k * n; ++i) {
-      b16[i] = amx::half_to_float(amx::float_to_half(b[i]));
-    }
-    util::global_pool().parallel_for(m, [&](std::size_t i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          acc += a16[i * k + kk] * b16[kk * n + j];
-        }
-        c[i * n + j] = acc;
-      }
-    });
+    gemm_fp16_host(m, n, k, a, b, c);
   }
 
-  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
-                           static_cast<double>(k) -
-                       static_cast<double>(m) * static_cast<double>(n);
-  const double time_ns = 25e3 /* CoreML dispatch */ +
-                         flops / sustained_fp16_gflops();  // GFLOPS == FLOP/ns
+  const double time_ns =
+      kDispatchOverheadNs +
+      gemm_fp16_flops(m, n, k) / sustained_fp16_gflops();  // GFLOPS == FLOP/ns
   soc_->execute(soc::ComputeUnit::kNeuralEngine, time_ns, active_power_watts(),
                 0.7);
   return time_ns;
@@ -120,6 +138,44 @@ DispatchTarget CoreMLRuntime::plan_gemm(std::size_t m, std::size_t n,
   const bool gpu_allowed = preference_ == ComputeUnits::kAll ||
                            preference_ == ComputeUnits::kCpuAndGpu;
   return gpu_allowed ? DispatchTarget::kGpu : DispatchTarget::kCpu;
+}
+
+Prediction CoreMLRuntime::predict_gemm(std::size_t m, std::size_t n,
+                                       std::size_t k, const float* a,
+                                       const float* b, float* c,
+                                       bool functional) {
+  Prediction p;
+  p.target = plan_gemm(m, n, k);
+  if (p.target == DispatchTarget::kNeuralEngine) {
+    p.duration_ns = engine_.run_gemm_fp16(m, n, k, a, b, c, functional);
+    p.watts = engine_.active_power_watts();
+    p.gflops = gemm_fp16_flops(m, n, k) / p.duration_ns;  // FLOP/ns == GFLOPS
+    return p;
+  }
+
+  AO_REQUIRE(m > 0 && n > 0 && k > 0, "GEMM dimensions must be positive");
+  if (functional) {
+    AO_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+               "GEMM operands must not be null");
+    gemm_fp16_host(m, n, k, a, b, c);
+  }
+  // Fallback rates come from the calibrated GEMM model, with n standing in
+  // for the square size: MPS at ~2x its FP32 rate for FP16, Accelerate at
+  // its FP32 rate (AMX has no FP16 advantage on this path).
+  const soc::PerfModel perf(*soc_);
+  const bool gpu = p.target == DispatchTarget::kGpu;
+  const auto impl =
+      gpu ? soc::GemmImpl::kGpuMps : soc::GemmImpl::kCpuAccelerate;
+  double gflops = perf.gemm_gflops(impl, n);
+  if (gpu) {
+    gflops *= 2.0;
+  }
+  p.duration_ns = kDispatchOverheadNs + gemm_fp16_flops(m, n, k) / gflops;
+  p.watts = perf.gemm_power_watts(impl, n);
+  p.gflops = gemm_fp16_flops(m, n, k) / p.duration_ns;
+  soc_->execute(gpu ? soc::ComputeUnit::kGpu : soc::ComputeUnit::kCpuPCluster,
+                p.duration_ns, p.watts, 0.7);
+  return p;
 }
 
 }  // namespace ao::ane

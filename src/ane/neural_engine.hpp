@@ -39,7 +39,9 @@ class NeuralEngine {
   /// Executes an m x n x k FP16 matrix multiplication *functionally* on the
   /// host (inputs/outputs FP32, internally rounded through FP16 the way the
   /// ANE's mixed-precision datapath does) and charges the simulated time and
-  /// energy to the SoC. Returns the simulated duration in ns.
+  /// energy to the SoC. Returns the simulated duration in ns. Model-only
+  /// calls (`functional = false`) never touch the operands, which may then
+  /// be null.
   double run_gemm_fp16(std::size_t m, std::size_t n, std::size_t k,
                        const float* a, const float* b, float* c,
                        bool functional = true);
@@ -58,6 +60,14 @@ enum class DispatchTarget { kNeuralEngine, kGpu, kCpu };
 
 std::string to_string(DispatchTarget target);
 
+/// Outcome of one CoreMLRuntime::predict_gemm dispatch.
+struct Prediction {
+  DispatchTarget target = DispatchTarget::kNeuralEngine;
+  double duration_ns = 0.0;  ///< simulated, dispatch overhead included
+  double watts = 0.0;        ///< active power of the unit that executed
+  double gflops = 0.0;       ///< effective rate over the whole dispatch
+};
+
 /// Minimal Core ML-like runtime: compiles a GEMM "model" and dispatches
 /// predictions. The placement rule reproduces the opacity the paper calls
 /// out: the ANE is used only when the preference allows it AND the operator
@@ -70,6 +80,16 @@ class CoreMLRuntime {
   /// ANE compatibility: all dimensions multiples of 16 and k <= 16384
   /// (tiling constraint of the tensor DMA in this model).
   DispatchTarget plan_gemm(std::size_t m, std::size_t n, std::size_t k) const;
+
+  /// Plans AND executes an m x n x k FP16 GEMM: the numeric result is the
+  /// same FP16-ingest / FP32-accumulate datapath wherever it lands, but the
+  /// simulated time and power are charged to the unit the plan selected —
+  /// the ANE at the engine's sustained rate, the GPU at the MPS FP16 rate,
+  /// the CPU at the Accelerate rate. This is the silent-fallback behavior
+  /// the paper calls out: the caller learns the placement only afterwards.
+  Prediction predict_gemm(std::size_t m, std::size_t n, std::size_t k,
+                          const float* a, const float* b, float* c,
+                          bool functional = true);
 
   ComputeUnits preference() const { return preference_; }
   NeuralEngine& engine() { return engine_; }

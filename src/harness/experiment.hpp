@@ -30,6 +30,8 @@ struct GemmMeasurement {
   bool functional = false;      ///< numeric work actually executed
   bool verified = false;        ///< checked against the reference SGEMM
   float max_error = 0.0f;
+
+  bool operator==(const GemmMeasurement&) const = default;
 };
 
 /// Reproduces the paper's measurement methodology (Sections 3.2-3.3 and 4):

@@ -72,10 +72,33 @@ Campaign& Campaign::cache(ResultCache* cache) {
 }
 
 Campaign& Campaign::stream_sweep(std::vector<int> thread_counts,
-                                 int repetitions) {
+                                 int repetitions, std::size_t elements) {
   AO_REQUIRE(repetitions >= 1, "need at least one STREAM repetition");
   stream_thread_counts_ = std::move(thread_counts);
   stream_repetitions_ = repetitions;
+  stream_elements_ = elements;
+  return *this;
+}
+
+Campaign& Campaign::gpu_stream(int repetitions, std::size_t elements) {
+  AO_REQUIRE(repetitions >= 1, "need at least one STREAM repetition");
+  gpu_stream_ = true;
+  gpu_stream_repetitions_ = repetitions;
+  gpu_stream_elements_ = elements;
+  return *this;
+}
+
+Campaign& Campaign::precision_study(std::vector<std::size_t> sizes,
+                                    std::uint64_t seed) {
+  precision_sizes_ = std::move(sizes);
+  precision_seed_ = seed;
+  return *this;
+}
+
+Campaign& Campaign::ane_inference(std::vector<std::size_t> sizes,
+                                  bool functional) {
+  ane_sizes_ = std::move(sizes);
+  ane_functional_ = functional;
   return *this;
 }
 
@@ -124,6 +147,31 @@ void Campaign::expand(JobQueue& queue) const {
       job.chip = chip;
       job.stream_threads = threads;
       job.stream_repetitions = stream_repetitions_;
+      job.stream_elements = stream_elements_;
+      queue.push(job);
+    }
+    if (gpu_stream_) {
+      ExperimentJob job;
+      job.kind = JobKind::kGpuStream;
+      job.chip = chip;
+      job.stream_repetitions = gpu_stream_repetitions_;
+      job.stream_elements = gpu_stream_elements_;
+      queue.push(job);
+    }
+    for (const std::size_t n : precision_sizes_) {
+      ExperimentJob job;
+      job.kind = JobKind::kPrecisionStudy;
+      job.chip = chip;
+      job.n = n;
+      job.study_seed = precision_seed_;
+      queue.push(job);
+    }
+    for (const std::size_t n : ane_sizes_) {
+      ExperimentJob job;
+      job.kind = JobKind::kAneInference;
+      job.chip = chip;
+      job.n = n;
+      job.ane_functional = ane_functional_;
       queue.push(job);
     }
     if (power_idle_) {
@@ -151,6 +199,9 @@ std::size_t Campaign::job_count() const {
     }
   }
   count += stream_thread_counts_.size();
+  count += gpu_stream_ ? 1 : 0;
+  count += precision_sizes_.size();
+  count += ane_sizes_.size();
   count += power_idle_ ? 1 : 0;
   return count * chips_.size();
 }
@@ -167,6 +218,8 @@ CampaignResult Campaign::run() {
   CampaignResult result;
   result.gemm = std::move(outputs.gemm);
   result.stream = std::move(outputs.stream);
+  result.precision = std::move(outputs.precision);
+  result.ane = std::move(outputs.ane);
   result.power = std::move(outputs.power);
   result.stats = outputs.stats;
   return result;

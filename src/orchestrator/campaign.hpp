@@ -14,8 +14,10 @@ namespace ao::orchestrator {
 /// Aggregated campaign output plus helpers for the reporting layer.
 struct CampaignResult {
   std::vector<harness::GemmMeasurement> gemm;  ///< sorted (chip, n, impl)
-  std::vector<StreamPoint> stream;
-  std::vector<PowerPoint> power;
+  std::vector<StreamRecord> stream;            ///< CPU and GPU points
+  std::vector<PrecisionRecord> precision;
+  std::vector<AneRecord> ane;
+  std::vector<PowerRecord> power;
   CampaignStats stats;
 
   /// Re-orders the GEMM measurements into the serial suite's historical row
@@ -28,18 +30,24 @@ struct CampaignResult {
 };
 
 /// Builder-style front end of the orchestrator: describes a benchmark
-/// campaign as (chips x implementations x sizes), expands it into a
-/// dependency-ordered JobQueue (verification jobs depend on their
-/// measurement jobs; the paper's skip rules are honored), and runs it on a
-/// CampaignScheduler.
+/// campaign as (chips x implementations x sizes) plus any mix of STREAM,
+/// precision, ANE and power work, expands it into a dependency-ordered
+/// JobQueue (verification jobs depend on their measurement jobs; the
+/// paper's skip rules are honored), and runs it on a CampaignScheduler.
 ///
 ///   orchestrator::ResultCache cache;
+///   cache.load("results.aocache");       // warm from a previous process
+///   cache.persist_to("results.aocache"); // write-through new points
 ///   orchestrator::Campaign campaign;
 ///   campaign.chips({soc::ChipModel::kM1, soc::ChipModel::kM2})
 ///       .sizes(harness::figure2_sizes())
+///       .stream_sweep({1, 4, 8})
+///       .gpu_stream()
+///       .precision_study({256})
+///       .ane_inference({512})
 ///       .cache(&cache)
 ///       .concurrency(8);
-///   auto result = campaign.run();   // result.gemm, result.stats
+///   auto result = campaign.run();   // result.gemm/stream/precision/ane
 ///
 /// Unset dimensions default to the paper's full grid: all four chips, all
 /// six Table-2 implementations, all ten sizes.
@@ -54,8 +62,20 @@ class Campaign {
   /// Attaches a (caller-owned) cache; overlapping and repeated campaigns
   /// service already-measured points from it.
   Campaign& cache(ResultCache* cache);
-  /// Adds one CPU STREAM job per (chip, thread count).
-  Campaign& stream_sweep(std::vector<int> thread_counts, int repetitions = 10);
+  /// Adds one CPU STREAM job per (chip, thread count). `elements` 0 keeps
+  /// the paper's array sizing.
+  Campaign& stream_sweep(std::vector<int> thread_counts, int repetitions = 10,
+                         std::size_t elements = 0);
+  /// Adds one GPU STREAM job per chip (the paper's 20-repetition MSL run).
+  Campaign& gpu_stream(int repetitions = 20, std::size_t elements = 0);
+  /// Adds one mixed-precision GEMM study job per (chip, size).
+  Campaign& precision_study(std::vector<std::size_t> sizes,
+                            std::uint64_t seed = 99);
+  /// Adds one Core ML FP16 GEMM dispatch job per (chip, size), square
+  /// n x n x n. Functional jobs really multiply (and record the output
+  /// spot-check); keep sizes modest.
+  Campaign& ane_inference(std::vector<std::size_t> sizes,
+                          bool functional = true);
   /// Adds one idle-floor power job per chip.
   Campaign& power_idle(double window_seconds = 1.0);
 
@@ -80,6 +100,14 @@ class Campaign {
   ResultCache* cache_ = nullptr;
   std::vector<int> stream_thread_counts_;
   int stream_repetitions_ = 10;
+  std::size_t stream_elements_ = 0;
+  bool gpu_stream_ = false;
+  int gpu_stream_repetitions_ = 20;
+  std::size_t gpu_stream_elements_ = 0;
+  std::vector<std::size_t> precision_sizes_;
+  std::uint64_t precision_seed_ = 99;
+  std::vector<std::size_t> ane_sizes_;
+  bool ane_functional_ = true;
   bool power_idle_ = false;
   double power_window_seconds_ = 1.0;
 };

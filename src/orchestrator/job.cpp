@@ -14,8 +14,18 @@ std::string to_string(JobKind kind) {
       return "stream";
     case JobKind::kPowerIdle:
       return "power-idle";
+    case JobKind::kGpuStream:
+      return "gpu-stream";
+    case JobKind::kPrecisionStudy:
+      return "precision-study";
+    case JobKind::kAneInference:
+      return "ane-inference";
   }
   throw util::InvalidArgument("unknown JobKind");
+}
+
+bool is_cacheable(JobKind kind) {
+  return kind != JobKind::kGemmVerify;
 }
 
 JobId JobQueue::push(ExperimentJob job, const std::vector<JobId>& deps) {

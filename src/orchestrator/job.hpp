@@ -23,13 +23,21 @@ inline constexpr JobId kInvalidJob = 0;
 /// measurement critical path (it needs host buffers, not a simulated
 /// System).
 enum class JobKind {
-  kGemmMeasure,  ///< one (chip, impl, n) timing + power point
-  kGemmVerify,   ///< checks a measurement's output against the reference
-  kStream,       ///< one CPU STREAM run at a fixed thread count
-  kPowerIdle,    ///< one powermetrics idle-floor sample
+  kGemmMeasure,     ///< one (chip, impl, n) timing + power point
+  kGemmVerify,      ///< checks a measurement's output against the reference
+  kStream,          ///< one CPU STREAM run at a fixed thread count
+  kPowerIdle,       ///< one powermetrics idle-floor sample
+  kGpuStream,       ///< one GPU STREAM run (Figure 1's MSL port)
+  kPrecisionStudy,  ///< one mixed-precision GEMM accuracy study at size n
+  kAneInference,    ///< one Core ML FP16 GEMM dispatch (ANE or fallback)
 };
 
 std::string to_string(JobKind kind);
+
+/// True for kinds whose result is a pure function of the job description —
+/// those the ResultCache retains and the disk store persists. Verification
+/// is transient: it needs the measurement's live host buffers.
+bool is_cacheable(JobKind kind);
 
 /// One schedulable unit of campaign work. A job is a *description* — the
 /// CampaignScheduler interprets it against a leased simulated System. Only
@@ -44,7 +52,8 @@ struct ExperimentJob {
 
   soc::ChipModel chip = soc::ChipModel::kM1;
 
-  /// GEMM payload (kGemmMeasure / kGemmVerify).
+  /// GEMM payload (kGemmMeasure / kGemmVerify). `n` doubles as the matrix
+  /// size of kPrecisionStudy and kAneInference jobs.
   soc::GemmImpl impl = soc::GemmImpl::kCpuSingle;
   std::size_t n = 0;
   /// For kGemmVerify: the measurement job whose output is checked.
@@ -53,12 +62,23 @@ struct ExperimentJob {
   /// must hold the output buffer until that job has consumed it.
   bool expects_verify = false;
 
-  /// STREAM payload (kStream).
+  /// STREAM payload (kStream / kGpuStream). `stream_threads` is CPU-only;
+  /// `stream_elements` 0 means the module's paper-default array size.
   int stream_threads = 1;
   int stream_repetitions = 10;
+  std::size_t stream_elements = 0;
 
   /// Power payload (kPowerIdle).
   double power_window_seconds = 1.0;
+
+  /// Precision payload (kPrecisionStudy): operand seed (size is `n`).
+  std::uint64_t study_seed = 99;
+
+  /// ANE payload (kAneInference): an ane_m x n x ane_k FP16 GEMM through the
+  /// Core ML dispatch model; 0 dimensions default to `n` (square).
+  std::size_t ane_m = 0;
+  std::size_t ane_k = 0;
+  bool ane_functional = true;
 };
 
 /// Thread-safe, priority-ordered queue of experiment jobs with dependency

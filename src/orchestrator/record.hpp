@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ane/neural_engine.hpp"
+#include "harness/experiment.hpp"
+#include "power/power_model.hpp"
+#include "precision/precision_study.hpp"
+#include "stream/stream_result.hpp"
+
+namespace ao::orchestrator {
+
+/// One STREAM measurement produced by a kStream / kGpuStream job.
+struct StreamRecord {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  bool gpu = false;  ///< kGpuStream (threads in `run` are 0 for the GPU)
+  stream::RunResult run;
+
+  bool operator==(const StreamRecord&) const = default;
+};
+
+/// One mixed-precision GEMM study produced by a kPrecisionStudy job: the
+/// full accuracy/throughput frontier (FP64, FP64-emulated, FP32, FP16) at
+/// one size on one chip.
+struct PrecisionRecord {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  std::size_t n = 0;
+  std::uint64_t seed = 0;
+  std::vector<precision::StudyResult> rows;
+
+  bool operator==(const PrecisionRecord&) const = default;
+};
+
+/// One Core ML FP16 GEMM dispatch produced by a kAneInference job.
+struct AneRecord {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  ane::DispatchTarget target = ane::DispatchTarget::kNeuralEngine;
+  double duration_ns = 0.0;
+  double gflops = 0.0;
+  double gflops_per_watt = 0.0;
+  /// Mean output element of the functional run (0 when model-only) — the
+  /// same spot check bench_ext_neural_engine performs.
+  double mean_output = 0.0;
+
+  bool operator==(const AneRecord&) const = default;
+};
+
+/// One idle-floor power sample produced by a kPowerIdle job.
+struct PowerRecord {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  power::PowerSample sample;
+
+  bool operator==(const PowerRecord&) const = default;
+};
+
+/// The result payload of any cacheable job kind. The ResultCache stores
+/// these, the scheduler produces them, and the on-disk store serializes
+/// them — one variant instead of a GEMM-only payload.
+using MeasurementRecord =
+    std::variant<harness::GemmMeasurement, StreamRecord, PrecisionRecord,
+                 AneRecord, PowerRecord>;
+
+/// Which alternative a MeasurementRecord holds, as a stable tag (the on-disk
+/// format stores this, so the enumerator values are part of the format).
+enum class RecordKind : std::uint8_t {
+  kGemm = 0,
+  kStream = 1,
+  kPrecision = 2,
+  kAne = 3,
+  kPower = 4,
+};
+
+RecordKind record_kind(const MeasurementRecord& record);
+std::string to_string(RecordKind kind);
+
+/// Serializes a record to the space-separated token stream the on-disk
+/// ResultCache stores (see docs/orchestrator.md for the layout). Numeric
+/// fields are written as hexadecimal bit patterns, so floating-point values
+/// round-trip exactly.
+std::string serialize_record(const MeasurementRecord& record);
+
+/// Parses a token stream produced by serialize_record(). Returns nullopt on
+/// any malformed input (wrong tag, missing or trailing tokens) — the cache
+/// loader treats that as a corrupt entry and skips it.
+std::optional<MeasurementRecord> deserialize_record(const std::string& tokens);
+
+}  // namespace ao::orchestrator

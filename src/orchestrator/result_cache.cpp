@@ -1,12 +1,36 @@
 #include "orchestrator/result_cache.hpp"
 
+#include <cstdio>
 #include <cstring>
+#include <sstream>
 
+#include "stream/cpu_stream.hpp"
+#include "stream/gpu_stream.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/hex.hpp"
 
 namespace ao::orchestrator {
 namespace {
+
+// On-disk store framing (entry payloads are serialize_record() token
+// streams; the full layout is specified in docs/orchestrator.md):
+//
+//   ao-result-cache v1
+//   entry <kind> <chip> <impl> <n> <payload_fp> <options_fp> <record...> # <digest>
+//
+// One line per entry; every numeric token is lowercase hex; <digest> is the
+// FNV-1a of the line up to (excluding) " # ". A truncated or bit-flipped
+// line fails its digest and is skipped, so a crashed write-through run
+// never poisons later loads.
+
+constexpr char kHeaderPrefix[] = "ao-result-cache v";
+constexpr char kEntryPrefix[] = "entry ";
+constexpr char kDigestSeparator[] = " # ";
+
+std::string header_line() {
+  return kHeaderPrefix + std::to_string(ResultCache::kFormatVersion);
+}
 
 std::uint64_t mix_double(std::uint64_t h, double value) {
   std::uint64_t bits;
@@ -15,15 +39,170 @@ std::uint64_t mix_double(std::uint64_t h, double value) {
   return util::fnv1a_mix(h, bits);
 }
 
+/// The record alternative each cacheable JobKind produces — an entry whose
+/// record shape disagrees with its key is corrupt.
+RecordKind expected_record_kind(JobKind kind) {
+  switch (kind) {
+    case JobKind::kGemmMeasure:
+    case JobKind::kGemmVerify:
+      return RecordKind::kGemm;
+    case JobKind::kStream:
+    case JobKind::kGpuStream:
+      return RecordKind::kStream;
+    case JobKind::kPowerIdle:
+      return RecordKind::kPower;
+    case JobKind::kPrecisionStudy:
+      return RecordKind::kPrecision;
+    case JobKind::kAneInference:
+      return RecordKind::kAne;
+  }
+  throw util::InvalidArgument("unknown JobKind");
+}
+
+std::string format_entry(const std::pair<CacheKey, MeasurementRecord>& entry) {
+  const CacheKey& key = entry.first;
+  std::string line = kEntryPrefix;
+  line += util::to_hex_u64(static_cast<std::uint64_t>(key.kind));
+  line += ' ';
+  line += util::to_hex_u64(static_cast<std::uint64_t>(key.chip));
+  line += ' ';
+  line += util::to_hex_u64(static_cast<std::uint64_t>(key.impl));
+  line += ' ';
+  line += util::to_hex_u64(key.n);
+  line += ' ';
+  line += util::to_hex_u64(key.payload_fingerprint);
+  line += ' ';
+  line += util::to_hex_u64(key.options_fingerprint);
+  line += ' ';
+  line += serialize_record(entry.second);
+  line += kDigestSeparator;
+  const std::size_t payload_length =
+      line.size() - std::strlen(kDigestSeparator);
+  line += util::to_hex_u64(util::fnv1a_bytes(line.data(), payload_length));
+  return line;
+}
+
+std::optional<std::pair<CacheKey, MeasurementRecord>> parse_entry(
+    const std::string& line) {
+  if (line.rfind(kEntryPrefix, 0) != 0) {
+    return std::nullopt;
+  }
+  const std::size_t digest_at = line.rfind(kDigestSeparator);
+  if (digest_at == std::string::npos) {
+    return std::nullopt;
+  }
+  std::uint64_t digest = 0;
+  if (!util::parse_hex_u64(line.substr(digest_at + std::strlen(kDigestSeparator)),
+                 digest) ||
+      digest != util::fnv1a_bytes(line.data(), digest_at)) {
+    return std::nullopt;
+  }
+
+  std::istringstream in(
+      line.substr(std::strlen(kEntryPrefix), digest_at - std::strlen(kEntryPrefix)));
+  std::uint64_t kind = 0;
+  std::uint64_t chip = 0;
+  std::uint64_t impl = 0;
+  std::uint64_t n = 0;
+  std::uint64_t payload_fp = 0;
+  std::uint64_t options_fp = 0;
+  std::string token;
+  for (std::uint64_t* field : {&kind, &chip, &impl, &n, &payload_fp, &options_fp}) {
+    if (!(in >> token) || !util::parse_hex_u64(token, *field)) {
+      return std::nullopt;
+    }
+  }
+  if (kind > static_cast<std::uint64_t>(JobKind::kAneInference) ||
+      chip > static_cast<std::uint64_t>(soc::ChipModel::kM4) ||
+      impl > static_cast<std::uint64_t>(soc::GemmImpl::kGpuMps)) {
+    return std::nullopt;
+  }
+
+  CacheKey key;
+  key.kind = static_cast<JobKind>(kind);
+  key.chip = static_cast<soc::ChipModel>(chip);
+  key.impl = static_cast<soc::GemmImpl>(impl);
+  key.n = static_cast<std::size_t>(n);
+  key.payload_fingerprint = payload_fp;
+  key.options_fingerprint = options_fp;
+
+  std::string record_tokens;
+  std::getline(in, record_tokens);
+  auto record = deserialize_record(record_tokens);
+  if (!record.has_value() ||
+      record_kind(*record) != expected_record_kind(key.kind)) {
+    return std::nullopt;
+  }
+  return std::pair{key, std::move(*record)};
+}
+
 }  // namespace
 
-std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+std::uint64_t CacheKey::fingerprint() const {
   std::uint64_t h = util::kFnv1aOffset;
-  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(key.chip));
-  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(key.impl));
-  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(key.n));
-  h = util::fnv1a_mix(h, key.options_fingerprint);
-  return static_cast<std::size_t>(h);
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(kind));
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(chip));
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(impl));
+  h = util::fnv1a_mix(h, static_cast<std::uint64_t>(n));
+  h = util::fnv1a_mix(h, payload_fingerprint);
+  h = util::fnv1a_mix(h, options_fingerprint);
+  return h;
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  return static_cast<std::size_t>(key.fingerprint());
+}
+
+CacheKey key_for_job(const ExperimentJob& job, std::uint64_t options_fp) {
+  CacheKey key;
+  key.kind = job.kind;
+  key.chip = job.chip;
+  std::uint64_t h = util::kFnv1aOffset;
+  switch (job.kind) {
+    case JobKind::kGemmMeasure:
+    case JobKind::kGemmVerify:
+      key.impl = job.impl;
+      key.n = job.n;
+      // Only the GEMM family depends on the experiment options; leaving the
+      // other kinds' options_fingerprint at 0 lets their points hit across
+      // campaigns that differ only in GEMM settings.
+      key.options_fingerprint = options_fp;
+      return key;
+    case JobKind::kStream:
+      h = util::fnv1a_mix(h, static_cast<std::uint64_t>(job.stream_threads));
+      h = util::fnv1a_mix(h,
+                          static_cast<std::uint64_t>(job.stream_repetitions));
+      // Normalize the 0-means-default sentinel so an explicit default-sized
+      // run hits the same entry as an implicit one.
+      h = util::fnv1a_mix(h, job.stream_elements != 0
+                                 ? job.stream_elements
+                                 : stream::CpuStream::kDefaultElements);
+      break;
+    case JobKind::kGpuStream:
+      h = util::fnv1a_mix(h,
+                          static_cast<std::uint64_t>(job.stream_repetitions));
+      h = util::fnv1a_mix(h, job.stream_elements != 0
+                                 ? job.stream_elements
+                                 : stream::GpuStream::kDefaultElements);
+      break;
+    case JobKind::kPowerIdle:
+      h = mix_double(h, job.power_window_seconds);
+      break;
+    case JobKind::kPrecisionStudy:
+      key.n = job.n;
+      h = util::fnv1a_mix(h, job.study_seed);
+      break;
+    case JobKind::kAneInference:
+      key.n = job.n;
+      h = util::fnv1a_mix(h, job.ane_m != 0 ? job.ane_m : job.n);
+      h = util::fnv1a_mix(h, job.ane_k != 0 ? job.ane_k : job.n);
+      h = util::fnv1a_mix(h, job.ane_functional ? 1 : 0);
+      // The functional operands (and so mean_output) come from this seed.
+      h = util::fnv1a_mix(h, job.study_seed);
+      break;
+  }
+  key.payload_fingerprint = h;
+  return key;
 }
 
 std::uint64_t options_fingerprint(
@@ -47,8 +226,7 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
   AO_REQUIRE(capacity >= 1, "ResultCache capacity must be positive");
 }
 
-std::optional<harness::GemmMeasurement> ResultCache::lookup(
-    const CacheKey& key) {
+std::optional<MeasurementRecord> ResultCache::lookup(const CacheKey& key) {
   std::lock_guard lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -60,23 +238,32 @@ std::optional<harness::GemmMeasurement> ResultCache::lookup(
   return it->second->second;
 }
 
-void ResultCache::insert(const CacheKey& key,
-                         const harness::GemmMeasurement& m) {
-  std::lock_guard lock(mutex_);
+void ResultCache::insert_locked(const CacheKey& key,
+                                const MeasurementRecord& record,
+                                bool write_through) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = m;
+    it->second->second = record;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  } else {
+    if (lru_.size() == capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    lru_.emplace_front(key, record);
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
   }
-  if (lru_.size() == capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
+  if (write_through && persist_out_.is_open()) {
+    persist_out_ << format_entry(*lru_.begin()) << '\n';
+    persist_out_.flush();
   }
-  lru_.emplace_front(key, m);
-  index_[key] = lru_.begin();
-  ++stats_.insertions;
+}
+
+void ResultCache::insert(const CacheKey& key, const MeasurementRecord& record) {
+  std::lock_guard lock(mutex_);
+  insert_locked(key, record, /*write_through=*/true);
 }
 
 bool ResultCache::contains(const CacheKey& key) const {
@@ -98,6 +285,100 @@ void ResultCache::clear() {
 CacheStats ResultCache::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+std::size_t ResultCache::save(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  // Snapshot into a sibling temp file, then rename over the target, so a
+  // reader (or a crash) never observes a half-written store.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw util::Error("cannot write result-cache store: " + tmp);
+    }
+    out << header_line() << '\n';
+    // Least recent first: reloading replays insertions in recency order.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      out << format_entry(*it) << '\n';
+    }
+    if (!out) {
+      throw util::Error("short write to result-cache store: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw util::Error("cannot move result-cache store into place: " + path);
+  }
+  if (persist_out_.is_open() && path == persist_path_) {
+    // The rename unlinked the inode the write-through stream was appending
+    // to; reattach it to the fresh (compacted) store so later insertions
+    // keep landing on disk.
+    persist_out_.close();
+    persist_out_.open(path, std::ios::app);
+    if (!persist_out_) {
+      throw util::Error("cannot reopen result-cache store: " + path);
+    }
+  }
+  return lru_.size();
+}
+
+std::size_t ResultCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return 0;  // nothing persisted yet — a cold start, not an error
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != header_line()) {
+    // A different format version (or not a cache store at all): refuse the
+    // whole file rather than guess at its layout.
+    std::lock_guard lock(mutex_);
+    ++stats_.load_rejected;
+    return 0;
+  }
+  std::size_t loaded = 0;
+  std::lock_guard lock(mutex_);
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (auto entry = parse_entry(line)) {
+      insert_locked(entry->first, entry->second, /*write_through=*/false);
+      ++loaded;
+    } else {
+      ++stats_.load_rejected;
+    }
+  }
+  stats_.loaded += loaded;
+  return loaded;
+}
+
+void ResultCache::persist_to(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  persist_out_.close();
+  persist_path_.clear();
+  if (path.empty()) {
+    return;
+  }
+  bool needs_header = false;
+  {
+    std::ifstream existing(path);
+    std::string first_line;
+    if (!existing || !std::getline(existing, first_line)) {
+      needs_header = true;  // absent or empty file: start a fresh store
+    } else if (first_line != header_line()) {
+      throw util::Error("refusing write-through to a foreign store: " + path);
+    }
+  }
+  persist_out_.open(path, std::ios::app);
+  if (!persist_out_) {
+    throw util::Error("cannot open result-cache store: " + path);
+  }
+  if (needs_header) {
+    persist_out_ << header_line() << '\n';
+    persist_out_.flush();
+  }
+  persist_path_ = path;
 }
 
 }  // namespace ao::orchestrator

@@ -1,33 +1,53 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <list>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "harness/experiment.hpp"
+#include "orchestrator/job.hpp"
+#include "orchestrator/record.hpp"
 
 namespace ao::orchestrator {
 
-/// Content identity of one GEMM measurement point. Two campaigns that agree
-/// on every field would measure bit-identical results (the simulator is a
-/// pure function of chip, implementation, size and experiment options — the
-/// matrix seed is part of the options fingerprint), so the cached
-/// measurement can stand in for a re-run.
+/// Content identity of one measurement point, for any cacheable JobKind.
+/// Two campaigns that agree on every field would measure bit-identical
+/// results (the simulator is a pure function of the job description and the
+/// experiment options), so the cached record can stand in for a re-run.
+///
+/// `impl` and `n` stay structured for the GEMM family (the hot path and the
+/// one humans debug); every other kind-specific field — thread counts,
+/// array sizes, repetitions, ANE shapes, study seeds — is folded into
+/// `payload_fingerprint` by key_for_job().
 struct CacheKey {
+  JobKind kind = JobKind::kGemmMeasure;
   soc::ChipModel chip = soc::ChipModel::kM1;
   soc::GemmImpl impl = soc::GemmImpl::kCpuSingle;
   std::size_t n = 0;
+  std::uint64_t payload_fingerprint = 0;
   std::uint64_t options_fingerprint = 0;
 
   bool operator==(const CacheKey&) const = default;
+
+  /// Digest of all six fields — the in-memory hash and the key's content
+  /// address. (The on-disk store writes the six fields individually, not
+  /// this digest, so entries stay inspectable.)
+  std::uint64_t fingerprint() const;
 };
 
 struct CacheKeyHash {
   std::size_t operator()(const CacheKey& key) const;
 };
+
+/// Builds the cache key for a job: structured fields plus the digest of the
+/// kind-specific payload. `options_fp` is the campaign-wide
+/// options_fingerprint().
+CacheKey key_for_job(const ExperimentJob& job, std::uint64_t options_fp);
 
 /// FNV-1a digest of every Options field that can change a measurement:
 /// repetitions, verification ceiling, power sampling, warm-up, matrix seed
@@ -39,38 +59,85 @@ struct CacheStats {
   std::size_t misses = 0;
   std::size_t insertions = 0;
   std::size_t evictions = 0;
+  std::size_t loaded = 0;          ///< entries read from disk stores
+  std::size_t load_rejected = 0;   ///< corrupt / mismatched entries skipped
 };
 
-/// Thread-safe LRU cache of finished GEMM measurements. Repeated campaigns
-/// and overlapping sweeps service already-measured points from here instead
-/// of re-running the simulator.
+/// Thread-safe LRU cache of finished measurements — any MeasurementRecord
+/// alternative, keyed by CacheKey. Repeated campaigns and overlapping sweeps
+/// service already-measured points from here instead of re-running the
+/// simulator.
+///
+/// The cache can be backed by a versioned on-disk store (the format is
+/// specified in docs/orchestrator.md): load() warms it from a previous
+/// process's file, save() snapshots it, and persist_to() switches it to
+/// write-through mode where every insertion is appended immediately — so a
+/// campaign that dies mid-run still leaves its finished points behind.
 class ResultCache {
  public:
+  /// Bumped whenever the entry layout changes; load() rejects files written
+  /// by any other version.
+  static constexpr int kFormatVersion = 1;
+
   /// `capacity` = maximum retained measurements; at least 1.
   explicit ResultCache(std::size_t capacity = 4096);
 
-  /// Returns the cached measurement and refreshes its recency, or nullopt.
-  std::optional<harness::GemmMeasurement> lookup(const CacheKey& key);
+  /// Returns the cached record and refreshes its recency, or nullopt.
+  std::optional<MeasurementRecord> lookup(const CacheKey& key);
 
-  /// Inserts (or refreshes) a measurement, evicting the least recently used
-  /// entry when full.
-  void insert(const CacheKey& key, const harness::GemmMeasurement& m);
+  /// Inserts (or refreshes) a record, evicting the least recently used
+  /// entry when full. In write-through mode the entry is also appended to
+  /// the backing file.
+  void insert(const CacheKey& key, const MeasurementRecord& record);
 
   bool contains(const CacheKey& key) const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  /// Drops every in-memory entry; a write-through backing file is untouched.
   void clear();
 
   CacheStats stats() const;
 
+  // ------------------------------------------------------- persistence ----
+
+  /// Writes a snapshot of the IN-MEMORY entries to `path` (least recent
+  /// first, so a reload reconstructs the recency order). Returns entries
+  /// written. Saving onto the active write-through path compacts the store
+  /// down to the retained set (the append stream is reattached to the new
+  /// file) — a write-through log can hold more than `capacity` entries, so
+  /// load() the store first if evicted points must survive the compaction.
+  /// Throws util::Error when the file cannot be created.
+  std::size_t save(const std::string& path);
+
+  /// Merges the entries of a store written by save() or write-through into
+  /// this cache. Individually corrupt entries (bad digest, truncated tail,
+  /// unknown record shape) are skipped and counted in stats().load_rejected;
+  /// a missing file loads nothing; a version-mismatched or unrecognizable
+  /// header rejects the whole file. Returns entries loaded.
+  std::size_t load(const std::string& path);
+
+  /// Write-through mode: appends every future insertion to `path`,
+  /// creating the file (with its version header) if absent. Existing
+  /// contents are NOT loaded — call load() first to warm up. Pass "" to
+  /// detach. Throws util::Error when the file cannot be opened.
+  void persist_to(const std::string& path);
+
+  /// Path of the write-through backing file ("" when detached).
+  const std::string& persist_path() const { return persist_path_; }
+
  private:
-  using Entry = std::pair<CacheKey, harness::GemmMeasurement>;
+  using Entry = std::pair<CacheKey, MeasurementRecord>;
+
+  void insert_locked(const CacheKey& key, const MeasurementRecord& record,
+                     bool write_through);
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
   CacheStats stats_;
+  std::ofstream persist_out_;
+  std::string persist_path_;
 };
 
 }  // namespace ao::orchestrator

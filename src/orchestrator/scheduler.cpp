@@ -5,11 +5,15 @@
 #include <cstring>
 #include <tuple>
 
+#include "ane/neural_engine.hpp"
 #include "gemm/gemm_interface.hpp"
 #include "harness/matrix_workload.hpp"
 #include "power/powermetrics.hpp"
+#include "precision/precision_study.hpp"
 #include "stream/cpu_stream.hpp"
+#include "stream/gpu_stream.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace ao::orchestrator {
 
@@ -208,12 +212,33 @@ CampaignOutputs CampaignScheduler::run(JobQueue& queue) {
   }
 
   stats_.systems_built = systems_.systems_built();
-  // Canonical result order, independent of completion interleaving.
+  // Canonical result order per family, independent of completion
+  // interleaving.
   std::sort(outputs.gemm.begin(), outputs.gemm.end(),
             [](const harness::GemmMeasurement& a,
                const harness::GemmMeasurement& b) {
               return std::tuple(a.chip, a.n, a.impl) <
                      std::tuple(b.chip, b.n, b.impl);
+            });
+  std::sort(outputs.stream.begin(), outputs.stream.end(),
+            [](const StreamRecord& a, const StreamRecord& b) {
+              return std::tuple(a.chip, a.gpu, a.run.threads) <
+                     std::tuple(b.chip, b.gpu, b.run.threads);
+            });
+  std::sort(outputs.precision.begin(), outputs.precision.end(),
+            [](const PrecisionRecord& a, const PrecisionRecord& b) {
+              return std::tuple(a.chip, a.n, a.seed) <
+                     std::tuple(b.chip, b.n, b.seed);
+            });
+  std::sort(outputs.ane.begin(), outputs.ane.end(),
+            [](const AneRecord& a, const AneRecord& b) {
+              return std::tuple(a.chip, a.m, a.n, a.k) <
+                     std::tuple(b.chip, b.m, b.n, b.k);
+            });
+  std::sort(outputs.power.begin(), outputs.power.end(),
+            [](const PowerRecord& a, const PowerRecord& b) {
+              return std::tuple(a.chip, a.sample.window_seconds) <
+                     std::tuple(b.chip, b.sample.window_seconds);
             });
   outputs.stats = stats_;
   return outputs;
@@ -229,13 +254,67 @@ void CampaignScheduler::execute(const ExperimentJob& job,
       run_gemm_verify(job, outputs);
       return;
     case JobKind::kStream:
+    case JobKind::kGpuStream:
       run_stream(job, outputs);
       return;
     case JobKind::kPowerIdle:
       run_power_idle(job, outputs);
       return;
+    case JobKind::kPrecisionStudy:
+      run_precision_study(job, outputs);
+      return;
+    case JobKind::kAneInference:
+      run_ane_inference(job, outputs);
+      return;
   }
   throw util::InvalidArgument("unknown JobKind");
+}
+
+void CampaignScheduler::append_record(const MeasurementRecord& record,
+                                      CampaignOutputs& outputs) {
+  std::lock_guard lock(state_mutex_);
+  std::visit(
+      [&outputs](const auto& value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, harness::GemmMeasurement>) {
+          outputs.gemm.push_back(value);
+        } else if constexpr (std::is_same_v<T, StreamRecord>) {
+          outputs.stream.push_back(value);
+        } else if constexpr (std::is_same_v<T, PrecisionRecord>) {
+          outputs.precision.push_back(value);
+        } else if constexpr (std::is_same_v<T, AneRecord>) {
+          outputs.ane.push_back(value);
+        } else {
+          outputs.power.push_back(value);
+        }
+      },
+      record);
+}
+
+bool CampaignScheduler::serve_from_cache(const ExperimentJob& job,
+                                         CampaignOutputs& outputs) {
+  if (cache_ == nullptr || !is_cacheable(job.kind)) {
+    return false;
+  }
+  auto cached = cache_->lookup(key_for_job(job, fingerprint_));
+  if (!cached.has_value()) {
+    return false;
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.cache_hits;
+  }
+  append_record(*cached, outputs);
+  return true;
+}
+
+void CampaignScheduler::publish_record(const ExperimentJob& job,
+                                       const MeasurementRecord& record,
+                                       CampaignOutputs& outputs) {
+  if (cache_ != nullptr && is_cacheable(job.kind)) {
+    cache_->insert(key_for_job(job, fingerprint_), record);
+  }
+  append_record(record, outputs);
 }
 
 std::shared_ptr<MatrixBatch> CampaignScheduler::batch_for(std::size_t n) {
@@ -272,7 +351,11 @@ void CampaignScheduler::publish(const ExperimentJob& job,
                                 const harness::GemmMeasurement& m,
                                 CampaignOutputs& outputs) {
   if (cache_ != nullptr) {
-    cache_->insert({job.chip, job.impl, job.n, fingerprint_}, m);
+    // `job` may be the verify job; the cache entry always carries the
+    // measurement's identity so later measure jobs find it.
+    ExperimentJob measure = job;
+    measure.kind = JobKind::kGemmMeasure;
+    cache_->insert(key_for_job(measure, fingerprint_), m);
   }
   std::lock_guard lock(state_mutex_);
   outputs.gemm.push_back(m);
@@ -290,12 +373,13 @@ void CampaignScheduler::run_gemm_measure(const ExperimentJob& job,
   } finisher{*this, job.n};
 
   if (cache_ != nullptr) {
-    const auto cached =
-        cache_->lookup({job.chip, job.impl, job.n, fingerprint_});
+    const auto cached = cache_->lookup(key_for_job(job, fingerprint_));
     if (cached.has_value()) {
+      const auto* m = std::get_if<harness::GemmMeasurement>(&*cached);
+      AO_REQUIRE(m != nullptr, "gemm cache entry holds a foreign record");
       std::lock_guard lock(state_mutex_);
       ++stats_.cache_hits;
-      outputs.gemm.push_back(*cached);
+      outputs.gemm.push_back(*m);
       // No MeasureState is stored: the dependent verify job (if any) sees
       // the missing entry and treats the point as settled.
       return;
@@ -371,31 +455,125 @@ void CampaignScheduler::run_gemm_verify(const ExperimentJob& job,
 
 void CampaignScheduler::run_stream(const ExperimentJob& job,
                                    CampaignOutputs& outputs) {
+  if (serve_from_cache(job, outputs)) {
+    return;
+  }
   auto lease = systems_.acquire(job.chip);
-  stream::CpuStream stream(lease.system().soc());
-  StreamPoint point;
-  point.chip = job.chip;
-  point.run = stream.run(job.stream_threads, job.stream_repetitions,
+  StreamRecord record;
+  record.chip = job.chip;
+  record.gpu = job.kind == JobKind::kGpuStream;
+  if (record.gpu) {
+    stream::GpuStream gpu(lease.system().device(),
+                          job.stream_elements != 0
+                              ? job.stream_elements
+                              : stream::GpuStream::kDefaultElements);
+    record.run = gpu.run(job.stream_repetitions, /*functional=*/false);
+  } else {
+    stream::CpuStream cpu(lease.system().soc(),
+                          job.stream_elements != 0
+                              ? job.stream_elements
+                              : stream::CpuStream::kDefaultElements);
+    record.run = cpu.run(job.stream_threads, job.stream_repetitions,
                          /*functional=*/false);
-  std::lock_guard lock(state_mutex_);
-  ++stats_.jobs_executed;
-  outputs.stream.push_back(point);
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.jobs_executed;
+  }
+  publish_record(job, record, outputs);
 }
 
 void CampaignScheduler::run_power_idle(const ExperimentJob& job,
                                        CampaignOutputs& outputs) {
+  if (serve_from_cache(job, outputs)) {
+    return;
+  }
   auto lease = systems_.acquire(job.chip);
   soc::Soc& soc = lease.system().soc();
   power::PowerMetrics monitor(soc, power::SamplerSet{true, true, true});
   monitor.start();
   soc.idle(job.power_window_seconds * 1e9);
-  PowerPoint point;
-  point.chip = job.chip;
-  point.sample = monitor.siginfo();
+  PowerRecord record;
+  record.chip = job.chip;
+  record.sample = monitor.siginfo();
   monitor.stop();
-  std::lock_guard lock(state_mutex_);
-  ++stats_.jobs_executed;
-  outputs.power.push_back(point);
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.jobs_executed;
+  }
+  publish_record(job, record, outputs);
+}
+
+void CampaignScheduler::run_precision_study(const ExperimentJob& job,
+                                            CampaignOutputs& outputs) {
+  if (serve_from_cache(job, outputs)) {
+    return;
+  }
+  // The study builds its own Soc (it needs no leased timeline — accuracy is
+  // host math, throughput comes from the calibrated model).
+  PrecisionRecord record;
+  record.chip = job.chip;
+  record.n = job.n;
+  record.seed = job.study_seed;
+  record.rows =
+      precision::run_gemm_precision_study(job.chip, job.n, job.study_seed);
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.jobs_executed;
+  }
+  publish_record(job, record, outputs);
+}
+
+void CampaignScheduler::run_ane_inference(const ExperimentJob& job,
+                                          CampaignOutputs& outputs) {
+  if (serve_from_cache(job, outputs)) {
+    return;
+  }
+  const std::size_t m = job.ane_m != 0 ? job.ane_m : job.n;
+  const std::size_t n = job.n;
+  const std::size_t k = job.ane_k != 0 ? job.ane_k : job.n;
+  AO_REQUIRE(m > 0 && n > 0 && k > 0, "ANE job needs GEMM dimensions");
+
+  // Model-only jobs never touch host memory; functional jobs use the same
+  // deterministic operands in every process, so cached and fresh records
+  // agree bit-for-bit.
+  std::vector<float> a;
+  std::vector<float> b;
+  std::vector<float> c;
+  if (job.ane_functional) {
+    a.resize(m * k);
+    b.resize(k * n);
+    c.resize(m * n);
+    util::fill_uniform(std::span<float>(a), job.study_seed);
+    util::fill_uniform(std::span<float>(b), job.study_seed + 1);
+  }
+
+  auto lease = systems_.acquire(job.chip);
+  ane::CoreMLRuntime runtime(lease.system().soc());
+  const ane::Prediction prediction = runtime.predict_gemm(
+      m, n, k, a.data(), b.data(), c.data(), job.ane_functional);
+
+  AneRecord record;
+  record.chip = job.chip;
+  record.m = m;
+  record.n = n;
+  record.k = k;
+  record.target = prediction.target;
+  record.duration_ns = prediction.duration_ns;
+  record.gflops = prediction.gflops;
+  record.gflops_per_watt = record.gflops / prediction.watts;
+  if (job.ane_functional) {
+    double sum = 0.0;
+    for (const float v : c) {
+      sum += v;
+    }
+    record.mean_output = sum / static_cast<double>(c.size());
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.jobs_executed;
+  }
+  publish_record(job, record, outputs);
 }
 
 }  // namespace ao::orchestrator

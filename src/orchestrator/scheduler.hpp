@@ -9,9 +9,8 @@
 #include "core/system.hpp"
 #include "harness/experiment.hpp"
 #include "orchestrator/job.hpp"
+#include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
-#include "power/power_model.hpp"
-#include "stream/stream_result.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -109,41 +108,33 @@ class MatrixBatch {
 struct CampaignStats {
   std::size_t jobs_total = 0;
   std::size_t jobs_executed = 0;    ///< ran on a leased System
-  std::size_t cache_hits = 0;       ///< measure jobs serviced from cache
+  std::size_t cache_hits = 0;       ///< jobs serviced from the ResultCache
   std::size_t verifications = 0;
   std::size_t batches_allocated = 0;
   std::size_t out_buffers_allocated = 0;
   std::size_t systems_built = 0;
 };
 
-/// One CPU STREAM point produced by a kStream job.
-struct StreamPoint {
-  soc::ChipModel chip = soc::ChipModel::kM1;
-  stream::RunResult run;
-};
-
-/// One idle-floor power sample produced by a kPowerIdle job.
-struct PowerPoint {
-  soc::ChipModel chip = soc::ChipModel::kM1;
-  power::PowerSample sample;
-};
-
-/// Everything a scheduler run produced.
+/// Everything a scheduler run produced, one typed vector per record family
+/// (the MeasurementRecord alternatives of orchestrator/record.hpp).
 struct CampaignOutputs {
   std::vector<harness::GemmMeasurement> gemm;
-  std::vector<StreamPoint> stream;
-  std::vector<PowerPoint> power;
+  std::vector<StreamRecord> stream;  ///< CPU and GPU (`gpu` distinguishes)
+  std::vector<PrecisionRecord> precision;
+  std::vector<AneRecord> ane;
+  std::vector<PowerRecord> power;
   CampaignStats stats;
 };
 
 /// Runs a JobQueue to completion on a private util::ThreadPool.
 ///
 /// Workers pop ready jobs, lease a System for the job's chip, execute, and
-/// mark the job done — unblocking dependents. GEMM measure jobs consult the
-/// ResultCache (when attached) before executing and publish into it after
-/// their verification settles; batched operands are allocated lazily on the
-/// first non-cached job of a size and released when the last job of that
-/// size completes.
+/// mark the job done — unblocking dependents. Every cacheable job consults
+/// the ResultCache (when attached) before executing and publishes its
+/// record into it afterwards (GEMM measurements wait for their verification
+/// to settle first); batched operands are allocated lazily on the first
+/// non-cached job of a size and released when the last job of that size
+/// completes.
 class CampaignScheduler {
  public:
   struct Options {
@@ -156,9 +147,9 @@ class CampaignScheduler {
   CampaignScheduler(harness::GemmExperiment::Options experiment_options,
                     Options options, ResultCache* cache = nullptr);
 
-  /// Drains `queue`, returning aggregated outputs. GEMM results are sorted
-  /// by (chip, n, impl) — a canonical order independent of completion
-  /// order.
+  /// Drains `queue`, returning aggregated outputs. Every record family is
+  /// sorted into a canonical order independent of completion order (GEMM by
+  /// (chip, n, impl), the others by chip then their identifying fields).
   CampaignOutputs run(JobQueue& queue);
 
  private:
@@ -175,11 +166,24 @@ class CampaignScheduler {
   void run_gemm_verify(const ExperimentJob& job, CampaignOutputs& outputs);
   void run_stream(const ExperimentJob& job, CampaignOutputs& outputs);
   void run_power_idle(const ExperimentJob& job, CampaignOutputs& outputs);
+  void run_precision_study(const ExperimentJob& job, CampaignOutputs& outputs);
+  void run_ane_inference(const ExperimentJob& job, CampaignOutputs& outputs);
 
   std::shared_ptr<MatrixBatch> batch_for(std::size_t n);
   void batch_job_finished(std::size_t n);
   void publish(const ExperimentJob& job, const harness::GemmMeasurement& m,
                CampaignOutputs& outputs);
+
+  /// Appends `record` to its typed output vector (caller must NOT hold
+  /// state_mutex_).
+  void append_record(const MeasurementRecord& record, CampaignOutputs& outputs);
+  /// Serves a cacheable job from the attached cache; true on a hit (the
+  /// cached record was appended to `outputs` and the job is finished).
+  bool serve_from_cache(const ExperimentJob& job, CampaignOutputs& outputs);
+  /// Publishes a non-GEMM record: inserts it into the cache and appends it
+  /// to `outputs`.
+  void publish_record(const ExperimentJob& job, const MeasurementRecord& record,
+                      CampaignOutputs& outputs);
 
   harness::GemmExperiment::Options experiment_options_;
   Options options_;

@@ -17,6 +17,8 @@ struct PowerSample {
   double combined_mw = 0.0;  ///< CPU + GPU + ANE, as powermetrics sums it
 
   double combined_watts() const { return combined_mw / 1e3; }
+
+  bool operator==(const PowerSample&) const = default;
 };
 
 /// Integrates the SoC's activity log into powermetrics-style readings.

@@ -31,6 +31,8 @@ struct StudyResult {
   double significant_digits = 0.0;  ///< -log10(relative error)
   double modeled_gflops = 0.0;    ///< effective rate on the given chip
   std::string executing_unit;
+
+  bool operator==(const StudyResult&) const = default;
 };
 
 /// Runs the GEMM accuracy study at size n on uniformly random [0,1) inputs:

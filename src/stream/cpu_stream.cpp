@@ -11,6 +11,12 @@ namespace ao::stream {
 CpuStream::CpuStream(soc::Soc& soc, std::size_t elements)
     : soc_(&soc), perf_(soc), elements_(elements) {
   AO_REQUIRE(elements >= 1024, "STREAM arrays must not be trivially small");
+}
+
+void CpuStream::ensure_arrays() {
+  if (a_.size() == elements_) {
+    return;
+  }
   a_.assign(elements_, 1.0);
   b_.assign(elements_, 2.0);
   c_.assign(elements_, 0.0);
@@ -20,6 +26,7 @@ void CpuStream::kernel_pass(soc::StreamKernel kernel, int threads,
                             bool functional) {
   const auto n = static_cast<long long>(elements_);
   if (functional) {
+    ensure_arrays();
     double* a = a_.data();
     double* b = b_.data();
     double* c = c_.data();
@@ -130,6 +137,7 @@ double CpuStream::validate(int passes, int threads) {
     threads = soc_->spec().total_cpu_cores();
   }
   // Reset and run functional passes.
+  ensure_arrays();
   std::fill(a_.begin(), a_.end(), 1.0);
   std::fill(b_.begin(), b_.end(), 2.0);
   std::fill(c_.begin(), c_.end(), 0.0);

@@ -20,10 +20,14 @@ namespace ao::stream {
 /// reported time always comes from the calibrated model via the SoC clock.
 class CpuStream {
  public:
-  /// `elements` per array; the default (2^23 doubles = 64 MiB per array)
-  /// satisfies STREAM's "4x the last-level cache" sizing rule for every
-  /// chip in Table 1.
-  explicit CpuStream(soc::Soc& soc, std::size_t elements = 1u << 23);
+  /// 2^23 doubles = 64 MiB per array satisfies STREAM's "4x the last-level
+  /// cache" sizing rule for every chip in Table 1.
+  static constexpr std::size_t kDefaultElements = 1u << 23;
+
+  /// `elements` per array. The arrays themselves are allocated lazily, on
+  /// the first functional pass — model-only runs (the orchestrator's bulk
+  /// case) never touch host memory.
+  explicit CpuStream(soc::Soc& soc, std::size_t elements = kDefaultElements);
 
   /// One configuration: `threads` OpenMP threads, `repetitions` passes of
   /// the four-kernel sequence.
@@ -44,6 +48,7 @@ class CpuStream {
 
  private:
   void kernel_pass(soc::StreamKernel kernel, int threads, bool functional);
+  void ensure_arrays();
 
   soc::Soc* soc_;
   soc::PerfModel perf_;

@@ -14,10 +14,13 @@ namespace ao::stream {
 /// command buffers; 20 repetitions, maximum bandwidth kept.
 class GpuStream {
  public:
+  /// 2^25 floats = 128 MiB per array, large enough to amortize launch
+  /// overhead below 2%.
+  static constexpr std::size_t kDefaultElements = 1u << 25;
+
   /// Allocates three FP32 device buffers of `elements` each in shared
-  /// storage (zero-copy visible to CPU for validation). Default 2^25 floats
-  /// = 128 MiB per array, large enough to amortize launch overhead below 2%.
-  GpuStream(metal::Device& device, std::size_t elements = 1u << 25);
+  /// storage (zero-copy visible to CPU for validation).
+  GpuStream(metal::Device& device, std::size_t elements = kDefaultElements);
 
   /// Runs `repetitions` of the four-kernel sequence.
   RunResult run(int repetitions, bool functional = false);
@@ -32,10 +35,12 @@ class GpuStream {
 
  private:
   void encode_kernel(soc::StreamKernel kernel, bool functional);
+  void ensure_filled();
 
   metal::Device* device_;
   metal::CommandQueuePtr queue_;
   std::size_t elements_;
+  bool filled_ = false;
   metal::BufferPtr a_;
   metal::BufferPtr b_;
   metal::BufferPtr c_;

@@ -17,12 +17,16 @@ struct KernelResult {
   double best_gbs = 0.0;      ///< max over repetitions
   double avg_gbs = 0.0;
   double min_time_ns = 0.0;
+
+  bool operator==(const KernelResult&) const = default;
 };
 
 /// One full run: all four kernels.
 struct RunResult {
   std::array<KernelResult, 4> kernels{};
   int threads = 1;  ///< CPU only; 0 for GPU
+
+  bool operator==(const RunResult&) const = default;
 
   const KernelResult& of(soc::StreamKernel k) const {
     return kernels[static_cast<std::size_t>(k)];

@@ -1,0 +1,33 @@
+#include "util/hex.hpp"
+
+namespace ao::util {
+
+std::string to_hex_u64(std::uint64_t value) {
+  constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  do {
+    out.insert(out.begin(), kDigits[value & 0xf]);
+    value >>= 4;
+  } while (value != 0);
+  return out;
+}
+
+bool parse_hex_u64(const std::string& token, std::uint64_t& value) {
+  if (token.empty() || token.size() > 16) {
+    return false;
+  }
+  value = 0;
+  for (const char c : token) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ao::util

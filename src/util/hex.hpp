@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ao::util {
+
+/// Lowercase hex of a 64-bit value, no leading zeros ("0" for zero) — the
+/// token encoding of the orchestrator's on-disk result-cache store.
+std::string to_hex_u64(std::uint64_t value);
+
+/// Parses a token written by to_hex_u64(): 1-16 lowercase hex digits.
+/// Returns false (leaving `value` unspecified) on anything else.
+bool parse_hex_u64(const std::string& token, std::uint64_t& value);
+
+}  // namespace ao::util

@@ -48,6 +48,8 @@ class SampleSet {
   /// Linear-interpolated percentile, p in [0, 100].
   double percentile(double p) const;
 
+  bool operator==(const SampleSet&) const = default;
+
  private:
   std::vector<double> values_;
 };

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -10,8 +14,10 @@
 #include "harness/matrix_workload.hpp"
 #include "orchestrator/campaign.hpp"
 #include "orchestrator/job.hpp"
+#include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
+#include "stream/cpu_stream.hpp"
 #include "util/error.hpp"
 
 namespace ao::orchestrator {
@@ -97,12 +103,28 @@ harness::GemmMeasurement measurement_stub(std::size_t n) {
   return m;
 }
 
+CacheKey gemm_key(soc::ChipModel chip, soc::GemmImpl impl, std::size_t n,
+                  std::uint64_t options_fp) {
+  CacheKey key;
+  key.kind = JobKind::kGemmMeasure;
+  key.chip = chip;
+  key.impl = impl;
+  key.n = n;
+  key.options_fingerprint = options_fp;
+  return key;
+}
+
+const harness::GemmMeasurement& as_gemm(
+    const std::optional<MeasurementRecord>& record) {
+  return std::get<harness::GemmMeasurement>(record.value());
+}
+
 TEST(ResultCache, HitMissAndLruEviction) {
   ResultCache cache(2);
   const std::uint64_t fp = 1;
-  const CacheKey k1{soc::ChipModel::kM1, soc::GemmImpl::kGpuMps, 64, fp};
-  const CacheKey k2{soc::ChipModel::kM1, soc::GemmImpl::kGpuMps, 128, fp};
-  const CacheKey k3{soc::ChipModel::kM2, soc::GemmImpl::kGpuMps, 64, fp};
+  const CacheKey k1 = gemm_key(soc::ChipModel::kM1, soc::GemmImpl::kGpuMps, 64, fp);
+  const CacheKey k2 = gemm_key(soc::ChipModel::kM1, soc::GemmImpl::kGpuMps, 128, fp);
+  const CacheKey k3 = gemm_key(soc::ChipModel::kM2, soc::GemmImpl::kGpuMps, 64, fp);
 
   EXPECT_FALSE(cache.lookup(k1).has_value());
   cache.insert(k1, measurement_stub(64));
@@ -122,7 +144,7 @@ TEST(ResultCache, HitMissAndLruEviction) {
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
-  EXPECT_EQ(cache.lookup(k1)->n, 64u);
+  EXPECT_EQ(as_gemm(cache.lookup(k1)).n, 64u);
 }
 
 TEST(ResultCache, OptionsFingerprintCoversMeasurementIdentity) {
@@ -145,6 +167,287 @@ TEST(ResultCache, OptionsFingerprintCoversMeasurementIdentity) {
   auto power = base;
   power.use_powermetrics = false;
   EXPECT_NE(fp, options_fingerprint(power));
+}
+
+// ------------------------------------------------------- disk persistence --
+
+std::string temp_store(const std::string& name) {
+  const auto path =
+      std::filesystem::temp_directory_path() / ("ao_test_" + name + ".aocache");
+  std::remove(path.string().c_str());
+  return path.string();
+}
+
+StreamRecord stream_stub(soc::ChipModel chip, bool gpu) {
+  StreamRecord r;
+  r.chip = chip;
+  r.gpu = gpu;
+  r.run.threads = gpu ? 0 : 4;
+  for (std::size_t k = 0; k < 4; ++k) {
+    r.run.kernels[k].kernel = soc::kAllStreamKernels[k];
+    r.run.kernels[k].bytes_per_pass = 1000 + k;
+    r.run.kernels[k].best_gbs = 100.5 + static_cast<double>(k);
+    r.run.kernels[k].avg_gbs = 90.25 + static_cast<double>(k);
+    r.run.kernels[k].min_time_ns = 1e6 / (k + 1);
+  }
+  return r;
+}
+
+PrecisionRecord precision_stub() {
+  PrecisionRecord r;
+  r.chip = soc::ChipModel::kM3;
+  r.n = 64;
+  r.seed = 7;
+  precision::StudyResult row;
+  row.format = precision::Format::kFp16;
+  row.n = 64;
+  row.max_abs_error = 0.125;
+  row.mean_abs_error = 0.03125;
+  row.significant_digits = 3.5;
+  row.modeled_gflops = 4321.0;
+  row.executing_unit = "GPU/ANE (FP16)";
+  r.rows.push_back(row);
+  return r;
+}
+
+AneRecord ane_stub() {
+  AneRecord r;
+  r.chip = soc::ChipModel::kM4;
+  r.m = 64;
+  r.n = 64;
+  r.k = 64;
+  r.target = ane::DispatchTarget::kNeuralEngine;
+  r.duration_ns = 123456.5;
+  r.gflops = 9300.0;
+  r.gflops_per_watt = 2200.0;
+  r.mean_output = 16.02;
+  return r;
+}
+
+PowerRecord power_stub() {
+  PowerRecord r;
+  r.chip = soc::ChipModel::kM2;
+  r.sample.window_seconds = 1.0;
+  r.sample.cpu_mw = 95.5;
+  r.sample.gpu_mw = 10.25;
+  r.sample.ane_mw = 1.5;
+  r.sample.dram_mw = 30.0;
+  r.sample.combined_mw = 107.25;
+  return r;
+}
+
+/// One key per record family, as key_for_job would build them.
+std::map<std::string, std::pair<CacheKey, MeasurementRecord>> sample_entries() {
+  std::map<std::string, std::pair<CacheKey, MeasurementRecord>> entries;
+  harness::GemmMeasurement m = measurement_stub(64);
+  m.chip = soc::ChipModel::kM1;
+  m.impl = soc::GemmImpl::kGpuMps;
+  m.time_ns.add(1.5e6);
+  m.time_ns.add(2.5e6);
+  m.functional = true;
+  m.verified = true;
+  m.max_error = 1.25e-4f;
+  entries["gemm"] = {gemm_key(m.chip, m.impl, 64, 42), m};
+
+  ExperimentJob stream_job;
+  stream_job.kind = JobKind::kStream;
+  stream_job.chip = soc::ChipModel::kM2;
+  stream_job.stream_threads = 4;
+  entries["stream"] = {key_for_job(stream_job, 0),
+                       stream_stub(soc::ChipModel::kM2, false)};
+
+  ExperimentJob gpu_job;
+  gpu_job.kind = JobKind::kGpuStream;
+  gpu_job.chip = soc::ChipModel::kM2;
+  entries["gpu-stream"] = {key_for_job(gpu_job, 0),
+                           stream_stub(soc::ChipModel::kM2, true)};
+
+  ExperimentJob study_job;
+  study_job.kind = JobKind::kPrecisionStudy;
+  study_job.chip = soc::ChipModel::kM3;
+  study_job.n = 64;
+  study_job.study_seed = 7;
+  entries["precision"] = {key_for_job(study_job, 0), precision_stub()};
+
+  ExperimentJob ane_job;
+  ane_job.kind = JobKind::kAneInference;
+  ane_job.chip = soc::ChipModel::kM4;
+  ane_job.n = 64;
+  entries["ane"] = {key_for_job(ane_job, 0), ane_stub()};
+
+  ExperimentJob power_job;
+  power_job.kind = JobKind::kPowerIdle;
+  power_job.chip = soc::ChipModel::kM2;
+  entries["power"] = {key_for_job(power_job, 0), power_stub()};
+  return entries;
+}
+
+TEST(MeasurementRecord, SerializationRoundTripsEveryKind) {
+  for (const auto& [name, entry] : sample_entries()) {
+    const auto round_tripped = deserialize_record(serialize_record(entry.second));
+    ASSERT_TRUE(round_tripped.has_value()) << name;
+    EXPECT_EQ(record_kind(*round_tripped), record_kind(entry.second)) << name;
+    EXPECT_TRUE(*round_tripped == entry.second) << name;
+  }
+}
+
+TEST(ResultCachePersistence, SaveLoadRoundTripHitsEveryKind) {
+  const std::string path = temp_store("round_trip");
+  const auto entries = sample_entries();
+
+  ResultCache cache;
+  for (const auto& [name, entry] : entries) {
+    cache.insert(entry.first, entry.second);
+  }
+  EXPECT_EQ(cache.save(path), entries.size());
+
+  ResultCache cold;  // a separate process's cold in-memory cache
+  EXPECT_EQ(cold.load(path), entries.size());
+  EXPECT_EQ(cold.size(), entries.size());
+  for (const auto& [name, entry] : entries) {
+    const auto hit = cold.lookup(entry.first);
+    ASSERT_TRUE(hit.has_value()) << name;
+    EXPECT_TRUE(*hit == entry.second) << name;
+  }
+  EXPECT_EQ(cold.stats().loaded, entries.size());
+  EXPECT_EQ(cold.stats().load_rejected, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, WriteThroughAppendsEachInsertion) {
+  const std::string path = temp_store("write_through");
+  const auto entries = sample_entries();
+  {
+    ResultCache cache;
+    cache.persist_to(path);
+    std::size_t inserted = 0;
+    for (const auto& [name, entry] : entries) {
+      cache.insert(entry.first, entry.second);
+      ++inserted;
+      // Every insertion is already on disk — a crash loses nothing.
+      ResultCache probe;
+      EXPECT_EQ(probe.load(path), inserted) << name;
+    }
+  }
+  ResultCache cold;
+  EXPECT_EQ(cold.load(path), entries.size());
+  // Warm-then-persist across a third process keeps the store coherent.
+  cold.persist_to(path);
+  ExperimentJob extra;
+  extra.kind = JobKind::kPowerIdle;
+  extra.chip = soc::ChipModel::kM4;
+  cold.insert(key_for_job(extra, 0), power_stub());
+  ResultCache final_probe;
+  EXPECT_EQ(final_probe.load(path), entries.size() + 1);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, SaveOntoActivePathCompactsAndKeepsAppending) {
+  const std::string path = temp_store("compact");
+  ResultCache cache;
+  cache.persist_to(path);
+  const auto entries = sample_entries();
+  const auto& gemm_entry = entries.at("gemm");
+  // Insert the same key twice: the write-through log now holds a duplicate.
+  cache.insert(gemm_entry.first, gemm_entry.second);
+  cache.insert(gemm_entry.first, gemm_entry.second);
+  // save() onto the active path compacts the store...
+  EXPECT_EQ(cache.save(path), 1u);
+  // ...and the append stream must follow the new file, not the old inode.
+  cache.insert(entries.at("power").first, entries.at("power").second);
+  ResultCache cold;
+  EXPECT_EQ(cold.load(path), 2u);
+  EXPECT_TRUE(cold.contains(gemm_entry.first));
+  EXPECT_TRUE(cold.contains(entries.at("power").first));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, StreamKeyNormalizesTheDefaultElementsSentinel) {
+  ExperimentJob implicit_default;
+  implicit_default.kind = JobKind::kStream;
+  implicit_default.stream_threads = 4;
+  auto explicit_default = implicit_default;
+  explicit_default.stream_elements = stream::CpuStream::kDefaultElements;
+  // 0 means "module default": both describe the identical measurement.
+  EXPECT_TRUE(key_for_job(implicit_default, 0) ==
+              key_for_job(explicit_default, 0));
+}
+
+TEST(ResultCachePersistence, AneKeyCoversOperandSeed) {
+  ExperimentJob job;
+  job.kind = JobKind::kAneInference;
+  job.chip = soc::ChipModel::kM1;
+  job.n = 64;
+  auto reseeded = job;
+  reseeded.study_seed = job.study_seed + 1;
+  // mean_output depends on the operand seed, so the keys must differ.
+  EXPECT_FALSE(key_for_job(job, 0) == key_for_job(reseeded, 0));
+}
+
+TEST(ResultCachePersistence, VersionMismatchRejectsWholeFile) {
+  const std::string path = temp_store("version_mismatch");
+  ResultCache cache;
+  const auto entries = sample_entries();
+  for (const auto& [name, entry] : entries) {
+    cache.insert(entry.first, entry.second);
+  }
+  cache.save(path);
+
+  // Rewrite the header to a future version; every entry line stays intact.
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  const auto newline = content.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  std::ofstream out(path, std::ios::trunc);
+  out << "ao-result-cache v999" << content.substr(newline);
+  out.close();
+
+  ResultCache cold;
+  EXPECT_EQ(cold.load(path), 0u);
+  EXPECT_EQ(cold.size(), 0u);
+  EXPECT_EQ(cold.stats().load_rejected, 1u);
+  // And write-through refuses to append to it.
+  EXPECT_THROW(cold.persist_to(path), util::Error);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, CorruptEntriesAreSkippedNotFatal) {
+  const std::string path = temp_store("corruption");
+  const auto entries = sample_entries();
+  {
+    ResultCache cache;
+    for (const auto& [name, entry] : entries) {
+      cache.insert(entry.first, entry.second);
+    }
+    cache.save(path);
+  }
+  // Flip a byte inside the second entry, append a garbage line and a
+  // truncated entry (a write-through run killed mid-append).
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  in.close();
+  ASSERT_GE(lines.size(), 3u);
+  lines[2][lines[2].size() / 2] ^= 0x1;
+  std::ofstream out(path, std::ios::trunc);
+  for (const auto& l : lines) {
+    out << l << '\n';
+  }
+  out << "not an entry at all\n";
+  out << lines[1].substr(0, lines[1].size() / 2);  // no trailing newline
+  out.close();
+
+  ResultCache cold;
+  // All but the flipped entry load (the truncated tail re-adds a duplicate
+  // prefix that fails its digest).
+  EXPECT_EQ(cold.load(path), entries.size() - 1);
+  EXPECT_EQ(cold.stats().load_rejected, 3u);
+  std::remove(path.c_str());
 }
 
 // ------------------------------------------------- system + batch leasing --
@@ -402,6 +705,127 @@ TEST(Campaign, CacheKeyedOnOptionsNotJustThePoint) {
   const auto second = campaign.run();
   EXPECT_EQ(second.stats.cache_hits, 0u);
   EXPECT_EQ(cache.size(), 2u);
+}
+
+// ------------------------------------------- multi-kind campaigns + disk ---
+
+/// A small campaign exercising every JobKind: GEMM measure + verify at a
+/// functional size, CPU STREAM at two thread counts, GPU STREAM, a
+/// precision study, an ANE dispatch, and an idle power sample.
+Campaign seven_kind_campaign() {
+  harness::GemmExperiment::Options opts;
+  opts.repetitions = 2;
+  Campaign campaign;
+  campaign.chips({soc::ChipModel::kM1, soc::ChipModel::kM3})
+      .impls({soc::GemmImpl::kCpuSingle, soc::GemmImpl::kGpuMps})
+      .sizes({64})
+      .options(opts)
+      .stream_sweep({1, 2}, /*repetitions=*/2, /*elements=*/1u << 10)
+      .gpu_stream(/*repetitions=*/2, /*elements=*/1u << 10)
+      .precision_study({32}, /*seed=*/5)
+      .ane_inference({64})
+      .power_idle(0.25)
+      .concurrency(4);
+  return campaign;
+}
+
+TEST(Campaign, SchedulesEveryJobKindAndProducesTypedRecords) {
+  Campaign campaign = seven_kind_campaign();
+
+  // The expansion covers all seven kinds.
+  JobQueue queue;
+  campaign.expand(queue);
+  std::map<JobKind, std::size_t> kinds;
+  for (const auto& job : queue.jobs()) {
+    ++kinds[job.kind];
+  }
+  EXPECT_EQ(kinds.size(), 7u);
+  EXPECT_EQ(queue.jobs().size(), campaign.job_count());
+
+  const auto result = campaign.run();
+  EXPECT_EQ(result.gemm.size(), 4u);  // 2 chips x 2 impls
+  ASSERT_EQ(result.stream.size(), 6u);  // 2 chips x (2 cpu + 1 gpu)
+  ASSERT_EQ(result.precision.size(), 2u);
+  ASSERT_EQ(result.ane.size(), 2u);
+  ASSERT_EQ(result.power.size(), 2u);
+
+  std::size_t gpu_points = 0;
+  for (const auto& point : result.stream) {
+    EXPECT_GT(point.run.best_overall_gbs(), 0.0);
+    if (point.gpu) {
+      ++gpu_points;
+      EXPECT_EQ(point.run.threads, 0);
+    }
+  }
+  EXPECT_EQ(gpu_points, 2u);
+
+  for (const auto& study : result.precision) {
+    ASSERT_EQ(study.rows.size(), 4u);  // FP64, FP64-emu, FP32, FP16
+    EXPECT_EQ(study.n, 32u);
+    EXPECT_EQ(study.seed, 5u);
+    EXPECT_GT(study.rows.back().modeled_gflops, 0.0);
+  }
+
+  for (const auto& r : result.ane) {
+    // 64 is ANE-compatible (multiple of 16), so the plan keeps it on-engine;
+    // uniform [0,1) operands make the expected mean element ~k/4.
+    EXPECT_EQ(r.target, ane::DispatchTarget::kNeuralEngine);
+    EXPECT_NEAR(r.mean_output, 16.0, 1.0);
+    EXPECT_GT(r.gflops, 0.0);
+    EXPECT_GT(r.gflops_per_watt, 0.0);
+  }
+}
+
+TEST(Campaign, AneIncompatibleShapeFallsBackToGpu) {
+  Campaign campaign;
+  campaign.chips({soc::ChipModel::kM2})
+      .impls({})
+      .sizes({})
+      .ane_inference({40})  // not a multiple of 16
+      .concurrency(1);
+  const auto result = campaign.run();
+  ASSERT_EQ(result.ane.size(), 1u);
+  EXPECT_EQ(result.ane.front().target, ane::DispatchTarget::kGpu);
+  EXPECT_NEAR(result.ane.front().mean_output, 10.0, 1.0);
+}
+
+// The ISSUE's acceptance sweep: a campaign mixing all seven JobKinds runs
+// twice in (simulated) separate processes — a cold in-memory cache warmed
+// only from the disk store serves every repeated point of the second run.
+TEST(Campaign, SevenKindCampaignRepeatsAcrossProcessesViaDiskStore) {
+  const std::string path = temp_store("seven_kinds");
+
+  Campaign campaign = seven_kind_campaign();
+  CampaignResult first;
+  {
+    ResultCache cache;  // process 1
+    cache.persist_to(path);
+    campaign.cache(&cache);
+    first = campaign.run();
+    EXPECT_EQ(first.stats.cache_hits, 0u);
+  }
+
+  ResultCache cold;  // process 2: cold in-memory cache
+  EXPECT_GT(cold.load(path), 0u);
+  EXPECT_EQ(cold.stats().hits, 0u);
+  campaign.cache(&cold);
+  const auto second = campaign.run();
+
+  // Every cacheable job (all but the verifications) is served from disk.
+  EXPECT_EQ(second.stats.cache_hits,
+            first.stats.jobs_executed - first.stats.verifications);
+  EXPECT_GT(second.stats.cache_hits, 0u);
+  EXPECT_EQ(second.stats.jobs_executed, 0u);
+  EXPECT_EQ(second.stats.batches_allocated, 0u);
+  EXPECT_EQ(second.stats.systems_built, 0u);
+
+  // And the records are bit-identical to the first process's.
+  EXPECT_EQ(first.gemm, second.gemm);
+  EXPECT_EQ(first.stream, second.stream);
+  EXPECT_EQ(first.precision, second.precision);
+  EXPECT_EQ(first.ane, second.ane);
+  EXPECT_EQ(first.power, second.power);
+  std::remove(path.c_str());
 }
 
 }  // namespace

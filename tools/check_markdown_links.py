@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Checks that relative links in Markdown files resolve.
+
+Usage: check_markdown_links.py FILE [FILE...]
+
+For every inline link or image `[text](target)`:
+  - http(s)/mailto targets are skipped (no network in CI);
+  - `path#anchor` targets must name an existing file AND a heading in it
+    whose GitHub-style slug matches the anchor;
+  - bare `#anchor` targets are checked against the current file's headings;
+  - plain paths must exist relative to the linking file.
+
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, punctuation dropped."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    text = CODE_FENCE.sub("", md.read_text(encoding="utf-8"))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = md if not path_part else (md.parent / path_part).resolve()
+        if not dest.exists():
+            errors.append(f"{md}: broken link -> {target} (no such file)")
+            continue
+        if anchor and dest.suffix.lower() in (".md", ".markdown"):
+            if github_slug(anchor) not in anchors_of(dest):
+                errors.append(f"{md}: broken anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    all_errors = []
+    for name in sys.argv[1:]:
+        md = Path(name)
+        if not md.exists():
+            all_errors.append(f"{md}: file not found")
+            continue
+        all_errors.extend(check_file(md))
+    for error in all_errors:
+        print(error)
+    if not all_errors:
+        print(f"OK: {len(sys.argv) - 1} files, all relative links resolve")
+        return 0
+    print(f"{len(all_errors)} broken links")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
