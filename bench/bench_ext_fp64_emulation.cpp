@@ -13,7 +13,6 @@
 #include "core/system.hpp"
 #include "fp64emu/double_single.hpp"
 #include "fp64emu/gemm_fp64_shader.hpp"
-#include "metal/compute_command_encoder.hpp"
 #include "soc/perf_model.hpp"
 #include "util/rng.hpp"
 #include "util/table_printer.hpp"
@@ -45,37 +44,8 @@ AccuracyResult measure_accuracy(core::System& system, std::uint32_t n) {
   }
 
   // Emulated-FP64 GPU run.
-  auto& device = system.device();
-  const std::size_t bytes = a.size() * sizeof(float);
-  auto mk = [&] { return device.new_buffer(bytes, mem::StorageMode::kShared); };
-  auto a_hi = mk(), a_lo = mk(), b_hi = mk(), b_lo = mk(), c_hi = mk(),
-       c_lo = mk();
-  fp64emu::split_matrix(a.data(), static_cast<float*>(a_hi->contents()),
-                        static_cast<float*>(a_lo->contents()), a.size());
-  fp64emu::split_matrix(b.data(), static_cast<float*>(b_hi->contents()),
-                        static_cast<float*>(b_lo->contents()), b.size());
-
-  auto pipeline =
-      device.new_compute_pipeline_state(fp64emu::make_gemm_fp64_emulated());
-  auto queue = device.new_command_queue();
-  auto cmd = queue->command_buffer();
-  auto enc = cmd->compute_command_encoder();
-  enc->set_compute_pipeline_state(pipeline);
-  metal::Buffer* bufs[] = {a_hi.get(), a_lo.get(), b_hi.get(),
-                           b_lo.get(), c_hi.get(), c_lo.get()};
-  for (std::size_t s = 0; s < 6; ++s) {
-    enc->set_buffer(bufs[s], 0, s);
-  }
-  enc->set_value<std::uint32_t>(n, 6);
-  enc->dispatch_threads({n, n, 1}, {8, 8, 1});
-  enc->end_encoding();
-  cmd->commit();
-  cmd->wait_until_completed();
-
-  std::vector<double> emu(a.size());
-  fp64emu::join_matrix(static_cast<const float*>(c_hi->contents()),
-                       static_cast<const float*>(c_lo->contents()), emu.data(),
-                       emu.size());
+  const std::vector<double> emu =
+      fp64emu::run_emulated_gemm(system.device(), a.data(), b.data(), n);
 
   AccuracyResult r{0.0, 0.0};
   for (std::uint32_t i = 0; i < n; ++i) {

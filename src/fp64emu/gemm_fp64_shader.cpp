@@ -1,6 +1,8 @@
 #include "fp64emu/gemm_fp64_shader.hpp"
 
 #include "fp64emu/double_single.hpp"
+#include "metal/compute_command_encoder.hpp"
+#include "metal/device.hpp"
 
 namespace ao::fp64emu {
 
@@ -58,6 +60,41 @@ void join_matrix(const float* hi, const float* lo, double* dst,
   for (std::size_t i = 0; i < count; ++i) {
     dst[i] = DoubleSingle{hi[i], lo[i]}.to_double();
   }
+}
+
+std::vector<double> run_emulated_gemm(metal::Device& device, const double* a,
+                                      const double* b, std::uint32_t n) {
+  const std::size_t count = static_cast<std::size_t>(n) * n;
+  const std::size_t bytes = count * sizeof(float);
+  auto mk = [&] { return device.new_buffer(bytes, mem::StorageMode::kShared); };
+  auto a_hi = mk(), a_lo = mk(), b_hi = mk(), b_lo = mk(), c_hi = mk(),
+       c_lo = mk();
+  split_matrix(a, static_cast<float*>(a_hi->contents()),
+               static_cast<float*>(a_lo->contents()), count);
+  split_matrix(b, static_cast<float*>(b_hi->contents()),
+               static_cast<float*>(b_lo->contents()), count);
+
+  auto pipeline = device.new_compute_pipeline_state(make_gemm_fp64_emulated());
+  auto queue = device.new_command_queue();
+  auto cmd = queue->command_buffer();
+  auto enc = cmd->compute_command_encoder();
+  enc->set_compute_pipeline_state(pipeline);
+  metal::Buffer* bufs[] = {a_hi.get(), a_lo.get(), b_hi.get(),
+                           b_lo.get(), c_hi.get(), c_lo.get()};
+  for (std::size_t s = 0; s < 6; ++s) {
+    enc->set_buffer(bufs[s], 0, s);
+  }
+  enc->set_value<std::uint32_t>(n, 6);
+  enc->dispatch_threads({n, n, 1}, {8, 8, 1});
+  enc->end_encoding();
+  cmd->commit();
+  cmd->wait_until_completed();
+
+  std::vector<double> result(count);
+  join_matrix(static_cast<const float*>(c_hi->contents()),
+              static_cast<const float*>(c_lo->contents()), result.data(),
+              count);
+  return result;
 }
 
 }  // namespace ao::fp64emu

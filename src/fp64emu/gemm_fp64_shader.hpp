@@ -1,6 +1,13 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "metal/kernel.hpp"
+
+namespace ao::metal {
+class Device;
+}
 
 namespace ao::fp64emu {
 
@@ -27,5 +34,12 @@ void split_matrix(const double* src, float* hi, float* lo, std::size_t count);
 /// Reassembles hi/lo planes into FP64.
 void join_matrix(const float* hi, const float* lo, double* dst,
                  std::size_t count);
+
+/// The whole emulated-FP64 GEMM round trip on `device` for n x n FP64
+/// operands: split into hi/lo planes, dispatch the shader (charging the
+/// simulated GPU), join the product back to FP64. The one dispatch sequence
+/// the X3 bench and the orchestrator's kFp64Emulation executor share.
+std::vector<double> run_emulated_gemm(metal::Device& device, const double* a,
+                                      const double* b, std::uint32_t n);
 
 }  // namespace ao::fp64emu

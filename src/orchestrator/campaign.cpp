@@ -102,6 +102,20 @@ Campaign& Campaign::ane_inference(std::vector<std::size_t> sizes,
   return *this;
 }
 
+Campaign& Campaign::fp64_emulation(std::vector<std::size_t> sizes,
+                                   std::uint64_t seed) {
+  fp64emu_sizes_ = std::move(sizes);
+  fp64emu_seed_ = seed;
+  return *this;
+}
+
+Campaign& Campaign::sme_gemm(std::vector<std::size_t> sizes,
+                             std::uint64_t seed) {
+  sme_sizes_ = std::move(sizes);
+  sme_seed_ = seed;
+  return *this;
+}
+
 Campaign& Campaign::power_idle(double window_seconds) {
   AO_REQUIRE(window_seconds > 0.0, "power window must be positive");
   power_idle_ = true;
@@ -109,8 +123,9 @@ Campaign& Campaign::power_idle(double window_seconds) {
   return *this;
 }
 
-void Campaign::expand(JobQueue& queue) const {
+std::vector<Campaign::JobGroup> Campaign::groups() const {
   AO_REQUIRE(!chips_.empty(), "campaign needs at least one chip");
+  std::vector<JobGroup> out;
   for (const auto chip : chips_) {
     for (const std::size_t n : sizes_) {
       for (const auto impl : impls_) {
@@ -127,8 +142,8 @@ void Campaign::expand(JobQueue& queue) const {
         measure.n = n;
         measure.expects_verify = harness::functional_at(options_, impl, n) &&
                                  n <= options_.verify_n_max;
-        const JobId measure_id = queue.push(measure);
-
+        JobGroup group;
+        group.jobs.push_back(measure);
         if (measure.expects_verify) {
           ExperimentJob verify;
           verify.kind = JobKind::kGemmVerify;
@@ -136,9 +151,9 @@ void Campaign::expand(JobQueue& queue) const {
           verify.chip = chip;
           verify.impl = impl;
           verify.n = n;
-          verify.parent = measure_id;
-          queue.push(verify, {measure_id});
+          group.jobs.push_back(verify);
         }
+        out.push_back(std::move(group));
       }
     }
     for (const int threads : stream_thread_counts_) {
@@ -148,7 +163,7 @@ void Campaign::expand(JobQueue& queue) const {
       job.stream_threads = threads;
       job.stream_repetitions = stream_repetitions_;
       job.stream_elements = stream_elements_;
-      queue.push(job);
+      out.push_back({{job}});
     }
     if (gpu_stream_) {
       ExperimentJob job;
@@ -156,7 +171,7 @@ void Campaign::expand(JobQueue& queue) const {
       job.chip = chip;
       job.stream_repetitions = gpu_stream_repetitions_;
       job.stream_elements = gpu_stream_elements_;
-      queue.push(job);
+      out.push_back({{job}});
     }
     for (const std::size_t n : precision_sizes_) {
       ExperimentJob job;
@@ -164,7 +179,7 @@ void Campaign::expand(JobQueue& queue) const {
       job.chip = chip;
       job.n = n;
       job.study_seed = precision_seed_;
-      queue.push(job);
+      out.push_back({{job}});
     }
     for (const std::size_t n : ane_sizes_) {
       ExperimentJob job;
@@ -172,38 +187,69 @@ void Campaign::expand(JobQueue& queue) const {
       job.chip = chip;
       job.n = n;
       job.ane_functional = ane_functional_;
-      queue.push(job);
+      out.push_back({{job}});
+    }
+    for (const std::size_t n : fp64emu_sizes_) {
+      ExperimentJob job;
+      job.kind = JobKind::kFp64Emulation;
+      job.chip = chip;
+      job.n = n;
+      job.study_seed = fp64emu_seed_;
+      out.push_back({{job}});
+    }
+    for (const std::size_t n : sme_sizes_) {
+      ExperimentJob job;
+      job.kind = JobKind::kSmeGemm;
+      job.chip = chip;
+      job.n = n;
+      job.study_seed = sme_seed_;
+      out.push_back({{job}});
     }
     if (power_idle_) {
       ExperimentJob job;
       job.kind = JobKind::kPowerIdle;
       job.chip = chip;
       job.power_window_seconds = power_window_seconds_;
-      queue.push(job);
+      out.push_back({{job}});
     }
+  }
+  return out;
+}
+
+namespace {
+
+void push_group(JobQueue& queue, const Campaign::JobGroup& group) {
+  const JobId root = queue.push(group.jobs.front());
+  for (std::size_t i = 1; i < group.jobs.size(); ++i) {
+    ExperimentJob dependent = group.jobs[i];
+    dependent.parent = root;
+    queue.push(dependent, {root});
+  }
+}
+
+}  // namespace
+
+void Campaign::expand(JobQueue& queue) const {
+  for (const JobGroup& group : groups()) {
+    push_group(queue, group);
+  }
+}
+
+void Campaign::expand_subset(
+    JobQueue& queue, const std::vector<std::size_t>& group_indices) const {
+  const auto all = groups();
+  for (const std::size_t index : group_indices) {
+    AO_REQUIRE(index < all.size(), "shard group index out of range");
+    push_group(queue, all[index]);
   }
 }
 
 std::size_t Campaign::job_count() const {
   std::size_t count = 0;
-  for (const std::size_t n : sizes_) {
-    for (const auto impl : impls_) {
-      if (harness::paper_skips(impl, n)) {
-        continue;
-      }
-      ++count;
-      if (harness::functional_at(options_, impl, n) &&
-          n <= options_.verify_n_max) {
-        ++count;
-      }
-    }
+  for (const JobGroup& group : groups()) {
+    count += group.jobs.size();
   }
-  count += stream_thread_counts_.size();
-  count += gpu_stream_ ? 1 : 0;
-  count += precision_sizes_.size();
-  count += ane_sizes_.size();
-  count += power_idle_ ? 1 : 0;
-  return count * chips_.size();
+  return count;
 }
 
 CampaignResult Campaign::run() {
@@ -221,6 +267,8 @@ CampaignResult Campaign::run() {
   result.precision = std::move(outputs.precision);
   result.ane = std::move(outputs.ane);
   result.power = std::move(outputs.power);
+  result.fp64emu = std::move(outputs.fp64emu);
+  result.sme = std::move(outputs.sme);
   result.stats = outputs.stats;
   return result;
 }

@@ -18,6 +18,8 @@ struct CampaignResult {
   std::vector<PrecisionRecord> precision;
   std::vector<AneRecord> ane;
   std::vector<PowerRecord> power;
+  std::vector<Fp64EmuRecord> fp64emu;
+  std::vector<SmeRecord> sme;
   CampaignStats stats;
 
   /// Re-orders the GEMM measurements into the serial suite's historical row
@@ -76,12 +78,37 @@ class Campaign {
   /// spot-check); keep sizes modest.
   Campaign& ane_inference(std::vector<std::size_t> sizes,
                           bool functional = true);
+  /// Adds one double-single FP64-emulation GEMM study job per (chip, size);
+  /// functional on the simulated GPU, so keep sizes modest.
+  Campaign& fp64_emulation(std::vector<std::size_t> sizes,
+                           std::uint64_t seed = 41);
+  /// Adds one SME-vs-AMX GEMM job per (chip, size).
+  Campaign& sme_gemm(std::vector<std::size_t> sizes, std::uint64_t seed = 77);
   /// Adds one idle-floor power job per chip.
   Campaign& power_idle(double window_seconds = 1.0);
+
+  /// One independently schedulable unit of the sweep: a measurement job
+  /// plus the jobs that depend on it (today: its verify job). Groups are the
+  /// granularity campaigns shard at — no dependency edge ever crosses a
+  /// group, so any subset of groups is a self-contained job graph.
+  struct JobGroup {
+    std::vector<ExperimentJob> jobs;  ///< jobs[0] is the root; the rest
+                                      ///< depend on it
+  };
+
+  /// The sweep as an ordered group list. The order (and so each group's
+  /// index) is deterministic for a given campaign description — shard plans
+  /// built by one process address the same groups in another.
+  std::vector<JobGroup> groups() const;
 
   /// Expands the sweep into `queue`. Exposed for tests and custom
   /// schedulers; run() does this internally.
   void expand(JobQueue& queue) const;
+
+  /// Expands only the named groups (indices into groups()) — the shard-
+  /// subset form the campaign service's workers run.
+  void expand_subset(JobQueue& queue,
+                     const std::vector<std::size_t>& group_indices) const;
 
   /// Number of jobs expand() would push.
   std::size_t job_count() const;
@@ -108,6 +135,10 @@ class Campaign {
   std::uint64_t precision_seed_ = 99;
   std::vector<std::size_t> ane_sizes_;
   bool ane_functional_ = true;
+  std::vector<std::size_t> fp64emu_sizes_;
+  std::uint64_t fp64emu_seed_ = 41;
+  std::vector<std::size_t> sme_sizes_;
+  std::uint64_t sme_seed_ = 77;
   bool power_idle_ = false;
   double power_window_seconds_ = 1.0;
 };

@@ -20,6 +20,10 @@ std::string to_string(JobKind kind) {
       return "precision-study";
     case JobKind::kAneInference:
       return "ane-inference";
+    case JobKind::kFp64Emulation:
+      return "fp64-emulation";
+    case JobKind::kSmeGemm:
+      return "sme-gemm";
   }
   throw util::InvalidArgument("unknown JobKind");
 }

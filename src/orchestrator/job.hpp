@@ -30,7 +30,13 @@ enum class JobKind {
   kGpuStream,       ///< one GPU STREAM run (Figure 1's MSL port)
   kPrecisionStudy,  ///< one mixed-precision GEMM accuracy study at size n
   kAneInference,    ///< one Core ML FP16 GEMM dispatch (ANE or fallback)
+  kFp64Emulation,   ///< one double-single FP64 GEMM study on the GPU at size n
+  kSmeGemm,         ///< one SME FMOPA GEMM vs the AMX reference at size n
 };
+
+/// Number of JobKind enumerators (the enum is dense from 0).
+inline constexpr std::size_t kJobKindCount =
+    static_cast<std::size_t>(JobKind::kSmeGemm) + 1;
 
 std::string to_string(JobKind kind);
 
@@ -71,7 +77,9 @@ struct ExperimentJob {
   /// Power payload (kPowerIdle).
   double power_window_seconds = 1.0;
 
-  /// Precision payload (kPrecisionStudy): operand seed (size is `n`).
+  /// Operand seed for the kinds that generate their own matrices
+  /// (kPrecisionStudy, kAneInference, kFp64Emulation, kSmeGemm); the size of
+  /// all four is `n`.
   std::uint64_t study_seed = 99;
 
   /// ANE payload (kAneInference): an ane_m x n x ane_k FP16 GEMM through the

@@ -214,6 +214,26 @@ void write_power(std::ostringstream& out, const PowerRecord& r) {
   put_double(out, r.sample.combined_mw);
 }
 
+void write_fp64emu(std::ostringstream& out, const Fp64EmuRecord& r) {
+  put_u64(out, static_cast<std::uint64_t>(r.chip));
+  put_u64(out, r.n);
+  put_u64(out, r.seed);
+  put_double(out, r.emu_max_abs_error);
+  put_double(out, r.fp32_max_abs_error);
+  put_double(out, r.emulated_gflops);
+  put_double(out, r.fp32_gflops);
+}
+
+void write_sme(std::ostringstream& out, const SmeRecord& r) {
+  put_u64(out, static_cast<std::uint64_t>(r.chip));
+  put_u64(out, r.n);
+  put_u64(out, r.seed);
+  put_double(out, r.max_abs_diff);
+  put_u64(out, r.matches_amx ? 1 : 0);
+  put_double(out, r.mean_output);
+  put_double(out, r.modeled_gflops);
+}
+
 // ------------------------------------------------------------- readers -----
 
 std::optional<MeasurementRecord> read_gemm(TokenReader& in) {
@@ -319,6 +339,36 @@ std::optional<MeasurementRecord> read_power(TokenReader& in) {
   return r;
 }
 
+std::optional<MeasurementRecord> read_fp64emu(TokenReader& in) {
+  Fp64EmuRecord r;
+  r.chip = in.enumerator<soc::ChipModel>(kMaxChip);
+  r.n = in.size();
+  r.seed = in.u64();
+  r.emu_max_abs_error = in.dbl();
+  r.fp32_max_abs_error = in.dbl();
+  r.emulated_gflops = in.dbl();
+  r.fp32_gflops = in.dbl();
+  if (!in.exhausted()) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+std::optional<MeasurementRecord> read_sme(TokenReader& in) {
+  SmeRecord r;
+  r.chip = in.enumerator<soc::ChipModel>(kMaxChip);
+  r.n = in.size();
+  r.seed = in.u64();
+  r.max_abs_diff = in.dbl();
+  r.matches_amx = in.boolean();
+  r.mean_output = in.dbl();
+  r.modeled_gflops = in.dbl();
+  if (!in.exhausted()) {
+    return std::nullopt;
+  }
+  return r;
+}
+
 }  // namespace
 
 RecordKind record_kind(const MeasurementRecord& record) {
@@ -337,6 +387,10 @@ std::string to_string(RecordKind kind) {
       return "ane";
     case RecordKind::kPower:
       return "power";
+    case RecordKind::kFp64Emu:
+      return "fp64emu";
+    case RecordKind::kSme:
+      return "sme";
   }
   throw util::InvalidArgument("unknown RecordKind");
 }
@@ -355,8 +409,12 @@ std::string serialize_record(const MeasurementRecord& record) {
           write_precision(out, value);
         } else if constexpr (std::is_same_v<T, AneRecord>) {
           write_ane(out, value);
-        } else {
+        } else if constexpr (std::is_same_v<T, PowerRecord>) {
           write_power(out, value);
+        } else if constexpr (std::is_same_v<T, Fp64EmuRecord>) {
+          write_fp64emu(out, value);
+        } else {
+          write_sme(out, value);
         }
       },
       record);
@@ -380,6 +438,10 @@ std::optional<MeasurementRecord> deserialize_record(const std::string& tokens) {
     record = read_ane(in);
   } else if (tag == "power") {
     record = read_power(in);
+  } else if (tag == "fp64emu") {
+    record = read_fp64emu(in);
+  } else if (tag == "sme") {
+    record = read_sme(in);
   } else {
     return std::nullopt;
   }

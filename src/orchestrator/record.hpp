@@ -60,12 +60,43 @@ struct PowerRecord {
   bool operator==(const PowerRecord&) const = default;
 };
 
+/// One emulated-FP64 GEMM study produced by a kFp64Emulation job: the
+/// double-single shader's accuracy against an FP64 reference at size n, and
+/// the modeled throughput cost of the emulation (the paper's Section 1/7
+/// "can be emulated" extension study).
+struct Fp64EmuRecord {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  std::size_t n = 0;
+  std::uint64_t seed = 0;
+  double emu_max_abs_error = 0.0;   ///< double-single shader vs FP64 host
+  double fp32_max_abs_error = 0.0;  ///< plain FP32 accumulation vs FP64 host
+  double emulated_gflops = 0.0;     ///< effective FP64-emulated rate (modeled)
+  double fp32_gflops = 0.0;         ///< native FP32 GPU-MPS rate (modeled)
+
+  bool operator==(const Fp64EmuRecord&) const = default;
+};
+
+/// One SME GEMM run produced by a kSmeGemm job: the FMOPA-tiled SGEMM's
+/// agreement with the AMX reference (the "fairly similar to the AMX unit at
+/// its core" claim, Section 2.1) plus the modeled AMX-class throughput.
+struct SmeRecord {
+  soc::ChipModel chip = soc::ChipModel::kM1;
+  std::size_t n = 0;
+  std::uint64_t seed = 0;
+  double max_abs_diff = 0.0;  ///< |sme - amx| over every output element
+  bool matches_amx = false;   ///< bit-identical to amx_sgemm
+  double mean_output = 0.0;   ///< mean C element (functional spot check)
+  double modeled_gflops = 0.0;
+
+  bool operator==(const SmeRecord&) const = default;
+};
+
 /// The result payload of any cacheable job kind. The ResultCache stores
 /// these, the scheduler produces them, and the on-disk store serializes
 /// them — one variant instead of a GEMM-only payload.
 using MeasurementRecord =
     std::variant<harness::GemmMeasurement, StreamRecord, PrecisionRecord,
-                 AneRecord, PowerRecord>;
+                 AneRecord, PowerRecord, Fp64EmuRecord, SmeRecord>;
 
 /// Which alternative a MeasurementRecord holds, as a stable tag (the on-disk
 /// format stores this, so the enumerator values are part of the format).
@@ -75,6 +106,8 @@ enum class RecordKind : std::uint8_t {
   kPrecision = 2,
   kAne = 3,
   kPower = 4,
+  kFp64Emu = 5,
+  kSme = 6,
 };
 
 RecordKind record_kind(const MeasurementRecord& record);

@@ -1,5 +1,6 @@
 #include "orchestrator/result_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -55,6 +56,10 @@ RecordKind expected_record_kind(JobKind kind) {
       return RecordKind::kPrecision;
     case JobKind::kAneInference:
       return RecordKind::kAne;
+    case JobKind::kFp64Emulation:
+      return RecordKind::kFp64Emu;
+    case JobKind::kSmeGemm:
+      return RecordKind::kSme;
   }
   throw util::InvalidArgument("unknown JobKind");
 }
@@ -112,7 +117,7 @@ std::optional<std::pair<CacheKey, MeasurementRecord>> parse_entry(
       return std::nullopt;
     }
   }
-  if (kind > static_cast<std::uint64_t>(JobKind::kAneInference) ||
+  if (kind > static_cast<std::uint64_t>(JobKind::kSmeGemm) ||
       chip > static_cast<std::uint64_t>(soc::ChipModel::kM4) ||
       impl > static_cast<std::uint64_t>(soc::GemmImpl::kGpuMps)) {
     return std::nullopt;
@@ -137,6 +142,18 @@ std::optional<std::pair<CacheKey, MeasurementRecord>> parse_entry(
 }
 
 }  // namespace
+
+std::string format_store_entry(const CacheKey& key,
+                               const MeasurementRecord& record) {
+  return format_entry({key, record});
+}
+
+std::optional<std::pair<CacheKey, MeasurementRecord>> parse_store_entry(
+    const std::string& line) {
+  return parse_entry(line);
+}
+
+std::string store_header_line() { return header_line(); }
 
 std::uint64_t CacheKey::fingerprint() const {
   std::uint64_t h = util::kFnv1aOffset;
@@ -200,6 +217,12 @@ CacheKey key_for_job(const ExperimentJob& job, std::uint64_t options_fp) {
       // The functional operands (and so mean_output) come from this seed.
       h = util::fnv1a_mix(h, job.study_seed);
       break;
+    case JobKind::kFp64Emulation:
+    case JobKind::kSmeGemm:
+      // Both run functionally on seed-generated operands at size n.
+      key.n = job.n;
+      h = util::fnv1a_mix(h, job.study_seed);
+      break;
   }
   key.payload_fingerprint = h;
   return key;
@@ -250,6 +273,10 @@ void ResultCache::insert_locked(const CacheKey& key,
       index_.erase(lru_.back().first);
       lru_.pop_back();
       ++stats_.evictions;
+      // The evicted entry may now live only in a store; an automatic
+      // rewrite would delete it.
+      store_covered_ = false;
+      fully_loaded_path_.clear();
     }
     lru_.emplace_front(key, record);
     index_[key] = lru_.begin();
@@ -258,6 +285,18 @@ void ResultCache::insert_locked(const CacheKey& key,
   if (write_through && persist_out_.is_open()) {
     persist_out_ << format_entry(*lru_.begin()) << '\n';
     persist_out_.flush();
+    ++store_entries_;
+    // Auto-compaction: duplicate keys accumulate in the append log until
+    // the live/stored ratio crosses the policy line — but only while the
+    // retained set covers the store, so the rewrite cannot lose an entry
+    // that exists only on disk.
+    if (store_covered_ && compact_min_live_ratio_ > 0.0 &&
+        store_entries_ >= compact_min_entries_ &&
+        static_cast<double>(lru_.size()) <
+            compact_min_live_ratio_ * static_cast<double>(store_entries_)) {
+      save_locked(persist_path_);
+      ++stats_.compactions;
+    }
   }
 }
 
@@ -280,6 +319,14 @@ void ResultCache::clear() {
   std::lock_guard lock(mutex_);
   lru_.clear();
   index_.clear();
+  // The store (if any) now holds entries memory does not.
+  store_covered_ = false;
+  fully_loaded_path_.clear();
+}
+
+std::vector<ResultCache::Entry> ResultCache::entries() const {
+  std::lock_guard lock(mutex_);
+  return {lru_.begin(), lru_.end()};
 }
 
 CacheStats ResultCache::stats() const {
@@ -289,6 +336,10 @@ CacheStats ResultCache::stats() const {
 
 std::size_t ResultCache::save(const std::string& path) {
   std::lock_guard lock(mutex_);
+  return save_locked(path);
+}
+
+std::size_t ResultCache::save_locked(const std::string& path) {
   // Snapshot into a sibling temp file, then rename over the target, so a
   // reader (or a crash) never observes a half-written store.
   const std::string tmp = path + ".tmp";
@@ -319,11 +370,45 @@ std::size_t ResultCache::save(const std::string& path) {
     if (!persist_out_) {
       throw util::Error("cannot reopen result-cache store: " + path);
     }
+    store_entries_ = lru_.size();
+    store_covered_ = true;  // the store is now exactly the retained set
   }
   return lru_.size();
 }
 
+std::size_t ResultCache::compact() {
+  std::lock_guard lock(mutex_);
+  AO_REQUIRE(persist_out_.is_open(),
+             "compact() needs an attached write-through store");
+  const std::size_t written = save_locked(persist_path_);
+  ++stats_.compactions;
+  return written;
+}
+
+void ResultCache::set_compaction_policy(double min_live_ratio,
+                                        std::size_t min_entries) {
+  AO_REQUIRE(min_live_ratio >= 0.0 && min_live_ratio <= 1.0,
+             "compaction ratio must be in [0, 1]");
+  std::lock_guard lock(mutex_);
+  compact_min_live_ratio_ = min_live_ratio;
+  compact_min_entries_ = std::max<std::size_t>(1, min_entries);
+}
+
+std::size_t ResultCache::store_entries() const {
+  std::lock_guard lock(mutex_);
+  return persist_out_.is_open() ? store_entries_ : 0;
+}
+
 std::size_t ResultCache::load(const std::string& path) {
+  return load_impl(path, /*write_through=*/false);
+}
+
+std::size_t ResultCache::merge_store(const std::string& path) {
+  return load_impl(path, /*write_through=*/true);
+}
+
+std::size_t ResultCache::load_impl(const std::string& path,
+                                   bool write_through) {
   std::ifstream in(path);
   if (!in) {
     return 0;  // nothing persisted yet — a cold start, not an error
@@ -338,18 +423,24 @@ std::size_t ResultCache::load(const std::string& path) {
   }
   std::size_t loaded = 0;
   std::lock_guard lock(mutex_);
+  const std::size_t evictions_before = stats_.evictions;
   while (std::getline(in, line)) {
     if (line.empty()) {
       continue;
     }
     if (auto entry = parse_entry(line)) {
-      insert_locked(entry->first, entry->second, /*write_through=*/false);
+      insert_locked(entry->first, entry->second, write_through);
       ++loaded;
     } else {
       ++stats_.load_rejected;
     }
   }
   stats_.loaded += loaded;
+  if (stats_.evictions == evictions_before) {
+    // Everything this file holds is now retained: persist_to(path) may
+    // auto-compact it losslessly (rejected lines were corrupt anyway).
+    fully_loaded_path_ = path;
+  }
   return loaded;
 }
 
@@ -357,6 +448,8 @@ void ResultCache::persist_to(const std::string& path) {
   std::lock_guard lock(mutex_);
   persist_out_.close();
   persist_path_.clear();
+  store_entries_ = 0;
+  store_covered_ = false;
   if (path.empty()) {
     return;
   }
@@ -368,6 +461,15 @@ void ResultCache::persist_to(const std::string& path) {
       needs_header = true;  // absent or empty file: start a fresh store
     } else if (first_line != header_line()) {
       throw util::Error("refusing write-through to a foreign store: " + path);
+    } else {
+      // Count the pre-existing entry lines so the auto-compaction ratio sees
+      // the whole store, not just this process's appends.
+      std::string line;
+      while (std::getline(existing, line)) {
+        if (!line.empty()) {
+          ++store_entries_;
+        }
+      }
     }
   }
   persist_out_.open(path, std::ios::app);
@@ -379,6 +481,10 @@ void ResultCache::persist_to(const std::string& path) {
     persist_out_.flush();
   }
   persist_path_ = path;
+  // Covered (auto-compaction armed) only when a rewrite could not lose
+  // anything: the store is fresh, or this cache fully loaded it and has
+  // evicted nothing since.
+  store_covered_ = store_entries_ == 0 || path == fully_loaded_path_;
 }
 
 }  // namespace ao::orchestrator

@@ -61,7 +61,23 @@ struct CacheStats {
   std::size_t evictions = 0;
   std::size_t loaded = 0;          ///< entries read from disk stores
   std::size_t load_rejected = 0;   ///< corrupt / mismatched entries skipped
+  std::size_t compactions = 0;     ///< write-through store rewrites
 };
+
+/// One on-disk store entry line for (key, record): the "entry ... # digest"
+/// framing the versioned store and the service's streamed `record` replies
+/// share (layout in docs/orchestrator.md).
+std::string format_store_entry(const CacheKey& key,
+                               const MeasurementRecord& record);
+
+/// Parses a line written by format_store_entry(). Returns nullopt on any
+/// corruption: bad digest, missing tokens, out-of-range enumerators, or a
+/// record shape that disagrees with the key's kind.
+std::optional<std::pair<CacheKey, MeasurementRecord>> parse_store_entry(
+    const std::string& line);
+
+/// The store's "ao-result-cache v<N>" first line.
+std::string store_header_line();
 
 /// Thread-safe LRU cache of finished measurements — any MeasurementRecord
 /// alternative, keyed by CacheKey. Repeated campaigns and overlapping sweeps
@@ -79,6 +95,8 @@ class ResultCache {
   /// by any other version.
   static constexpr int kFormatVersion = 1;
 
+  using Entry = std::pair<CacheKey, MeasurementRecord>;
+
   /// `capacity` = maximum retained measurements; at least 1.
   explicit ResultCache(std::size_t capacity = 4096);
 
@@ -95,6 +113,10 @@ class ResultCache {
   std::size_t capacity() const { return capacity_; }
   /// Drops every in-memory entry; a write-through backing file is untouched.
   void clear();
+
+  /// Snapshot of the retained entries, most recently used first — the
+  /// service's shard merge and the tests inspect stores through this.
+  std::vector<Entry> entries() const;
 
   CacheStats stats() const;
 
@@ -116,6 +138,12 @@ class ResultCache {
   /// header rejects the whole file. Returns entries loaded.
   std::size_t load(const std::string& path);
 
+  /// Like load(), but every merged entry also propagates to the attached
+  /// write-through store — ingesting a foreign store (a shard worker's, a
+  /// peer machine's) into a persistent cache. load() stays append-free so
+  /// warming from one's own store never duplicates it.
+  std::size_t merge_store(const std::string& path);
+
   /// Write-through mode: appends every future insertion to `path`,
   /// creating the file (with its version header) if absent. Existing
   /// contents are NOT loaded — call load() first to warm up. Pass "" to
@@ -125,11 +153,38 @@ class ResultCache {
   /// Path of the write-through backing file ("" when detached).
   const std::string& persist_path() const { return persist_path_; }
 
- private:
-  using Entry = std::pair<CacheKey, MeasurementRecord>;
+  /// Rewrites the write-through store down to the retained in-memory set
+  /// (same caveat as save(): evicted or never-loaded on-disk entries do not
+  /// survive — load() first when they must). Requires write-through mode;
+  /// returns entries written.
+  std::size_t compact();
 
+  /// Auto-compaction policy for write-through mode: after an append, when
+  /// the store holds at least `min_entries` lines and the live/stored ratio
+  /// (retained entries / store lines) drops below `min_live_ratio`, the
+  /// store is compacted in place. Duplicate keys are what push the ratio
+  /// down — every re-measurement appends a line while the retained set
+  /// keeps one. Ratio 0 disables.
+  ///
+  /// Automatic rewrites only happen while the retained set *covers* the
+  /// store (attached to a fresh/empty store, or to one the cache fully
+  /// loaded, with no eviction since), so they can only ever drop duplicate
+  /// or corrupt lines — never a measurement that lives only on disk. An LRU
+  /// eviction, a `clear()`, or attaching to a store that was never loaded
+  /// all suspend auto-compaction; explicit `compact()` still obeys the
+  /// caller (with its documented data-loss caveat).
+  void set_compaction_policy(double min_live_ratio,
+                             std::size_t min_entries = 256);
+
+  /// Entry lines the active write-through store currently holds (retained +
+  /// duplicates + evicted); 0 when detached.
+  std::size_t store_entries() const;
+
+ private:
   void insert_locked(const CacheKey& key, const MeasurementRecord& record,
                      bool write_through);
+  std::size_t save_locked(const std::string& path);
+  std::size_t load_impl(const std::string& path, bool write_through);
 
   mutable std::mutex mutex_;
   std::size_t capacity_;
@@ -138,6 +193,16 @@ class ResultCache {
   CacheStats stats_;
   std::ofstream persist_out_;
   std::string persist_path_;
+  std::size_t store_entries_ = 0;  ///< entry lines in the active store
+  double compact_min_live_ratio_ = 0.5;
+  std::size_t compact_min_entries_ = 256;
+  /// True while every valid entry line of the active store has its key
+  /// retained in memory — the precondition for a lossless automatic
+  /// rewrite. Cleared by evictions and clear().
+  bool store_covered_ = false;
+  /// Path of the last load() whose entries are all still retained (no
+  /// eviction since); persist_to() of the same path starts covered.
+  std::string fully_loaded_path_;
 };
 
 }  // namespace ao::orchestrator

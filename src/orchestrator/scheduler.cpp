@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <tuple>
 
+#include "amx/amx_gemm.hpp"
+#include "amx/sme_engine.hpp"
 #include "ane/neural_engine.hpp"
+#include "fp64emu/double_single.hpp"
+#include "fp64emu/gemm_fp64_shader.hpp"
 #include "gemm/gemm_interface.hpp"
 #include "harness/matrix_workload.hpp"
 #include "power/powermetrics.hpp"
 #include "precision/precision_study.hpp"
+#include "soc/perf_model.hpp"
 #include "stream/cpu_stream.hpp"
 #include "stream/gpu_stream.hpp"
 #include "util/error.hpp"
@@ -146,11 +152,19 @@ CampaignScheduler::CampaignScheduler(
       cache_(cache),
       fingerprint_(options_fingerprint(experiment_options_)) {}
 
-CampaignOutputs CampaignScheduler::run(JobQueue& queue) {
+CampaignOutputs CampaignScheduler::run(JobQueue& queue,
+                                       RecordCallback on_record) {
   CampaignOutputs outputs;
   stats_ = {};
   batches_.clear();
   pending_verify_.clear();
+  on_record_ = std::move(on_record);
+  // The callback's captures live on the caller's stack; never let a failed
+  // run leave it dangling in this long-lived scheduler.
+  struct CallbackGuard {
+    RecordCallback& callback;
+    ~CallbackGuard() { callback = {}; }
+  } callback_guard{on_record_};
 
   // Plan the per-size batches: how many gemm jobs touch each size (so the
   // operands can be freed the moment the last one finishes) and whether any
@@ -240,6 +254,16 @@ CampaignOutputs CampaignScheduler::run(JobQueue& queue) {
               return std::tuple(a.chip, a.sample.window_seconds) <
                      std::tuple(b.chip, b.sample.window_seconds);
             });
+  std::sort(outputs.fp64emu.begin(), outputs.fp64emu.end(),
+            [](const Fp64EmuRecord& a, const Fp64EmuRecord& b) {
+              return std::tuple(a.chip, a.n, a.seed) <
+                     std::tuple(b.chip, b.n, b.seed);
+            });
+  std::sort(outputs.sme.begin(), outputs.sme.end(),
+            [](const SmeRecord& a, const SmeRecord& b) {
+              return std::tuple(a.chip, a.n, a.seed) <
+                     std::tuple(b.chip, b.n, b.seed);
+            });
   outputs.stats = stats_;
   return outputs;
 }
@@ -266,6 +290,12 @@ void CampaignScheduler::execute(const ExperimentJob& job,
     case JobKind::kAneInference:
       run_ane_inference(job, outputs);
       return;
+    case JobKind::kFp64Emulation:
+      run_fp64_emulation(job, outputs);
+      return;
+    case JobKind::kSmeGemm:
+      run_sme_gemm(job, outputs);
+      return;
   }
   throw util::InvalidArgument("unknown JobKind");
 }
@@ -284,8 +314,12 @@ void CampaignScheduler::append_record(const MeasurementRecord& record,
           outputs.precision.push_back(value);
         } else if constexpr (std::is_same_v<T, AneRecord>) {
           outputs.ane.push_back(value);
-        } else {
+        } else if constexpr (std::is_same_v<T, PowerRecord>) {
           outputs.power.push_back(value);
+        } else if constexpr (std::is_same_v<T, Fp64EmuRecord>) {
+          outputs.fp64emu.push_back(value);
+        } else {
+          outputs.sme.push_back(value);
         }
       },
       record);
@@ -298,6 +332,8 @@ bool CampaignScheduler::serve_from_cache(const ExperimentJob& job,
   }
   auto cached = cache_->lookup(key_for_job(job, fingerprint_));
   if (!cached.has_value()) {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.cache_misses;
     return false;
   }
   {
@@ -305,6 +341,9 @@ bool CampaignScheduler::serve_from_cache(const ExperimentJob& job,
     ++stats_.cache_hits;
   }
   append_record(*cached, outputs);
+  if (on_record_) {
+    on_record_(job, *cached, /*from_cache=*/true);
+  }
   return true;
 }
 
@@ -315,6 +354,9 @@ void CampaignScheduler::publish_record(const ExperimentJob& job,
     cache_->insert(key_for_job(job, fingerprint_), record);
   }
   append_record(record, outputs);
+  if (on_record_) {
+    on_record_(job, record, /*from_cache=*/false);
+  }
 }
 
 std::shared_ptr<MatrixBatch> CampaignScheduler::batch_for(std::size_t n) {
@@ -350,15 +392,20 @@ void CampaignScheduler::batch_job_finished(std::size_t n) {
 void CampaignScheduler::publish(const ExperimentJob& job,
                                 const harness::GemmMeasurement& m,
                                 CampaignOutputs& outputs) {
+  // `job` may be the verify job; the cache entry (and the streamed record)
+  // always carries the measurement's identity so later measure jobs find it.
+  ExperimentJob measure = job;
+  measure.kind = JobKind::kGemmMeasure;
   if (cache_ != nullptr) {
-    // `job` may be the verify job; the cache entry always carries the
-    // measurement's identity so later measure jobs find it.
-    ExperimentJob measure = job;
-    measure.kind = JobKind::kGemmMeasure;
     cache_->insert(key_for_job(measure, fingerprint_), m);
   }
-  std::lock_guard lock(state_mutex_);
-  outputs.gemm.push_back(m);
+  {
+    std::lock_guard lock(state_mutex_);
+    outputs.gemm.push_back(m);
+  }
+  if (on_record_) {
+    on_record_(measure, MeasurementRecord{m}, /*from_cache=*/false);
+  }
 }
 
 void CampaignScheduler::run_gemm_measure(const ExperimentJob& job,
@@ -377,13 +424,20 @@ void CampaignScheduler::run_gemm_measure(const ExperimentJob& job,
     if (cached.has_value()) {
       const auto* m = std::get_if<harness::GemmMeasurement>(&*cached);
       AO_REQUIRE(m != nullptr, "gemm cache entry holds a foreign record");
-      std::lock_guard lock(state_mutex_);
-      ++stats_.cache_hits;
-      outputs.gemm.push_back(*m);
+      {
+        std::lock_guard lock(state_mutex_);
+        ++stats_.cache_hits;
+        outputs.gemm.push_back(*m);
+      }
+      if (on_record_) {
+        on_record_(job, *cached, /*from_cache=*/true);
+      }
       // No MeasureState is stored: the dependent verify job (if any) sees
       // the missing entry and treats the point as settled.
       return;
     }
+    std::lock_guard lock(state_mutex_);
+    ++stats_.cache_misses;
   }
 
   auto batch = batch_for(job.n);
@@ -569,6 +623,116 @@ void CampaignScheduler::run_ane_inference(const ExperimentJob& job,
     }
     record.mean_output = sum / static_cast<double>(c.size());
   }
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.jobs_executed;
+  }
+  publish_record(job, record, outputs);
+}
+
+void CampaignScheduler::run_fp64_emulation(const ExperimentJob& job,
+                                           CampaignOutputs& outputs) {
+  if (serve_from_cache(job, outputs)) {
+    return;
+  }
+  const std::size_t n = job.n;
+  AO_REQUIRE(n > 0, "fp64-emulation job needs a matrix size");
+
+  // Deterministic FP64 operands and host reference (the accuracy baseline).
+  std::vector<double> a(n * n);
+  std::vector<double> b(a.size());
+  util::fill_uniform(std::span<double>(a), job.study_seed);
+  util::fill_uniform(std::span<double>(b), job.study_seed + 1);
+  std::vector<double> expected(a.size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t kk = 0; kk < n; ++kk) {
+      const double aik = a[i * n + kk];
+      for (std::size_t j = 0; j < n; ++j) {
+        expected[i * n + j] += aik * b[kk * n + j];
+      }
+    }
+  }
+
+  auto lease = systems_.acquire(job.chip);
+
+  // Double-single GEMM on the simulated FP32-only GPU — the X3 extension
+  // bench's dispatch, shared via run_emulated_gemm.
+  const std::vector<double> emu =
+      fp64emu::run_emulated_gemm(lease.system().device(), a.data(), b.data(),
+                                 static_cast<std::uint32_t>(n));
+
+  Fp64EmuRecord record;
+  record.chip = job.chip;
+  record.n = n;
+  record.seed = job.study_seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc32 = 0.0f;
+      for (std::size_t kk = 0; kk < n; ++kk) {
+        acc32 += static_cast<float>(a[i * n + kk]) *
+                 static_cast<float>(b[kk * n + j]);
+      }
+      const double ref = expected[i * n + j];
+      record.emu_max_abs_error = std::max(record.emu_max_abs_error,
+                                          std::abs(ref - emu[i * n + j]));
+      record.fp32_max_abs_error =
+          std::max(record.fp32_max_abs_error,
+                   std::abs(ref - static_cast<double>(acc32)));
+    }
+  }
+  // Throughput cost of the emulation: the FP32 roofline divided by the
+  // per-ds_fma operation count (2 real flops delivered per emulated FMA).
+  const soc::PerfModel perf(lease.system().soc());
+  record.fp32_gflops = perf.gemm_gflops(soc::GemmImpl::kGpuMps, n);
+  record.emulated_gflops =
+      record.fp32_gflops / fp64emu::kFlopsPerDsFma * 2.0;
+  {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.jobs_executed;
+  }
+  publish_record(job, record, outputs);
+}
+
+void CampaignScheduler::run_sme_gemm(const ExperimentJob& job,
+                                     CampaignOutputs& outputs) {
+  if (serve_from_cache(job, outputs)) {
+    return;
+  }
+  const std::size_t n = job.n;
+  AO_REQUIRE(n > 0, "sme-gemm job needs a matrix size");
+
+  std::vector<float> a(n * n);
+  std::vector<float> b(a.size());
+  util::fill_uniform(std::span<float>(a), job.study_seed);
+  util::fill_uniform(std::span<float>(b), job.study_seed + 1);
+
+  // FMOPA-tiled SGEMM through the SME engine vs the AMX emulator — the
+  // Section 2.1 "fairly similar at its core" claim, checked bit-for-bit.
+  std::vector<float> c_sme(a.size(), 0.0f);
+  amx::sme_sgemm(n, n, n, a.data(), n, b.data(), n, c_sme.data(), n);
+  std::vector<float> c_amx(a.size(), 0.0f);
+  amx::amx_sgemm(n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c_amx.data(),
+                 n, /*threads=*/1);
+
+  SmeRecord record;
+  record.chip = job.chip;
+  record.n = n;
+  record.seed = job.study_seed;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    record.max_abs_diff =
+        std::max(record.max_abs_diff,
+                 static_cast<double>(std::abs(c_sme[i] - c_amx[i])));
+    sum += c_sme[i];
+  }
+  record.matches_amx = record.max_abs_diff == 0.0;
+  record.mean_output = sum / static_cast<double>(a.size());
+
+  auto lease = systems_.acquire(job.chip);
+  const soc::PerfModel perf(lease.system().soc());
+  // The M4's SME unit is AMX-class hardware behind the same Accelerate
+  // calibration, so that curve models its throughput.
+  record.modeled_gflops = perf.gemm_gflops(soc::GemmImpl::kCpuAccelerate, n);
   {
     std::lock_guard lock(state_mutex_);
     ++stats_.jobs_executed;

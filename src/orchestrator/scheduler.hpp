@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -109,6 +110,7 @@ struct CampaignStats {
   std::size_t jobs_total = 0;
   std::size_t jobs_executed = 0;    ///< ran on a leased System
   std::size_t cache_hits = 0;       ///< jobs serviced from the ResultCache
+  std::size_t cache_misses = 0;     ///< cacheable jobs the cache lacked
   std::size_t verifications = 0;
   std::size_t batches_allocated = 0;
   std::size_t out_buffers_allocated = 0;
@@ -123,8 +125,19 @@ struct CampaignOutputs {
   std::vector<PrecisionRecord> precision;
   std::vector<AneRecord> ane;
   std::vector<PowerRecord> power;
+  std::vector<Fp64EmuRecord> fp64emu;
+  std::vector<SmeRecord> sme;
   CampaignStats stats;
 };
+
+/// Streaming hook: invoked once per settled record — after a measurement
+/// publishes (GEMM points with a dependent verify job wait for the verdict)
+/// or a cache hit is served. `job` is the measurement job the record answers
+/// (verify jobs are reported as their kGemmMeasure identity, so
+/// key_for_job(job, fp) addresses the cache entry). Called from worker
+/// threads with no lock held; the callee synchronizes its own sinks.
+using RecordCallback = std::function<void(
+    const ExperimentJob& job, const MeasurementRecord& record, bool from_cache)>;
 
 /// Runs a JobQueue to completion on a private util::ThreadPool.
 ///
@@ -150,7 +163,11 @@ class CampaignScheduler {
   /// Drains `queue`, returning aggregated outputs. Every record family is
   /// sorted into a canonical order independent of completion order (GEMM by
   /// (chip, n, impl), the others by chip then their identifying fields).
-  CampaignOutputs run(JobQueue& queue);
+  /// `on_record` (when set) streams each record as it settles — the campaign
+  /// service's incremental result feed. A scheduler may be reused across
+  /// sequential run() calls (its SystemPool stays warm) but run() itself is
+  /// not reentrant.
+  CampaignOutputs run(JobQueue& queue, RecordCallback on_record = {});
 
  private:
   struct MeasureState;  // per measure-job handoff to its verify job
@@ -168,6 +185,8 @@ class CampaignScheduler {
   void run_power_idle(const ExperimentJob& job, CampaignOutputs& outputs);
   void run_precision_study(const ExperimentJob& job, CampaignOutputs& outputs);
   void run_ane_inference(const ExperimentJob& job, CampaignOutputs& outputs);
+  void run_fp64_emulation(const ExperimentJob& job, CampaignOutputs& outputs);
+  void run_sme_gemm(const ExperimentJob& job, CampaignOutputs& outputs);
 
   std::shared_ptr<MatrixBatch> batch_for(std::size_t n);
   void batch_job_finished(std::size_t n);
@@ -190,6 +209,7 @@ class CampaignScheduler {
   ResultCache* cache_;
   std::uint64_t fingerprint_;
   SystemPool systems_;
+  RecordCallback on_record_;  ///< set for the duration of one run()
 
   std::mutex state_mutex_;  ///< guards outputs, batches_ and pending_
   std::map<std::size_t, BatchState> batches_;

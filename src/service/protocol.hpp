@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "orchestrator/campaign.hpp"
+#include "soc/chip_spec.hpp"
+
+namespace ao::service {
+
+/// One declarative sweep request, as the campaign service's line protocol
+/// describes it (grammar in docs/service.md). A request addresses every
+/// JobKind the orchestrator schedules: the GEMM grid (when both `impls` and
+/// `sizes` are set), CPU/GPU STREAM, precision, ANE, FP64 emulation, SME and
+/// idle power. `workers` is the per-campaign scheduler concurrency;
+/// `shards` > 1 splits the job graph across worker processes.
+struct CampaignRequest {
+  std::string name = "campaign";
+  std::vector<soc::ChipModel> chips;
+  std::vector<soc::GemmImpl> impls;
+  std::vector<std::size_t> sizes;
+  int repetitions = 5;
+  std::uint64_t matrix_seed = 42;
+  std::size_t verify_n_max = 256;
+  /// Uniform functional ceiling override for every implementation (nullopt
+  /// keeps the harness defaults; 0 = model-only).
+  std::optional<std::size_t> functional_n_max;
+  std::vector<int> stream_threads;
+  int stream_repetitions = 10;
+  std::size_t stream_elements = 0;
+  bool gpu_stream = false;
+  int gpu_stream_repetitions = 20;
+  std::size_t gpu_stream_elements = 0;
+  std::vector<std::size_t> precision_sizes;
+  std::uint64_t precision_seed = 99;
+  std::vector<std::size_t> ane_sizes;
+  bool ane_functional = true;
+  std::vector<std::size_t> fp64emu_sizes;
+  std::uint64_t fp64emu_seed = 41;
+  std::vector<std::size_t> sme_sizes;
+  std::uint64_t sme_seed = 77;
+  bool power_idle = false;
+  double power_window_seconds = 1.0;
+  std::size_t workers = 1;
+  std::size_t shards = 1;
+
+  bool operator==(const CampaignRequest&) const = default;
+
+  /// True when at least one job family is requested.
+  bool has_work() const;
+
+  /// The GEMM experiment options this request describes (also the source of
+  /// the options fingerprint that keys its cache entries).
+  harness::GemmExperiment::Options options() const;
+
+  /// The equivalent Campaign builder — cache and concurrency are attached
+  /// by the caller.
+  orchestrator::Campaign to_campaign() const;
+
+  /// Serializes the request as a protocol block ("begin" … "run") that
+  /// parses back to an equal request — the worker handoff format.
+  std::vector<std::string> to_lines() const;
+};
+
+/// Whitespace tokenizer shared by the protocol parser and the service's
+/// session loop.
+std::vector<std::string> split_words(const std::string& line);
+
+/// True when `name` may name a campaign. Names are embedded in shard-store
+/// and request file paths by the service, so only [A-Za-z0-9._-] is
+/// accepted (no path separators), "." / ".." are rejected, and length is
+/// capped at 64.
+bool valid_campaign_name(const std::string& name);
+
+/// Incremental parser for the request block of the protocol: feed it the
+/// lines between "begin" and "run". Setter grammar errors are reported per
+/// line; the session stays alive.
+class RequestBuilder {
+ public:
+  /// Opens a new request ("begin [name]" was read). Returns nullopt on
+  /// success, the error otherwise (a request already open, or an invalid
+  /// name); an empty name keeps the default.
+  std::optional<std::string> begin(const std::string& name);
+
+  bool open() const { return open_; }
+
+  /// Applies one setter line to the open request. Returns nullopt on
+  /// success, the error message otherwise. Unknown directives are errors.
+  std::optional<std::string> apply(const std::string& line);
+
+  /// Closes the block and hands the request over ("run" was read).
+  CampaignRequest take();
+
+  /// Discards the open request ("abort").
+  void discard();
+
+ private:
+  bool open_ = false;
+  CampaignRequest request_;
+};
+
+/// Parses a full request block (the to_lines() format: "begin" … "run").
+/// Returns nullopt and sets `error` on the first malformed line.
+std::optional<CampaignRequest> parse_request_lines(
+    const std::vector<std::string>& lines, std::string* error);
+
+/// Lowercased figure-legend name → GemmImpl ("cpu-single", "gpu-mps", …).
+/// Throws util::InvalidArgument for unknown names.
+soc::GemmImpl gemm_impl_from_string(const std::string& name);
+
+}  // namespace ao::service

@@ -1,0 +1,383 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "service/shard_planner.hpp"
+#include "service/worker_pool.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace ao::service {
+namespace {
+
+using orchestrator::CampaignScheduler;
+using orchestrator::ExperimentJob;
+using orchestrator::JobKind;
+using orchestrator::JobQueue;
+using orchestrator::MeasurementRecord;
+
+/// Replies must stay line-oriented; exception text is folded onto one line.
+std::string one_line(std::string text) {
+  std::replace(text.begin(), text.end(), '\n', ' ');
+  std::replace(text.begin(), text.end(), '\r', ' ');
+  return text;
+}
+
+/// Records a campaign will stream: one per job that produces a cacheable
+/// record (every kind except the verify jobs, whose verdict rides on the
+/// measurement's record).
+std::size_t expected_record_count(
+    const std::vector<orchestrator::Campaign::JobGroup>& groups) {
+  std::size_t count = 0;
+  for (const auto& group : groups) {
+    for (const auto& job : group.jobs) {
+      if (orchestrator::is_cacheable(job.kind)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+/// Incremental reader over one shard's write-through store: consumes the
+/// complete lines appended since the last poll (a half-flushed tail line is
+/// left for the next round), skipping the version header.
+struct StoreTail {
+  std::string path;
+  std::streamoff offset = 0;
+
+  template <typename LineFn>
+  void poll(LineFn&& on_line) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return;  // the worker has not created the store yet
+    }
+    in.seekg(offset);
+    std::ostringstream chunk;
+    chunk << in.rdbuf();
+    const std::string buffered = chunk.str();
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t newline = buffered.find('\n', pos);
+      if (newline == std::string::npos) {
+        break;
+      }
+      const std::string line = buffered.substr(pos, newline - pos);
+      pos = newline + 1;
+      if (!line.empty() && line != orchestrator::store_header_line()) {
+        on_line(line);
+      }
+    }
+    offset += static_cast<std::streamoff>(pos);
+  }
+};
+
+}  // namespace
+
+CampaignService::CampaignService(Config config)
+    : config_(std::move(config)), cache_(config_.cache_capacity) {
+  if (!config_.store_path.empty()) {
+    cache_.load(config_.store_path);
+    cache_.persist_to(config_.store_path);
+  }
+}
+
+CampaignService::Totals CampaignService::totals() const {
+  std::lock_guard lock(totals_mutex_);
+  return totals_;
+}
+
+bool CampaignService::serve(std::istream& in, std::ostream& out) {
+  RequestBuilder builder;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const std::vector<std::string> words = split_words(line);
+    if (words.empty()) {
+      continue;
+    }
+    try {
+      if (builder.open()) {
+        if (words[0] == "run") {
+          const CampaignRequest request = builder.take();
+          if (request.chips.empty()) {
+            out << "error campaign needs a 'chips' line\n";
+          } else if (!request.has_work()) {
+            out << "error empty campaign: no job family requested\n";
+          } else {
+            run_campaign(request, out);
+          }
+        } else if (words[0] == "abort") {
+          builder.discard();
+          out << "ok abort\n";
+        } else if (words[0] == "begin") {
+          out << "error nested begin (finish the open request with 'run' or "
+                 "'abort')\n";
+        } else if (const auto error = builder.apply(line)) {
+          out << "error " << one_line(*error) << '\n';
+        }
+      } else if (words[0] == "begin") {
+        if (const auto error =
+                builder.begin(words.size() > 1 ? words[1] : "")) {
+          out << "error " << one_line(*error) << '\n';
+        }
+      } else if (words[0] == "ping") {
+        out << "pong\n";
+      } else if (words[0] == "stats") {
+        const Totals t = totals();
+        out << "stats campaigns " << t.campaigns << " sharded "
+            << t.sharded_campaigns << " records " << t.records_streamed
+            << " executed " << t.jobs_executed << " hits " << t.cache_hits
+            << " merged " << t.merged_entries << " cache-entries "
+            << cache_.size() << " store-entries " << cache_.store_entries()
+            << '\n';
+      } else if (words[0] == "compact") {
+        if (cache_.persist_path().empty()) {
+          out << "error no write-through store attached\n";
+        } else {
+          out << "ok compact " << cache_.compact() << " entries\n";
+        }
+      } else if (words[0] == "shutdown") {
+        out << "ok shutdown\n";
+        out.flush();
+        return true;
+      } else {
+        out << "error unknown command: " << one_line(words[0]) << '\n';
+      }
+    } catch (const std::exception& e) {
+      out << "error " << one_line(e.what()) << '\n';
+    }
+    out.flush();
+  }
+  return false;
+}
+
+orchestrator::CampaignScheduler& CampaignService::scheduler_for(
+    const CampaignRequest& request) {
+  std::uint64_t key = orchestrator::options_fingerprint(request.options());
+  key = util::fnv1a_mix(key, request.workers);
+  if (scheduler_ == nullptr || scheduler_key_ != key) {
+    CampaignScheduler::Options options;
+    options.concurrency = request.workers;
+    scheduler_ = std::make_unique<CampaignScheduler>(request.options(),
+                                                     options, &cache_);
+    scheduler_key_ = key;
+  }
+  return *scheduler_;
+}
+
+void CampaignService::run_campaign(const CampaignRequest& request,
+                                   std::ostream& out) {
+  // Campaigns from concurrent sessions queue here: one sweep owns the
+  // scheduler (and the simulated Systems) at a time.
+  std::lock_guard run_lock(run_mutex_);
+  const std::uint64_t id = next_campaign_id_++;
+
+  const orchestrator::Campaign campaign = request.to_campaign();
+  const auto groups = campaign.groups();
+  std::size_t jobs = 0;
+  for (const auto& group : groups) {
+    jobs += group.jobs.size();
+  }
+  const std::size_t expected_records = expected_record_count(groups);
+  // Never more shards than groups; a surplus would only spawn idle workers.
+  const std::size_t shard_count = std::min(request.shards, groups.size());
+
+  out << "ok campaign " << id << " jobs " << jobs << " records "
+      << expected_records << " shards " << std::max<std::size_t>(1, shard_count)
+      << '\n';
+  out.flush();
+
+  if (shard_count > 1) {
+    run_sharded(request, id, shard_count, expected_records, out);
+  } else {
+    run_in_process(request, id, expected_records, out);
+  }
+}
+
+void CampaignService::run_in_process(const CampaignRequest& request,
+                                     std::uint64_t id,
+                                     std::size_t expected_records,
+                                     std::ostream& out) {
+  const orchestrator::Campaign campaign = request.to_campaign();
+  JobQueue queue;
+  campaign.expand(queue);
+
+  const std::uint64_t options_fp =
+      orchestrator::options_fingerprint(request.options());
+  std::mutex out_mutex;  // workers stream concurrently
+  std::size_t streamed = 0;
+  orchestrator::CampaignOutputs outputs;
+  try {
+    outputs = scheduler_for(request).run(
+        queue, [&](const ExperimentJob& job, const MeasurementRecord& record,
+                   bool /*from_cache*/) {
+          const orchestrator::CacheKey key =
+              orchestrator::key_for_job(job, options_fp);
+          std::lock_guard lock(out_mutex);
+          out << "record " << orchestrator::format_store_entry(key, record)
+              << '\n';
+          ++streamed;
+          out << "progress " << streamed << "/" << expected_records << '\n';
+          out.flush();
+        });
+  } catch (const std::exception& e) {
+    // The scheduler is poisoned only for this run; the next campaign gets a
+    // fresh run() on the same pool.
+    out << "error campaign " << id << " failed: " << one_line(e.what())
+        << '\n';
+    return;
+  }
+
+  {
+    std::lock_guard lock(totals_mutex_);
+    ++totals_.campaigns;
+    totals_.records_streamed += streamed;
+    totals_.jobs_executed += outputs.stats.jobs_executed;
+    totals_.cache_hits += outputs.stats.cache_hits;
+  }
+  out << "done campaign " << id << " records " << streamed << " executed "
+      << outputs.stats.jobs_executed << " hits " << outputs.stats.cache_hits
+      << '\n';
+}
+
+void CampaignService::run_sharded(const CampaignRequest& request,
+                                  std::uint64_t id, std::size_t shard_count,
+                                  std::size_t expected_records,
+                                  std::ostream& out) {
+  const orchestrator::Campaign campaign = request.to_campaign();
+  const auto groups = campaign.groups();
+  const std::uint64_t options_fp =
+      orchestrator::options_fingerprint(request.options());
+
+  // Serve every group the warm cache already holds before planning shards:
+  // a sharded rerun streams its repeated points instantly and only the
+  // missing groups cost a worker. Each group has exactly one cacheable job
+  // — its root — so a root hit settles the whole group.
+  std::size_t streamed = 0;
+  std::size_t warm_hits = 0;
+  std::vector<std::size_t> pending;  // group indices the workers must run
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const ExperimentJob& root = groups[i].jobs.front();
+    std::optional<MeasurementRecord> hit;
+    if (orchestrator::is_cacheable(root.kind)) {
+      hit = cache_.lookup(orchestrator::key_for_job(root, options_fp));
+    }
+    if (hit.has_value()) {
+      out << "record "
+          << orchestrator::format_store_entry(
+                 orchestrator::key_for_job(root, options_fp), *hit)
+          << '\n';
+      ++streamed;
+      ++warm_hits;
+      out << "progress " << streamed << "/" << expected_records << '\n';
+    } else {
+      pending.push_back(i);
+    }
+  }
+  out.flush();
+
+  // Plan only the pending groups; plan indices are positions in `pending`,
+  // mapped back to campaign group indices for the workers.
+  std::vector<orchestrator::Campaign::JobGroup> pending_groups;
+  pending_groups.reserve(pending.size());
+  for (const std::size_t index : pending) {
+    pending_groups.push_back(groups[index]);
+  }
+  const ShardPlan plan =
+      plan_shards(pending_groups, std::max<std::size_t>(
+                                      1, std::min(shard_count, pending.size())));
+
+  const std::string base =
+      config_.shard_dir + "/" + request.name + "-c" + std::to_string(id);
+  std::vector<WorkerPool::ShardTask> tasks;
+  std::vector<StoreTail> tails;
+  for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
+    if (plan.shard_groups[shard].empty()) {
+      continue;
+    }
+    WorkerPool::ShardTask task;
+    task.shard_index = shard;
+    for (const std::size_t pending_index : plan.shard_groups[shard]) {
+      task.groups.push_back(pending[pending_index]);
+    }
+    task.store_path = base + "-shard" + std::to_string(shard) + ".aocache";
+    std::remove(task.store_path.c_str());  // never tail a stale store
+    tails.push_back({task.store_path, 0});
+    tasks.push_back(std::move(task));
+  }
+  const auto drain = [&] {
+    for (StoreTail& tail : tails) {
+      tail.poll([&](const std::string& line) {
+        // Only structurally sound entries are streamed; the merge below
+        // re-validates through ResultCache::load anyway.
+        if (orchestrator::parse_store_entry(line).has_value()) {
+          out << "record " << line << '\n';
+          ++streamed;
+          out << "progress " << streamed << "/" << expected_records << '\n';
+        }
+      });
+    }
+    out.flush();
+  };
+
+  WorkerPool pool(config_.worker_binary);
+  std::vector<WorkerPool::ShardOutcome> outcomes;
+  if (!tasks.empty()) {  // everything may have been served from the cache
+    pool.start(request, base + ".request", tasks);
+    while (pool.busy()) {
+      drain();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    outcomes = pool.wait();
+    drain();  // the final records written between the last poll and exit
+  }
+
+  // Merge every produced store into the warm cache (merge_store propagates
+  // the entries to the service's own persistent store) — conflict-free by
+  // CacheKey (two shards never run the same group, and identical keys carry
+  // bit-identical records). A failed shard's partial store still merges:
+  // its finished points are real measurements.
+  std::size_t merged = 0;
+  for (const auto& task : tasks) {
+    merged += cache_.merge_store(task.store_path);
+  }
+
+  std::string failure;
+  for (const auto& outcome : outcomes) {
+    if (outcome.exit_code != 0) {
+      failure = "shard " + std::to_string(outcome.shard_index) +
+                " failed (exit " + std::to_string(outcome.exit_code) + ")" +
+                (outcome.error.empty() ? "" : ": " + outcome.error);
+      break;
+    }
+  }
+
+  {
+    std::lock_guard lock(totals_mutex_);
+    ++totals_.campaigns;
+    ++totals_.sharded_campaigns;
+    totals_.records_streamed += streamed;
+    totals_.cache_hits += warm_hits;
+    totals_.merged_entries += merged;
+  }
+  if (!failure.empty()) {
+    out << "error campaign " << id << " " << one_line(failure) << '\n';
+    return;
+  }
+  out << "done campaign " << id << " records " << streamed << " merged "
+      << merged << " hits " << warm_hits << " shards " << tasks.size()
+      << '\n';
+}
+
+}  // namespace ao::service

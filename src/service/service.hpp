@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "orchestrator/result_cache.hpp"
+#include "orchestrator/scheduler.hpp"
+#include "service/protocol.hpp"
+
+namespace ao::service {
+
+/// The long-running campaign engine: accepts declarative sweep requests
+/// over a line protocol (docs/service.md), schedules them through a shared
+/// CampaignScheduler against one warm ResultCache, and streams each
+/// MeasurementRecord back the moment it settles — the client reads results
+/// while the campaign is still running.
+///
+/// Requests with `shards > 1` are partitioned by the ShardPlanner and farmed
+/// out to WorkerPool workers (spawned `ao_worker` processes, or in-process
+/// threads when no binary is configured). Each shard writes an independent
+/// versioned disk store; the service tails those stores to stream records
+/// live and merges them back into its warm cache — conflict-free, keyed by
+/// CacheKey — when the workers finish.
+///
+/// Transport-agnostic: serve() speaks the protocol over any istream/ostream
+/// pair. `ao_campaignd` runs it over a unix socket; the tests run it over
+/// stringstreams. Sessions are stateless between campaigns, so sequential
+/// clients share every previously measured point.
+class CampaignService {
+ public:
+  struct Config {
+    std::size_t cache_capacity = 4096;
+    /// When set: the warm cache loads this store at startup and
+    /// write-throughs (and auto-compacts) every new point to it.
+    std::string store_path;
+    /// Directory for per-campaign shard stores and worker request files.
+    std::string shard_dir = ".";
+    /// Path of the `ao_worker` binary; "" runs shards in-process.
+    std::string worker_binary;
+  };
+
+  struct Totals {
+    std::size_t campaigns = 0;
+    std::size_t sharded_campaigns = 0;
+    std::size_t records_streamed = 0;
+    /// Jobs executed by in-process campaigns. Sharded work runs in worker
+    /// processes whose schedulers don't report back; it shows up as
+    /// merged_entries instead.
+    std::size_t jobs_executed = 0;
+    std::size_t cache_hits = 0;      ///< in-process scheduler hits + warm
+                                     ///< groups served before sharding
+    std::size_t merged_entries = 0;  ///< shard-store entries merged back
+  };
+
+  explicit CampaignService(Config config);
+
+  /// Handles one protocol session until the stream ends or a `shutdown`
+  /// command arrives; returns true on shutdown. Malformed lines get an
+  /// `error` reply and the session continues — a bad request never takes
+  /// the service down.
+  bool serve(std::istream& in, std::ostream& out);
+
+  orchestrator::ResultCache& cache() { return cache_; }
+  Totals totals() const;
+
+ private:
+  void run_campaign(const CampaignRequest& request, std::ostream& out);
+  void run_in_process(const CampaignRequest& request, std::uint64_t id,
+                      std::size_t expected_records, std::ostream& out);
+  void run_sharded(const CampaignRequest& request, std::uint64_t id,
+                   std::size_t shard_count, std::size_t expected_records,
+                   std::ostream& out);
+  orchestrator::CampaignScheduler& scheduler_for(const CampaignRequest& request);
+
+  Config config_;
+  orchestrator::ResultCache cache_;
+  std::mutex run_mutex_;  ///< one campaign executes at a time
+  std::uint64_t next_campaign_id_ = 1;
+  /// The shared scheduler, rebuilt only when a request's experiment options
+  /// or concurrency differ from the previous campaign's — its SystemPool
+  /// stays warm across campaigns that agree.
+  std::unique_ptr<orchestrator::CampaignScheduler> scheduler_;
+  std::uint64_t scheduler_key_ = 0;
+  mutable std::mutex totals_mutex_;
+  Totals totals_;
+};
+
+}  // namespace ao::service

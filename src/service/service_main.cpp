@@ -1,0 +1,120 @@
+// ao_campaignd: the long-running campaign service over a unix socket.
+//
+// Binds the socket, then accepts client sessions sequentially; each session
+// speaks the line protocol of docs/service.md (submit sweep requests, read
+// streamed records). The warm result cache — optionally disk-persistent —
+// survives across sessions, so every client benefits from every previous
+// campaign's measurements. A `shutdown` command exits cleanly.
+//
+//   ao_campaignd --socket <path> [--store <file>] [--capacity <n>]
+//                [--worker-binary <path>] [--shard-dir <dir>] [--stdio]
+//
+// --worker-binary defaults to the ao_worker next to this executable (shards
+// run in-process when it does not exist); --stdio serves one session over
+// stdin/stdout instead of a socket (debugging, pipes).
+
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "service/service.hpp"
+#include "service/socket.hpp"
+
+namespace {
+
+std::string directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+bool file_exists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  ao::service::CampaignService::Config config;
+  bool stdio = false;
+  bool worker_binary_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto needs_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::cerr << "ao_campaignd: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      socket_path = needs_value("--socket");
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      config.store_path = needs_value("--store");
+    } else if (std::strcmp(argv[i], "--capacity") == 0) {
+      const std::string value = needs_value("--capacity");
+      try {
+        config.cache_capacity = static_cast<std::size_t>(std::stoul(value));
+      } catch (const std::exception&) {
+        std::cerr << "ao_campaignd: --capacity needs a positive integer, got '"
+                  << value << "'\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--worker-binary") == 0) {
+      config.worker_binary = needs_value("--worker-binary");
+      worker_binary_set = true;
+    } else if (std::strcmp(argv[i], "--shard-dir") == 0) {
+      config.shard_dir = needs_value("--shard-dir");
+    } else if (std::strcmp(argv[i], "--stdio") == 0) {
+      stdio = true;
+    } else {
+      std::cerr << "ao_campaignd: unknown option " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (!stdio && socket_path.empty()) {
+    std::cerr << "usage: ao_campaignd --socket <path> [--store <file>] "
+                 "[--capacity <n>] [--worker-binary <path>] "
+                 "[--shard-dir <dir>] [--stdio]\n";
+    return 2;
+  }
+
+  if (!worker_binary_set) {
+    // Default to the sibling ao_worker; fall back to in-process shards when
+    // the binary is not there.
+    const std::string sibling = directory_of(argv[0]) + "/ao_worker";
+    if (file_exists(sibling)) {
+      config.worker_binary = sibling;
+    }
+  }
+
+  // A client that disconnects mid-stream must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  ao::service::CampaignService service(std::move(config));
+  if (stdio) {
+    service.serve(std::cin, std::cout);
+    return 0;
+  }
+
+  try {
+    ao::service::UnixServerSocket server(socket_path);
+    std::cerr << "ao_campaignd: listening on " << socket_path << "\n";
+    for (;;) {
+      const int fd = server.accept_fd();
+      if (fd < 0) {
+        std::cerr << "ao_campaignd: accept failed, exiting\n";
+        return 1;
+      }
+      ao::service::SocketStream stream(fd);
+      if (service.serve(stream, stream)) {
+        std::cerr << "ao_campaignd: shutdown requested\n";
+        return 0;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "ao_campaignd: " << e.what() << "\n";
+    return 1;
+  }
+}

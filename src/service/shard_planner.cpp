@@ -1,0 +1,101 @@
+#include "service/shard_planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stream/cpu_stream.hpp"
+#include "stream/gpu_stream.hpp"
+#include "util/error.hpp"
+
+namespace ao::service {
+namespace {
+
+using orchestrator::ExperimentJob;
+using orchestrator::JobKind;
+
+double estimated_job_cost(const ExperimentJob& job) {
+  const auto n = static_cast<double>(job.n);
+  switch (job.kind) {
+    case JobKind::kGemmMeasure:
+      return n * n * n;
+    case JobKind::kGemmVerify:
+      return n * n;
+    case JobKind::kStream: {
+      const auto elements =
+          job.stream_elements != 0
+              ? static_cast<double>(job.stream_elements)
+              : static_cast<double>(stream::CpuStream::kDefaultElements);
+      return elements * job.stream_repetitions;
+    }
+    case JobKind::kGpuStream: {
+      const auto elements =
+          job.stream_elements != 0
+              ? static_cast<double>(job.stream_elements)
+              : static_cast<double>(stream::GpuStream::kDefaultElements);
+      return elements * job.stream_repetitions;
+    }
+    case JobKind::kPowerIdle:
+      return 1.0;
+    case JobKind::kPrecisionStudy:
+      return 4.0 * n * n * n;  // four formats, each a functional GEMM
+    case JobKind::kAneInference: {
+      const double m = job.ane_m != 0 ? static_cast<double>(job.ane_m) : n;
+      const double k = job.ane_k != 0 ? static_cast<double>(job.ane_k) : n;
+      return job.ane_functional ? m * n * k : 1.0;
+    }
+    case JobKind::kFp64Emulation:
+      // Reference GEMM + emulated GEMM + FP32 error sweep, all host-side.
+      return 3.0 * n * n * n;
+    case JobKind::kSmeGemm:
+      return 2.0 * n * n * n;  // SME run + AMX reference
+  }
+  throw util::InvalidArgument("unknown JobKind");
+}
+
+}  // namespace
+
+double estimated_group_cost(const orchestrator::Campaign::JobGroup& group) {
+  double cost = 0.0;
+  for (const ExperimentJob& job : group.jobs) {
+    cost += estimated_job_cost(job);
+  }
+  return cost;
+}
+
+ShardPlan plan_shards(
+    const std::vector<orchestrator::Campaign::JobGroup>& groups,
+    std::size_t shard_count) {
+  AO_REQUIRE(shard_count >= 1, "need at least one shard");
+  ShardPlan plan;
+  plan.shard_groups.resize(shard_count);
+  plan.shard_costs.assign(shard_count, 0.0);
+
+  // LPT greedy: heaviest group first onto the least-loaded shard. Sorting is
+  // stable on (cost desc, index asc) so the plan is a pure function of the
+  // group list.
+  std::vector<double> costs(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    costs[i] = estimated_group_cost(groups[i]);
+  }
+  std::vector<std::size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (costs[a] != costs[b]) {
+      return costs[a] > costs[b];
+    }
+    return a < b;
+  });
+  for (const std::size_t index : order) {
+    const auto lightest = static_cast<std::size_t>(std::distance(
+        plan.shard_costs.begin(),
+        std::min_element(plan.shard_costs.begin(), plan.shard_costs.end())));
+    plan.shard_groups[lightest].push_back(index);
+    plan.shard_costs[lightest] += costs[index];
+  }
+  for (auto& shard : plan.shard_groups) {
+    std::sort(shard.begin(), shard.end());
+  }
+  return plan;
+}
+
+}  // namespace ao::service

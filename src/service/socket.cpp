@@ -1,0 +1,144 @@
+#include "service/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace ao::service {
+namespace {
+
+int make_unix_socket() { return ::socket(AF_UNIX, SOCK_STREAM, 0); }
+
+bool fill_address(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(in_buf_, in_buf_, in_buf_);
+  setp(out_buf_, out_buf_ + kBufferSize);
+}
+
+FdStreamBuf::~FdStreamBuf() {
+  flush_out();
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) {
+    return traits_type::to_int_type(*gptr());
+  }
+  // A request/reply protocol: everything written must be on the wire before
+  // blocking for the peer's next line.
+  flush_out();
+  ssize_t got;
+  do {
+    got = ::read(fd_, in_buf_, kBufferSize);
+  } while (got < 0 && errno == EINTR);
+  if (got <= 0) {
+    return traits_type::eof();
+  }
+  setg(in_buf_, in_buf_, in_buf_ + got);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::flush_out() {
+  const char* begin = pbase();
+  const char* end = pptr();
+  while (begin < end) {
+    ssize_t wrote;
+    do {
+      wrote = ::write(fd_, begin, static_cast<std::size_t>(end - begin));
+    } while (wrote < 0 && errno == EINTR);
+    if (wrote <= 0) {
+      setp(out_buf_, out_buf_ + kBufferSize);
+      return false;  // peer gone; the stream goes bad on the next sync
+    }
+    begin += wrote;
+  }
+  setp(out_buf_, out_buf_ + kBufferSize);
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flush_out()) {
+    return traits_type::eof();
+  }
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return flush_out() ? 0 : -1; }
+
+SocketStream::SocketStream(int fd) : std::iostream(nullptr), buf_(fd) {
+  rdbuf(&buf_);
+}
+
+UnixServerSocket::UnixServerSocket(const std::string& path)
+    : path_(path), fd_(make_unix_socket()) {
+  if (fd_ < 0) {
+    throw util::Error("cannot create unix socket");
+  }
+  sockaddr_un addr{};
+  if (!fill_address(path_, addr)) {
+    ::close(fd_);
+    throw util::InvalidArgument("bad unix socket path: " + path_);
+  }
+  ::unlink(path_.c_str());  // a stale socket file from a dead server
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 8) != 0) {
+    ::close(fd_);
+    throw util::Error("cannot bind/listen on unix socket: " + path_);
+  }
+}
+
+UnixServerSocket::~UnixServerSocket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  ::unlink(path_.c_str());
+}
+
+int UnixServerSocket::accept_fd() {
+  ssize_t fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  return static_cast<int>(fd);
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (!fill_address(path, addr)) {
+    return -1;
+  }
+  const int fd = make_unix_socket();
+  if (fd < 0) {
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace ao::service

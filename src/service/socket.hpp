@@ -1,0 +1,67 @@
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <streambuf>
+#include <string>
+
+namespace ao::service {
+
+/// Buffered std::streambuf over a file descriptor — what lets the campaign
+/// service speak its line protocol identically over a unix socket and over
+/// the stringstreams the tests drive it with.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+  ~FdStreamBuf() override;
+  FdStreamBuf(const FdStreamBuf&) = delete;
+  FdStreamBuf& operator=(const FdStreamBuf&) = delete;
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool flush_out();
+
+  static constexpr std::size_t kBufferSize = 4096;
+  int fd_;
+  char in_buf_[kBufferSize];
+  char out_buf_[kBufferSize];
+};
+
+/// iostream over a connected socket fd; closes the fd on destruction.
+class SocketStream : public std::iostream {
+ public:
+  explicit SocketStream(int fd);
+  ~SocketStream() override = default;
+
+ private:
+  FdStreamBuf buf_;
+};
+
+/// Listening unix-domain socket. The constructor unlinks any stale socket
+/// file at `path`, binds and listens; the destructor closes and unlinks.
+class UnixServerSocket {
+ public:
+  explicit UnixServerSocket(const std::string& path);
+  ~UnixServerSocket();
+  UnixServerSocket(const UnixServerSocket&) = delete;
+  UnixServerSocket& operator=(const UnixServerSocket&) = delete;
+
+  /// Blocks for the next client; returns a connected fd, or -1 when the
+  /// socket was shut down or accept failed.
+  int accept_fd();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+/// Connects to a unix-domain socket; returns the fd or -1 on failure.
+int connect_unix(const std::string& path);
+
+}  // namespace ao::service

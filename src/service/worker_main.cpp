@@ -1,0 +1,99 @@
+// ao_worker: one shard of a service campaign in its own process.
+//
+// The CampaignService's WorkerPool spawns this binary with the campaign
+// request serialized to a file plus the shard's group list; the worker
+// expands exactly those job groups, runs them, and write-throughs every
+// record into the named store — which the service tails for streaming and
+// merges when the worker exits. stdout stays silent; errors go to stderr
+// and the exit code.
+//
+//   ao_worker --request <file> --groups <i,j,...> --store <file>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/worker_pool.hpp"
+
+namespace {
+
+bool parse_groups(const std::string& csv, std::vector<std::size_t>& out) {
+  std::size_t value = 0;
+  bool in_number = false;
+  for (const char c : csv) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      in_number = true;
+    } else if (c == ',' && in_number) {
+      out.push_back(value);
+      value = 0;
+      in_number = false;
+    } else {
+      return false;
+    }
+  }
+  if (in_number) {
+    out.push_back(value);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string request_path;
+  std::string groups_csv;
+  std::string store_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--request") == 0) {
+      request_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--groups") == 0) {
+      groups_csv = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      store_path = argv[i + 1];
+    } else {
+      std::cerr << "ao_worker: unknown option " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (request_path.empty() || groups_csv.empty() || store_path.empty()) {
+    std::cerr << "usage: ao_worker --request <file> --groups <i,j,...> "
+                 "--store <file>\n";
+    return 2;
+  }
+
+  std::ifstream in(request_path);
+  if (!in) {
+    std::cerr << "ao_worker: cannot read request file " << request_path
+              << "\n";
+    return 2;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  std::string error;
+  const auto request = ao::service::parse_request_lines(lines, &error);
+  if (!request.has_value()) {
+    std::cerr << "ao_worker: malformed request: " << error << "\n";
+    return 2;
+  }
+
+  std::vector<std::size_t> groups;
+  if (!parse_groups(groups_csv, groups)) {
+    std::cerr << "ao_worker: malformed group list: " << groups_csv << "\n";
+    return 2;
+  }
+
+  const std::string shard_error =
+      ao::service::run_shard(*request, groups, store_path);
+  if (!shard_error.empty()) {
+    std::cerr << "ao_worker: shard failed: " << shard_error << "\n";
+    return 1;
+  }
+  return 0;
+}

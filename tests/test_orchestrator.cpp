@@ -236,6 +236,30 @@ PowerRecord power_stub() {
   return r;
 }
 
+Fp64EmuRecord fp64emu_stub() {
+  Fp64EmuRecord r;
+  r.chip = soc::ChipModel::kM1;
+  r.n = 24;
+  r.seed = 11;
+  r.emu_max_abs_error = 2.5e-13;
+  r.fp32_max_abs_error = 4.0e-6;
+  r.emulated_gflops = 250.5;
+  r.fp32_gflops = 2630.25;
+  return r;
+}
+
+SmeRecord sme_stub() {
+  SmeRecord r;
+  r.chip = soc::ChipModel::kM4;
+  r.n = 32;
+  r.seed = 13;
+  r.max_abs_diff = 0.0;
+  r.matches_amx = true;
+  r.mean_output = 7.98;
+  r.modeled_gflops = 1780.5;
+  return r;
+}
+
 /// One key per record family, as key_for_job would build them.
 std::map<std::string, std::pair<CacheKey, MeasurementRecord>> sample_entries() {
   std::map<std::string, std::pair<CacheKey, MeasurementRecord>> entries;
@@ -279,6 +303,20 @@ std::map<std::string, std::pair<CacheKey, MeasurementRecord>> sample_entries() {
   power_job.kind = JobKind::kPowerIdle;
   power_job.chip = soc::ChipModel::kM2;
   entries["power"] = {key_for_job(power_job, 0), power_stub()};
+
+  ExperimentJob fp64emu_job;
+  fp64emu_job.kind = JobKind::kFp64Emulation;
+  fp64emu_job.chip = soc::ChipModel::kM1;
+  fp64emu_job.n = 24;
+  fp64emu_job.study_seed = 11;
+  entries["fp64emu"] = {key_for_job(fp64emu_job, 0), fp64emu_stub()};
+
+  ExperimentJob sme_job;
+  sme_job.kind = JobKind::kSmeGemm;
+  sme_job.chip = soc::ChipModel::kM4;
+  sme_job.n = 32;
+  sme_job.study_seed = 13;
+  entries["sme"] = {key_for_job(sme_job, 0), sme_stub()};
   return entries;
 }
 
@@ -711,8 +749,9 @@ TEST(Campaign, CacheKeyedOnOptionsNotJustThePoint) {
 
 /// A small campaign exercising every JobKind: GEMM measure + verify at a
 /// functional size, CPU STREAM at two thread counts, GPU STREAM, a
-/// precision study, an ANE dispatch, and an idle power sample.
-Campaign seven_kind_campaign() {
+/// precision study, an ANE dispatch, an FP64-emulation study, an SME GEMM,
+/// and an idle power sample.
+Campaign nine_kind_campaign() {
   harness::GemmExperiment::Options opts;
   opts.repetitions = 2;
   Campaign campaign;
@@ -724,22 +763,24 @@ Campaign seven_kind_campaign() {
       .gpu_stream(/*repetitions=*/2, /*elements=*/1u << 10)
       .precision_study({32}, /*seed=*/5)
       .ane_inference({64})
+      .fp64_emulation({24}, /*seed=*/11)
+      .sme_gemm({48}, /*seed=*/13)
       .power_idle(0.25)
       .concurrency(4);
   return campaign;
 }
 
 TEST(Campaign, SchedulesEveryJobKindAndProducesTypedRecords) {
-  Campaign campaign = seven_kind_campaign();
+  Campaign campaign = nine_kind_campaign();
 
-  // The expansion covers all seven kinds.
+  // The expansion covers all nine kinds.
   JobQueue queue;
   campaign.expand(queue);
   std::map<JobKind, std::size_t> kinds;
   for (const auto& job : queue.jobs()) {
     ++kinds[job.kind];
   }
-  EXPECT_EQ(kinds.size(), 7u);
+  EXPECT_EQ(kinds.size(), kJobKindCount);
   EXPECT_EQ(queue.jobs().size(), campaign.job_count());
 
   const auto result = campaign.run();
@@ -748,6 +789,27 @@ TEST(Campaign, SchedulesEveryJobKindAndProducesTypedRecords) {
   ASSERT_EQ(result.precision.size(), 2u);
   ASSERT_EQ(result.ane.size(), 2u);
   ASSERT_EQ(result.power.size(), 2u);
+  ASSERT_EQ(result.fp64emu.size(), 2u);
+  ASSERT_EQ(result.sme.size(), 2u);
+
+  for (const auto& r : result.fp64emu) {
+    EXPECT_EQ(r.n, 24u);
+    EXPECT_EQ(r.seed, 11u);
+    // The double-single shader restores most of the FP64 accuracy the plain
+    // FP32 path loses, at a modeled throughput cost.
+    EXPECT_LT(r.emu_max_abs_error, r.fp32_max_abs_error / 100.0);
+    EXPECT_GT(r.fp32_gflops, r.emulated_gflops);
+    EXPECT_GT(r.emulated_gflops, 0.0);
+  }
+  for (const auto& r : result.sme) {
+    EXPECT_EQ(r.n, 48u);
+    EXPECT_EQ(r.seed, 13u);
+    // SME FMOPA tiling must agree with the AMX reference bit-for-bit.
+    EXPECT_TRUE(r.matches_amx);
+    EXPECT_EQ(r.max_abs_diff, 0.0);
+    EXPECT_GT(r.mean_output, 0.0);
+    EXPECT_GT(r.modeled_gflops, 0.0);
+  }
 
   std::size_t gpu_points = 0;
   for (const auto& point : result.stream) {
@@ -789,13 +851,13 @@ TEST(Campaign, AneIncompatibleShapeFallsBackToGpu) {
   EXPECT_NEAR(result.ane.front().mean_output, 10.0, 1.0);
 }
 
-// The ISSUE's acceptance sweep: a campaign mixing all seven JobKinds runs
-// twice in (simulated) separate processes — a cold in-memory cache warmed
-// only from the disk store serves every repeated point of the second run.
-TEST(Campaign, SevenKindCampaignRepeatsAcrossProcessesViaDiskStore) {
-  const std::string path = temp_store("seven_kinds");
+// A campaign mixing all nine JobKinds runs twice in (simulated) separate
+// processes — a cold in-memory cache warmed only from the disk store serves
+// every repeated point of the second run.
+TEST(Campaign, NineKindCampaignRepeatsAcrossProcessesViaDiskStore) {
+  const std::string path = temp_store("nine_kinds");
 
-  Campaign campaign = seven_kind_campaign();
+  Campaign campaign = nine_kind_campaign();
   CampaignResult first;
   {
     ResultCache cache;  // process 1
@@ -825,7 +887,145 @@ TEST(Campaign, SevenKindCampaignRepeatsAcrossProcessesViaDiskStore) {
   EXPECT_EQ(first.precision, second.precision);
   EXPECT_EQ(first.ane, second.ane);
   EXPECT_EQ(first.power, second.power);
+  EXPECT_EQ(first.fp64emu, second.fp64emu);
+  EXPECT_EQ(first.sme, second.sme);
   std::remove(path.c_str());
+}
+
+// --------------------------------------------------- compaction + merging --
+
+TEST(ResultCachePersistence, ManualCompactRewritesTheStoreToTheLiveSet) {
+  const std::string path = temp_store("manual_compact");
+  ResultCache cache;
+  cache.persist_to(path);
+  const auto entries = sample_entries();
+  const auto& gemm_entry = entries.at("gemm");
+  for (int i = 0; i < 5; ++i) {
+    cache.insert(gemm_entry.first, gemm_entry.second);  // 5 appended lines
+  }
+  EXPECT_EQ(cache.store_entries(), 5u);
+  EXPECT_EQ(cache.compact(), 1u);
+  EXPECT_EQ(cache.store_entries(), 1u);
+  EXPECT_EQ(cache.stats().compactions, 1u);
+  ResultCache cold;
+  EXPECT_EQ(cold.load(path), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, DuplicateHeavyWriteThroughAutoCompacts) {
+  const std::string path = temp_store("auto_compact");
+  ResultCache cache;
+  cache.persist_to(path);
+  // Tight policy so the test stays small: compact as soon as fewer than
+  // half of >= 8 store lines are live.
+  cache.set_compaction_policy(/*min_live_ratio=*/0.5, /*min_entries=*/8);
+  const auto entries = sample_entries();
+  const auto& gemm_entry = entries.at("gemm");
+  const auto& power_entry = entries.at("power");
+  cache.insert(power_entry.first, power_entry.second);
+  for (int i = 0; i < 12; ++i) {
+    cache.insert(gemm_entry.first, gemm_entry.second);
+  }
+  // 13 appends against 2 live entries: the policy must have fired, keeping
+  // the store well below the 13 lines an uncompacted log would hold.
+  EXPECT_GE(cache.stats().compactions, 1u);
+  EXPECT_LE(cache.store_entries(), 8u);
+  // The store still reconstructs exactly the live set.
+  ResultCache cold;
+  EXPECT_EQ(cold.load(path), cache.store_entries());
+  EXPECT_EQ(cold.size(), 2u);
+  EXPECT_TRUE(cold.contains(gemm_entry.first));
+  EXPECT_TRUE(cold.contains(power_entry.first));
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, CompactWithoutAStoreThrows) {
+  ResultCache cache;
+  EXPECT_THROW(cache.compact(), util::InvalidArgument);
+}
+
+TEST(ResultCachePersistence, AutoCompactionSuspendsOnceAnEntryIsEvicted) {
+  const std::string path = temp_store("evicted_no_compact");
+  const auto entries = sample_entries();
+  ResultCache cache(/*capacity=*/2);  // 8 distinct sample keys: evictions
+  cache.persist_to(path);
+  cache.set_compaction_policy(/*min_live_ratio=*/0.9, /*min_entries=*/2);
+  for (const auto& [name, entry] : entries) {
+    cache.insert(entry.first, entry.second);
+  }
+  // Evicted entries live only in the append log now; a rewrite would
+  // delete them, so the ratio policy must not have fired.
+  EXPECT_EQ(cache.stats().compactions, 0u);
+  EXPECT_EQ(cache.store_entries(), entries.size());
+  ResultCache cold;
+  EXPECT_EQ(cold.load(path), entries.size());
+  EXPECT_EQ(cold.size(), entries.size());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, AutoCompactionSparesAStoreThatWasNeverLoaded) {
+  const std::string path = temp_store("foreign_no_compact");
+  const auto entries = sample_entries();
+  {
+    ResultCache writer;
+    writer.persist_to(path);
+    for (const auto& [name, entry] : entries) {
+      writer.insert(entry.first, entry.second);
+    }
+  }
+  // A restarted process attaches write-through WITHOUT load(): the store
+  // holds entries this cache never saw, so duplicate-heavy appends must
+  // not trigger a rewrite (it would delete them all).
+  ResultCache restarted;
+  restarted.persist_to(path);
+  restarted.set_compaction_policy(/*min_live_ratio=*/0.5, /*min_entries=*/2);
+  const auto& gemm_entry = entries.at("gemm");
+  for (int i = 0; i < 12; ++i) {
+    restarted.insert(gemm_entry.first, gemm_entry.second);
+  }
+  EXPECT_EQ(restarted.stats().compactions, 0u);
+  ResultCache cold;
+  EXPECT_EQ(cold.load(path), entries.size() + 12);  // every line survived
+  EXPECT_EQ(cold.size(), entries.size());           // nothing was lost
+  // load()-then-persist_to() re-arms the policy: the retained set covers
+  // the store again, so the same duplicate pressure now compacts.
+  ResultCache warmed;
+  warmed.load(path);
+  EXPECT_EQ(warmed.size(), entries.size());
+  warmed.persist_to(path);
+  warmed.set_compaction_policy(/*min_live_ratio=*/0.5, /*min_entries=*/2);
+  for (int i = 0; i < 12; ++i) {
+    warmed.insert(gemm_entry.first, gemm_entry.second);
+  }
+  EXPECT_GE(warmed.stats().compactions, 1u);
+  ResultCache after;
+  after.load(path);
+  EXPECT_EQ(after.size(), entries.size());  // compaction was lossless
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, MergeStorePropagatesToTheWriteThroughStore) {
+  const std::string shard_path = temp_store("merge_shard");
+  const std::string service_path = temp_store("merge_service");
+  const auto entries = sample_entries();
+  {
+    ResultCache shard;  // a worker's independent store
+    shard.persist_to(shard_path);
+    for (const auto& [name, entry] : entries) {
+      shard.insert(entry.first, entry.second);
+    }
+  }
+  {
+    ResultCache service;  // the service's persistent warm cache
+    service.persist_to(service_path);
+    EXPECT_EQ(service.merge_store(shard_path), entries.size());
+    EXPECT_EQ(service.size(), entries.size());
+  }
+  // Unlike load(), the merge landed in the service's own store.
+  ResultCache cold;
+  EXPECT_EQ(cold.load(service_path), entries.size());
+  std::remove(shard_path.c_str());
+  std::remove(service_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+#include "orchestrator/record.hpp"
+#include "orchestrator/result_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "service/shard_planner.hpp"
+#include "service/worker_pool.hpp"
+
+namespace ao::service {
+namespace {
+
+using orchestrator::CacheKey;
+using orchestrator::JobKind;
+using orchestrator::MeasurementRecord;
+
+// ---------------------------------------------------------------- protocol --
+
+CampaignRequest full_request() {
+  CampaignRequest request;
+  request.name = "everything";
+  request.chips = {soc::ChipModel::kM1, soc::ChipModel::kM3};
+  request.impls = {soc::GemmImpl::kCpuSingle, soc::GemmImpl::kGpuMps};
+  request.sizes = {32, 64};
+  request.repetitions = 2;
+  request.matrix_seed = 7;
+  request.verify_n_max = 64;
+  request.functional_n_max = 64;
+  request.stream_threads = {1, 2};
+  request.stream_repetitions = 3;
+  request.stream_elements = 1u << 10;
+  request.gpu_stream = true;
+  request.gpu_stream_repetitions = 4;
+  request.gpu_stream_elements = 1u << 10;
+  request.precision_sizes = {24};
+  request.precision_seed = 5;
+  request.ane_sizes = {32};
+  request.ane_functional = true;
+  request.fp64emu_sizes = {24};
+  request.fp64emu_seed = 11;
+  request.sme_sizes = {32};
+  request.sme_seed = 13;
+  request.power_idle = true;
+  request.power_window_seconds = 0.25;
+  request.workers = 2;
+  request.shards = 2;
+  return request;
+}
+
+TEST(Protocol, RequestBlockRoundTripsThroughItsTextForm) {
+  const CampaignRequest request = full_request();
+  std::string error;
+  const auto parsed = parse_request_lines(request.to_lines(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(*parsed == request);
+}
+
+TEST(Protocol, CampaignNamesAreFilesystemSafe) {
+  EXPECT_TRUE(valid_campaign_name("fig2-sweep_v1.2"));
+  EXPECT_FALSE(valid_campaign_name("a/b"));
+  EXPECT_FALSE(valid_campaign_name("../../tmp/evil"));
+  EXPECT_FALSE(valid_campaign_name(".."));
+  EXPECT_FALSE(valid_campaign_name("spaced out"));
+  EXPECT_FALSE(valid_campaign_name(std::string(65, 'a')));
+  // The name lands in shard-store paths, so begin rejects traversal and
+  // leaves no request open.
+  RequestBuilder builder;
+  EXPECT_TRUE(builder.begin("../evil").has_value());
+  EXPECT_FALSE(builder.open());
+  EXPECT_FALSE(builder.begin("ok-name").has_value());
+}
+
+TEST(Protocol, BuilderRejectsMalformedSetterLines) {
+  RequestBuilder builder;
+  ASSERT_FALSE(builder.begin("x").has_value());
+  EXPECT_TRUE(builder.apply("chips m1,m9").has_value());
+  EXPECT_TRUE(builder.apply("impls cpu-quantum").has_value());
+  EXPECT_TRUE(builder.apply("sizes banana").has_value());
+  EXPECT_TRUE(builder.apply("repetitions 0").has_value());
+  EXPECT_TRUE(builder.apply("workers nope").has_value());
+  EXPECT_TRUE(builder.apply("frobnicate 3").has_value());
+  // The request is still usable after every rejection.
+  EXPECT_FALSE(builder.apply("chips m1").has_value());
+  EXPECT_FALSE(builder.apply("sme 32").has_value());
+  const CampaignRequest request = builder.take();
+  EXPECT_TRUE(request.has_work());
+}
+
+TEST(Protocol, ImplNamesMatchTheFigureLegends) {
+  EXPECT_EQ(gemm_impl_from_string("cpu-single"), soc::GemmImpl::kCpuSingle);
+  EXPECT_EQ(gemm_impl_from_string("GPU-MPS"), soc::GemmImpl::kGpuMps);
+  EXPECT_EQ(gemm_impl_from_string("gpu-cutlass"), soc::GemmImpl::kGpuCutlass);
+  EXPECT_THROW(gemm_impl_from_string("tpu"), util::InvalidArgument);
+}
+
+// ----------------------------------------------------------------- session --
+
+std::filesystem::path temp_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / ("ao_svc_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::string> serve_lines(CampaignService& service,
+                                     const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  service.serve(in, out);
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+bool starts_with(const std::string& line, const std::string& prefix) {
+  return line.rfind(prefix, 0) == 0;
+}
+
+std::size_t count_prefixed(const std::vector<std::string>& lines,
+                           const std::string& prefix) {
+  std::size_t count = 0;
+  for (const auto& line : lines) {
+    if (starts_with(line, prefix)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(CampaignService, MalformedRequestsGetErrorRepliesNotACrash) {
+  CampaignService service({});
+  const auto lines = serve_lines(service,
+                                 "warp 9\n"
+                                 "run\n"
+                                 "begin bad\n"
+                                 "chips m1,m9\n"
+                                 "sizes x\n"
+                                 "begin nested\n"
+                                 "run\n"         // no chips accepted -> error
+                                 "begin empty\n"
+                                 "chips m1\n"
+                                 "run\n"         // no work -> error
+                                 "ping\n");
+  // Every bad line answered with an error; the session survived to the pong.
+  EXPECT_GE(count_prefixed(lines, "error "), 6u);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "pong");
+  EXPECT_EQ(count_prefixed(lines, "record "), 0u);
+}
+
+TEST(CampaignService, UnknownCommandOutsideARequestIsAnError) {
+  CampaignService service({});
+  const auto lines = serve_lines(service, "chips m1\nshutdown\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[0], "error "));
+  EXPECT_EQ(lines[1], "ok shutdown");
+}
+
+/// A small mixed campaign covering every JobKind, sized for test time.
+std::string nine_kind_block(std::size_t workers, std::size_t shards) {
+  std::ostringstream out;
+  out << "begin ninekinds\n"
+         "chips m1,m3\n"
+         "impls cpu-single,gpu-mps\n"
+         "sizes 32\n"
+         "repetitions 2\n"
+         "stream 1,2 2 1024\n"
+         "gpu-stream 2 1024\n"
+         "precision 24 5\n"
+         "ane 32\n"
+         "fp64emu 24 11\n"
+         "sme 32 13\n"
+         "power 0.25\n"
+      << "workers " << workers << "\nshards " << shards << "\nrun\n";
+  return out.str();
+}
+
+TEST(CampaignService, StreamsRecordsBeforeDoneInDependencyOrder) {
+  CampaignService service({});
+  const auto lines = serve_lines(service, nine_kind_block(2, 1));
+
+  ASSERT_FALSE(lines.empty());
+  EXPECT_TRUE(starts_with(lines.front(), "ok campaign "));
+  EXPECT_TRUE(starts_with(lines.back(), "done campaign "));
+
+  // Streamed records arrive incrementally: every record line sits strictly
+  // between the ok header and the done trailer, interleaved with monotonic
+  // progress lines.
+  std::size_t records = 0;
+  std::size_t last_progress = 0;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    if (starts_with(lines[i], "record ")) {
+      const auto entry = orchestrator::parse_store_entry(lines[i].substr(7));
+      ASSERT_TRUE(entry.has_value()) << lines[i];
+      ++records;
+      // Dependency order: a GEMM measurement streams only after its verify
+      // job settled, so the record already carries the verdict.
+      if (entry->first.kind == JobKind::kGemmMeasure) {
+        const auto& m =
+            std::get<harness::GemmMeasurement>(entry->second);
+        EXPECT_TRUE(m.verified)
+            << "gemm record streamed before its verification";
+      }
+    } else if (starts_with(lines[i], "progress ")) {
+      std::istringstream in(lines[i].substr(9));
+      std::size_t done = 0;
+      char slash = 0;
+      std::size_t total = 0;
+      ASSERT_TRUE(in >> done >> slash >> total);
+      EXPECT_GT(done, last_progress);
+      last_progress = done;
+    }
+  }
+  // 2 chips x (2 gemm + 2 cpu-stream + 1 gpu-stream + 1 precision + 1 ane +
+  // 1 fp64emu + 1 sme + 1 power) = 20 streamed records.
+  EXPECT_EQ(records, 20u);
+}
+
+TEST(CampaignService, RepeatedCampaignIsServedFromTheWarmCache) {
+  CampaignService service({});
+  const auto first = serve_lines(service, nine_kind_block(2, 1));
+  const auto second = serve_lines(service, nine_kind_block(2, 1));
+  ASSERT_TRUE(starts_with(second.back(), "done campaign "));
+  // "done campaign <id> records <n> executed <e> hits <h>"
+  std::istringstream in(second.back());
+  std::string word;
+  std::size_t records = 0;
+  std::size_t executed = 0;
+  std::size_t hits = 0;
+  in >> word >> word >> word >> word >> records >> word >> executed >> word >>
+      hits;
+  EXPECT_EQ(records, 20u);
+  EXPECT_EQ(executed, 0u);  // every point came from the warm cache
+  EXPECT_EQ(hits, 20u);
+  EXPECT_EQ(count_prefixed(second, "record "), 20u);
+}
+
+// ------------------------------------------------------------ shard planner --
+
+TEST(ShardPlanner, CoversEveryGroupExactlyOnceAndIsDeterministic) {
+  std::string error;
+  const auto request =
+      parse_request_lines(full_request().to_lines(), &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  const auto groups = request->to_campaign().groups();
+  ASSERT_GT(groups.size(), 4u);
+
+  const ShardPlan plan = plan_shards(groups, 3);
+  ASSERT_EQ(plan.shard_count(), 3u);
+  std::vector<std::size_t> seen;
+  for (const auto& shard : plan.shard_groups) {
+    seen.insert(seen.end(), shard.begin(), shard.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::size_t> expected(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    expected[i] = i;
+  }
+  EXPECT_EQ(seen, expected);
+
+  const ShardPlan again = plan_shards(groups, 3);
+  EXPECT_EQ(plan.shard_groups, again.shard_groups);
+
+  // Every shard carries real work and none carries all of it.
+  double total = 0.0;
+  for (const auto& g : groups) {
+    total += estimated_group_cost(g);
+  }
+  const double heaviest =
+      *std::max_element(plan.shard_costs.begin(), plan.shard_costs.end());
+  EXPECT_GT(heaviest, 0.0);
+  EXPECT_LT(heaviest, total);
+}
+
+TEST(ShardPlanner, MoreShardsThanGroupsLeavesTrailingShardsEmpty) {
+  orchestrator::Campaign campaign;
+  campaign.chips({soc::ChipModel::kM1}).impls({}).sizes({}).sme_gemm({32});
+  const auto groups = campaign.groups();
+  ASSERT_EQ(groups.size(), 1u);
+  const ShardPlan plan = plan_shards(groups, 4);
+  std::size_t populated = 0;
+  for (const auto& shard : plan.shard_groups) {
+    populated += shard.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(populated, 1u);
+}
+
+// ------------------------------------------------------------- sharded run --
+
+std::map<std::uint64_t, std::string> entries_by_key(
+    orchestrator::ResultCache& cache) {
+  std::map<std::uint64_t, std::string> out;
+  for (const auto& [key, record] : cache.entries()) {
+    out[key.fingerprint()] = orchestrator::serialize_record(record);
+  }
+  return out;
+}
+
+// The ISSUE's acceptance criterion: a two-worker sharded service run of the
+// mixed campaign produces a merged result store equal per CacheKey — bit
+// patterns included (serialize_record writes hex bit patterns, so string
+// equality IS bit equality) — to the same campaign run single-process.
+TEST(CampaignService, TwoWorkerShardedRunMatchesSingleProcessBitForBit) {
+  const auto dir = temp_dir("sharded");
+
+  CampaignService sharded({/*cache_capacity=*/4096,
+                           /*store_path=*/"",
+                           /*shard_dir=*/dir.string(),
+                           /*worker_binary=*/""});
+  const auto sharded_lines = serve_lines(sharded, nine_kind_block(2, 2));
+  ASSERT_TRUE(starts_with(sharded_lines.back(), "done campaign "))
+      << sharded_lines.back();
+  EXPECT_NE(sharded_lines.back().find("shards 2"), std::string::npos);
+  // The client observed streamed records before the campaign finished.
+  EXPECT_EQ(count_prefixed(sharded_lines, "record "), 20u);
+
+  CampaignService single({});
+  const auto single_lines = serve_lines(single, nine_kind_block(2, 1));
+  ASSERT_TRUE(starts_with(single_lines.back(), "done campaign "));
+
+  const auto sharded_entries = entries_by_key(sharded.cache());
+  const auto single_entries = entries_by_key(single.cache());
+  ASSERT_EQ(sharded_entries.size(), 20u);
+  EXPECT_EQ(sharded_entries, single_entries);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignService, RepeatedShardedCampaignIsServedFromTheWarmCache) {
+  const auto dir = temp_dir("warm_sharded");
+  CampaignService service({/*cache_capacity=*/4096, /*store_path=*/"",
+                           /*shard_dir=*/dir.string(),
+                           /*worker_binary=*/""});
+  const auto first = serve_lines(service, nine_kind_block(2, 2));
+  ASSERT_TRUE(starts_with(first.back(), "done campaign "));
+  // The rerun streams every point from the warm cache: no worker spawns,
+  // nothing merges.
+  const auto second = serve_lines(service, nine_kind_block(2, 2));
+  ASSERT_TRUE(starts_with(second.back(), "done campaign "));
+  EXPECT_EQ(count_prefixed(second, "record "), 20u);
+  EXPECT_NE(second.back().find("merged 0"), std::string::npos);
+  EXPECT_NE(second.back().find("hits 20"), std::string::npos);
+  EXPECT_NE(second.back().find("shards 0"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WorkerPool, ShardFailureIsReportedNotFatal) {
+  const auto dir = temp_dir("failure");
+  CampaignRequest request;  // no chips: run_shard throws inside the worker
+  request.sme_sizes = {32};
+  WorkerPool pool;  // in-process mode
+  pool.start(request, "", {{0, {0}, (dir / "s0.aocache").string()}});
+  const auto outcomes = pool.wait();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_NE(outcomes[0].exit_code, 0);
+  EXPECT_FALSE(outcomes[0].error.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignService, ShardedRunPersistsMergedEntriesToTheServiceStore) {
+  const auto dir = temp_dir("persist");
+  const std::string store = (dir / "service.aocache").string();
+  {
+    CampaignService service({/*cache_capacity=*/4096, store, dir.string(),
+                             /*worker_binary=*/""});
+    const auto lines = serve_lines(service, nine_kind_block(1, 2));
+    ASSERT_TRUE(starts_with(lines.back(), "done campaign "));
+  }
+  // The merged store round-trips into a cold cache in a fresh "process".
+  orchestrator::ResultCache cold;
+  EXPECT_EQ(cold.load(store), 20u);
+  EXPECT_EQ(cold.stats().load_rejected, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ao::service

@@ -1,0 +1,154 @@
+// ao_campaignctl: client for the campaign service (ao_campaignd).
+//
+// Submits a sweep request over the service's unix socket and tails the
+// streamed replies — `record` lines arrive while the campaign is still
+// running. Exit status reflects the protocol outcome, so the tool scripts
+// cleanly (the CI smoke job is the reference user).
+//
+//   ao_campaignctl --socket <path> [--request <file>]   submit (stdin
+//                                                       without --request)
+//   ao_campaignctl --socket <path> ping|stats|compact|shutdown
+//   ao_campaignctl --verify-store <file>                offline store check
+//
+// Submit exits 0 when a `done` reply arrived, 1 on any `error` reply or a
+// dropped connection. --verify-store loads the store through ResultCache
+// and fails when it is empty or any entry was rejected — the round-trip
+// assertion for merged shard stores.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "orchestrator/result_cache.hpp"
+#include "service/socket.hpp"
+
+namespace {
+
+int verify_store(const std::string& path) {
+  ao::orchestrator::ResultCache cache;
+  const std::size_t loaded = cache.load(path);
+  const auto stats = cache.stats();
+  std::cout << "store " << path << ": " << loaded << " entries loaded, "
+            << stats.load_rejected << " rejected\n";
+  if (loaded == 0) {
+    std::cerr << "ao_campaignctl: store is empty or unreadable\n";
+    return 1;
+  }
+  if (stats.load_rejected != 0) {
+    std::cerr << "ao_campaignctl: store holds corrupt entries\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Sends `lines`, then prints every reply. Returns 0 once the terminal
+/// reply for `mode` arrives, 1 on `error` or disconnect.
+int converse(ao::service::SocketStream& stream,
+             const std::vector<std::string>& lines, const std::string& mode) {
+  for (const std::string& line : lines) {
+    stream << line << '\n';
+  }
+  stream.flush();
+
+  std::string reply;
+  while (std::getline(stream, reply)) {
+    std::cout << reply << '\n';
+    std::istringstream words(reply);
+    std::string first;
+    std::string second;
+    words >> first >> second;
+    if (first == "error") {
+      return 1;
+    }
+    if (mode == "submit" && first == "done") {
+      return 0;
+    }
+    if (mode == "ping" && first == "pong") {
+      return 0;
+    }
+    if (mode == "stats" && first == "stats") {
+      return 0;
+    }
+    if ((mode == "compact" || mode == "shutdown") && first == "ok" &&
+        second == mode) {
+      return 0;
+    }
+  }
+  std::cerr << "ao_campaignctl: connection closed before the final reply\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string request_path;
+  std::string verify_path;
+  std::string command = "submit";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--request") == 0 && i + 1 < argc) {
+      request_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verify-store") == 0 && i + 1 < argc) {
+      verify_path = argv[++i];
+    } else if (argv[i][0] != '-') {
+      command = argv[i];
+    } else {
+      std::cerr << "ao_campaignctl: unknown option " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  if (!verify_path.empty()) {
+    return verify_store(verify_path);
+  }
+  if (socket_path.empty()) {
+    std::cerr << "usage: ao_campaignctl --socket <path> "
+                 "[--request <file> | ping|stats|compact|shutdown]\n"
+                 "       ao_campaignctl --verify-store <file>\n";
+    return 2;
+  }
+
+  std::vector<std::string> lines;
+  if (command == "submit") {
+    std::istream* in = &std::cin;
+    std::ifstream file;
+    if (!request_path.empty()) {
+      file.open(request_path);
+      if (!file) {
+        std::cerr << "ao_campaignctl: cannot read " << request_path << "\n";
+        return 2;
+      }
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      lines.push_back(line);
+      if (line.rfind("run", 0) == 0) {
+        break;  // the block is complete; ignore trailing noise
+      }
+    }
+    if (lines.empty()) {
+      std::cerr << "ao_campaignctl: empty request\n";
+      return 2;
+    }
+  } else if (command == "ping" || command == "stats" || command == "compact" ||
+             command == "shutdown") {
+    lines.push_back(command);
+  } else {
+    std::cerr << "ao_campaignctl: unknown command " << command << "\n";
+    return 2;
+  }
+
+  const int fd = ao::service::connect_unix(socket_path);
+  if (fd < 0) {
+    std::cerr << "ao_campaignctl: cannot connect to " << socket_path << "\n";
+    return 1;
+  }
+  ao::service::SocketStream stream(fd);
+  return converse(stream, lines, command);
+}
