@@ -263,7 +263,8 @@ std::optional<MeasurementRecord> ResultCache::lookup(const CacheKey& key) {
 
 void ResultCache::insert_locked(const CacheKey& key,
                                 const MeasurementRecord& record,
-                                bool write_through) {
+                                bool write_through, std::string* line_out,
+                                bool* compact_out) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = record;
@@ -282,9 +283,11 @@ void ResultCache::insert_locked(const CacheKey& key,
     index_[key] = lru_.begin();
     ++stats_.insertions;
   }
-  if (write_through && persist_out_.is_open()) {
-    persist_out_ << format_entry(*lru_.begin()) << '\n';
-    persist_out_.flush();
+  if (write_through && !persist_path_.empty()) {
+    // The line is formatted (and counted) here, under mutex_, but written
+    // by the caller under io_mutex_ only — concurrent lookups proceed while
+    // the disk append runs.
+    *line_out = format_entry(*lru_.begin());
     ++store_entries_;
     // Auto-compaction: duplicate keys accumulate in the append log until
     // the live/stored ratio crosses the policy line — but only while the
@@ -294,15 +297,48 @@ void ResultCache::insert_locked(const CacheKey& key,
         store_entries_ >= compact_min_entries_ &&
         static_cast<double>(lru_.size()) <
             compact_min_live_ratio_ * static_cast<double>(store_entries_)) {
-      save_locked(persist_path_);
-      ++stats_.compactions;
+      *compact_out = true;
     }
   }
 }
 
-void ResultCache::insert(const CacheKey& key, const MeasurementRecord& record) {
+void ResultCache::append_line(const std::string& line) {
+  if (line.empty()) {
+    return;
+  }
+  std::lock_guard io(io_mutex_);
+  if (persist_out_.is_open()) {
+    persist_out_ << line << '\n';
+    persist_out_.flush();
+  }
+  // A detach can race the append decision; the entry stays in memory and
+  // store_entries_ is reset by persist_to(), so nothing drifts.
+}
+
+void ResultCache::compact_if_attached() {
   std::lock_guard lock(mutex_);
-  insert_locked(key, record, /*write_through=*/true);
+  if (persist_path_.empty()) {
+    return;  // detached between the decision and this call
+  }
+  save_locked(persist_path_);
+  ++stats_.compactions;
+}
+
+void ResultCache::insert(const CacheKey& key, const MeasurementRecord& record) {
+  std::string line;
+  bool compact_now = false;
+  {
+    std::lock_guard lock(mutex_);
+    insert_locked(key, record, /*write_through=*/true, &line, &compact_now);
+  }
+  // insert() returns only after the entry is flushed — the service tails
+  // shard stores live, so a published record must be durable on return. A
+  // concurrent compaction between the two locks at worst duplicates this
+  // line in the store; duplicate keys are benign (last one wins on load).
+  append_line(line);
+  if (compact_now) {
+    compact_if_attached();
+  }
 }
 
 bool ResultCache::contains(const CacheKey& key) const {
@@ -357,6 +393,10 @@ std::size_t ResultCache::save_locked(const std::string& path) {
       throw util::Error("short write to result-cache store: " + tmp);
     }
   }
+  // The rename and the stream reattach must exclude concurrent appends
+  // (io_mutex_); an append that slipped onto the old inode just before is
+  // harmless — its entry is retained in memory and in the rewritten store.
+  std::lock_guard io(io_mutex_);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw util::Error("cannot move result-cache store into place: " + path);
@@ -378,7 +418,7 @@ std::size_t ResultCache::save_locked(const std::string& path) {
 
 std::size_t ResultCache::compact() {
   std::lock_guard lock(mutex_);
-  AO_REQUIRE(persist_out_.is_open(),
+  AO_REQUIRE(!persist_path_.empty(),
              "compact() needs an attached write-through store");
   const std::size_t written = save_locked(persist_path_);
   ++stats_.compactions;
@@ -396,7 +436,7 @@ void ResultCache::set_compaction_policy(double min_live_ratio,
 
 std::size_t ResultCache::store_entries() const {
   std::lock_guard lock(mutex_);
-  return persist_out_.is_open() ? store_entries_ : 0;
+  return persist_path_.empty() ? 0 : store_entries_;
 }
 
 std::size_t ResultCache::load(const std::string& path) {
@@ -422,30 +462,48 @@ std::size_t ResultCache::load_impl(const std::string& path,
     return 0;
   }
   std::size_t loaded = 0;
-  std::lock_guard lock(mutex_);
-  const std::size_t evictions_before = stats_.evictions;
-  while (std::getline(in, line)) {
-    if (line.empty()) {
-      continue;
+  std::vector<std::string> to_append;
+  bool compact_after = false;
+  {
+    std::lock_guard lock(mutex_);
+    const std::size_t evictions_before = stats_.evictions;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      if (auto entry = parse_entry(line)) {
+        std::string formatted;
+        insert_locked(entry->first, entry->second, write_through, &formatted,
+                      &compact_after);
+        if (!formatted.empty()) {
+          to_append.push_back(std::move(formatted));
+        }
+        ++loaded;
+      } else {
+        ++stats_.load_rejected;
+      }
     }
-    if (auto entry = parse_entry(line)) {
-      insert_locked(entry->first, entry->second, write_through);
-      ++loaded;
-    } else {
-      ++stats_.load_rejected;
+    stats_.loaded += loaded;
+    if (stats_.evictions == evictions_before) {
+      // Everything this file holds is now retained: persist_to(path) may
+      // auto-compact it losslessly (rejected lines were corrupt anyway).
+      fully_loaded_path_ = path;
     }
   }
-  stats_.loaded += loaded;
-  if (stats_.evictions == evictions_before) {
-    // Everything this file holds is now retained: persist_to(path) may
-    // auto-compact it losslessly (rejected lines were corrupt anyway).
-    fully_loaded_path_ = path;
+  // merge_store propagation: the batch lands on disk in one io pass, and a
+  // triggered auto-compaction runs once at the end instead of mid-merge.
+  for (const std::string& formatted : to_append) {
+    append_line(formatted);
+  }
+  if (compact_after) {
+    compact_if_attached();
   }
   return loaded;
 }
 
 void ResultCache::persist_to(const std::string& path) {
   std::lock_guard lock(mutex_);
+  std::lock_guard io(io_mutex_);  // lock order: mutex_ then io_mutex_
   persist_out_.close();
   persist_path_.clear();
   store_entries_ = 0;

@@ -84,6 +84,18 @@ std::string store_header_line();
 /// service already-measured points from here instead of re-running the
 /// simulator.
 ///
+/// Thread-safety contract (docs/orchestrator.md#thread-safety): every
+/// public method may be called concurrently from any number of threads —
+/// the campaign service shares one instance between concurrently executing
+/// scheduler instances. Internally two locks split the work: `mutex_`
+/// guards the LRU state and is never held across disk I/O on the hot path,
+/// while `io_mutex_` serializes the write-through stream — so a slow
+/// write-through append never stalls another campaign's lookup()/insert().
+/// insert() still returns only after its entry is flushed to the attached
+/// store (the service's shard tailing depends on that), and two inserts of
+/// the same key are benign: keys are content addresses, so equal keys carry
+/// bit-identical records.
+///
 /// The cache can be backed by a versioned on-disk store (the format is
 /// specified in docs/orchestrator.md): load() warms it from a previous
 /// process's file, save() snapshots it, and persist_to() switches it to
@@ -181,18 +193,32 @@ class ResultCache {
   std::size_t store_entries() const;
 
  private:
+  /// LRU bookkeeping under mutex_. When write_through and a store is
+  /// attached, the formatted entry line is returned through `line_out`
+  /// (appended by the caller under io_mutex_, after mutex_ is released) and
+  /// `compact_out` reports whether the auto-compaction policy fired.
   void insert_locked(const CacheKey& key, const MeasurementRecord& record,
-                     bool write_through);
+                     bool write_through, std::string* line_out,
+                     bool* compact_out);
+  /// Appends one formatted entry line to the write-through stream (no-op
+  /// when `line` is empty or the store is detached). Takes io_mutex_ only.
+  void append_line(const std::string& line);
+  /// Compacts the attached store if still attached — the deferred half of
+  /// an auto-compaction decision made under mutex_.
+  void compact_if_attached();
   std::size_t save_locked(const std::string& path);
   std::size_t load_impl(const std::string& path, bool write_through);
 
-  mutable std::mutex mutex_;
+  /// Lock order: mutex_ before io_mutex_; io_mutex_ is also taken alone
+  /// (insert's append path), never the other way around.
+  mutable std::mutex mutex_;     ///< LRU list, index, stats, store metadata
+  mutable std::mutex io_mutex_;  ///< persist_out_ stream and store files
   std::size_t capacity_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
   CacheStats stats_;
-  std::ofstream persist_out_;
-  std::string persist_path_;
+  std::ofstream persist_out_;  ///< guarded by io_mutex_
+  std::string persist_path_;   ///< guarded by mutex_ ("" = detached)
   std::size_t store_entries_ = 0;  ///< entry lines in the active store
   double compact_min_live_ratio_ = 0.5;
   std::size_t compact_min_entries_ = 256;

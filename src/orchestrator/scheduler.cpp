@@ -154,6 +154,16 @@ CampaignScheduler::CampaignScheduler(
 
 CampaignOutputs CampaignScheduler::run(JobQueue& queue,
                                        RecordCallback on_record) {
+  // A scheduler runs one campaign at a time; the multi-tenant service
+  // enforces this by leasing schedulers exclusively, and this guard turns
+  // any future violation into a loud failure instead of corrupted batches.
+  AO_REQUIRE(!run_active_.exchange(true, std::memory_order_acq_rel),
+             "CampaignScheduler::run() is not reentrant");
+  struct RunGuard {
+    std::atomic<bool>& active;
+    ~RunGuard() { active.store(false, std::memory_order_release); }
+  } run_guard{run_active_};
+
   CampaignOutputs outputs;
   stats_ = {};
   batches_.clear();
@@ -330,15 +340,19 @@ bool CampaignScheduler::serve_from_cache(const ExperimentJob& job,
   if (cache_ == nullptr || !is_cacheable(job.kind)) {
     return false;
   }
+  // The cache lookup runs outside state_mutex_ (ResultCache locks itself);
+  // only the stats tick needs the scheduler lock.
   auto cached = cache_->lookup(key_for_job(job, fingerprint_));
-  if (!cached.has_value()) {
-    std::lock_guard lock(state_mutex_);
-    ++stats_.cache_misses;
-    return false;
-  }
   {
     std::lock_guard lock(state_mutex_);
-    ++stats_.cache_hits;
+    if (cached.has_value()) {
+      ++stats_.cache_hits;
+    } else {
+      ++stats_.cache_misses;
+    }
+  }
+  if (!cached.has_value()) {
+    return false;
   }
   append_record(*cached, outputs);
   if (on_record_) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -210,8 +211,14 @@ class CampaignScheduler {
   std::uint64_t fingerprint_;
   SystemPool systems_;
   RecordCallback on_record_;  ///< set for the duration of one run()
+  std::atomic<bool> run_active_{false};  ///< run() reentrancy guard
 
-  std::mutex state_mutex_;  ///< guards outputs, batches_ and pending_
+  /// Lock contract: state_mutex_ guards outputs, batches_, pending_verify_
+  /// and stats_, and is only ever held for in-memory bookkeeping — never
+  /// across a measurement, a cache_ call (ResultCache locks itself; nesting
+  /// the two would couple every scheduler sharing the service's cache), or
+  /// the on_record_ callback (the callee synchronizes its own sinks).
+  std::mutex state_mutex_;
   std::map<std::size_t, BatchState> batches_;
   std::map<JobId, std::shared_ptr<MeasureState>> pending_verify_;
   CampaignStats stats_;

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "orchestrator/job.hpp"
+#include "service/protocol.hpp"
+
+namespace ao::service {
+
+/// The SoC execution units a campaign contends on. The paper's methodology
+/// (Sections 3–4) needs exclusive access to the unit *being measured* — but
+/// a GEMM sweep on the GPU and a STREAM sweep on the CPU exercise different
+/// units, so the service runs them concurrently and only serializes
+/// campaigns whose resource classes overlap.
+enum ResourceClass : unsigned {
+  kResourceCpu = 1u << 0,  ///< CPU cores, NEON and the AMX/SME coprocessor
+  kResourceGpu = 1u << 1,  ///< the Metal GPU (incl. MPS and FP64 emulation)
+  kResourceAne = 1u << 2,  ///< the Neural Engine / Core ML dispatch path
+};
+
+/// Bit-or of ResourceClass values.
+using ResourceMask = unsigned;
+
+inline constexpr ResourceMask kResourceAll =
+    kResourceCpu | kResourceGpu | kResourceAne;
+
+/// The resource classes one job touches. GEMM kinds depend on where the
+/// implementation executes, so `impl` is consulted for them (and ignored for
+/// every other kind). kPowerIdle samples package power and claims the whole
+/// SoC. Verification is host math outside the simulated SoC and adds
+/// nothing to its measurement's mask.
+ResourceMask resources_for(orchestrator::JobKind kind, soc::GemmImpl impl);
+
+/// Union of resources_for() over every job family the request enables — the
+/// admission key of one campaign.
+ResourceMask resources_for(const CampaignRequest& request);
+
+/// "cpu", "cpu+gpu", "cpu+gpu+ane", ... ("none" for an empty mask).
+std::string resources_to_string(ResourceMask mask);
+
+/// Admission control for concurrent campaigns: campaigns with disjoint
+/// resource masks run concurrently, conflicting ones queue — higher
+/// `priority` first, FIFO within a priority — and per-client quotas bound
+/// how much any one client can occupy or enqueue. Backfill never overtakes
+/// a conflicting better-ranked waiter, except one held back purely by its
+/// own client's running quota: that waiter's claim never idles a unit
+/// another tenant could use.
+///
+/// The queue tracks *tickets*, not campaigns: submit() hands back a Ticket
+/// the caller blocks on (Ticket::wait) until its campaign may start; the
+/// Ticket's destruction releases the claim. All methods are thread-safe;
+/// a Ticket must be driven by one thread at a time.
+class CampaignQueue {
+ public:
+  struct Limits {
+    /// Campaigns executing concurrently, service-wide. 0 = unlimited.
+    std::size_t max_running = 4;
+    /// Campaigns one client may have executing at once. 0 = unlimited.
+    std::size_t max_running_per_client = 2;
+    /// Campaigns one client may have *waiting* at once; a submit beyond
+    /// this is rejected outright (structured error, never silently
+    /// dropped). 0 = unlimited.
+    std::size_t max_queued_per_client = 8;
+  };
+
+  /// Why a submit was refused: a stable machine-readable code
+  /// ("quota-queued") plus a human-readable message.
+  struct Rejection {
+    std::string code;
+    std::string message;
+  };
+
+  struct ClientStats {
+    std::size_t queued = 0;
+    std::size_t running = 0;
+  };
+
+  class Ticket;
+
+  CampaignQueue();  ///< default Limits
+  explicit CampaignQueue(Limits limits);
+  ~CampaignQueue();
+  CampaignQueue(const CampaignQueue&) = delete;
+  CampaignQueue& operator=(const CampaignQueue&) = delete;
+
+  /// Registers a campaign for admission. Returns nullptr (with `rejection`
+  /// filled, when given) if `client` already has max_queued_per_client
+  /// campaigns waiting; otherwise the ticket is queued and must be waited
+  /// on. Priorities order the wait; they never evict a running campaign.
+  std::unique_ptr<Ticket> submit(const std::string& client, int priority,
+                                 ResourceMask resources,
+                                 Rejection* rejection = nullptr);
+
+  Limits limits() const { return limits_; }
+  std::size_t running_count() const;
+  std::size_t queued_count() const;
+  /// High-water mark of concurrently running campaigns.
+  std::size_t peak_running() const;
+  /// Submits refused by a quota.
+  std::size_t rejections() const;
+  /// Queue depth and concurrency per client (clients with no live tickets
+  /// are absent).
+  std::map<std::string, ClientStats> client_stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;  ///< submission order; ties within a priority
+    int priority = 0;
+    std::string client;
+    ResourceMask resources = 0;
+    bool running = false;
+  };
+
+  /// Waiting tickets rank (-priority, seq): begin() is the next to start.
+  using Rank = std::pair<int, std::uint64_t>;
+  static Rank rank_of(const Entry& e) { return {-e.priority, e.seq}; }
+
+  bool admissible_locked(const Entry& entry) const;
+  void start_locked(Entry& entry);
+  void release(std::uint64_t seq);
+  std::size_t position_locked(const Entry& entry) const;
+
+  const Limits limits_;
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;
+  std::map<std::uint64_t, Entry> entries_;  ///< every live ticket, by seq
+  std::uint64_t next_seq_ = 1;
+  std::size_t running_ = 0;
+  std::size_t peak_running_ = 0;
+  std::size_t rejections_ = 0;
+};
+
+/// One campaign's place in the queue. Destroying the ticket releases its
+/// claim (the queue slot while waiting, the resource claim while running)
+/// and wakes every other waiter.
+class CampaignQueue::Ticket {
+ public:
+  ~Ticket();
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  /// Blocks until the campaign may start. `on_queued` (optional) is invoked
+  /// with the 1-based queue position whenever the ticket has to wait and
+  /// whenever that position changes — the service forwards these as
+  /// `queued <pos>` protocol events. After wait() returns the campaign is
+  /// running and holds its resources until the ticket dies.
+  void wait(const std::function<void(std::size_t)>& on_queued = {});
+
+  /// Non-blocking admission attempt: true when the campaign started (or had
+  /// already started). The deterministic hook the queue tests drive instead
+  /// of racing threads.
+  bool try_start();
+
+  bool started() const;
+  /// 1-based position among waiting tickets; 0 once running.
+  std::size_t position() const;
+
+ private:
+  friend class CampaignQueue;
+  Ticket(CampaignQueue& queue, std::uint64_t seq) : queue_(&queue), seq_(seq) {}
+
+  CampaignQueue* queue_;
+  std::uint64_t seq_;
+};
+
+}  // namespace ao::service

@@ -179,6 +179,8 @@ orchestrator::Campaign CampaignRequest::to_campaign() const {
 std::vector<std::string> CampaignRequest::to_lines() const {
   std::vector<std::string> lines;
   lines.push_back("begin " + name);
+  lines.push_back("client " + client);
+  lines.push_back("priority " + std::to_string(priority));
   if (!chips.empty()) {
     std::string value;
     for (const auto chip : chips) {
@@ -245,14 +247,18 @@ std::vector<std::string> CampaignRequest::to_lines() const {
   return lines;
 }
 
-std::optional<std::string> RequestBuilder::begin(const std::string& name) {
+std::optional<ProtocolError> RequestBuilder::begin(const std::string& name) {
   if (open_) {
-    return "nested begin (finish the open request with 'run' or 'abort')";
+    return ProtocolError{
+        "bad-state",
+        "nested begin (finish the open request with 'run' or 'abort')"};
   }
   if (!name.empty() && !valid_campaign_name(name)) {
     // The name becomes part of shard-store file paths; never let a client
     // smuggle path separators (or an unprintable mess) into the filesystem.
-    return "invalid campaign name (use [A-Za-z0-9._-], at most 64 chars)";
+    return ProtocolError{
+        "bad-name",
+        "invalid campaign name (use [A-Za-z0-9._-], at most 64 chars)"};
   }
   request_ = CampaignRequest{};
   if (!name.empty()) {
@@ -262,10 +268,12 @@ std::optional<std::string> RequestBuilder::begin(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<std::string> RequestBuilder::apply(const std::string& line) {
-  if (!open_) {
-    return "no open request (send 'begin' first)";
-  }
+namespace {
+
+/// The setter grammar proper; returns the error message for a bad line.
+/// apply() wraps every message in the "bad-directive" protocol code.
+std::optional<std::string> apply_setter(CampaignRequest& request_,
+                                        const std::string& line) {
   const std::vector<std::string> words = split_words(line);
   if (words.empty()) {
     return std::nullopt;  // blank lines are ignored
@@ -424,8 +432,31 @@ std::optional<std::string> RequestBuilder::apply(const std::string& line) {
       return "shards needs an integer in [1, 64]";
     }
     request_.shards = static_cast<std::size_t>(u64);
+  } else if (directive == "priority") {
+    if (!require_u64(1, u64) || u64 > 100) {
+      return "priority needs an integer in [0, 100]";
+    }
+    request_.priority = static_cast<int>(u64);
+  } else if (directive == "client") {
+    // Client ids key quotas and stats lines; same charset as names.
+    if (!valid_campaign_name(arg(1))) {
+      return "client needs an id of [A-Za-z0-9._-], at most 64 chars";
+    }
+    request_.client = arg(1);
   } else {
     return "unknown directive: " + directive;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ProtocolError> RequestBuilder::apply(const std::string& line) {
+  if (!open_) {
+    return ProtocolError{"bad-state", "no open request (send 'begin' first)"};
+  }
+  if (auto message = apply_setter(request_, line)) {
+    return ProtocolError{"bad-directive", std::move(*message)};
   }
   return std::nullopt;
 }
@@ -452,7 +483,7 @@ std::optional<CampaignRequest> parse_request_lines(
       if (const auto begin_error =
               builder.begin(words.size() > 1 ? words[1] : "")) {
         if (error != nullptr) {
-          *error = *begin_error;
+          *error = begin_error->message;
         }
         return std::nullopt;
       }
@@ -469,7 +500,7 @@ std::optional<CampaignRequest> parse_request_lines(
     }
     if (const auto line_error = builder.apply(line)) {
       if (error != nullptr) {
-        *error = *line_error;
+        *error = line_error->message;
       }
       return std::nullopt;
     }

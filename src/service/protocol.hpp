@@ -19,6 +19,15 @@ namespace ao::service {
 /// `shards` > 1 splits the job graph across worker processes.
 struct CampaignRequest {
   std::string name = "campaign";
+  /// Submitting client identity ("client <id>" line) — the unit the
+  /// service's per-client quotas and queue stats are keyed on. Same
+  /// filesystem-safe charset as campaign names; default for clients that
+  /// don't identify themselves.
+  std::string client = "anon";
+  /// Queue priority ("priority <n>" line, [0, 100]): when campaigns
+  /// conflict on a resource class, higher priority starts first; ties keep
+  /// submission order. Never preempts a running campaign.
+  int priority = 0;
   std::vector<soc::ChipModel> chips;
   std::vector<soc::GemmImpl> impls;
   std::vector<std::size_t> sizes;
@@ -72,8 +81,29 @@ std::vector<std::string> split_words(const std::string& line);
 /// True when `name` may name a campaign. Names are embedded in shard-store
 /// and request file paths by the service, so only [A-Za-z0-9._-] is
 /// accepted (no path separators), "." / ".." are rejected, and length is
-/// capped at 64.
+/// capped at 64. Client ids share the same rule (they land in stats lines
+/// and quota messages).
 bool valid_campaign_name(const std::string& name);
+
+/// One rejected protocol line: a stable machine-readable code plus the
+/// human-readable message. The service echoes both — and the offending
+/// input line — in its `error` replies, so a client can report actionable
+/// failures instead of guessing which of its lines was bad.
+///
+/// Codes are part of the protocol surface (documented in docs/service.md):
+///   bad-directive   unknown or malformed setter line
+///   bad-name        invalid campaign name on `begin`
+///   bad-state       command out of sequence (nested begin, run w/o begin…)
+///   bad-request     a structurally complete request that cannot run
+///                   (no chips, no work)
+///   unknown-command command word the service does not know
+///   quota-queued    per-client queued-campaign quota exhausted
+///   exec-failed     the campaign threw while executing
+///   no-store        store command without a write-through store attached
+struct ProtocolError {
+  std::string code;
+  std::string message;
+};
 
 /// Incremental parser for the request block of the protocol: feed it the
 /// lines between "begin" and "run". Setter grammar errors are reported per
@@ -83,13 +113,13 @@ class RequestBuilder {
   /// Opens a new request ("begin [name]" was read). Returns nullopt on
   /// success, the error otherwise (a request already open, or an invalid
   /// name); an empty name keeps the default.
-  std::optional<std::string> begin(const std::string& name);
+  std::optional<ProtocolError> begin(const std::string& name);
 
   bool open() const { return open_; }
 
   /// Applies one setter line to the open request. Returns nullopt on
-  /// success, the error message otherwise. Unknown directives are errors.
-  std::optional<std::string> apply(const std::string& line);
+  /// success, the error otherwise. Unknown directives are errors.
+  std::optional<ProtocolError> apply(const std::string& line);
 
   /// Closes the block and hands the request over ("run" was read).
   CampaignRequest take();

@@ -31,6 +31,18 @@ std::string one_line(std::string text) {
   return text;
 }
 
+/// The structured error reply: stable code, message, and — when the failure
+/// is about a specific input line — that line echoed back, so the client
+/// can report exactly which of its request lines was rejected.
+void reply_error(std::ostream& out, const std::string& code,
+                 const std::string& message, const std::string& input = {}) {
+  out << "error " << code << ' ' << one_line(message);
+  if (!input.empty()) {
+    out << " | line: " << one_line(input);
+  }
+  out << '\n';
+}
+
 /// Records a campaign will stream: one per job that produces a cacheable
 /// record (every kind except the verify jobs, whose verdict rides on the
 /// measurement's record).
@@ -82,8 +94,55 @@ struct StoreTail {
 
 }  // namespace
 
+/// Checks a scheduler out of the idle pool (or builds one) for exactly one
+/// campaign. Concurrent campaigns each hold their own scheduler — run() is
+/// not reentrant per instance — while sequential campaigns that agree on
+/// options and concurrency reuse a warm SystemPool.
+class CampaignService::SchedulerLease {
+ public:
+  SchedulerLease(CampaignService& service, const CampaignRequest& request)
+      : service_(&service) {
+    key_ = orchestrator::options_fingerprint(request.options());
+    key_ = util::fnv1a_mix(key_, request.workers);
+    {
+      std::lock_guard lock(service.scheduler_pool_mutex_);
+      const auto it = service.idle_schedulers_.find(key_);
+      if (it != service.idle_schedulers_.end()) {
+        scheduler_ = std::move(it->second);
+        service.idle_schedulers_.erase(it);
+      }
+    }
+    if (scheduler_ == nullptr) {
+      CampaignScheduler::Options options;
+      options.concurrency = request.workers;
+      scheduler_ = std::make_unique<CampaignScheduler>(request.options(),
+                                                       options,
+                                                       &service.cache_);
+    }
+  }
+
+  ~SchedulerLease() {
+    std::lock_guard lock(service_->scheduler_pool_mutex_);
+    if (service_->idle_schedulers_.size() < kMaxIdle) {
+      service_->idle_schedulers_.emplace(key_, std::move(scheduler_));
+    }
+    // Beyond the cap the scheduler (and its SystemPool) is simply dropped —
+    // bounded memory beats a marginally warmer pool.
+  }
+
+  CampaignScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  static constexpr std::size_t kMaxIdle = 8;
+  CampaignService* service_;
+  std::uint64_t key_ = 0;
+  std::unique_ptr<CampaignScheduler> scheduler_;
+};
+
 CampaignService::CampaignService(Config config)
-    : config_(std::move(config)), cache_(config_.cache_capacity) {
+    : config_(std::move(config)),
+      cache_(config_.cache_capacity),
+      queue_(config_.limits) {
   if (!config_.store_path.empty()) {
     cache_.load(config_.store_path);
     cache_.persist_to(config_.store_path);
@@ -93,6 +152,11 @@ CampaignService::CampaignService(Config config)
 CampaignService::Totals CampaignService::totals() const {
   std::lock_guard lock(totals_mutex_);
   return totals_;
+}
+
+std::vector<std::string> CampaignService::start_log() const {
+  std::lock_guard lock(totals_mutex_);
+  return start_log_;
 }
 
 bool CampaignService::serve(std::istream& in, std::ostream& out) {
@@ -111,9 +175,11 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
         if (words[0] == "run") {
           const CampaignRequest request = builder.take();
           if (request.chips.empty()) {
-            out << "error campaign needs a 'chips' line\n";
+            reply_error(out, "bad-request", "campaign needs a 'chips' line",
+                        line);
           } else if (!request.has_work()) {
-            out << "error empty campaign: no job family requested\n";
+            reply_error(out, "bad-request",
+                        "empty campaign: no job family requested", line);
           } else {
             run_campaign(request, out);
           }
@@ -121,29 +187,40 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
           builder.discard();
           out << "ok abort\n";
         } else if (words[0] == "begin") {
-          out << "error nested begin (finish the open request with 'run' or "
-                 "'abort')\n";
+          reply_error(out, "bad-state",
+                      "nested begin (finish the open request with 'run' or "
+                      "'abort')",
+                      line);
         } else if (const auto error = builder.apply(line)) {
-          out << "error " << one_line(*error) << '\n';
+          reply_error(out, error->code, error->message, line);
         }
       } else if (words[0] == "begin") {
         if (const auto error =
                 builder.begin(words.size() > 1 ? words[1] : "")) {
-          out << "error " << one_line(*error) << '\n';
+          reply_error(out, error->code, error->message, line);
         }
       } else if (words[0] == "ping") {
         out << "pong\n";
       } else if (words[0] == "stats") {
+        // Per-client queue depth/concurrency first; the aggregate `stats`
+        // line is the terminal reply clients stop reading at.
+        for (const auto& [client, s] : queue_.client_stats()) {
+          out << "stats-client " << client << " queued " << s.queued
+              << " running " << s.running << '\n';
+        }
         const Totals t = totals();
         out << "stats campaigns " << t.campaigns << " sharded "
             << t.sharded_campaigns << " records " << t.records_streamed
             << " executed " << t.jobs_executed << " hits " << t.cache_hits
             << " merged " << t.merged_entries << " cache-entries "
             << cache_.size() << " store-entries " << cache_.store_entries()
-            << '\n';
+            << " running " << queue_.running_count() << " queued "
+            << queue_.queued_count() << " peak " << queue_.peak_running()
+            << " rejected " << queue_.rejections() << '\n';
       } else if (words[0] == "compact") {
         if (cache_.persist_path().empty()) {
-          out << "error no write-through store attached\n";
+          reply_error(out, "no-store", "no write-through store attached",
+                      line);
         } else {
           out << "ok compact " << cache_.compact() << " entries\n";
         }
@@ -152,37 +229,35 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
         out.flush();
         return true;
       } else {
-        out << "error unknown command: " << one_line(words[0]) << '\n';
+        reply_error(out, "unknown-command", "unknown command: " + words[0],
+                    line);
       }
     } catch (const std::exception& e) {
-      out << "error " << one_line(e.what()) << '\n';
+      reply_error(out, "exec-failed", e.what(), line);
     }
     out.flush();
   }
   return false;
 }
 
-orchestrator::CampaignScheduler& CampaignService::scheduler_for(
-    const CampaignRequest& request) {
-  std::uint64_t key = orchestrator::options_fingerprint(request.options());
-  key = util::fnv1a_mix(key, request.workers);
-  if (scheduler_ == nullptr || scheduler_key_ != key) {
-    CampaignScheduler::Options options;
-    options.concurrency = request.workers;
-    scheduler_ = std::make_unique<CampaignScheduler>(request.options(),
-                                                     options, &cache_);
-    scheduler_key_ = key;
-  }
-  return *scheduler_;
-}
-
 void CampaignService::run_campaign(const CampaignRequest& request,
                                    std::ostream& out) {
-  // Campaigns from concurrent sessions queue here: one sweep owns the
-  // scheduler (and the simulated Systems) at a time.
-  std::lock_guard run_lock(run_mutex_);
-  const std::uint64_t id = next_campaign_id_++;
+  // Admission first: the queue decides whether this campaign may run now
+  // (disjoint resource classes), must wait (conflict / quota / global
+  // concurrency), or is rejected outright (queued-campaign quota).
+  const ResourceMask resources = resources_for(request);
+  CampaignQueue::Rejection rejection;
+  auto ticket =
+      queue_.submit(request.client, request.priority, resources, &rejection);
+  if (ticket == nullptr) {
+    out << "preempted-by-quota client " << request.client << " campaign "
+        << request.name << '\n';
+    reply_error(out, rejection.code, rejection.message, "run");
+    out.flush();
+    return;
+  }
 
+  const std::uint64_t id = next_campaign_id_.fetch_add(1);
   const orchestrator::Campaign campaign = request.to_campaign();
   const auto groups = campaign.groups();
   std::size_t jobs = 0;
@@ -193,9 +268,30 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   // Never more shards than groups; a surplus would only spawn idle workers.
   const std::size_t shard_count = std::min(request.shards, groups.size());
 
+  // The header goes out before admission completes, so a queued client
+  // knows its campaign id (and resource claim) while it waits.
   out << "ok campaign " << id << " jobs " << jobs << " records "
-      << expected_records << " shards " << std::max<std::size_t>(1, shard_count)
-      << '\n';
+      << expected_records << " shards "
+      << std::max<std::size_t>(1, shard_count) << " resources "
+      << resources_to_string(resources) << " priority " << request.priority
+      << " client " << request.client << '\n';
+  out.flush();
+
+  ticket->wait([&](std::size_t position) {
+    out << "queued " << position << '\n';
+    out.flush();
+  });
+  {
+    std::lock_guard lock(totals_mutex_);
+    // Bounded start history (the queue tests assert admission order on it;
+    // stats introspection reads it) — a long-lived daemon must not grow it
+    // per campaign forever.
+    if (start_log_.size() >= kStartLogCapacity) {
+      start_log_.erase(start_log_.begin());
+    }
+    start_log_.push_back(request.name);
+  }
+  out << "started campaign " << id << '\n';
   out.flush();
 
   if (shard_count > 1) {
@@ -203,6 +299,8 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   } else {
     run_in_process(request, id, expected_records, out);
   }
+  // `ticket` dies here: the resource claim is released and the next
+  // conflicting campaign in the queue wakes up.
 }
 
 void CampaignService::run_in_process(const CampaignRequest& request,
@@ -218,8 +316,9 @@ void CampaignService::run_in_process(const CampaignRequest& request,
   std::mutex out_mutex;  // workers stream concurrently
   std::size_t streamed = 0;
   orchestrator::CampaignOutputs outputs;
+  SchedulerLease lease(*this, request);
   try {
-    outputs = scheduler_for(request).run(
+    outputs = lease.scheduler().run(
         queue, [&](const ExperimentJob& job, const MeasurementRecord& record,
                    bool /*from_cache*/) {
           const orchestrator::CacheKey key =
@@ -234,8 +333,8 @@ void CampaignService::run_in_process(const CampaignRequest& request,
   } catch (const std::exception& e) {
     // The scheduler is poisoned only for this run; the next campaign gets a
     // fresh run() on the same pool.
-    out << "error campaign " << id << " failed: " << one_line(e.what())
-        << '\n';
+    out << "error exec-failed campaign " << id << " failed: "
+        << one_line(e.what()) << '\n';
     return;
   }
 
@@ -298,6 +397,8 @@ void CampaignService::run_sharded(const CampaignRequest& request,
       plan_shards(pending_groups, std::max<std::size_t>(
                                       1, std::min(shard_count, pending.size())));
 
+  // The campaign id keeps concurrent sharded campaigns' scratch files
+  // apart even when they share a name.
   const std::string base =
       config_.shard_dir + "/" + request.name + "-c" + std::to_string(id);
   std::vector<WorkerPool::ShardTask> tasks;
@@ -372,7 +473,8 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     totals_.merged_entries += merged;
   }
   if (!failure.empty()) {
-    out << "error campaign " << id << " " << one_line(failure) << '\n';
+    out << "error exec-failed campaign " << id << " " << one_line(failure)
+        << '\n';
     return;
   }
   out << "done campaign " << id << " records " << streamed << " merged "

@@ -1,22 +1,35 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
+#include "service/campaign_queue.hpp"
 #include "service/protocol.hpp"
 
 namespace ao::service {
 
 /// The long-running campaign engine: accepts declarative sweep requests
-/// over a line protocol (docs/service.md), schedules them through a shared
-/// CampaignScheduler against one warm ResultCache, and streams each
-/// MeasurementRecord back the moment it settles — the client reads results
-/// while the campaign is still running.
+/// over a line protocol (docs/service.md), schedules them through the
+/// CampaignQueue against one warm, thread-safe ResultCache, and streams
+/// each MeasurementRecord back the moment it settles — the client reads
+/// results while the campaign is still running.
+///
+/// The service is multi-tenant: serve() is safe to call from one thread per
+/// client session (`ao_campaignd` spawns one per accepted connection), and
+/// campaigns whose resource classes (CPU/AMX vs GPU vs ANE, derived from
+/// the JobKinds the request enables) are disjoint execute *concurrently*,
+/// each on its own checked-out CampaignScheduler, all sharing the one warm
+/// cache. Conflicting campaigns queue — higher `priority` first, FIFO
+/// within a priority — and per-client quotas bound queue depth and
+/// concurrency (quota violations get structured `error` replies).
 ///
 /// Requests with `shards > 1` are partitioned by the ShardPlanner and farmed
 /// out to WorkerPool workers (spawned `ao_worker` processes, or in-process
@@ -40,6 +53,9 @@ class CampaignService {
     std::string shard_dir = ".";
     /// Path of the `ao_worker` binary; "" runs shards in-process.
     std::string worker_binary;
+    /// Admission limits: global concurrency, per-client running and queued
+    /// quotas (see CampaignQueue::Limits).
+    CampaignQueue::Limits limits;
   };
 
   struct Totals {
@@ -59,33 +75,52 @@ class CampaignService {
 
   /// Handles one protocol session until the stream ends or a `shutdown`
   /// command arrives; returns true on shutdown. Malformed lines get an
-  /// `error` reply and the session continues — a bad request never takes
-  /// the service down.
+  /// `error` reply (stable code + the offending input line) and the session
+  /// continues — a bad request never takes the service down. Thread-safe:
+  /// concurrent sessions share the queue, the cache and the totals.
   bool serve(std::istream& in, std::ostream& out);
 
   orchestrator::ResultCache& cache() { return cache_; }
+  CampaignQueue& queue() { return queue_; }
   Totals totals() const;
+  /// Campaign names in the order the queue admitted them (most recent
+  /// kStartLogCapacity entries) — the observable start order the queue
+  /// tests assert on.
+  std::vector<std::string> start_log() const;
 
  private:
+  /// A CampaignScheduler checked out of the idle pool (or freshly built)
+  /// for the duration of one campaign; returned on destruction so its warm
+  /// SystemPool serves the next campaign with the same options/concurrency.
+  class SchedulerLease;
+
   void run_campaign(const CampaignRequest& request, std::ostream& out);
   void run_in_process(const CampaignRequest& request, std::uint64_t id,
                       std::size_t expected_records, std::ostream& out);
   void run_sharded(const CampaignRequest& request, std::uint64_t id,
                    std::size_t shard_count, std::size_t expected_records,
                    std::ostream& out);
-  orchestrator::CampaignScheduler& scheduler_for(const CampaignRequest& request);
 
   Config config_;
   orchestrator::ResultCache cache_;
-  std::mutex run_mutex_;  ///< one campaign executes at a time
-  std::uint64_t next_campaign_id_ = 1;
-  /// The shared scheduler, rebuilt only when a request's experiment options
-  /// or concurrency differ from the previous campaign's — its SystemPool
-  /// stays warm across campaigns that agree.
-  std::unique_ptr<orchestrator::CampaignScheduler> scheduler_;
-  std::uint64_t scheduler_key_ = 0;
+  CampaignQueue queue_;
+  std::atomic<std::uint64_t> next_campaign_id_{1};
+
+  /// Idle schedulers keyed by (options fingerprint, concurrency): a
+  /// campaign checks one out exclusively and returns it, so concurrent
+  /// campaigns never share a scheduler while SystemPools stay warm across
+  /// sequential campaigns that agree on their options.
+  std::mutex scheduler_pool_mutex_;
+  std::multimap<std::uint64_t,
+                std::unique_ptr<orchestrator::CampaignScheduler>>
+      idle_schedulers_;
+
+  /// Retained start_log() depth; old entries roll off.
+  static constexpr std::size_t kStartLogCapacity = 64;
+
   mutable std::mutex totals_mutex_;
   Totals totals_;
+  std::vector<std::string> start_log_;
 };
 
 }  // namespace ao::service

@@ -1,23 +1,35 @@
 // ao_campaignd: the long-running campaign service over a unix socket.
 //
-// Binds the socket, then accepts client sessions sequentially; each session
-// speaks the line protocol of docs/service.md (submit sweep requests, read
-// streamed records). The warm result cache — optionally disk-persistent —
-// survives across sessions, so every client benefits from every previous
-// campaign's measurements. A `shutdown` command exits cleanly.
+// Binds the socket and serves every client session on its own thread — the
+// service is multi-tenant: campaigns whose resource classes (CPU/AMX vs GPU
+// vs ANE) are disjoint execute concurrently, conflicting ones queue by
+// priority, and per-client quotas bound queue depth and concurrency. The
+// warm result cache — optionally disk-persistent — is shared by every
+// session, so each client benefits from every previous campaign's
+// measurements. A `shutdown` command from any session exits cleanly once
+// running sessions drain.
 //
 //   ao_campaignd --socket <path> [--store <file>] [--capacity <n>]
 //                [--worker-binary <path>] [--shard-dir <dir>] [--stdio]
+//                [--max-running <n>] [--max-running-per-client <n>]
+//                [--max-queued-per-client <n>]
 //
 // --worker-binary defaults to the ao_worker next to this executable (shards
 // run in-process when it does not exist); --stdio serves one session over
-// stdin/stdout instead of a socket (debugging, pipes).
+// stdin/stdout instead of a socket (debugging, pipes). The quota flags take
+// 0 for "unlimited"; defaults are in CampaignQueue::Limits.
 
+#include <unistd.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "service/service.hpp"
 #include "service/socket.hpp"
@@ -48,24 +60,49 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    const auto needs_count = [&](const char* flag) -> std::size_t {
+      const std::string value = needs_value(flag);
+      // All-digits only: std::stoul alone would wrap "-1" to huge and
+      // silently truncate "4x" — a typo'd quota flag must not yield an
+      // unlimited service without a diagnostic.
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        std::cerr << "ao_campaignd: " << flag
+                  << " needs a non-negative integer, got '" << value << "'\n";
+        std::exit(2);
+      }
+      try {
+        return static_cast<std::size_t>(std::stoul(value));
+      } catch (const std::exception&) {
+        std::cerr << "ao_campaignd: " << flag << " value out of range: '"
+                  << value << "'\n";
+        std::exit(2);
+      }
+    };
     if (std::strcmp(argv[i], "--socket") == 0) {
       socket_path = needs_value("--socket");
     } else if (std::strcmp(argv[i], "--store") == 0) {
       config.store_path = needs_value("--store");
     } else if (std::strcmp(argv[i], "--capacity") == 0) {
-      const std::string value = needs_value("--capacity");
-      try {
-        config.cache_capacity = static_cast<std::size_t>(std::stoul(value));
-      } catch (const std::exception&) {
-        std::cerr << "ao_campaignd: --capacity needs a positive integer, got '"
-                  << value << "'\n";
+      const std::size_t capacity = needs_count("--capacity");
+      if (capacity == 0) {
+        std::cerr << "ao_campaignd: --capacity needs a positive integer\n";
         return 2;
       }
+      config.cache_capacity = capacity;
     } else if (std::strcmp(argv[i], "--worker-binary") == 0) {
       config.worker_binary = needs_value("--worker-binary");
       worker_binary_set = true;
     } else if (std::strcmp(argv[i], "--shard-dir") == 0) {
       config.shard_dir = needs_value("--shard-dir");
+    } else if (std::strcmp(argv[i], "--max-running") == 0) {
+      config.limits.max_running = needs_count("--max-running");
+    } else if (std::strcmp(argv[i], "--max-running-per-client") == 0) {
+      config.limits.max_running_per_client =
+          needs_count("--max-running-per-client");
+    } else if (std::strcmp(argv[i], "--max-queued-per-client") == 0) {
+      config.limits.max_queued_per_client =
+          needs_count("--max-queued-per-client");
     } else if (std::strcmp(argv[i], "--stdio") == 0) {
       stdio = true;
     } else {
@@ -76,7 +113,9 @@ int main(int argc, char** argv) {
   if (!stdio && socket_path.empty()) {
     std::cerr << "usage: ao_campaignd --socket <path> [--store <file>] "
                  "[--capacity <n>] [--worker-binary <path>] "
-                 "[--shard-dir <dir>] [--stdio]\n";
+                 "[--shard-dir <dir>] [--stdio] [--max-running <n>] "
+                 "[--max-running-per-client <n>] "
+                 "[--max-queued-per-client <n>]\n";
     return 2;
   }
 
@@ -101,18 +140,65 @@ int main(int argc, char** argv) {
   try {
     ao::service::UnixServerSocket server(socket_path);
     std::cerr << "ao_campaignd: listening on " << socket_path << "\n";
-    for (;;) {
+    std::atomic<bool> shutting_down{false};
+    // One thread per live session, reaped on every accept so a long-running
+    // daemon's thread table is bounded by *concurrent* clients, not by the
+    // total ever served.
+    struct Session {
+      std::thread thread;
+      std::atomic<bool> finished{false};
+    };
+    std::vector<std::unique_ptr<Session>> sessions;
+    const auto reap_finished = [&sessions] {
+      for (auto it = sessions.begin(); it != sessions.end();) {
+        if ((*it)->finished.load(std::memory_order_acquire)) {
+          (*it)->thread.join();
+          it = sessions.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    while (!shutting_down.load(std::memory_order_acquire)) {
       const int fd = server.accept_fd();
       if (fd < 0) {
         std::cerr << "ao_campaignd: accept failed, exiting\n";
-        return 1;
+        break;
       }
-      ao::service::SocketStream stream(fd);
-      if (service.serve(stream, stream)) {
-        std::cerr << "ao_campaignd: shutdown requested\n";
-        return 0;
+      reap_finished();
+      if (shutting_down.load(std::memory_order_acquire)) {
+        ::close(fd);  // the wake-up connection (or a late client)
+        break;
       }
+      // One thread per session: concurrent clients submit concurrently and
+      // the CampaignQueue decides what actually runs in parallel.
+      auto session = std::make_unique<Session>();
+      Session* state = session.get();
+      state->thread = std::thread(
+          [fd, state, &service, &shutting_down, &socket_path] {
+            {
+              ao::service::SocketStream stream(fd);
+              if (service.serve(stream, stream)) {
+                shutting_down.store(true, std::memory_order_release);
+                // Poke the accept loop awake so it can observe the flag.
+                const int poke = ao::service::connect_unix(socket_path);
+                if (poke >= 0) {
+                  ::close(poke);
+                }
+              }
+            }
+            state->finished.store(true, std::memory_order_release);
+          });
+      sessions.push_back(std::move(session));
     }
+    for (const auto& session : sessions) {
+      session->thread.join();
+    }
+    if (shutting_down.load(std::memory_order_acquire)) {
+      std::cerr << "ao_campaignd: shutdown requested\n";
+      return 0;
+    }
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "ao_campaignd: " << e.what() << "\n";
     return 1;

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -1026,6 +1027,114 @@ TEST(ResultCachePersistence, MergeStorePropagatesToTheWriteThroughStore) {
   EXPECT_EQ(cold.load(service_path), entries.size());
   std::remove(shard_path.c_str());
   std::remove(service_path.c_str());
+}
+
+// The multi-tenant campaign service shares one write-through cache between
+// concurrently executing schedulers: hammer lookup/insert from many threads
+// and require the surviving store to be bit-identical to a serial build of
+// the same points (serialize_record writes hex bit patterns, so string
+// equality IS bit equality).
+TEST(ResultCacheConcurrency, ConcurrentInsertLookupMatchesSerialBitForBit) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 64;
+
+  const auto key_for = [](std::size_t thread, std::size_t i) {
+    // Distinct (impl, n) per point; threads interleave chips so neighbors
+    // collide on the same cache shard-free mutex from all sides.
+    return gemm_key(soc::kAllChipModels[thread % 4],
+                    soc::kAllGemmImpls[i % 6], 8 + thread * kPerThread + i,
+                    /*options_fp=*/7);
+  };
+
+  const std::string serial_path = temp_store("concurrent_serial");
+  {
+    ResultCache serial(kThreads * kPerThread);
+    serial.persist_to(serial_path);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        serial.insert(key_for(t, i), measurement_stub(8 + t * kPerThread + i));
+      }
+    }
+  }
+
+  const std::string concurrent_path = temp_store("concurrent_threads");
+  {
+    ResultCache cache(kThreads * kPerThread);
+    cache.persist_to(concurrent_path);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, &key_for, t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          cache.insert(key_for(t, i), measurement_stub(8 + t * kPerThread + i));
+          // Interleave lookups of our own and of a neighbor's keys: hits,
+          // misses and LRU splices race the other threads' inserts.
+          ASSERT_TRUE(cache.lookup(key_for(t, i)).has_value());
+          cache.lookup(key_for((t + 1) % kThreads, i));
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    EXPECT_EQ(cache.size(), kThreads * kPerThread);
+  }
+
+  // Both stores reload into identical key → record-bits maps.
+  const auto snapshot = [](const std::string& path) {
+    ResultCache cold(kThreads * kPerThread);
+    EXPECT_EQ(cold.load(path), kThreads * kPerThread);
+    EXPECT_EQ(cold.stats().load_rejected, 0u);
+    std::map<std::uint64_t, std::string> out;
+    for (const auto& [key, record] : cold.entries()) {
+      out[key.fingerprint()] = serialize_record(record);
+    }
+    return out;
+  };
+  EXPECT_EQ(snapshot(concurrent_path), snapshot(serial_path));
+  std::remove(serial_path.c_str());
+  std::remove(concurrent_path.c_str());
+}
+
+// Auto-compaction racing concurrent writers must never lose a retained
+// entry: every key inserted is still loadable after the dust settles.
+TEST(ResultCacheConcurrency, AutoCompactionUnderConcurrencyLosesNothing) {
+  const std::string path = temp_store("concurrent_compact");
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kKeys = 32;
+  {
+    ResultCache cache(kKeys);
+    cache.persist_to(path);
+    // Aggressive policy: re-inserts pile up duplicates fast and trip the
+    // live/stored ratio repeatedly while other threads are appending.
+    cache.set_compaction_policy(0.5, 16);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&cache, t] {
+        for (std::size_t round = 0; round < 8; ++round) {
+          for (std::size_t i = 0; i < kKeys; ++i) {
+            // All threads write the same keyspace with identical records —
+            // the determinism contract concurrent campaigns rely on.
+            cache.insert(gemm_key(soc::kAllChipModels[i % 4],
+                                  soc::kAllGemmImpls[i % 6], 16 + i,
+                                  /*options_fp=*/3),
+                         measurement_stub(16 + i));
+          }
+          (void)t;
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    EXPECT_GT(cache.stats().compactions, 0u);
+  }
+  ResultCache cold(kKeys);
+  // Appends after the final compaction may leave duplicate lines; what
+  // matters is that every one of the 32 retained keys survived.
+  EXPECT_GE(cold.load(path), kKeys);
+  EXPECT_EQ(cold.size(), kKeys);
+  EXPECT_EQ(cold.stats().load_rejected, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

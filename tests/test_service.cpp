@@ -1,17 +1,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
 
 #include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
+#include "service/campaign_queue.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "service/shard_planner.hpp"
@@ -29,6 +34,8 @@ using orchestrator::MeasurementRecord;
 CampaignRequest full_request() {
   CampaignRequest request;
   request.name = "everything";
+  request.client = "tester";
+  request.priority = 7;
   request.chips = {soc::ChipModel::kM1, soc::ChipModel::kM3};
   request.impls = {soc::GemmImpl::kCpuSingle, soc::GemmImpl::kGpuMps};
   request.sizes = {32, 64};
@@ -369,6 +376,368 @@ TEST(WorkerPool, ShardFailureIsReportedNotFatal) {
   EXPECT_NE(outcomes[0].exit_code, 0);
   EXPECT_FALSE(outcomes[0].error.empty());
   std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------- campaign queue --
+
+TEST(CampaignQueueTest, ResourceClassesDeriveFromJobKindsAndImpls) {
+  using orchestrator::JobKind;
+  EXPECT_EQ(resources_for(JobKind::kGemmMeasure, soc::GemmImpl::kCpuSingle),
+            kResourceCpu);
+  EXPECT_EQ(resources_for(JobKind::kGemmMeasure, soc::GemmImpl::kGpuMps),
+            kResourceGpu);
+  EXPECT_EQ(resources_for(JobKind::kStream, soc::GemmImpl::kCpuSingle),
+            kResourceCpu);
+  EXPECT_EQ(resources_for(JobKind::kGpuStream, soc::GemmImpl::kCpuSingle),
+            kResourceGpu);
+  EXPECT_EQ(resources_for(JobKind::kAneInference, soc::GemmImpl::kCpuSingle),
+            kResourceAne);
+  EXPECT_EQ(resources_for(JobKind::kSmeGemm, soc::GemmImpl::kCpuSingle),
+            kResourceCpu);
+  EXPECT_EQ(resources_for(JobKind::kFp64Emulation, soc::GemmImpl::kCpuSingle),
+            kResourceGpu);
+  EXPECT_EQ(resources_for(JobKind::kPowerIdle, soc::GemmImpl::kCpuSingle),
+            kResourceAll);
+
+  CampaignRequest gemm_and_ane;
+  gemm_and_ane.chips = {soc::ChipModel::kM1};
+  gemm_and_ane.impls = {soc::GemmImpl::kCpuSingle, soc::GemmImpl::kGpuMps};
+  gemm_and_ane.sizes = {32};
+  gemm_and_ane.ane_sizes = {32};
+  EXPECT_EQ(resources_for(gemm_and_ane),
+            kResourceCpu | kResourceGpu | kResourceAne);
+  EXPECT_EQ(resources_to_string(kResourceCpu | kResourceAne), "cpu+ane");
+  EXPECT_EQ(resources_to_string(0), "none");
+}
+
+TEST(CampaignQueueTest, DisjointCampaignsRunConcurrently) {
+  CampaignQueue queue;
+  auto cpu = queue.submit("a", 0, kResourceCpu);
+  auto ane = queue.submit("b", 0, kResourceAne);
+  auto gpu = queue.submit("c", 0, kResourceGpu);
+  ASSERT_TRUE(cpu && ane && gpu);
+  EXPECT_TRUE(cpu->try_start());
+  EXPECT_TRUE(ane->try_start());
+  EXPECT_TRUE(gpu->try_start());
+  EXPECT_EQ(queue.running_count(), 3u);
+  EXPECT_EQ(queue.peak_running(), 3u);
+}
+
+TEST(CampaignQueueTest, ConflictingCampaignsKeepSubmissionOrder) {
+  CampaignQueue queue;
+  auto first = queue.submit("a", 0, kResourceCpu);
+  auto second = queue.submit("b", 0, kResourceCpu);
+  ASSERT_TRUE(first && second);
+  EXPECT_TRUE(first->try_start());
+  EXPECT_FALSE(second->try_start());  // conflicts with the running first
+  EXPECT_EQ(second->position(), 1u);
+  first.reset();  // first finishes
+  EXPECT_TRUE(second->try_start());
+}
+
+TEST(CampaignQueueTest, HigherPriorityJumpsTheQueue) {
+  CampaignQueue queue;
+  auto running = queue.submit("a", 0, kResourceCpu);
+  ASSERT_TRUE(running->try_start());
+  auto low = queue.submit("b", 0, kResourceCpu);
+  auto high = queue.submit("c", 9, kResourceCpu);
+  ASSERT_TRUE(low && high);
+  EXPECT_FALSE(low->try_start());
+  EXPECT_FALSE(high->try_start());
+  // The later, higher-priority submit ranks ahead of the earlier one.
+  EXPECT_EQ(high->position(), 1u);
+  EXPECT_EQ(low->position(), 2u);
+  running.reset();
+  EXPECT_FALSE(low->try_start());  // must not overtake the conflicting high
+  EXPECT_TRUE(high->try_start());
+  high.reset();
+  EXPECT_TRUE(low->try_start());
+}
+
+TEST(CampaignQueueTest, BackfillOnlyAroundDisjointWaiters) {
+  CampaignQueue queue;
+  auto running = queue.submit("a", 0, kResourceCpu);
+  ASSERT_TRUE(running->try_start());
+  auto waiting_cpu = queue.submit("b", 5, kResourceCpu);
+  EXPECT_FALSE(waiting_cpu->try_start());
+  // Disjoint from the running campaign AND from the better-ranked waiter:
+  // may backfill.
+  auto ane = queue.submit("c", 0, kResourceAne);
+  EXPECT_TRUE(ane->try_start());
+  // Conflicts with the better-ranked waiting_cpu: starting it could delay
+  // that campaign's start, so it must wait even though nothing *running*
+  // holds the CPU+GPU claim it wants... (the GPU half is free).
+  auto cpu_gpu = queue.submit("d", 0, kResourceCpu | kResourceGpu);
+  EXPECT_FALSE(cpu_gpu->try_start());
+}
+
+TEST(CampaignQueueTest, QueuedQuotaRejectsStructurally) {
+  CampaignQueue::Limits limits;
+  limits.max_queued_per_client = 1;
+  CampaignQueue queue(limits);
+  auto running = queue.submit("a", 0, kResourceCpu);
+  ASSERT_TRUE(running->try_start());
+  auto waiting = queue.submit("a", 0, kResourceCpu);
+  ASSERT_TRUE(waiting != nullptr);  // running doesn't count against queued
+  CampaignQueue::Rejection rejection;
+  auto rejected = queue.submit("a", 0, kResourceAne, &rejection);
+  EXPECT_EQ(rejected, nullptr);
+  EXPECT_EQ(rejection.code, "quota-queued");
+  EXPECT_NE(rejection.message.find("'a'"), std::string::npos);
+  EXPECT_EQ(queue.rejections(), 1u);
+  // A different client is unaffected.
+  auto other = queue.submit("b", 0, kResourceAne, &rejection);
+  EXPECT_TRUE(other != nullptr);
+  const auto stats = queue.client_stats();
+  EXPECT_EQ(stats.at("a").running, 1u);
+  EXPECT_EQ(stats.at("a").queued, 1u);
+  EXPECT_EQ(stats.at("b").queued, 1u);
+}
+
+TEST(CampaignQueueTest, RunningQuotasHoldCampaignsInTheQueue) {
+  CampaignQueue::Limits limits;
+  limits.max_running_per_client = 1;
+  limits.max_running = 2;
+  CampaignQueue queue(limits);
+  auto a1 = queue.submit("a", 0, kResourceCpu);
+  ASSERT_TRUE(a1->try_start());
+  // Disjoint resources, same client: held by max_running_per_client.
+  auto a2 = queue.submit("a", 0, kResourceAne);
+  EXPECT_FALSE(a2->try_start());
+  // Another client may use the idle ANE even though the quota-blocked a2
+  // is ranked ahead and wants it — quotas never idle a unit cross-tenant.
+  auto b1 = queue.submit("b", 0, kResourceAne);
+  EXPECT_TRUE(b1->try_start());
+  // Global cap of 2 now holds everyone else, even on free resources.
+  auto c1 = queue.submit("c", 0, kResourceGpu);
+  EXPECT_FALSE(c1->try_start());
+  b1.reset();
+  EXPECT_TRUE(c1->try_start());
+  a1.reset();
+  EXPECT_TRUE(a2->try_start());
+}
+
+// ------------------------------------------------- multi-tenant service --
+
+/// ostream whose buffer may be read while another thread is writing — the
+/// concurrent-session tests poll a session's replies as they stream.
+class CapturedStream : public std::ostream {
+ public:
+  CapturedStream() : std::ostream(&buf_) {}
+  std::string text() const { return buf_.text(); }
+  bool contains(const std::string& needle) const {
+    return text().find(needle) != std::string::npos;
+  }
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    int_type overflow(int_type ch) override {
+      if (ch != traits_type::eof()) {
+        std::lock_guard lock(mutex_);
+        text_.push_back(static_cast<char>(ch));
+      }
+      return ch;
+    }
+    std::streamsize xsputn(const char* data, std::streamsize count) override {
+      std::lock_guard lock(mutex_);
+      text_.append(data, static_cast<std::size_t>(count));
+      return count;
+    }
+    std::string text() const {
+      std::lock_guard lock(mutex_);
+      return text_;
+    }
+
+   private:
+    mutable std::mutex mutex_;
+    std::string text_;
+  } buf_;
+};
+
+bool wait_until(const std::function<bool()>& condition,
+                int timeout_ms = 20000) {
+  for (int waited = 0; waited < timeout_ms; waited += 2) {
+    if (condition()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return condition();
+}
+
+std::string cpu_block(const std::string& name, const std::string& client,
+                      int priority) {
+  return "begin " + name + "\nclient " + client + "\npriority " +
+         std::to_string(priority) + "\nchips m1\nsme 32 13\nrun\n";
+}
+
+std::string ane_block(const std::string& name, const std::string& client) {
+  return "begin " + name + "\nclient " + client + "\nchips m1\nane 24\nrun\n";
+}
+
+std::vector<std::string> record_lines(const std::string& text) {
+  std::vector<std::string> records;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (starts_with(line, "record ")) {
+      records.push_back(line);
+    }
+  }
+  std::sort(records.begin(), records.end());
+  return records;
+}
+
+// The tentpole scenario, made deterministic with a queue ticket standing in
+// for a long-running CPU campaign: while the CPU resource class is held, an
+// ANE campaign runs to completion (disjoint → concurrent), two CPU
+// campaigns queue with live `queued <pos>` events, and on release the
+// higher-priority one starts first.
+TEST(CampaignServiceQueue, DisjointRunsConcurrentlyConflictsQueueByPriority) {
+  CampaignService service({});
+  auto blocker =
+      service.queue().submit("blocker", 50, kResourceCpu);
+  ASSERT_TRUE(blocker->try_start());
+
+  CapturedStream low_out;
+  std::istringstream low_in(cpu_block("low", "alice", 0));
+  std::thread low_session(
+      [&] { service.serve(low_in, low_out); });
+  ASSERT_TRUE(wait_until([&] { return low_out.contains("queued 1"); }))
+      << low_out.text();
+
+  CapturedStream high_out;
+  std::istringstream high_in(cpu_block("high", "bob", 9));
+  std::thread high_session(
+      [&] { service.serve(high_in, high_out); });
+  // The higher-priority campaign takes position 1; the earlier one is
+  // pushed back and told so.
+  ASSERT_TRUE(wait_until([&] {
+    return high_out.contains("queued 1") && low_out.contains("queued 2");
+  })) << low_out.text()
+      << high_out.text();
+
+  // Disjoint resources: the ANE campaign runs to done while the CPU class
+  // is still held — the session joins with the blocker alive.
+  CapturedStream ane_out;
+  std::istringstream ane_in(ane_block("ane-camp", "carol"));
+  std::thread ane_session([&] { service.serve(ane_in, ane_out); });
+  ane_session.join();
+  EXPECT_TRUE(ane_out.contains("done campaign")) << ane_out.text();
+  EXPECT_TRUE(ane_out.contains("started campaign"));
+  EXPECT_FALSE(ane_out.contains("queued "));
+  EXPECT_TRUE(ane_out.contains("resources ane"));
+  EXPECT_EQ(service.queue().running_count(), 1u);  // only the blocker
+
+  blocker.reset();  // the "long CPU campaign" finishes
+  low_session.join();
+  high_session.join();
+  EXPECT_TRUE(low_out.contains("done campaign")) << low_out.text();
+  EXPECT_TRUE(high_out.contains("done campaign")) << high_out.text();
+
+  // Start order: ANE first (it never waited), then high before low.
+  const auto log = service.start_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "ane-camp");
+  EXPECT_EQ(log[1], "high");
+  EXPECT_EQ(log[2], "low");
+}
+
+TEST(CampaignServiceQueue, QuotaViolationGetsStructuredRejection) {
+  CampaignService::Config config;
+  config.limits.max_queued_per_client = 1;
+  CampaignService service(std::move(config));
+  auto blocker = service.queue().submit("blocker", 50, kResourceCpu);
+  ASSERT_TRUE(blocker->try_start());
+
+  CapturedStream queued_out;
+  std::istringstream queued_in(cpu_block("first", "alice", 0));
+  std::thread queued_session([&] { service.serve(queued_in, queued_out); });
+  ASSERT_TRUE(wait_until(
+      [&] { return service.queue().queued_count() == 1; }));
+
+  // Same client, second queued campaign: rejected outright — with the
+  // preempted-by-quota event, the stable code and the echoed line — and
+  // the session survives to answer the ping.
+  CapturedStream rejected_out;
+  std::istringstream rejected_in(cpu_block("second", "alice", 0) + "ping\n");
+  std::thread rejected_session(
+      [&] { service.serve(rejected_in, rejected_out); });
+  rejected_session.join();
+  EXPECT_TRUE(rejected_out.contains("preempted-by-quota client alice"))
+      << rejected_out.text();
+  EXPECT_TRUE(rejected_out.contains("error quota-queued"));
+  EXPECT_TRUE(rejected_out.contains("| line: run"));
+  EXPECT_TRUE(rejected_out.contains("pong"));
+  EXPECT_FALSE(rejected_out.contains("done campaign"));
+
+  blocker.reset();
+  queued_session.join();
+  EXPECT_TRUE(queued_out.contains("done campaign")) << queued_out.text();
+
+  // The stats command reports the rejection and (now empty) queue.
+  const auto stats = serve_lines(service, "stats\n");
+  ASSERT_FALSE(stats.empty());
+  EXPECT_NE(stats.back().find("rejected 1"), std::string::npos)
+      << stats.back();
+}
+
+TEST(CampaignServiceQueue, ConcurrentDisjointStreamsAreBitIdenticalToSerial) {
+  // Two disjoint campaigns on one service, submitted from two sessions at
+  // once...
+  CampaignService shared({});
+  CapturedStream cpu_out;
+  CapturedStream ane_out;
+  std::istringstream cpu_in(cpu_block("cpu-camp", "alice", 0));
+  std::istringstream ane_in(ane_block("ane-camp", "bob"));
+  std::thread cpu_session([&] { shared.serve(cpu_in, cpu_out); });
+  std::thread ane_session([&] { shared.serve(ane_in, ane_out); });
+  cpu_session.join();
+  ane_session.join();
+  EXPECT_TRUE(cpu_out.contains("done campaign")) << cpu_out.text();
+  EXPECT_TRUE(ane_out.contains("done campaign")) << ane_out.text();
+
+  // ...must stream exactly the records a fresh single-campaign service
+  // produces (record lines are store entries: hex bit patterns, so string
+  // equality is bit equality).
+  CampaignService cpu_only({});
+  CampaignService ane_only({});
+  const auto cpu_serial = serve_lines(cpu_only, cpu_block("cpu-camp", "x", 0));
+  const auto ane_serial = serve_lines(ane_only, ane_block("ane-camp", "y"));
+  const auto serial_records = [](const std::vector<std::string>& lines) {
+    std::vector<std::string> records;
+    for (const auto& line : lines) {
+      if (starts_with(line, "record ")) {
+        records.push_back(line);
+      }
+    }
+    std::sort(records.begin(), records.end());
+    return records;
+  };
+  EXPECT_EQ(record_lines(cpu_out.text()), serial_records(cpu_serial));
+  EXPECT_EQ(record_lines(ane_out.text()), serial_records(ane_serial));
+  ASSERT_FALSE(record_lines(cpu_out.text()).empty());
+  ASSERT_FALSE(record_lines(ane_out.text()).empty());
+}
+
+TEST(CampaignService, ErrorRepliesCarryCodeAndOffendingLine) {
+  CampaignService service({});
+  const auto lines = serve_lines(service,
+                                 "warp 9\n"
+                                 "begin bad\n"
+                                 "chips m1,m9\n"
+                                 "run\n"
+                                 "shutdown\n");
+  ASSERT_GE(lines.size(), 3u);
+  // Unknown command: code + the echoed input.
+  EXPECT_EQ(lines[0], "error unknown-command unknown command: warp | line: warp 9");
+  // Bad setter inside a request: the offending line is echoed verbatim.
+  EXPECT_EQ(lines[1],
+            "error bad-directive unknown chip: m9 | line: chips m1,m9");
+  // `run` on a request with no chips accepted: bad-request.
+  EXPECT_TRUE(starts_with(lines[2], "error bad-request")) << lines[2];
+  EXPECT_NE(lines[2].find("| line: run"), std::string::npos);
 }
 
 TEST(CampaignService, ShardedRunPersistsMergedEntriesToTheServiceStore) {

@@ -7,13 +7,21 @@
 //
 //   ao_campaignctl --socket <path> [--request <file>]   submit (stdin
 //                                                       without --request)
+//                  [--client <id>] [--priority <n>]     queueing identity
 //   ao_campaignctl --socket <path> ping|stats|compact|shutdown
 //   ao_campaignctl --verify-store <file>                offline store check
 //
+// --client/--priority inject the matching request lines right after the
+// block's `begin`, so scripts can set queueing identity without editing
+// request files. While the service queues the campaign behind conflicting
+// ones, `queued <pos>` / `started` events stream through verbatim.
+//
 // Submit exits 0 when a `done` reply arrived, 1 on any `error` reply or a
-// dropped connection. --verify-store loads the store through ResultCache
-// and fails when it is empty or any entry was rejected — the round-trip
-// assertion for merged shard stores.
+// dropped connection; structured errors (`error <code> ... | line: ...`)
+// are summarized on stderr so scripts log which request line was rejected.
+// --verify-store loads the store through ResultCache and fails when it is
+// empty or any entry was rejected — the round-trip assertion for merged
+// shard stores.
 
 #include <cstring>
 #include <fstream>
@@ -61,6 +69,18 @@ int converse(ao::service::SocketStream& stream,
     std::string second;
     words >> first >> second;
     if (first == "error") {
+      // Structured reply: "error <code> <message> [| line: <input>]".
+      // Surface the code and the echoed offending line on stderr so a
+      // script's log says exactly what was rejected and why.
+      std::string detail = reply.substr(reply.find(second) + second.size());
+      const std::size_t at = detail.find(" | line: ");
+      std::cerr << "ao_campaignctl: rejected (" << second << "):"
+                << (at == std::string::npos ? detail : detail.substr(0, at))
+                << '\n';
+      if (at != std::string::npos) {
+        std::cerr << "ao_campaignctl: offending line: "
+                  << detail.substr(at + 9) << '\n';
+      }
       return 1;
     }
     if (mode == "submit" && first == "done") {
@@ -87,12 +107,18 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string request_path;
   std::string verify_path;
+  std::string client_id;
+  std::string priority;
   std::string command = "submit";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (std::strcmp(argv[i], "--request") == 0 && i + 1 < argc) {
       request_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--client") == 0 && i + 1 < argc) {
+      client_id = argv[++i];
+    } else if (std::strcmp(argv[i], "--priority") == 0 && i + 1 < argc) {
+      priority = argv[++i];
     } else if (std::strcmp(argv[i], "--verify-store") == 0 && i + 1 < argc) {
       verify_path = argv[++i];
     } else if (argv[i][0] != '-') {
@@ -108,7 +134,9 @@ int main(int argc, char** argv) {
   }
   if (socket_path.empty()) {
     std::cerr << "usage: ao_campaignctl --socket <path> "
-                 "[--request <file> | ping|stats|compact|shutdown]\n"
+                 "[--request <file>] [--client <id>] [--priority <n>]\n"
+                 "       ao_campaignctl --socket <path> "
+                 "ping|stats|compact|shutdown\n"
                  "       ao_campaignctl --verify-store <file>\n";
     return 2;
   }
@@ -128,6 +156,17 @@ int main(int argc, char** argv) {
     std::string line;
     while (std::getline(*in, line)) {
       lines.push_back(line);
+      // Queueing identity from the command line, injected right after the
+      // block opens (later duplicate lines in the file still win — the
+      // parser applies setters in order).
+      if (line.rfind("begin", 0) == 0) {
+        if (!client_id.empty()) {
+          lines.push_back("client " + client_id);
+        }
+        if (!priority.empty()) {
+          lines.push_back("priority " + priority);
+        }
+      }
       if (line.rfind("run", 0) == 0) {
         break;  // the block is complete; ignore trailing noise
       }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Checks that relative links in Markdown files resolve.
 
-Usage: check_markdown_links.py FILE [FILE...]
+Usage: check_markdown_links.py [--mentions DOC GLOB]... FILE [FILE...]
 
 For every inline link or image `[text](target)`:
   - http(s)/mailto targets are skipped (no network in CI);
@@ -10,7 +10,14 @@ For every inline link or image `[text](target)`:
   - bare `#anchor` targets are checked against the current file's headings;
   - plain paths must exist relative to the linking file.
 
-Exit status: 0 when every link resolves, 1 otherwise.
+`--mentions DOC GLOB` additionally requires every file matching GLOB
+(resolved from the current directory) to be mentioned by basename somewhere
+in DOC — this is how CI keeps docs/benchmarks.md covering every
+bench/bench_*.cpp binary: adding a bench without documenting its paper
+figure fails the docs job.
+
+Exit status: 0 when every link resolves and every mention is present,
+1 otherwise.
 """
 
 import re
@@ -52,23 +59,52 @@ def check_file(md: Path) -> list:
     return errors
 
 
+def check_mentions(doc: Path, glob: str) -> list:
+    """Every file matching `glob` must appear (by basename) in `doc`."""
+    if not doc.exists():
+        return [f"{doc}: file not found (--mentions)"]
+    matches = sorted(Path(".").glob(glob))
+    if not matches:
+        return [f"--mentions: no files match '{glob}' (stale check?)"]
+    text = doc.read_text(encoding="utf-8")
+    errors = []
+    for path in matches:
+        # Accept a mention of the file name with or without its suffix
+        # ("bench_fig1_stream.cpp" or the binary name "bench_fig1_stream").
+        if path.name not in text and path.stem not in text:
+            errors.append(f"{doc}: does not mention {path} (from '{glob}')")
+    return errors
+
+
 def main() -> int:
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    mentions = []
+    while "--mentions" in args:
+        at = args.index("--mentions")
+        if len(args) < at + 3:
+            print(__doc__)
+            return 1
+        mentions.append((Path(args[at + 1]), args[at + 2]))
+        del args[at : at + 3]
+    if not args and not mentions:
         print(__doc__)
         return 1
     all_errors = []
-    for name in sys.argv[1:]:
+    for name in args:
         md = Path(name)
         if not md.exists():
             all_errors.append(f"{md}: file not found")
             continue
         all_errors.extend(check_file(md))
+    for doc, glob in mentions:
+        all_errors.extend(check_mentions(doc, glob))
     for error in all_errors:
         print(error)
     if not all_errors:
-        print(f"OK: {len(sys.argv) - 1} files, all relative links resolve")
+        checked = len(args) + len(mentions)
+        print(f"OK: {checked} checks, all links resolve and mentions present")
         return 0
-    print(f"{len(all_errors)} broken links")
+    print(f"{len(all_errors)} problems")
     return 1
 
 
