@@ -25,12 +25,8 @@ namespace {
 // line fails its digest and is skipped, so a crashed write-through run
 // never poisons later loads.
 
-constexpr char kHeaderPrefix[] = "ao-result-cache v";
-constexpr char kEntryPrefix[] = "entry ";
-constexpr char kDigestSeparator[] = " # ";
-
 std::string header_line() {
-  return kHeaderPrefix + std::to_string(ResultCache::kFormatVersion);
+  return kStoreHeaderPrefix + std::to_string(ResultCache::kFormatVersion);
 }
 
 std::uint64_t mix_double(std::uint64_t h, double value) {
@@ -66,7 +62,7 @@ RecordKind expected_record_kind(JobKind kind) {
 
 std::string format_entry(const std::pair<CacheKey, MeasurementRecord>& entry) {
   const CacheKey& key = entry.first;
-  std::string line = kEntryPrefix;
+  std::string line = kStoreEntryPrefix;
   line += util::to_hex_u64(static_cast<std::uint64_t>(key.kind));
   line += ' ';
   line += util::to_hex_u64(static_cast<std::uint64_t>(key.chip));
@@ -80,31 +76,32 @@ std::string format_entry(const std::pair<CacheKey, MeasurementRecord>& entry) {
   line += util::to_hex_u64(key.options_fingerprint);
   line += ' ';
   line += serialize_record(entry.second);
-  line += kDigestSeparator;
+  line += kStoreDigestSeparator;
   const std::size_t payload_length =
-      line.size() - std::strlen(kDigestSeparator);
-  line += util::to_hex_u64(util::fnv1a_bytes(line.data(), payload_length));
+      line.size() - std::strlen(kStoreDigestSeparator);
+  line += util::to_hex_u64(store_digest(line.data(), payload_length));
   return line;
 }
 
 std::optional<std::pair<CacheKey, MeasurementRecord>> parse_entry(
     const std::string& line) {
-  if (line.rfind(kEntryPrefix, 0) != 0) {
+  if (line.rfind(kStoreEntryPrefix, 0) != 0) {
     return std::nullopt;
   }
-  const std::size_t digest_at = line.rfind(kDigestSeparator);
+  const std::size_t digest_at = line.rfind(kStoreDigestSeparator);
   if (digest_at == std::string::npos) {
     return std::nullopt;
   }
   std::uint64_t digest = 0;
-  if (!util::parse_hex_u64(line.substr(digest_at + std::strlen(kDigestSeparator)),
-                 digest) ||
-      digest != util::fnv1a_bytes(line.data(), digest_at)) {
+  if (!util::parse_hex_u64(
+          line.substr(digest_at + std::strlen(kStoreDigestSeparator)),
+          digest) ||
+      digest != store_digest(line.data(), digest_at)) {
     return std::nullopt;
   }
 
-  std::istringstream in(
-      line.substr(std::strlen(kEntryPrefix), digest_at - std::strlen(kEntryPrefix)));
+  std::istringstream in(line.substr(
+      std::strlen(kStoreEntryPrefix), digest_at - std::strlen(kStoreEntryPrefix)));
   std::uint64_t kind = 0;
   std::uint64_t chip = 0;
   std::uint64_t impl = 0;
@@ -142,6 +139,10 @@ std::optional<std::pair<CacheKey, MeasurementRecord>> parse_entry(
 }
 
 }  // namespace
+
+std::uint64_t store_digest(const void* data, std::size_t size) {
+  return util::fnv1a_bytes(data, size);
+}
 
 std::string format_store_entry(const CacheKey& key,
                                const MeasurementRecord& record) {
@@ -384,11 +385,7 @@ std::size_t ResultCache::save_locked(const std::string& path) {
     if (!out) {
       throw util::Error("cannot write result-cache store: " + tmp);
     }
-    out << header_line() << '\n';
-    // Least recent first: reloading replays insertions in recency order.
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      out << format_entry(*it) << '\n';
-    }
+    write_store_locked(out);
     if (!out) {
       throw util::Error("short write to result-cache store: " + tmp);
     }
@@ -414,6 +411,21 @@ std::size_t ResultCache::save_locked(const std::string& path) {
     store_covered_ = true;  // the store is now exactly the retained set
   }
   return lru_.size();
+}
+
+void ResultCache::write_store_locked(std::ostream& out) const {
+  out << header_line() << '\n';
+  // Least recent first: reloading replays insertions in recency order.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    out << format_entry(*it) << '\n';
+  }
+}
+
+std::string ResultCache::serialize_store() const {
+  std::ostringstream out;
+  std::lock_guard lock(mutex_);
+  write_store_locked(out);
+  return out.str();
 }
 
 std::size_t ResultCache::compact() {
@@ -447,12 +459,24 @@ std::size_t ResultCache::merge_store(const std::string& path) {
   return load_impl(path, /*write_through=*/true);
 }
 
+std::size_t ResultCache::merge_buffer(const std::string& buffer) {
+  std::istringstream in(buffer);
+  // No source path: a buffer never arms the fully-loaded-path bookkeeping
+  // (there is no file a later persist_to() could be pointed at).
+  return load_stream(in, /*write_through=*/true, /*source_path=*/{});
+}
+
 std::size_t ResultCache::load_impl(const std::string& path,
                                    bool write_through) {
   std::ifstream in(path);
   if (!in) {
     return 0;  // nothing persisted yet — a cold start, not an error
   }
+  return load_stream(in, write_through, path);
+}
+
+std::size_t ResultCache::load_stream(std::istream& in, bool write_through,
+                                     const std::string& source_path) {
   std::string line;
   if (!std::getline(in, line) || line != header_line()) {
     // A different format version (or not a cache store at all): refuse the
@@ -484,10 +508,10 @@ std::size_t ResultCache::load_impl(const std::string& path,
       }
     }
     stats_.loaded += loaded;
-    if (stats_.evictions == evictions_before) {
+    if (!source_path.empty() && stats_.evictions == evictions_before) {
       // Everything this file holds is now retained: persist_to(path) may
       // auto-compact it losslessly (rejected lines were corrupt anyway).
-      fully_loaded_path_ = path;
+      fully_loaded_path_ = source_path;
     }
   }
   // merge_store propagation: the batch lands on disk in one io pass, and a

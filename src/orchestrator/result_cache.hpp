@@ -64,6 +64,19 @@ struct CacheStats {
   std::size_t compactions = 0;     ///< write-through store rewrites
 };
 
+// Store framing constants, shared by every codec that reads or writes store
+// content: the disk store, the service's streamed `record` replies and the
+// wire frames of the distributed shard transport (docs/service.md). One
+// definition, so the disk and socket paths cannot drift.
+inline constexpr char kStoreHeaderPrefix[] = "ao-result-cache v";
+inline constexpr char kStoreEntryPrefix[] = "entry ";
+inline constexpr char kStoreDigestSeparator[] = " # ";
+
+/// The digest every store codec shares: FNV-1a over the raw bytes. Entry
+/// lines digest the line up to (excluding) kStoreDigestSeparator; wire
+/// frames digest their whole payload.
+std::uint64_t store_digest(const void* data, std::size_t size);
+
 /// One on-disk store entry line for (key, record): the "entry ... # digest"
 /// framing the versioned store and the service's streamed `record` replies
 /// share (layout in docs/orchestrator.md).
@@ -156,6 +169,19 @@ class ResultCache {
   /// warming from one's own store never duplicates it.
   std::size_t merge_store(const std::string& path);
 
+  /// The store exactly as save() would write it (version header + retained
+  /// entries, least recent first), as one in-memory buffer: the wire twin
+  /// of save(). A remote shard worker ships this over its socket instead of
+  /// writing a store file (docs/service.md#wire-format-frames).
+  std::string serialize_store() const;
+
+  /// merge_store() from an in-memory buffer — the receiving end of
+  /// serialize_store(): same header check, per-entry digest validation,
+  /// load_rejected accounting and write-through propagation. Returns
+  /// entries merged; a version-mismatched or unrecognizable first line
+  /// rejects the whole buffer.
+  std::size_t merge_buffer(const std::string& buffer);
+
   /// Write-through mode: appends every future insertion to `path`,
   /// creating the file (with its version header) if absent. Existing
   /// contents are NOT loaded — call load() first to warm up. Pass "" to
@@ -207,7 +233,15 @@ class ResultCache {
   /// an auto-compaction decision made under mutex_.
   void compact_if_attached();
   std::size_t save_locked(const std::string& path);
+  /// Writes the header + retained entries (least recent first) to `out` —
+  /// the one body behind save_locked() and serialize_store().
+  void write_store_locked(std::ostream& out) const;
   std::size_t load_impl(const std::string& path, bool write_through);
+  /// The shared merge loop behind load()/merge_store()/merge_buffer().
+  /// `source_path` is non-empty only for file sources (it feeds the
+  /// fully-loaded-path bookkeeping that arms auto-compaction).
+  std::size_t load_stream(std::istream& in, bool write_through,
+                          const std::string& source_path);
 
   /// Lock order: mutex_ before io_mutex_; io_mutex_ is also taken alone
   /// (insert's append path), never the other way around.

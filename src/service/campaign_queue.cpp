@@ -97,7 +97,7 @@ CampaignQueue::~CampaignQueue() {
 
 std::unique_ptr<CampaignQueue::Ticket> CampaignQueue::submit(
     const std::string& client, int priority, ResourceMask resources,
-    Rejection* rejection) {
+    Rejection* rejection, const std::string& name) {
   std::lock_guard lock(mutex_);
   if (limits_.max_queued_per_client != 0) {
     std::size_t queued = 0;
@@ -122,6 +122,7 @@ std::unique_ptr<CampaignQueue::Ticket> CampaignQueue::submit(
   entry.seq = next_seq_++;
   entry.priority = priority;
   entry.client = client;
+  entry.name = name;
   entry.resources = resources;
   const std::uint64_t seq = entry.seq;
   entries_.emplace(seq, std::move(entry));
@@ -239,6 +240,28 @@ std::map<std::string, CampaignQueue::ClientStats> CampaignQueue::client_stats()
     }
   }
   return stats;
+}
+
+std::vector<CampaignQueue::WaitingCampaign> CampaignQueue::waiting() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const Entry*> pending;
+  for (const auto& [seq, entry] : entries_) {
+    if (!entry.running) {
+      pending.push_back(&entry);
+    }
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const Entry* a, const Entry* b) {
+              return rank_of(*a) < rank_of(*b);
+            });
+  std::vector<WaitingCampaign> out;
+  out.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    out.push_back({i + 1, pending[i]->name.empty() ? "-" : pending[i]->name,
+                   pending[i]->client, pending[i]->priority,
+                   pending[i]->resources});
+  }
+  return out;
 }
 
 CampaignQueue::Ticket::~Ticket() { queue_->release(seq_); }

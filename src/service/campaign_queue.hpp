@@ -82,6 +82,15 @@ class CampaignQueue {
     std::size_t running = 0;
   };
 
+  /// One waiting campaign as the `queue` introspection command reports it.
+  struct WaitingCampaign {
+    std::size_t position = 0;  ///< 1 = next to start
+    std::string name;          ///< campaign name ("-" when unnamed)
+    std::string client;
+    int priority = 0;
+    ResourceMask resources = 0;
+  };
+
   class Ticket;
 
   CampaignQueue();  ///< default Limits
@@ -94,9 +103,11 @@ class CampaignQueue {
   /// filled, when given) if `client` already has max_queued_per_client
   /// campaigns waiting; otherwise the ticket is queued and must be waited
   /// on. Priorities order the wait; they never evict a running campaign.
+  /// `name` is carried for introspection only (the `queue` command).
   std::unique_ptr<Ticket> submit(const std::string& client, int priority,
                                  ResourceMask resources,
-                                 Rejection* rejection = nullptr);
+                                 Rejection* rejection = nullptr,
+                                 const std::string& name = {});
 
   Limits limits() const { return limits_; }
   std::size_t running_count() const;
@@ -108,12 +119,16 @@ class CampaignQueue {
   /// Queue depth and concurrency per client (clients with no live tickets
   /// are absent).
   std::map<std::string, ClientStats> client_stats() const;
+  /// Snapshot of every waiting (not yet running) campaign in start order —
+  /// position 1 is the next to be admitted. The `queue` command's feed.
+  std::vector<WaitingCampaign> waiting() const;
 
  private:
   struct Entry {
     std::uint64_t seq = 0;  ///< submission order; ties within a priority
     int priority = 0;
     std::string client;
+    std::string name;  ///< introspection only; never keys any decision
     ResourceMask resources = 0;
     bool running = false;
   };

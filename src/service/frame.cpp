@@ -1,0 +1,132 @@
+#include "service/frame.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "orchestrator/result_cache.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace ao::service {
+namespace {
+
+void set_error(std::string* error, const char* reason) {
+  if (error != nullptr) {
+    *error = reason;
+  }
+}
+
+}  // namespace
+
+bool valid_frame_type(const std::string& type) {
+  if (type.empty() || type.size() > 32) {
+    return false;
+  }
+  for (const char c : type) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string encode_frame(const Frame& frame) {
+  AO_REQUIRE(valid_frame_type(frame.type),
+             "frame type must be [a-z0-9-], 1-32 chars: " + frame.type);
+  AO_REQUIRE(frame.payload.size() <= kMaxFramePayload,
+             "frame payload exceeds kMaxFramePayload");
+  std::string out = kFrameMagic;
+  out += ' ';
+  out += frame.type;
+  out += ' ';
+  out += util::to_hex_u64(frame.payload.size());
+  out += ' ';
+  out += util::to_hex_u64(orchestrator::store_digest(frame.payload.data(),
+                                                     frame.payload.size()));
+  out += '\n';
+  out += frame.payload;
+  out += '\n';
+  return out;
+}
+
+void write_frame(std::ostream& out, const Frame& frame) {
+  out << encode_frame(frame);
+  out.flush();
+}
+
+std::optional<Frame> read_frame(std::istream& in, std::string* error) {
+  // Bounded header read: kMaxFramePayload caps the payload allocation, but
+  // only a cap here keeps a peer streaming newline-free garbage from
+  // growing the header string without bound.
+  std::string header;
+  for (;;) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      set_error(error, header.empty() ? "closed" : "frame-truncated");
+      return std::nullopt;
+    }
+    if (c == '\n') {
+      break;
+    }
+    if (header.size() >= kMaxFrameHeader) {
+      set_error(error, "bad-frame-header");
+      return std::nullopt;
+    }
+    header.push_back(static_cast<char>(c));
+  }
+  if (!header.empty() && header.back() == '\r') {
+    header.pop_back();  // the line protocol tolerates CRLF; so do frames
+  }
+
+  // "@frame1 <type> <length> <digest>" — exactly four space-split tokens.
+  std::string tokens[4];
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < header.size() && count < 4) {
+    const std::size_t space = header.find(' ', pos);
+    const std::size_t end = space == std::string::npos ? header.size() : space;
+    tokens[count++] = header.substr(pos, end - pos);
+    pos = end + 1;
+  }
+  if (count != 4 || pos <= header.size() || tokens[0] != kFrameMagic ||
+      !valid_frame_type(tokens[1])) {
+    set_error(error, "bad-frame-header");
+    return std::nullopt;
+  }
+  std::uint64_t length = 0;
+  std::uint64_t digest = 0;
+  if (!util::parse_hex_u64(tokens[2], length) ||
+      !util::parse_hex_u64(tokens[3], digest)) {
+    set_error(error, "bad-frame-header");
+    return std::nullopt;
+  }
+  if (length > kMaxFramePayload) {
+    // Refuse before allocating: a flipped bit in the length token must not
+    // become a multi-gigabyte allocation.
+    set_error(error, "frame-oversized");
+    return std::nullopt;
+  }
+
+  Frame frame;
+  frame.type = tokens[1];
+  frame.payload.resize(static_cast<std::size_t>(length));
+  if (length > 0 &&
+      !in.read(frame.payload.data(), static_cast<std::streamsize>(length))) {
+    set_error(error, "frame-truncated");
+    return std::nullopt;
+  }
+  const int terminator = in.get();
+  if (terminator != '\n') {
+    set_error(error, "frame-truncated");
+    return std::nullopt;
+  }
+  if (orchestrator::store_digest(frame.payload.data(), frame.payload.size()) !=
+      digest) {
+    set_error(error, "frame-digest-mismatch");
+    return std::nullopt;
+  }
+  set_error(error, "");
+  return frame;
+}
+
+}  // namespace ao::service

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace ao::service {
+
+// Binary-safe, length-prefixed frames embedded in the service's line
+// protocol — the transport the distributed shard workers use to ship
+// record batches and whole result stores over a socket instead of a shared
+// filesystem (grammar in docs/service.md#wire-format-frames):
+//
+//   @frame1 <type> <length> <digest>\n
+//   <length raw payload bytes>\n
+//
+// The magic carries the frame-format version (`@frame` + kFrameVersion);
+// a reader that sees any other magic rejects the stream rather than guess.
+// <length> and <digest> are lowercase hex like every store token; <digest>
+// is orchestrator::store_digest() (FNV-1a) over the payload bytes — the
+// same digest the disk store's entry lines use, one definition for both
+// codecs. The trailing newline keeps a frame hexdump-readable and lets a
+// line-oriented peer resynchronize after a frame it skipped.
+
+/// Bumped whenever the header layout changes; read_frame() rejects frames
+/// written by any other version (the magic token embeds it).
+inline constexpr int kFrameVersion = 1;
+inline constexpr char kFrameMagic[] = "@frame1";
+
+/// Hard payload ceiling (64 MiB): a corrupt length token must never make
+/// the reader allocate unbounded memory. Far above any real store — the
+/// CI campaigns ship a few KiB.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;
+
+/// Header-line ceiling. A well-formed header is ≤ 74 bytes (magic + type +
+/// two hex tokens); a peer streaming newline-free garbage is cut off here
+/// instead of growing a string without bound.
+inline constexpr std::size_t kMaxFrameHeader = 128;
+
+// Frame types of the worker conversation (docs/service.md#wire-format-frames).
+inline constexpr char kFrameTask[] = "task";          ///< daemon → worker
+inline constexpr char kFrameRecords[] = "records";    ///< worker → daemon
+inline constexpr char kFrameStore[] = "store";        ///< worker → daemon
+inline constexpr char kFrameShardError[] = "shard-error";  ///< worker → daemon
+inline constexpr char kFrameBye[] = "bye";            ///< daemon → worker
+
+/// One frame: a short lowercase type token plus an arbitrary byte payload.
+struct Frame {
+  std::string type;
+  std::string payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// True for the type tokens write_frame() accepts: [a-z0-9-], 1–32 chars.
+bool valid_frame_type(const std::string& type);
+
+/// Encodes the frame as header line + payload + newline. Throws
+/// util::InvalidArgument for an invalid type or an oversized payload.
+std::string encode_frame(const Frame& frame);
+
+/// encode_frame() straight onto a stream, then flushes — a frame is a
+/// protocol turn, so the peer must see it immediately.
+void write_frame(std::ostream& out, const Frame& frame);
+
+/// Reads one frame. Returns nullopt with `error` set to a stable reason on
+/// any failure: "closed" (EOF before a header), "bad-frame-header"
+/// (wrong magic/version or malformed tokens), "frame-oversized" (length
+/// above kMaxFramePayload), "frame-truncated" (stream ended inside the
+/// payload or the trailing newline is missing), "frame-digest-mismatch"
+/// (payload bytes disagree with the header digest). The caller decides
+/// whether a failure poisons the connection; this parser never throws.
+std::optional<Frame> read_frame(std::istream& in, std::string* error = nullptr);
+
+}  // namespace ao::service

@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "service/shard_planner.hpp"
+#include "service/worker_link.hpp"
 #include "service/worker_pool.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
@@ -65,6 +67,8 @@ std::size_t expected_record_count(
 struct StoreTail {
   std::string path;
   std::streamoff offset = 0;
+  std::size_t shard_index = 0;
+  std::size_t records = 0;  ///< entries streamed from this shard so far
 
   template <typename LineFn>
   void poll(LineFn&& on_line) {
@@ -199,11 +203,49 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
                 builder.begin(words.size() > 1 ? words[1] : "")) {
           reply_error(out, error->code, error->message, line);
         }
+      } else if (words[0] == "worker") {
+        // A remote shard worker announcing itself. The session converts
+        // into a parked worker endpoint: park() blocks until the worker
+        // dies (failure or shutdown), and campaign threads run frame
+        // conversations over the connection in the meantime.
+        const std::string requested = words.size() > 1 ? words[1] : "";
+        if (!requested.empty() && !valid_campaign_name(requested)) {
+          reply_error(out, "bad-name",
+                      "invalid worker name (use [A-Za-z0-9._-], at most 64 "
+                      "chars)",
+                      line);
+        } else {
+          const std::string name =
+              requested.empty()
+                  ? "worker-" + std::to_string(next_worker_id_.fetch_add(1))
+                  : requested;
+          out << "ok worker " << name << '\n';
+          out.flush();
+          registry_.park(name, in, out);
+          return false;  // the connection belonged to the worker
+        }
+      } else if (words[0] == "queue") {
+        // Waiting campaigns in admission order; the terminal `queue` line
+        // is what clients stop reading at.
+        const auto waiting = queue_.waiting();
+        for (const auto& entry : waiting) {
+          out << "queue-entry " << entry.position << " name " << entry.name
+              << " client " << entry.client << " priority " << entry.priority
+              << " resources " << resources_to_string(entry.resources)
+              << '\n';
+        }
+        out << "queue waiting " << waiting.size() << " running "
+            << queue_.running_count() << '\n';
       } else if (words[0] == "ping") {
         out << "pong\n";
       } else if (words[0] == "stats") {
-        // Per-client queue depth/concurrency first; the aggregate `stats`
-        // line is the terminal reply clients stop reading at.
+        // Connected workers and per-client queue depth/concurrency first;
+        // the aggregate `stats` line is the terminal reply clients stop
+        // reading at.
+        for (const auto& worker : registry_.snapshot()) {
+          out << "stats-worker " << worker.name << ' '
+              << (worker.idle ? "idle" : "busy") << '\n';
+        }
         for (const auto& [client, s] : queue_.client_stats()) {
           out << "stats-client " << client << " queued " << s.queued
               << " running " << s.running << '\n';
@@ -216,7 +258,9 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
             << cache_.size() << " store-entries " << cache_.store_entries()
             << " running " << queue_.running_count() << " queued "
             << queue_.queued_count() << " peak " << queue_.peak_running()
-            << " rejected " << queue_.rejections() << '\n';
+            << " rejected " << queue_.rejections() << " remote-shards "
+            << t.remote_shards << " workers " << registry_.connected_count()
+            << " idle-workers " << registry_.idle_count() << '\n';
       } else if (words[0] == "compact") {
         if (cache_.persist_path().empty()) {
           reply_error(out, "no-store", "no write-through store attached",
@@ -225,6 +269,9 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
           out << "ok compact " << cache_.compact() << " entries\n";
         }
       } else if (words[0] == "shutdown") {
+        // Wake every parked worker session (they send their `bye` frames
+        // and end) before telling the caller to stop accepting.
+        registry_.shutdown();
         out << "ok shutdown\n";
         out.flush();
         return true;
@@ -247,8 +294,8 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   // concurrency), or is rejected outright (queued-campaign quota).
   const ResourceMask resources = resources_for(request);
   CampaignQueue::Rejection rejection;
-  auto ticket =
-      queue_.submit(request.client, request.priority, resources, &rejection);
+  auto ticket = queue_.submit(request.client, request.priority, resources,
+                              &rejection, request.name);
   if (ticket == nullptr) {
     out << "preempted-by-quota client " << request.client << " campaign "
         << request.name << '\n';
@@ -294,8 +341,14 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   out << "started campaign " << id << '\n';
   out.flush();
 
-  if (shard_count > 1) {
-    run_sharded(request, id, shard_count, expected_records, out);
+  // remote_only means sharded requests NEVER execute on this host — even
+  // when the group count collapses the effective shard count to 1, the
+  // single shard still goes to a remote worker (an operator running a
+  // fleet daemon relies on that isolation; docs/operations.md).
+  if (shard_count > 1 ||
+      (config_.remote_only && request.shards > 1 && !groups.empty())) {
+    run_sharded(request, id, std::max<std::size_t>(1, shard_count),
+                expected_records, out);
   } else {
     run_in_process(request, id, expected_records, out);
   }
@@ -397,12 +450,10 @@ void CampaignService::run_sharded(const CampaignRequest& request,
       plan_shards(pending_groups, std::max<std::size_t>(
                                       1, std::min(shard_count, pending.size())));
 
-  // The campaign id keeps concurrent sharded campaigns' scratch files
-  // apart even when they share a name.
-  const std::string base =
-      config_.shard_dir + "/" + request.name + "-c" + std::to_string(id);
+  // Shard work lists: campaign group indices per non-empty shard. Which
+  // transport runs them — remote workers over frames, or local workers
+  // over tailed disk stores — is decided below; the plan is the same.
   std::vector<WorkerPool::ShardTask> tasks;
-  std::vector<StoreTail> tails;
   for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
     if (plan.shard_groups[shard].empty()) {
       continue;
@@ -412,56 +463,115 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     for (const std::size_t pending_index : plan.shard_groups[shard]) {
       task.groups.push_back(pending[pending_index]);
     }
-    task.store_path = base + "-shard" + std::to_string(shard) + ".aocache";
-    std::remove(task.store_path.c_str());  // never tail a stale store
-    tails.push_back({task.store_path, 0});
     tasks.push_back(std::move(task));
   }
-  const auto drain = [&] {
-    for (StoreTail& tail : tails) {
-      tail.poll([&](const std::string& line) {
-        // Only structurally sound entries are streamed; the merge below
-        // re-validates through ResultCache::load anyway.
-        if (orchestrator::parse_store_entry(line).has_value()) {
-          out << "record " << line << '\n';
-          ++streamed;
-          out << "progress " << streamed << "/" << expected_records << '\n';
+
+  std::size_t merged = 0;
+  std::size_t remote_executed = 0;
+  std::string failure;
+  bool remote = false;
+  std::vector<WorkerPool::ShardTask> local_tasks = tasks;
+  if (!tasks.empty() &&
+      (config_.remote_only || registry_.idle_count() > 0)) {
+    // Remote transport: connected `ao_worker --connect` processes exchange
+    // stores over their sockets — no shared filesystem. Falls back to the
+    // local path (returns false) when every worker was snatched by a
+    // concurrent campaign, unless remote_only forbids it.
+    std::vector<WorkerPool::ShardTask> leftover;
+    remote = run_shards_remote(request, tasks, expected_records, &streamed,
+                               &merged, &remote_executed, &leftover, &failure,
+                               out);
+    if (remote) {
+      if (config_.remote_only) {
+        // Leftover shards may not touch this host; report them.
+        if (!leftover.empty() && failure.empty()) {
+          failure = "shard " + std::to_string(leftover.front().shard_index) +
+                    " never ran (no healthy remote worker left; remote-only)";
         }
-      });
+        local_tasks.clear();
+      } else {
+        // Shards that produced nothing remotely (a stale dead endpoint, a
+        // worker lost before its first record) rerun on the local pool —
+        // a flaky worker farm degrades to the local transport instead of
+        // failing a campaign this daemon could run itself.
+        local_tasks = std::move(leftover);
+      }
+    }
+  }
+  if (!local_tasks.empty()) {
+    // Local transport: spawned processes (or threads) write per-shard disk
+    // stores the service tails. The campaign id keeps concurrent sharded
+    // campaigns' scratch files apart even when they share a name.
+    const std::string base =
+        config_.shard_dir + "/" + request.name + "-c" + std::to_string(id);
+    std::vector<StoreTail> tails;
+    for (WorkerPool::ShardTask& task : local_tasks) {
+      task.store_path =
+          base + "-shard" + std::to_string(task.shard_index) + ".aocache";
+      std::remove(task.store_path.c_str());  // never tail a stale store
+      tails.push_back({task.store_path, 0, task.shard_index, 0});
+      out << "shard " << task.shard_index << " start local\n";
     }
     out.flush();
-  };
+    const auto drain = [&] {
+      for (StoreTail& tail : tails) {
+        tail.poll([&](const std::string& line) {
+          // Only structurally sound entries are streamed; the merge below
+          // re-validates through ResultCache::load anyway.
+          if (orchestrator::parse_store_entry(line).has_value()) {
+            out << "record " << line << '\n';
+            ++streamed;
+            ++tail.records;
+            out << "progress " << streamed << "/" << expected_records
+                << '\n';
+          }
+        });
+      }
+      out.flush();
+    };
 
-  WorkerPool pool(config_.worker_binary);
-  std::vector<WorkerPool::ShardOutcome> outcomes;
-  if (!tasks.empty()) {  // everything may have been served from the cache
-    pool.start(request, base + ".request", tasks);
+    WorkerPool pool(config_.worker_binary);
+    pool.start(request, base + ".request", local_tasks);
     while (pool.busy()) {
       drain();
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
-    outcomes = pool.wait();
+    const std::vector<WorkerPool::ShardOutcome> outcomes = pool.wait();
     drain();  // the final records written between the last poll and exit
-  }
 
-  // Merge every produced store into the warm cache (merge_store propagates
-  // the entries to the service's own persistent store) — conflict-free by
-  // CacheKey (two shards never run the same group, and identical keys carry
-  // bit-identical records). A failed shard's partial store still merges:
-  // its finished points are real measurements.
-  std::size_t merged = 0;
-  for (const auto& task : tasks) {
-    merged += cache_.merge_store(task.store_path);
-  }
-
-  std::string failure;
-  for (const auto& outcome : outcomes) {
-    if (outcome.exit_code != 0) {
-      failure = "shard " + std::to_string(outcome.shard_index) +
-                " failed (exit " + std::to_string(outcome.exit_code) + ")" +
-                (outcome.error.empty() ? "" : ": " + outcome.error);
-      break;
+    // Merge every produced store into the warm cache (merge_store
+    // propagates the entries to the service's own persistent store) —
+    // conflict-free by CacheKey (two shards never run the same group, and
+    // identical keys carry bit-identical records). A failed shard's partial
+    // store still merges: its finished points are real measurements.
+    for (const auto& task : local_tasks) {
+      merged += cache_.merge_store(task.store_path);
     }
+    for (const auto& outcome : outcomes) {
+      std::size_t records = 0;
+      for (const StoreTail& tail : tails) {
+        if (tail.shard_index == outcome.shard_index) {
+          records = tail.records;
+        }
+      }
+      if (outcome.exit_code == 0) {
+        out << "shard " << outcome.shard_index << " done records " << records
+            << " worker local\n";
+      } else {
+        out << "shard " << outcome.shard_index << " error exit "
+            << outcome.exit_code;
+        if (!outcome.error.empty()) {
+          out << ' ' << one_line(outcome.error);
+        }
+        out << '\n';
+        if (failure.empty()) {
+          failure = "shard " + std::to_string(outcome.shard_index) +
+                    " failed (exit " + std::to_string(outcome.exit_code) +
+                    ")" + (outcome.error.empty() ? "" : ": " + outcome.error);
+        }
+      }
+    }
+    out.flush();
   }
 
   {
@@ -471,6 +581,7 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     totals_.records_streamed += streamed;
     totals_.cache_hits += warm_hits;
     totals_.merged_entries += merged;
+    totals_.remote_shards += remote_executed;
   }
   if (!failure.empty()) {
     out << "error exec-failed campaign " << id << " " << one_line(failure)
@@ -478,8 +589,151 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     return;
   }
   out << "done campaign " << id << " records " << streamed << " merged "
-      << merged << " hits " << warm_hits << " shards " << tasks.size()
-      << '\n';
+      << merged << " hits " << warm_hits << " shards " << tasks.size();
+  if (remote) {
+    out << " remote " << remote_executed;
+  }
+  out << '\n';
+}
+
+bool CampaignService::run_shards_remote(
+    const CampaignRequest& request,
+    const std::vector<WorkerPool::ShardTask>& tasks,
+    std::size_t expected_records, std::size_t* streamed, std::size_t* merged,
+    std::size_t* remote_executed,
+    std::vector<WorkerPool::ShardTask>* leftover, std::string* failure,
+    std::ostream& out) {
+  // Check out one lease per shard when possible; fewer leases simply run
+  // the task list sequentially per worker. remote_only waits for the first
+  // worker to connect (a launch race is normal operations); otherwise only
+  // already-idle workers are taken.
+  std::vector<std::unique_ptr<WorkerRegistry::Lease>> leases;
+  auto first = registry_.acquire(config_.remote_only ? config_.remote_wait_ms
+                                                     : 0);
+  if (first == nullptr) {
+    if (!config_.remote_only) {
+      return false;  // all workers got snatched; run the shards locally
+    }
+    *failure = "no remote workers connected (remote-only mode; waited " +
+               std::to_string(config_.remote_wait_ms) + " ms)";
+    return true;
+  }
+  leases.push_back(std::move(first));
+  while (leases.size() < tasks.size()) {
+    auto lease = registry_.acquire(0);
+    if (lease == nullptr) {
+      break;
+    }
+    leases.push_back(std::move(lease));
+  }
+
+  // One driver thread per lease drains the shared task list. All client
+  // writes (records, progress, shard events) synchronize on out_mutex.
+  std::mutex out_mutex;
+  std::atomic<std::size_t> next_task{0};
+  std::vector<RemoteShardOutcome> outcomes(tasks.size());
+  std::vector<char> attempted(tasks.size(), 0);
+  std::vector<std::thread> drivers;
+  drivers.reserve(leases.size());
+  for (auto& lease_ptr : leases) {
+    WorkerRegistry::Lease* lease = lease_ptr.get();
+    drivers.emplace_back([&, lease] {
+      for (;;) {
+        const std::size_t i = next_task.fetch_add(1);
+        if (i >= tasks.size()) {
+          return;
+        }
+        attempted[i] = 1;
+        {
+          std::lock_guard lock(out_mutex);
+          out << "shard " << tasks[i].shard_index << " start worker "
+              << lease->name() << '\n';
+          out.flush();
+        }
+        RemoteShardOutcome outcome = run_remote_shard(
+            lease->in(), lease->out(), request, tasks[i].shard_index,
+            tasks[i].groups, [&](const std::string& line) {
+              // Stream each entry the moment its frame arrives; the merge
+              // below re-validates everything through merge_buffer anyway.
+              if (orchestrator::parse_store_entry(line).has_value()) {
+                std::lock_guard lock(out_mutex);
+                out << "record " << line << '\n';
+                ++*streamed;
+                out << "progress " << *streamed << "/" << expected_records
+                    << '\n';
+                out.flush();
+              }
+            });
+        {
+          std::lock_guard lock(out_mutex);
+          if (outcome.ok) {
+            out << "shard " << outcome.shard_index << " done records "
+                << outcome.records << " worker " << lease->name() << '\n';
+          } else {
+            out << "shard " << outcome.shard_index << " error "
+                << one_line(outcome.error) << '\n';
+          }
+          out.flush();
+        }
+        const bool lost = outcome.connection_lost;
+        outcomes[i] = std::move(outcome);
+        if (lost) {
+          // The endpoint is unusable; retire it and this driver. Remaining
+          // tasks stay on the shared list for the surviving drivers.
+          lease->mark_failed();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& driver : drivers) {
+    driver.join();
+  }
+  leases.clear();  // healthy workers return to the idle pool
+
+  // Merge what each shard shipped. The final `store` frame is authoritative
+  // (byte-for-byte the store a local worker would have written); when a
+  // worker died mid-shard, the incrementally received entry lines still
+  // merge — partial results are real measurements. Shards that produced
+  // nothing at all go to `leftover`: the caller may rerun them locally
+  // (or report them, under remote_only) without duplicating any record.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const RemoteShardOutcome& outcome = outcomes[i];
+    if (!attempted[i]) {
+      leftover->push_back(tasks[i]);
+      continue;
+    }
+    if (outcome.ok) {
+      ++*remote_executed;
+      *merged += cache_.merge_buffer(outcome.store);
+      continue;
+    }
+    if (outcome.connection_lost && outcome.lines.empty()) {
+      // The endpoint died before producing anything (typically a stale
+      // dead-idle worker): the shard can rerun elsewhere without
+      // duplicating a single record.
+      leftover->push_back(tasks[i]);
+      continue;
+    }
+    // The shard itself failed (shard-error over a healthy connection), or
+    // the worker died mid-stream: merge what arrived and report the real
+    // error — a clean failure is deterministic, so rerunning it locally
+    // would only fail again with a worse diagnostic.
+    if (!outcome.lines.empty()) {
+      std::string partial = orchestrator::store_header_line();
+      partial += '\n';
+      for (const std::string& line : outcome.lines) {
+        partial += line;
+        partial += '\n';
+      }
+      *merged += cache_.merge_buffer(partial);
+    }
+    if (failure->empty()) {
+      *failure = "shard " + std::to_string(outcome.shard_index) +
+                 " failed: " + one_line(outcome.error);
+    }
+  }
+  return true;
 }
 
 }  // namespace ao::service

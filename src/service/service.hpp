@@ -13,6 +13,8 @@
 #include "orchestrator/scheduler.hpp"
 #include "service/campaign_queue.hpp"
 #include "service/protocol.hpp"
+#include "service/worker_pool.hpp"
+#include "service/worker_registry.hpp"
 
 namespace ao::service {
 
@@ -31,12 +33,21 @@ namespace ao::service {
 /// within a priority — and per-client quotas bound queue depth and
 /// concurrency (quota violations get structured `error` replies).
 ///
-/// Requests with `shards > 1` are partitioned by the ShardPlanner and farmed
-/// out to WorkerPool workers (spawned `ao_worker` processes, or in-process
-/// threads when no binary is configured). Each shard writes an independent
-/// versioned disk store; the service tails those stores to stream records
-/// live and merges them back into its warm cache — conflict-free, keyed by
-/// CacheKey — when the workers finish.
+/// Requests with `shards > 1` are partitioned by the ShardPlanner and run
+/// over one of two transports:
+///  - **remote workers** (preferred when any are connected, mandatory with
+///    `remote_only`): `ao_worker --connect` processes — on this machine or
+///    any other — that announced themselves with a `worker` hello and sit
+///    parked in the WorkerRegistry. Each shard is shipped as a `task` frame
+///    and the worker streams `records` frames back, closed by a `store`
+///    frame carrying its full result store; no shared filesystem anywhere
+///    (docs/service.md#wire-format-frames).
+///  - **local workers**: WorkerPool-spawned `ao_worker` processes (or
+///    in-process threads) exchanging results through per-shard disk stores
+///    the service tails.
+/// Either way the client observes records live, shards merge back into the
+/// warm cache conflict-free by CacheKey, and the merged result is
+/// bit-identical to a single-process run.
 ///
 /// Transport-agnostic: serve() speaks the protocol over any istream/ostream
 /// pair. `ao_campaignd` runs it over a unix socket; the tests run it over
@@ -53,6 +64,14 @@ class CampaignService {
     std::string shard_dir = ".";
     /// Path of the `ao_worker` binary; "" runs shards in-process.
     std::string worker_binary;
+    /// Never run shards locally: every sharded campaign waits up to
+    /// `remote_wait_ms` for a connected remote worker and fails otherwise.
+    /// Off, shards prefer remote workers when any are idle and fall back
+    /// to the local WorkerPool when none are.
+    bool remote_only = false;
+    /// How long a remote-only sharded campaign waits for its first remote
+    /// worker before failing.
+    int remote_wait_ms = 15000;
     /// Admission limits: global concurrency, per-client running and queued
     /// quotas (see CampaignQueue::Limits).
     CampaignQueue::Limits limits;
@@ -69,6 +88,7 @@ class CampaignService {
     std::size_t cache_hits = 0;      ///< in-process scheduler hits + warm
                                      ///< groups served before sharding
     std::size_t merged_entries = 0;  ///< shard-store entries merged back
+    std::size_t remote_shards = 0;   ///< shards executed on remote workers
   };
 
   explicit CampaignService(Config config);
@@ -82,6 +102,8 @@ class CampaignService {
 
   orchestrator::ResultCache& cache() { return cache_; }
   CampaignQueue& queue() { return queue_; }
+  /// The pool of connected remote shard workers (`worker` hello sessions).
+  WorkerRegistry& workers() { return registry_; }
   Totals totals() const;
   /// Campaign names in the order the queue admitted them (most recent
   /// kStartLogCapacity entries) — the observable start order the queue
@@ -100,11 +122,27 @@ class CampaignService {
   void run_sharded(const CampaignRequest& request, std::uint64_t id,
                    std::size_t shard_count, std::size_t expected_records,
                    std::ostream& out);
+  /// Runs the planned shard tasks on checked-out remote workers (one driver
+  /// thread per lease draining a shared task queue). Returns false when no
+  /// worker could be leased and local fallback is allowed; true when remote
+  /// execution happened (or remote-only failed), with `streamed`, `merged`,
+  /// `remote_executed` (shards a worker completed) and `failure` updated.
+  /// Shards that produced NO results remotely — never dispatched, or the
+  /// endpoint died before its first record — land in `leftover`: they can
+  /// rerun elsewhere without duplicating any streamed record.
+  bool run_shards_remote(const CampaignRequest& request,
+                         const std::vector<WorkerPool::ShardTask>& tasks,
+                         std::size_t expected_records, std::size_t* streamed,
+                         std::size_t* merged, std::size_t* remote_executed,
+                         std::vector<WorkerPool::ShardTask>* leftover,
+                         std::string* failure, std::ostream& out);
 
   Config config_;
   orchestrator::ResultCache cache_;
   CampaignQueue queue_;
+  WorkerRegistry registry_;
   std::atomic<std::uint64_t> next_campaign_id_{1};
+  std::atomic<std::uint64_t> next_worker_id_{1};
 
   /// Idle schedulers keyed by (options fingerprint, concurrency): a
   /// campaign checks one out exclusively and returns it, so concurrent

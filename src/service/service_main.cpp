@@ -1,23 +1,32 @@
-// ao_campaignd: the long-running campaign service over a unix socket.
+// ao_campaignd: the long-running campaign service over a unix socket
+// and/or a TCP port.
 //
-// Binds the socket and serves every client session on its own thread — the
-// service is multi-tenant: campaigns whose resource classes (CPU/AMX vs GPU
-// vs ANE) are disjoint execute concurrently, conflicting ones queue by
-// priority, and per-client quotas bound queue depth and concurrency. The
-// warm result cache — optionally disk-persistent — is shared by every
-// session, so each client benefits from every previous campaign's
-// measurements. A `shutdown` command from any session exits cleanly once
-// running sessions drain.
+// Binds the listening socket(s) and serves every client session on its own
+// thread — the service is multi-tenant: campaigns whose resource classes
+// (CPU/AMX vs GPU vs ANE) are disjoint execute concurrently, conflicting
+// ones queue by priority, and per-client quotas bound queue depth and
+// concurrency. The warm result cache — optionally disk-persistent — is
+// shared by every session, so each client benefits from every previous
+// campaign's measurements. Remote `ao_worker --connect` processes use the
+// same listeners: their `worker` hello converts the session into a parked
+// shard worker that campaigns farm work to over binary-safe frames
+// (docs/operations.md). A `shutdown` command from any session exits
+// cleanly once running sessions drain.
 //
-//   ao_campaignd --socket <path> [--store <file>] [--capacity <n>]
-//                [--worker-binary <path>] [--shard-dir <dir>] [--stdio]
+//   ao_campaignd --socket <path> [--tcp <port>] [--store <file>]
+//                [--capacity <n>] [--worker-binary <path>]
+//                [--shard-dir <dir>] [--stdio] [--remote-only]
 //                [--max-running <n>] [--max-running-per-client <n>]
 //                [--max-queued-per-client <n>]
 //
-// --worker-binary defaults to the ao_worker next to this executable (shards
-// run in-process when it does not exist); --stdio serves one session over
-// stdin/stdout instead of a socket (debugging, pipes). The quota flags take
-// 0 for "unlimited"; defaults are in CampaignQueue::Limits.
+// --tcp additionally listens on 0.0.0.0:<port> — how workers (and clients)
+// on other machines reach the daemon. --remote-only refuses to run shards
+// locally: sharded campaigns wait for connected remote workers instead
+// (the multi-machine deployment mode; see docs/operations.md).
+// --worker-binary defaults to the ao_worker next to this executable
+// (shards run in-process when it does not exist); --stdio serves one
+// session over stdin/stdout instead of a socket (debugging, pipes). The
+// quota flags take 0 for "unlimited"; defaults are in CampaignQueue::Limits.
 
 #include <unistd.h>
 
@@ -27,6 +36,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,10 +55,58 @@ bool file_exists(const std::string& path) {
   return static_cast<bool>(std::ifstream(path));
 }
 
+/// One thread per live session, reaped on every accept so a long-running
+/// daemon's thread table is bounded by *concurrent* clients (and parked
+/// workers), not by the total ever served. Shared by both accept loops.
+class SessionSet {
+ public:
+  template <typename Fn>
+  void spawn(Fn&& fn) {
+    auto session = std::make_unique<Session>();
+    Session* state = session.get();
+    state->thread = std::thread([state, fn = std::forward<Fn>(fn)] {
+      fn();
+      state->finished.store(true, std::memory_order_release);
+    });
+    std::lock_guard lock(mutex_);
+    reap_locked();
+    sessions_.push_back(std::move(session));
+  }
+
+  void join_all() {
+    std::lock_guard lock(mutex_);
+    for (const auto& session : sessions_) {
+      session->thread.join();
+    }
+    sessions_.clear();
+  }
+
+ private:
+  struct Session {
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void reap_locked() {
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->finished.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  long tcp_port = 0;
   ao::service::CampaignService::Config config;
   bool stdio = false;
   bool worker_binary_set = false;
@@ -81,6 +139,13 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--socket") == 0) {
       socket_path = needs_value("--socket");
+    } else if (std::strcmp(argv[i], "--tcp") == 0) {
+      const std::size_t port = needs_count("--tcp");
+      if (port == 0 || port > 65535) {
+        std::cerr << "ao_campaignd: --tcp needs a port in [1, 65535]\n";
+        return 2;
+      }
+      tcp_port = static_cast<long>(port);
     } else if (std::strcmp(argv[i], "--store") == 0) {
       config.store_path = needs_value("--store");
     } else if (std::strcmp(argv[i], "--capacity") == 0) {
@@ -95,6 +160,8 @@ int main(int argc, char** argv) {
       worker_binary_set = true;
     } else if (std::strcmp(argv[i], "--shard-dir") == 0) {
       config.shard_dir = needs_value("--shard-dir");
+    } else if (std::strcmp(argv[i], "--remote-only") == 0) {
+      config.remote_only = true;
     } else if (std::strcmp(argv[i], "--max-running") == 0) {
       config.limits.max_running = needs_count("--max-running");
     } else if (std::strcmp(argv[i], "--max-running-per-client") == 0) {
@@ -110,10 +177,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!stdio && socket_path.empty()) {
-    std::cerr << "usage: ao_campaignd --socket <path> [--store <file>] "
-                 "[--capacity <n>] [--worker-binary <path>] "
-                 "[--shard-dir <dir>] [--stdio] [--max-running <n>] "
+  if (!stdio && socket_path.empty() && tcp_port == 0) {
+    std::cerr << "usage: ao_campaignd --socket <path> [--tcp <port>] "
+                 "[--store <file>] [--capacity <n>] "
+                 "[--worker-binary <path>] [--shard-dir <dir>] [--stdio] "
+                 "[--remote-only] [--max-running <n>] "
                  "[--max-running-per-client <n>] "
                  "[--max-queued-per-client <n>]\n";
     return 2;
@@ -138,63 +206,86 @@ int main(int argc, char** argv) {
   }
 
   try {
-    ao::service::UnixServerSocket server(socket_path);
-    std::cerr << "ao_campaignd: listening on " << socket_path << "\n";
-    std::atomic<bool> shutting_down{false};
-    // One thread per live session, reaped on every accept so a long-running
-    // daemon's thread table is bounded by *concurrent* clients, not by the
-    // total ever served.
-    struct Session {
-      std::thread thread;
-      std::atomic<bool> finished{false};
-    };
-    std::vector<std::unique_ptr<Session>> sessions;
-    const auto reap_finished = [&sessions] {
-      for (auto it = sessions.begin(); it != sessions.end();) {
-        if ((*it)->finished.load(std::memory_order_acquire)) {
-          (*it)->thread.join();
-          it = sessions.erase(it);
-        } else {
-          ++it;
+    std::unique_ptr<ao::service::UnixServerSocket> unix_server;
+    std::unique_ptr<ao::service::TcpServerSocket> tcp_server;
+    if (!socket_path.empty()) {
+      unix_server =
+          std::make_unique<ao::service::UnixServerSocket>(socket_path);
+      std::cerr << "ao_campaignd: listening on " << socket_path << "\n";
+    }
+    if (tcp_port != 0) {
+      tcp_server = std::make_unique<ao::service::TcpServerSocket>(
+          static_cast<std::uint16_t>(tcp_port));
+      std::cerr << "ao_campaignd: listening on tcp port " << tcp_port << "\n";
+    }
+
+    std::atomic<bool> stop{false};            // any reason to stop accepting
+    std::atomic<bool> clean_shutdown{false};  // the `shutdown` command
+    SessionSet sessions;
+    // Wake every accept loop so it can observe the stop flag.
+    const auto poke_listeners = [&] {
+      if (unix_server != nullptr) {
+        const int poke = ao::service::connect_unix(socket_path);
+        if (poke >= 0) {
+          ::close(poke);
+        }
+      }
+      if (tcp_server != nullptr) {
+        const int poke = ao::service::connect_tcp(
+            "127.0.0.1", static_cast<std::uint16_t>(tcp_port));
+        if (poke >= 0) {
+          ::close(poke);
         }
       }
     };
-    while (!shutting_down.load(std::memory_order_acquire)) {
-      const int fd = server.accept_fd();
-      if (fd < 0) {
-        std::cerr << "ao_campaignd: accept failed, exiting\n";
-        break;
+    const auto accept_loop = [&](auto& server) {
+      while (!stop.load(std::memory_order_acquire)) {
+        const int fd = server.accept_fd();
+        if (fd < 0) {
+          if (!stop.load(std::memory_order_acquire)) {
+            std::cerr << "ao_campaignd: accept failed, exiting\n";
+            // Take the sibling listener down too.
+            stop.store(true, std::memory_order_release);
+            poke_listeners();
+          }
+          break;
+        }
+        if (stop.load(std::memory_order_acquire)) {
+          ::close(fd);  // the wake-up connection (or a late client)
+          break;
+        }
+        // One thread per session: concurrent clients submit concurrently,
+        // the CampaignQueue decides what actually runs in parallel, and
+        // worker hellos park inside serve() until shutdown.
+        sessions.spawn([fd, &service, &stop, &clean_shutdown,
+                        &poke_listeners] {
+          ao::service::SocketStream stream(fd);
+          if (service.serve(stream, stream)) {
+            clean_shutdown.store(true, std::memory_order_release);
+            stop.store(true, std::memory_order_release);
+            poke_listeners();
+          }
+        });
       }
-      reap_finished();
-      if (shutting_down.load(std::memory_order_acquire)) {
-        ::close(fd);  // the wake-up connection (or a late client)
-        break;
-      }
-      // One thread per session: concurrent clients submit concurrently and
-      // the CampaignQueue decides what actually runs in parallel.
-      auto session = std::make_unique<Session>();
-      Session* state = session.get();
-      state->thread = std::thread(
-          [fd, state, &service, &shutting_down, &socket_path] {
-            {
-              ao::service::SocketStream stream(fd);
-              if (service.serve(stream, stream)) {
-                shutting_down.store(true, std::memory_order_release);
-                // Poke the accept loop awake so it can observe the flag.
-                const int poke = ao::service::connect_unix(socket_path);
-                if (poke >= 0) {
-                  ::close(poke);
-                }
-              }
-            }
-            state->finished.store(true, std::memory_order_release);
-          });
-      sessions.push_back(std::move(session));
+    };
+
+    std::thread tcp_thread;
+    if (tcp_server != nullptr && unix_server != nullptr) {
+      tcp_thread = std::thread([&] { accept_loop(*tcp_server); });
     }
-    for (const auto& session : sessions) {
-      session->thread.join();
+    if (unix_server != nullptr) {
+      accept_loop(*unix_server);
+    } else {
+      accept_loop(*tcp_server);
     }
-    if (shutting_down.load(std::memory_order_acquire)) {
+    if (tcp_thread.joinable()) {
+      tcp_thread.join();
+    }
+    // A dying accept loop (socket error) must still release any parked
+    // worker sessions before joining them.
+    service.workers().shutdown();
+    sessions.join_all();
+    if (clean_shutdown.load(std::memory_order_acquire)) {
       std::cerr << "ao_campaignd: shutdown requested\n";
       return 0;
     }

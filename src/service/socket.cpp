@@ -1,5 +1,8 @@
 #include "service/socket.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -122,6 +125,121 @@ int UnixServerSocket::accept_fd() {
     fd = ::accept(fd_, nullptr, nullptr);
   } while (fd < 0 && errno == EINTR);
   return static_cast<int>(fd);
+}
+
+namespace {
+
+void set_nodelay(int fd) {
+  // Request/reply lines and flushed frames: send immediately, don't Nagle.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpServerSocket::TcpServerSocket(std::uint16_t port)
+    : port_(port), fd_(::socket(AF_INET, SOCK_STREAM, 0)) {
+  if (fd_ < 0) {
+    throw util::Error("cannot create TCP socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd_, 8) != 0) {
+    ::close(fd_);
+    throw util::Error("cannot bind/listen on TCP port " +
+                      std::to_string(port));
+  }
+}
+
+TcpServerSocket::~TcpServerSocket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+int TcpServerSocket::accept_fd() {
+  ssize_t fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd >= 0) {
+    set_nodelay(static_cast<int>(fd));
+  }
+  return static_cast<int>(fd);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &results) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* it = results; it != nullptr; it = it->ai_next) {
+    fd = ::socket(it->ai_family, it->ai_socktype, it->ai_protocol);
+    if (fd < 0) {
+      continue;
+    }
+    if (::connect(fd, it->ai_addr, it->ai_addrlen) == 0) {
+      set_nodelay(fd);
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  return fd;
+}
+
+bool parse_host_port(const std::string& spec, std::string* host,
+                     std::uint16_t* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  std::uint32_t value = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+    if (value > 65535) {
+      return false;
+    }
+  }
+  if (value == 0) {
+    return false;
+  }
+  if (host != nullptr) {
+    *host = spec.substr(0, colon);
+  }
+  if (port != nullptr) {
+    *port = static_cast<std::uint16_t>(value);
+  }
+  return true;
+}
+
+int connect_endpoint(const std::string& spec) {
+  std::string host;
+  std::uint16_t port = 0;
+  // A unix path that happens to contain ":<digits>" can be disambiguated by
+  // writing it as "./name:123".
+  if (spec.find('/') == std::string::npos &&
+      parse_host_port(spec, &host, &port)) {
+    return connect_tcp(host, port);
+  }
+  return connect_unix(spec);
 }
 
 int connect_unix(const std::string& path) {

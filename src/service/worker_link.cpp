@@ -1,0 +1,245 @@
+#include "service/worker_link.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "orchestrator/campaign.hpp"
+#include "orchestrator/result_cache.hpp"
+#include "orchestrator/scheduler.hpp"
+#include "service/frame.hpp"
+
+namespace ao::service {
+
+bool parse_index_csv(const std::string& csv, std::vector<std::size_t>& out) {
+  out.clear();
+  std::size_t value = 0;
+  bool in_number = false;
+  for (const char c : csv) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      in_number = true;
+    } else if (c == ',' && in_number) {
+      out.push_back(value);
+      value = 0;
+      in_number = false;
+    } else {
+      return false;
+    }
+  }
+  if (in_number) {
+    out.push_back(value);
+  }
+  return !out.empty();
+}
+
+namespace {
+
+std::string join_index_csv(const std::vector<std::size_t>& values) {
+  std::string out;
+  for (const std::size_t v : values) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+/// Runs one task's shard and streams its records as frames. Any exception
+/// propagates to the caller, which reports it as a `shard-error` frame.
+void execute_task(const RemoteTask& task, std::ostream& out) {
+  orchestrator::Campaign campaign = task.request.to_campaign();
+  orchestrator::JobQueue queue;
+  campaign.expand_subset(queue, task.groups);
+
+  // Capacity covers the whole shard so the final `store` frame —
+  // serialize_store() over the retained set — can never have evicted a
+  // record the daemon is owed.
+  orchestrator::ResultCache cache(std::max<std::size_t>(4096, queue.total()));
+  orchestrator::CampaignScheduler::Options scheduler_options;
+  scheduler_options.concurrency = task.request.workers;
+  orchestrator::CampaignScheduler scheduler(task.request.options(),
+                                            scheduler_options, &cache);
+  const std::uint64_t options_fp =
+      orchestrator::options_fingerprint(task.request.options());
+
+  std::mutex out_mutex;  // scheduler workers stream concurrently
+  scheduler.run(queue, [&](const orchestrator::ExperimentJob& job,
+                           const orchestrator::MeasurementRecord& record,
+                           bool /*from_cache*/) {
+    const std::string line = orchestrator::format_store_entry(
+        orchestrator::key_for_job(job, options_fp), record);
+    std::lock_guard lock(out_mutex);
+    write_frame(out, {kFrameRecords, line});
+  });
+  // The authoritative shard result: byte-for-byte what a local worker's
+  // write-through store file would hold after the same run.
+  write_frame(out, {kFrameStore, cache.serialize_store()});
+}
+
+}  // namespace
+
+std::string encode_task(const CampaignRequest& request,
+                        std::size_t shard_index,
+                        const std::vector<std::size_t>& groups) {
+  std::string payload = "shard " + std::to_string(shard_index) + "\n";
+  payload += "groups " + join_index_csv(groups) + "\n";
+  for (const std::string& line : request.to_lines()) {
+    payload += line;
+    payload += '\n';
+  }
+  return payload;
+}
+
+std::optional<RemoteTask> decode_task(const std::string& payload,
+                                      std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<RemoteTask> {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return std::nullopt;
+  };
+  std::istringstream in(payload);
+  RemoteTask task;
+  std::string line;
+
+  if (!std::getline(in, line) || line.rfind("shard ", 0) != 0) {
+    return fail("task payload must start with a 'shard <i>' line");
+  }
+  std::vector<std::size_t> one;
+  if (!parse_index_csv(line.substr(6), one) || one.size() != 1) {
+    return fail("malformed shard index: " + line);
+  }
+  task.shard_index = one[0];
+
+  if (!std::getline(in, line) || line.rfind("groups ", 0) != 0 ||
+      !parse_index_csv(line.substr(7), task.groups)) {
+    return fail("task payload needs a 'groups <i,j,...>' line");
+  }
+
+  std::vector<std::string> request_lines;
+  while (std::getline(in, line)) {
+    request_lines.push_back(line);
+  }
+  std::string parse_error;
+  const auto request = parse_request_lines(request_lines, &parse_error);
+  if (!request.has_value()) {
+    return fail("malformed request block: " + parse_error);
+  }
+  task.request = *request;
+  return task;
+}
+
+int run_worker_session(std::istream& in, std::ostream& out,
+                       const std::string& name) {
+  out << "worker " << name << '\n';
+  out.flush();
+  std::string reply;
+  if (!std::getline(in, reply)) {
+    std::cerr << "ao_worker: connection closed before the hello ack\n";
+    return 1;
+  }
+  if (!reply.empty() && reply.back() == '\r') {
+    reply.pop_back();
+  }
+  if (reply.rfind("ok worker", 0) != 0) {
+    std::cerr << "ao_worker: service refused the hello: " << reply << "\n";
+    return 1;
+  }
+
+  for (;;) {
+    std::string error;
+    const auto frame = read_frame(in, &error);
+    if (!frame.has_value()) {
+      if (error == "closed") {
+        return 0;  // the daemon went away; nothing owed
+      }
+      std::cerr << "ao_worker: bad frame from the service (" << error << ")\n";
+      return 1;
+    }
+    if (frame->type == kFrameBye) {
+      return 0;
+    }
+    if (frame->type != kFrameTask) {
+      std::cerr << "ao_worker: unexpected frame type: " << frame->type << "\n";
+      return 1;
+    }
+    std::string task_error;
+    const auto task = decode_task(frame->payload, &task_error);
+    if (!task.has_value()) {
+      write_frame(out, {kFrameShardError, "malformed task: " + task_error});
+      continue;
+    }
+    try {
+      execute_task(*task, out);
+    } catch (const std::exception& e) {
+      // The shard failed but the connection is healthy: report and stay
+      // available for the next task.
+      write_frame(out, {kFrameShardError, e.what()});
+    }
+  }
+}
+
+RemoteShardOutcome run_remote_shard(
+    std::istream& in, std::ostream& out, const CampaignRequest& request,
+    std::size_t shard_index, const std::vector<std::size_t>& groups,
+    const std::function<void(const std::string& entry_line)>& on_record) {
+  RemoteShardOutcome outcome;
+  outcome.shard_index = shard_index;
+
+  write_frame(out, {kFrameTask, encode_task(request, shard_index, groups)});
+  if (!out) {
+    outcome.connection_lost = true;
+    outcome.error = "worker connection failed writing the task frame";
+    return outcome;
+  }
+
+  for (;;) {
+    std::string error;
+    const auto frame = read_frame(in, &error);
+    if (!frame.has_value()) {
+      outcome.connection_lost = true;
+      outcome.error = "worker connection failed (" + error + ")";
+      return outcome;
+    }
+    if (frame->type == kFrameRecords) {
+      std::istringstream lines(frame->payload);
+      std::string line;
+      while (std::getline(lines, line)) {
+        if (line.empty()) {
+          continue;
+        }
+        outcome.lines.push_back(line);
+        ++outcome.records;
+        if (on_record) {
+          on_record(line);
+        }
+      }
+    } else if (frame->type == kFrameStore) {
+      outcome.store = frame->payload;
+      // The store frame is authoritative; the incrementally collected lines
+      // were only the died-before-store fallback. Dropping them halves the
+      // per-shard memory held until the merge.
+      outcome.lines.clear();
+      outcome.lines.shrink_to_fit();
+      outcome.ok = true;
+      return outcome;
+    } else if (frame->type == kFrameShardError) {
+      outcome.error = frame->payload;
+      return outcome;
+    } else {
+      // Unknown frame type: a version-skewed worker. The stream position is
+      // still sound (frames are length-prefixed) but the conversation is
+      // not — retire the endpoint.
+      outcome.connection_lost = true;
+      outcome.error = "unexpected frame type from worker: " + frame->type;
+      return outcome;
+    }
+  }
+}
+
+}  // namespace ao::service

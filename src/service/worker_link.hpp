@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace ao::service {
+
+// The frame conversation between the campaign service and a remote shard
+// worker (sequence diagram in docs/service.md#wire-format-frames). The
+// worker side (`run_worker_session`) and the daemon side
+// (`run_remote_shard`) are both transport-agnostic — any istream/ostream
+// pair — so the same code runs over a unix socket, a TCP connection, the
+// stdio of an ssh bridge (`ao_worker --stdio-frames`) and the socketpairs
+// the tests drive.
+
+/// One shard assignment as the `task` frame payload carries it.
+struct RemoteTask {
+  std::size_t shard_index = 0;
+  std::vector<std::size_t> groups;  ///< campaign group indices
+  CampaignRequest request;
+};
+
+/// Parses a "1,2,3" index list (digits and commas only; no empty list).
+/// Shared by the task payload codec and `ao_worker`'s `--groups` flag.
+bool parse_index_csv(const std::string& csv, std::vector<std::size_t>& out);
+
+/// Serializes a shard assignment into the `task` frame payload:
+/// "shard <i>" and "groups <csv>" lines followed by the request block
+/// (CampaignRequest::to_lines()).
+std::string encode_task(const CampaignRequest& request,
+                        std::size_t shard_index,
+                        const std::vector<std::size_t>& groups);
+
+/// Parses an encode_task() payload. Returns nullopt and sets `error` on any
+/// malformed line.
+std::optional<RemoteTask> decode_task(const std::string& payload,
+                                      std::string* error = nullptr);
+
+/// The whole body of a remote `ao_worker`: sends the `worker <name>` hello,
+/// waits for the service's ack, then loops — `task` frame in, the shard's
+/// records out as one `records` frame per settled record, closed by a
+/// `store` frame carrying the shard's full serialized result store (or a
+/// `shard-error` frame; the worker stays alive for the next task either
+/// way). Returns the process exit code: 0 after a `bye` frame or a clean
+/// EOF (the daemon went away), nonzero on a protocol violation.
+int run_worker_session(std::istream& in, std::ostream& out,
+                       const std::string& name);
+
+/// Daemon-side outcome of one remote shard conversation.
+struct RemoteShardOutcome {
+  std::size_t shard_index = 0;
+  bool ok = false;
+  /// True when the connection itself broke (the worker must be retired);
+  /// false for a shard that failed cleanly over a healthy connection.
+  bool connection_lost = false;
+  std::string error;
+  std::size_t records = 0;  ///< entry lines received incrementally
+  std::string store;        ///< the final `store` frame payload ("" if lost)
+  /// Every entry line received via `records` frames — the partial-merge
+  /// fallback when the worker died before its `store` frame.
+  std::vector<std::string> lines;
+};
+
+/// Runs one shard on a checked-out remote worker: writes the `task` frame,
+/// forwards each incoming entry line to `on_record` (live streaming), and
+/// returns when the worker's `store` / `shard-error` frame arrives or the
+/// connection dies. Blocking; the caller owns the streams exclusively.
+RemoteShardOutcome run_remote_shard(
+    std::istream& in, std::ostream& out, const CampaignRequest& request,
+    std::size_t shard_index, const std::vector<std::size_t>& groups,
+    const std::function<void(const std::string& entry_line)>& on_record);
+
+}  // namespace ao::service

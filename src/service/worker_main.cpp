@@ -1,14 +1,28 @@
-// ao_worker: one shard of a service campaign in its own process.
-//
-// The CampaignService's WorkerPool spawns this binary with the campaign
-// request serialized to a file plus the shard's group list; the worker
-// expands exactly those job groups, runs them, and write-throughs every
-// record into the named store — which the service tails for streaming and
-// merges when the worker exits. stdout stays silent; errors go to stderr
-// and the exit code.
+// ao_worker: one shard (or a stream of shards) of a service campaign in its
+// own process. Three modes:
 //
 //   ao_worker --request <file> --groups <i,j,...> --store <file>
+//     Local batch mode, spawned by the service's WorkerPool on the same
+//     machine: expand exactly those job groups, run them, write-through
+//     every record into the named store (which the service tails and
+//     merges). stdout stays silent; errors go to stderr and the exit code.
+//
+//   ao_worker --connect <endpoint> [--name <id>]
+//     Remote mode: connect to a campaign daemon — a unix socket path, or
+//     host:port for a daemon listening with --tcp on another machine —
+//     announce with a `worker` hello, then serve `task` frames until the
+//     daemon says bye: records stream back as frames and each shard's full
+//     result store ships over the socket. No shared filesystem anywhere.
+//
+//   ao_worker --stdio-frames [--name <id>]
+//     The same frame conversation over stdin/stdout — for bridged
+//     transports (e.g. `ssh host ao_worker --stdio-frames` with the far
+//     end socat-ed into the daemon socket) and for driving the worker
+//     loop deterministically in tests.
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -16,53 +30,95 @@
 #include <vector>
 
 #include "service/protocol.hpp"
+#include "service/socket.hpp"
+#include "service/worker_link.hpp"
 #include "service/worker_pool.hpp"
 
 namespace {
 
-bool parse_groups(const std::string& csv, std::vector<std::size_t>& out) {
-  std::size_t value = 0;
-  bool in_number = false;
-  for (const char c : csv) {
-    if (c >= '0' && c <= '9') {
-      value = value * 10 + static_cast<std::size_t>(c - '0');
-      in_number = true;
-    } else if (c == ',' && in_number) {
-      out.push_back(value);
-      value = 0;
-      in_number = false;
-    } else {
-      return false;
-    }
-  }
-  if (in_number) {
-    out.push_back(value);
-  }
-  return !out.empty();
+int usage() {
+  std::cerr << "usage: ao_worker --request <file> --groups <i,j,...> "
+               "--store <file>\n"
+               "       ao_worker --connect <socket-path | host:port> "
+               "[--name <id>]\n"
+               "       ao_worker --stdio-frames [--name <id>]\n";
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A daemon that dies mid-write must surface as a failed write (clean
+  // "daemon went away" exit), not a SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
   std::string request_path;
   std::string groups_csv;
   std::string store_path;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  std::string connect_endpoint;
+  std::string name;
+  bool stdio_frames = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto needs_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ao_worker: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     if (std::strcmp(argv[i], "--request") == 0) {
-      request_path = argv[i + 1];
+      request_path = needs_value("--request");
     } else if (std::strcmp(argv[i], "--groups") == 0) {
-      groups_csv = argv[i + 1];
+      groups_csv = needs_value("--groups");
     } else if (std::strcmp(argv[i], "--store") == 0) {
-      store_path = argv[i + 1];
+      store_path = needs_value("--store");
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      connect_endpoint = needs_value("--connect");
+    } else if (std::strcmp(argv[i], "--name") == 0) {
+      name = needs_value("--name");
+    } else if (std::strcmp(argv[i], "--stdio-frames") == 0) {
+      stdio_frames = true;
     } else {
       std::cerr << "ao_worker: unknown option " << argv[i] << "\n";
       return 2;
     }
   }
-  if (request_path.empty() || groups_csv.empty() || store_path.empty()) {
-    std::cerr << "usage: ao_worker --request <file> --groups <i,j,...> "
-                 "--store <file>\n";
+
+  if (name.empty()) {
+    name = "w" + std::to_string(::getpid());
+  }
+  if (!ao::service::valid_campaign_name(name)) {
+    std::cerr << "ao_worker: invalid --name (use [A-Za-z0-9._-], at most 64 "
+                 "chars)\n";
     return 2;
+  }
+
+  const int modes = (connect_endpoint.empty() ? 0 : 1) +
+                    (stdio_frames ? 1 : 0) +
+                    (request_path.empty() && groups_csv.empty() &&
+                             store_path.empty()
+                         ? 0
+                         : 1);
+  if (modes != 1) {
+    return usage();
+  }
+
+  if (stdio_frames) {
+    return ao::service::run_worker_session(std::cin, std::cout, name);
+  }
+
+  if (!connect_endpoint.empty()) {
+    const int fd = ao::service::connect_endpoint(connect_endpoint);
+    if (fd < 0) {
+      std::cerr << "ao_worker: cannot connect to " << connect_endpoint
+                << "\n";
+      return 1;
+    }
+    ao::service::SocketStream stream(fd);
+    return ao::service::run_worker_session(stream, stream, name);
+  }
+
+  if (request_path.empty() || groups_csv.empty() || store_path.empty()) {
+    return usage();
   }
 
   std::ifstream in(request_path);
@@ -84,7 +140,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::size_t> groups;
-  if (!parse_groups(groups_csv, groups)) {
+  if (!ao::service::parse_index_csv(groups_csv, groups)) {
     std::cerr << "ao_worker: malformed group list: " << groups_csv << "\n";
     return 2;
   }

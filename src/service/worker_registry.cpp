@@ -1,0 +1,130 @@
+#include "service/worker_registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+#include "service/frame.hpp"
+
+namespace ao::service {
+
+/// One parked worker connection. The streams belong to the session thread
+/// blocked in park(); a Lease borrows them while state == kLeased.
+struct WorkerRegistry::Lease::Slot {
+  enum class State { kIdle, kLeased, kDead };
+
+  std::string name;
+  std::istream* in = nullptr;
+  std::ostream* out = nullptr;
+  State state = State::kIdle;
+};
+
+WorkerRegistry::Lease::~Lease() { registry_->release(slot_, failed_); }
+
+std::istream& WorkerRegistry::Lease::in() { return *slot_->in; }
+
+std::ostream& WorkerRegistry::Lease::out() { return *slot_->out; }
+
+const std::string& WorkerRegistry::Lease::name() const { return slot_->name; }
+
+WorkerRegistry::~WorkerRegistry() { shutdown(); }
+
+void WorkerRegistry::park(const std::string& name, std::istream& in,
+                          std::ostream& out) {
+  using Slot = Lease::Slot;
+  auto slot = std::make_shared<Slot>();
+  slot->name = name;
+  slot->in = &in;
+  slot->out = &out;
+  {
+    std::unique_lock lock(mutex_);
+    if (shutting_down_) {
+      lock.unlock();
+      write_frame(out, {kFrameBye, {}});
+      return;
+    }
+    slots_.push_back(slot);
+    changed_.notify_all();  // an acquire() may be waiting for a worker
+    changed_.wait(lock, [&] { return slot->state == Slot::State::kDead; });
+    slots_.erase(std::find(slots_.begin(), slots_.end(), slot));
+  }
+  // Best-effort goodbye: on a healthy shutdown the remote process reads it
+  // and exits 0; on a broken stream the write just fails silently.
+  write_frame(out, {kFrameBye, {}});
+}
+
+std::unique_ptr<WorkerRegistry::Lease> WorkerRegistry::acquire(int wait_ms) {
+  using Slot = Lease::Slot;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(std::max(0, wait_ms));
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (shutting_down_) {
+      return nullptr;
+    }
+    for (const auto& slot : slots_) {
+      if (slot->state == Slot::State::kIdle) {
+        slot->state = Slot::State::kLeased;
+        return std::unique_ptr<Lease>(new Lease(*this, slot));
+      }
+    }
+    if (wait_ms <= 0 ||
+        changed_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return nullptr;
+    }
+  }
+}
+
+void WorkerRegistry::release(const std::shared_ptr<Lease::Slot>& slot,
+                             bool failed) {
+  using Slot = Lease::Slot;
+  std::lock_guard lock(mutex_);
+  slot->state = (failed || shutting_down_) ? Slot::State::kDead
+                                           : Slot::State::kIdle;
+  changed_.notify_all();
+}
+
+std::size_t WorkerRegistry::idle_count() const {
+  using Slot = Lease::Slot;
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(slots_.begin(), slots_.end(), [](const auto& slot) {
+        return slot->state == Slot::State::kIdle;
+      }));
+}
+
+std::size_t WorkerRegistry::connected_count() const {
+  using Slot = Lease::Slot;
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(slots_.begin(), slots_.end(), [](const auto& slot) {
+        return slot->state != Slot::State::kDead;
+      }));
+}
+
+std::vector<WorkerRegistry::WorkerInfo> WorkerRegistry::snapshot() const {
+  using Slot = Lease::Slot;
+  std::lock_guard lock(mutex_);
+  std::vector<WorkerInfo> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    if (slot->state != Slot::State::kDead) {
+      out.push_back({slot->name, slot->state == Slot::State::kIdle});
+    }
+  }
+  return out;
+}
+
+void WorkerRegistry::shutdown() {
+  using Slot = Lease::Slot;
+  std::lock_guard lock(mutex_);
+  shutting_down_ = true;
+  for (const auto& slot : slots_) {
+    if (slot->state == Slot::State::kIdle) {
+      slot->state = Slot::State::kDead;
+    }
+  }
+  changed_.notify_all();
+}
+
+}  // namespace ao::service

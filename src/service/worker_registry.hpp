@@ -1,0 +1,101 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ao::service {
+
+/// The daemon-side pool of connected remote shard workers.
+///
+/// A remote `ao_worker` opens an ordinary client connection and announces
+/// itself with a `worker <name>` hello line; the session thread then parks
+/// the connection here (`park()` blocks for the worker's whole lifetime)
+/// while campaign threads check endpoints out (`acquire()`) to run shard
+/// conversations over them. Exactly one thread ever touches a worker's
+/// streams: the parked session thread sleeps on a condition variable and
+/// only wakes to say goodbye once the slot is dead, so a lease holder owns
+/// the streams exclusively.
+///
+/// Lifecycle of one slot: idle → leased (acquire) → idle (healthy release)
+/// or dead (release after `mark_failed()`, or `shutdown()`), and parked
+/// session threads return only when their slot dies. Workers that fail
+/// mid-conversation are never re-pooled — the stream position is unknown —
+/// their sessions end and the worker process reconnects if it wants back in.
+class WorkerRegistry {
+ public:
+  /// Exclusive checkout of one parked worker endpoint. Destroying the lease
+  /// returns the worker to the idle pool, or retires it when mark_failed()
+  /// was called (or the registry is shutting down).
+  class Lease {
+   public:
+    ~Lease();
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    std::istream& in();
+    std::ostream& out();
+    const std::string& name() const;
+
+    /// The conversation broke (short read/write, bad frame): the endpoint's
+    /// stream position is unknowable, so the worker must not be re-pooled.
+    void mark_failed() { failed_ = true; }
+
+   private:
+    friend class WorkerRegistry;
+    struct Slot;
+    Lease(WorkerRegistry& registry, std::shared_ptr<Slot> slot)
+        : registry_(&registry), slot_(std::move(slot)) {}
+
+    WorkerRegistry* registry_;
+    std::shared_ptr<Slot> slot_;
+    bool failed_ = false;
+  };
+
+  struct WorkerInfo {
+    std::string name;
+    bool idle = false;
+  };
+
+  WorkerRegistry() = default;
+  ~WorkerRegistry();
+  WorkerRegistry(const WorkerRegistry&) = delete;
+  WorkerRegistry& operator=(const WorkerRegistry&) = delete;
+
+  /// Parks a connected worker endpoint and BLOCKS until the worker dies: a
+  /// lease holder marked it failed, or the registry shut down. On return
+  /// (after a best-effort `bye` frame so a healthy remote process exits
+  /// cleanly) the caller owns the streams again and should end the session.
+  /// Called from the worker's session thread.
+  void park(const std::string& name, std::istream& in, std::ostream& out);
+
+  /// Checks out an idle worker. `wait_ms` 0 returns immediately when none
+  /// is idle; positive waits up to that long for one to appear (a worker
+  /// connecting, or another campaign releasing one). Returns nullptr on
+  /// timeout or shutdown.
+  std::unique_ptr<Lease> acquire(int wait_ms);
+
+  std::size_t idle_count() const;
+  std::size_t connected_count() const;
+  /// Connected workers, registration order — the `stats`/`queue`
+  /// introspection feed.
+  std::vector<WorkerInfo> snapshot() const;
+
+  /// Retires every idle worker (leased ones retire on release) and wakes
+  /// their parked sessions; acquire() fails from now on. Idempotent.
+  void shutdown();
+
+ private:
+  void release(const std::shared_ptr<Lease::Slot>& slot, bool failed);
+
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;
+  std::vector<std::shared_ptr<Lease::Slot>> slots_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ao::service

@@ -1029,6 +1029,102 @@ TEST(ResultCachePersistence, MergeStorePropagatesToTheWriteThroughStore) {
   std::remove(service_path.c_str());
 }
 
+// The wire twin of the disk store: serialize_store() must be byte-for-byte
+// what save() writes — the shared framing constants and the single
+// store_digest() definition are what keep the disk and socket codecs from
+// drifting.
+TEST(ResultCachePersistence, SerializeStoreMatchesSaveByteForByte) {
+  ResultCache cache;
+  for (std::size_t i = 0; i < 5; ++i) {
+    cache.insert(gemm_key(soc::ChipModel::kM1, soc::GemmImpl::kCpuSingle,
+                          32 + i, /*options_fp=*/9),
+                 measurement_stub(32 + i));
+  }
+  const std::string path = temp_store("serialize_twin");
+  EXPECT_EQ(cache.save(path), 5u);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in);
+  std::ostringstream file_bytes;
+  file_bytes << in.rdbuf();
+  EXPECT_EQ(cache.serialize_store(), file_bytes.str());
+  std::remove(path.c_str());
+}
+
+// merge_buffer() is merge_store() minus the filesystem: same entries, same
+// stats, same write-through propagation — asserted byte-for-byte on the
+// receiving caches' own stores.
+TEST(ResultCachePersistence, MergeBufferMatchesMergeStore) {
+  ResultCache shard;
+  for (std::size_t i = 0; i < 6; ++i) {
+    shard.insert(gemm_key(soc::kAllChipModels[i % 4],
+                          soc::GemmImpl::kGpuMps, 64 + i, /*options_fp=*/3),
+                 measurement_stub(64 + i));
+  }
+  const std::string shard_path = temp_store("merge_src");
+  EXPECT_EQ(shard.save(shard_path), 6u);
+  const std::string buffer = shard.serialize_store();
+
+  const std::string via_store_path = temp_store("merge_via_store");
+  const std::string via_buffer_path = temp_store("merge_via_buffer");
+  ResultCache via_store;
+  via_store.persist_to(via_store_path);
+  EXPECT_EQ(via_store.merge_store(shard_path), 6u);
+  ResultCache via_buffer;
+  via_buffer.persist_to(via_buffer_path);
+  EXPECT_EQ(via_buffer.merge_buffer(buffer), 6u);
+
+  EXPECT_EQ(via_store.stats().loaded, via_buffer.stats().loaded);
+  EXPECT_EQ(via_buffer.stats().load_rejected, 0u);
+  const auto bits = [](ResultCache& cache) {
+    std::map<std::uint64_t, std::string> out;
+    for (const auto& [key, record] : cache.entries()) {
+      out[key.fingerprint()] = serialize_record(record);
+    }
+    return out;
+  };
+  EXPECT_EQ(bits(via_store), bits(via_buffer));
+  // Both merges propagated identically into their own write-through stores.
+  const auto file_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  EXPECT_EQ(file_bytes(via_store_path), file_bytes(via_buffer_path));
+  std::remove(shard_path.c_str());
+  std::remove(via_store_path.c_str());
+  std::remove(via_buffer_path.c_str());
+}
+
+TEST(ResultCachePersistence, MergeBufferRejectsCorruptionLikeTheDiskPath) {
+  ResultCache source;
+  for (std::size_t i = 0; i < 4; ++i) {
+    source.insert(gemm_key(soc::ChipModel::kM3, soc::GemmImpl::kCpuOmp,
+                           128 + i, /*options_fp=*/1),
+                  measurement_stub(128 + i));
+  }
+  std::string buffer = source.serialize_store();
+
+  // One mangled entry line is skipped and counted; the rest still merges.
+  const std::size_t first_entry =
+      buffer.find(kStoreEntryPrefix, buffer.find('\n') + 1);
+  ASSERT_NE(first_entry, std::string::npos);
+  buffer[first_entry] = 'x';
+  ResultCache partial;
+  EXPECT_EQ(partial.merge_buffer(buffer), 3u);
+  EXPECT_EQ(partial.stats().load_rejected, 1u);
+
+  // A foreign version header rejects the whole buffer.
+  ResultCache rejecting;
+  EXPECT_EQ(rejecting.merge_buffer("ao-result-cache v999\nentry junk\n"), 0u);
+  EXPECT_EQ(rejecting.stats().load_rejected, 1u);
+  EXPECT_EQ(rejecting.size(), 0u);
+
+  // And so does an empty buffer (no header at all).
+  ResultCache empty;
+  EXPECT_EQ(empty.merge_buffer(""), 0u);
+}
+
 // The multi-tenant campaign service shares one write-through cache between
 // concurrently executing schedulers: hammer lookup/insert from many threads
 // and require the surviving store to be bit-identical to a serial build of

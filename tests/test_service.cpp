@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
@@ -17,9 +20,12 @@
 #include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "service/campaign_queue.hpp"
+#include "service/frame.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "service/shard_planner.hpp"
+#include "service/socket.hpp"
+#include "service/worker_link.hpp"
 #include "service/worker_pool.hpp"
 
 namespace ao::service {
@@ -110,6 +116,93 @@ TEST(Protocol, ImplNamesMatchTheFigureLegends) {
   EXPECT_THROW(gemm_impl_from_string("tpu"), util::InvalidArgument);
 }
 
+// ------------------------------------------------------------- wire frames --
+
+TEST(WireFrame, RoundTripsBinaryPayloadsBackToBack) {
+  // Frames must be binary-safe: newlines, NULs and high bytes inside the
+  // payload may not confuse the framing.
+  std::string binary = "entry line one\nentry line two\n";
+  binary.push_back('\0');
+  binary.push_back('\xff');
+  binary += "@frame1 looks like a header but is payload";
+  const Frame first{"records", binary};
+  const Frame second{"store", ""};
+
+  std::stringstream wire;
+  write_frame(wire, first);
+  write_frame(wire, second);
+
+  std::string error;
+  const auto a = read_frame(wire, &error);
+  ASSERT_TRUE(a.has_value()) << error;
+  EXPECT_EQ(*a, first);
+  const auto b = read_frame(wire, &error);
+  ASSERT_TRUE(b.has_value()) << error;
+  EXPECT_EQ(*b, second);
+  // Clean end-of-stream is distinguishable from corruption.
+  EXPECT_FALSE(read_frame(wire, &error).has_value());
+  EXPECT_EQ(error, "closed");
+}
+
+TEST(WireFrame, RejectsTruncationCorruptionAndForeignVersions) {
+  const std::string encoded = encode_frame({"task", "hello frames"});
+  std::string error;
+  {
+    // Stream ends inside the payload.
+    std::istringstream in(encoded.substr(0, encoded.size() - 5));
+    EXPECT_FALSE(read_frame(in, &error).has_value());
+    EXPECT_EQ(error, "frame-truncated");
+  }
+  {
+    // The trailing newline is missing (a half-flushed frame).
+    std::istringstream in(encoded.substr(0, encoded.size() - 1));
+    EXPECT_FALSE(read_frame(in, &error).has_value());
+    EXPECT_EQ(error, "frame-truncated");
+  }
+  {
+    // A flipped payload byte fails the digest.
+    std::string corrupt = encoded;
+    corrupt[corrupt.find("hello")] = 'H';
+    std::istringstream in(corrupt);
+    EXPECT_FALSE(read_frame(in, &error).has_value());
+    EXPECT_EQ(error, "frame-digest-mismatch");
+  }
+  {
+    // A future frame version is refused, not guessed at.
+    std::istringstream in("@frame2 task 0 0\n\n");
+    EXPECT_FALSE(read_frame(in, &error).has_value());
+    EXPECT_EQ(error, "bad-frame-header");
+  }
+  {
+    // An absurd length token is refused before any allocation happens.
+    std::istringstream in("@frame1 task ffffffffffff 0\n");
+    EXPECT_FALSE(read_frame(in, &error).has_value());
+    EXPECT_EQ(error, "frame-oversized");
+  }
+  {
+    // A newline-free garbage stream is cut off at the header cap instead
+    // of growing a string without bound.
+    std::istringstream in(std::string(1 << 20, 'x'));
+    EXPECT_FALSE(read_frame(in, &error).has_value());
+    EXPECT_EQ(error, "bad-frame-header");
+  }
+}
+
+TEST(WireFrame, TaskPayloadRoundTripsThroughItsTextForm) {
+  const CampaignRequest request = full_request();
+  const std::vector<std::size_t> groups = {0, 2, 5};
+  const std::string payload = encode_task(request, 3, groups);
+  std::string error;
+  const auto task = decode_task(payload, &error);
+  ASSERT_TRUE(task.has_value()) << error;
+  EXPECT_EQ(task->shard_index, 3u);
+  EXPECT_EQ(task->groups, groups);
+  EXPECT_TRUE(task->request == request);
+
+  EXPECT_FALSE(decode_task("garbage", &error).has_value());
+  EXPECT_FALSE(decode_task("shard 1\ngroups x\n", &error).has_value());
+}
+
 // ----------------------------------------------------------------- session --
 
 std::filesystem::path temp_dir(const std::string& name) {
@@ -135,6 +228,17 @@ std::vector<std::string> serve_lines(CampaignService& service,
 
 bool starts_with(const std::string& line, const std::string& prefix) {
   return line.rfind(prefix, 0) == 0;
+}
+
+bool wait_until(const std::function<bool()>& condition,
+                int timeout_ms = 20000) {
+  for (int waited = 0; waited < timeout_ms; waited += 2) {
+    if (condition()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return condition();
 }
 
 std::size_t count_prefixed(const std::vector<std::string>& lines,
@@ -365,6 +469,125 @@ TEST(CampaignService, RepeatedShardedCampaignIsServedFromTheWarmCache) {
   std::filesystem::remove_all(dir);
 }
 
+// The tentpole acceptance criterion: two remote workers connected over
+// real byte streams (socketpairs — the same FdStreamBuf transport the
+// daemon's sockets use), a sharded campaign whose shards travel as frames,
+// result stores shipped back over the connection — and a merged warm cache
+// bit-identical to the single-process run, with NO shard file ever touching
+// the shared filesystem.
+TEST(CampaignService, RemoteWorkersRunShardsOverSocketsBitIdentical) {
+  const auto dir = temp_dir("remote");
+  CampaignService::Config config;
+  config.shard_dir = dir.string();
+  config.remote_only = true;  // a local shard run would hide a frame bug
+  config.remote_wait_ms = 20000;
+  CampaignService service(std::move(config));
+
+  int pair_a[2];
+  int pair_b[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair_a), 0);
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair_b), 0);
+  std::thread serve_a([&service, fd = pair_a[0]] {
+    SocketStream stream(fd);
+    service.serve(stream, stream);
+  });
+  std::thread serve_b([&service, fd = pair_b[0]] {
+    SocketStream stream(fd);
+    service.serve(stream, stream);
+  });
+  std::thread worker_a([fd = pair_a[1]] {
+    SocketStream stream(fd);
+    EXPECT_EQ(run_worker_session(stream, stream, "wa"), 0);
+  });
+  std::thread worker_b([fd = pair_b[1]] {
+    SocketStream stream(fd);
+    EXPECT_EQ(run_worker_session(stream, stream, "wb"), 0);
+  });
+
+  const auto lines = serve_lines(service, nine_kind_block(2, 2));
+  ASSERT_TRUE(starts_with(lines.back(), "done campaign ")) << lines.back();
+  EXPECT_NE(lines.back().find("shards 2 remote 2"), std::string::npos)
+      << lines.back();
+  EXPECT_EQ(count_prefixed(lines, "record "), 20u);
+  // Per-shard lifecycle events: a start and a done per shard.
+  EXPECT_GE(count_prefixed(lines, "shard "), 4u);
+  // The whole exchange happened over the sockets: the shard scratch
+  // directory was never written to.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+
+  // Shutdown releases the parked workers; every thread drains cleanly and
+  // the workers exit 0 off the `bye` frame.
+  serve_lines(service, "shutdown\n");
+  serve_a.join();
+  serve_b.join();
+  worker_a.join();
+  worker_b.join();
+
+  CampaignService single({});
+  const auto single_lines = serve_lines(single, nine_kind_block(2, 1));
+  ASSERT_TRUE(starts_with(single_lines.back(), "done campaign "));
+  const auto remote_entries = entries_by_key(service.cache());
+  ASSERT_EQ(remote_entries.size(), 20u);
+  EXPECT_EQ(remote_entries, entries_by_key(single.cache()));
+  std::filesystem::remove_all(dir);
+}
+
+// A worker that dies while idle is only discovered at checkout (park()
+// never reads the socket). The shard it was handed received nothing, so —
+// without remote_only — it must fall back to the local worker pool and the
+// campaign must still succeed.
+TEST(CampaignService, DeadIdleWorkerFallsBackToLocalShards) {
+  std::signal(SIGPIPE, SIG_IGN);  // writing the task frame hits a dead peer
+  const auto dir = temp_dir("fallback");
+  CampaignService service({/*cache_capacity=*/4096, /*store_path=*/"",
+                           /*shard_dir=*/dir.string(),
+                           /*worker_binary=*/""});
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&service, fd = fds[0]] {
+    SocketStream stream(fd);
+    service.serve(stream, stream);
+  });
+  {
+    // Register, then die: the SocketStream destructor closes the fd while
+    // the registry still lists the endpoint as idle.
+    SocketStream doomed(fds[1]);
+    doomed << "worker doomed\n";
+    doomed.flush();
+    std::string ack;
+    ASSERT_TRUE(std::getline(doomed, ack));
+  }
+  ASSERT_TRUE(wait_until([&] { return service.workers().idle_count() == 1; }));
+
+  const auto lines = serve_lines(service, nine_kind_block(2, 2));
+  ASSERT_TRUE(starts_with(lines.back(), "done campaign ")) << lines.back();
+  EXPECT_NE(lines.back().find("shards 2"), std::string::npos);
+  EXPECT_EQ(count_prefixed(lines, "record "), 20u);
+
+  serve_lines(service, "shutdown\n");
+  server.join();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignService, RemoteOnlyWithoutWorkersFailsTheCampaignNotTheSession) {
+  CampaignService::Config config;
+  config.remote_only = true;
+  config.remote_wait_ms = 50;
+  CampaignService service(std::move(config));
+  const auto lines = serve_lines(service, nine_kind_block(1, 2) + "ping\n");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "pong");  // the session survived
+  bool failed = false;
+  for (const auto& line : lines) {
+    if (starts_with(line, "error exec-failed") &&
+        line.find("no remote workers") != std::string::npos) {
+      failed = true;
+    }
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(count_prefixed(lines, "record "), 0u);
+}
+
 TEST(WorkerPool, ShardFailureIsReportedNotFatal) {
   const auto dir = temp_dir("failure");
   CampaignRequest request;  // no chips: run_shard throws inside the worker
@@ -555,17 +778,6 @@ class CapturedStream : public std::ostream {
   } buf_;
 };
 
-bool wait_until(const std::function<bool()>& condition,
-                int timeout_ms = 20000) {
-  for (int waited = 0; waited < timeout_ms; waited += 2) {
-    if (condition()) {
-      return true;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-  return condition();
-}
-
 std::string cpu_block(const std::string& name, const std::string& client,
                       int priority) {
   return "begin " + name + "\nclient " + client + "\npriority " +
@@ -719,6 +931,35 @@ TEST(CampaignServiceQueue, ConcurrentDisjointStreamsAreBitIdenticalToSerial) {
   EXPECT_EQ(record_lines(ane_out.text()), serial_records(ane_serial));
   ASSERT_FALSE(record_lines(cpu_out.text()).empty());
   ASSERT_FALSE(record_lines(ane_out.text()).empty());
+}
+
+// The `queue` introspection command: waiting campaigns with position,
+// name, client, priority and resource mask, terminated by an aggregate
+// line — without submitting or disturbing anything.
+TEST(CampaignServiceQueue, QueueCommandListsWaitingCampaigns) {
+  CampaignService service({});
+  auto blocker = service.queue().submit("blocker", 50, kResourceCpu);
+  ASSERT_TRUE(blocker->try_start());
+
+  CapturedStream waiting_out;
+  std::istringstream waiting_in(cpu_block("waiting-camp", "alice", 3));
+  std::thread session([&] { service.serve(waiting_in, waiting_out); });
+  ASSERT_TRUE(wait_until([&] { return waiting_out.contains("queued 1"); }))
+      << waiting_out.text();
+
+  const auto lines = serve_lines(service, "queue\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "queue-entry 1 name waiting-camp client alice priority 3 "
+            "resources cpu");
+  EXPECT_EQ(lines[1], "queue waiting 1 running 1");
+
+  blocker.reset();
+  session.join();
+  EXPECT_TRUE(waiting_out.contains("done campaign")) << waiting_out.text();
+  const auto after = serve_lines(service, "queue\n");
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0], "queue waiting 0 running 0");
 }
 
 TEST(CampaignService, ErrorRepliesCarryCodeAndOffendingLine) {

@@ -8,24 +8,29 @@
 //   ao_campaignctl --socket <path> [--request <file>]   submit (stdin
 //                                                       without --request)
 //                  [--client <id>] [--priority <n>]     queueing identity
-//   ao_campaignctl --socket <path> ping|stats|compact|shutdown
+//   ao_campaignctl --socket <path> ping|stats|queue|compact|shutdown
 //   ao_campaignctl --verify-store <file>                offline store check
 //
-// --client/--priority inject the matching request lines right after the
-// block's `begin`, so scripts can set queueing identity without editing
-// request files. While the service queues the campaign behind conflicting
-// ones, `queued <pos>` / `started` events stream through verbatim.
+// --socket also accepts host:port for a daemon listening with --tcp on
+// another machine. --client/--priority inject the matching request lines
+// right after the block's `begin`, so scripts can set queueing identity
+// without editing request files. While the service queues the campaign
+// behind conflicting ones, `queued <pos>` / `started` events stream
+// through verbatim; `queue` lists the waiting campaigns (position, name,
+// client, priority, resource mask) without submitting anything.
 //
 // Submit exits 0 when a `done` reply arrived, 1 on any `error` reply or a
 // dropped connection; structured errors (`error <code> ... | line: ...`)
 // are summarized on stderr so scripts log which request line was rejected.
-// --verify-store loads the store through ResultCache and fails when it is
-// empty or any entry was rejected — the round-trip assertion for merged
-// shard stores.
+// Sharded campaigns stream `shard <i> start/done` events; submit summarizes
+// them per shard on stderr after `done`. --verify-store loads the store
+// through ResultCache and fails when it is empty or any entry was rejected
+// — the round-trip assertion for merged shard stores.
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -61,6 +66,23 @@ int converse(ao::service::SocketStream& stream,
   }
   stream.flush();
 
+  // Per-shard progress surfaced from the service's `shard <i> ...` events:
+  // "<records> done" once the shard's done event arrived, "started" before.
+  // Printed after `done` AND after an error reply — a failed sharded
+  // campaign is exactly when the operator needs to know which shard got
+  // how far.
+  std::map<std::size_t, std::string> shard_progress;
+  const auto print_shard_summary = [&shard_progress] {
+    if (shard_progress.empty()) {
+      return;
+    }
+    std::cerr << "ao_campaignctl: " << shard_progress.size() << " shard(s):";
+    for (const auto& [index, status] : shard_progress) {
+      std::cerr << " shard " << index << ": " << status << ";";
+    }
+    std::cerr << '\n';
+  };
+
   std::string reply;
   while (std::getline(stream, reply)) {
     std::cout << reply << '\n';
@@ -68,6 +90,25 @@ int converse(ao::service::SocketStream& stream,
     std::string first;
     std::string second;
     words >> first >> second;
+    if (first == "shard") {
+      // "shard <i> start ..." | "shard <i> done records <n> ..." |
+      // "shard <i> error ..."
+      std::size_t index = 0;
+      std::string event;
+      if (std::istringstream(second) >> index && (words >> event)) {
+        if (event == "start") {
+          shard_progress[index] = "started";
+        } else if (event == "done") {
+          std::string records_word;
+          std::size_t records = 0;
+          if (words >> records_word >> records) {
+            shard_progress[index] = std::to_string(records) + " records";
+          }
+        } else if (event == "error") {
+          shard_progress[index] = "failed";
+        }
+      }
+    }
     if (first == "error") {
       // Structured reply: "error <code> <message> [| line: <input>]".
       // Surface the code and the echoed offending line on stderr so a
@@ -81,15 +122,20 @@ int converse(ao::service::SocketStream& stream,
         std::cerr << "ao_campaignctl: offending line: "
                   << detail.substr(at + 9) << '\n';
       }
+      print_shard_summary();
       return 1;
     }
     if (mode == "submit" && first == "done") {
+      print_shard_summary();
       return 0;
     }
     if (mode == "ping" && first == "pong") {
       return 0;
     }
     if (mode == "stats" && first == "stats") {
+      return 0;
+    }
+    if (mode == "queue" && first == "queue") {
       return 0;
     }
     if ((mode == "compact" || mode == "shutdown") && first == "ok" &&
@@ -133,10 +179,10 @@ int main(int argc, char** argv) {
     return verify_store(verify_path);
   }
   if (socket_path.empty()) {
-    std::cerr << "usage: ao_campaignctl --socket <path> "
+    std::cerr << "usage: ao_campaignctl --socket <path | host:port> "
                  "[--request <file>] [--client <id>] [--priority <n>]\n"
-                 "       ao_campaignctl --socket <path> "
-                 "ping|stats|compact|shutdown\n"
+                 "       ao_campaignctl --socket <path | host:port> "
+                 "ping|stats|queue|compact|shutdown\n"
                  "       ao_campaignctl --verify-store <file>\n";
     return 2;
   }
@@ -175,15 +221,15 @@ int main(int argc, char** argv) {
       std::cerr << "ao_campaignctl: empty request\n";
       return 2;
     }
-  } else if (command == "ping" || command == "stats" || command == "compact" ||
-             command == "shutdown") {
+  } else if (command == "ping" || command == "stats" || command == "queue" ||
+             command == "compact" || command == "shutdown") {
     lines.push_back(command);
   } else {
     std::cerr << "ao_campaignctl: unknown command " << command << "\n";
     return 2;
   }
 
-  const int fd = ao::service::connect_unix(socket_path);
+  const int fd = ao::service::connect_endpoint(socket_path);
   if (fd < 0) {
     std::cerr << "ao_campaignctl: cannot connect to " << socket_path << "\n";
     return 1;
