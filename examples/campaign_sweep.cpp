@@ -22,6 +22,7 @@
 
 #include "core/ao.hpp"
 #include "harness/reporting.hpp"
+#include "obs/profiler.hpp"
 #include "orchestrator/campaign.hpp"
 
 namespace {
@@ -64,10 +65,22 @@ std::string json_escape(const std::string& text) {
 
 void print_json(std::ostream& out, std::size_t workers, std::size_t jobs,
                 const std::string& cache_path, std::size_t warmed,
-                const std::vector<RunReport>& runs) {
+                const std::vector<RunReport>& runs,
+                const std::vector<ao::obs::Span>& spans) {
   out << "{\n  \"workers\": " << workers << ",\n  \"jobs\": " << jobs
       << ",\n  \"store\": {\"path\": \"" << json_escape(cache_path)
-      << "\", \"entries_loaded\": " << warmed << "},\n  \"runs\": [";
+      << "\", \"entries_loaded\": " << warmed << "},\n  \"profile\": {";
+  // Per-phase wall time over all three runs, from the attached timeline
+  // profiler — the same phase names the service's `profile` command reports.
+  bool first_phase = true;
+  for (const auto& [phase, ps] : ao::obs::phase_stats(spans)) {
+    out << (first_phase ? "" : ", ") << "\"" << ao::obs::phase_name(phase)
+        << "\": {\"count\": " << ps.count << ", \"total_ns\": " << ps.total_ns
+        << ", \"p50_ns\": " << ps.p50_ns << ", \"p95_ns\": " << ps.p95_ns
+        << ", \"max_ns\": " << ps.max_ns << "}";
+    first_phase = false;
+  }
+  out << "},\n  \"runs\": [";
   bool first_run = true;
   for (const RunReport& run : runs) {
     const auto& stats = run.result->stats;
@@ -132,7 +145,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  // A mixed-kind sweep: every JobKind the orchestrator schedules.
+  // A mixed-kind sweep: every JobKind the orchestrator schedules. The
+  // timeline profiler rides along: --json reports per-phase wall time
+  // (schedule/execute/serialize/merge) next to the run counters.
+  obs::TimelineProfiler profiler;
   orchestrator::Campaign campaign;
   campaign.chips({soc::ChipModel::kM1, soc::ChipModel::kM2,
                   soc::ChipModel::kM3, soc::ChipModel::kM4})
@@ -148,6 +164,7 @@ int main(int argc, char** argv) {
       .sme_gemm({256})
       .power_idle(1.0)
       .cache(&cache)
+      .profiler(&profiler)
       .concurrency(workers);
 
   if (!json) {
@@ -184,7 +201,8 @@ int main(int argc, char** argv) {
   const auto widened = campaign.run();
   if (json) {
     print_json(std::cout, workers, campaign.job_count(), cache_path, warmed,
-               {{"first", &first}, {"second", &second}, {"widened", &widened}});
+               {{"first", &first}, {"second", &second}, {"widened", &widened}},
+               profiler.snapshot());
   } else {
     std::cout << "Widened   : " << widened.stats.jobs_executed
               << " executed, " << widened.stats.cache_hits << " cache hits, "

@@ -123,6 +123,11 @@ Campaign& Campaign::power_idle(double window_seconds) {
   return *this;
 }
 
+Campaign& Campaign::profiler(obs::TimelineProfiler* profiler) {
+  profiler_ = profiler;
+  return *this;
+}
+
 std::vector<Campaign::JobGroup> Campaign::groups() const {
   AO_REQUIRE(!chips_.empty(), "campaign needs at least one chip");
   std::vector<JobGroup> out;
@@ -253,13 +258,25 @@ std::size_t Campaign::job_count() const {
 }
 
 CampaignResult Campaign::run() {
+  obs::TimelineProfiler::Scope root(profiler_, obs::Phase::kCampaign,
+                                    /*parent=*/0, "campaign-run");
   JobQueue queue;
-  expand(queue);
+  {
+    obs::TimelineProfiler::Scope schedule(profiler_, obs::Phase::kSchedule);
+    expand(queue);
+  }
 
   CampaignScheduler::Options scheduler_options;
   scheduler_options.concurrency = concurrency_;
   CampaignScheduler scheduler(options_, scheduler_options, cache_);
+  scheduler.set_profile_sink(profiler_, root.id());
+  if (cache_ != nullptr) {
+    cache_->set_profiler(profiler_);
+  }
   CampaignOutputs outputs = scheduler.run(queue);
+  if (cache_ != nullptr) {
+    cache_->set_profiler(nullptr);
+  }
 
   CampaignResult result;
   result.gemm = std::move(outputs.gemm);

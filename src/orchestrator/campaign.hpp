@@ -86,6 +86,10 @@ class Campaign {
   Campaign& sme_gemm(std::vector<std::size_t> sizes, std::uint64_t seed = 77);
   /// Adds one idle-floor power job per chip.
   Campaign& power_idle(double window_seconds = 1.0);
+  /// Attaches a (caller-owned) timeline profiler: run() records a `campaign`
+  /// root span, a `schedule` span around expansion, and per-job `execute`
+  /// spans through the scheduler. nullptr (the default) disables.
+  Campaign& profiler(obs::TimelineProfiler* profiler);
 
   /// One independently schedulable unit of the sweep: a measurement job
   /// plus the jobs that depend on it (today: its verify job). Groups are the
@@ -125,6 +129,7 @@ class Campaign {
   harness::GemmExperiment::Options options_;
   std::size_t concurrency_ = 0;
   ResultCache* cache_ = nullptr;
+  obs::TimelineProfiler* profiler_ = nullptr;
   std::vector<int> stream_thread_counts_;
   int stream_repetitions_ = 10;
   std::size_t stream_elements_ = 0;

@@ -372,6 +372,9 @@ CacheStats ResultCache::stats() const {
 }
 
 std::size_t ResultCache::save(const std::string& path) {
+  obs::TimelineProfiler::Scope span(profiler_, obs::Phase::kSerialize,
+                                    obs::TimelineProfiler::kInheritParent,
+                                    "save");
   std::lock_guard lock(mutex_);
   return save_locked(path);
 }
@@ -422,6 +425,9 @@ void ResultCache::write_store_locked(std::ostream& out) const {
 }
 
 std::string ResultCache::serialize_store() const {
+  obs::TimelineProfiler::Scope span(profiler_, obs::Phase::kSerialize,
+                                    obs::TimelineProfiler::kInheritParent,
+                                    "wire");
   std::ostringstream out;
   std::lock_guard lock(mutex_);
   write_store_locked(out);
@@ -456,10 +462,16 @@ std::size_t ResultCache::load(const std::string& path) {
 }
 
 std::size_t ResultCache::merge_store(const std::string& path) {
+  obs::TimelineProfiler::Scope span(profiler_, obs::Phase::kMerge,
+                                    obs::TimelineProfiler::kInheritParent,
+                                    "store");
   return load_impl(path, /*write_through=*/true);
 }
 
 std::size_t ResultCache::merge_buffer(const std::string& buffer) {
+  obs::TimelineProfiler::Scope span(profiler_, obs::Phase::kMerge,
+                                    obs::TimelineProfiler::kInheritParent,
+                                    "wire");
   std::istringstream in(buffer);
   // No source path: a buffer never arms the fully-loaded-path bookkeeping
   // (there is no file a later persist_to() could be pointed at).

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "harness/experiment.hpp"
+#include "obs/profiler.hpp"
 #include "orchestrator/job.hpp"
 #include "orchestrator/record.hpp"
 
@@ -218,6 +219,13 @@ class ResultCache {
   /// duplicates + evicted); 0 when detached.
   std::size_t store_entries() const;
 
+  /// Attaches a timeline profiler: save()/serialize_store() record
+  /// `serialize` spans and merge_store()/merge_buffer() record `merge`
+  /// spans, inheriting the calling thread's open scope (so a merge inside a
+  /// shard conversation nests under that transport span). Set before the
+  /// cache is shared between threads; nullptr (the default) detaches.
+  void set_profiler(obs::TimelineProfiler* profiler) { profiler_ = profiler; }
+
  private:
   /// LRU bookkeeping under mutex_. When write_through and a store is
   /// attached, the formatted entry line is returned through `line_out`
@@ -263,6 +271,7 @@ class ResultCache {
   /// Path of the last load() whose entries are all still retained (no
   /// eviction since); persist_to() of the same path starts covered.
   std::string fully_loaded_path_;
+  obs::TimelineProfiler* profiler_ = nullptr;  ///< set before sharing
 };
 
 }  // namespace ao::orchestrator

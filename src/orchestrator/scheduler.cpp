@@ -152,6 +152,12 @@ CampaignScheduler::CampaignScheduler(
       cache_(cache),
       fingerprint_(options_fingerprint(experiment_options_)) {}
 
+void CampaignScheduler::set_profile_sink(obs::TimelineProfiler* profiler,
+                                         std::uint64_t parent_span) {
+  profiler_ = profiler;
+  profile_parent_ = parent_span;
+}
+
 CampaignOutputs CampaignScheduler::run(JobQueue& queue,
                                        RecordCallback on_record) {
   // A scheduler runs one campaign at a time; the multi-tenant service
@@ -215,6 +221,12 @@ CampaignOutputs CampaignScheduler::run(JobQueue& queue,
           // hours of simulated work.
           if (!failed.load(std::memory_order_acquire)) {
             try {
+              // One `execute` span per job actually attempted, labelled by
+              // kind and parented under the caller's campaign/shard span
+              // (explicit — worker threads carry no inherited scope).
+              obs::TimelineProfiler::Scope span(profiler_, obs::Phase::kExecute,
+                                                profile_parent_,
+                                                to_string(job->kind));
               execute(*job, outputs);
             } catch (const std::exception& e) {
               failed.store(true, std::memory_order_release);

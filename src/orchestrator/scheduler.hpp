@@ -10,6 +10,7 @@
 
 #include "core/system.hpp"
 #include "harness/experiment.hpp"
+#include "obs/profiler.hpp"
 #include "orchestrator/job.hpp"
 #include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
@@ -170,6 +171,13 @@ class CampaignScheduler {
   /// not reentrant.
   CampaignOutputs run(JobQueue& queue, RecordCallback on_record = {});
 
+  /// Attaches a timeline profiler for subsequent run() calls: every executed
+  /// job records an `execute` span labelled with its kind, parented under
+  /// `parent_span` (the caller's campaign or shard span — worker threads
+  /// have no inherited scope). nullptr detaches.
+  void set_profile_sink(obs::TimelineProfiler* profiler,
+                        std::uint64_t parent_span = 0);
+
  private:
   struct MeasureState;  // per measure-job handoff to its verify job
 
@@ -212,6 +220,8 @@ class CampaignScheduler {
   SystemPool systems_;
   RecordCallback on_record_;  ///< set for the duration of one run()
   std::atomic<bool> run_active_{false};  ///< run() reentrancy guard
+  obs::TimelineProfiler* profiler_ = nullptr;
+  std::uint64_t profile_parent_ = 0;
 
   /// Lock contract: state_mutex_ guards outputs, batches_, pending_verify_
   /// and stats_, and is only ever held for in-memory bookkeeping — never

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "service/shard_planner.hpp"
@@ -146,16 +147,26 @@ class CampaignService::SchedulerLease {
 CampaignService::CampaignService(Config config)
     : config_(std::move(config)),
       cache_(config_.cache_capacity),
-      queue_(config_.limits) {
+      queue_(config_.limits),
+      profiler_(config_.profile_clock) {
   if (!config_.store_path.empty()) {
     cache_.load(config_.store_path);
     cache_.persist_to(config_.store_path);
   }
+  // The warm cache records its own serialize/merge spans — the service never
+  // wraps cache calls itself, so shard merges are counted exactly once.
+  cache_.set_profiler(&profiler_);
 }
 
 CampaignService::Totals CampaignService::totals() const {
   std::lock_guard lock(totals_mutex_);
   return totals_;
+}
+
+std::vector<CampaignService::CampaignTimeline> CampaignService::timelines()
+    const {
+  std::lock_guard lock(profile_mutex_);
+  return {timelines_.begin(), timelines_.end()};
 }
 
 std::vector<std::string> CampaignService::start_log() const {
@@ -244,11 +255,25 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
         // reading at.
         for (const auto& worker : registry_.snapshot()) {
           out << "stats-worker " << worker.name << ' '
-              << (worker.idle ? "idle" : "busy") << '\n';
+              << (worker.idle ? "idle" : "busy") << " shards " << worker.shards
+              << " busy-ns " << worker.busy_ns << '\n';
         }
         for (const auto& [client, s] : queue_.client_stats()) {
           out << "stats-client " << client << " queued " << s.queued
               << " running " << s.running << '\n';
+        }
+        {
+          // Lifetime per-phase time aggregates from the timeline profiler —
+          // only phases that ever recorded a span.
+          std::lock_guard lock(profile_mutex_);
+          for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+            const auto& [count, total_ns] = phase_totals_[i];
+            if (count != 0) {
+              out << "stats-phase "
+                  << obs::phase_name(static_cast<obs::Phase>(i)) << " count "
+                  << count << " total-ns " << total_ns << '\n';
+            }
+          }
         }
         const Totals t = totals();
         out << "stats campaigns " << t.campaigns << " sharded "
@@ -261,6 +286,8 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
             << " rejected " << queue_.rejections() << " remote-shards "
             << t.remote_shards << " workers " << registry_.connected_count()
             << " idle-workers " << registry_.idle_count() << '\n';
+      } else if (words[0] == "profile") {
+        reply_profile(words.size() > 1 ? words[1] : "", out);
       } else if (words[0] == "compact") {
         if (cache_.persist_path().empty()) {
           reply_error(out, "no-store", "no write-through store attached",
@@ -287,15 +314,119 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
   return false;
 }
 
+void CampaignService::reply_profile(const std::string& name,
+                                    std::ostream& out) const {
+  CampaignTimeline timeline;
+  bool found = false;
+  {
+    std::lock_guard lock(profile_mutex_);
+    for (auto it = timelines_.rbegin(); it != timelines_.rend(); ++it) {
+      if (name.empty() || it->name == name) {
+        timeline = *it;  // newest retained (of that name, when given)
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    out << "profile campaign 0 name - client - spans 0\n";
+    return;
+  }
+  // Span lines first (id order = parents before children), then the
+  // per-phase aggregates, then the terminal `profile` line clients stop
+  // reading at. The free-text label goes last so spaces survive.
+  for (const obs::Span& span : timeline.spans) {
+    out << "profile-span " << span.id << ' ' << span.parent << ' '
+        << obs::phase_name(span.phase) << ' ' << span.start_ns << ' '
+        << span.duration_ns << ' '
+        << (span.label.empty() ? "-" : one_line(span.label)) << '\n';
+  }
+  for (const auto& [phase, stats] : obs::phase_stats(timeline.spans)) {
+    out << "profile-phase " << obs::phase_name(phase) << " count "
+        << stats.count << " total-ns " << stats.total_ns << " p50-ns "
+        << stats.p50_ns << " p95-ns " << stats.p95_ns << " max-ns "
+        << stats.max_ns << '\n';
+  }
+  out << "profile campaign " << timeline.id << " name " << timeline.name
+      << " client " << timeline.client << " spans " << timeline.spans.size()
+      << '\n';
+}
+
+void CampaignService::finish_campaign_profile(std::uint64_t root_span,
+                                              std::uint64_t id,
+                                              const std::string& name,
+                                              const std::string& client) {
+  std::vector<obs::Span> spans = profiler_.drain();
+  std::lock_guard lock(profile_mutex_);
+  // Re-adopt the orphan pool: spans drained by earlier finishes while this
+  // campaign was still running live there.
+  spans.insert(spans.end(), orphan_spans_.begin(), orphan_spans_.end());
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::Span& a, const obs::Span& b) { return a.id < b.id; });
+  std::vector<obs::Span> mine = obs::span_subtree(spans, root_span);
+
+  // Everything outside this campaign's subtree belongs to a concurrent
+  // campaign that has not finished yet — keep it (newest first under the
+  // cap) for that campaign's own finish.
+  std::unordered_set<std::uint64_t> mine_ids;
+  mine_ids.reserve(mine.size());
+  for (const obs::Span& span : mine) {
+    mine_ids.insert(span.id);
+  }
+  orphan_spans_.clear();
+  for (obs::Span& span : spans) {
+    if (mine_ids.count(span.id) == 0) {
+      orphan_spans_.push_back(std::move(span));
+    }
+  }
+  if (orphan_spans_.size() > kMaxOrphanSpans) {
+    orphan_spans_.erase(orphan_spans_.begin(),
+                        orphan_spans_.end() -
+                            static_cast<std::ptrdiff_t>(kMaxOrphanSpans));
+  }
+
+  for (const auto& [phase, stats] : obs::phase_stats(mine)) {
+    auto& [count, total_ns] = phase_totals_[static_cast<std::size_t>(phase)];
+    count += stats.count;
+    total_ns += stats.total_ns;
+  }
+
+  if (!config_.profile_dir.empty()) {
+    const std::string path = config_.profile_dir + "/" + name + "-c" +
+                             std::to_string(id) + ".profile.json";
+    std::ofstream artifact(path, std::ios::trunc);
+    if (artifact) {
+      artifact << obs::timeline_json(id, name, client, mine);
+    }
+    // An unwritable profile dir only costs the artifact, never the campaign.
+  }
+
+  timelines_.push_back({id, name, client, std::move(mine)});
+  if (timelines_.size() > kMaxTimelines) {
+    timelines_.pop_front();
+  }
+}
+
 void CampaignService::run_campaign(const CampaignRequest& request,
                                    std::ostream& out) {
+  // The campaign's root span: every phase of its lifecycle — admission,
+  // queue wait, scheduling, shards, merges — nests under it, by thread-local
+  // inheritance on this session thread and by explicit parent id on shard
+  // driver and scheduler worker threads.
+  obs::TimelineProfiler::Scope root(&profiler_, obs::Phase::kCampaign,
+                                    /*parent=*/0, request.name);
+
   // Admission first: the queue decides whether this campaign may run now
   // (disjoint resource classes), must wait (conflict / quota / global
   // concurrency), or is rejected outright (queued-campaign quota).
   const ResourceMask resources = resources_for(request);
   CampaignQueue::Rejection rejection;
-  auto ticket = queue_.submit(request.client, request.priority, resources,
-                              &rejection, request.name);
+  std::unique_ptr<CampaignQueue::Ticket> ticket;
+  {
+    obs::TimelineProfiler::Scope admission(&profiler_, obs::Phase::kAdmission);
+    ticket = queue_.submit(request.client, request.priority, resources,
+                           &rejection, request.name);
+  }
   if (ticket == nullptr) {
     out << "preempted-by-quota client " << request.client << " campaign "
         << request.name << '\n';
@@ -305,15 +436,27 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   }
 
   const std::uint64_t id = next_campaign_id_.fetch_add(1);
-  const orchestrator::Campaign campaign = request.to_campaign();
-  const auto groups = campaign.groups();
   std::size_t jobs = 0;
-  for (const auto& group : groups) {
-    jobs += group.jobs.size();
+  std::size_t expected_records = 0;
+  std::size_t shard_count = 0;
+  std::size_t group_count = 0;
+  {
+    // Request expansion and shard sizing — the first `schedule` span; the
+    // sharded path records another around its plan proper.
+    obs::TimelineProfiler::Scope schedule(&profiler_, obs::Phase::kSchedule,
+                                          obs::TimelineProfiler::kInheritParent,
+                                          "expand");
+    const orchestrator::Campaign campaign = request.to_campaign();
+    const auto groups = campaign.groups();
+    group_count = groups.size();
+    for (const auto& group : groups) {
+      jobs += group.jobs.size();
+    }
+    expected_records = expected_record_count(groups);
+    // Never more shards than groups; a surplus would only spawn idle
+    // workers.
+    shard_count = std::min(request.shards, groups.size());
   }
-  const std::size_t expected_records = expected_record_count(groups);
-  // Never more shards than groups; a surplus would only spawn idle workers.
-  const std::size_t shard_count = std::min(request.shards, groups.size());
 
   // The header goes out before admission completes, so a queued client
   // knows its campaign id (and resource claim) while it waits.
@@ -324,10 +467,15 @@ void CampaignService::run_campaign(const CampaignRequest& request,
       << " client " << request.client << '\n';
   out.flush();
 
-  ticket->wait([&](std::size_t position) {
-    out << "queued " << position << '\n';
-    out.flush();
-  });
+  {
+    // Time spent behind conflicting campaigns / quotas. Recorded even when
+    // admission was immediate (a near-zero span documents the fast path).
+    obs::TimelineProfiler::Scope queue_wait(&profiler_, obs::Phase::kQueueWait);
+    ticket->wait([&](std::size_t position) {
+      out << "queued " << position << '\n';
+      out.flush();
+    });
+  }
   {
     std::lock_guard lock(totals_mutex_);
     // Bounded start history (the queue tests assert admission order on it;
@@ -346,12 +494,16 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   // single shard still goes to a remote worker (an operator running a
   // fleet daemon relies on that isolation; docs/operations.md).
   if (shard_count > 1 ||
-      (config_.remote_only && request.shards > 1 && !groups.empty())) {
+      (config_.remote_only && request.shards > 1 && group_count != 0)) {
     run_sharded(request, id, std::max<std::size_t>(1, shard_count),
-                expected_records, out);
+                expected_records, root.id(), out);
   } else {
-    run_in_process(request, id, expected_records, out);
+    run_in_process(request, id, expected_records, root.id(), out);
   }
+  // The root span closes here so the drain below sees it; the timeline,
+  // phase totals and (optionally) the JSON artifact settle with it.
+  root.close();
+  finish_campaign_profile(root.id(), id, request.name, request.client);
   // `ticket` dies here: the resource claim is released and the next
   // conflicting campaign in the queue wakes up.
 }
@@ -359,6 +511,7 @@ void CampaignService::run_campaign(const CampaignRequest& request,
 void CampaignService::run_in_process(const CampaignRequest& request,
                                      std::uint64_t id,
                                      std::size_t expected_records,
+                                     std::uint64_t root_span,
                                      std::ostream& out) {
   const orchestrator::Campaign campaign = request.to_campaign();
   JobQueue queue;
@@ -370,10 +523,23 @@ void CampaignService::run_in_process(const CampaignRequest& request,
   std::size_t streamed = 0;
   orchestrator::CampaignOutputs outputs;
   SchedulerLease lease(*this, request);
+  // Per-job `execute` spans, parented under this campaign's root (worker
+  // threads carry no inherited scope). The sink is cleared before the lease
+  // returns the scheduler to the pool — the next campaign sets its own.
+  lease.scheduler().set_profile_sink(&profiler_, root_span);
+  struct SinkGuard {
+    CampaignScheduler& scheduler;
+    ~SinkGuard() { scheduler.set_profile_sink(nullptr); }
+  } sink_guard{lease.scheduler()};
   try {
     outputs = lease.scheduler().run(
         queue, [&](const ExperimentJob& job, const MeasurementRecord& record,
                    bool /*from_cache*/) {
+          // Record encoding + streamed write — a `serialize` span nested
+          // under the job's `execute` span (the callback runs inside it).
+          obs::TimelineProfiler::Scope serialize(
+              &profiler_, obs::Phase::kSerialize,
+              obs::TimelineProfiler::kInheritParent, "record");
           const orchestrator::CacheKey key =
               orchestrator::key_for_job(job, options_fp);
           std::lock_guard lock(out_mutex);
@@ -406,11 +572,17 @@ void CampaignService::run_in_process(const CampaignRequest& request,
 void CampaignService::run_sharded(const CampaignRequest& request,
                                   std::uint64_t id, std::size_t shard_count,
                                   std::size_t expected_records,
-                                  std::ostream& out) {
+                                  std::uint64_t root_span, std::ostream& out) {
   const orchestrator::Campaign campaign = request.to_campaign();
   const auto groups = campaign.groups();
   const std::uint64_t options_fp =
       orchestrator::options_fingerprint(request.options());
+
+  // Warm-cache serving + shard planning are scheduling work — one `schedule`
+  // span (nested under the campaign root, still open on this thread).
+  obs::TimelineProfiler::Scope schedule(&profiler_, obs::Phase::kSchedule,
+                                        obs::TimelineProfiler::kInheritParent,
+                                        "plan-shards");
 
   // Serve every group the warm cache already holds before planning shards:
   // a sharded rerun streams its repeated points instantly and only the
@@ -465,6 +637,7 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     }
     tasks.push_back(std::move(task));
   }
+  schedule.close();
 
   std::size_t merged = 0;
   std::size_t remote_executed = 0;
@@ -478,9 +651,9 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     // local path (returns false) when every worker was snatched by a
     // concurrent campaign, unless remote_only forbids it.
     std::vector<WorkerPool::ShardTask> leftover;
-    remote = run_shards_remote(request, tasks, expected_records, &streamed,
-                               &merged, &remote_executed, &leftover, &failure,
-                               out);
+    remote = run_shards_remote(request, tasks, expected_records, root_span,
+                               &streamed, &merged, &remote_executed, &leftover,
+                               &failure, out);
     if (remote) {
       if (config_.remote_only) {
         // Leftover shards may not touch this host; report them.
@@ -531,13 +704,23 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     };
 
     WorkerPool pool(config_.worker_binary);
+    const std::uint64_t shards_start_ns = profiler_.now();
     pool.start(request, base + ".request", local_tasks);
     while (pool.busy()) {
       drain();
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
     const std::vector<WorkerPool::ShardOutcome> outcomes = pool.wait();
+    const std::uint64_t shards_end_ns = profiler_.now();
     drain();  // the final records written between the last poll and exit
+    // One `shard` span per local shard, measured manually: the pool's
+    // workers run in their own processes, so start/end are observed from
+    // this tail loop, not from inside the shard.
+    for (const auto& task : local_tasks) {
+      profiler_.record(obs::Phase::kShard, shards_start_ns, shards_end_ns,
+                       root_span,
+                       "shard-" + std::to_string(task.shard_index) + " local");
+    }
 
     // Merge every produced store into the warm cache (merge_store
     // propagates the entries to the service's own persistent store) —
@@ -599,8 +782,8 @@ void CampaignService::run_sharded(const CampaignRequest& request,
 bool CampaignService::run_shards_remote(
     const CampaignRequest& request,
     const std::vector<WorkerPool::ShardTask>& tasks,
-    std::size_t expected_records, std::size_t* streamed, std::size_t* merged,
-    std::size_t* remote_executed,
+    std::size_t expected_records, std::uint64_t root_span,
+    std::size_t* streamed, std::size_t* merged, std::size_t* remote_executed,
     std::vector<WorkerPool::ShardTask>* leftover, std::string* failure,
     std::ostream& out) {
   // Check out one lease per shard when possible; fewer leases simply run
@@ -650,12 +833,24 @@ bool CampaignService::run_shards_remote(
               << lease->name() << '\n';
           out.flush();
         }
+        // One `shard` span per remote round-trip, parented explicitly under
+        // the campaign root (this driver thread has no inherited scope); the
+        // conversation's `transport` span nests under it inside
+        // run_remote_shard.
+        obs::TimelineProfiler::Scope shard_span(
+            &profiler_, obs::Phase::kShard, root_span,
+            "shard-" + std::to_string(tasks[i].shard_index) + " worker " +
+                lease->name());
         RemoteShardOutcome outcome = run_remote_shard(
             lease->in(), lease->out(), request, tasks[i].shard_index,
-            tasks[i].groups, [&](const std::string& line) {
+            tasks[i].groups,
+            [&](const std::string& line) {
               // Stream each entry the moment its frame arrives; the merge
               // below re-validates everything through merge_buffer anyway.
               if (orchestrator::parse_store_entry(line).has_value()) {
+                obs::TimelineProfiler::Scope serialize(
+                    &profiler_, obs::Phase::kSerialize,
+                    obs::TimelineProfiler::kInheritParent, "record");
                 std::lock_guard lock(out_mutex);
                 out << "record " << line << '\n';
                 ++*streamed;
@@ -663,7 +858,12 @@ bool CampaignService::run_shards_remote(
                     << '\n';
                 out.flush();
               }
-            });
+            },
+            &profiler_);
+        shard_span.close();
+        if (outcome.ok) {
+          lease->note_shard_done();
+        }
         {
           std::lock_guard lock(out_mutex);
           if (outcome.ok) {

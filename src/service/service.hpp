@@ -1,7 +1,9 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -9,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
 #include "service/campaign_queue.hpp"
@@ -75,6 +78,13 @@ class CampaignService {
     /// Admission limits: global concurrency, per-client running and queued
     /// quotas (see CampaignQueue::Limits).
     CampaignQueue::Limits limits;
+    /// When set: one JSON timeline artifact (obs::timeline_json) is written
+    /// here per completed campaign, as `<name>-c<id>.profile.json`. The
+    /// directory must exist (ao_campaignd --profile-dir creates it).
+    std::string profile_dir;
+    /// Clock for the built-in timeline profiler; {} = steady_clock. Tests
+    /// inject a counter for deterministic timelines.
+    obs::TimelineProfiler::ClockFn profile_clock;
   };
 
   struct Totals {
@@ -100,10 +110,23 @@ class CampaignService {
   /// concurrent sessions share the queue, the cache and the totals.
   bool serve(std::istream& in, std::ostream& out);
 
+  /// One completed campaign's retained span timeline — what the `profile`
+  /// command replays. The service keeps the most recent kMaxTimelines.
+  struct CampaignTimeline {
+    std::uint64_t id = 0;
+    std::string name;
+    std::string client;
+    std::vector<obs::Span> spans;  ///< id order (parents before children)
+  };
+
   orchestrator::ResultCache& cache() { return cache_; }
   CampaignQueue& queue() { return queue_; }
   /// The pool of connected remote shard workers (`worker` hello sessions).
   WorkerRegistry& workers() { return registry_; }
+  /// The built-in timeline profiler (tests inspect spans through it).
+  obs::TimelineProfiler& profiler() { return profiler_; }
+  /// Retained per-campaign timelines, oldest first.
+  std::vector<CampaignTimeline> timelines() const;
   Totals totals() const;
   /// Campaign names in the order the queue admitted them (most recent
   /// kStartLogCapacity entries) — the observable start order the queue
@@ -118,10 +141,11 @@ class CampaignService {
 
   void run_campaign(const CampaignRequest& request, std::ostream& out);
   void run_in_process(const CampaignRequest& request, std::uint64_t id,
-                      std::size_t expected_records, std::ostream& out);
+                      std::size_t expected_records, std::uint64_t root_span,
+                      std::ostream& out);
   void run_sharded(const CampaignRequest& request, std::uint64_t id,
                    std::size_t shard_count, std::size_t expected_records,
-                   std::ostream& out);
+                   std::uint64_t root_span, std::ostream& out);
   /// Runs the planned shard tasks on checked-out remote workers (one driver
   /// thread per lease draining a shared task queue). Returns false when no
   /// worker could be leased and local fallback is allowed; true when remote
@@ -132,10 +156,24 @@ class CampaignService {
   /// rerun elsewhere without duplicating any streamed record.
   bool run_shards_remote(const CampaignRequest& request,
                          const std::vector<WorkerPool::ShardTask>& tasks,
-                         std::size_t expected_records, std::size_t* streamed,
-                         std::size_t* merged, std::size_t* remote_executed,
+                         std::size_t expected_records, std::uint64_t root_span,
+                         std::size_t* streamed, std::size_t* merged,
+                         std::size_t* remote_executed,
                          std::vector<WorkerPool::ShardTask>* leftover,
                          std::string* failure, std::ostream& out);
+
+  /// Settles one finished campaign's telemetry: drains the profiler, pulls
+  /// the root's subtree out (spans of still-running concurrent campaigns go
+  /// back to the orphan pool), folds its per-phase stats into the `stats`
+  /// totals, retains the timeline for the `profile` command, and — with
+  /// Config::profile_dir set — writes the JSON artifact. The campaign's root
+  /// span must already be closed.
+  void finish_campaign_profile(std::uint64_t root_span, std::uint64_t id,
+                               const std::string& name,
+                               const std::string& client);
+  /// Handles the `profile [name]` command: replays the newest retained
+  /// timeline (newest of that campaign name, with one given).
+  void reply_profile(const std::string& name, std::ostream& out) const;
 
   Config config_;
   orchestrator::ResultCache cache_;
@@ -159,6 +197,20 @@ class CampaignService {
   mutable std::mutex totals_mutex_;
   Totals totals_;
   std::vector<std::string> start_log_;
+
+  /// Timeline telemetry. The profiler drains after every campaign, so a
+  /// long-running daemon's span memory is bounded by kMaxTimelines retained
+  /// timelines plus kMaxOrphanSpans spans of still-running campaigns.
+  static constexpr std::size_t kMaxTimelines = 8;
+  static constexpr std::size_t kMaxOrphanSpans = 4096;
+  obs::TimelineProfiler profiler_;
+  mutable std::mutex profile_mutex_;
+  std::deque<CampaignTimeline> timelines_;
+  std::vector<obs::Span> orphan_spans_;  ///< drained, not yet rooted
+  /// Lifetime per-phase aggregates (count, total_ns) — the `stats-phase`
+  /// feed; indexed by static_cast<size_t>(Phase).
+  std::array<std::pair<std::size_t, std::uint64_t>, obs::kPhaseCount>
+      phase_totals_{};
 };
 
 }  // namespace ao::service

@@ -17,7 +17,7 @@
 //                [--capacity <n>] [--worker-binary <path>]
 //                [--shard-dir <dir>] [--stdio] [--remote-only]
 //                [--max-running <n>] [--max-running-per-client <n>]
-//                [--max-queued-per-client <n>]
+//                [--max-queued-per-client <n>] [--profile-dir <dir>]
 //
 // --tcp additionally listens on 0.0.0.0:<port> — how workers (and clients)
 // on other machines reach the daemon. --remote-only refuses to run shards
@@ -27,12 +27,16 @@
 // (shards run in-process when it does not exist); --stdio serves one
 // session over stdin/stdout instead of a socket (debugging, pipes). The
 // quota flags take 0 for "unlimited"; defaults are in CampaignQueue::Limits.
+// --profile-dir enables the timeline profiler's perf artifacts: one
+// `<name>-c<id>.profile.json` per completed campaign (docs/observability.md);
+// the directory is created if absent.
 
 #include <unistd.h>
 
 #include <atomic>
 #include <csignal>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -170,6 +174,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--max-queued-per-client") == 0) {
       config.limits.max_queued_per_client =
           needs_count("--max-queued-per-client");
+    } else if (std::strcmp(argv[i], "--profile-dir") == 0) {
+      config.profile_dir = needs_value("--profile-dir");
     } else if (std::strcmp(argv[i], "--stdio") == 0) {
       stdio = true;
     } else {
@@ -183,8 +189,18 @@ int main(int argc, char** argv) {
                  "[--worker-binary <path>] [--shard-dir <dir>] [--stdio] "
                  "[--remote-only] [--max-running <n>] "
                  "[--max-running-per-client <n>] "
-                 "[--max-queued-per-client <n>]\n";
+                 "[--max-queued-per-client <n>] [--profile-dir <dir>]\n";
     return 2;
+  }
+
+  if (!config.profile_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.profile_dir, ec);
+    if (ec) {
+      std::cerr << "ao_campaignd: cannot create --profile-dir "
+                << config.profile_dir << ": " << ec.message() << "\n";
+      return 2;
+    }
   }
 
   if (!worker_binary_set) {

@@ -187,11 +187,25 @@ int run_worker_session(std::istream& in, std::ostream& out,
 RemoteShardOutcome run_remote_shard(
     std::istream& in, std::ostream& out, const CampaignRequest& request,
     std::size_t shard_index, const std::vector<std::size_t>& groups,
-    const std::function<void(const std::string& entry_line)>& on_record) {
+    const std::function<void(const std::string& entry_line)>& on_record,
+    obs::TimelineProfiler* profiler) {
   RemoteShardOutcome outcome;
   outcome.shard_index = shard_index;
 
-  write_frame(out, {kFrameTask, encode_task(request, shard_index, groups)});
+  // The whole conversation is one transport span; frame encode/decode work
+  // nests inside it (the blocking read_frame waits are transport time — the
+  // worker is computing — not frame time).
+  obs::TimelineProfiler::Scope transport(
+      profiler, obs::Phase::kTransport,
+      obs::TimelineProfiler::kInheritParent,
+      "shard-" + std::to_string(shard_index));
+
+  {
+    obs::TimelineProfiler::Scope frame_span(profiler, obs::Phase::kFrame,
+                                            obs::TimelineProfiler::kInheritParent,
+                                            "task");
+    write_frame(out, {kFrameTask, encode_task(request, shard_index, groups)});
+  }
   if (!out) {
     outcome.connection_lost = true;
     outcome.error = "worker connection failed writing the task frame";
@@ -207,6 +221,9 @@ RemoteShardOutcome run_remote_shard(
       return outcome;
     }
     if (frame->type == kFrameRecords) {
+      obs::TimelineProfiler::Scope frame_span(
+          profiler, obs::Phase::kFrame,
+          obs::TimelineProfiler::kInheritParent, "records");
       std::istringstream lines(frame->payload);
       std::string line;
       while (std::getline(lines, line)) {

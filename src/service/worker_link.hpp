@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "service/protocol.hpp"
 
 namespace ao::service {
@@ -71,9 +72,15 @@ struct RemoteShardOutcome {
 /// forwards each incoming entry line to `on_record` (live streaming), and
 /// returns when the worker's `store` / `shard-error` frame arrives or the
 /// connection dies. Blocking; the caller owns the streams exclusively.
+///
+/// With `profiler` set the whole conversation records a `transport` span
+/// (inheriting the calling thread's open scope — the driver's shard span),
+/// with nested `frame` spans for the task-frame write and each records-frame
+/// decode.
 RemoteShardOutcome run_remote_shard(
     std::istream& in, std::ostream& out, const CampaignRequest& request,
     std::size_t shard_index, const std::vector<std::size_t>& groups,
-    const std::function<void(const std::string& entry_line)>& on_record);
+    const std::function<void(const std::string& entry_line)>& on_record,
+    obs::TimelineProfiler* profiler = nullptr);
 
 }  // namespace ao::service

@@ -17,9 +17,27 @@ struct WorkerRegistry::Lease::Slot {
   std::istream* in = nullptr;
   std::ostream* out = nullptr;
   State state = State::kIdle;
+  std::size_t shards_completed = 0;
+  std::uint64_t busy_ns = 0;  ///< closed leases; an open one adds live time
+  std::chrono::steady_clock::time_point leased_at;
 };
 
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
 WorkerRegistry::Lease::~Lease() { registry_->release(slot_, failed_); }
+
+void WorkerRegistry::Lease::note_shard_done() {
+  registry_->note_shard_done(slot_);
+}
 
 std::istream& WorkerRegistry::Lease::in() { return *slot_->in; }
 
@@ -65,6 +83,7 @@ std::unique_ptr<WorkerRegistry::Lease> WorkerRegistry::acquire(int wait_ms) {
     for (const auto& slot : slots_) {
       if (slot->state == Slot::State::kIdle) {
         slot->state = Slot::State::kLeased;
+        slot->leased_at = std::chrono::steady_clock::now();
         return std::unique_ptr<Lease>(new Lease(*this, slot));
       }
     }
@@ -79,9 +98,18 @@ void WorkerRegistry::release(const std::shared_ptr<Lease::Slot>& slot,
                              bool failed) {
   using Slot = Lease::Slot;
   std::lock_guard lock(mutex_);
+  if (slot->state == Slot::State::kLeased) {
+    slot->busy_ns += elapsed_ns(slot->leased_at);
+  }
   slot->state = (failed || shutting_down_) ? Slot::State::kDead
                                            : Slot::State::kIdle;
   changed_.notify_all();
+}
+
+void WorkerRegistry::note_shard_done(
+    const std::shared_ptr<Lease::Slot>& slot) {
+  std::lock_guard lock(mutex_);
+  ++slot->shards_completed;
 }
 
 std::size_t WorkerRegistry::idle_count() const {
@@ -109,7 +137,15 @@ std::vector<WorkerRegistry::WorkerInfo> WorkerRegistry::snapshot() const {
   out.reserve(slots_.size());
   for (const auto& slot : slots_) {
     if (slot->state != Slot::State::kDead) {
-      out.push_back({slot->name, slot->state == Slot::State::kIdle});
+      WorkerInfo info;
+      info.name = slot->name;
+      info.idle = slot->state == Slot::State::kIdle;
+      info.shards = slot->shards_completed;
+      info.busy_ns = slot->busy_ns;
+      if (slot->state == Slot::State::kLeased) {
+        info.busy_ns += elapsed_ns(slot->leased_at);  // the lease is live
+      }
+      out.push_back(std::move(info));
     }
   }
   return out;

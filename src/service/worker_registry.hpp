@@ -45,6 +45,11 @@ class WorkerRegistry {
     /// stream position is unknowable, so the worker must not be re-pooled.
     void mark_failed() { failed_ = true; }
 
+    /// Credits one completed shard to this worker's lifetime counters (the
+    /// `stats-worker ... shards <n>` feed). Called by the shard driver after
+    /// a successful conversation.
+    void note_shard_done();
+
    private:
     friend class WorkerRegistry;
     struct Slot;
@@ -59,6 +64,8 @@ class WorkerRegistry {
   struct WorkerInfo {
     std::string name;
     bool idle = false;
+    std::size_t shards = 0;     ///< shards completed over the slot's lifetime
+    std::uint64_t busy_ns = 0;  ///< cumulative leased time (ongoing included)
   };
 
   WorkerRegistry() = default;
@@ -91,6 +98,7 @@ class WorkerRegistry {
 
  private:
   void release(const std::shared_ptr<Lease::Slot>& slot, bool failed);
+  void note_shard_done(const std::shared_ptr<Lease::Slot>& slot);
 
   mutable std::mutex mutex_;
   std::condition_variable changed_;

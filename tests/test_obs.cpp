@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace ao::obs {
+namespace {
+
+/// A deterministic clock: every reading advances by `step`. With step 1 a
+/// span opened at reading t and closed at reading t+k has duration exactly k.
+TimelineProfiler::ClockFn counter_clock(std::uint64_t step = 1) {
+  auto ticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [ticks, step] { return ticks->fetch_add(step); };
+}
+
+// ------------------------------------------------------------ phase names --
+
+TEST(ObsPhase, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    const auto back = phase_from_name(phase_name(phase));
+    ASSERT_TRUE(back.has_value()) << phase_name(phase);
+    EXPECT_EQ(*back, phase);
+  }
+  EXPECT_FALSE(phase_from_name("no-such-phase").has_value());
+  EXPECT_FALSE(phase_from_name("").has_value());
+}
+
+// ---------------------------------------------------------------- nesting --
+
+TEST(ObsProfiler, SameThreadScopesNestAutomatically) {
+  TimelineProfiler profiler(counter_clock());
+  {
+    TimelineProfiler::Scope outer(&profiler, Phase::kCampaign, 0, "outer");
+    TimelineProfiler::Scope middle(&profiler, Phase::kShard);
+    TimelineProfiler::Scope inner(&profiler, Phase::kExecute);
+    EXPECT_GT(middle.id(), outer.id());
+    EXPECT_GT(inner.id(), middle.id());
+  }
+  const auto spans = profiler.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // snapshot() is id-ordered: outer, middle, inner.
+  EXPECT_EQ(spans[0].phase, Phase::kCampaign);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[0].label, "outer");
+  EXPECT_EQ(spans[1].phase, Phase::kShard);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].phase, Phase::kExecute);
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+}
+
+TEST(ObsProfiler, ClosedScopeStopsParentingSiblings) {
+  TimelineProfiler profiler(counter_clock());
+  TimelineProfiler::Scope root(&profiler, Phase::kCampaign, 0);
+  {
+    TimelineProfiler::Scope first(&profiler, Phase::kSchedule);
+  }
+  TimelineProfiler::Scope second(&profiler, Phase::kExecute);
+  second.close();
+  root.close();
+  const auto spans = profiler.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Id order: root, first, second. Both children parent to the root, not
+  // to each other.
+  EXPECT_EQ(spans[0].id, root.id());
+  EXPECT_EQ(spans[1].parent, root.id());
+  EXPECT_EQ(spans[2].parent, root.id());
+}
+
+TEST(ObsProfiler, ExplicitParentCrossesThreads) {
+  TimelineProfiler profiler(counter_clock());
+  TimelineProfiler::Scope root(&profiler, Phase::kCampaign, 0, "root");
+  const std::uint64_t root_id = root.id();
+  std::thread worker([&profiler, root_id] {
+    // The cross-thread handoff: the driver parents explicitly to the root,
+    // and nested scopes on this thread then inherit from it.
+    TimelineProfiler::Scope shard(&profiler, Phase::kShard, root_id, "s0");
+    TimelineProfiler::Scope transport(&profiler, Phase::kTransport);
+    EXPECT_GT(transport.id(), shard.id());
+  });
+  worker.join();
+  root.close();
+  const auto spans = profiler.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  std::uint64_t shard_id = 0;
+  for (const Span& span : spans) {
+    if (span.phase == Phase::kShard) {
+      shard_id = span.id;
+      EXPECT_EQ(span.parent, root_id);
+    }
+  }
+  for (const Span& span : spans) {
+    if (span.phase == Phase::kTransport) {
+      EXPECT_EQ(span.parent, shard_id);
+    }
+  }
+}
+
+TEST(ObsProfiler, ScopesOfDifferentProfilersDoNotCrossParent) {
+  TimelineProfiler a(counter_clock());
+  TimelineProfiler b(counter_clock());
+  TimelineProfiler::Scope outer_a(&a, Phase::kCampaign, 0);
+  // b has no open scope of its own: inheriting must yield top-level, not
+  // a's campaign span.
+  TimelineProfiler::Scope inner_b(&b, Phase::kExecute);
+  inner_b.close();
+  const auto spans = b.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent, 0u);
+}
+
+TEST(ObsProfiler, NullProfilerScopesAreNoOps) {
+  TimelineProfiler::Scope scope(nullptr, Phase::kExecute);
+  EXPECT_EQ(scope.id(), 0u);
+  scope.close();  // must not crash
+}
+
+// ------------------------------------------------------------ determinism --
+
+TEST(ObsProfiler, CounterClockGivesDeterministicDurations) {
+  TimelineProfiler profiler(counter_clock());
+  {
+    // Readings: open=0, close=1 -> duration 1, start 0.
+    TimelineProfiler::Scope scope(&profiler, Phase::kExecute, 0, "job");
+  }
+  {
+    // Readings: open=2, close=3.
+    TimelineProfiler::Scope scope(&profiler, Phase::kExecute, 0, "job");
+  }
+  const auto spans = profiler.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].start_ns, 0u);
+  EXPECT_EQ(spans[0].duration_ns, 1u);
+  EXPECT_EQ(spans[1].start_ns, 2u);
+  EXPECT_EQ(spans[1].duration_ns, 1u);
+}
+
+TEST(ObsProfiler, ManualRecordUsesGivenInterval) {
+  TimelineProfiler profiler(counter_clock());
+  const std::uint64_t id =
+      profiler.record(Phase::kShard, 100, 250, 0, "local shard");
+  EXPECT_NE(id, 0u);
+  const auto spans = profiler.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_ns, 100u);
+  EXPECT_EQ(spans[0].duration_ns, 150u);
+  EXPECT_EQ(spans[0].label, "local shard");
+}
+
+// --------------------------------------------------------- drain / bounds --
+
+TEST(ObsProfiler, DrainHandsSpansOverExactlyOnce) {
+  TimelineProfiler profiler(counter_clock());
+  { TimelineProfiler::Scope scope(&profiler, Phase::kExecute, 0); }
+  EXPECT_EQ(profiler.span_count(), 1u);
+  EXPECT_EQ(profiler.drain().size(), 1u);
+  EXPECT_EQ(profiler.span_count(), 0u);
+  EXPECT_TRUE(profiler.drain().empty());
+}
+
+TEST(ObsProfiler, OverflowDropsOldestAndCounts) {
+  TimelineProfiler profiler(counter_clock());
+  const std::size_t extra = 7;
+  for (std::size_t i = 0;
+       i < TimelineProfiler::kMaxSpansPerThread + extra; ++i) {
+    TimelineProfiler::Scope scope(&profiler, Phase::kFrame, 0);
+  }
+  EXPECT_EQ(profiler.span_count(), TimelineProfiler::kMaxSpansPerThread);
+  EXPECT_EQ(profiler.dropped(), extra);
+  // The oldest spans went: the smallest retained id is extra + 1.
+  const auto spans = profiler.snapshot();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().id, extra + 1);
+}
+
+TEST(ObsProfiler, ThreadsRecordToTheirOwnBuffers) {
+  TimelineProfiler profiler(counter_clock());
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        TimelineProfiler::Scope scope(&profiler, Phase::kExecute, 0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const auto spans = profiler.snapshot();
+  ASSERT_EQ(spans.size(), kThreads * kPerThread);
+  // Ids are unique and the snapshot is id-sorted.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i - 1].id, spans[i].id);
+  }
+  EXPECT_EQ(profiler.dropped(), 0u);
+}
+
+// ------------------------------------------------------------ aggregation --
+
+TEST(ObsStats, NearestRankPercentiles) {
+  std::vector<Span> spans;
+  for (std::uint64_t d = 1; d <= 100; ++d) {
+    spans.push_back({d, 0, Phase::kExecute, 0, d, ""});
+  }
+  const auto stats = phase_stats(spans);
+  ASSERT_EQ(stats.count(Phase::kExecute), 1u);
+  const PhaseStats& execute = stats.at(Phase::kExecute);
+  EXPECT_EQ(execute.count, 100u);
+  EXPECT_EQ(execute.total_ns, 5050u);
+  EXPECT_EQ(execute.p50_ns, 50u);
+  EXPECT_EQ(execute.p95_ns, 95u);
+  EXPECT_EQ(execute.max_ns, 100u);
+}
+
+TEST(ObsStats, SingleSpanPercentilesAreThatSpan) {
+  const std::vector<Span> spans = {{1, 0, Phase::kMerge, 0, 42, ""}};
+  const auto stats = phase_stats(spans);
+  const PhaseStats& merge = stats.at(Phase::kMerge);
+  EXPECT_EQ(merge.p50_ns, 42u);
+  EXPECT_EQ(merge.p95_ns, 42u);
+  EXPECT_EQ(merge.max_ns, 42u);
+}
+
+TEST(ObsStats, SubtreeFollowsParentLinks) {
+  // Two campaign trees interleaved by id; subtree must pick exactly one.
+  const std::vector<Span> spans = {
+      {1, 0, Phase::kCampaign, 0, 10, "a"},
+      {2, 0, Phase::kCampaign, 0, 10, "b"},
+      {3, 1, Phase::kShard, 0, 5, "a/s0"},
+      {4, 2, Phase::kShard, 0, 5, "b/s0"},
+      {5, 3, Phase::kTransport, 0, 4, "a/s0/t"},
+      {6, 4, Phase::kTransport, 0, 4, "b/s0/t"},
+  };
+  const auto tree_a = span_subtree(spans, 1);
+  ASSERT_EQ(tree_a.size(), 3u);
+  EXPECT_EQ(tree_a[0].id, 1u);
+  EXPECT_EQ(tree_a[1].id, 3u);
+  EXPECT_EQ(tree_a[2].id, 5u);
+  const auto tree_b = span_subtree(spans, 2);
+  ASSERT_EQ(tree_b.size(), 3u);
+  EXPECT_EQ(tree_b[0].label, "b");
+  EXPECT_TRUE(span_subtree(spans, 99).empty());
+}
+
+TEST(ObsJson, TimelineJsonCarriesSchemaAndSpans) {
+  const std::vector<Span> spans = {
+      {1, 0, Phase::kCampaign, 0, 10, "with \"quotes\""},
+  };
+  const std::string json = timeline_json(7, "sweep", "alice", spans);
+  EXPECT_NE(json.find("\"schema\": \"ao-profile/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"client\": \"alice\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"campaign\""), std::string::npos);
+  EXPECT_NE(json.find("with \\\"quotes\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ao::obs

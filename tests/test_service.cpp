@@ -3,12 +3,15 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -994,6 +997,212 @@ TEST(CampaignService, ShardedRunPersistsMergedEntriesToTheServiceStore) {
   orchestrator::ResultCache cold;
   EXPECT_EQ(cold.load(store), 20u);
   EXPECT_EQ(cold.stats().load_rejected, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------- observability --
+
+/// A deterministic profiler clock: readings 0, 1, 2, ... shared across
+/// every thread of the service.
+obs::TimelineProfiler::ClockFn counter_clock() {
+  auto ticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return [ticks] { return ticks->fetch_add(1); };
+}
+
+TEST(CampaignService, ProfileCommandReplaysTheCampaignTimeline) {
+  const auto dir = temp_dir("profile");
+  CampaignService::Config config;
+  config.shard_dir = dir.string();
+  config.profile_dir = dir.string();
+  config.profile_clock = counter_clock();
+  CampaignService service(std::move(config));
+
+  const auto lines =
+      serve_lines(service, nine_kind_block(2, 1) + "profile\n");
+  ASSERT_EQ(count_prefixed(lines, "done campaign "), 1u);
+
+  // The terminal line identifies the replayed campaign and its span count.
+  const std::string& terminal = lines.back();
+  ASSERT_TRUE(starts_with(terminal, "profile campaign 1 name ninekinds "))
+      << terminal;
+  std::size_t span_lines = 0;
+  std::size_t phase_lines = 0;
+  std::map<std::string, std::size_t> phases_seen;
+  for (const auto& line : lines) {
+    if (starts_with(line, "profile-span ")) {
+      ++span_lines;
+      // "profile-span <id> <parent> <phase> <start-ns> <dur-ns> <label...>"
+      std::istringstream in(line.substr(13));
+      std::uint64_t id = 0;
+      std::uint64_t parent = 0;
+      std::string phase;
+      ASSERT_TRUE(in >> id >> parent >> phase) << line;
+      EXPECT_TRUE(obs::phase_from_name(phase).has_value()) << line;
+      EXPECT_GT(id, parent) << "id order must be topological: " << line;
+      ++phases_seen[phase];
+    } else if (starts_with(line, "profile-phase ")) {
+      ++phase_lines;
+    }
+  }
+  EXPECT_NE(terminal.find("spans " + std::to_string(span_lines)),
+            std::string::npos)
+      << terminal;
+  // The in-process lifecycle: one campaign root, admission + queue-wait +
+  // schedule around it, one execute per executed job, serialize per record.
+  EXPECT_EQ(phases_seen["campaign"], 1u);
+  EXPECT_EQ(phases_seen["admission"], 1u);
+  EXPECT_EQ(phases_seen["queue-wait"], 1u);
+  EXPECT_GE(phases_seen["schedule"], 1u);
+  EXPECT_GE(phases_seen["execute"], 20u);
+  EXPECT_GE(phases_seen["serialize"], 20u);
+  EXPECT_GE(phase_lines, 5u);
+
+  // The injected counter clock makes the timeline deterministic: replaying
+  // it yields byte-identical span lines.
+  const auto replay = serve_lines(service, "profile\n");
+  std::vector<std::string> first_spans;
+  for (const auto& line : lines) {
+    if (starts_with(line, "profile-span ")) {
+      first_spans.push_back(line);
+    }
+  }
+  std::vector<std::string> replay_spans;
+  for (const auto& line : replay) {
+    if (starts_with(line, "profile-span ")) {
+      replay_spans.push_back(line);
+    }
+  }
+  EXPECT_EQ(first_spans, replay_spans);
+
+  // An unknown campaign name is the explicit none-reply, not an error.
+  const auto none = serve_lines(service, "profile nosuch\n");
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_EQ(none[0], "profile campaign 0 name - client - spans 0");
+
+  // --profile-dir wrote the per-campaign artifact.
+  std::ifstream artifact(dir / "ninekinds-c1.profile.json");
+  ASSERT_TRUE(artifact.good());
+  std::stringstream content;
+  content << artifact.rdbuf();
+  EXPECT_NE(content.str().find("\"schema\": \"ao-profile/1\""),
+            std::string::npos);
+  EXPECT_NE(content.str().find("\"name\": \"ninekinds\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignService, StatsCarryLifetimePhaseTotals) {
+  CampaignService service({});
+  serve_lines(service, nine_kind_block(2, 1));
+  const auto stats = serve_lines(service, "stats\n");
+  std::map<std::string, std::pair<std::size_t, std::uint64_t>> totals;
+  for (const auto& line : stats) {
+    if (!starts_with(line, "stats-phase ")) {
+      continue;
+    }
+    // "stats-phase <phase> count <n> total-ns <t>"
+    std::istringstream in(line.substr(12));
+    std::string phase;
+    std::string tag;
+    std::size_t count = 0;
+    std::uint64_t total_ns = 0;
+    ASSERT_TRUE(in >> phase >> tag >> count >> tag >> total_ns) << line;
+    totals[phase] = {count, total_ns};
+  }
+  ASSERT_EQ(totals.count("campaign"), 1u);
+  EXPECT_EQ(totals["campaign"].first, 1u);
+  ASSERT_EQ(totals.count("execute"), 1u);
+  EXPECT_GE(totals["execute"].first, 20u);
+  EXPECT_GT(totals["execute"].second, 0u);
+  // Phases that never ran (no sharding happened) are not reported.
+  EXPECT_EQ(totals.count("transport"), 0u);
+  EXPECT_EQ(totals.count("merge"), 0u);
+}
+
+TEST(CampaignService, RemoteShardSpansNestTransportUnderShard) {
+  const auto dir = temp_dir("profile_remote");
+  CampaignService::Config config;
+  config.shard_dir = dir.string();
+  config.remote_only = true;
+  config.remote_wait_ms = 20000;
+  config.profile_clock = counter_clock();
+  CampaignService service(std::move(config));
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&service, fd = fds[0]] {
+    SocketStream stream(fd);
+    service.serve(stream, stream);
+  });
+  std::thread worker([fd = fds[1]] {
+    SocketStream stream(fd);
+    EXPECT_EQ(run_worker_session(stream, stream, "wp"), 0);
+  });
+
+  const auto lines = serve_lines(service, nine_kind_block(2, 2));
+  ASSERT_TRUE(starts_with(lines.back(), "done campaign ")) << lines.back();
+
+  // The retained timeline: every transport span sits under a shard span,
+  // every shard span under the campaign root, and the frame spans under
+  // their transport — the acceptance shape of the remote hot path.
+  const auto timelines = service.timelines();
+  ASSERT_EQ(timelines.size(), 1u);
+  std::map<std::uint64_t, const obs::Span*> by_id;
+  for (const obs::Span& span : timelines[0].spans) {
+    by_id[span.id] = &span;
+  }
+  std::uint64_t root = 0;
+  for (const obs::Span& span : timelines[0].spans) {
+    if (span.phase == obs::Phase::kCampaign) {
+      root = span.id;
+    }
+  }
+  ASSERT_NE(root, 0u);
+  std::size_t transports = 0;
+  std::size_t frames = 0;
+  std::size_t merges = 0;
+  for (const obs::Span& span : timelines[0].spans) {
+    if (span.phase == obs::Phase::kTransport) {
+      ++transports;
+      ASSERT_NE(by_id.count(span.parent), 0u);
+      EXPECT_EQ(by_id[span.parent]->phase, obs::Phase::kShard);
+      EXPECT_EQ(by_id[by_id[span.parent]->parent]->phase,
+                obs::Phase::kCampaign);
+    } else if (span.phase == obs::Phase::kFrame) {
+      ++frames;
+      ASSERT_NE(by_id.count(span.parent), 0u);
+      EXPECT_EQ(by_id[span.parent]->phase, obs::Phase::kTransport);
+    } else if (span.phase == obs::Phase::kMerge) {
+      ++merges;
+    }
+  }
+  EXPECT_EQ(transports, 2u);  // one conversation per shard
+  EXPECT_GE(frames, 4u);      // task + records per shard at least
+  EXPECT_GE(merges, 2u);      // each shard store folds into the warm cache
+
+  // The worker credit feed: the single worker ran both shards and its
+  // cumulative busy time is visible.
+  const auto stats = serve_lines(service, "stats\n");
+  bool worker_line_seen = false;
+  for (const auto& line : stats) {
+    if (!starts_with(line, "stats-worker wp ")) {
+      continue;
+    }
+    worker_line_seen = true;
+    // "stats-worker <name> idle|busy shards <n> busy-ns <t>"
+    std::istringstream in(line.substr(16));
+    std::string state;
+    std::string tag;
+    std::size_t shards = 0;
+    std::uint64_t busy_ns = 0;
+    ASSERT_TRUE(in >> state >> tag >> shards >> tag >> busy_ns) << line;
+    EXPECT_EQ(shards, 2u);
+    EXPECT_GT(busy_ns, 0u);
+  }
+  EXPECT_TRUE(worker_line_seen);
+
+  serve_lines(service, "shutdown\n");
+  server.join();
+  worker.join();
   std::filesystem::remove_all(dir);
 }
 

@@ -9,6 +9,7 @@
 //                                                       without --request)
 //                  [--client <id>] [--priority <n>]     queueing identity
 //   ao_campaignctl --socket <path> ping|stats|queue|compact|shutdown
+//   ao_campaignctl --socket <path> profile [--name <campaign>] [--json]
 //   ao_campaignctl --verify-store <file>                offline store check
 //
 // --socket also accepts host:port for a daemon listening with --tcp on
@@ -18,6 +19,12 @@
 // behind conflicting ones, `queued <pos>` / `started` events stream
 // through verbatim; `queue` lists the waiting campaigns (position, name,
 // client, priority, resource mask) without submitting anything.
+//
+// `profile` replays the daemon's newest retained campaign timeline
+// (`--name` picks a campaign by name): `profile-span` / `profile-phase`
+// lines verbatim, or — with --json — one "ao-profile/1"-shaped JSON object
+// built client-side from those lines, so scripts consume the same schema
+// the daemon's --profile-dir artifacts use (docs/observability.md).
 //
 // Submit exits 0 when a `done` reply arrived, 1 on any `error` reply or a
 // dropped connection; structured errors (`error <code> ... | line: ...`)
@@ -57,14 +64,42 @@ int verify_store(const std::string& path) {
   return 0;
 }
 
+/// One parsed `profile-span` reply line, accumulated for --json output.
+struct ProfileSpan {
+  std::string id;
+  std::string parent;
+  std::string phase;
+  std::string start_ns;
+  std::string duration_ns;
+  std::string label;
+};
+
+void json_escape(std::ostream& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';  // replies are line-oriented; controls cannot appear
+    } else {
+      out << c;
+    }
+  }
+}
+
 /// Sends `lines`, then prints every reply. Returns 0 once the terminal
-/// reply for `mode` arrives, 1 on `error` or disconnect.
+/// reply for `mode` arrives, 1 on `error` or disconnect. `json` (profile
+/// mode only) buffers the profile-* lines and prints one JSON object
+/// shaped like the daemon's --profile-dir artifacts instead of raw lines.
 int converse(ao::service::SocketStream& stream,
-             const std::vector<std::string>& lines, const std::string& mode) {
+             const std::vector<std::string>& lines, const std::string& mode,
+             bool json = false) {
   for (const std::string& line : lines) {
     stream << line << '\n';
   }
   stream.flush();
+
+  std::vector<ProfileSpan> profile_spans;
+  std::vector<std::string> profile_phases;  // raw profile-phase lines
 
   // Per-shard progress surfaced from the service's `shard <i> ...` events:
   // "<records> done" once the shard's done event arrived, "started" before.
@@ -85,11 +120,32 @@ int converse(ao::service::SocketStream& stream,
 
   std::string reply;
   while (std::getline(stream, reply)) {
-    std::cout << reply << '\n';
     std::istringstream words(reply);
     std::string first;
     std::string second;
     words >> first >> second;
+    const bool profile_line =
+        first == "profile-span" || first == "profile-phase" ||
+        first == "profile";
+    if (!(json && profile_line)) {
+      std::cout << reply << '\n';
+    }
+    if (json && first == "profile-span") {
+      // "profile-span <id> <parent> <phase> <start-ns> <dur-ns> <label...>"
+      ProfileSpan span;
+      span.id = second;
+      words >> span.parent >> span.phase >> span.start_ns >> span.duration_ns;
+      std::getline(words, span.label);
+      if (!span.label.empty() && span.label.front() == ' ') {
+        span.label.erase(0, 1);
+      }
+      if (span.label == "-") {
+        span.label.clear();
+      }
+      profile_spans.push_back(std::move(span));
+    } else if (json && first == "profile-phase") {
+      profile_phases.push_back(reply);
+    }
     if (first == "shard") {
       // "shard <i> start ..." | "shard <i> done records <n> ..." |
       // "shard <i> error ..."
@@ -135,6 +191,60 @@ int converse(ao::service::SocketStream& stream,
     if (mode == "stats" && first == "stats") {
       return 0;
     }
+    if (mode == "profile" && first == "profile") {
+      if (!json) {
+        return 0;
+      }
+      // The terminal line carries the campaign identity:
+      // "profile campaign <id> name <name> client <client> spans <n>".
+      std::string word;
+      std::string id = "0";
+      std::string name;
+      std::string client;
+      words.clear();
+      words.str(reply);
+      words >> word >> word >> id >> word >> name >> word >> client;
+      std::cout << "{\n  \"schema\": \"ao-profile/1\",\n  \"campaign\": "
+                << "{\"id\": " << (id.empty() ? "0" : id) << ", \"name\": \"";
+      json_escape(std::cout, name == "-" ? "" : name);
+      std::cout << "\", \"client\": \"";
+      json_escape(std::cout, client == "-" ? "" : client);
+      std::cout << "\"},\n  \"phases\": {";
+      bool first_phase = true;
+      for (const std::string& line : profile_phases) {
+        // "profile-phase <phase> count <n> total-ns <t> p50-ns <p>
+        //  p95-ns <q> max-ns <m>"
+        std::istringstream phase_words(line);
+        std::string tag;
+        std::string phase;
+        std::string count;
+        std::string total;
+        std::string p50;
+        std::string p95;
+        std::string max;
+        phase_words >> tag >> phase >> tag >> count >> tag >> total >> tag >>
+            p50 >> tag >> p95 >> tag >> max;
+        std::cout << (first_phase ? "\n" : ",\n") << "    \"" << phase
+                  << "\": {\"count\": " << count << ", \"total_ns\": " << total
+                  << ", \"p50_ns\": " << p50 << ", \"p95_ns\": " << p95
+                  << ", \"max_ns\": " << max << "}";
+        first_phase = false;
+      }
+      std::cout << "\n  },\n  \"spans\": [";
+      bool first_span = true;
+      for (const ProfileSpan& span : profile_spans) {
+        std::cout << (first_span ? "\n" : ",\n") << "    {\"id\": " << span.id
+                  << ", \"parent\": " << span.parent << ", \"phase\": \""
+                  << span.phase << "\", \"start_ns\": " << span.start_ns
+                  << ", \"duration_ns\": " << span.duration_ns
+                  << ", \"label\": \"";
+        json_escape(std::cout, span.label);
+        std::cout << "\"}";
+        first_span = false;
+      }
+      std::cout << "\n  ]\n}\n";
+      return 0;
+    }
     if (mode == "queue" && first == "queue") {
       return 0;
     }
@@ -155,6 +265,8 @@ int main(int argc, char** argv) {
   std::string verify_path;
   std::string client_id;
   std::string priority;
+  std::string profile_name;
+  bool json = false;
   std::string command = "submit";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
@@ -165,6 +277,10 @@ int main(int argc, char** argv) {
       client_id = argv[++i];
     } else if (std::strcmp(argv[i], "--priority") == 0 && i + 1 < argc) {
       priority = argv[++i];
+    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      profile_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--verify-store") == 0 && i + 1 < argc) {
       verify_path = argv[++i];
     } else if (argv[i][0] != '-') {
@@ -183,6 +299,8 @@ int main(int argc, char** argv) {
                  "[--request <file>] [--client <id>] [--priority <n>]\n"
                  "       ao_campaignctl --socket <path | host:port> "
                  "ping|stats|queue|compact|shutdown\n"
+                 "       ao_campaignctl --socket <path | host:port> "
+                 "profile [--name <campaign>] [--json]\n"
                  "       ao_campaignctl --verify-store <file>\n";
     return 2;
   }
@@ -224,6 +342,9 @@ int main(int argc, char** argv) {
   } else if (command == "ping" || command == "stats" || command == "queue" ||
              command == "compact" || command == "shutdown") {
     lines.push_back(command);
+  } else if (command == "profile") {
+    lines.push_back(profile_name.empty() ? "profile"
+                                         : "profile " + profile_name);
   } else {
     std::cerr << "ao_campaignctl: unknown command " << command << "\n";
     return 2;
@@ -235,5 +356,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   ao::service::SocketStream stream(fd);
-  return converse(stream, lines, command);
+  return converse(stream, lines, command, json);
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Checks that relative links in Markdown files resolve.
 
-Usage: check_markdown_links.py [--mentions DOC GLOB]... FILE [FILE...]
+Usage: check_markdown_links.py [--mentions DOC GLOB]...
+                               [--glossary DOC SRC]... FILE [FILE...]
 
 For every inline link or image `[text](target)`:
   - http(s)/mailto targets are skipped (no network in CI);
@@ -15,6 +16,11 @@ For every inline link or image `[text](target)`:
 in DOC — this is how CI keeps docs/benchmarks.md covering every
 bench/bench_*.cpp binary: adding a bench without documenting its paper
 figure fails the docs job.
+
+`--glossary DOC SRC` requires every string literal in SRC's kPhaseNames
+initializer to appear in DOC — this keeps docs/observability.md's phase
+glossary in sync with the span phase names in src/obs/profiler.cpp:
+renaming or adding a phase without documenting it fails the docs job.
 
 Exit status: 0 when every link resolves and every mention is present,
 1 otherwise.
@@ -76,6 +82,28 @@ def check_mentions(doc: Path, glob: str) -> list:
     return errors
 
 
+def check_glossary(doc: Path, src: Path) -> list:
+    """Every phase name in `src`'s kPhaseNames initializer must appear in
+    `doc` — the documented glossary may not drift from the code."""
+    if not doc.exists():
+        return [f"{doc}: file not found (--glossary)"]
+    if not src.exists():
+        return [f"{src}: file not found (--glossary)"]
+    code = src.read_text(encoding="utf-8")
+    match = re.search(r"kPhaseNames[^{]*\{(.*?)\}", code, re.DOTALL)
+    if not match:
+        return [f"{src}: no kPhaseNames initializer found (--glossary)"]
+    names = re.findall(r'"([^"]+)"', match.group(1))
+    if not names:
+        return [f"{src}: kPhaseNames initializer has no string literals"]
+    text = doc.read_text(encoding="utf-8")
+    return [
+        f"{doc}: phase glossary misses '{name}' (declared in {src})"
+        for name in names
+        if f"`{name}`" not in text and name not in text
+    ]
+
+
 def main() -> int:
     args = sys.argv[1:]
     mentions = []
@@ -86,7 +114,15 @@ def main() -> int:
             return 1
         mentions.append((Path(args[at + 1]), args[at + 2]))
         del args[at : at + 3]
-    if not args and not mentions:
+    glossaries = []
+    while "--glossary" in args:
+        at = args.index("--glossary")
+        if len(args) < at + 3:
+            print(__doc__)
+            return 1
+        glossaries.append((Path(args[at + 1]), Path(args[at + 2])))
+        del args[at : at + 3]
+    if not args and not mentions and not glossaries:
         print(__doc__)
         return 1
     all_errors = []
@@ -98,10 +134,12 @@ def main() -> int:
         all_errors.extend(check_file(md))
     for doc, glob in mentions:
         all_errors.extend(check_mentions(doc, glob))
+    for doc, src in glossaries:
+        all_errors.extend(check_glossary(doc, src))
     for error in all_errors:
         print(error)
     if not all_errors:
-        checked = len(args) + len(mentions)
+        checked = len(args) + len(mentions) + len(glossaries)
         print(f"OK: {checked} checks, all links resolve and mentions present")
         return 0
     print(f"{len(all_errors)} problems")
