@@ -29,10 +29,12 @@ enum class Phase {
   kFrame,      ///< wire-frame encode + write of the shard transport
   kTransport,  ///< one remote shard conversation over its socket
   kMerge,      ///< folding a shard store back into the warm cache
+  kRetry,      ///< a shard re-dispatched after its worker endpoint died
+  kAbort,      ///< a campaign cancelled (abort command / expired deadline)
 };
 
 inline constexpr std::size_t kPhaseCount =
-    static_cast<std::size_t>(Phase::kMerge) + 1;
+    static_cast<std::size_t>(Phase::kAbort) + 1;
 
 /// The span name ("queue-wait", "execute", ...). Stable protocol surface.
 const char* phase_name(Phase phase);

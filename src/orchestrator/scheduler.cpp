@@ -159,7 +159,8 @@ void CampaignScheduler::set_profile_sink(obs::TimelineProfiler* profiler,
 }
 
 CampaignOutputs CampaignScheduler::run(JobQueue& queue,
-                                       RecordCallback on_record) {
+                                       RecordCallback on_record,
+                                       StopFn should_stop) {
   // A scheduler runs one campaign at a time; the multi-tenant service
   // enforces this by leasing schedulers exclusively, and this guard turns
   // any future violation into a loud failure instead of corrupted batches.
@@ -209,17 +210,34 @@ CampaignOutputs CampaignScheduler::run(JobQueue& queue,
 
   std::mutex error_mutex;
   std::string first_error;
+  std::string stop_code;  // guarded by error_mutex
   std::atomic<bool> failed{false};
+  std::atomic<bool> stopped{false};
   {
     util::ThreadPool pool(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       pool.submit([this, &queue, &outputs, &error_mutex, &first_error,
-                   &failed] {
+                   &stop_code, &failed, &stopped, &should_stop] {
         while (auto job = queue.pop_ready()) {
-          // After the first failure the campaign's outputs are discarded
-          // anyway; drain the queue without executing instead of burning
-          // hours of simulated work.
-          if (!failed.load(std::memory_order_acquire)) {
+          // The cooperative stop point: abort commands and expired
+          // deadlines take effect here, between jobs — never inside a
+          // measurement, whose simulated timeline must settle whole.
+          if (should_stop && !stopped.load(std::memory_order_acquire) &&
+              !failed.load(std::memory_order_acquire)) {
+            std::string code = should_stop();
+            if (!code.empty()) {
+              stopped.store(true, std::memory_order_release);
+              std::lock_guard lock(error_mutex);
+              if (stop_code.empty()) {
+                stop_code = std::move(code);
+              }
+            }
+          }
+          // After the first failure (or a stop) the campaign's outputs are
+          // discarded anyway; drain the queue without executing instead of
+          // burning hours of simulated work.
+          if (!failed.load(std::memory_order_acquire) &&
+              !stopped.load(std::memory_order_acquire)) {
             try {
               // One `execute` span per job actually attempted, labelled by
               // kind and parented under the caller's campaign/shard span
@@ -245,6 +263,9 @@ CampaignOutputs CampaignScheduler::run(JobQueue& queue,
 
   if (!first_error.empty()) {
     throw util::Error("campaign job failed: " + first_error);
+  }
+  if (!stop_code.empty()) {
+    throw CampaignStopped(stop_code);
   }
 
   stats_.systems_built = systems_.systems_built();

@@ -15,9 +15,26 @@
 #include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ao::orchestrator {
+
+/// Thrown by CampaignScheduler::run() when its stop predicate cancelled the
+/// campaign between jobs (abort command, expired deadline). Distinct from
+/// util::Error so the service can reply with the predicate's protocol code
+/// ("aborted", "deadline-exceeded") instead of a generic exec-failed.
+class CampaignStopped : public util::Error {
+ public:
+  explicit CampaignStopped(std::string code)
+      : util::Error("campaign stopped: " + code), code_(std::move(code)) {}
+
+  /// The stop predicate's verdict — a stable protocol error code.
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
 
 /// Pool of simulated Systems, one leased per running job.
 ///
@@ -141,6 +158,13 @@ struct CampaignOutputs {
 using RecordCallback = std::function<void(
     const ExperimentJob& job, const MeasurementRecord& record, bool from_cache)>;
 
+/// Cooperative stop predicate, polled by scheduler workers *between* jobs
+/// (never mid-measurement — a half-run job would poison the simulated
+/// clock's determinism). Returns a stable protocol code ("aborted",
+/// "deadline-exceeded") to cancel the run, "" to keep going. Called from
+/// worker threads; must be thread-safe and cheap.
+using StopFn = std::function<std::string()>;
+
 /// Runs a JobQueue to completion on a private util::ThreadPool.
 ///
 /// Workers pop ready jobs, lease a System for the job's chip, execute, and
@@ -166,10 +190,14 @@ class CampaignScheduler {
   /// sorted into a canonical order independent of completion order (GEMM by
   /// (chip, n, impl), the others by chip then their identifying fields).
   /// `on_record` (when set) streams each record as it settles — the campaign
-  /// service's incremental result feed. A scheduler may be reused across
-  /// sequential run() calls (its SystemPool stays warm) but run() itself is
-  /// not reentrant.
-  CampaignOutputs run(JobQueue& queue, RecordCallback on_record = {});
+  /// service's incremental result feed. `should_stop` (when set) is polled
+  /// between jobs: a non-empty code drains the queue without executing and
+  /// run() throws CampaignStopped carrying it — jobs already settled kept
+  /// their cache entries, so a resubmit completes only the remainder. A
+  /// scheduler may be reused across sequential run() calls (its SystemPool
+  /// stays warm) but run() itself is not reentrant.
+  CampaignOutputs run(JobQueue& queue, RecordCallback on_record = {},
+                      StopFn should_stop = {});
 
   /// Attaches a timeline profiler for subsequent run() calls: every executed
   /// job records an `execute` span labelled with its kind, parented under

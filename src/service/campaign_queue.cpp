@@ -1,6 +1,7 @@
 #include "service/campaign_queue.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/error.hpp"
 
@@ -264,20 +265,35 @@ std::vector<CampaignQueue::WaitingCampaign> CampaignQueue::waiting() const {
   return out;
 }
 
+void CampaignQueue::poke() {
+  std::lock_guard lock(mutex_);
+  changed_.notify_all();
+}
+
 CampaignQueue::Ticket::~Ticket() { queue_->release(seq_); }
 
-void CampaignQueue::Ticket::wait(
-    const std::function<void(std::size_t)>& on_queued) {
+bool CampaignQueue::Ticket::wait(
+    const std::function<void(std::size_t)>& on_queued,
+    const std::function<bool()>& cancelled) {
+  // How often a waiting ticket re-polls its cancel predicate when nothing
+  // else wakes it — the deadline-expiry detection latency for a queued
+  // campaign (aborts are immediate via poke()).
+  constexpr auto kPollInterval = std::chrono::milliseconds(50);
   std::unique_lock lock(queue_->mutex_);
   std::size_t reported = 0;  // 0 = nothing reported yet
   for (;;) {
     Entry& entry = queue_->entries_.at(seq_);
     if (entry.running) {
-      return;
+      return true;
+    }
+    // Cancellation beats admission: an aborted/expired campaign must never
+    // grab its resources in the same wakeup that delivered the cancel.
+    if (cancelled && cancelled()) {
+      return false;
     }
     if (queue_->admissible_locked(entry)) {
       queue_->start_locked(entry);
-      return;
+      return true;
     }
     const std::size_t pos = queue_->position_locked(entry);
     if (on_queued && pos != reported) {
@@ -290,7 +306,11 @@ void CampaignQueue::Ticket::wait(
       lock.lock();
       continue;  // the queue may have changed while unlocked — re-evaluate
     }
-    queue_->changed_.wait(lock);
+    if (cancelled) {
+      queue_->changed_.wait_for(lock, kPollInterval);
+    } else {
+      queue_->changed_.wait(lock);
+    }
   }
 }
 

@@ -123,6 +123,11 @@ class CampaignQueue {
   /// position 1 is the next to be admitted. The `queue` command's feed.
   std::vector<WaitingCampaign> waiting() const;
 
+  /// Wakes every blocked Ticket::wait so it re-evaluates its cancel
+  /// predicate immediately — the `abort` command's lever against a queued
+  /// campaign (without it, cancellation would ride the poll interval).
+  void poke();
+
  private:
   struct Entry {
     std::uint64_t seq = 0;  ///< submission order; ties within a priority
@@ -161,12 +166,21 @@ class CampaignQueue::Ticket {
   Ticket(const Ticket&) = delete;
   Ticket& operator=(const Ticket&) = delete;
 
-  /// Blocks until the campaign may start. `on_queued` (optional) is invoked
-  /// with the 1-based queue position whenever the ticket has to wait and
-  /// whenever that position changes — the service forwards these as
-  /// `queued <pos>` protocol events. After wait() returns the campaign is
-  /// running and holds its resources until the ticket dies.
-  void wait(const std::function<void(std::size_t)>& on_queued = {});
+  /// Blocks until the campaign may start — or, with `cancelled` given,
+  /// until that predicate turns true while the ticket is still waiting.
+  /// Returns true when the campaign started (it is running and holds its
+  /// resources until the ticket dies); false when it was cancelled before
+  /// admission (the ticket holds only its queue slot — destroy it).
+  /// `on_queued` (optional) is invoked with the 1-based queue position
+  /// whenever the ticket has to wait and whenever that position changes —
+  /// the service forwards these as `queued <pos>` protocol events.
+  /// `cancelled` is polled on every wakeup and every kPollInterval (abort
+  /// uses CampaignQueue::poke() to make its cancellation immediate;
+  /// deadline expiry rides the poll). A ticket that already started is
+  /// never cancelled here — running campaigns stop cooperatively in the
+  /// scheduler instead.
+  bool wait(const std::function<void(std::size_t)>& on_queued = {},
+            const std::function<bool()>& cancelled = {});
 
   /// Non-blocking admission attempt: true when the campaign started (or had
   /// already started). The deterministic hook the queue tests drive instead

@@ -44,6 +44,8 @@ inline constexpr char kFrameRecords[] = "records";    ///< worker → daemon
 inline constexpr char kFrameStore[] = "store";        ///< worker → daemon
 inline constexpr char kFrameShardError[] = "shard-error";  ///< worker → daemon
 inline constexpr char kFrameBye[] = "bye";            ///< daemon → worker
+inline constexpr char kFramePing[] = "ping";          ///< daemon → worker
+inline constexpr char kFramePong[] = "pong";          ///< worker → daemon
 
 /// One frame: a short lowercase type token plus an arbitrary byte payload.
 struct Frame {

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <thread>
+
+namespace ao::service {
+
+/// Bounded per-campaign outbound line queue — the service's flow control
+/// against slow clients. A dedicated writer thread drains queued lines into
+/// the session's real stream; producers (scheduler record callbacks, shard
+/// drivers, the session thread itself) enqueue instead of writing.
+///
+/// Two classes of line, two policies:
+///  - **data** (`push_data`: record/progress streams) blocks the producer
+///    once `capacity` lines are queued — a client that stops reading stalls
+///    exactly the shard drains feeding it, never daemon memory — and is
+///    dropped outright after cancel() (an aborted campaign owes no more
+///    records).
+///  - **control** (`push_control`: protocol events, the final done/error
+///    line) is never blocked and never dropped, so a cancelled campaign
+///    still terminates its stream with a well-formed reply.
+///
+/// cancel() discards every queued data line and unblocks stuck producers —
+/// which is also what lets `abort` cut a campaign loose from a stalled
+/// session: the producer blocked in push_data() returns, the scheduler's
+/// stop predicate fires at the next between-jobs check.
+///
+/// High-water/blocked/dropped accounting feeds the `stats` line.
+class SessionOutbox {
+ public:
+  struct Stats {
+    std::size_t capacity = 0;
+    std::size_t high_water = 0;  ///< max lines ever queued at once
+    std::size_t blocked = 0;     ///< data pushes that had to wait for room
+    std::size_t dropped = 0;     ///< data lines discarded by cancel()
+  };
+
+  /// The writer thread starts immediately; `sink` must outlive close().
+  /// `capacity` 0 is clamped to 1 (an unbounded outbox defeats the point).
+  SessionOutbox(std::ostream& sink, std::size_t capacity);
+  ~SessionOutbox();  ///< close()
+  SessionOutbox(const SessionOutbox&) = delete;
+  SessionOutbox& operator=(const SessionOutbox&) = delete;
+
+  /// Enqueues one record/progress line (no trailing newline). Blocks while
+  /// the queue is at capacity; after cancel() the line is counted dropped
+  /// and discarded immediately.
+  void push_data(std::string line);
+
+  /// Enqueues one protocol event/reply line. Never blocks on capacity,
+  /// never dropped — delivery order relative to data lines is preserved
+  /// (one FIFO).
+  void push_control(std::string line);
+
+  /// Cancels the data stream: queued data lines are discarded, producers
+  /// blocked in push_data() return, and every later push_data() is dropped.
+  /// Control lines keep flowing. Idempotent, safe from any thread.
+  void cancel();
+
+  /// Drains everything still queued, then joins the writer. Producers must
+  /// be done by now (the campaign has returned). Idempotent.
+  void close();
+
+  bool cancelled() const;
+  Stats stats() const;
+
+ private:
+  struct Item {
+    std::string line;
+    bool control = false;
+  };
+
+  void writer_loop();
+
+  std::ostream* sink_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable space_;  ///< producers wait for queue room
+  std::condition_variable items_;  ///< the writer waits for work
+  std::deque<Item> queue_;
+  bool cancelled_ = false;
+  bool closing_ = false;
+  std::size_t high_water_ = 0;
+  std::size_t blocked_ = 0;
+  std::size_t dropped_ = 0;
+  std::thread writer_;
+};
+
+/// std::ostream adapter that routes complete lines into a SessionOutbox,
+/// classifying them by their protocol prefix: `record ` and `progress `
+/// lines are data (bounded, droppable), everything else — queued/started/
+/// shard events, done/error replies — is control. This is what lets the
+/// campaign execution paths keep writing `out << ...` unchanged while a
+/// campaign runs under flow control.
+class OutboxStream : public std::ostream {
+ public:
+  explicit OutboxStream(SessionOutbox& outbox);
+
+ private:
+  class LineBuf : public std::streambuf {
+   public:
+    explicit LineBuf(SessionOutbox& outbox) : outbox_(&outbox) {}
+
+   protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char* s, std::streamsize n) override;
+    int sync() override { return 0; }  // the writer thread flushes
+
+   private:
+    void deliver();
+
+    SessionOutbox* outbox_;
+    std::string line_;
+  };
+
+  LineBuf buf_;
+};
+
+}  // namespace ao::service

@@ -243,6 +243,10 @@ std::vector<std::string> CampaignRequest::to_lines() const {
   }
   lines.push_back("workers " + std::to_string(workers));
   lines.push_back("shards " + std::to_string(shards));
+  if (deadline_ms != 0) {
+    lines.push_back("deadline " + std::to_string(deadline_ms));
+  }
+  lines.push_back("retries " + std::to_string(shard_retries));
   lines.push_back("run");
   return lines;
 }
@@ -432,6 +436,18 @@ std::optional<std::string> apply_setter(CampaignRequest& request_,
       return "shards needs an integer in [1, 64]";
     }
     request_.shards = static_cast<std::size_t>(u64);
+  } else if (directive == "deadline") {
+    // 0 clears the deadline, matching the field default; the ceiling only
+    // guards against a typo'd token overflowing downstream ns arithmetic.
+    if (!require_u64(1, u64) || u64 > 86'400'000) {
+      return "deadline needs a millisecond budget in [0, 86400000]";
+    }
+    request_.deadline_ms = u64;
+  } else if (directive == "retries") {
+    if (!require_u64(1, u64) || u64 > 16) {
+      return "retries needs an integer in [0, 16]";
+    }
+    request_.shard_retries = static_cast<std::size_t>(u64);
   } else if (directive == "priority") {
     if (!require_u64(1, u64) || u64 > 100) {
       return "priority needs an integer in [0, 100]";

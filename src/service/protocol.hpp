@@ -55,6 +55,15 @@ struct CampaignRequest {
   double power_window_seconds = 1.0;
   std::size_t workers = 1;
   std::size_t shards = 1;
+  /// Wall-clock budget ("deadline <ms>" line, milliseconds): a campaign
+  /// still queued when it expires is cancelled with `deadline-exceeded`; a
+  /// running one stops cooperatively between jobs. 0 = no deadline.
+  std::uint64_t deadline_ms = 0;
+  /// Per-campaign shard retry budget ("retries <n>" line, [0, 16]): how
+  /// many times shards lost to dying remote endpoints may be re-dispatched
+  /// to *different* endpoints before falling back locally (or failing,
+  /// under --remote-only).
+  std::size_t shard_retries = 2;
 
   bool operator==(const CampaignRequest&) const = default;
 
@@ -100,6 +109,8 @@ bool valid_campaign_name(const std::string& name);
 ///   quota-queued    per-client queued-campaign quota exhausted
 ///   exec-failed     the campaign threw while executing
 ///   no-store        store command without a write-through store attached
+///   aborted         the campaign was cancelled by an `abort <name>` command
+///   deadline-exceeded  the campaign's `deadline <ms>` budget ran out
 struct ProtocolError {
   std::string code;
   std::string message;

@@ -156,6 +156,26 @@ CampaignService::CampaignService(Config config)
   // The warm cache records its own serialize/merge spans — the service never
   // wraps cache calls itself, so shard merges are counted exactly once.
   cache_.set_profiler(&profiler_);
+  registry_.configure({config_.heartbeat_interval_ns, config_.worker_clock});
+}
+
+std::string CampaignService::cancel_code(const CancelState& state) const {
+  if (state.abort.load(std::memory_order_acquire)) {
+    return "aborted";
+  }
+  if (state.deadline_ns != 0 && profiler_.now() >= state.deadline_ns) {
+    return "deadline-exceeded";
+  }
+  return {};
+}
+
+void CampaignService::note_cancelled(const std::string& code) {
+  std::lock_guard lock(totals_mutex_);
+  if (code == "deadline-exceeded") {
+    ++totals_.deadline_expired;
+  } else {
+    ++totals_.aborted;
+  }
 }
 
 CampaignService::Totals CampaignService::totals() const {
@@ -247,6 +267,33 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
         }
         out << "queue waiting " << waiting.size() << " running "
             << queue_.running_count() << '\n';
+      } else if (words[0] == "abort") {
+        // Cancel campaigns by name: queued ones are evicted before they ever
+        // claim resources, running ones stop cooperatively at their next
+        // between-jobs / between-shards check. The reply counts handles
+        // flipped *now*; already-aborted campaigns are not counted twice.
+        if (words.size() < 2) {
+          reply_error(out, "bad-request", "abort needs a campaign name", line);
+        } else {
+          std::size_t cancelled = 0;
+          {
+            std::lock_guard lock(active_mutex_);
+            for (const auto& state : active_) {
+              if (state->name == words[1] &&
+                  !state->abort.exchange(true, std::memory_order_acq_rel)) {
+                ++cancelled;
+                if (state->outbox != nullptr) {
+                  // Discard queued records and unblock producers stalled on
+                  // a slow client — abort must cut the campaign loose even
+                  // from a session that stopped reading.
+                  state->outbox->cancel();
+                }
+              }
+            }
+          }
+          queue_.poke();  // queued tickets re-check their cancel predicate
+          out << "ok abort " << words[1] << " cancelled " << cancelled << '\n';
+        }
       } else if (words[0] == "ping") {
         out << "pong\n";
       } else if (words[0] == "stats") {
@@ -256,7 +303,8 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
         for (const auto& worker : registry_.snapshot()) {
           out << "stats-worker " << worker.name << ' '
               << (worker.idle ? "idle" : "busy") << " shards " << worker.shards
-              << " busy-ns " << worker.busy_ns << '\n';
+              << " busy-ns " << worker.busy_ns << " last-seen-ns "
+              << worker.last_seen_age_ns << '\n';
         }
         for (const auto& [client, s] : queue_.client_stats()) {
           out << "stats-client " << client << " queued " << s.queued
@@ -285,7 +333,11 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
             << queue_.queued_count() << " peak " << queue_.peak_running()
             << " rejected " << queue_.rejections() << " remote-shards "
             << t.remote_shards << " workers " << registry_.connected_count()
-            << " idle-workers " << registry_.idle_count() << '\n';
+            << " idle-workers " << registry_.idle_count() << " aborted "
+            << t.aborted << " deadline-expired " << t.deadline_expired
+            << " shard-retries " << t.shard_retries << " outbox-peak "
+            << t.outbox_peak << " outbox-blocked " << t.outbox_blocked
+            << " outbox-dropped " << t.outbox_dropped << '\n';
       } else if (words[0] == "profile") {
         reply_profile(words.size() > 1 ? words[1] : "", out);
       } else if (words[0] == "compact") {
@@ -408,7 +460,7 @@ void CampaignService::finish_campaign_profile(std::uint64_t root_span,
 }
 
 void CampaignService::run_campaign(const CampaignRequest& request,
-                                   std::ostream& out) {
+                                   std::ostream& session_out) {
   // The campaign's root span: every phase of its lifecycle — admission,
   // queue wait, scheduling, shards, merges — nests under it, by thread-local
   // inheritance on this session thread and by explicit parent id on shard
@@ -428,14 +480,58 @@ void CampaignService::run_campaign(const CampaignRequest& request,
                            &rejection, request.name);
   }
   if (ticket == nullptr) {
-    out << "preempted-by-quota client " << request.client << " campaign "
-        << request.name << '\n';
-    reply_error(out, rejection.code, rejection.message, "run");
-    out.flush();
+    session_out << "preempted-by-quota client " << request.client
+                << " campaign " << request.name << '\n';
+    reply_error(session_out, rejection.code, rejection.message, "run");
+    session_out.flush();
     return;
   }
 
+  // From here on every line the campaign writes flows through its bounded
+  // outbox: record/progress lines are subject to backpressure (and dropped
+  // after an abort), events and replies always get through. The real
+  // session stream is only touched by the outbox's writer thread.
+  SessionOutbox outbox(session_out, config_.outbox_capacity);
+  OutboxStream out(outbox);
+
+  auto cancel = std::make_shared<CancelState>();
+  cancel->name = request.name;
+  cancel->deadline_ns =
+      request.deadline_ms == 0
+          ? 0
+          : profiler_.now() + request.deadline_ms * 1'000'000ull;
+  cancel->outbox = &outbox;
+  {
+    std::lock_guard lock(active_mutex_);
+    active_.push_back(cancel);
+  }
+  // Unregisters the cancel handle BEFORE the outbox dies (the abort command
+  // dereferences state->outbox only for registered handles, under the same
+  // lock), then folds the outbox's flow-control accounting into the totals.
+  struct ActiveGuard {
+    CampaignService& service;
+    std::shared_ptr<CancelState> state;
+    SessionOutbox& outbox;
+    ~ActiveGuard() {
+      {
+        std::lock_guard lock(service.active_mutex_);
+        state->outbox = nullptr;
+        auto& active = service.active_;
+        active.erase(std::remove(active.begin(), active.end(), state),
+                     active.end());
+      }
+      outbox.close();
+      const SessionOutbox::Stats stats = outbox.stats();
+      std::lock_guard lock(service.totals_mutex_);
+      service.totals_.outbox_peak =
+          std::max(service.totals_.outbox_peak, stats.high_water);
+      service.totals_.outbox_blocked += stats.blocked;
+      service.totals_.outbox_dropped += stats.dropped;
+    }
+  } active_guard{*this, cancel, outbox};
+
   const std::uint64_t id = next_campaign_id_.fetch_add(1);
+  cancel->id = id;
   std::size_t jobs = 0;
   std::size_t expected_records = 0;
   std::size_t shard_count = 0;
@@ -467,14 +563,35 @@ void CampaignService::run_campaign(const CampaignRequest& request,
       << " client " << request.client << '\n';
   out.flush();
 
+  bool started = false;
+  std::string queue_cancel;
   {
     // Time spent behind conflicting campaigns / quotas. Recorded even when
     // admission was immediate (a near-zero span documents the fast path).
     obs::TimelineProfiler::Scope queue_wait(&profiler_, obs::Phase::kQueueWait);
-    ticket->wait([&](std::size_t position) {
-      out << "queued " << position << '\n';
-      out.flush();
-    });
+    started = ticket->wait(
+        [&](std::size_t position) {
+          out << "queued " << position << '\n';
+          out.flush();
+        },
+        [&] {
+          queue_cancel = cancel_code(*cancel);
+          return !queue_cancel.empty();
+        });
+  }
+  if (!started) {
+    // Cancelled while still queued: the campaign never claimed resources —
+    // report the eviction and release the ticket's queue slot.
+    const std::uint64_t now = profiler_.now();
+    profiler_.record(obs::Phase::kAbort, now, now, root.id(), queue_cancel);
+    note_cancelled(queue_cancel);
+    out << queue_cancel << " campaign " << id << '\n';
+    out << "error " << queue_cancel << " campaign " << id
+        << " cancelled while queued\n";
+    out.flush();
+    root.close();
+    finish_campaign_profile(root.id(), id, request.name, request.client);
+    return;
   }
   {
     std::lock_guard lock(totals_mutex_);
@@ -489,6 +606,13 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   out << "started campaign " << id << '\n';
   out.flush();
 
+  // The cooperative stop hook the execution paths poll wherever stopping is
+  // safe: between scheduler jobs, between remote shards, around the local
+  // fallback. It never interrupts a measurement mid-flight.
+  const orchestrator::StopFn should_stop = [this, cancel] {
+    return cancel_code(*cancel);
+  };
+
   // remote_only means sharded requests NEVER execute on this host — even
   // when the group count collapses the effective shard count to 1, the
   // single shard still goes to a remote worker (an operator running a
@@ -496,9 +620,9 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   if (shard_count > 1 ||
       (config_.remote_only && request.shards > 1 && group_count != 0)) {
     run_sharded(request, id, std::max<std::size_t>(1, shard_count),
-                expected_records, root.id(), out);
+                expected_records, root.id(), should_stop, out);
   } else {
-    run_in_process(request, id, expected_records, root.id(), out);
+    run_in_process(request, id, expected_records, root.id(), should_stop, out);
   }
   // The root span closes here so the drain below sees it; the timeline,
   // phase totals and (optionally) the JSON artifact settle with it.
@@ -512,6 +636,7 @@ void CampaignService::run_in_process(const CampaignRequest& request,
                                      std::uint64_t id,
                                      std::size_t expected_records,
                                      std::uint64_t root_span,
+                                     const orchestrator::StopFn& should_stop,
                                      std::ostream& out) {
   const orchestrator::Campaign campaign = request.to_campaign();
   JobQueue queue;
@@ -548,7 +673,22 @@ void CampaignService::run_in_process(const CampaignRequest& request,
           ++streamed;
           out << "progress " << streamed << "/" << expected_records << '\n';
           out.flush();
-        });
+        },
+        should_stop);
+  } catch (const orchestrator::CampaignStopped& e) {
+    // The stop predicate fired between jobs: settled records kept their
+    // cache entries, so a resubmit completes only the remainder.
+    const std::uint64_t now = profiler_.now();
+    profiler_.record(obs::Phase::kAbort, now, now, root_span, e.code());
+    note_cancelled(e.code());
+    {
+      std::lock_guard lock(totals_mutex_);
+      totals_.records_streamed += streamed;
+    }
+    out << e.code() << " campaign " << id << '\n';
+    out << "error " << e.code() << " campaign " << id << " records "
+        << streamed << " of " << expected_records << " streamed before stop\n";
+    return;
   } catch (const std::exception& e) {
     // The scheduler is poisoned only for this run; the next campaign gets a
     // fresh run() on the same pool.
@@ -572,7 +712,9 @@ void CampaignService::run_in_process(const CampaignRequest& request,
 void CampaignService::run_sharded(const CampaignRequest& request,
                                   std::uint64_t id, std::size_t shard_count,
                                   std::size_t expected_records,
-                                  std::uint64_t root_span, std::ostream& out) {
+                                  std::uint64_t root_span,
+                                  const orchestrator::StopFn& should_stop,
+                                  std::ostream& out) {
   const orchestrator::Campaign campaign = request.to_campaign();
   const auto groups = campaign.groups();
   const std::uint64_t options_fp =
@@ -590,6 +732,12 @@ void CampaignService::run_sharded(const CampaignRequest& request,
   // — its root — so a root hit settles the whole group.
   std::size_t streamed = 0;
   std::size_t warm_hits = 0;
+  // Every entry line this campaign has streamed. A shard retried after its
+  // worker died — or rerun on the local pool — replays records its first
+  // attempt already shipped; the set keeps the client's record stream
+  // exactly-once (identical keys carry bit-identical records, so the line
+  // itself is the dedupe key).
+  std::unordered_set<std::string> seen;
   std::vector<std::size_t> pending;  // group indices the workers must run
   for (std::size_t i = 0; i < groups.size(); ++i) {
     const ExperimentJob& root = groups[i].jobs.front();
@@ -598,10 +746,10 @@ void CampaignService::run_sharded(const CampaignRequest& request,
       hit = cache_.lookup(orchestrator::key_for_job(root, options_fp));
     }
     if (hit.has_value()) {
-      out << "record "
-          << orchestrator::format_store_entry(
-                 orchestrator::key_for_job(root, options_fp), *hit)
-          << '\n';
+      const std::string entry = orchestrator::format_store_entry(
+          orchestrator::key_for_job(root, options_fp), *hit);
+      seen.insert(entry);
+      out << "record " << entry << '\n';
       ++streamed;
       ++warm_hits;
       out << "progress " << streamed << "/" << expected_records << '\n';
@@ -641,6 +789,7 @@ void CampaignService::run_sharded(const CampaignRequest& request,
 
   std::size_t merged = 0;
   std::size_t remote_executed = 0;
+  std::size_t retries = 0;
   std::string failure;
   bool remote = false;
   std::vector<WorkerPool::ShardTask> local_tasks = tasks;
@@ -652,12 +801,15 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     // concurrent campaign, unless remote_only forbids it.
     std::vector<WorkerPool::ShardTask> leftover;
     remote = run_shards_remote(request, tasks, expected_records, root_span,
-                               &streamed, &merged, &remote_executed, &leftover,
-                               &failure, out);
+                               should_stop, &seen, &streamed, &merged,
+                               &remote_executed, &retries, &leftover, &failure,
+                               out);
     if (remote) {
       if (config_.remote_only) {
-        // Leftover shards may not touch this host; report them.
-        if (!leftover.empty() && failure.empty()) {
+        // Leftover shards may not touch this host; report them (unless the
+        // campaign was cancelled — then the cancel is the story).
+        if (!leftover.empty() && failure.empty() &&
+            (!should_stop || should_stop().empty())) {
           failure = "shard " + std::to_string(leftover.front().shard_index) +
                     " never ran (no healthy remote worker left; remote-only)";
         }
@@ -670,6 +822,13 @@ void CampaignService::run_sharded(const CampaignRequest& request,
         local_tasks = std::move(leftover);
       }
     }
+  }
+  // Cancellation observed between the transports: leftover shards stay
+  // unrun — the local pool has no mid-flight stop hook, so the check
+  // happens before it launches anything.
+  std::string stop_code = should_stop ? should_stop() : std::string{};
+  if (!stop_code.empty()) {
+    local_tasks.clear();
   }
   if (!local_tasks.empty()) {
     // Local transport: spawned processes (or threads) write per-shard disk
@@ -689,9 +848,11 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     const auto drain = [&] {
       for (StoreTail& tail : tails) {
         tail.poll([&](const std::string& line) {
-          // Only structurally sound entries are streamed; the merge below
-          // re-validates through ResultCache::load anyway.
-          if (orchestrator::parse_store_entry(line).has_value()) {
+          // Only structurally sound entries are streamed (the merge below
+          // re-validates through ResultCache::load anyway), and only lines
+          // no remote attempt of this shard already shipped.
+          if (orchestrator::parse_store_entry(line).has_value() &&
+              seen.insert(line).second) {
             out << "record " << line << '\n';
             ++streamed;
             ++tail.records;
@@ -765,10 +926,22 @@ void CampaignService::run_sharded(const CampaignRequest& request,
     totals_.cache_hits += warm_hits;
     totals_.merged_entries += merged;
     totals_.remote_shards += remote_executed;
+    totals_.shard_retries += retries;
   }
   if (!failure.empty()) {
     out << "error exec-failed campaign " << id << " " << one_line(failure)
         << '\n';
+    return;
+  }
+  if (!stop_code.empty()) {
+    // Cancelled mid-campaign: everything streamed/merged so far is real and
+    // kept (the warm cache makes a resubmit finish only the remainder).
+    const std::uint64_t now = profiler_.now();
+    profiler_.record(obs::Phase::kAbort, now, now, root_span, stop_code);
+    note_cancelled(stop_code);
+    out << stop_code << " campaign " << id << '\n';
+    out << "error " << stop_code << " campaign " << id << " records "
+        << streamed << " of " << expected_records << " streamed before stop\n";
     return;
   }
   out << "done campaign " << id << " records " << streamed << " merged "
@@ -783,9 +956,15 @@ bool CampaignService::run_shards_remote(
     const CampaignRequest& request,
     const std::vector<WorkerPool::ShardTask>& tasks,
     std::size_t expected_records, std::uint64_t root_span,
-    std::size_t* streamed, std::size_t* merged, std::size_t* remote_executed,
-    std::vector<WorkerPool::ShardTask>* leftover, std::string* failure,
-    std::ostream& out) {
+    const orchestrator::StopFn& should_stop,
+    std::unordered_set<std::string>* seen, std::size_t* streamed,
+    std::size_t* merged, std::size_t* remote_executed,
+    std::size_t* retries_used, std::vector<WorkerPool::ShardTask>* leftover,
+    std::string* failure, std::ostream& out) {
+  // Retire endpoints that stopped answering before handing out leases: a
+  // worker that died while parked must not cost a shard its first attempt.
+  registry_.heartbeat();
+
   // Check out one lease per shard when possible; fewer leases simply run
   // the task list sequentially per worker. remote_only waits for the first
   // worker to connect (a launch race is normal operations); otherwise only
@@ -810,57 +989,98 @@ bool CampaignService::run_shards_remote(
     leases.push_back(std::move(lease));
   }
 
-  // One driver thread per lease drains the shared task list. All client
-  // writes (records, progress, shard events) synchronize on out_mutex.
-  std::mutex out_mutex;
-  std::atomic<std::size_t> next_task{0};
+  // Shared work state, guarded by work_mutex: the undispatched work list
+  // (a shard enters more than once only after its endpoint died), the
+  // per-campaign retry budget, and each shard's settlement. partial_lines
+  // banks the entry lines every lost attempt managed to ship — they merge
+  // below even when no retry succeeds.
+  struct Work {
+    std::size_t task = 0;
+    std::size_t attempt = 0;
+  };
+  std::mutex work_mutex;
+  std::deque<Work> work;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    work.push_back({i, 0});
+  }
+  std::size_t retries_left = request.shard_retries;
+  std::vector<char> settled(tasks.size(), 0);
   std::vector<RemoteShardOutcome> outcomes(tasks.size());
-  std::vector<char> attempted(tasks.size(), 0);
-  std::vector<std::thread> drivers;
-  drivers.reserve(leases.size());
-  for (auto& lease_ptr : leases) {
-    WorkerRegistry::Lease* lease = lease_ptr.get();
-    drivers.emplace_back([&, lease] {
-      for (;;) {
-        const std::size_t i = next_task.fetch_add(1);
-        if (i >= tasks.size()) {
+  std::vector<std::vector<std::string>> partial_lines(tasks.size());
+
+  // All client writes (records, progress, shard events) synchronize on
+  // out_mutex; `seen` is guarded by it too.
+  std::mutex out_mutex;
+  const auto stream_line = [&](const std::string& line) {
+    // Stream each entry the moment its frame arrives — unless an earlier
+    // attempt of a retried shard already shipped it. The merge below
+    // re-validates everything through merge_buffer anyway.
+    if (!orchestrator::parse_store_entry(line).has_value()) {
+      return;
+    }
+    obs::TimelineProfiler::Scope serialize(
+        &profiler_, obs::Phase::kSerialize,
+        obs::TimelineProfiler::kInheritParent, "record");
+    std::lock_guard lock(out_mutex);
+    if (!seen->insert(line).second) {
+      return;
+    }
+    out << "record " << line << '\n';
+    ++*streamed;
+    out << "progress " << *streamed << "/" << expected_records << '\n';
+    out.flush();
+  };
+
+  // One driver per leased worker drains the work list. A driver whose
+  // endpoint dies requeues the shard (budget permitting), retires the lease
+  // and exits — the retry runs on a DIFFERENT worker: a surviving driver,
+  // or a fresh lease from the round loop below.
+  const auto drive = [&](WorkerRegistry::Lease* lease) {
+    for (;;) {
+      if (should_stop && !should_stop().empty()) {
+        return;  // cancelled: leave the remaining work unrun
+      }
+      Work item;
+      {
+        std::lock_guard lock(work_mutex);
+        if (work.empty()) {
           return;
         }
-        attempted[i] = 1;
-        {
-          std::lock_guard lock(out_mutex);
-          out << "shard " << tasks[i].shard_index << " start worker "
-              << lease->name() << '\n';
-          out.flush();
-        }
-        // One `shard` span per remote round-trip, parented explicitly under
-        // the campaign root (this driver thread has no inherited scope); the
-        // conversation's `transport` span nests under it inside
-        // run_remote_shard.
-        obs::TimelineProfiler::Scope shard_span(
-            &profiler_, obs::Phase::kShard, root_span,
-            "shard-" + std::to_string(tasks[i].shard_index) + " worker " +
-                lease->name());
-        RemoteShardOutcome outcome = run_remote_shard(
-            lease->in(), lease->out(), request, tasks[i].shard_index,
-            tasks[i].groups,
-            [&](const std::string& line) {
-              // Stream each entry the moment its frame arrives; the merge
-              // below re-validates everything through merge_buffer anyway.
-              if (orchestrator::parse_store_entry(line).has_value()) {
-                obs::TimelineProfiler::Scope serialize(
-                    &profiler_, obs::Phase::kSerialize,
-                    obs::TimelineProfiler::kInheritParent, "record");
-                std::lock_guard lock(out_mutex);
-                out << "record " << line << '\n';
-                ++*streamed;
-                out << "progress " << *streamed << "/" << expected_records
-                    << '\n';
-                out.flush();
-              }
-            },
-            &profiler_);
-        shard_span.close();
+        item = work.front();
+        work.pop_front();
+      }
+      const std::size_t i = item.task;
+      {
+        std::lock_guard lock(out_mutex);
+        out << "shard " << tasks[i].shard_index
+            << (item.attempt == 0 ? " start" : " retry") << " worker "
+            << lease->name() << '\n';
+        out.flush();
+      }
+      if (item.attempt != 0) {
+        // A `retry` marker span under the campaign root: when and where the
+        // shard was re-dispatched (the attempt's own time is its `shard`
+        // span, as always).
+        const std::uint64_t now = profiler_.now();
+        profiler_.record(obs::Phase::kRetry, now, now, root_span,
+                         "shard-" + std::to_string(tasks[i].shard_index) +
+                             " worker " + lease->name());
+      }
+      // One `shard` span per remote round-trip, parented explicitly under
+      // the campaign root (this driver thread has no inherited scope); the
+      // conversation's `transport` span nests under it inside
+      // run_remote_shard.
+      obs::TimelineProfiler::Scope shard_span(
+          &profiler_, obs::Phase::kShard, root_span,
+          "shard-" + std::to_string(tasks[i].shard_index) + " worker " +
+              lease->name());
+      RemoteShardOutcome outcome = run_remote_shard(
+          lease->in(), lease->out(), request, tasks[i].shard_index,
+          tasks[i].groups, stream_line, &profiler_);
+      shard_span.close();
+      if (!outcome.connection_lost) {
+        // Done, or a clean shard-error over a healthy connection: the shard
+        // is settled either way and this worker keeps serving.
         if (outcome.ok) {
           lease->note_shard_done();
         }
@@ -875,59 +1095,133 @@ bool CampaignService::run_shards_remote(
           }
           out.flush();
         }
-        const bool lost = outcome.connection_lost;
+        std::lock_guard lock(work_mutex);
+        settled[i] = 1;
         outcomes[i] = std::move(outcome);
-        if (lost) {
-          // The endpoint is unusable; retire it and this driver. Remaining
-          // tasks stay on the shared list for the surviving drivers.
-          lease->mark_failed();
-          return;
+        continue;
+      }
+      // The endpoint died mid-conversation. Bank the lines that made it
+      // across, then spend one retry if the budget allows — otherwise the
+      // shard settles as lost.
+      bool retrying = false;
+      {
+        std::lock_guard lock(work_mutex);
+        auto& bank = partial_lines[i];
+        bank.insert(bank.end(), outcome.lines.begin(), outcome.lines.end());
+        if (retries_left > 0) {
+          --retries_left;
+          ++*retries_used;
+          work.push_back({i, item.attempt + 1});
+          retrying = true;
+        } else {
+          settled[i] = 1;
+          outcomes[i] = std::move(outcome);
         }
       }
-    });
-  }
-  for (std::thread& driver : drivers) {
-    driver.join();
-  }
-  leases.clear();  // healthy workers return to the idle pool
+      {
+        std::lock_guard lock(out_mutex);
+        out << "shard " << tasks[i].shard_index << " lost worker "
+            << lease->name()
+            << (retrying ? " rescheduling" : " retry-budget-exhausted")
+            << '\n';
+        out.flush();
+      }
+      lease->mark_failed();
+      return;  // this endpoint (and driver) is done
+    }
+  };
 
-  // Merge what each shard shipped. The final `store` frame is authoritative
-  // (byte-for-byte the store a local worker would have written); when a
-  // worker died mid-shard, the incrementally received entry lines still
-  // merge — partial results are real measurements. Shards that produced
-  // nothing at all go to `leftover`: the caller may rerun them locally
-  // (or report them, under remote_only) without duplicating any record.
+  // Rounds: run the current leases to completion, then — when dead
+  // endpoints left requeued work and no driver survived — lease whatever
+  // healthy workers remain and go again. No healthy worker left ends the
+  // loop with the work unrun (it surfaces through `leftover`).
+  for (;;) {
+    std::vector<std::thread> drivers;
+    drivers.reserve(leases.size());
+    for (auto& lease_ptr : leases) {
+      drivers.emplace_back(drive, lease_ptr.get());
+    }
+    for (std::thread& driver : drivers) {
+      driver.join();
+    }
+    leases.clear();  // healthy workers return to the idle pool
+    std::size_t remaining = 0;
+    {
+      std::lock_guard lock(work_mutex);
+      remaining = work.size();
+    }
+    if (remaining == 0 || (should_stop && !should_stop().empty())) {
+      break;
+    }
+    registry_.heartbeat();  // don't lease an endpoint that just died parked
+    while (leases.size() < remaining) {
+      auto lease = registry_.acquire(0);
+      if (lease == nullptr) {
+        break;
+      }
+      leases.push_back(std::move(lease));
+    }
+    if (leases.empty()) {
+      break;  // nobody left to run the remaining shards
+    }
+  }
+
+  // Merge what each shard shipped. A completed shard's final `store` frame
+  // is authoritative (byte-for-byte the store a local worker would have
+  // written) and already covers any banked partial lines — merges are
+  // idempotent by CacheKey, identical keys carry bit-identical records.
+  // For everything else the banked partials merge (real measurements are
+  // never discarded) and the shard either lands in `leftover` or reports a
+  // structured failure.
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    const RemoteShardOutcome& outcome = outcomes[i];
-    if (!attempted[i]) {
+    const auto merge_lines = [&](const std::vector<std::string>& lines) {
+      if (lines.empty()) {
+        return;
+      }
+      std::string partial = orchestrator::store_header_line();
+      partial += '\n';
+      for (const std::string& line : lines) {
+        partial += line;
+        partial += '\n';
+      }
+      *merged += cache_.merge_buffer(partial);
+    };
+    if (!settled[i]) {
+      // Never dispatched, or still requeued when the drivers ran out (or
+      // the campaign was cancelled): the caller decides what happens next.
+      merge_lines(partial_lines[i]);
       leftover->push_back(tasks[i]);
       continue;
     }
+    const RemoteShardOutcome& outcome = outcomes[i];
     if (outcome.ok) {
       ++*remote_executed;
       *merged += cache_.merge_buffer(outcome.store);
       continue;
     }
-    if (outcome.connection_lost && outcome.lines.empty()) {
-      // The endpoint died before producing anything (typically a stale
-      // dead-idle worker): the shard can rerun elsewhere without
-      // duplicating a single record.
-      leftover->push_back(tasks[i]);
+    if (outcome.connection_lost) {
+      // Every attempt's endpoint died and the retry budget is spent. Under
+      // remote_only that is a structured failure — never a hang, never a
+      // local run; otherwise the local pool gets the shard (the `seen` set
+      // keeps its replayed records off the client stream).
+      merge_lines(partial_lines[i]);
+      if (config_.remote_only) {
+        if (failure->empty()) {
+          *failure = "shard " + std::to_string(outcome.shard_index) +
+                     " failed (retry budget exhausted): " +
+                     one_line(outcome.error);
+        }
+      } else {
+        leftover->push_back(tasks[i]);
+      }
       continue;
     }
-    // The shard itself failed (shard-error over a healthy connection), or
-    // the worker died mid-stream: merge what arrived and report the real
-    // error — a clean failure is deterministic, so rerunning it locally
-    // would only fail again with a worse diagnostic.
-    if (!outcome.lines.empty()) {
-      std::string partial = orchestrator::store_header_line();
-      partial += '\n';
-      for (const std::string& line : outcome.lines) {
-        partial += line;
-        partial += '\n';
-      }
-      *merged += cache_.merge_buffer(partial);
-    }
+    // The shard itself failed — a shard-error frame over a healthy
+    // connection. A clean failure is deterministic, so rerunning it (on any
+    // transport) would only fail again with a worse diagnostic: merge what
+    // arrived and report the real error.
+    merge_lines(partial_lines[i]);
+    merge_lines(outcome.lines);
     if (failure->empty()) {
       *failure = "shard " + std::to_string(outcome.shard_index) +
                  " failed: " + one_line(outcome.error);

@@ -9,12 +9,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/profiler.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
 #include "service/campaign_queue.hpp"
+#include "service/outbox.hpp"
 #include "service/protocol.hpp"
 #include "service/worker_pool.hpp"
 #include "service/worker_registry.hpp"
@@ -83,8 +85,22 @@ class CampaignService {
     /// directory must exist (ao_campaignd --profile-dir creates it).
     std::string profile_dir;
     /// Clock for the built-in timeline profiler; {} = steady_clock. Tests
-    /// inject a counter for deterministic timelines.
+    /// inject a counter for deterministic timelines. Campaign deadlines
+    /// (`deadline <ms>`) are measured on this clock too.
     obs::TimelineProfiler::ClockFn profile_clock;
+    /// Heartbeat interval for parked remote workers: an idle worker not
+    /// heard from for this long is pinged (and retired when it fails to
+    /// pong) by WorkerRegistry::heartbeat() — the daemon drives the sweep
+    /// from a background thread, and the service sweeps once before leasing
+    /// shard workers. 0 disables liveness probing.
+    std::uint64_t heartbeat_interval_ns = 0;
+    /// Clock for the worker registry's last-seen bookkeeping;
+    /// {} = steady_clock. Tests inject a counter.
+    WorkerRegistry::ClockFn worker_clock;
+    /// Per-campaign outbound line queue depth: record/progress producers
+    /// block once this many lines wait on a slow client (see
+    /// SessionOutbox). Protocol events and replies are exempt.
+    std::size_t outbox_capacity = 1024;
   };
 
   struct Totals {
@@ -99,6 +115,14 @@ class CampaignService {
                                      ///< groups served before sharding
     std::size_t merged_entries = 0;  ///< shard-store entries merged back
     std::size_t remote_shards = 0;   ///< shards executed on remote workers
+    std::size_t aborted = 0;           ///< campaigns cancelled by `abort`
+    std::size_t deadline_expired = 0;  ///< campaigns past their `deadline`
+    std::size_t shard_retries = 0;     ///< shards re-dispatched after a
+                                       ///< worker endpoint died mid-shard
+    std::size_t outbox_peak = 0;     ///< deepest per-campaign outbox queue
+    std::size_t outbox_blocked = 0;  ///< record pushes stalled by a slow
+                                     ///< client (backpressure events)
+    std::size_t outbox_dropped = 0;  ///< record lines dropped by aborts
   };
 
   explicit CampaignService(Config config);
@@ -139,26 +163,53 @@ class CampaignService {
   /// SystemPool serves the next campaign with the same options/concurrency.
   class SchedulerLease;
 
-  void run_campaign(const CampaignRequest& request, std::ostream& out);
+  /// One in-flight campaign's cancellation handle, shared between its
+  /// session thread and the `abort` command. `abort <name>` flips `abort`
+  /// and cancels the outbox; the deadline is an absolute instant on the
+  /// profiler clock, checked wherever the campaign can stop cooperatively
+  /// (queue wait, between scheduler jobs, between remote shards).
+  struct CancelState {
+    std::uint64_t id = 0;
+    std::string name;
+    std::uint64_t deadline_ns = 0;  ///< profiler-clock instant; 0 = none
+    std::atomic<bool> abort{false};
+    SessionOutbox* outbox = nullptr;  ///< guarded by active_mutex_
+  };
+
+  /// "aborted" / "deadline-exceeded" when the campaign must stop, "" while
+  /// it may continue. Abort wins when both apply.
+  std::string cancel_code(const CancelState& state) const;
+  /// Folds one cancelled campaign into the totals.
+  void note_cancelled(const std::string& code);
+
+  void run_campaign(const CampaignRequest& request, std::ostream& session_out);
   void run_in_process(const CampaignRequest& request, std::uint64_t id,
                       std::size_t expected_records, std::uint64_t root_span,
+                      const orchestrator::StopFn& should_stop,
                       std::ostream& out);
   void run_sharded(const CampaignRequest& request, std::uint64_t id,
                    std::size_t shard_count, std::size_t expected_records,
-                   std::uint64_t root_span, std::ostream& out);
+                   std::uint64_t root_span,
+                   const orchestrator::StopFn& should_stop, std::ostream& out);
   /// Runs the planned shard tasks on checked-out remote workers (one driver
-  /// thread per lease draining a shared task queue). Returns false when no
+  /// thread per lease draining a shared work queue). Returns false when no
   /// worker could be leased and local fallback is allowed; true when remote
   /// execution happened (or remote-only failed), with `streamed`, `merged`,
-  /// `remote_executed` (shards a worker completed) and `failure` updated.
-  /// Shards that produced NO results remotely — never dispatched, or the
-  /// endpoint died before its first record — land in `leftover`: they can
-  /// rerun elsewhere without duplicating any streamed record.
+  /// `remote_executed` (shards a worker completed), `retries_used` and
+  /// `failure` updated. A shard whose endpoint dies mid-conversation is
+  /// re-dispatched to a *different* worker while the request's per-campaign
+  /// retry budget lasts; `seen` dedupes the entry lines a retry replays so
+  /// the client never reads a record twice. Shards that exhausted the
+  /// budget (or never ran) land in `leftover`: the caller reruns them
+  /// locally — or, under remote_only, reports them as a structured failure.
   bool run_shards_remote(const CampaignRequest& request,
                          const std::vector<WorkerPool::ShardTask>& tasks,
                          std::size_t expected_records, std::uint64_t root_span,
+                         const orchestrator::StopFn& should_stop,
+                         std::unordered_set<std::string>* seen,
                          std::size_t* streamed, std::size_t* merged,
                          std::size_t* remote_executed,
+                         std::size_t* retries_used,
                          std::vector<WorkerPool::ShardTask>* leftover,
                          std::string* failure, std::ostream& out);
 
@@ -197,6 +248,12 @@ class CampaignService {
   mutable std::mutex totals_mutex_;
   Totals totals_;
   std::vector<std::string> start_log_;
+
+  /// Every in-flight campaign's cancellation handle — what `abort <name>`
+  /// scans. Entries are registered after admission and removed before the
+  /// campaign's outbox closes.
+  std::mutex active_mutex_;
+  std::vector<std::shared_ptr<CancelState>> active_;
 
   /// Timeline telemetry. The profiler drains after every campaign, so a
   /// long-running daemon's span memory is bounded by kMaxTimelines retained

@@ -18,6 +18,7 @@
 //                [--shard-dir <dir>] [--stdio] [--remote-only]
 //                [--max-running <n>] [--max-running-per-client <n>]
 //                [--max-queued-per-client <n>] [--profile-dir <dir>]
+//                [--heartbeat-ms <n>] [--outbox-capacity <n>]
 //
 // --tcp additionally listens on 0.0.0.0:<port> — how workers (and clients)
 // on other machines reach the daemon. --remote-only refuses to run shards
@@ -30,10 +31,18 @@
 // --profile-dir enables the timeline profiler's perf artifacts: one
 // `<name>-c<id>.profile.json` per completed campaign (docs/observability.md);
 // the directory is created if absent.
+// --heartbeat-ms (default 5000; 0 disables) pings parked remote workers
+// that have been silent that long and retires endpoints that fail to pong —
+// a worker that died without a FIN never costs a shard its first attempt.
+// --outbox-capacity (default 1024) bounds each campaign's outbound record
+// queue: a client that stops reading stalls only its own campaign's
+// producers, never daemon memory (docs/operations.md#failure-handling).
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
@@ -114,6 +123,7 @@ int main(int argc, char** argv) {
   ao::service::CampaignService::Config config;
   bool stdio = false;
   bool worker_binary_set = false;
+  std::size_t heartbeat_ms = 5000;  // 0 = no liveness probing
   for (int i = 1; i < argc; ++i) {
     const auto needs_value = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -176,6 +186,16 @@ int main(int argc, char** argv) {
           needs_count("--max-queued-per-client");
     } else if (std::strcmp(argv[i], "--profile-dir") == 0) {
       config.profile_dir = needs_value("--profile-dir");
+    } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
+      heartbeat_ms = needs_count("--heartbeat-ms");
+    } else if (std::strcmp(argv[i], "--outbox-capacity") == 0) {
+      const std::size_t capacity = needs_count("--outbox-capacity");
+      if (capacity == 0) {
+        std::cerr
+            << "ao_campaignd: --outbox-capacity needs a positive integer\n";
+        return 2;
+      }
+      config.outbox_capacity = capacity;
     } else if (std::strcmp(argv[i], "--stdio") == 0) {
       stdio = true;
     } else {
@@ -189,7 +209,8 @@ int main(int argc, char** argv) {
                  "[--worker-binary <path>] [--shard-dir <dir>] [--stdio] "
                  "[--remote-only] [--max-running <n>] "
                  "[--max-running-per-client <n>] "
-                 "[--max-queued-per-client <n>] [--profile-dir <dir>]\n";
+                 "[--max-queued-per-client <n>] [--profile-dir <dir>] "
+                 "[--heartbeat-ms <n>] [--outbox-capacity <n>]\n";
     return 2;
   }
 
@@ -215,11 +236,52 @@ int main(int argc, char** argv) {
   // A client that disconnects mid-stream must not kill the server.
   std::signal(SIGPIPE, SIG_IGN);
 
+  config.heartbeat_interval_ns =
+      static_cast<std::uint64_t>(heartbeat_ms) * 1'000'000ull;
   ao::service::CampaignService service(std::move(config));
   if (stdio) {
     service.serve(std::cin, std::cout);
     return 0;
   }
+
+  // The liveness sweep: ping parked workers that have been silent past the
+  // interval and retire the ones that fail to pong. Runs in its own thread
+  // — the registry serializes it against checkouts — and wakes often enough
+  // to notice shutdown promptly without busying the CPU.
+  std::atomic<bool> heartbeat_stop{false};
+  std::thread heartbeat_thread;
+  if (heartbeat_ms != 0) {
+    heartbeat_thread = std::thread([&service, &heartbeat_stop, heartbeat_ms] {
+      const auto step = std::chrono::milliseconds(
+          std::min<std::size_t>(200, std::max<std::size_t>(1, heartbeat_ms)));
+      auto next_sweep =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(heartbeat_ms);
+      while (!heartbeat_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(step);
+        if (std::chrono::steady_clock::now() < next_sweep) {
+          continue;
+        }
+        const std::size_t retired = service.workers().heartbeat();
+        if (retired != 0) {
+          std::cerr << "ao_campaignd: heartbeat retired " << retired
+                    << " dead worker(s)\n";
+        }
+        next_sweep = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(heartbeat_ms);
+      }
+    });
+  }
+  struct HeartbeatGuard {
+    std::atomic<bool>& stop;
+    std::thread& thread;
+    ~HeartbeatGuard() {
+      stop.store(true, std::memory_order_release);
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+  } heartbeat_guard{heartbeat_stop, heartbeat_thread};
 
   try {
     std::unique_ptr<ao::service::UnixServerSocket> unix_server;

@@ -164,6 +164,12 @@ int run_worker_session(std::istream& in, std::ostream& out,
     if (frame->type == kFrameBye) {
       return 0;
     }
+    if (frame->type == kFramePing) {
+      // Liveness probe from the registry's heartbeat sweep: answer and keep
+      // waiting for work. Parked workers that stop ponging are retired.
+      write_frame(out, {kFramePong, {}});
+      continue;
+    }
     if (frame->type != kFrameTask) {
       std::cerr << "ao_worker: unexpected frame type: " << frame->type << "\n";
       return 1;

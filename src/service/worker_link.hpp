@@ -48,8 +48,10 @@ std::optional<RemoteTask> decode_task(const std::string& payload,
 /// records out as one `records` frame per settled record, closed by a
 /// `store` frame carrying the shard's full serialized result store (or a
 /// `shard-error` frame; the worker stays alive for the next task either
-/// way). Returns the process exit code: 0 after a `bye` frame or a clean
-/// EOF (the daemon went away), nonzero on a protocol violation.
+/// way). `ping` frames (the registry's liveness probes) are answered with
+/// `pong` in the same loop. Returns the process exit code: 0 after a `bye`
+/// frame or a clean EOF (the daemon went away), nonzero on a protocol
+/// violation.
 int run_worker_session(std::istream& in, std::ostream& out,
                        const std::string& name);
 

@@ -9,9 +9,10 @@
 namespace ao::service {
 
 /// One parked worker connection. The streams belong to the session thread
-/// blocked in park(); a Lease borrows them while state == kLeased.
+/// blocked in park(); a Lease borrows them while state == kLeased, the
+/// heartbeat sweep while state == kPinging.
 struct WorkerRegistry::Lease::Slot {
-  enum class State { kIdle, kLeased, kDead };
+  enum class State { kIdle, kLeased, kPinging, kDead };
 
   std::string name;
   std::istream* in = nullptr;
@@ -20,6 +21,7 @@ struct WorkerRegistry::Lease::Slot {
   std::size_t shards_completed = 0;
   std::uint64_t busy_ns = 0;  ///< closed leases; an open one adds live time
   std::chrono::steady_clock::time_point leased_at;
+  std::uint64_t last_seen_ns = 0;  ///< config clock; park/pong/release update
 };
 
 namespace {
@@ -45,7 +47,21 @@ std::ostream& WorkerRegistry::Lease::out() { return *slot_->out; }
 
 const std::string& WorkerRegistry::Lease::name() const { return slot_->name; }
 
+WorkerRegistry::WorkerRegistry(Config config) : config_(std::move(config)) {}
+
 WorkerRegistry::~WorkerRegistry() { shutdown(); }
+
+void WorkerRegistry::configure(Config config) { config_ = std::move(config); }
+
+std::uint64_t WorkerRegistry::now_ns() const {
+  if (config_.clock) {
+    return config_.clock();
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 void WorkerRegistry::park(const std::string& name, std::istream& in,
                           std::ostream& out) {
@@ -54,6 +70,7 @@ void WorkerRegistry::park(const std::string& name, std::istream& in,
   slot->name = name;
   slot->in = &in;
   slot->out = &out;
+  slot->last_seen_ns = now_ns();
   {
     std::unique_lock lock(mutex_);
     if (shutting_down_) {
@@ -76,6 +93,11 @@ std::unique_ptr<WorkerRegistry::Lease> WorkerRegistry::acquire(int wait_ms) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(std::max(0, wait_ms));
   std::unique_lock lock(mutex_);
+  const auto any_idle = [&] {
+    return std::any_of(slots_.begin(), slots_.end(), [](const auto& slot) {
+      return slot->state == Slot::State::kIdle;
+    });
+  };
   for (;;) {
     if (shutting_down_) {
       return nullptr;
@@ -87,11 +109,64 @@ std::unique_ptr<WorkerRegistry::Lease> WorkerRegistry::acquire(int wait_ms) {
         return std::unique_ptr<Lease>(new Lease(*this, slot));
       }
     }
-    if (wait_ms <= 0 ||
-        changed_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (wait_ms <= 0) {
       return nullptr;
     }
+    // Predicate form, not bare wait_until: a park() whose notify lands as
+    // the deadline expires makes the bare form report cv_status::timeout
+    // even though an idle worker now exists, and returning nullptr then
+    // loses a connected worker for this campaign. The predicate is
+    // re-evaluated one final time AT the deadline, so that worker is seen
+    // and the loop leases it.
+    if (!changed_.wait_until(lock, deadline,
+                             [&] { return shutting_down_ || any_idle(); })) {
+      return nullptr;  // deadline passed with genuinely no idle worker
+    }
   }
+}
+
+std::size_t WorkerRegistry::heartbeat() {
+  using Slot = Lease::Slot;
+  std::vector<std::shared_ptr<Slot>> due;
+  {
+    std::lock_guard lock(mutex_);
+    if (config_.heartbeat_interval_ns == 0 || shutting_down_) {
+      return 0;
+    }
+    const std::uint64_t now = now_ns();
+    for (const auto& slot : slots_) {
+      if (slot->state == Slot::State::kIdle &&
+          now - slot->last_seen_ns >= config_.heartbeat_interval_ns) {
+        // The sweep borrows the endpoint exactly like a lease would:
+        // kPinging keeps acquire() off the streams while the round trip is
+        // in flight.
+        slot->state = Slot::State::kPinging;
+        due.push_back(slot);
+      }
+    }
+  }
+  std::size_t retired = 0;
+  for (const auto& slot : due) {
+    // Stream I/O outside the lock: a stalled endpoint blocks this sweep,
+    // never the registry.
+    bool alive = false;
+    write_frame(*slot->out, {kFramePing, {}});
+    if (*slot->out) {
+      std::string error;
+      const auto reply = read_frame(*slot->in, &error);
+      alive = reply.has_value() && reply->type == kFramePong;
+    }
+    std::lock_guard lock(mutex_);
+    if (alive && !shutting_down_) {
+      slot->last_seen_ns = now_ns();
+      slot->state = Slot::State::kIdle;
+    } else {
+      slot->state = Slot::State::kDead;
+      ++retired;
+    }
+    changed_.notify_all();  // wake the parked session (dead) or an acquire
+  }
+  return retired;
 }
 
 void WorkerRegistry::release(const std::shared_ptr<Lease::Slot>& slot,
@@ -101,8 +176,12 @@ void WorkerRegistry::release(const std::shared_ptr<Lease::Slot>& slot,
   if (slot->state == Slot::State::kLeased) {
     slot->busy_ns += elapsed_ns(slot->leased_at);
   }
-  slot->state = (failed || shutting_down_) ? Slot::State::kDead
-                                           : Slot::State::kIdle;
+  if (failed || shutting_down_) {
+    slot->state = Slot::State::kDead;
+  } else {
+    slot->state = Slot::State::kIdle;
+    slot->last_seen_ns = now_ns();  // a healthy conversation proves liveness
+  }
   changed_.notify_all();
 }
 
@@ -133,6 +212,7 @@ std::size_t WorkerRegistry::connected_count() const {
 std::vector<WorkerRegistry::WorkerInfo> WorkerRegistry::snapshot() const {
   using Slot = Lease::Slot;
   std::lock_guard lock(mutex_);
+  const std::uint64_t now = now_ns();
   std::vector<WorkerInfo> out;
   out.reserve(slots_.size());
   for (const auto& slot : slots_) {
@@ -145,6 +225,8 @@ std::vector<WorkerRegistry::WorkerInfo> WorkerRegistry::snapshot() const {
       if (slot->state == Slot::State::kLeased) {
         info.busy_ns += elapsed_ns(slot->leased_at);  // the lease is live
       }
+      info.last_seen_age_ns =
+          now >= slot->last_seen_ns ? now - slot->last_seen_ns : 0;
       out.push_back(std::move(info));
     }
   }

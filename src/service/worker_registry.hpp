@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -19,15 +20,32 @@ namespace ao::service {
 /// conversations over them. Exactly one thread ever touches a worker's
 /// streams: the parked session thread sleeps on a condition variable and
 /// only wakes to say goodbye once the slot is dead, so a lease holder owns
-/// the streams exclusively.
+/// the streams exclusively. The registry's heartbeat sweep (`heartbeat()`)
+/// borrows idle endpoints the same way — a slot being pinged is leased to
+/// the sweep, never to a campaign.
 ///
 /// Lifecycle of one slot: idle → leased (acquire) → idle (healthy release)
-/// or dead (release after `mark_failed()`, or `shutdown()`), and parked
+/// or dead (release after `mark_failed()`, or `shutdown()`), with a side
+/// trip idle → pinging → idle/dead driven by the heartbeat, and parked
 /// session threads return only when their slot dies. Workers that fail
 /// mid-conversation are never re-pooled — the stream position is unknown —
 /// their sessions end and the worker process reconnects if it wants back in.
 class WorkerRegistry {
  public:
+  /// Injectable monotonic nanosecond clock (same shape as
+  /// obs::TimelineProfiler::ClockFn): production uses steady_clock, the
+  /// heartbeat tests drive a counter for deterministic retirement.
+  using ClockFn = std::function<std::uint64_t()>;
+
+  struct Config {
+    /// An idle worker not heard from for this long is pinged by the next
+    /// heartbeat() sweep; one that fails the ping is retired. 0 disables
+    /// the sweep entirely (heartbeat() becomes a no-op).
+    std::uint64_t heartbeat_interval_ns = 0;
+    /// {} = steady_clock nanoseconds.
+    ClockFn clock;
+  };
+
   /// Exclusive checkout of one parked worker endpoint. Destroying the lease
   /// returns the worker to the idle pool, or retires it when mark_failed()
   /// was called (or the registry is shutting down).
@@ -66,18 +84,28 @@ class WorkerRegistry {
     bool idle = false;
     std::size_t shards = 0;     ///< shards completed over the slot's lifetime
     std::uint64_t busy_ns = 0;  ///< cumulative leased time (ongoing included)
+    /// Time since the endpoint last proved itself alive (parked, ponged a
+    /// heartbeat, or finished a lease) — the `stats-worker ... last-seen-ns`
+    /// feed.
+    std::uint64_t last_seen_age_ns = 0;
   };
 
   WorkerRegistry() = default;
+  explicit WorkerRegistry(Config config);
   ~WorkerRegistry();
   WorkerRegistry(const WorkerRegistry&) = delete;
   WorkerRegistry& operator=(const WorkerRegistry&) = delete;
 
+  /// Replaces the heartbeat configuration. Call before workers connect (the
+  /// daemon configures at startup); not synchronized against a concurrent
+  /// heartbeat() sweep.
+  void configure(Config config);
+
   /// Parks a connected worker endpoint and BLOCKS until the worker dies: a
-  /// lease holder marked it failed, or the registry shut down. On return
-  /// (after a best-effort `bye` frame so a healthy remote process exits
-  /// cleanly) the caller owns the streams again and should end the session.
-  /// Called from the worker's session thread.
+  /// lease holder marked it failed, a heartbeat went unanswered, or the
+  /// registry shut down. On return (after a best-effort `bye` frame so a
+  /// healthy remote process exits cleanly) the caller owns the streams again
+  /// and should end the session. Called from the worker's session thread.
   void park(const std::string& name, std::istream& in, std::ostream& out);
 
   /// Checks out an idle worker. `wait_ms` 0 returns immediately when none
@@ -85,6 +113,14 @@ class WorkerRegistry {
   /// connecting, or another campaign releasing one). Returns nullptr on
   /// timeout or shutdown.
   std::unique_ptr<Lease> acquire(int wait_ms);
+
+  /// One liveness sweep: pings every idle worker whose last-seen age has
+  /// reached the configured interval and retires those that fail to pong —
+  /// a dead endpoint is gone *before* a campaign can check it out. Blocks
+  /// for the ping round trips (the daemon drives it from a background
+  /// thread; the service also sweeps once before leasing shard workers).
+  /// Returns the number of workers retired. No-op when the interval is 0.
+  std::size_t heartbeat();
 
   std::size_t idle_count() const;
   std::size_t connected_count() const;
@@ -99,7 +135,9 @@ class WorkerRegistry {
  private:
   void release(const std::shared_ptr<Lease::Slot>& slot, bool failed);
   void note_shard_done(const std::shared_ptr<Lease::Slot>& slot);
+  std::uint64_t now_ns() const;
 
+  Config config_;
   mutable std::mutex mutex_;
   std::condition_variable changed_;
   std::vector<std::shared_ptr<Lease::Slot>> slots_;

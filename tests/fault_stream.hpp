@@ -1,0 +1,91 @@
+#pragma once
+
+/// Scripted-fault istream for wire-level tests: serves a captured byte
+/// payload until a scripted offset, then truncates (end-of-stream),
+/// corrupts (the byte arrives bit-flipped) or stalls (reads block until
+/// release()). One fault vocabulary shared by the frame codec tests and
+/// the chaos suite instead of ad-hoc substr() surgery per test.
+
+#include <condition_variable>
+#include <cstddef>
+#include <istream>
+#include <mutex>
+#include <streambuf>
+#include <string>
+#include <utility>
+
+namespace ao::test {
+
+/// What happens when the scripted byte offset is reached.
+enum class Fault {
+  kNone,      ///< pass-through: the whole payload is served unchanged
+  kTruncate,  ///< end-of-stream once `at` bytes were served
+  kCorrupt,   ///< the single byte at offset `at` arrives XOR 0xFF
+  kStall,     ///< reads block at offset `at` until release() is called
+};
+
+class FaultStream : public std::istream {
+ public:
+  explicit FaultStream(std::string payload, Fault fault = Fault::kNone,
+                       std::size_t at = 0)
+      : std::istream(nullptr), buf_(std::move(payload), fault, at) {
+    rdbuf(&buf_);
+  }
+
+  /// Unblocks a kStall permanently (reads continue past the offset).
+  /// Safe from any thread.
+  void release() { buf_.release(); }
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    Buf(std::string payload, Fault fault, std::size_t at)
+        : payload_(std::move(payload)), fault_(fault), at_(at) {}
+
+    void release() {
+      {
+        std::lock_guard lock(mutex_);
+        released_ = true;
+      }
+      released_cv_.notify_all();
+    }
+
+   protected:
+    // One byte per underflow keeps the fault offset exact: the reader can
+    // never buffer past the scripted point before the fault applies.
+    int_type underflow() override {
+      if (pos_ >= payload_.size()) {
+        return traits_type::eof();
+      }
+      if (fault_ == Fault::kTruncate && pos_ >= at_) {
+        return traits_type::eof();
+      }
+      if (fault_ == Fault::kStall && pos_ == at_) {
+        std::unique_lock lock(mutex_);
+        released_cv_.wait(lock, [this] { return released_; });
+      }
+      current_ = payload_[pos_];
+      if (fault_ == Fault::kCorrupt && pos_ == at_) {
+        current_ = static_cast<char>(
+            static_cast<unsigned char>(current_) ^ 0xFFu);
+      }
+      ++pos_;
+      setg(&current_, &current_, &current_ + 1);
+      return traits_type::to_int_type(current_);
+    }
+
+   private:
+    const std::string payload_;
+    const Fault fault_;
+    const std::size_t at_;
+    std::size_t pos_ = 0;
+    char current_ = 0;
+    std::mutex mutex_;
+    std::condition_variable released_cv_;
+    bool released_ = false;
+  };
+
+  Buf buf_;
+};
+
+}  // namespace ao::test

@@ -20,6 +20,7 @@
 
 #include "util/error.hpp"
 
+#include "fault_stream.hpp"
 #include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "service/campaign_queue.hpp"
@@ -70,6 +71,8 @@ CampaignRequest full_request() {
   request.power_window_seconds = 0.25;
   request.workers = 2;
   request.shards = 2;
+  request.deadline_ms = 1500;
+  request.shard_retries = 3;
   return request;
 }
 
@@ -105,9 +108,14 @@ TEST(Protocol, BuilderRejectsMalformedSetterLines) {
   EXPECT_TRUE(builder.apply("repetitions 0").has_value());
   EXPECT_TRUE(builder.apply("workers nope").has_value());
   EXPECT_TRUE(builder.apply("frobnicate 3").has_value());
+  EXPECT_TRUE(builder.apply("deadline 86400001").has_value());
+  EXPECT_TRUE(builder.apply("deadline soon").has_value());
+  EXPECT_TRUE(builder.apply("retries 17").has_value());
   // The request is still usable after every rejection.
   EXPECT_FALSE(builder.apply("chips m1").has_value());
   EXPECT_FALSE(builder.apply("sme 32").has_value());
+  EXPECT_FALSE(builder.apply("deadline 250").has_value());
+  EXPECT_FALSE(builder.apply("retries 0").has_value());
   const CampaignRequest request = builder.take();
   EXPECT_TRUE(request.has_work());
 }
@@ -152,21 +160,20 @@ TEST(WireFrame, RejectsTruncationCorruptionAndForeignVersions) {
   std::string error;
   {
     // Stream ends inside the payload.
-    std::istringstream in(encoded.substr(0, encoded.size() - 5));
+    test::FaultStream in(encoded, test::Fault::kTruncate, encoded.size() - 5);
     EXPECT_FALSE(read_frame(in, &error).has_value());
     EXPECT_EQ(error, "frame-truncated");
   }
   {
     // The trailing newline is missing (a half-flushed frame).
-    std::istringstream in(encoded.substr(0, encoded.size() - 1));
+    test::FaultStream in(encoded, test::Fault::kTruncate, encoded.size() - 1);
     EXPECT_FALSE(read_frame(in, &error).has_value());
     EXPECT_EQ(error, "frame-truncated");
   }
   {
     // A flipped payload byte fails the digest.
-    std::string corrupt = encoded;
-    corrupt[corrupt.find("hello")] = 'H';
-    std::istringstream in(corrupt);
+    test::FaultStream in(encoded, test::Fault::kCorrupt,
+                         encoded.find("hello"));
     EXPECT_FALSE(read_frame(in, &error).has_value());
     EXPECT_EQ(error, "frame-digest-mismatch");
   }

@@ -8,14 +8,18 @@
 //   ao_campaignctl --socket <path> [--request <file>]   submit (stdin
 //                                                       without --request)
 //                  [--client <id>] [--priority <n>]     queueing identity
+//                  [--deadline-ms <n>] [--retries <n>]  resilience knobs
 //   ao_campaignctl --socket <path> ping|stats|queue|compact|shutdown
+//   ao_campaignctl --socket <path> abort --name <campaign>
 //   ao_campaignctl --socket <path> profile [--name <campaign>] [--json]
 //   ao_campaignctl --verify-store <file>                offline store check
 //
 // --socket also accepts host:port for a daemon listening with --tcp on
-// another machine. --client/--priority inject the matching request lines
-// right after the block's `begin`, so scripts can set queueing identity
-// without editing request files. While the service queues the campaign
+// another machine. --client/--priority/--deadline-ms/--retries inject the
+// matching request lines right after the block's `begin`, so scripts can
+// set queueing identity, a wall-clock budget and the shard retry budget
+// without editing request files. `abort --name <campaign>` cancels every
+// campaign running or queued under that name (docs/service.md). While the service queues the campaign
 // behind conflicting ones, `queued <pos>` / `started` events stream
 // through verbatim; `queue` lists the waiting campaigns (position, name,
 // client, priority, resource mask) without submitting anything.
@@ -154,6 +158,10 @@ int converse(ao::service::SocketStream& stream,
       if (std::istringstream(second) >> index && (words >> event)) {
         if (event == "start") {
           shard_progress[index] = "started";
+        } else if (event == "retry") {
+          shard_progress[index] = "retrying";
+        } else if (event == "lost") {
+          shard_progress[index] = "lost";
         } else if (event == "done") {
           std::string records_word;
           std::size_t records = 0;
@@ -248,8 +256,8 @@ int converse(ao::service::SocketStream& stream,
     if (mode == "queue" && first == "queue") {
       return 0;
     }
-    if ((mode == "compact" || mode == "shutdown") && first == "ok" &&
-        second == mode) {
+    if ((mode == "compact" || mode == "shutdown" || mode == "abort") &&
+        first == "ok" && second == mode) {
       return 0;
     }
   }
@@ -265,6 +273,8 @@ int main(int argc, char** argv) {
   std::string verify_path;
   std::string client_id;
   std::string priority;
+  std::string deadline_ms;
+  std::string retries;
   std::string profile_name;
   bool json = false;
   std::string command = "submit";
@@ -277,6 +287,10 @@ int main(int argc, char** argv) {
       client_id = argv[++i];
     } else if (std::strcmp(argv[i], "--priority") == 0 && i + 1 < argc) {
       priority = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = argv[++i];
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = argv[++i];
     } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
       profile_name = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -296,9 +310,12 @@ int main(int argc, char** argv) {
   }
   if (socket_path.empty()) {
     std::cerr << "usage: ao_campaignctl --socket <path | host:port> "
-                 "[--request <file>] [--client <id>] [--priority <n>]\n"
+                 "[--request <file>] [--client <id>] [--priority <n>] "
+                 "[--deadline-ms <n>] [--retries <n>]\n"
                  "       ao_campaignctl --socket <path | host:port> "
                  "ping|stats|queue|compact|shutdown\n"
+                 "       ao_campaignctl --socket <path | host:port> "
+                 "abort --name <campaign>\n"
                  "       ao_campaignctl --socket <path | host:port> "
                  "profile [--name <campaign>] [--json]\n"
                  "       ao_campaignctl --verify-store <file>\n";
@@ -330,6 +347,12 @@ int main(int argc, char** argv) {
         if (!priority.empty()) {
           lines.push_back("priority " + priority);
         }
+        if (!deadline_ms.empty()) {
+          lines.push_back("deadline " + deadline_ms);
+        }
+        if (!retries.empty()) {
+          lines.push_back("retries " + retries);
+        }
       }
       if (line.rfind("run", 0) == 0) {
         break;  // the block is complete; ignore trailing noise
@@ -342,6 +365,12 @@ int main(int argc, char** argv) {
   } else if (command == "ping" || command == "stats" || command == "queue" ||
              command == "compact" || command == "shutdown") {
     lines.push_back(command);
+  } else if (command == "abort") {
+    if (profile_name.empty()) {
+      std::cerr << "ao_campaignctl: abort needs --name <campaign>\n";
+      return 2;
+    }
+    lines.push_back("abort " + profile_name);
   } else if (command == "profile") {
     lines.push_back(profile_name.empty() ? "profile"
                                          : "profile " + profile_name);
