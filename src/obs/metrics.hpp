@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ao::obs {
+
+/// Every metric of the daemon's Prometheus exposition surface, one
+/// enumerator per time series family. Names/kinds/help live in
+/// `kMetricNames` (and friends) in metrics.cpp; the names are protocol
+/// surface, documented in the metric glossary of docs/observability.md and
+/// kept in sync by check_markdown_links.py --glossary.
+enum class Metric {
+  // Counters — monotone lifetime totals, refreshed from Totals at scrape.
+  kCampaignsTotal,
+  kCampaignsShardedTotal,
+  kCampaignsAbortedTotal,
+  kCampaignsDeadlineExpiredTotal,
+  kQueueRejectedTotal,
+  kJobsExecutedTotal,
+  kCacheHitsTotal,
+  kRecordsStreamedTotal,
+  kMergedEntriesTotal,
+  kRemoteShardsTotal,
+  kShardRetriesTotal,
+  kOutboxBlockedTotal,
+  kOutboxDroppedTotal,
+  // Gauges — point-in-time fleet state.
+  kQueueDepth,
+  kCampaignsRunning,
+  kOutboxPeakDepth,
+  kWorkersConnected,
+  kWorkersIdle,
+  kWorkerRttNs,          ///< labelled worker="<name>"
+  kWorkerClockOffsetNs,  ///< labelled worker="<name>"
+  // Histograms — observed per completed campaign.
+  kPhaseDurationNs,  ///< labelled phase="<phase-name>"
+};
+
+inline constexpr std::size_t kMetricCount =
+    static_cast<std::size_t>(Metric::kPhaseDurationNs) + 1;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// The exposed family name ("ao_campaigns_total", ...). Stable surface.
+const char* metric_name(Metric metric);
+MetricKind metric_kind(Metric metric);
+
+/// Scrape-time metric store + Prometheus text renderer.
+///
+/// Counters and gauges are *set* to their current value at scrape time
+/// (the daemon's Totals counters are already monotone, so the rendered
+/// counters are too); histograms accumulate observations as campaigns
+/// complete. Labelled families (worker=..., phase=...) hold one sample per
+/// label value. Thread-safe.
+class MetricsRegistry {
+ public:
+  /// Fixed histogram bucket upper bounds in nanoseconds (1µs … 10s); an
+  /// implicit +Inf bucket tops them off.
+  static const std::vector<std::uint64_t>& histogram_buckets();
+
+  /// Sets a counter/gauge sample. `label` is the label *value* (the key is
+  /// implied by the family); "" addresses the unlabelled sample.
+  void set(Metric metric, std::int64_t value, const std::string& label = {});
+
+  /// Drops every sample of a labelled family — workers come and go, and a
+  /// retired endpoint's gauge must not linger in the exposition.
+  void clear(Metric metric);
+
+  /// Adds one observation to a histogram family sample.
+  void observe(Metric metric, std::uint64_t value,
+               const std::string& label = {});
+
+  /// The full exposition: `# HELP`/`# TYPE` metadata for every family
+  /// (samples only where data exists) in Prometheus/OpenMetrics text
+  /// format, terminated by the OpenMetrics `# EOF` marker — the line
+  /// protocol's end-of-reply sentinel for the `metrics` command.
+  std::string render() const;
+
+ private:
+  struct Histogram {
+    std::vector<std::uint64_t> buckets;  ///< counts per histogram_buckets()
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> values_[kMetricCount];
+  std::map<std::string, Histogram> histograms_[kMetricCount];
+};
+
+}  // namespace ao::obs

@@ -133,6 +133,13 @@ std::uint64_t TimelineProfiler::record(Phase phase, std::uint64_t start_ns,
   return id;
 }
 
+std::uint64_t TimelineProfiler::adopt(Span span) {
+  span.id = next_id_.fetch_add(1);
+  const std::uint64_t id = span.id;
+  append(std::move(span));
+  return id;
+}
+
 std::vector<Span> TimelineProfiler::snapshot() const {
   std::vector<Span> out;
   std::lock_guard lock(buffers_mutex_);
@@ -315,7 +322,15 @@ std::string timeline_json(std::uint64_t campaign_id, const std::string& name,
            ", \"duration_ns\": " + std::to_string(span.duration_ns) +
            ", \"label\": \"";
     json_escape_into(out, span.label);
-    out += "\"}";
+    out += "\"";
+    // Worker-origin spans carry where they were measured; local spans omit
+    // the key so pre-distributed artifacts stay byte-identical.
+    if (!span.origin.empty()) {
+      out += ", \"origin\": \"";
+      json_escape_into(out, span.origin);
+      out += "\"";
+    }
+    out += "}";
   }
   out += "\n  ]\n}\n";
   return out;

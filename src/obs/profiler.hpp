@@ -52,7 +52,8 @@ struct Span {
   Phase phase = Phase::kCampaign;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
-  std::string label;  ///< free text: job kind, worker name, shard index...
+  std::string label;   ///< free text: job kind, worker name, shard index...
+  std::string origin;  ///< worker name for grafted remote spans; "" = local
 };
 
 /// Aggregate of every span of one phase — the `profile-phase` reply line
@@ -140,6 +141,15 @@ class TimelineProfiler {
                        std::uint64_t end_ns,
                        std::uint64_t parent = kInheritParent,
                        std::string label = {});
+
+  /// Appends a span measured by *another* profiler (a worker timeline
+  /// shipped over the wire), allocating it a fresh id here and returning
+  /// it. `span.parent`, timestamps and origin are taken as given — the
+  /// caller has already re-parented and clock-aligned them (see
+  /// obs::graft_spans). Adopting a foreign timeline in its own id order
+  /// preserves the topological id invariant: each span's remapped parent
+  /// was adopted earlier and thus carries a smaller id.
+  std::uint64_t adopt(Span span);
 
   /// Every completed span, sorted by id (parents before children).
   std::vector<Span> snapshot() const;

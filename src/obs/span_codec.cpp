@@ -1,0 +1,141 @@
+#include "obs/span_codec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace ao::obs {
+namespace {
+
+void append_flattened(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    out += (c == '\n' || c == '\r') ? ' ' : c;
+  }
+}
+
+}  // namespace
+
+std::string encode_spans(const std::string& origin,
+                         const std::vector<Span>& spans) {
+  std::string out = kSpanPayloadVersion;
+  out += "\norigin ";
+  append_flattened(out, origin);
+  out += '\n';
+  for (const Span& span : spans) {
+    out += "span " + std::to_string(span.id) + ' ' +
+           std::to_string(span.parent) + ' ';
+    out += phase_name(span.phase);
+    out += ' ' + std::to_string(span.start_ns) + ' ' +
+           std::to_string(span.duration_ns);
+    if (!span.label.empty()) {
+      out += ' ';
+      append_flattened(out, span.label);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<Span>> decode_spans(const std::string& payload,
+                                              std::string* origin,
+                                              std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return std::nullopt;
+  };
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != kSpanPayloadVersion) {
+    return fail("span payload version mismatch: " + line);
+  }
+  if (!std::getline(in, line) || line.rfind("origin ", 0) != 0) {
+    return fail("span payload missing origin line");
+  }
+  if (origin != nullptr) {
+    *origin = line.substr(7);
+  }
+  std::vector<Span> spans;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    std::string phase_text;
+    Span span;
+    fields >> tag >> span.id >> span.parent >> phase_text >> span.start_ns >>
+        span.duration_ns;
+    if (!fields || tag != "span") {
+      return fail("malformed span line: " + line);
+    }
+    const auto phase = phase_from_name(phase_text);
+    if (!phase.has_value()) {
+      return fail("unknown span phase: " + phase_text);
+    }
+    span.phase = *phase;
+    if (fields.get() == ' ') {
+      std::getline(fields, span.label);
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+std::size_t graft_spans(TimelineProfiler& profiler, std::vector<Span> spans,
+                        std::uint64_t parent, std::uint64_t window_start,
+                        std::uint64_t window_end, bool has_offset,
+                        std::int64_t offset_ns, const std::string& origin) {
+  if (spans.empty()) {
+    return 0;
+  }
+  if (window_end < window_start) {
+    window_end = window_start;
+  }
+  // Worker id order is a topological order of the worker's own span tree;
+  // adopting in that order keeps parents ahead of children here too.
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.id < b.id; });
+  std::int64_t offset = offset_ns;
+  if (!has_offset) {
+    // No heartbeat estimate for this endpoint yet: start-align the worker
+    // timeline to the window. Relative spacing inside it stays exact.
+    std::uint64_t earliest = spans.front().start_ns;
+    for (const Span& span : spans) {
+      earliest = std::min(earliest, span.start_ns);
+    }
+    offset = static_cast<std::int64_t>(earliest) -
+             static_cast<std::int64_t>(window_start);
+  }
+  const auto clamp = [&](std::int64_t value, std::uint64_t lo) {
+    if (value < static_cast<std::int64_t>(lo)) {
+      return lo;
+    }
+    if (value > static_cast<std::int64_t>(window_end)) {
+      return window_end;
+    }
+    return static_cast<std::uint64_t>(value);
+  };
+  std::unordered_map<std::uint64_t, std::uint64_t> remapped;
+  remapped.reserve(spans.size());
+  for (Span& span : spans) {
+    const std::int64_t aligned =
+        static_cast<std::int64_t>(span.start_ns) - offset;
+    Span adopted;
+    adopted.start_ns = clamp(aligned, window_start);
+    adopted.duration_ns =
+        clamp(aligned + static_cast<std::int64_t>(span.duration_ns),
+              adopted.start_ns) -
+        adopted.start_ns;
+    const auto mapped = remapped.find(span.parent);
+    adopted.parent = mapped != remapped.end() ? mapped->second : parent;
+    adopted.phase = span.phase;
+    adopted.label = std::move(span.label);
+    adopted.origin = origin;
+    remapped.emplace(span.id, profiler.adopt(std::move(adopted)));
+  }
+  return spans.size();
+}
+
+}  // namespace ao::obs

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace ao::obs {
+
+/// Version tag of the span wire payload — the same schema family as the
+/// JSON artifacts, in the line form the shard transport's `spans` frame
+/// carries (docs/observability.md#distributed-spans).
+inline constexpr char kSpanPayloadVersion[] = "ao-profile/1";
+
+/// Encodes a completed timeline as a `spans` frame payload:
+///
+///   ao-profile/1
+///   origin <worker-name>
+///   span <id> <parent> <phase-name> <start-ns> <duration-ns> [label...]
+///
+/// Timestamps are the *sender's* clock readings; the receiver aligns them
+/// (graft_spans). Newlines inside labels would corrupt the line format and
+/// are flattened to spaces.
+std::string encode_spans(const std::string& origin,
+                         const std::vector<Span>& spans);
+
+/// Decodes a `spans` frame payload. Returns nullopt (and sets `*error`)
+/// on a version mismatch or a malformed line — the caller drops the
+/// telemetry, never the shard. Decoded spans keep the sender's ids,
+/// parents, and timestamps; `*origin` receives the sender's name.
+std::optional<std::vector<Span>> decode_spans(const std::string& payload,
+                                              std::string* origin,
+                                              std::string* error);
+
+/// Grafts a worker-measured timeline under `parent` on the daemon's
+/// profiler. Every span is stamped with `origin`, mapped from the worker
+/// clock onto the daemon clock, clamped into [window_start, window_end]
+/// (the enclosing transport span's observed window, so the graft nests
+/// strictly inside it with no negative durations whatever the skew), and
+/// re-identified with fresh daemon ids in the worker's own id order —
+/// which keeps the topological id invariant. Roots, and spans whose
+/// parent did not ship, attach to `parent`.
+///
+/// `offset_ns` is the worker clock minus the daemon clock (the registry's
+/// heartbeat midpoint estimate) and is used when `has_offset`; otherwise
+/// the earliest worker span is start-aligned to `window_start`. Returns
+/// the number of grafted spans.
+std::size_t graft_spans(TimelineProfiler& profiler, std::vector<Span> spans,
+                        std::uint64_t parent, std::uint64_t window_start,
+                        std::uint64_t window_end, bool has_offset,
+                        std::int64_t offset_ns, const std::string& origin);
+
+}  // namespace ao::obs

@@ -46,6 +46,7 @@ inline constexpr char kFrameShardError[] = "shard-error";  ///< worker → daemo
 inline constexpr char kFrameBye[] = "bye";            ///< daemon → worker
 inline constexpr char kFramePing[] = "ping";          ///< daemon → worker
 inline constexpr char kFramePong[] = "pong";          ///< worker → daemon
+inline constexpr char kFrameSpans[] = "spans";        ///< worker → daemon
 
 /// One frame: a short lowercase type token plus an arbitrary byte payload.
 struct Frame {

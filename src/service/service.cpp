@@ -301,10 +301,16 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
         // the aggregate `stats` line is the terminal reply clients stop
         // reading at.
         for (const auto& worker : registry_.snapshot()) {
+          // rtt-ns and clock-offset-ns are heartbeat estimates; both read 0
+          // until the first sweep pings the endpoint (and the offset stays 0
+          // for a worker whose pongs carry no clock reading).
           out << "stats-worker " << worker.name << ' '
               << (worker.idle ? "idle" : "busy") << " shards " << worker.shards
               << " busy-ns " << worker.busy_ns << " last-seen-ns "
-              << worker.last_seen_age_ns << '\n';
+              << worker.last_seen_age_ns << " rtt-ns " << worker.rtt_ns
+              << " clock-offset-ns "
+              << (worker.has_clock_offset ? worker.clock_offset_ns : 0)
+              << '\n';
         }
         for (const auto& [client, s] : queue_.client_stats()) {
           out << "stats-client " << client << " queued " << s.queued
@@ -340,6 +346,8 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
             << " outbox-dropped " << t.outbox_dropped << '\n';
       } else if (words[0] == "profile") {
         reply_profile(words.size() > 1 ? words[1] : "", out);
+      } else if (words[0] == "metrics") {
+        reply_metrics(out);
       } else if (words[0] == "compact") {
         if (cache_.persist_path().empty()) {
           reply_error(out, "no-store", "no write-through store attached",
@@ -386,11 +394,13 @@ void CampaignService::reply_profile(const std::string& name,
   }
   // Span lines first (id order = parents before children), then the
   // per-phase aggregates, then the terminal `profile` line clients stop
-  // reading at. The free-text label goes last so spaces survive.
+  // reading at. The origin is one token (`-` for local spans); the
+  // free-text label goes last so spaces survive.
   for (const obs::Span& span : timeline.spans) {
     out << "profile-span " << span.id << ' ' << span.parent << ' '
         << obs::phase_name(span.phase) << ' ' << span.start_ns << ' '
         << span.duration_ns << ' '
+        << (span.origin.empty() ? "-" : span.origin) << ' '
         << (span.label.empty() ? "-" : one_line(span.label)) << '\n';
   }
   for (const auto& [phase, stats] : obs::phase_stats(timeline.spans)) {
@@ -402,6 +412,49 @@ void CampaignService::reply_profile(const std::string& name,
   out << "profile campaign " << timeline.id << " name " << timeline.name
       << " client " << timeline.client << " spans " << timeline.spans.size()
       << '\n';
+}
+
+void CampaignService::reply_metrics(std::ostream& out) {
+  using obs::Metric;
+  // Counters restate the lifetime Totals (already monotone — two scrapes
+  // can only go up); gauges restate the current queue/registry state.
+  const Totals t = totals();
+  const auto count = [&](Metric metric, std::size_t value) {
+    metrics_.set(metric, static_cast<std::int64_t>(value));
+  };
+  count(Metric::kCampaignsTotal, t.campaigns);
+  count(Metric::kCampaignsShardedTotal, t.sharded_campaigns);
+  count(Metric::kCampaignsAbortedTotal, t.aborted);
+  count(Metric::kCampaignsDeadlineExpiredTotal, t.deadline_expired);
+  count(Metric::kQueueRejectedTotal, queue_.rejections());
+  count(Metric::kJobsExecutedTotal, t.jobs_executed);
+  count(Metric::kCacheHitsTotal, t.cache_hits);
+  count(Metric::kRecordsStreamedTotal, t.records_streamed);
+  count(Metric::kMergedEntriesTotal, t.merged_entries);
+  count(Metric::kRemoteShardsTotal, t.remote_shards);
+  count(Metric::kShardRetriesTotal, t.shard_retries);
+  count(Metric::kOutboxBlockedTotal, t.outbox_blocked);
+  count(Metric::kOutboxDroppedTotal, t.outbox_dropped);
+  count(Metric::kQueueDepth, queue_.queued_count());
+  count(Metric::kCampaignsRunning, queue_.running_count());
+  count(Metric::kOutboxPeakDepth, t.outbox_peak);
+  count(Metric::kWorkersConnected, registry_.connected_count());
+  count(Metric::kWorkersIdle, registry_.idle_count());
+  // Per-endpoint gauges are rebuilt from scratch: a retired worker's series
+  // must vanish from the exposition, not linger at its last value.
+  metrics_.clear(Metric::kWorkerRttNs);
+  metrics_.clear(Metric::kWorkerClockOffsetNs);
+  for (const auto& worker : registry_.snapshot()) {
+    if (worker.rtt_ns != 0) {
+      metrics_.set(Metric::kWorkerRttNs,
+                   static_cast<std::int64_t>(worker.rtt_ns), worker.name);
+    }
+    if (worker.has_clock_offset) {
+      metrics_.set(Metric::kWorkerClockOffsetNs, worker.clock_offset_ns,
+                   worker.name);
+    }
+  }
+  out << metrics_.render();
 }
 
 void CampaignService::finish_campaign_profile(std::uint64_t root_span,
@@ -441,6 +494,12 @@ void CampaignService::finish_campaign_profile(std::uint64_t root_span,
     auto& [count, total_ns] = phase_totals_[static_cast<std::size_t>(phase)];
     count += stats.count;
     total_ns += stats.total_ns;
+  }
+  // Feed the per-phase duration histograms of the `metrics` exposition —
+  // incremental, so a scrape between two campaigns stays monotone.
+  for (const obs::Span& span : mine) {
+    metrics_.observe(obs::Metric::kPhaseDurationNs, span.duration_ns,
+                     obs::phase_name(span.phase));
   }
 
   if (!config_.profile_dir.empty()) {
@@ -1074,9 +1133,15 @@ bool CampaignService::run_shards_remote(
           &profiler_, obs::Phase::kShard, root_span,
           "shard-" + std::to_string(tasks[i].shard_index) + " worker " +
               lease->name());
+      // The graft context stamps this endpoint's name on the worker spans
+      // its `spans` frame ships and aligns their clocks with the registry's
+      // heartbeat offset estimate (start-aligned when none exists yet).
+      ShardGraft graft;
+      graft.origin = lease->name();
+      graft.has_clock_offset = lease->clock_offset(&graft.clock_offset_ns);
       RemoteShardOutcome outcome = run_remote_shard(
           lease->in(), lease->out(), request, tasks[i].shard_index,
-          tasks[i].groups, stream_line, &profiler_);
+          tasks[i].groups, stream_line, &profiler_, &graft);
       shard_span.close();
       if (!outcome.connection_lost) {
         // Done, or a clean shard-error over a healthy connection: the shard

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
@@ -225,6 +226,11 @@ class CampaignService {
   /// Handles the `profile [name]` command: replays the newest retained
   /// timeline (newest of that campaign name, with one given).
   void reply_profile(const std::string& name, std::ostream& out) const;
+  /// Handles the `metrics` command: refreshes the counter/gauge samples
+  /// from the lifetime totals and fleet state (both already monotone where
+  /// Prometheus requires it) and streams the text exposition, terminated by
+  /// the `# EOF` marker.
+  void reply_metrics(std::ostream& out);
 
   Config config_;
   orchestrator::ResultCache cache_;
@@ -268,6 +274,11 @@ class CampaignService {
   /// feed; indexed by static_cast<size_t>(Phase).
   std::array<std::pair<std::size_t, std::uint64_t>, obs::kPhaseCount>
       phase_totals_{};
+
+  /// The Prometheus exposition surface behind the `metrics` command.
+  /// Histograms accumulate as campaigns finish; counters and gauges are
+  /// refreshed from Totals / queue / registry at scrape time.
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace ao::service

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/span_codec.hpp"
 #include "orchestrator/campaign.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
@@ -49,9 +50,12 @@ std::string join_index_csv(const std::vector<std::size_t>& values) {
   return out;
 }
 
-/// Runs one task's shard and streams its records as frames. Any exception
-/// propagates to the caller, which reports it as a `shard-error` frame.
-void execute_task(const RemoteTask& task, std::ostream& out) {
+/// Runs one task's shard, streams its records as frames, and closes with
+/// the shard's worker-side timeline (`spans` frame) followed by the
+/// authoritative `store` frame. Any exception propagates to the caller,
+/// which ships whatever the profiler measured and a `shard-error` frame.
+void execute_task(const RemoteTask& task, std::ostream& out,
+                  obs::TimelineProfiler& profiler, const std::string& origin) {
   orchestrator::Campaign campaign = task.request.to_campaign();
   orchestrator::JobQueue queue;
   campaign.expand_subset(queue, task.groups);
@@ -60,10 +64,12 @@ void execute_task(const RemoteTask& task, std::ostream& out) {
   // serialize_store() over the retained set — can never have evicted a
   // record the daemon is owed.
   orchestrator::ResultCache cache(std::max<std::size_t>(4096, queue.total()));
+  cache.set_profiler(&profiler);
   orchestrator::CampaignScheduler::Options scheduler_options;
   scheduler_options.concurrency = task.request.workers;
   orchestrator::CampaignScheduler scheduler(task.request.options(),
                                             scheduler_options, &cache);
+  scheduler.set_profile_sink(&profiler, 0);
   const std::uint64_t options_fp =
       orchestrator::options_fingerprint(task.request.options());
 
@@ -71,14 +77,28 @@ void execute_task(const RemoteTask& task, std::ostream& out) {
   scheduler.run(queue, [&](const orchestrator::ExperimentJob& job,
                            const orchestrator::MeasurementRecord& record,
                            bool /*from_cache*/) {
+    // The callback runs inside the job's `execute` span, so both scopes
+    // nest under it.
+    obs::TimelineProfiler::Scope serialize(
+        &profiler, obs::Phase::kSerialize,
+        obs::TimelineProfiler::kInheritParent, "record");
     const std::string line = orchestrator::format_store_entry(
         orchestrator::key_for_job(job, options_fp), record);
+    serialize.close();
     std::lock_guard lock(out_mutex);
+    obs::TimelineProfiler::Scope frame_span(
+        &profiler, obs::Phase::kFrame, obs::TimelineProfiler::kInheritParent,
+        "records");
     write_frame(out, {kFrameRecords, line});
   });
   // The authoritative shard result: byte-for-byte what a local worker's
   // write-through store file would hold after the same run.
-  write_frame(out, {kFrameStore, cache.serialize_store()});
+  const std::string store = cache.serialize_store();
+  // The timeline ships *before* the store so the daemon's shard
+  // conversation handles it inline — the store frame stays the settling
+  // frame, and peers that never send spans change nothing.
+  write_frame(out, {kFrameSpans, obs::encode_spans(origin, profiler.drain())});
+  write_frame(out, {kFrameStore, store});
 }
 
 }  // namespace
@@ -135,7 +155,10 @@ std::optional<RemoteTask> decode_task(const std::string& payload,
 }
 
 int run_worker_session(std::istream& in, std::ostream& out,
-                       const std::string& name) {
+                       const std::string& name, WorkerSessionOptions options) {
+  // One profiler per session: each task drains it, so a timeline never
+  // bleeds into the next shard's `spans` frame.
+  obs::TimelineProfiler profiler(std::move(options.clock));
   out << "worker " << name << '\n';
   out.flush();
   std::string reply;
@@ -166,8 +189,11 @@ int run_worker_session(std::istream& in, std::ostream& out,
     }
     if (frame->type == kFramePing) {
       // Liveness probe from the registry's heartbeat sweep: answer and keep
-      // waiting for work. Parked workers that stop ponging are retired.
-      write_frame(out, {kFramePong, {}});
+      // waiting for work. Parked workers that stop ponging are retired. The
+      // payload is this worker's current clock reading — paired with the
+      // ping round-trip it gives the daemon a midpoint clock-offset
+      // estimate for aligning this worker's shipped spans.
+      write_frame(out, {kFramePong, std::to_string(profiler.now())});
       continue;
     }
     if (frame->type != kFrameTask) {
@@ -181,10 +207,12 @@ int run_worker_session(std::istream& in, std::ostream& out,
       continue;
     }
     try {
-      execute_task(*task, out);
+      execute_task(*task, out, profiler, name);
     } catch (const std::exception& e) {
-      // The shard failed but the connection is healthy: report and stay
-      // available for the next task.
+      // The shard failed but the connection is healthy: ship whatever the
+      // timeline measured before the failure, report, and stay available
+      // for the next task.
+      write_frame(out, {kFrameSpans, obs::encode_spans(name, profiler.drain())});
       write_frame(out, {kFrameShardError, e.what()});
     }
   }
@@ -194,7 +222,7 @@ RemoteShardOutcome run_remote_shard(
     std::istream& in, std::ostream& out, const CampaignRequest& request,
     std::size_t shard_index, const std::vector<std::size_t>& groups,
     const std::function<void(const std::string& entry_line)>& on_record,
-    obs::TimelineProfiler* profiler) {
+    obs::TimelineProfiler* profiler, const ShardGraft* graft) {
   RemoteShardOutcome outcome;
   outcome.shard_index = shard_index;
 
@@ -205,6 +233,24 @@ RemoteShardOutcome run_remote_shard(
       profiler, obs::Phase::kTransport,
       obs::TimelineProfiler::kInheritParent,
       "shard-" + std::to_string(shard_index));
+  // The graft window: worker spans are clamped into [window_start, "now" at
+  // settle], which lies strictly inside the transport span whatever the
+  // clocks did — causal nesting and non-negative durations by construction.
+  const std::uint64_t window_start = profiler != nullptr ? profiler->now() : 0;
+  std::vector<obs::Span> pending_spans;
+  std::string payload_origin;
+  const auto settle_graft = [&] {
+    if (profiler == nullptr || pending_spans.empty()) {
+      return;
+    }
+    const std::string& origin = graft != nullptr && !graft->origin.empty()
+                                    ? graft->origin
+                                    : payload_origin;
+    outcome.worker_spans = obs::graft_spans(
+        *profiler, std::move(pending_spans), transport.id(), window_start,
+        profiler->now(), graft != nullptr && graft->has_clock_offset,
+        graft != nullptr ? graft->clock_offset_ns : 0, origin);
+  };
 
   {
     obs::TimelineProfiler::Scope frame_span(profiler, obs::Phase::kFrame,
@@ -242,6 +288,21 @@ RemoteShardOutcome run_remote_shard(
           on_record(line);
         }
       }
+    } else if (frame->type == kFrameSpans) {
+      obs::TimelineProfiler::Scope frame_span(
+          profiler, obs::Phase::kFrame,
+          obs::TimelineProfiler::kInheritParent, "spans");
+      std::string decode_error;
+      auto decoded =
+          obs::decode_spans(frame->payload, &payload_origin, &decode_error);
+      if (decoded.has_value()) {
+        // Grafted when the settling frame arrives — a worker that dies
+        // between its spans and its store leaves a rescheduled shard, and
+        // the retry attempt's timeline replaces this one.
+        pending_spans = std::move(*decoded);
+      }
+      // A payload that fails to decode is version-skewed telemetry: drop
+      // the spans, never the shard.
     } else if (frame->type == kFrameStore) {
       outcome.store = frame->payload;
       // The store frame is authoritative; the incrementally collected lines
@@ -250,9 +311,11 @@ RemoteShardOutcome run_remote_shard(
       outcome.lines.clear();
       outcome.lines.shrink_to_fit();
       outcome.ok = true;
+      settle_graft();
       return outcome;
     } else if (frame->type == kFrameShardError) {
       outcome.error = frame->payload;
+      settle_graft();
       return outcome;
     } else {
       // Unknown frame type: a version-skewed worker. The stream position is

@@ -43,17 +43,30 @@ std::string encode_task(const CampaignRequest& request,
 std::optional<RemoteTask> decode_task(const std::string& payload,
                                       std::string* error = nullptr);
 
+/// Knobs of a worker session; the defaults are production behaviour.
+struct WorkerSessionOptions {
+  /// Clock behind the worker-side timeline profiler and the clock readings
+  /// shipped in `pong` payloads (the daemon's offset estimation input).
+  /// {} selects the monotonic steady_clock; tests inject counter clocks
+  /// for deterministic distributed timelines.
+  obs::TimelineProfiler::ClockFn clock;
+};
+
 /// The whole body of a remote `ao_worker`: sends the `worker <name>` hello,
 /// waits for the service's ack, then loops — `task` frame in, the shard's
 /// records out as one `records` frame per settled record, closed by a
-/// `store` frame carrying the shard's full serialized result store (or a
-/// `shard-error` frame; the worker stays alive for the next task either
+/// `spans` frame carrying the shard's worker-side timeline (execute/
+/// serialize/frame spans, ao-profile/1 payload) and a `store` frame
+/// carrying the shard's full serialized result store (or a `shard-error`
+/// frame after the spans; the worker stays alive for the next task either
 /// way). `ping` frames (the registry's liveness probes) are answered with
-/// `pong` in the same loop. Returns the process exit code: 0 after a `bye`
-/// frame or a clean EOF (the daemon went away), nonzero on a protocol
-/// violation.
+/// `pong` carrying this worker's current clock reading — the daemon pairs
+/// it with the ping round-trip to estimate the clock offset that aligns
+/// shipped spans. Returns the process exit code: 0 after a `bye` frame or
+/// a clean EOF (the daemon went away), nonzero on a protocol violation.
 int run_worker_session(std::istream& in, std::ostream& out,
-                       const std::string& name);
+                       const std::string& name,
+                       WorkerSessionOptions options = {});
 
 /// Daemon-side outcome of one remote shard conversation.
 struct RemoteShardOutcome {
@@ -68,6 +81,22 @@ struct RemoteShardOutcome {
   /// Every entry line received via `records` frames — the partial-merge
   /// fallback when the worker died before its `store` frame.
   std::vector<std::string> lines;
+  /// Worker-origin spans grafted onto the daemon profiler (0 when the
+  /// worker shipped none or no profiler was attached).
+  std::size_t worker_spans = 0;
+};
+
+/// Per-endpoint context for grafting the worker's shipped timeline
+/// (`spans` frame) onto the daemon profiler.
+struct ShardGraft {
+  /// Worker name stamped as the grafted spans' `origin`. "" falls back to
+  /// the name the payload itself carries.
+  std::string origin;
+  /// Heartbeat clock-offset estimate for this endpoint (worker clock minus
+  /// daemon clock, midpoint method — WorkerRegistry). When absent the
+  /// graft start-aligns the worker timeline to the transport window.
+  bool has_clock_offset = false;
+  std::int64_t clock_offset_ns = 0;
 };
 
 /// Runs one shard on a checked-out remote worker: writes the `task` frame,
@@ -78,11 +107,15 @@ struct RemoteShardOutcome {
 /// With `profiler` set the whole conversation records a `transport` span
 /// (inheriting the calling thread's open scope — the driver's shard span),
 /// with nested `frame` spans for the task-frame write and each records-frame
-/// decode.
+/// decode, and the worker's shipped timeline (`spans` frame) grafted under
+/// the transport span: clock-aligned per `graft`, clamped into the
+/// transport window (so worker spans nest strictly inside it with no
+/// negative durations), stamped with the worker's origin name.
 RemoteShardOutcome run_remote_shard(
     std::istream& in, std::ostream& out, const CampaignRequest& request,
     std::size_t shard_index, const std::vector<std::size_t>& groups,
     const std::function<void(const std::string& entry_line)>& on_record,
-    obs::TimelineProfiler* profiler = nullptr);
+    obs::TimelineProfiler* profiler = nullptr,
+    const ShardGraft* graft = nullptr);
 
 }  // namespace ao::service

@@ -11,8 +11,12 @@
 //     Remote mode: connect to a campaign daemon — a unix socket path, or
 //     host:port for a daemon listening with --tcp on another machine —
 //     announce with a `worker` hello, then serve `task` frames until the
-//     daemon says bye: records stream back as frames and each shard's full
-//     result store ships over the socket. No shared filesystem anywhere.
+//     daemon says bye: records stream back as frames and each shard closes
+//     with its worker-side span timeline (`spans` frame — the daemon grafts
+//     it into the campaign profile) and its full result store, all over the
+//     socket. No shared filesystem anywhere. Heartbeat pings are answered
+//     with this process's monotonic clock reading, which the daemon uses to
+//     align shipped spans onto its own timeline.
 //
 //   ao_worker --stdio-frames [--name <id>]
 //     The same frame conversation over stdin/stdout — for bridged

@@ -22,6 +22,9 @@ struct WorkerRegistry::Lease::Slot {
   std::uint64_t busy_ns = 0;  ///< closed leases; an open one adds live time
   std::chrono::steady_clock::time_point leased_at;
   std::uint64_t last_seen_ns = 0;  ///< config clock; park/pong/release update
+  std::uint64_t rtt_ns = 0;        ///< last heartbeat round trip, config clock
+  std::int64_t clock_offset_ns = 0;  ///< worker clock − daemon clock estimate
+  bool has_clock_offset = false;     ///< a pong carried a clock reading
 };
 
 namespace {
@@ -46,6 +49,17 @@ std::istream& WorkerRegistry::Lease::in() { return *slot_->in; }
 std::ostream& WorkerRegistry::Lease::out() { return *slot_->out; }
 
 const std::string& WorkerRegistry::Lease::name() const { return slot_->name; }
+
+bool WorkerRegistry::Lease::clock_offset(std::int64_t* offset_ns) const {
+  std::lock_guard lock(registry_->mutex_);
+  if (!slot_->has_clock_offset) {
+    return false;
+  }
+  if (offset_ns != nullptr) {
+    *offset_ns = slot_->clock_offset_ns;
+  }
+  return true;
+}
 
 WorkerRegistry::WorkerRegistry(Config config) : config_(std::move(config)) {}
 
@@ -148,17 +162,39 @@ std::size_t WorkerRegistry::heartbeat() {
   std::size_t retired = 0;
   for (const auto& slot : due) {
     // Stream I/O outside the lock: a stalled endpoint blocks this sweep,
-    // never the registry.
+    // never the registry. The round trip is timed on the registry clock and
+    // a pong payload carrying the worker's clock reading yields a midpoint
+    // clock-offset estimate: the reading is assumed taken at sent + rtt/2,
+    // so offset = worker_clock − (sent + rtt/2). An empty pong (an older
+    // worker) still proves liveness, it just estimates nothing.
     bool alive = false;
+    std::uint64_t worker_clock = 0;
+    bool have_worker_clock = false;
+    const std::uint64_t sent_ns = now_ns();
     write_frame(*slot->out, {kFramePing, {}});
     if (*slot->out) {
       std::string error;
       const auto reply = read_frame(*slot->in, &error);
       alive = reply.has_value() && reply->type == kFramePong;
+      if (alive && !reply->payload.empty() &&
+          reply->payload.find_first_not_of("0123456789") ==
+              std::string::npos &&
+          reply->payload.size() <= 20) {
+        worker_clock = std::stoull(reply->payload);
+        have_worker_clock = true;
+      }
     }
+    const std::uint64_t received_ns = now_ns();
     std::lock_guard lock(mutex_);
     if (alive && !shutting_down_) {
       slot->last_seen_ns = now_ns();
+      slot->rtt_ns = received_ns - sent_ns;
+      if (have_worker_clock) {
+        const std::uint64_t midpoint = sent_ns + slot->rtt_ns / 2;
+        slot->clock_offset_ns = static_cast<std::int64_t>(worker_clock) -
+                                static_cast<std::int64_t>(midpoint);
+        slot->has_clock_offset = true;
+      }
       slot->state = Slot::State::kIdle;
     } else {
       slot->state = Slot::State::kDead;
@@ -227,6 +263,9 @@ std::vector<WorkerRegistry::WorkerInfo> WorkerRegistry::snapshot() const {
       }
       info.last_seen_age_ns =
           now >= slot->last_seen_ns ? now - slot->last_seen_ns : 0;
+      info.rtt_ns = slot->rtt_ns;
+      info.clock_offset_ns = slot->clock_offset_ns;
+      info.has_clock_offset = slot->has_clock_offset;
       out.push_back(std::move(info));
     }
   }

@@ -68,6 +68,12 @@ class WorkerRegistry {
     /// a successful conversation.
     void note_shard_done();
 
+    /// The registry's latest heartbeat clock-offset estimate for this
+    /// endpoint (worker clock minus daemon clock, midpoint method over the
+    /// ping round trip). False when no pong has carried a clock reading
+    /// yet — the shard driver then start-aligns grafted spans instead.
+    bool clock_offset(std::int64_t* offset_ns) const;
+
    private:
     friend class WorkerRegistry;
     struct Slot;
@@ -88,6 +94,14 @@ class WorkerRegistry {
     /// heartbeat, or finished a lease) — the `stats-worker ... last-seen-ns`
     /// feed.
     std::uint64_t last_seen_age_ns = 0;
+    /// Last heartbeat round-trip time (`stats-worker ... rtt-ns`); 0 until
+    /// the first sweep pings this endpoint.
+    std::uint64_t rtt_ns = 0;
+    /// Estimated worker-minus-daemon clock offset (midpoint method), valid
+    /// when has_clock_offset — the `stats-worker ... clock-offset-ns` feed
+    /// and the span-graft alignment input.
+    std::int64_t clock_offset_ns = 0;
+    bool has_clock_offset = false;
   };
 
   WorkerRegistry() = default;

@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/span_codec.hpp"
 
 namespace ao::obs {
 namespace {
@@ -261,6 +263,244 @@ TEST(ObsJson, TimelineJsonCarriesSchemaAndSpans) {
   EXPECT_NE(json.find("\"client\": \"alice\""), std::string::npos);
   EXPECT_NE(json.find("\"phase\": \"campaign\""), std::string::npos);
   EXPECT_NE(json.find("with \\\"quotes\\\""), std::string::npos);
+}
+
+TEST(ObsJson, OriginAppearsOnlyOnWorkerSpans) {
+  std::vector<Span> spans = {
+      {1, 0, Phase::kCampaign, 0, 10, "root"},
+      {2, 1, Phase::kExecute, 2, 3, "gemm", "w1"},
+  };
+  const std::string json = timeline_json(1, "sweep", "anon", spans);
+  // Exactly one origin key: the local span omits it, so pre-distributed
+  // artifacts keep their byte layout.
+  EXPECT_EQ(json.find("\"origin\""), json.rfind("\"origin\""));
+  EXPECT_NE(json.find("\"origin\": \"w1\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- span codec --
+
+TEST(ObsSpanCodec, PayloadRoundTripsSpansAndOrigin) {
+  const std::vector<Span> spans = {
+      {1, 0, Phase::kExecute, 100, 40, "gemm m1 cpu-single"},
+      {2, 1, Phase::kSerialize, 120, 5, ""},
+      {3, 1, Phase::kFrame, 126, 4, "records"},
+  };
+  const std::string payload = encode_spans("w-unix", spans);
+  EXPECT_EQ(payload.rfind(kSpanPayloadVersion, 0), 0u);
+
+  std::string origin;
+  std::string error;
+  const auto decoded = decode_spans(payload, &origin, &error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(origin, "w-unix");
+  ASSERT_EQ(decoded->size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].id, spans[i].id);
+    EXPECT_EQ((*decoded)[i].parent, spans[i].parent);
+    EXPECT_EQ((*decoded)[i].phase, spans[i].phase);
+    EXPECT_EQ((*decoded)[i].start_ns, spans[i].start_ns);
+    EXPECT_EQ((*decoded)[i].duration_ns, spans[i].duration_ns);
+    EXPECT_EQ((*decoded)[i].label, spans[i].label);  // spaces survive
+  }
+}
+
+TEST(ObsSpanCodec, MalformedPayloadsAreRejectedNotGuessed) {
+  std::string origin;
+  std::string error;
+  // Version skew: a future payload format must not half-parse.
+  EXPECT_FALSE(
+      decode_spans("ao-profile/9\norigin w\n", &origin, &error).has_value());
+  // Missing origin line.
+  EXPECT_FALSE(decode_spans("ao-profile/1\nspan 1 0 execute 0 1\n", &origin,
+                            &error)
+                   .has_value());
+  // Unknown phase name (a renamed enum on one side only).
+  EXPECT_FALSE(decode_spans("ao-profile/1\norigin w\nspan 1 0 warp 0 1\n",
+                            &origin, &error)
+                   .has_value());
+  EXPECT_NE(error.find("warp"), std::string::npos);
+  // Truncated numeric fields.
+  EXPECT_FALSE(decode_spans("ao-profile/1\norigin w\nspan 1 0 execute\n",
+                            &origin, &error)
+                   .has_value());
+  // The empty timeline of an idle worker is valid.
+  const auto empty = decode_spans("ao-profile/1\norigin w\n", &origin, &error);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+// ------------------------------------------------------------------ graft --
+
+TEST(ObsGraft, OffsetAlignedSpansKeepRelativeTimingAndNesting) {
+  TimelineProfiler daemon(counter_clock());
+  TimelineProfiler::Scope transport(&daemon, Phase::kTransport, 0, "shard-0");
+  const std::uint64_t window_start = daemon.now();  // reading 2
+
+  // A worker clock running 1'000'000 ahead of the daemon's: spans measured
+  // at 1'000'00x land back in single digits after the offset is applied.
+  const std::vector<Span> worker_spans = {
+      {1, 0, Phase::kExecute, 1'000'003, 6, "gemm"},
+      {2, 1, Phase::kSerialize, 1'000'005, 2, "record"},
+  };
+  // Burn daemon readings 3..9 so the window has room for the aligned spans.
+  for (int i = 0; i < 7; ++i) {
+    daemon.now();
+  }
+  const std::size_t grafted =
+      graft_spans(daemon, worker_spans, transport.id(), window_start,
+                  daemon.now(), /*has_offset=*/true,
+                  /*offset_ns=*/1'000'000, "w1");
+  EXPECT_EQ(grafted, 2u);
+  transport.close();
+
+  const auto spans = daemon.snapshot();
+  ASSERT_EQ(spans.size(), 3u);  // transport + 2 grafted
+  const Span& execute = spans[1];
+  const Span& serialize = spans[2];
+  // Offset arithmetic is exact: 1'000'003 − 1'000'000 = 3.
+  EXPECT_EQ(execute.start_ns, 3u);
+  EXPECT_EQ(execute.duration_ns, 6u);
+  EXPECT_EQ(serialize.start_ns, 5u);
+  EXPECT_EQ(serialize.duration_ns, 2u);
+  // Re-parenting: the worker root hangs off the transport span, the child
+  // keeps its (remapped) parent; ids stay topological.
+  EXPECT_EQ(execute.parent, transport.id());
+  EXPECT_EQ(serialize.parent, execute.id);
+  EXPECT_GT(execute.id, transport.id());
+  EXPECT_GT(serialize.id, execute.id);
+  EXPECT_EQ(execute.origin, "w1");
+  EXPECT_EQ(serialize.origin, "w1");
+}
+
+TEST(ObsGraft, SkewBeyondTheWindowIsClampedNotNegative) {
+  TimelineProfiler daemon(counter_clock());
+  TimelineProfiler::Scope transport(&daemon, Phase::kTransport, 0, "shard-0");
+  const std::uint64_t window_start = daemon.now();
+  for (int i = 0; i < 3; ++i) {
+    daemon.now();
+  }
+  const std::uint64_t window_end = daemon.now();
+
+  // A wildly wrong offset estimate maps the span far before the window
+  // (and its end far after): both edges clamp into [start, end], so the
+  // grafted span still nests inside the transport with a non-negative
+  // duration — the deterministic guarantee the merged timeline leans on.
+  const std::vector<Span> worker_spans = {
+      {1, 0, Phase::kExecute, 10, 1'000'000, "gemm"},
+  };
+  graft_spans(daemon, worker_spans, transport.id(), window_start, window_end,
+              /*has_offset=*/true, /*offset_ns=*/500'000, "w1");
+  transport.close();
+
+  const auto spans = daemon.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const Span& grafted = spans[1];
+  EXPECT_GE(grafted.start_ns, window_start);
+  EXPECT_LE(grafted.start_ns + grafted.duration_ns, window_end);
+}
+
+TEST(ObsGraft, WithoutAnOffsetTheTimelineStartAligns) {
+  TimelineProfiler daemon(counter_clock());
+  TimelineProfiler::Scope transport(&daemon, Phase::kTransport, 0, "shard-0");
+  const std::uint64_t window_start = daemon.now();
+  for (int i = 0; i < 9; ++i) {
+    daemon.now();
+  }
+  const std::vector<Span> worker_spans = {
+      {1, 0, Phase::kExecute, 777'000, 3, "gemm"},
+      {2, 1, Phase::kSerialize, 777'004, 2, "record"},
+  };
+  graft_spans(daemon, worker_spans, transport.id(), window_start,
+              daemon.now(), /*has_offset=*/false, 0, "w1");
+  transport.close();
+
+  const auto spans = daemon.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // The earliest worker span lands exactly on the window start; relative
+  // spacing inside the worker timeline is preserved.
+  EXPECT_EQ(spans[1].start_ns, window_start);
+  EXPECT_EQ(spans[2].start_ns, window_start + 4);
+  EXPECT_EQ(spans[2].duration_ns, 2u);
+}
+
+TEST(ObsGraft, AdoptAllocatesFreshTopologicalIds) {
+  TimelineProfiler profiler(counter_clock());
+  TimelineProfiler::Scope scope(&profiler, Phase::kCampaign, 0, "root");
+  Span foreign;
+  foreign.id = 1;  // collides with the open scope's id on purpose
+  foreign.parent = scope.id();
+  foreign.phase = Phase::kExecute;
+  foreign.origin = "w1";
+  const std::uint64_t adopted = profiler.adopt(foreign);
+  EXPECT_GT(adopted, scope.id());
+  scope.close();
+  const auto spans = profiler.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].id, adopted);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[1].origin, "w1");
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(ObsMetrics, NamesAreStableSnakeCase) {
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const std::string name = metric_name(static_cast<Metric>(i));
+    EXPECT_EQ(name.rfind("ao_", 0), 0u) << name;
+    EXPECT_EQ(name.find_first_not_of("abcdefghijklmnopqrstuvwxyz_"),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_EQ(metric_kind(Metric::kCampaignsTotal), MetricKind::kCounter);
+  EXPECT_EQ(metric_kind(Metric::kQueueDepth), MetricKind::kGauge);
+  EXPECT_EQ(metric_kind(Metric::kPhaseDurationNs), MetricKind::kHistogram);
+}
+
+TEST(ObsMetrics, RenderIsPrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.set(Metric::kCampaignsTotal, 3);
+  registry.set(Metric::kQueueDepth, 1);
+  registry.set(Metric::kWorkerRttNs, 1200, "w1");
+  registry.set(Metric::kWorkerClockOffsetNs, -350, "w1");
+  registry.observe(Metric::kPhaseDurationNs, 5'000, "execute");
+  registry.observe(Metric::kPhaseDurationNs, 50'000'000, "execute");
+
+  const std::string text = registry.render();
+  // Metadata for every family, even sample-less ones — the scrape surface
+  // is stable from the first request.
+  EXPECT_NE(text.find("# HELP ao_campaigns_total "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ao_campaigns_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ao_workers_idle gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ao_phase_duration_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nao_campaigns_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("\nao_queue_depth 1\n"), std::string::npos);
+  EXPECT_NE(text.find("\nao_worker_rtt_ns{worker=\"w1\"} 1200\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nao_worker_clock_offset_ns{worker=\"w1\"} -350\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and topped by +Inf == count.
+  EXPECT_NE(text.find("ao_phase_duration_ns_bucket{phase=\"execute\","
+                      "le=\"10000\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ao_phase_duration_ns_bucket{phase=\"execute\","
+                      "le=\"100000000\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ao_phase_duration_ns_bucket{phase=\"execute\","
+                      "le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ao_phase_duration_ns_sum{phase=\"execute\"} 50005000\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("ao_phase_duration_ns_count{phase=\"execute\"} 2\n"),
+      std::string::npos);
+  // The OpenMetrics terminator is the protocol's end-of-reply sentinel.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+
+  // clear() drops a retired worker's series entirely.
+  registry.clear(Metric::kWorkerRttNs);
+  EXPECT_EQ(registry.render().find("ao_worker_rtt_ns{"), std::string::npos);
 }
 
 }  // namespace

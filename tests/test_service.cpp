@@ -1177,7 +1177,11 @@ TEST(CampaignService, RemoteShardSpansNestTransportUnderShard) {
     } else if (span.phase == obs::Phase::kFrame) {
       ++frames;
       ASSERT_NE(by_id.count(span.parent), 0u);
-      EXPECT_EQ(by_id[span.parent]->phase, obs::Phase::kTransport);
+      if (span.origin.empty()) {
+        // Daemon-side frame work nests under the transport; grafted
+        // worker-side frame spans nest inside the worker's own subtree.
+        EXPECT_EQ(by_id[span.parent]->phase, obs::Phase::kTransport);
+      }
     } else if (span.phase == obs::Phase::kMerge) {
       ++merges;
     }
@@ -1185,6 +1189,30 @@ TEST(CampaignService, RemoteShardSpansNestTransportUnderShard) {
   EXPECT_EQ(transports, 2u);  // one conversation per shard
   EXPECT_GE(frames, 4u);      // task + records per shard at least
   EXPECT_GE(merges, 2u);      // each shard store folds into the warm cache
+
+  // The distributed part of the timeline: the worker shipped its own
+  // execute spans and they graft under a transport (hence shard) ancestor,
+  // stamped with the worker's name.
+  std::size_t worker_executes = 0;
+  for (const obs::Span& span : timelines[0].spans) {
+    if (span.origin.empty()) {
+      continue;
+    }
+    EXPECT_EQ(span.origin, "wp");
+    bool under_transport = false;
+    for (std::uint64_t at = span.parent; at != 0;
+         at = by_id.at(at)->parent) {
+      if (by_id.at(at)->phase == obs::Phase::kTransport) {
+        under_transport = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(under_transport);
+    if (span.phase == obs::Phase::kExecute) {
+      ++worker_executes;
+    }
+  }
+  EXPECT_GE(worker_executes, 2u);  // both shards shipped execute spans
 
   // The worker credit feed: the single worker ran both shards and its
   // cumulative busy time is visible.
@@ -1211,6 +1239,216 @@ TEST(CampaignService, RemoteShardSpansNestTransportUnderShard) {
   server.join();
   worker.join();
   std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignService, SkewedWorkerClockYieldsNestedByteStableTimelines) {
+  // One scenario run twice from scratch: the daemon's profiler and worker
+  // registry share a single counter clock while the remote worker's own
+  // clock starts a million ticks ahead. The heartbeat pong carries the
+  // worker reading, the midpoint estimate absorbs the skew, and the merged
+  // timeline must come out causally nested — and, because every clock is a
+  // deterministic counter, byte-identical between the two runs.
+  struct RunResult {
+    std::vector<std::string> spans;  // "id parent phase start dur origin"
+    std::uint64_t rtt_ns = 0;
+    std::int64_t clock_offset_ns = 0;
+  };
+  const auto run_once = [] {
+    RunResult result;
+    const auto dir = temp_dir("profile_skew");
+    auto ticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+    CampaignService::Config config;
+    config.shard_dir = dir.string();
+    config.remote_only = true;
+    config.remote_wait_ms = 20000;
+    config.heartbeat_interval_ns = 1;  // every pre-lease sweep pings
+    config.profile_clock = [ticks] { return ticks->fetch_add(1); };
+    config.worker_clock = [ticks] { return ticks->fetch_add(1); };
+    CampaignService service(std::move(config));
+
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::thread server([&service, fd = fds[0]] {
+      SocketStream stream(fd);
+      service.serve(stream, stream);
+    });
+    std::thread worker([fd = fds[1]] {
+      SocketStream stream(fd);
+      WorkerSessionOptions options;
+      auto wticks = std::make_shared<std::atomic<std::uint64_t>>(0);
+      options.clock = [wticks] { return 1'000'000 + wticks->fetch_add(1); };
+      EXPECT_EQ(run_worker_session(stream, stream, "wskew", options), 0);
+    });
+
+    // Park the worker fully before the campaign starts, then pin the shared
+    // counter: from here on every clock reading happens at a deterministic
+    // point (single driver thread, synchronous frame conversation), so the
+    // two runs tick in lockstep.
+    for (;;) {
+      const auto stats = serve_lines(service, "stats\n");
+      bool parked = false;
+      for (const auto& line : stats) {
+        parked = parked || starts_with(line, "stats-worker wskew ");
+      }
+      if (parked) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ticks->store(1000);
+
+    const auto lines = serve_lines(service, nine_kind_block(1, 2));
+    EXPECT_TRUE(starts_with(lines.back(), "done campaign ")) << lines.back();
+
+    const auto timelines = service.timelines();
+    EXPECT_EQ(timelines.size(), 1u);
+    if (timelines.size() == 1) {
+      std::map<std::uint64_t, const obs::Span*> by_id;
+      for (const obs::Span& span : timelines[0].spans) {
+        by_id[span.id] = &span;
+      }
+      std::size_t worker_spans = 0;
+      for (const obs::Span& span : timelines[0].spans) {
+        std::ostringstream line;
+        line << span.id << ' ' << span.parent << ' '
+             << obs::phase_name(span.phase) << ' ' << span.start_ns << ' '
+             << span.duration_ns << ' '
+             << (span.origin.empty() ? "-" : span.origin);
+        result.spans.push_back(line.str());
+        if (span.origin.empty()) {
+          continue;
+        }
+        ++worker_spans;
+        EXPECT_EQ(span.origin, "wskew");
+        // The skewed worker readings came back aligned: each grafted span
+        // fits strictly inside its transport ancestor's window, so its
+        // daemon-time start is sane and its duration non-negative by
+        // construction (it would wrap otherwise).
+        const obs::Span* transport = nullptr;
+        for (std::uint64_t at = span.parent; at != 0;
+             at = by_id.at(at)->parent) {
+          if (by_id.at(at)->phase == obs::Phase::kTransport) {
+            transport = by_id.at(at);
+            break;
+          }
+        }
+        EXPECT_NE(transport, nullptr);
+        if (transport == nullptr) {
+          continue;
+        }
+        EXPECT_GE(span.start_ns, transport->start_ns);
+        EXPECT_LE(span.start_ns + span.duration_ns,
+                  transport->start_ns + transport->duration_ns);
+        EXPECT_LT(span.duration_ns, 1'000'000u)
+            << "raw worker-clock reading leaked through alignment";
+      }
+      EXPECT_GE(worker_spans, 2u);
+    }
+
+    // The heartbeat estimates surfaced by stats: a counter-clock rtt is a
+    // small positive tick count, and the offset estimate sits near the
+    // million-tick skew we injected.
+    for (const auto& line : serve_lines(service, "stats\n")) {
+      if (!starts_with(line, "stats-worker wskew ")) {
+        continue;
+      }
+      std::istringstream in(line.substr(19));
+      std::string state;
+      std::string tag;
+      std::uint64_t ignored = 0;
+      in >> state >> tag >> ignored >> tag >> ignored >> tag >> ignored;
+      EXPECT_TRUE(static_cast<bool>(in >> tag >> result.rtt_ns)) << line;
+      EXPECT_EQ(tag, "rtt-ns") << line;
+      EXPECT_TRUE(static_cast<bool>(in >> tag >> result.clock_offset_ns))
+          << line;
+      EXPECT_EQ(tag, "clock-offset-ns") << line;
+    }
+
+    serve_lines(service, "shutdown\n");
+    server.join();
+    worker.join();
+    std::filesystem::remove_all(dir);
+    return result;
+  };
+
+  const RunResult first = run_once();
+  EXPECT_GE(first.rtt_ns, 1u);
+  EXPECT_GT(first.clock_offset_ns, 900'000);
+  EXPECT_LT(first.clock_offset_ns, 1'100'000);
+
+  const RunResult second = run_once();
+  EXPECT_EQ(first.spans, second.spans);
+}
+
+TEST(CampaignService, MetricsCommandRendersMonotonicPrometheusText) {
+  CampaignService service({});
+  const auto scrape = [&service] {
+    std::map<std::string, long long> counters;
+    std::vector<std::string> lines = serve_lines(service, "metrics\n");
+    EXPECT_FALSE(lines.empty());
+    EXPECT_EQ(lines.back(), "# EOF");
+    bool typed_counter = false;
+    bool typed_gauge = false;
+    bool typed_histogram = false;
+    for (const auto& line : lines) {
+      if (starts_with(line, "# TYPE ")) {
+        typed_counter = typed_counter ||
+                        line.find(" counter") != std::string::npos;
+        typed_gauge = typed_gauge || line.find(" gauge") != std::string::npos;
+        typed_histogram =
+            typed_histogram || line.find(" histogram") != std::string::npos;
+        continue;
+      }
+      if (starts_with(line, "#") || line.empty()) {
+        continue;
+      }
+      // Sample lines are "name[{labels}] value".
+      const auto space = line.rfind(' ');
+      EXPECT_NE(space, std::string::npos) << line;
+      if (space == std::string::npos) {
+        continue;
+      }
+      const std::string name = line.substr(0, space);
+      if (name.size() > 6 &&
+          name.compare(name.size() - 6, 6, "_total") == 0) {
+        counters[name] = std::stoll(line.substr(space + 1));
+      }
+    }
+    EXPECT_TRUE(typed_counter);
+    EXPECT_TRUE(typed_gauge);
+    EXPECT_TRUE(typed_histogram);
+    return counters;
+  };
+
+  const auto before = scrape();
+  ASSERT_NE(before.count("ao_campaigns_total"), 0u);
+  EXPECT_EQ(before.at("ao_campaigns_total"), 0);
+
+  serve_lines(service, nine_kind_block(2, 1));
+
+  const auto after = scrape();
+  EXPECT_EQ(after.at("ao_campaigns_total"), 1);
+  EXPECT_GE(after.at("ao_jobs_executed_total"), 20);
+  // Counters never move backwards between scrapes.
+  for (const auto& [name, value] : before) {
+    ASSERT_NE(after.count(name), 0u) << name;
+    EXPECT_GE(after.at(name), value) << name;
+  }
+
+  // The executed campaign fed the per-phase duration histogram.
+  const std::string text = [&service] {
+    std::string joined;
+    for (const auto& line : serve_lines(service, "metrics\n")) {
+      joined += line;
+      joined += '\n';
+    }
+    return joined;
+  }();
+  EXPECT_NE(text.find("ao_phase_duration_ns_bucket{phase=\"execute\","
+                      "le=\"+Inf\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("ao_phase_duration_ns_count{phase=\"execute\"} "),
+            std::string::npos);
 }
 
 }  // namespace

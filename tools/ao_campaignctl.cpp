@@ -12,6 +12,7 @@
 //   ao_campaignctl --socket <path> ping|stats|queue|compact|shutdown
 //   ao_campaignctl --socket <path> abort --name <campaign>
 //   ao_campaignctl --socket <path> profile [--name <campaign>] [--json]
+//   ao_campaignctl --socket <path> metrics               Prometheus scrape
 //   ao_campaignctl --verify-store <file>                offline store check
 //
 // --socket also accepts host:port for a daemon listening with --tcp on
@@ -29,6 +30,11 @@
 // lines verbatim, or — with --json — one "ao-profile/1"-shaped JSON object
 // built client-side from those lines, so scripts consume the same schema
 // the daemon's --profile-dir artifacts use (docs/observability.md).
+//
+// `metrics` prints the daemon's Prometheus text exposition verbatim
+// (counters/gauges/histograms, names in docs/observability.md's metric
+// glossary) up to and including its `# EOF` terminator — pipe it straight
+// into a node_exporter textfile or a pushgateway.
 //
 // Submit exits 0 when a `done` reply arrived, 1 on any `error` reply or a
 // dropped connection; structured errors (`error <code> ... | line: ...`)
@@ -75,6 +81,7 @@ struct ProfileSpan {
   std::string phase;
   std::string start_ns;
   std::string duration_ns;
+  std::string origin;  ///< "" for daemon-local spans ("-" on the wire)
   std::string label;
 };
 
@@ -135,10 +142,15 @@ int converse(ao::service::SocketStream& stream,
       std::cout << reply << '\n';
     }
     if (json && first == "profile-span") {
-      // "profile-span <id> <parent> <phase> <start-ns> <dur-ns> <label...>"
+      // "profile-span <id> <parent> <phase> <start-ns> <dur-ns> <origin>
+      //  <label...>"
       ProfileSpan span;
       span.id = second;
-      words >> span.parent >> span.phase >> span.start_ns >> span.duration_ns;
+      words >> span.parent >> span.phase >> span.start_ns >>
+          span.duration_ns >> span.origin;
+      if (span.origin == "-") {
+        span.origin.clear();
+      }
       std::getline(words, span.label);
       if (!span.label.empty() && span.label.front() == ' ') {
         span.label.erase(0, 1);
@@ -247,7 +259,13 @@ int converse(ao::service::SocketStream& stream,
                   << ", \"duration_ns\": " << span.duration_ns
                   << ", \"label\": \"";
         json_escape(std::cout, span.label);
-        std::cout << "\"}";
+        std::cout << "\"";
+        if (!span.origin.empty()) {
+          std::cout << ", \"origin\": \"";
+          json_escape(std::cout, span.origin);
+          std::cout << "\"";
+        }
+        std::cout << "}";
         first_span = false;
       }
       std::cout << "\n  ]\n}\n";
@@ -255,6 +273,9 @@ int converse(ao::service::SocketStream& stream,
     }
     if (mode == "queue" && first == "queue") {
       return 0;
+    }
+    if (mode == "metrics" && reply == "# EOF") {
+      return 0;  // the OpenMetrics terminator closes the exposition
     }
     if ((mode == "compact" || mode == "shutdown" || mode == "abort") &&
         first == "ok" && second == mode) {
@@ -313,7 +334,7 @@ int main(int argc, char** argv) {
                  "[--request <file>] [--client <id>] [--priority <n>] "
                  "[--deadline-ms <n>] [--retries <n>]\n"
                  "       ao_campaignctl --socket <path | host:port> "
-                 "ping|stats|queue|compact|shutdown\n"
+                 "ping|stats|queue|metrics|compact|shutdown\n"
                  "       ao_campaignctl --socket <path | host:port> "
                  "abort --name <campaign>\n"
                  "       ao_campaignctl --socket <path | host:port> "
@@ -363,7 +384,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   } else if (command == "ping" || command == "stats" || command == "queue" ||
-             command == "compact" || command == "shutdown") {
+             command == "metrics" || command == "compact" ||
+             command == "shutdown") {
     lines.push_back(command);
   } else if (command == "abort") {
     if (profile_name.empty()) {

@@ -108,5 +108,7 @@ wait "$DAEMON_PID" 2>/dev/null || true
 DAEMON_PID=""
 
 ls "$SCRATCH/profile/" >&2
+# --by-origin: the sharded campaign's worker-measured spans get their own
+# per-process breakdown in the report (informational; compare ignores it).
 python3 "$TOOLS_DIR/bench_report.py" collect --profile-dir "$SCRATCH/profile" \
-  --out "$OUT"
+  --out "$OUT" --by-origin

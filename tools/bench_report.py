@@ -12,7 +12,17 @@ Three modes:
             exact.
 
                 bench_report.py collect --profile-dir DIR \
-                    --out BENCH_service_hotpath.json [--label LABEL]
+                    --out BENCH_service_hotpath.json [--label LABEL] \
+                    [--by-origin]
+
+            Distributed profiles carry worker-origin spans (an ``origin``
+            key naming the worker that measured them; daemon-side spans
+            omit it). They fold into the same top-level ``phases`` table —
+            the gate sees one merged timeline. ``--by-origin`` additionally
+            writes an ``origins`` object with the same per-phase stats
+            split by measuring process (``local`` = the daemon itself),
+            which ``compare`` ignores: the breakdown is for humans reading
+            the report, not for gating.
 
   compare   Gate a current report against a baseline. A phase regresses when
             ``(cur - base) / base > threshold`` for any gated metric
@@ -58,22 +68,20 @@ def nearest_rank(sorted_values, p):
     return sorted_values[rank - 1]
 
 
-def fold_artifacts(paths):
-    """Group span durations by phase across artifacts; return the report
-    ``phases`` object. Raises ValueError on a schema mismatch."""
-    durations = {}
-    campaigns = 0
-    for path in paths:
-        with open(path, "r", encoding="utf-8") as handle:
-            artifact = json.load(handle)
-        if artifact.get("schema") != PROFILE_SCHEMA:
-            raise ValueError(
-                f"{path}: expected schema {PROFILE_SCHEMA!r}, "
-                f"got {artifact.get('schema')!r}"
-            )
-        campaigns += 1
-        for span in artifact.get("spans", []):
-            durations.setdefault(span["phase"], []).append(span["duration_ns"])
+def fold_spans(spans, durations, origin_durations):
+    """Accumulate span durations by phase, and by (origin, phase). A span
+    without an ``origin`` key was measured by the daemon itself — it groups
+    under ``local``; worker-origin spans group under the worker's name."""
+    for span in spans:
+        origin = span.get("origin") or "local"
+        durations.setdefault(span["phase"], []).append(span["duration_ns"])
+        origin_durations.setdefault(origin, {}).setdefault(
+            span["phase"], []).append(span["duration_ns"])
+
+
+def summarize(durations):
+    """Exact fold of ``{phase: [duration_ns, ...]}`` into the per-phase
+    stats object used by both the top-level and per-origin tables."""
     phases = {}
     for phase in sorted(durations):
         values = sorted(durations[phase])
@@ -86,7 +94,28 @@ def fold_artifacts(paths):
             "p95_ns": nearest_rank(values, 0.95),
             "max_ns": values[-1],
         }
-    return campaigns, phases
+    return phases
+
+
+def fold_artifacts(paths):
+    """Fold artifacts into (campaigns, phases, origins). Raises ValueError
+    on a schema mismatch."""
+    durations = {}
+    origin_durations = {}
+    campaigns = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        if artifact.get("schema") != PROFILE_SCHEMA:
+            raise ValueError(
+                f"{path}: expected schema {PROFILE_SCHEMA!r}, "
+                f"got {artifact.get('schema')!r}"
+            )
+        campaigns += 1
+        fold_spans(artifact.get("spans", []), durations, origin_durations)
+    origins = {origin: summarize(origin_durations[origin])
+               for origin in sorted(origin_durations)}
+    return campaigns, summarize(durations), origins
 
 
 def cmd_collect(args):
@@ -95,13 +124,15 @@ def cmd_collect(args):
         print(f"bench_report: no *.profile.json under {args.profile_dir}",
               file=sys.stderr)
         return 1
-    campaigns, phases = fold_artifacts(paths)
+    campaigns, phases, origins = fold_artifacts(paths)
     report = {
         "schema": BENCH_SCHEMA,
         "label": args.label,
         "campaigns": campaigns,
         "phases": phases,
     }
+    if args.by_origin:
+        report["origins"] = origins
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
@@ -255,6 +286,25 @@ def self_test():
     assert nearest_rank([7], 0.50) == 7
     assert nearest_rank([], 0.95) == 0
 
+    # Distributed artifacts: origin-less spans fold under "local", worker
+    # spans under the worker's name, and both feed the merged phase table.
+    durations, origin_durations = {}, {}
+    fold_spans(
+        [
+            {"phase": "execute", "duration_ns": 100},
+            {"phase": "execute", "duration_ns": 300, "origin": "w1"},
+            {"phase": "serialize", "duration_ns": 50, "origin": "w1"},
+            {"phase": "execute", "duration_ns": 200, "origin": "w2"},
+        ],
+        durations, origin_durations)
+    merged = summarize(durations)
+    assert merged["execute"]["count"] == 3
+    assert merged["execute"]["total_ns"] == 600
+    assert sorted(origin_durations) == ["local", "w1", "w2"]
+    assert summarize(origin_durations["w1"])["execute"]["mean_ns"] == 300
+    assert summarize(origin_durations["local"])["execute"]["count"] == 1
+    assert "serialize" not in origin_durations["local"]
+
     print("bench_report: self-test ok")
     return 0
 
@@ -269,6 +319,9 @@ def main(argv):
     collect.add_argument("--profile-dir", required=True)
     collect.add_argument("--out", default="BENCH_service_hotpath.json")
     collect.add_argument("--label", default="service-hotpath")
+    collect.add_argument("--by-origin", action="store_true",
+                         help="add a per-origin phase breakdown (origins "
+                              "object) to the report; not gated by compare")
 
     compare = sub.add_parser("compare")
     compare.add_argument("baseline")

@@ -17,10 +17,12 @@ in DOC — this is how CI keeps docs/benchmarks.md covering every
 bench/bench_*.cpp binary: adding a bench without documenting its paper
 figure fails the docs job.
 
-`--glossary DOC SRC` requires every string literal in SRC's kPhaseNames
-initializer to appear in DOC — this keeps docs/observability.md's phase
-glossary in sync with the span phase names in src/obs/profiler.cpp:
-renaming or adding a phase without documenting it fails the docs job.
+`--glossary DOC SRC` requires every string literal in SRC's `k...Names`
+array initializers (kPhaseNames, kMetricNames, ...) to appear in DOC —
+this keeps docs/observability.md's phase glossary in sync with
+src/obs/profiler.cpp and its metric glossary in sync with
+src/obs/metrics.cpp: renaming or adding a name without documenting it
+fails the docs job.
 
 Exit status: 0 when every link resolves and every mention is present,
 1 otherwise.
@@ -83,22 +85,26 @@ def check_mentions(doc: Path, glob: str) -> list:
 
 
 def check_glossary(doc: Path, src: Path) -> list:
-    """Every phase name in `src`'s kPhaseNames initializer must appear in
-    `doc` — the documented glossary may not drift from the code."""
+    """Every string literal in `src`'s `k...Names` array initializers
+    (kPhaseNames for span phases, kMetricNames for metric families) must
+    appear in `doc` — the documented glossary may not drift from the code."""
     if not doc.exists():
         return [f"{doc}: file not found (--glossary)"]
     if not src.exists():
         return [f"{src}: file not found (--glossary)"]
     code = src.read_text(encoding="utf-8")
-    match = re.search(r"kPhaseNames[^{]*\{(.*?)\}", code, re.DOTALL)
-    if not match:
-        return [f"{src}: no kPhaseNames initializer found (--glossary)"]
-    names = re.findall(r'"([^"]+)"', match.group(1))
+    # Match the `kFooNames = { ... }` declarations only — a later
+    # `kFooNames[i]` use must not swallow unrelated code as "names".
+    initializers = re.findall(r"k\w+Names\s*=\s*\{(.*?)\}", code, re.DOTALL)
+    if not initializers:
+        return [f"{src}: no k...Names initializer found (--glossary)"]
+    names = [name for body in initializers
+             for name in re.findall(r'"([^"]+)"', body)]
     if not names:
-        return [f"{src}: kPhaseNames initializer has no string literals"]
+        return [f"{src}: k...Names initializers have no string literals"]
     text = doc.read_text(encoding="utf-8")
     return [
-        f"{doc}: phase glossary misses '{name}' (declared in {src})"
+        f"{doc}: glossary misses '{name}' (declared in {src})"
         for name in names
         if f"`{name}`" not in text and name not in text
     ]
