@@ -153,6 +153,12 @@ void MetricsRegistry::clear(Metric metric) {
   histograms_[static_cast<std::size_t>(metric)].clear();
 }
 
+void MetricsRegistry::replace(Metric metric,
+                              std::map<std::string, std::int64_t> samples) {
+  std::lock_guard lock(mutex_);
+  values_[static_cast<std::size_t>(metric)] = std::move(samples);
+}
+
 void MetricsRegistry::observe(Metric metric, std::uint64_t value,
                               const std::string& label) {
   const auto& bounds = histogram_buckets();

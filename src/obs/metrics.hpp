@@ -70,6 +70,12 @@ class MetricsRegistry {
   /// retired endpoint's gauge must not linger in the exposition.
   void clear(Metric metric);
 
+  /// Swaps a labelled family's full sample set in one step under the
+  /// registry lock. Scrape-time rebuilds of per-worker gauges go through
+  /// this, not clear()+set(): concurrent scrapes on other session threads
+  /// must never render the family half-rebuilt.
+  void replace(Metric metric, std::map<std::string, std::int64_t> samples);
+
   /// Adds one observation to a histogram family sample.
   void observe(Metric metric, std::uint64_t value,
                const std::string& label = {});

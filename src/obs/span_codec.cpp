@@ -1,6 +1,7 @@
 #include "obs/span_codec.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <sstream>
 #include <unordered_map>
 
@@ -11,6 +12,16 @@ void append_flattened(std::string& out, const std::string& text) {
   for (const char c : text) {
     out += (c == '\n' || c == '\r') ? ' ' : c;
   }
+}
+
+/// Strict uint64 token parse. istream >> uint64 accepts a leading '-' and
+/// wraps the value modulo 2^64; a wire decoder must reject that, not let a
+/// negative id scramble parent remapping silently.
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  const char* first = token.data();
+  const char* last = first + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && !token.empty();
 }
 
 }  // namespace
@@ -63,11 +74,18 @@ std::optional<std::vector<Span>> decode_spans(const std::string& payload,
     }
     std::istringstream fields(line);
     std::string tag;
+    std::string id_text;
+    std::string parent_text;
     std::string phase_text;
+    std::string start_text;
+    std::string duration_text;
     Span span;
-    fields >> tag >> span.id >> span.parent >> phase_text >> span.start_ns >>
-        span.duration_ns;
-    if (!fields || tag != "span") {
+    fields >> tag >> id_text >> parent_text >> phase_text >> start_text >>
+        duration_text;
+    if (!fields || tag != "span" || !parse_u64(id_text, span.id) ||
+        !parse_u64(parent_text, span.parent) ||
+        !parse_u64(start_text, span.start_ns) ||
+        !parse_u64(duration_text, span.duration_ns)) {
       return fail("malformed span line: " + line);
     }
     const auto phase = phase_from_name(phase_text);

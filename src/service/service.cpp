@@ -441,19 +441,21 @@ void CampaignService::reply_metrics(std::ostream& out) {
   count(Metric::kWorkersConnected, registry_.connected_count());
   count(Metric::kWorkersIdle, registry_.idle_count());
   // Per-endpoint gauges are rebuilt from scratch: a retired worker's series
-  // must vanish from the exposition, not linger at its last value.
-  metrics_.clear(Metric::kWorkerRttNs);
-  metrics_.clear(Metric::kWorkerClockOffsetNs);
+  // must vanish from the exposition, not linger at its last value. Each
+  // family is swapped atomically — sessions run on their own threads, and a
+  // concurrent scrape must never see the rebuild half-done.
+  std::map<std::string, std::int64_t> rtt_by_worker;
+  std::map<std::string, std::int64_t> offset_by_worker;
   for (const auto& worker : registry_.snapshot()) {
     if (worker.rtt_ns != 0) {
-      metrics_.set(Metric::kWorkerRttNs,
-                   static_cast<std::int64_t>(worker.rtt_ns), worker.name);
+      rtt_by_worker[worker.name] = static_cast<std::int64_t>(worker.rtt_ns);
     }
     if (worker.has_clock_offset) {
-      metrics_.set(Metric::kWorkerClockOffsetNs, worker.clock_offset_ns,
-                   worker.name);
+      offset_by_worker[worker.name] = worker.clock_offset_ns;
     }
   }
+  metrics_.replace(Metric::kWorkerRttNs, std::move(rtt_by_worker));
+  metrics_.replace(Metric::kWorkerClockOffsetNs, std::move(offset_by_worker));
   out << metrics_.render();
 }
 

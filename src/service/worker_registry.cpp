@@ -1,6 +1,7 @@
 #include "service/worker_registry.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <ostream>
 
@@ -176,12 +177,14 @@ std::size_t WorkerRegistry::heartbeat() {
       std::string error;
       const auto reply = read_frame(*slot->in, &error);
       alive = reply.has_value() && reply->type == kFramePong;
-      if (alive && !reply->payload.empty() &&
-          reply->payload.find_first_not_of("0123456789") ==
-              std::string::npos &&
-          reply->payload.size() <= 20) {
-        worker_clock = std::stoull(reply->payload);
-        have_worker_clock = true;
+      if (alive && !reply->payload.empty()) {
+        // from_chars, not stoull: a junk or out-of-range payload must read
+        // as "no clock reading", never as an exception on this thread — the
+        // pong still proves liveness either way.
+        const char* first = reply->payload.data();
+        const char* last = first + reply->payload.size();
+        const auto [ptr, ec] = std::from_chars(first, last, worker_clock);
+        have_worker_clock = ec == std::errc{} && ptr == last;
       }
     }
     const std::uint64_t received_ns = now_ns();

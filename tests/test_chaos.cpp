@@ -498,6 +498,36 @@ TEST(Heartbeat, SilentIdleWorkerIsRetiredOnTheNextDueSweep) {
   registry.shutdown();
 }
 
+// A pong whose payload is all digits but exceeds UINT64_MAX (or is plain
+// junk) must read as "no clock reading", never as an uncaught exception on
+// the heartbeat thread — the pong still proves liveness.
+TEST(Heartbeat, OverflowingPongClockPayloadIsIgnoredNotFatal) {
+  ManualClock clock;
+  WorkerRegistry registry;
+  registry.configure({/*heartbeat_interval_ns=*/100, clock.fn()});
+
+  // Two pongs queued: a 20-digit overflow value, then non-numeric junk.
+  std::stringstream worker_in;
+  write_frame(worker_in, {kFramePong, "99999999999999999999"});
+  write_frame(worker_in, {kFramePong, "12ab"});
+  std::stringstream worker_out;
+  std::thread parked(
+      [&] { registry.park("sloppy", worker_in, worker_out); });
+  ASSERT_TRUE(wait_until([&] { return registry.idle_count() == 1; }));
+
+  for (const std::uint64_t due : {100u, 250u}) {
+    clock.now->store(due);
+    EXPECT_EQ(registry.heartbeat(), 0u);  // alive both times, no terminate
+    EXPECT_EQ(registry.idle_count(), 1u);
+    const auto workers = registry.snapshot();
+    ASSERT_EQ(workers.size(), 1u);
+    EXPECT_FALSE(workers[0].has_clock_offset);  // payload estimated nothing
+  }
+
+  registry.shutdown();
+  parked.join();
+}
+
 TEST(Heartbeat, ZeroIntervalDisablesProbes) {
   WorkerRegistry registry;  // default config: no heartbeat
   std::stringstream in, out;

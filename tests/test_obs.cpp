@@ -323,6 +323,17 @@ TEST(ObsSpanCodec, MalformedPayloadsAreRejectedNotGuessed) {
   EXPECT_FALSE(decode_spans("ao-profile/1\norigin w\nspan 1 0 execute\n",
                             &origin, &error)
                    .has_value());
+  // Negative numerics: istream >> uint64 would wrap these modulo 2^64 and
+  // scramble parent remapping; the codec must reject them outright.
+  EXPECT_FALSE(decode_spans("ao-profile/1\norigin w\nspan -1 0 execute -5 10\n",
+                            &origin, &error)
+                   .has_value());
+  EXPECT_NE(error.find("malformed span line"), std::string::npos);
+  // Out-of-range numerics (first value > UINT64_MAX) are malformed too.
+  EXPECT_FALSE(decode_spans("ao-profile/1\norigin w\n"
+                            "span 99999999999999999999 0 execute 0 1\n",
+                            &origin, &error)
+                   .has_value());
   // The empty timeline of an idle worker is valid.
   const auto empty = decode_spans("ao-profile/1\norigin w\n", &origin, &error);
   ASSERT_TRUE(empty.has_value());
@@ -501,6 +512,18 @@ TEST(ObsMetrics, RenderIsPrometheusTextExposition) {
   // clear() drops a retired worker's series entirely.
   registry.clear(Metric::kWorkerRttNs);
   EXPECT_EQ(registry.render().find("ao_worker_rtt_ns{"), std::string::npos);
+
+  // replace() swaps a labelled family's full sample set in one call: the
+  // retired w1 series vanishes and the new endpoints appear together.
+  registry.replace(Metric::kWorkerClockOffsetNs,
+                   {{"w2", 40}, {"w3", -7}});
+  const std::string swapped = registry.render();
+  EXPECT_EQ(swapped.find("ao_worker_clock_offset_ns{worker=\"w1\"}"),
+            std::string::npos);
+  EXPECT_NE(swapped.find("\nao_worker_clock_offset_ns{worker=\"w2\"} 40\n"),
+            std::string::npos);
+  EXPECT_NE(swapped.find("\nao_worker_clock_offset_ns{worker=\"w3\"} -7\n"),
+            std::string::npos);
 }
 
 }  // namespace
