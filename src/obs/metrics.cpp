@@ -23,6 +23,8 @@ constexpr std::array<const char*, kMetricCount> kMetricNames = {
     "ao_shard_retries_total",
     "ao_outbox_blocked_total",
     "ao_outbox_dropped_total",
+    "ao_plan_cache_hits_total",
+    "ao_plan_cache_misses_total",
     "ao_queue_depth",
     "ao_campaigns_running",
     "ao_outbox_peak_depth",
@@ -47,6 +49,8 @@ constexpr std::array<const char*, kMetricCount> kMetricHelp = {
     "Shards re-dispatched after a worker endpoint died.",
     "Times a session outbox filled and blocked its producer.",
     "Outbox lines discarded by campaign cancellation.",
+    "Campaign checkouts served from the compiled plan cache.",
+    "Campaign checkouts that had to compile their expansion.",
     "Campaigns waiting in the admission queue.",
     "Campaigns currently running.",
     "Largest session outbox depth seen.",
@@ -59,7 +63,7 @@ constexpr std::array<const char*, kMetricCount> kMetricHelp = {
 
 /// The label *key* each labelled family uses; "" = unlabelled.
 constexpr std::array<const char*, kMetricCount> kMetricLabelKeys = {
-    "", "", "", "", "", "", "", "", "", "", "", "", "",
+    "", "", "", "", "", "", "", "", "", "", "", "", "", "", "",
     "", "", "", "", "", "worker", "worker", "phase",
 };
 

@@ -28,6 +28,8 @@ enum class Metric {
   kShardRetriesTotal,
   kOutboxBlockedTotal,
   kOutboxDroppedTotal,
+  kPlanCacheHitsTotal,
+  kPlanCacheMissesTotal,
   // Gauges — point-in-time fleet state.
   kQueueDepth,
   kCampaignsRunning,

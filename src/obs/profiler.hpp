@@ -31,10 +31,12 @@ enum class Phase {
   kMerge,      ///< folding a shard store back into the warm cache
   kRetry,      ///< a shard re-dispatched after its worker endpoint died
   kAbort,      ///< a campaign cancelled (abort command / expired deadline)
+  kPlan,       ///< plan-cache checkout: compiled-expansion lookup / compile
+  kFlush,      ///< a batched records frame settling onto the wire
 };
 
 inline constexpr std::size_t kPhaseCount =
-    static_cast<std::size_t>(Phase::kAbort) + 1;
+    static_cast<std::size_t>(Phase::kFlush) + 1;
 
 /// The span name ("queue-wait", "execute", ...). Stable protocol surface.
 const char* phase_name(Phase phase);

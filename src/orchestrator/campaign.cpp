@@ -234,19 +234,27 @@ void push_group(JobQueue& queue, const Campaign::JobGroup& group) {
 
 }  // namespace
 
-void Campaign::expand(JobQueue& queue) const {
-  for (const JobGroup& group : groups()) {
+void push_groups(JobQueue& queue,
+                 const std::vector<Campaign::JobGroup>& groups) {
+  for (const Campaign::JobGroup& group : groups) {
     push_group(queue, group);
   }
 }
 
+void push_group_subset(JobQueue& queue,
+                       const std::vector<Campaign::JobGroup>& groups,
+                       const std::vector<std::size_t>& group_indices) {
+  for (const std::size_t index : group_indices) {
+    AO_REQUIRE(index < groups.size(), "shard group index out of range");
+    push_group(queue, groups[index]);
+  }
+}
+
+void Campaign::expand(JobQueue& queue) const { push_groups(queue, groups()); }
+
 void Campaign::expand_subset(
     JobQueue& queue, const std::vector<std::size_t>& group_indices) const {
-  const auto all = groups();
-  for (const std::size_t index : group_indices) {
-    AO_REQUIRE(index < all.size(), "shard group index out of range");
-    push_group(queue, all[index]);
-  }
+  push_group_subset(queue, groups(), group_indices);
 }
 
 std::size_t Campaign::job_count() const {

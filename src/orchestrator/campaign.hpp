@@ -148,4 +148,18 @@ class Campaign {
   double power_window_seconds_ = 1.0;
 };
 
+/// Pushes every group into `queue` with the group-internal dependency edges
+/// (jobs[0] is the root; the rest depend on it) — expand() for a group list
+/// that is already materialized. The PlanCache's consumers rebuild queues
+/// from compiled expansions through these instead of re-running groups().
+void push_groups(JobQueue& queue,
+                 const std::vector<Campaign::JobGroup>& groups);
+
+/// Pushes only the named groups (indices into `groups`) — expand_subset()
+/// for a materialized group list. Throws util::InvalidArgument on an
+/// out-of-range index.
+void push_group_subset(JobQueue& queue,
+                       const std::vector<Campaign::JobGroup>& groups,
+                       const std::vector<std::size_t>& group_indices);
+
 }  // namespace ao::orchestrator

@@ -1,5 +1,6 @@
 #include "orchestrator/record.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <sstream>
 
@@ -419,6 +420,43 @@ std::string serialize_record(const MeasurementRecord& record) {
       },
       record);
   return out.str();
+}
+
+std::size_t serialized_record_size_bound(const MeasurementRecord& record) {
+  // Every numeric token put_u64/put_double/put_float emits is a space plus
+  // at most 16 hex digits; a string token is a space plus two hex bytes per
+  // character (or " -" when empty). The counts below mirror the write_*
+  // functions token for token — a new field there must be counted here.
+  constexpr std::size_t kNumericToken = 17;
+  const std::size_t tokens = std::visit(
+      [](const auto& value) -> std::size_t {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, harness::GemmMeasurement>) {
+          return 13 + value.time_ns.values().size();
+        } else if constexpr (std::is_same_v<T, StreamRecord>) {
+          return 3 + value.run.kernels.size() * 5;
+        } else if constexpr (std::is_same_v<T, PrecisionRecord>) {
+          std::size_t count = 4 + value.rows.size() * 6;
+          std::size_t string_bytes = 0;
+          for (const auto& row : value.rows) {
+            string_bytes += 1 + std::max<std::size_t>(
+                                    1, 2 * row.executing_unit.size());
+          }
+          // Fold the string bytes into whole numeric-token units, rounding
+          // up, so one multiply below covers both shapes.
+          return count + (string_bytes + kNumericToken - 1) / kNumericToken;
+        } else if constexpr (std::is_same_v<T, AneRecord>) {
+          return 9;
+        } else if constexpr (std::is_same_v<T, PowerRecord>) {
+          return 7;
+        } else if constexpr (std::is_same_v<T, Fp64EmuRecord>) {
+          return 7;
+        } else {
+          return 7;  // SmeRecord
+        }
+      },
+      record);
+  return to_string(record_kind(record)).size() + tokens * kNumericToken;
 }
 
 std::optional<MeasurementRecord> deserialize_record(const std::string& tokens) {

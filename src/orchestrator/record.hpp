@@ -124,4 +124,10 @@ std::string serialize_record(const MeasurementRecord& record);
 /// loader treats that as a corrupt entry and skips it.
 std::optional<MeasurementRecord> deserialize_record(const std::string& tokens);
 
+/// Upper bound on serialize_record(record).size(), computed without
+/// formatting anything: token counts mirror the writers above (every
+/// numeric token is at most a space plus 16 hex digits). Feeds the store
+/// serializer's reserve path, so one allocation covers a whole snapshot.
+std::size_t serialized_record_size_bound(const MeasurementRecord& record);
+
 }  // namespace ao::orchestrator

@@ -83,6 +83,17 @@ std::string format_entry(const std::pair<CacheKey, MeasurementRecord>& entry) {
   return line;
 }
 
+/// Upper bound on format_entry(entry).size(), mirroring it piece for piece:
+/// the "entry " prefix, six key tokens (each at most 16 hex digits plus its
+/// separator space), the record tokens, the digest separator and the
+/// 16-digit digest.
+std::size_t entry_size_bound(
+    const std::pair<CacheKey, MeasurementRecord>& entry) {
+  return std::strlen(kStoreEntryPrefix) + 6 * 17 +
+         serialized_record_size_bound(entry.second) +
+         std::strlen(kStoreDigestSeparator) + 16;
+}
+
 std::optional<std::pair<CacheKey, MeasurementRecord>> parse_entry(
     const std::string& line) {
   if (line.rfind(kStoreEntryPrefix, 0) != 0) {
@@ -424,14 +435,37 @@ void ResultCache::write_store_locked(std::ostream& out) const {
   }
 }
 
+std::size_t ResultCache::serialize_size_hint_locked() const {
+  std::size_t bound = header_line().size() + 1;
+  for (const Entry& entry : lru_) {
+    bound += entry_size_bound(entry) + 1;
+  }
+  return bound;
+}
+
+std::size_t ResultCache::serialize_size_hint() const {
+  std::lock_guard lock(mutex_);
+  return serialize_size_hint_locked();
+}
+
 std::string ResultCache::serialize_store() const {
   obs::TimelineProfiler::Scope span(profiler_, obs::Phase::kSerialize,
                                     obs::TimelineProfiler::kInheritParent,
                                     "wire");
-  std::ostringstream out;
+  std::string out;
   std::lock_guard lock(mutex_);
-  write_store_locked(out);
-  return out.str();
+  // One reserve up front (the hint bounds the final size), then append —
+  // the repeated-append growth path never fires and the whole snapshot is
+  // a single allocation.
+  out.reserve(serialize_size_hint_locked());
+  out += header_line();
+  out += '\n';
+  // Least recent first: reloading replays insertions in recency order.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    out += format_entry(*it);
+    out += '\n';
+  }
+  return out;
 }
 
 std::size_t ResultCache::compact() {

@@ -173,8 +173,17 @@ class ResultCache {
   /// The store exactly as save() would write it (version header + retained
   /// entries, least recent first), as one in-memory buffer: the wire twin
   /// of save(). A remote shard worker ships this over its socket instead of
-  /// writing a store file (docs/service.md#wire-format-frames).
+  /// writing a store file (docs/service.md#wire-format-frames). The buffer
+  /// is built behind one up-front reserve of serialize_size_hint() bytes —
+  /// a whole snapshot costs a single allocation, not one per appended
+  /// entry.
   std::string serialize_store() const;
+
+  /// Upper bound on serialize_store().size(), computed from token counts
+  /// without formatting anything (see serialized_record_size_bound()).
+  /// serialize_store() reserves exactly this, so `hint >= size` is the
+  /// single-allocation invariant the regression tests probe.
+  std::size_t serialize_size_hint() const;
 
   /// merge_store() from an in-memory buffer — the receiving end of
   /// serialize_store(): same header check, per-entry digest validation,
@@ -244,6 +253,7 @@ class ResultCache {
   /// Writes the header + retained entries (least recent first) to `out` —
   /// the one body behind save_locked() and serialize_store().
   void write_store_locked(std::ostream& out) const;
+  std::size_t serialize_size_hint_locked() const;
   std::size_t load_impl(const std::string& path, bool write_through);
   /// The shared merge loop behind load()/merge_store()/merge_buffer().
   /// `source_path` is non-empty only for file sources (it feeds the

@@ -18,7 +18,7 @@ void set_error(std::string* error, const char* reason) {
 
 }  // namespace
 
-bool valid_frame_type(const std::string& type) {
+bool valid_frame_type(std::string_view type) {
   if (type.empty() || type.size() > 32) {
     return false;
   }
@@ -30,27 +30,45 @@ bool valid_frame_type(const std::string& type) {
   return true;
 }
 
-std::string encode_frame(const Frame& frame) {
-  AO_REQUIRE(valid_frame_type(frame.type),
-             "frame type must be [a-z0-9-], 1-32 chars: " + frame.type);
-  AO_REQUIRE(frame.payload.size() <= kMaxFramePayload,
+void encode_frame_into(std::string& out, std::string_view type,
+                       std::string_view payload) {
+  AO_REQUIRE(valid_frame_type(type),
+             "frame type must be [a-z0-9-], 1-32 chars: " + std::string(type));
+  AO_REQUIRE(payload.size() <= kMaxFramePayload,
              "frame payload exceeds kMaxFramePayload");
-  std::string out = kFrameMagic;
+  // One reserve covers the whole frame: header (magic + type + two hex
+  // tokens, ≤ 74 bytes) + payload + terminator. Against a recycled buffer
+  // whose capacity already fits, this allocates nothing.
+  out.reserve(out.size() + payload.size() + kMaxFrameHeader);
+  out += kFrameMagic;
   out += ' ';
-  out += frame.type;
+  out += type;
   out += ' ';
-  out += util::to_hex_u64(frame.payload.size());
+  out += util::to_hex_u64(payload.size());
   out += ' ';
-  out += util::to_hex_u64(orchestrator::store_digest(frame.payload.data(),
-                                                     frame.payload.size()));
+  out += util::to_hex_u64(
+      orchestrator::store_digest(payload.data(), payload.size()));
   out += '\n';
-  out += frame.payload;
+  out += payload;
   out += '\n';
+}
+
+std::string encode_frame(const Frame& frame) {
+  std::string out;
+  encode_frame_into(out, frame.type, frame.payload);
   return out;
 }
 
 void write_frame(std::ostream& out, const Frame& frame) {
   out << encode_frame(frame);
+  out.flush();
+}
+
+void FrameWriter::write(std::ostream& out, std::string_view type,
+                        std::string_view payload) {
+  buffer_.clear();  // capacity survives; steady state allocates nothing
+  encode_frame_into(buffer_, type, payload);
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
   out.flush();
 }
 

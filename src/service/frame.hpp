@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace ao::service {
 
@@ -57,7 +58,13 @@ struct Frame {
 };
 
 /// True for the type tokens write_frame() accepts: [a-z0-9-], 1–32 chars.
-bool valid_frame_type(const std::string& type);
+bool valid_frame_type(std::string_view type);
+
+/// Appends one encoded frame (header line + payload + newline) to `out`
+/// without clearing it — the allocation-free core every frame writer shares.
+/// Throws util::InvalidArgument for an invalid type or an oversized payload.
+void encode_frame_into(std::string& out, std::string_view type,
+                       std::string_view payload);
 
 /// Encodes the frame as header line + payload + newline. Throws
 /// util::InvalidArgument for an invalid type or an oversized payload.
@@ -66,6 +73,33 @@ std::string encode_frame(const Frame& frame);
 /// encode_frame() straight onto a stream, then flushes — a frame is a
 /// protocol turn, so the peer must see it immediately.
 void write_frame(std::ostream& out, const Frame& frame);
+
+/// Reusable frame encoder for one link/session: the encode buffer is owned
+/// by the writer and recycled across frames, so a long conversation stops
+/// paying one string allocation (and two stream writes) per frame. Each
+/// frame is emitted as ONE ostream write of header+payload+terminator —
+/// scatter-gather style: the pieces are gathered into the reused buffer and
+/// hit the stream in a single put, then a flush (a frame is a protocol
+/// turn; the peer must see it immediately).
+///
+/// NOT thread-safe: one FrameWriter per session/link, owned by whoever owns
+/// the ostream. Concurrent sessions must each hold their own writer — the
+/// buffer contents of an in-flight write are live exactly until write()
+/// returns, and never alias another session's frames.
+class FrameWriter {
+ public:
+  /// Encodes and writes one frame. Same validation (and exceptions) as
+  /// encode_frame(); stream state after the write is the caller's to check.
+  void write(std::ostream& out, std::string_view type,
+             std::string_view payload);
+
+  /// Bytes currently reserved by the reused encode buffer — test
+  /// introspection for the no-per-frame-allocation property.
+  std::size_t buffer_capacity() const { return buffer_.capacity(); }
+
+ private:
+  std::string buffer_;
+};
 
 /// Reads one frame. Returns nullopt with `error` set to a stable reason on
 /// any failure: "closed" (EOF before a header), "bad-frame-header"

@@ -251,6 +251,36 @@ std::vector<std::string> CampaignRequest::to_lines() const {
   return lines;
 }
 
+std::string plan_key(const CampaignRequest& request) {
+  // Expansion depends on every to_lines() line EXCEPT identity and
+  // scheduling: to_campaign() never reads name/client/priority or
+  // workers/shards/deadline/retries, so requests differing only there share
+  // a compiled plan (that sharing is the point of the cache).
+  static constexpr const char* kSkipPrefixes[] = {
+      "begin ",   "client ",   "priority ", "workers ",
+      "shards ",  "deadline ", "retries ",
+  };
+  std::string key;
+  for (const std::string& line : request.to_lines()) {
+    if (line == "run") {
+      continue;
+    }
+    bool skip = false;
+    for (const char* prefix : kSkipPrefixes) {
+      if (line.rfind(prefix, 0) == 0) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) {
+      continue;
+    }
+    key += line;
+    key += '\n';
+  }
+  return key;
+}
+
 std::optional<ProtocolError> RequestBuilder::begin(const std::string& name) {
   if (open_) {
     return ProtocolError{

@@ -148,6 +148,15 @@ class RequestBuilder {
 std::optional<CampaignRequest> parse_request_lines(
     const std::vector<std::string>& lines, std::string* error);
 
+/// The request's plan-cache key: the to_lines() block with every line that
+/// cannot change the expansion stripped (identity — begin/client/priority —
+/// and scheduling — workers/shards/deadline/retries — plus the "run"
+/// terminator), joined by newlines. Two requests share a key exactly when
+/// Campaign::groups() would return the same group list; the PlanCache
+/// compares keys by string equality, so distinct option sets can never
+/// collide.
+std::string plan_key(const CampaignRequest& request);
+
 /// Lowercased figure-legend name → GemmImpl ("cpu-single", "gpu-mps", …).
 /// Throws util::InvalidArgument for unknown names.
 soc::GemmImpl gemm_impl_from_string(const std::string& name);

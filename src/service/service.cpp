@@ -147,6 +147,7 @@ class CampaignService::SchedulerLease {
 CampaignService::CampaignService(Config config)
     : config_(std::move(config)),
       cache_(config_.cache_capacity),
+      plan_cache_(config_.plan_cache_capacity),
       queue_(config_.limits),
       profiler_(config_.profile_clock) {
   if (!config_.store_path.empty()) {
@@ -330,6 +331,7 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
           }
         }
         const Totals t = totals();
+        const orchestrator::PlanCache::Stats plans = plan_cache_.stats();
         out << "stats campaigns " << t.campaigns << " sharded "
             << t.sharded_campaigns << " records " << t.records_streamed
             << " executed " << t.jobs_executed << " hits " << t.cache_hits
@@ -343,7 +345,9 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
             << t.aborted << " deadline-expired " << t.deadline_expired
             << " shard-retries " << t.shard_retries << " outbox-peak "
             << t.outbox_peak << " outbox-blocked " << t.outbox_blocked
-            << " outbox-dropped " << t.outbox_dropped << '\n';
+            << " outbox-dropped " << t.outbox_dropped << " plan-hits "
+            << plans.hits << " plan-misses " << plans.misses
+            << " plan-entries " << plans.size << '\n';
       } else if (words[0] == "profile") {
         reply_profile(words.size() > 1 ? words[1] : "", out);
       } else if (words[0] == "metrics") {
@@ -435,6 +439,9 @@ void CampaignService::reply_metrics(std::ostream& out) {
   count(Metric::kShardRetriesTotal, t.shard_retries);
   count(Metric::kOutboxBlockedTotal, t.outbox_blocked);
   count(Metric::kOutboxDroppedTotal, t.outbox_dropped);
+  const orchestrator::PlanCache::Stats plans = plan_cache_.stats();
+  count(Metric::kPlanCacheHitsTotal, plans.hits);
+  count(Metric::kPlanCacheMissesTotal, plans.misses);
   count(Metric::kQueueDepth, queue_.queued_count());
   count(Metric::kCampaignsRunning, queue_.running_count());
   count(Metric::kOutboxPeakDepth, t.outbox_peak);
@@ -597,22 +604,30 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   std::size_t expected_records = 0;
   std::size_t shard_count = 0;
   std::size_t group_count = 0;
+  const std::string plan_cache_key = plan_key(request);
+  std::shared_ptr<const orchestrator::CompiledCampaign> compiled;
   {
     // Request expansion and shard sizing — the first `schedule` span; the
-    // sharded path records another around its plan proper.
+    // sharded path records another around its plan proper. Nested inside it,
+    // a `plan` span labelled hit/miss covers the compiled-plan checkout
+    // (compile time lands inside it on a miss).
     obs::TimelineProfiler::Scope schedule(&profiler_, obs::Phase::kSchedule,
                                           obs::TimelineProfiler::kInheritParent,
                                           "expand");
-    const orchestrator::Campaign campaign = request.to_campaign();
-    const auto groups = campaign.groups();
-    group_count = groups.size();
-    for (const auto& group : groups) {
-      jobs += group.jobs.size();
-    }
-    expected_records = expected_record_count(groups);
+    const std::uint64_t plan_start = profiler_.now();
+    bool compiled_here = false;
+    compiled = plan_cache_.checkout(plan_cache_key, [&] {
+      compiled_here = true;
+      return orchestrator::compile_campaign(request.to_campaign());
+    });
+    profiler_.record(obs::Phase::kPlan, plan_start, profiler_.now(),
+                     schedule.id(), compiled_here ? "miss" : "hit");
+    group_count = compiled->groups.size();
+    jobs = compiled->job_count;
+    expected_records = expected_record_count(compiled->groups);
     // Never more shards than groups; a surplus would only spawn idle
     // workers.
-    shard_count = std::min(request.shards, groups.size());
+    shard_count = std::min(request.shards, group_count);
   }
 
   // The header goes out before admission completes, so a queued client
@@ -680,10 +695,12 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   // fleet daemon relies on that isolation; docs/operations.md).
   if (shard_count > 1 ||
       (config_.remote_only && request.shards > 1 && group_count != 0)) {
-    run_sharded(request, id, std::max<std::size_t>(1, shard_count),
-                expected_records, root.id(), should_stop, out);
+    run_sharded(request, compiled, plan_cache_key, id,
+                std::max<std::size_t>(1, shard_count), expected_records,
+                root.id(), should_stop, out);
   } else {
-    run_in_process(request, id, expected_records, root.id(), should_stop, out);
+    run_in_process(request, compiled, id, expected_records, root.id(),
+                   should_stop, out);
   }
   // The root span closes here so the drain below sees it; the timeline,
   // phase totals and (optionally) the JSON artifact settle with it.
@@ -693,15 +710,13 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   // conflicting campaign in the queue wakes up.
 }
 
-void CampaignService::run_in_process(const CampaignRequest& request,
-                                     std::uint64_t id,
-                                     std::size_t expected_records,
-                                     std::uint64_t root_span,
-                                     const orchestrator::StopFn& should_stop,
-                                     std::ostream& out) {
-  const orchestrator::Campaign campaign = request.to_campaign();
+void CampaignService::run_in_process(
+    const CampaignRequest& request,
+    const std::shared_ptr<const orchestrator::CompiledCampaign>& compiled,
+    std::uint64_t id, std::size_t expected_records, std::uint64_t root_span,
+    const orchestrator::StopFn& should_stop, std::ostream& out) {
   JobQueue queue;
-  campaign.expand(queue);
+  orchestrator::push_groups(queue, compiled->groups);
 
   const std::uint64_t options_fp =
       orchestrator::options_fingerprint(request.options());
@@ -770,14 +785,15 @@ void CampaignService::run_in_process(const CampaignRequest& request,
       << '\n';
 }
 
-void CampaignService::run_sharded(const CampaignRequest& request,
-                                  std::uint64_t id, std::size_t shard_count,
-                                  std::size_t expected_records,
-                                  std::uint64_t root_span,
-                                  const orchestrator::StopFn& should_stop,
-                                  std::ostream& out) {
-  const orchestrator::Campaign campaign = request.to_campaign();
-  const auto groups = campaign.groups();
+void CampaignService::run_sharded(
+    const CampaignRequest& request,
+    const std::shared_ptr<const orchestrator::CompiledCampaign>& compiled,
+    const std::string& plan_cache_key, std::uint64_t id,
+    std::size_t shard_count, std::size_t expected_records,
+    std::uint64_t root_span, const orchestrator::StopFn& should_stop,
+    std::ostream& out) {
+  const std::vector<orchestrator::Campaign::JobGroup>& groups =
+      compiled->groups;
   const std::uint64_t options_fp =
       orchestrator::options_fingerprint(request.options());
 
@@ -822,26 +838,43 @@ void CampaignService::run_sharded(const CampaignRequest& request,
 
   // Plan only the pending groups; plan indices are positions in `pending`,
   // mapped back to campaign group indices for the workers.
-  std::vector<orchestrator::Campaign::JobGroup> pending_groups;
-  pending_groups.reserve(pending.size());
-  for (const std::size_t index : pending) {
-    pending_groups.push_back(groups[index]);
+  const std::size_t effective_shards =
+      std::max<std::size_t>(1, std::min(shard_count, pending.size()));
+  const auto plan_pending = [&] {
+    std::vector<orchestrator::Campaign::JobGroup> pending_groups;
+    pending_groups.reserve(pending.size());
+    for (const std::size_t index : pending) {
+      pending_groups.push_back(groups[index]);
+    }
+    return plan_shards(pending_groups, effective_shards).shard_groups;
+  };
+  // When the warm cache served nothing, `pending` is the full ascending
+  // group list — exactly the partition the PlanCache memoizes per shard
+  // count. Any warm hit shrinks the pending set, and the memo no longer
+  // applies; plan fresh.
+  std::shared_ptr<const std::vector<std::vector<std::size_t>>> memoized;
+  if (pending.size() == groups.size()) {
+    memoized =
+        plan_cache_.shard_partition(plan_cache_key, effective_shards,
+                                    plan_pending);
   }
-  const ShardPlan plan =
-      plan_shards(pending_groups, std::max<std::size_t>(
-                                      1, std::min(shard_count, pending.size())));
+  const std::vector<std::vector<std::size_t>> planned =
+      memoized == nullptr ? plan_pending()
+                          : std::vector<std::vector<std::size_t>>{};
+  const std::vector<std::vector<std::size_t>>& shard_groups =
+      memoized == nullptr ? planned : *memoized;
 
   // Shard work lists: campaign group indices per non-empty shard. Which
   // transport runs them — remote workers over frames, or local workers
   // over tailed disk stores — is decided below; the plan is the same.
   std::vector<WorkerPool::ShardTask> tasks;
-  for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
-    if (plan.shard_groups[shard].empty()) {
+  for (std::size_t shard = 0; shard < shard_groups.size(); ++shard) {
+    if (shard_groups[shard].empty()) {
       continue;
     }
     WorkerPool::ShardTask task;
     task.shard_index = shard;
-    for (const std::size_t pending_index : plan.shard_groups[shard]) {
+    for (const std::size_t pending_index : shard_groups[shard]) {
       task.groups.push_back(pending[pending_index]);
     }
     tasks.push_back(std::move(task));

@@ -14,6 +14,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "orchestrator/plan_cache.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
 #include "service/campaign_queue.hpp"
@@ -102,6 +103,9 @@ class CampaignService {
     /// block once this many lines wait on a slow client (see
     /// SessionOutbox). Protocol events and replies are exempt.
     std::size_t outbox_capacity = 1024;
+    /// Retained compiled campaign expansions (orchestrator::PlanCache):
+    /// repeated campaigns skip the groups() walk at checkout. At least 1.
+    std::size_t plan_cache_capacity = 64;
   };
 
   struct Totals {
@@ -145,6 +149,8 @@ class CampaignService {
   };
 
   orchestrator::ResultCache& cache() { return cache_; }
+  /// The compiled-expansion cache consulted at every campaign checkout.
+  orchestrator::PlanCache& plan_cache() { return plan_cache_; }
   CampaignQueue& queue() { return queue_; }
   /// The pool of connected remote shard workers (`worker` hello sessions).
   WorkerRegistry& workers() { return registry_; }
@@ -184,14 +190,22 @@ class CampaignService {
   void note_cancelled(const std::string& code);
 
   void run_campaign(const CampaignRequest& request, std::ostream& session_out);
-  void run_in_process(const CampaignRequest& request, std::uint64_t id,
-                      std::size_t expected_records, std::uint64_t root_span,
-                      const orchestrator::StopFn& should_stop,
-                      std::ostream& out);
-  void run_sharded(const CampaignRequest& request, std::uint64_t id,
-                   std::size_t shard_count, std::size_t expected_records,
-                   std::uint64_t root_span,
-                   const orchestrator::StopFn& should_stop, std::ostream& out);
+  /// Both execution paths receive the campaign's compiled expansion (a
+  /// PlanCache checkout made in run_campaign) instead of re-expanding the
+  /// request; run_sharded also gets the plan key so it can consult the
+  /// shard-partition memo.
+  void run_in_process(
+      const CampaignRequest& request,
+      const std::shared_ptr<const orchestrator::CompiledCampaign>& compiled,
+      std::uint64_t id, std::size_t expected_records, std::uint64_t root_span,
+      const orchestrator::StopFn& should_stop, std::ostream& out);
+  void run_sharded(
+      const CampaignRequest& request,
+      const std::shared_ptr<const orchestrator::CompiledCampaign>& compiled,
+      const std::string& plan_cache_key, std::uint64_t id,
+      std::size_t shard_count, std::size_t expected_records,
+      std::uint64_t root_span, const orchestrator::StopFn& should_stop,
+      std::ostream& out);
   /// Runs the planned shard tasks on checked-out remote workers (one driver
   /// thread per lease draining a shared work queue). Returns false when no
   /// worker could be leased and local fallback is allowed; true when remote
@@ -234,6 +248,7 @@ class CampaignService {
 
   Config config_;
   orchestrator::ResultCache cache_;
+  orchestrator::PlanCache plan_cache_;
   CampaignQueue queue_;
   WorkerRegistry registry_;
   std::atomic<std::uint64_t> next_campaign_id_{1};

@@ -9,6 +9,7 @@
 
 #include "obs/span_codec.hpp"
 #include "orchestrator/campaign.hpp"
+#include "orchestrator/plan_cache.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
 #include "service/frame.hpp"
@@ -50,15 +51,87 @@ std::string join_index_csv(const std::vector<std::size_t>& values) {
   return out;
 }
 
-/// Runs one task's shard, streams its records as frames, and closes with
-/// the shard's worker-side timeline (`spans` frame) followed by the
-/// authoritative `store` frame. Any exception propagates to the caller,
-/// which ships whatever the profiler measured and a `shard-error` frame.
+/// Coalesces settled entry lines into batched `records` frames: lines
+/// accumulate (newline-separated) in a reused buffer and settle onto the
+/// wire as one frame per flush — batch-full, deadline-expired, or the
+/// end-of-shard flush. Callers serialize access through the shard's
+/// out_mutex; the buffer keeps its capacity across flushes.
+class RecordBatcher {
+ public:
+  RecordBatcher(std::ostream& out, FrameWriter& writer,
+                obs::TimelineProfiler& profiler, std::size_t batch,
+                std::uint64_t flush_ns)
+      : out_(out),
+        writer_(writer),
+        profiler_(profiler),
+        batch_(std::max<std::size_t>(1, batch)),
+        flush_ns_(flush_ns) {}
+
+  void add(const std::string& line) {
+    if (buffered_ == 0) {
+      first_buffered_ns_ = profiler_.now();
+    } else {
+      buffer_ += '\n';
+    }
+    buffer_ += line;
+    ++buffered_;
+    if (buffered_ >= batch_ ||
+        profiler_.now() - first_buffered_ns_ >= flush_ns_) {
+      flush();
+    }
+  }
+
+  /// Writes the buffered lines as one `records` frame under a `flush` span
+  /// (no-op when empty). Also the end-of-shard and failure-path drain — a
+  /// worker never strands settled records behind an exception.
+  void flush() {
+    if (buffered_ == 0) {
+      return;
+    }
+    obs::TimelineProfiler::Scope flush_span(
+        &profiler_, obs::Phase::kFlush, obs::TimelineProfiler::kInheritParent,
+        "records");
+    writer_.write(out_, kFrameRecords, buffer_);
+    buffer_.clear();  // capacity survives for the next batch
+    buffered_ = 0;
+  }
+
+ private:
+  std::ostream& out_;
+  FrameWriter& writer_;
+  obs::TimelineProfiler& profiler_;
+  std::size_t batch_;
+  std::uint64_t flush_ns_;
+  std::string buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t first_buffered_ns_ = 0;
+};
+
+/// Runs one task's shard, streams its records as batched frames, and closes
+/// with the shard's worker-side timeline (`spans` frame) followed by the
+/// authoritative `store` frame. Any exception propagates to the caller
+/// (buffered records are flushed first), which ships whatever the profiler
+/// measured and a `shard-error` frame.
 void execute_task(const RemoteTask& task, std::ostream& out,
-                  obs::TimelineProfiler& profiler, const std::string& origin) {
-  orchestrator::Campaign campaign = task.request.to_campaign();
+                  obs::TimelineProfiler& profiler, const std::string& origin,
+                  FrameWriter& writer, orchestrator::PlanCache& plans,
+                  const WorkerSessionOptions& options) {
   orchestrator::JobQueue queue;
-  campaign.expand_subset(queue, task.groups);
+  {
+    // Compiled-expansion checkout: a session running many shards of the
+    // same campaign expands it once. The `plan` span's label says whether
+    // this checkout compiled.
+    const std::uint64_t plan_start = profiler.now();
+    bool compiled_here = false;
+    const auto compiled =
+        plans.checkout(plan_key(task.request), [&] {
+          compiled_here = true;
+          return orchestrator::compile_campaign(task.request.to_campaign());
+        });
+    orchestrator::push_group_subset(queue, compiled->groups, task.groups);
+    profiler.record(obs::Phase::kPlan, plan_start, profiler.now(), 0,
+                    compiled_here ? "miss" : "hit");
+  }
 
   // Capacity covers the whole shard so the final `store` frame —
   // serialize_store() over the retained set — can never have evicted a
@@ -74,31 +147,39 @@ void execute_task(const RemoteTask& task, std::ostream& out,
       orchestrator::options_fingerprint(task.request.options());
 
   std::mutex out_mutex;  // scheduler workers stream concurrently
-  scheduler.run(queue, [&](const orchestrator::ExperimentJob& job,
-                           const orchestrator::MeasurementRecord& record,
-                           bool /*from_cache*/) {
-    // The callback runs inside the job's `execute` span, so both scopes
-    // nest under it.
-    obs::TimelineProfiler::Scope serialize(
-        &profiler, obs::Phase::kSerialize,
-        obs::TimelineProfiler::kInheritParent, "record");
-    const std::string line = orchestrator::format_store_entry(
-        orchestrator::key_for_job(job, options_fp), record);
-    serialize.close();
+  RecordBatcher batcher(out, writer, profiler, options.record_batch,
+                        options.batch_flush_ns);
+  try {
+    scheduler.run(queue, [&](const orchestrator::ExperimentJob& job,
+                             const orchestrator::MeasurementRecord& record,
+                             bool /*from_cache*/) {
+      // The callback runs inside the job's `execute` span, so both scopes
+      // nest under it.
+      obs::TimelineProfiler::Scope serialize(
+          &profiler, obs::Phase::kSerialize,
+          obs::TimelineProfiler::kInheritParent, "record");
+      const std::string line = orchestrator::format_store_entry(
+          orchestrator::key_for_job(job, options_fp), record);
+      serialize.close();
+      std::lock_guard lock(out_mutex);
+      batcher.add(line);
+    });
+  } catch (...) {
+    // Records settled before the failure are real measurements the daemon
+    // can merge; flush them ahead of the shard-error the caller ships.
     std::lock_guard lock(out_mutex);
-    obs::TimelineProfiler::Scope frame_span(
-        &profiler, obs::Phase::kFrame, obs::TimelineProfiler::kInheritParent,
-        "records");
-    write_frame(out, {kFrameRecords, line});
-  });
+    batcher.flush();
+    throw;
+  }
+  batcher.flush();  // the partial final batch (workers are joined by now)
   // The authoritative shard result: byte-for-byte what a local worker's
   // write-through store file would hold after the same run.
   const std::string store = cache.serialize_store();
   // The timeline ships *before* the store so the daemon's shard
   // conversation handles it inline — the store frame stays the settling
   // frame, and peers that never send spans change nothing.
-  write_frame(out, {kFrameSpans, obs::encode_spans(origin, profiler.drain())});
-  write_frame(out, {kFrameStore, store});
+  writer.write(out, kFrameSpans, obs::encode_spans(origin, profiler.drain()));
+  writer.write(out, kFrameStore, store);
 }
 
 }  // namespace
@@ -157,8 +238,12 @@ std::optional<RemoteTask> decode_task(const std::string& payload,
 int run_worker_session(std::istream& in, std::ostream& out,
                        const std::string& name, WorkerSessionOptions options) {
   // One profiler per session: each task drains it, so a timeline never
-  // bleeds into the next shard's `spans` frame.
-  obs::TimelineProfiler profiler(std::move(options.clock));
+  // bleeds into the next shard's `spans` frame. The frame writer and plan
+  // cache are session-owned too: every frame of the conversation recycles
+  // one encode buffer, and repeated shards of one campaign expand it once.
+  obs::TimelineProfiler profiler(options.clock);
+  FrameWriter writer;
+  orchestrator::PlanCache plans(8);
   out << "worker " << name << '\n';
   out.flush();
   std::string reply;
@@ -193,7 +278,7 @@ int run_worker_session(std::istream& in, std::ostream& out,
       // payload is this worker's current clock reading — paired with the
       // ping round-trip it gives the daemon a midpoint clock-offset
       // estimate for aligning this worker's shipped spans.
-      write_frame(out, {kFramePong, std::to_string(profiler.now())});
+      writer.write(out, kFramePong, std::to_string(profiler.now()));
       continue;
     }
     if (frame->type != kFrameTask) {
@@ -203,17 +288,17 @@ int run_worker_session(std::istream& in, std::ostream& out,
     std::string task_error;
     const auto task = decode_task(frame->payload, &task_error);
     if (!task.has_value()) {
-      write_frame(out, {kFrameShardError, "malformed task: " + task_error});
+      writer.write(out, kFrameShardError, "malformed task: " + task_error);
       continue;
     }
     try {
-      execute_task(*task, out, profiler, name);
+      execute_task(*task, out, profiler, name, writer, plans, options);
     } catch (const std::exception& e) {
       // The shard failed but the connection is healthy: ship whatever the
       // timeline measured before the failure, report, and stay available
       // for the next task.
-      write_frame(out, {kFrameSpans, obs::encode_spans(name, profiler.drain())});
-      write_frame(out, {kFrameShardError, e.what()});
+      writer.write(out, kFrameSpans, obs::encode_spans(name, profiler.drain()));
+      writer.write(out, kFrameShardError, e.what());
     }
   }
 }

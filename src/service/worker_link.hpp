@@ -50,11 +50,22 @@ struct WorkerSessionOptions {
   /// {} selects the monotonic steady_clock; tests inject counter clocks
   /// for deterministic distributed timelines.
   obs::TimelineProfiler::ClockFn clock;
+  /// Up to this many settled records coalesce into one `records` frame
+  /// (newline-separated entry lines — the daemon's reader splits either
+  /// shape). 1 restores the one-frame-per-record wire behaviour; 0 is
+  /// clamped to 1. Each flush records a `flush` span.
+  std::size_t record_batch = 16;
+  /// Flush deadline for a partially filled batch: once the oldest buffered
+  /// record has waited this long it is flushed with whatever joined it
+  /// (checked as records settle; the end of the shard always flushes, so a
+  /// deadline never strands records).
+  std::uint64_t batch_flush_ns = 5'000'000;
 };
 
 /// The whole body of a remote `ao_worker`: sends the `worker <name>` hello,
 /// waits for the service's ack, then loops — `task` frame in, the shard's
-/// records out as one `records` frame per settled record, closed by a
+/// records out as batched `records` frames (up to `record_batch` settled
+/// records per frame, bounded by the flush deadline), closed by a
 /// `spans` frame carrying the shard's worker-side timeline (execute/
 /// serialize/frame spans, ao-profile/1 payload) and a `store` frame
 /// carrying the shard's full serialized result store (or a `shard-error`

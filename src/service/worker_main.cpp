@@ -44,9 +44,26 @@ int usage() {
   std::cerr << "usage: ao_worker --request <file> --groups <i,j,...> "
                "--store <file>\n"
                "       ao_worker --connect <socket-path | host:port> "
-               "[--name <id>]\n"
-               "       ao_worker --stdio-frames [--name <id>]\n";
+               "[--name <id>] [--batch <n>] [--batch-flush-ms <ms>]\n"
+               "       ao_worker --stdio-frames [--name <id>] [--batch <n>] "
+               "[--batch-flush-ms <ms>]\n";
   return 2;
+}
+
+bool parse_count(const char* text, std::size_t& out) {
+  std::size_t value = 0;
+  const char* p = text;
+  if (*p == '\0') {
+    return false;
+  }
+  for (; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  out = value;
+  return true;
 }
 
 }  // namespace
@@ -61,6 +78,7 @@ int main(int argc, char** argv) {
   std::string connect_endpoint;
   std::string name;
   bool stdio_frames = false;
+  ao::service::WorkerSessionOptions session_options;
   for (int i = 1; i < argc; ++i) {
     const auto needs_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -81,6 +99,19 @@ int main(int argc, char** argv) {
       name = needs_value("--name");
     } else if (std::strcmp(argv[i], "--stdio-frames") == 0) {
       stdio_frames = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      if (!parse_count(needs_value("--batch"), session_options.record_batch) ||
+          session_options.record_batch == 0) {
+        std::cerr << "ao_worker: --batch needs a positive integer\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--batch-flush-ms") == 0) {
+      std::size_t ms = 0;
+      if (!parse_count(needs_value("--batch-flush-ms"), ms)) {
+        std::cerr << "ao_worker: --batch-flush-ms needs an integer\n";
+        return 2;
+      }
+      session_options.batch_flush_ns = ms * 1'000'000ull;
     } else {
       std::cerr << "ao_worker: unknown option " << argv[i] << "\n";
       return 2;
@@ -107,7 +138,8 @@ int main(int argc, char** argv) {
   }
 
   if (stdio_frames) {
-    return ao::service::run_worker_session(std::cin, std::cout, name);
+    return ao::service::run_worker_session(std::cin, std::cout, name,
+                                           session_options);
   }
 
   if (!connect_endpoint.empty()) {
@@ -118,7 +150,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     ao::service::SocketStream stream(fd);
-    return ao::service::run_worker_session(stream, stream, name);
+    return ao::service::run_worker_session(stream, stream, name,
+                                           session_options);
   }
 
   if (request_path.empty() || groups_csv.empty() || store_path.empty()) {

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/system.hpp"
+#include "fault_stream.hpp"
+#include "harness/experiment.hpp"
 #include "metal/compute_command_encoder.hpp"
+#include "orchestrator/result_cache.hpp"
 #include "power/powermetrics.hpp"
+#include "service/frame.hpp"
 #include "util/csv_writer.hpp"
 #include "util/rng.hpp"
 
@@ -198,6 +204,160 @@ TEST(TimelineFuzz, ClockMonotoneUnderRandomWorkloads) {
   const auto& records = system.soc().activity().records();
   for (std::size_t i = 1; i < records.size(); ++i) {
     ASSERT_EQ(records[i].start_ns, records[i - 1].end_ns);
+  }
+}
+
+// ------------------------------------------------------ wire frame fuzz ----
+
+/// The stable reader errors — a mutated frame must land on one of these,
+/// never on a crash, a hang, or a silently wrong frame.
+bool structured_frame_error(const std::string& error) {
+  return error == "closed" || error == "bad-frame-header" ||
+         error == "frame-oversized" || error == "frame-truncated" ||
+         error == "frame-digest-mismatch";
+}
+
+TEST(FrameFuzz, MutatedFramesFailStructurallyNeverCrash) {
+  util::Xoshiro256 rng(31337);
+  const char* types[] = {"records", "store", "spans", "shard-error"};
+  for (int round = 0; round < 400; ++round) {
+    std::string payload;
+    const std::size_t size = rng.next_below(512);
+    for (std::size_t i = 0; i < size; ++i) {
+      payload.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    const std::string encoded =
+        service::encode_frame({types[rng.next_below(4)], payload});
+
+    // Half the rounds cut the stream, half flip a byte; bias a third of the
+    // positions into the header line so magic, type, length and digest
+    // tokens all get mutated, not just the (much longer) payload.
+    const std::size_t header_len = encoded.find('\n') + 1;
+    const std::size_t at = rng.next_below(3) == 0
+                               ? rng.next_below(header_len)
+                               : rng.next_below(encoded.size());
+    const auto fault =
+        rng.next_below(2) == 0 ? test::Fault::kTruncate : test::Fault::kCorrupt;
+    test::FaultStream in(encoded, fault, at);
+    std::string error;
+    const auto frame = service::read_frame(in, &error);
+    ASSERT_FALSE(frame.has_value())
+        << "round " << round << " fault at " << at << " parsed a frame";
+    EXPECT_TRUE(structured_frame_error(error))
+        << "round " << round << " fault at " << at << ": " << error;
+  }
+}
+
+/// Entry lines as the workers batch them: a small result store serialized
+/// the same way a shard's records hit the wire.
+std::vector<std::string> fuzz_entry_lines() {
+  orchestrator::ResultCache source;
+  for (std::size_t i = 0; i < 6; ++i) {
+    orchestrator::CacheKey key;
+    key.kind = orchestrator::JobKind::kGemmMeasure;
+    key.chip = soc::kAllChipModels[i % 4];
+    key.impl = soc::GemmImpl::kGpuMps;
+    key.n = 64 + i;
+    key.options_fingerprint = 5;
+    harness::GemmMeasurement m;
+    m.n = key.n;
+    m.chip = key.chip;
+    m.impl = key.impl;
+    m.best_gflops = 100.5 + static_cast<double>(i);
+    m.time_ns.add(1.25e6 + static_cast<double>(i));
+    source.insert(key, m);
+  }
+  std::vector<std::string> lines;
+  std::istringstream store(source.serialize_store());
+  std::string line;
+  std::getline(store, line);  // drop the version header
+  while (std::getline(store, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(FrameFuzz, MidBatchCorruptionRejectsTheWholeFrameNoPartialDelivery) {
+  // A batched `records` frame is all-or-nothing: corruption anywhere in the
+  // coalesced payload must fail the frame digest — the daemon never splits
+  // a half-good batch into lines, so no partial merge can happen.
+  const std::vector<std::string> lines = fuzz_entry_lines();
+  std::string payload;
+  for (const auto& line : lines) {
+    if (!payload.empty()) {
+      payload += '\n';
+    }
+    payload += line;
+  }
+  const std::string encoded = service::encode_frame({"records", payload});
+  const std::size_t header_len = encoded.find('\n') + 1;
+
+  util::Xoshiro256 rng(4242);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t at = header_len + rng.next_below(payload.size());
+    const bool truncate = rng.next_below(2) == 0;
+    test::FaultStream in(encoded, truncate ? test::Fault::kTruncate
+                                           : test::Fault::kCorrupt, at);
+    std::string error;
+    ASSERT_FALSE(service::read_frame(in, &error).has_value()) << "round "
+                                                              << round;
+    EXPECT_EQ(error, truncate ? "frame-truncated" : "frame-digest-mismatch")
+        << "round " << round << " at " << at;
+  }
+
+  // The unmutated frame still round-trips to the exact lines.
+  std::istringstream clean(encoded);
+  std::string error;
+  const auto frame = service::read_frame(clean, &error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  std::vector<std::string> split;
+  std::istringstream entries(frame->payload);
+  std::string line;
+  while (std::getline(entries, line)) {
+    split.push_back(line);
+  }
+  EXPECT_EQ(split, lines);
+}
+
+TEST(StoreMergeFuzz, CorruptedBuffersMergeOnlyIntactEntries) {
+  // The merge path behind the `store` frame: random byte mutations may cost
+  // entries (skipped and counted), but whatever merges must be bit-identical
+  // to the source — a corrupted line can never smuggle in a wrong record.
+  orchestrator::ResultCache source;
+  for (std::size_t i = 0; i < 6; ++i) {
+    orchestrator::CacheKey key;
+    key.kind = orchestrator::JobKind::kGemmMeasure;
+    key.chip = soc::ChipModel::kM2;
+    key.impl = soc::GemmImpl::kCpuOmp;
+    key.n = 96 + i;
+    key.options_fingerprint = 9;
+    harness::GemmMeasurement m;
+    m.n = key.n;
+    m.best_gflops = 250.25 + static_cast<double>(i);
+    m.time_ns.add(3.5e6);
+    source.insert(key, m);
+  }
+  const std::string buffer = source.serialize_store();
+
+  util::Xoshiro256 rng(1991);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = buffer;
+    const std::size_t flips = 1 + rng.next_below(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.next_below(mutated.size());
+      mutated[at] = static_cast<char>(
+          static_cast<unsigned char>(mutated[at]) ^
+          static_cast<unsigned char>(1 + rng.next_below(255)));
+    }
+    orchestrator::ResultCache merged;
+    const std::size_t count = merged.merge_buffer(mutated);  // must not throw
+    EXPECT_LE(count, 6u) << "round " << round;
+    EXPECT_EQ(merged.size(), count) << "round " << round;
+    for (const auto& [key, record] : merged.entries()) {
+      const auto original = source.lookup(key);
+      ASSERT_TRUE(original.has_value()) << "round " << round;
+      EXPECT_TRUE(*original == record) << "round " << round;
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 #include "harness/matrix_workload.hpp"
 #include "orchestrator/campaign.hpp"
 #include "orchestrator/job.hpp"
+#include "orchestrator/plan_cache.hpp"
 #include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
 #include "orchestrator/scheduler.hpp"
@@ -1231,6 +1232,160 @@ TEST(ResultCacheConcurrency, AutoCompactionUnderConcurrencyLosesNothing) {
   EXPECT_EQ(cold.size(), kKeys);
   EXPECT_EQ(cold.stats().load_rejected, 0u);
   std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- plan cache --
+
+Campaign plan_cache_campaign() {
+  harness::GemmExperiment::Options opts;
+  opts.repetitions = 1;
+  Campaign campaign;
+  campaign.chips({soc::ChipModel::kM1})
+      .impls({soc::GemmImpl::kCpuSingle, soc::GemmImpl::kGpuMps})
+      .sizes({64, 128})
+      .options(opts);
+  return campaign;
+}
+
+TEST(PlanCache, CompiledExpansionRebuildsTheExactJobGraph) {
+  const Campaign campaign = plan_cache_campaign();
+  const CompiledCampaign compiled = compile_campaign(campaign);
+  EXPECT_EQ(compiled.groups.size(), campaign.groups().size());
+  EXPECT_EQ(compiled.job_count, campaign.job_count());
+
+  // A queue rebuilt from the compilation is indistinguishable — job for
+  // job, id for id — from one the campaign expanded directly: a cache-hit
+  // run must be bit-identical to a cold run.
+  JobQueue direct;
+  campaign.expand(direct);
+  JobQueue rebuilt;
+  push_groups(rebuilt, compiled.groups);
+  const auto expected = direct.jobs();
+  const auto actual = rebuilt.jobs();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id) << "job " << i;
+    EXPECT_EQ(actual[i].kind, expected[i].kind) << "job " << i;
+    EXPECT_EQ(actual[i].priority, expected[i].priority) << "job " << i;
+    EXPECT_EQ(actual[i].chip, expected[i].chip) << "job " << i;
+    EXPECT_EQ(actual[i].impl, expected[i].impl) << "job " << i;
+    EXPECT_EQ(actual[i].n, expected[i].n) << "job " << i;
+    EXPECT_EQ(actual[i].parent, expected[i].parent) << "job " << i;
+    EXPECT_EQ(actual[i].expects_verify, expected[i].expects_verify)
+        << "job " << i;
+  }
+
+  // The subset form addresses the same group indices a full expansion
+  // would — the shard-task path reuses the compilation too.
+  JobQueue subset_direct;
+  campaign.expand_subset(subset_direct, {0, 2});
+  JobQueue subset_rebuilt;
+  push_group_subset(subset_rebuilt, compiled.groups, {0, 2});
+  EXPECT_EQ(subset_rebuilt.jobs().size(), subset_direct.jobs().size());
+}
+
+TEST(PlanCache, CheckoutSharesOneCompilationPerKey) {
+  PlanCache cache(4);
+  int compiles = 0;
+  const auto compile = [&] {
+    ++compiles;
+    return compile_campaign(plan_cache_campaign());
+  };
+  const auto first = cache.checkout("key-a", compile);
+  const auto second = cache.checkout("key-a", compile);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(compiles, 1);
+  const auto third = cache.checkout("key-b", compile);
+  EXPECT_NE(third.get(), first.get());
+  EXPECT_EQ(compiles, 2);
+
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(PlanCache, LruBoundEvictsTheColdestEntryOnly) {
+  PlanCache cache(2);
+  int compiles = 0;
+  const auto compile = [&] {
+    ++compiles;
+    CompiledCampaign compiled;
+    compiled.job_count = static_cast<std::size_t>(compiles);
+    return compiled;
+  };
+  const auto held = cache.checkout("k0", compile);
+  cache.checkout("k1", compile);
+  cache.checkout("k2", compile);  // evicts k0, the least recently used
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Holders of an evicted compilation keep a valid shared snapshot.
+  EXPECT_EQ(held->job_count, 1u);
+
+  // k1 is still resident (a hit); k0 must recompile.
+  cache.checkout("k1", compile);
+  EXPECT_EQ(compiles, 3);
+  cache.checkout("k0", compile);
+  EXPECT_EQ(compiles, 4);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  // Capacity is clamped to at least one retained entry.
+  EXPECT_GE(PlanCache(0).capacity(), 1u);
+}
+
+TEST(PlanCache, ShardPartitionMemoizesPerShardCountAndNeedsResidency) {
+  PlanCache cache(2);
+  int plans = 0;
+  const auto plan = [&] {
+    ++plans;
+    return std::vector<std::vector<std::size_t>>{{0, 2}, {1}};
+  };
+  // A key that was never checked out has nothing to remember the partition
+  // on: the memo must not resurrect (or invent) cache entries.
+  EXPECT_EQ(cache.shard_partition("ghost", 2, plan), nullptr);
+  EXPECT_EQ(plans, 0);
+
+  cache.checkout("k", [] { return CompiledCampaign{}; });
+  const auto first = cache.shard_partition("k", 2, plan);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(plans, 1);
+  EXPECT_EQ(first->size(), 2u);
+  const auto second = cache.shard_partition("k", 2, plan);
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(plans, 1);
+  // Each shard count is its own memo — a resharded rerun replans once.
+  const auto three = cache.shard_partition("k", 3, plan);
+  ASSERT_NE(three, nullptr);
+  EXPECT_EQ(plans, 2);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.shard_partition("k", 2, plan), nullptr);
+}
+
+// serialize_store() promises one allocation: the reserve driven by
+// serialize_size_hint() must bound the final byte count for stores holding
+// every record kind (the precision kind carries variable-length strings —
+// the hint folds them in).
+TEST(ResultCachePersistence, SerializeSizeHintBoundsTheSingleAllocation) {
+  ResultCache cache;
+  EXPECT_EQ(cache.serialize_size_hint(), cache.serialize_store().size());
+
+  for (const auto& [name, entry] : sample_entries()) {
+    cache.insert(entry.first, entry.second);
+  }
+  const std::size_t hint = cache.serialize_size_hint();
+  const std::string store = cache.serialize_store();
+  EXPECT_GE(hint, store.size());
+  // The hint is a bound, not a fantasy: within a small factor of the real
+  // store, so the reserve never balloons.
+  EXPECT_LE(hint, 4 * store.size());
+  // Capacity probe: the serialized string never outgrew its reserve — its
+  // capacity matches what a single reserve(hint) yields.
+  std::string probe;
+  probe.reserve(hint);
+  EXPECT_LE(store.capacity(), probe.capacity());
 }
 
 }  // namespace

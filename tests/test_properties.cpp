@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "mem/cache_model.hpp"
 #include "mem/memory_controller.hpp"
+#include "service/frame.hpp"
 #include "soc/perf_model.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace ao {
 namespace {
@@ -212,6 +218,175 @@ TEST(GenerationalProperty, CalibrationNeverExceedsTheoretical) {
     // MPS peak below the GPU's theoretical FP32 peak.
     EXPECT_LE(soc::gemm_calibration(chip, GemmImpl::kGpuMps).peak_gflops,
               spec.gpu_peak_fp32_gflops());
+  }
+}
+
+// ------------------------------------------------------- wire framing ------
+
+/// Random payload bytes of the given size: full byte range, so newlines,
+/// NULs and header-lookalike sequences all occur.
+std::string random_payload(util::Xoshiro256& rng, std::size_t size) {
+  std::string payload;
+  payload.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    payload.push_back(static_cast<char>(rng.next_below(256)));
+  }
+  return payload;
+}
+
+/// Size grid for the frame round-trip property: the degenerate sizes
+/// (0 and 1 byte), sizes straddling internal powers of two, and the hard
+/// kMaxFramePayload ceiling itself (64 MiB — a reader must accept exactly
+/// the boundary and refuse one byte more).
+class FramePayloadSizeProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FramePayloadSizeProperty, EncodeThenReadIsIdentity) {
+  util::Xoshiro256 rng(0xf4a3e5 + GetParam());
+  const std::string payload = random_payload(rng, GetParam());
+  std::stringstream wire;
+  service::FrameWriter writer;
+  writer.write(wire, service::kFrameRecords, payload);
+  std::string error;
+  const auto frame = service::read_frame(wire, &error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  EXPECT_EQ(frame->type, service::kFrameRecords);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_FALSE(service::read_frame(wire, &error).has_value());
+  EXPECT_EQ(error, "closed");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundarySizes, FramePayloadSizeProperty,
+    ::testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{2},
+                      std::size_t{127}, std::size_t{128}, std::size_t{4095},
+                      std::size_t{65536}, service::kMaxFramePayload),
+    [](const auto& info) { return "bytes" + std::to_string(info.param); });
+
+TEST(FrameProperty, OversizedPayloadsRefusedOnBothSides) {
+  // One byte past the ceiling must fail at encode time...
+  const std::string big(service::kMaxFramePayload + 1, 'x');
+  std::string scratch;
+  EXPECT_THROW(service::encode_frame_into(scratch, "records", big),
+               util::InvalidArgument);
+  std::ostringstream sink;
+  service::FrameWriter writer;
+  EXPECT_THROW(writer.write(sink, "records", big), util::InvalidArgument);
+  // ...and a forged header claiming that length must fail at read time
+  // before the reader allocates anything.
+  std::ostringstream hex;
+  hex << std::hex << (service::kMaxFramePayload + 1);
+  std::istringstream in("@frame1 records " + hex.str() + " 0\n");
+  std::string error;
+  EXPECT_FALSE(service::read_frame(in, &error).has_value());
+  EXPECT_EQ(error, "frame-oversized");
+}
+
+TEST(FrameProperty, WriterReusesItsBufferAcrossFrames) {
+  // After a warm-up frame at the session's peak payload size, later frames
+  // (any smaller size) must not grow the reused encode buffer: the steady
+  // state of a long worker conversation is allocation-free.
+  util::Xoshiro256 rng(1234);
+  std::ostringstream sink;
+  service::FrameWriter writer;
+  constexpr std::size_t kPeak = 1 << 16;
+  writer.write(sink, "records", random_payload(rng, kPeak));
+  const std::size_t warm = writer.buffer_capacity();
+  for (int round = 0; round < 50; ++round) {
+    writer.write(sink, "records", random_payload(rng, rng.next_below(kPeak)));
+    EXPECT_EQ(writer.buffer_capacity(), warm) << "round " << round;
+  }
+}
+
+TEST(FrameProperty, WriterMatchesEncodeFrameByteForByte) {
+  // The reused-buffer writer is an optimization, not a dialect: its wire
+  // bytes are exactly encode_frame()'s for every frame of a conversation.
+  util::Xoshiro256 rng(4321);
+  std::ostringstream actual;
+  std::string expected;
+  service::FrameWriter writer;
+  for (int round = 0; round < 30; ++round) {
+    const std::string payload = random_payload(rng, rng.next_below(2048));
+    writer.write(actual, "records", payload);
+    expected += service::encode_frame({"records", payload});
+  }
+  EXPECT_EQ(actual.str(), expected);
+}
+
+TEST(FrameProperty, ConcurrentSessionsNeverAliasWriterBuffers) {
+  // Two sessions, each with its own writer (the documented ownership rule):
+  // interleaved writes must keep both wires clean — no frame ever carries
+  // bytes from the other session's buffer.
+  util::Xoshiro256 rng(777);
+  std::stringstream wire_a;
+  std::stringstream wire_b;
+  service::FrameWriter writer_a;
+  service::FrameWriter writer_b;
+  std::vector<std::string> sent_a;
+  std::vector<std::string> sent_b;
+  for (int round = 0; round < 40; ++round) {
+    const std::string payload =
+        "session-" + std::string(1, "ab"[round % 2]) + ":" +
+        random_payload(rng, rng.next_below(512));
+    if (round % 2 == 0) {
+      writer_a.write(wire_a, "records", payload);
+      sent_a.push_back(payload);
+    } else {
+      writer_b.write(wire_b, "records", payload);
+      sent_b.push_back(payload);
+    }
+  }
+  std::string error;
+  for (const std::string& expected : sent_a) {
+    const auto frame = service::read_frame(wire_a, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    EXPECT_EQ(frame->payload, expected);
+  }
+  for (const std::string& expected : sent_b) {
+    const auto frame = service::read_frame(wire_b, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    EXPECT_EQ(frame->payload, expected);
+  }
+}
+
+TEST(FrameProperty, BatchedRecordLinesSplitBackExactly) {
+  // The batched `records` payload shape: entry lines joined with single
+  // '\n' separators, no trailing newline. The daemon's getline splitter
+  // must recover exactly the coalesced lines, for every batch size.
+  util::Xoshiro256 rng(2468);
+  for (std::size_t batch = 1; batch <= 32; ++batch) {
+    std::vector<std::string> lines;
+    std::string payload;
+    for (std::size_t i = 0; i < batch; ++i) {
+      // Entry-line-shaped content: printable, newline-free.
+      std::string line = "entry " + std::to_string(i);
+      const std::size_t extra = rng.next_below(40);
+      for (std::size_t j = 0; j < extra; ++j) {
+        line.push_back(static_cast<char>('a' + rng.next_below(26)));
+      }
+      if (!payload.empty()) {
+        payload += '\n';
+      }
+      payload += line;
+      lines.push_back(std::move(line));
+    }
+    // A batch of one is byte-identical to the historical single-record
+    // frame, so old daemons and new workers interoperate.
+    if (batch == 1) {
+      EXPECT_EQ(payload, lines[0]);
+    }
+    std::stringstream wire;
+    service::write_frame(wire, {"records", payload});
+    std::string error;
+    const auto frame = service::read_frame(wire, &error);
+    ASSERT_TRUE(frame.has_value()) << error;
+    std::vector<std::string> split;
+    std::istringstream entries(frame->payload);
+    std::string line;
+    while (std::getline(entries, line)) {
+      split.push_back(line);
+    }
+    EXPECT_EQ(split, lines) << "batch " << batch;
   }
 }
 

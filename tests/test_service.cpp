@@ -1451,5 +1451,256 @@ TEST(CampaignService, MetricsCommandRendersMonotonicPrometheusText) {
             std::string::npos);
 }
 
+// ------------------------------------------------- plan cache (service) -----
+
+TEST(Protocol, PlanKeyCoversContentNotIdentityOrScheduling) {
+  const CampaignRequest base = full_request();
+
+  // Identity and scheduling fields cannot change the expansion, so requests
+  // differing only there intentionally share one compiled plan.
+  CampaignRequest scheduling = base;
+  scheduling.name = "other-name";
+  scheduling.client = "someone-else";
+  scheduling.priority = 1;
+  scheduling.workers = 7;
+  scheduling.shards = 5;
+  scheduling.deadline_ms = 9999;
+  scheduling.shard_retries = 1;
+  EXPECT_EQ(plan_key(base), plan_key(scheduling));
+
+  // Every content field lands in the key verbatim: string inequality is
+  // plan inequality, so distinct option sets can never collide.
+  CampaignRequest sizes = base;
+  sizes.sizes = {32, 64, 128};
+  EXPECT_NE(plan_key(base), plan_key(sizes));
+  CampaignRequest seed = base;
+  seed.matrix_seed = 8;
+  EXPECT_NE(plan_key(base), plan_key(seed));
+  CampaignRequest chips = base;
+  chips.chips = {soc::ChipModel::kM1};
+  EXPECT_NE(plan_key(base), plan_key(chips));
+}
+
+TEST(CampaignService, PlanCacheHitCampaignStaysBitIdentical) {
+  CampaignService service({});
+  const auto first = serve_lines(service, nine_kind_block(2, 1));
+  ASSERT_TRUE(starts_with(first.back(), "done campaign "));
+
+  // The same workload under a different name, client and priority shares
+  // the plan key: the second campaign checks its expansion out of the plan
+  // cache instead of recompiling.
+  std::string variant = nine_kind_block(2, 1);
+  const std::string begin = "begin ninekinds\n";
+  variant.replace(variant.find(begin), begin.size(),
+                  "begin replayed\nclient replayer\npriority 3\n");
+  const auto second = serve_lines(service, variant);
+  ASSERT_TRUE(starts_with(second.back(), "done campaign "));
+  EXPECT_EQ(count_prefixed(second, "record "), 20u);
+
+  const auto stats = serve_lines(service, "stats\n");
+  ASSERT_FALSE(stats.empty());
+  EXPECT_NE(stats.back().find("plan-hits 1"), std::string::npos)
+      << stats.back();
+  EXPECT_NE(stats.back().find("plan-misses 1"), std::string::npos)
+      << stats.back();
+  EXPECT_NE(stats.back().find("plan-entries 1"), std::string::npos)
+      << stats.back();
+
+  // The cache-hit run left exactly the store a cold service builds: plan
+  // reuse may never change a single merged bit.
+  CampaignService cold({});
+  serve_lines(cold, nine_kind_block(2, 1));
+  EXPECT_EQ(entries_by_key(service.cache()), entries_by_key(cold.cache()));
+}
+
+// -------------------------------------------------------- record batching ---
+
+/// A single-chip SME-only request: six one-job groups, so batch math is
+/// exact and the settle order (workers 1) is deterministic.
+CampaignRequest sme_only_request() {
+  CampaignRequest request;
+  request.name = "batching";
+  request.chips = {soc::ChipModel::kM1};
+  request.sme_sizes = {32, 64, 96, 128, 160, 192};
+  request.sme_seed = 13;
+  request.workers = 1;
+  return request;
+}
+
+/// Drives one full worker session over in-memory streams: hello ack, one
+/// task covering every group, bye. Returns the worker's reply frames.
+std::vector<Frame> session_frames(const CampaignRequest& request,
+                                  const WorkerSessionOptions& options) {
+  const std::size_t group_count = request.to_campaign().groups().size();
+  std::vector<std::size_t> groups(group_count);
+  for (std::size_t i = 0; i < group_count; ++i) {
+    groups[i] = i;
+  }
+  std::stringstream in;
+  in << "ok worker\n";
+  write_frame(in, {kFrameTask, encode_task(request, 0, groups)});
+  write_frame(in, {kFrameBye, ""});
+  std::stringstream out;
+  EXPECT_EQ(run_worker_session(in, out, "batcher", options), 0);
+  std::string hello;
+  EXPECT_TRUE(std::getline(out, hello));
+  EXPECT_EQ(hello, "worker batcher");
+  std::vector<Frame> frames;
+  std::string error;
+  while (const auto frame = read_frame(out, &error)) {
+    frames.push_back(*frame);
+  }
+  EXPECT_EQ(error, "closed");
+  return frames;
+}
+
+std::vector<std::vector<std::string>> records_frame_lines(
+    const std::vector<Frame>& frames) {
+  std::vector<std::vector<std::string>> batches;
+  for (const auto& frame : frames) {
+    if (frame.type != kFrameRecords) {
+      continue;
+    }
+    std::istringstream payload(frame.payload);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(payload, line)) {
+      lines.push_back(line);
+    }
+    batches.push_back(std::move(lines));
+  }
+  return batches;
+}
+
+TEST(WorkerSession, RecordsCoalesceUpToTheBatchBound) {
+  const CampaignRequest request = sme_only_request();
+  constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  // batch 4, no deadline: six records ship as a full batch of four plus the
+  // end-of-shard drain of two.
+  WorkerSessionOptions four;
+  four.record_batch = 4;
+  four.batch_flush_ns = kNever;
+  const auto frames = session_frames(request, four);
+  const auto batches = records_frame_lines(frames);
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[1].size(), 2u);
+
+  // Every coalesced line is a complete, digest-checked store entry.
+  std::vector<std::string> streamed;
+  for (const auto& batch : batches) {
+    for (const auto& line : batch) {
+      EXPECT_TRUE(orchestrator::parse_store_entry(line).has_value()) << line;
+      streamed.push_back(line);
+    }
+  }
+  ASSERT_EQ(streamed.size(), 6u);
+
+  // The conversation still closes with spans (carrying the flush spans)
+  // and the authoritative store, which merges to exactly those entries.
+  ASSERT_GE(frames.size(), 4u);
+  EXPECT_EQ(frames[frames.size() - 2].type, kFrameSpans);
+  EXPECT_NE(frames[frames.size() - 2].payload.find("flush"),
+            std::string::npos);
+  EXPECT_EQ(frames.back().type, kFrameStore);
+  orchestrator::ResultCache merged;
+  EXPECT_EQ(merged.merge_buffer(frames.back().payload), 6u);
+
+  // An unbounded batch coalesces the whole shard into one frame; the wire
+  // bytes are the same lines in the same order, just split differently.
+  WorkerSessionOptions unbounded;
+  unbounded.record_batch = 1000;
+  unbounded.batch_flush_ns = kNever;
+  const auto single = records_frame_lines(session_frames(request, unbounded));
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], streamed);
+
+  // batch 1 restores the historical one-frame-per-record wire shape.
+  WorkerSessionOptions per_record;
+  per_record.record_batch = 1;
+  const auto singles = records_frame_lines(session_frames(request, per_record));
+  ASSERT_EQ(singles.size(), 6u);
+  std::vector<std::string> flattened;
+  for (const auto& batch : singles) {
+    ASSERT_EQ(batch.size(), 1u);
+    flattened.push_back(batch[0]);
+  }
+  EXPECT_EQ(flattened, streamed);
+}
+
+TEST(WorkerSession, FlushDeadlineShipsPartialBatches) {
+  const CampaignRequest request = sme_only_request();
+  // A deterministic counter clock: every now() tick advances, so a zero
+  // deadline has always elapsed — each settled record flushes immediately
+  // even though the batch bound would hold a thousand.
+  WorkerSessionOptions options;
+  options.clock = counter_clock();
+  options.record_batch = 1000;
+  options.batch_flush_ns = 0;
+  const auto batches = records_frame_lines(session_frames(request, options));
+  ASSERT_EQ(batches.size(), 6u);
+  for (const auto& batch : batches) {
+    EXPECT_EQ(batch.size(), 1u);
+  }
+}
+
+// The batching analogue of the remote tentpole test: workers coalescing
+// aggressively (whole-shard batches) must leave the daemon's merged cache
+// bit-identical to the single-process run.
+TEST(CampaignService, RemoteBatchedWorkersStayBitIdentical) {
+  const auto dir = temp_dir("remote_batched");
+  CampaignService::Config config;
+  config.shard_dir = dir.string();
+  config.remote_only = true;
+  config.remote_wait_ms = 20000;
+  CampaignService service(std::move(config));
+
+  WorkerSessionOptions batched;
+  batched.record_batch = 64;
+  batched.batch_flush_ns = ~std::uint64_t{0};
+
+  int pair_a[2];
+  int pair_b[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair_a), 0);
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair_b), 0);
+  std::thread serve_a([&service, fd = pair_a[0]] {
+    SocketStream stream(fd);
+    service.serve(stream, stream);
+  });
+  std::thread serve_b([&service, fd = pair_b[0]] {
+    SocketStream stream(fd);
+    service.serve(stream, stream);
+  });
+  std::thread worker_a([fd = pair_a[1], batched] {
+    SocketStream stream(fd);
+    EXPECT_EQ(run_worker_session(stream, stream, "ba", batched), 0);
+  });
+  std::thread worker_b([fd = pair_b[1], batched] {
+    SocketStream stream(fd);
+    EXPECT_EQ(run_worker_session(stream, stream, "bb", batched), 0);
+  });
+
+  const auto lines = serve_lines(service, nine_kind_block(2, 2));
+  ASSERT_TRUE(starts_with(lines.back(), "done campaign ")) << lines.back();
+  EXPECT_NE(lines.back().find("shards 2 remote 2"), std::string::npos)
+      << lines.back();
+  // Batching changes frame boundaries, never the streamed record count.
+  EXPECT_EQ(count_prefixed(lines, "record "), 20u);
+
+  serve_lines(service, "shutdown\n");
+  serve_a.join();
+  serve_b.join();
+  worker_a.join();
+  worker_b.join();
+
+  CampaignService single({});
+  serve_lines(single, nine_kind_block(2, 1));
+  const auto batched_entries = entries_by_key(service.cache());
+  ASSERT_EQ(batched_entries.size(), 20u);
+  EXPECT_EQ(batched_entries, entries_by_key(single.cache()));
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace ao::service

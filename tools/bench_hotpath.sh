@@ -2,12 +2,15 @@
 # Scripted service hot path for the perf-telemetry gate.
 #
 # Boots ao_campaignd with --profile-dir, connects two remote ao_worker
-# processes, and runs the two campaigns that between them light up every
+# processes, and runs the three campaigns that between them light up every
 # gated phase:
 #   - an UNSHARDED mixed-kind campaign (queue-wait/admission/schedule/
 #     execute/serialize on the in-process path),
 #   - a SHARDED remote campaign (shard/transport/frame/merge over the
-#     worker sockets).
+#     worker sockets),
+#   - an unsharded REPLAY of the sharded campaign under a new name/client —
+#     same content, so the schedule phase exercises the plan-cache hit path
+#     (and the warm result cache serves the records without the workers).
 # Then folds the daemon's per-campaign *.profile.json artifacts into one
 # ao-bench/1 report with tools/bench_report.py.
 #
@@ -96,6 +99,32 @@ EOF
 "$BUILD_DIR/ao_campaignctl" --socket "$SOCK" --request "$SCRATCH/hot-sharded.txt" \
   > "$SCRATCH/hot-sharded.log"
 grep -q '^done campaign .* shards 2 remote 2$' "$SCRATCH/hot-sharded.log"
+
+# Campaign 3: the sharded campaign replayed unsharded under a new identity.
+# Every content line matches hot-sharded — scheduling lines (name, client,
+# shards) are outside the plan key — so scheduler checkout reuses the
+# compiled expansion (a plan-cache hit on builds that have the cache) and
+# the warm result cache serves the records without touching the workers.
+cat > "$SCRATCH/hot-replay.txt" <<'EOF'
+begin hot-replay
+client bench-replayer
+chips m1,m3
+impls cpu-single,gpu-mps
+sizes 48,96
+repetitions 3
+stream 1,2 2 2048
+gpu-stream 2 2048
+precision 32
+ane 48
+fp64emu 32
+sme 48
+power 0.25
+workers 2
+run
+EOF
+"$BUILD_DIR/ao_campaignctl" --socket "$SOCK" --request "$SCRATCH/hot-replay.txt" \
+  > "$SCRATCH/hot-replay.log"
+grep -q '^done campaign ' "$SCRATCH/hot-replay.log"
 
 # The live timeline surface: a per-phase p50/p95 table for the sharded
 # campaign, and the lifetime stats-phase totals.
