@@ -25,6 +25,10 @@ constexpr std::array<const char*, kMetricCount> kMetricNames = {
     "ao_outbox_dropped_total",
     "ao_plan_cache_hits_total",
     "ao_plan_cache_misses_total",
+    "ao_queries_total",
+    "ao_query_records_total",
+    "ao_follows_total",
+    "ao_stale_cursors_total",
     "ao_queue_depth",
     "ao_campaigns_running",
     "ao_outbox_peak_depth",
@@ -51,6 +55,10 @@ constexpr std::array<const char*, kMetricCount> kMetricHelp = {
     "Outbox lines discarded by campaign cancellation.",
     "Campaign checkouts served from the compiled plan cache.",
     "Campaign checkouts that had to compile their expansion.",
+    "Store queries served through the secondary index.",
+    "Entry lines streamed by query and follow replies.",
+    "Campaign record streams resumed via the follow command.",
+    "Reads rejected because their cursor outlived a store rewrite.",
     "Campaigns waiting in the admission queue.",
     "Campaigns currently running.",
     "Largest session outbox depth seen.",
@@ -63,8 +71,8 @@ constexpr std::array<const char*, kMetricCount> kMetricHelp = {
 
 /// The label *key* each labelled family uses; "" = unlabelled.
 constexpr std::array<const char*, kMetricCount> kMetricLabelKeys = {
-    "", "", "", "", "", "", "", "", "", "", "", "", "", "", "",
-    "", "", "", "", "", "worker", "worker", "phase",
+    "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "",
+    "", "", "", "", "", "", "worker", "worker", "phase",
 };
 
 MetricKind kind_of(std::size_t index) {

@@ -30,6 +30,10 @@ enum class Metric {
   kOutboxDroppedTotal,
   kPlanCacheHitsTotal,
   kPlanCacheMissesTotal,
+  kQueriesTotal,
+  kQueryRecordsTotal,
+  kFollowsTotal,
+  kStaleCursorsTotal,
   // Gauges — point-in-time fleet state.
   kQueueDepth,
   kCampaignsRunning,

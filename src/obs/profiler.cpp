@@ -16,7 +16,7 @@ namespace {
 constexpr std::array<const char*, kPhaseCount> kPhaseNames = {
     "campaign",  "queue-wait", "admission", "schedule",  "shard",
     "execute",   "serialize",  "frame",     "transport", "merge",
-    "retry",     "abort",      "plan",      "flush",
+    "retry",     "abort",      "plan",      "flush",     "query",
 };
 
 std::uint64_t steady_now_ns() {

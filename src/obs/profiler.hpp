@@ -33,10 +33,11 @@ enum class Phase {
   kAbort,      ///< a campaign cancelled (abort command / expired deadline)
   kPlan,       ///< plan-cache checkout: compiled-expansion lookup / compile
   kFlush,      ///< a batched records frame settling onto the wire
+  kQuery,      ///< one indexed store query / follow replay (read path)
 };
 
 inline constexpr std::size_t kPhaseCount =
-    static_cast<std::size_t>(Phase::kFlush) + 1;
+    static_cast<std::size_t>(Phase::kQuery) + 1;
 
 /// The span name ("queue-wait", "execute", ...). Stable protocol surface.
 const char* phase_name(Phase phase);

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "orchestrator/store_index.hpp"
+
 #include "stream/cpu_stream.hpp"
 #include "stream/gpu_stream.hpp"
 #include "util/error.hpp"
@@ -257,9 +259,12 @@ std::uint64_t options_fingerprint(
   return h;
 }
 
-ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(capacity), store_index_(std::make_unique<StoreIndex>()) {
   AO_REQUIRE(capacity >= 1, "ResultCache capacity must be positive");
 }
+
+ResultCache::~ResultCache() = default;
 
 std::optional<MeasurementRecord> ResultCache::lookup(const CacheKey& key) {
   std::lock_guard lock(mutex_);
@@ -314,14 +319,20 @@ void ResultCache::insert_locked(const CacheKey& key,
   }
 }
 
-void ResultCache::append_line(const std::string& line) {
+void ResultCache::append_line(const std::string& line, const CacheKey& key) {
   if (line.empty()) {
     return;
   }
   std::lock_guard io(io_mutex_);
   if (persist_out_.is_open()) {
+    // store_bytes_ tracks the file size exactly (every write goes through
+    // this path or through a rebuild that resets it), so the new line's
+    // offset is known without asking the stream.
+    const std::uint64_t offset = store_bytes_;
     persist_out_ << line << '\n';
     persist_out_.flush();
+    store_bytes_ += line.size() + 1;
+    store_index_->add(key, offset, line.size());
   }
   // A detach can race the append decision; the entry stays in memory and
   // store_entries_ is reset by persist_to(), so nothing drifts.
@@ -347,7 +358,7 @@ void ResultCache::insert(const CacheKey& key, const MeasurementRecord& record) {
   // shard stores live, so a published record must be durable on return. A
   // concurrent compaction between the two locks at worst duplicates this
   // line in the store; duplicate keys are benign (last one wins on load).
-  append_line(line);
+  append_line(line, key);
   if (compact_now) {
     compact_if_attached();
   }
@@ -391,6 +402,9 @@ std::size_t ResultCache::save(const std::string& path) {
 }
 
 std::size_t ResultCache::save_locked(const std::string& path) {
+  const bool active = !persist_path_.empty() && path == persist_path_;
+  std::vector<StoreRef> refs;
+  std::uint64_t total_bytes = 0;
   // Snapshot into a sibling temp file, then rename over the target, so a
   // reader (or a crash) never observes a half-written store.
   const std::string tmp = path + ".tmp";
@@ -399,7 +413,7 @@ std::size_t ResultCache::save_locked(const std::string& path) {
     if (!out) {
       throw util::Error("cannot write result-cache store: " + tmp);
     }
-    write_store_locked(out);
+    write_store_locked(out, active ? &refs : nullptr, &total_bytes);
     if (!out) {
       throw util::Error("short write to result-cache store: " + tmp);
     }
@@ -423,15 +437,33 @@ std::size_t ResultCache::save_locked(const std::string& path) {
     }
     store_entries_ = lru_.size();
     store_covered_ = true;  // the store is now exactly the retained set
+    store_bytes_ = total_bytes;
+    // Every offset the old index held points into the unlinked inode; the
+    // generation bump turns in-flight cursors into structured stale-cursor
+    // errors instead of reads of reclaimed bytes.
+    store_index_->rebuild(std::move(refs), ++next_generation_);
   }
   return lru_.size();
 }
 
-void ResultCache::write_store_locked(std::ostream& out) const {
-  out << header_line() << '\n';
+void ResultCache::write_store_locked(std::ostream& out,
+                                     std::vector<StoreRef>* refs,
+                                     std::uint64_t* total_bytes) const {
+  const std::string header = header_line();
+  out << header << '\n';
+  std::uint64_t offset = header.size() + 1;
   // Least recent first: reloading replays insertions in recency order.
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    out << format_entry(*it) << '\n';
+    const std::string line = format_entry(*it);
+    out << line << '\n';
+    if (refs != nullptr) {
+      refs->push_back(
+          {it->first, offset, static_cast<std::uint32_t>(line.size())});
+    }
+    offset += line.size() + 1;
+  }
+  if (total_bytes != nullptr) {
+    *total_bytes = offset;
   }
 }
 
@@ -532,7 +564,7 @@ std::size_t ResultCache::load_stream(std::istream& in, bool write_through,
     return 0;
   }
   std::size_t loaded = 0;
-  std::vector<std::string> to_append;
+  std::vector<std::pair<CacheKey, std::string>> to_append;
   bool compact_after = false;
   {
     std::lock_guard lock(mutex_);
@@ -546,7 +578,7 @@ std::size_t ResultCache::load_stream(std::istream& in, bool write_through,
         insert_locked(entry->first, entry->second, write_through, &formatted,
                       &compact_after);
         if (!formatted.empty()) {
-          to_append.push_back(std::move(formatted));
+          to_append.emplace_back(entry->first, std::move(formatted));
         }
         ++loaded;
       } else {
@@ -562,8 +594,8 @@ std::size_t ResultCache::load_stream(std::istream& in, bool write_through,
   }
   // merge_store propagation: the batch lands on disk in one io pass, and a
   // triggered auto-compaction runs once at the end instead of mid-merge.
-  for (const std::string& formatted : to_append) {
-    append_line(formatted);
+  for (const auto& [key, formatted] : to_append) {
+    append_line(formatted, key);
   }
   if (compact_after) {
     compact_if_attached();
@@ -577,26 +609,45 @@ void ResultCache::persist_to(const std::string& path) {
   persist_out_.close();
   persist_path_.clear();
   store_entries_ = 0;
-  store_covered_ = false;
+  store_bytes_ = 0;
+  store_index_->reset(0);  // generation 0: no store attached
   if (path.empty()) {
     return;
   }
   bool needs_header = false;
+  // A SIGKILLed writer can leave the file without a trailing newline; a
+  // later append would then glue two lines together, corrupting both. The
+  // scan detects that and the attach terminates the tail first.
+  bool tail_unterminated = false;
+  std::uint64_t scanned_bytes = 0;
+  std::vector<StoreRef> refs;
   {
-    std::ifstream existing(path);
+    std::ifstream existing(path, std::ios::binary);
     std::string first_line;
     if (!existing || !std::getline(existing, first_line)) {
       needs_header = true;  // absent or empty file: start a fresh store
     } else if (first_line != header_line()) {
       throw util::Error("refusing write-through to a foreign store: " + path);
     } else {
-      // Count the pre-existing entry lines so the auto-compaction ratio sees
-      // the whole store, not just this process's appends.
+      // Cold index scan: count the pre-existing entry lines (the
+      // auto-compaction ratio sees the whole store, not just this
+      // process's appends) and record every valid line's byte offset —
+      // queries start indexed without a store rewrite. Corrupt lines are
+      // skipped here exactly as load() would skip them.
+      tail_unterminated = existing.eof();
+      scanned_bytes = first_line.size() + (tail_unterminated ? 0 : 1);
       std::string line;
       while (std::getline(existing, line)) {
+        const bool terminated = !existing.eof();
         if (!line.empty()) {
           ++store_entries_;
+          if (auto entry = parse_entry(line)) {
+            refs.push_back({entry->first, scanned_bytes,
+                            static_cast<std::uint32_t>(line.size())});
+          }
         }
+        scanned_bytes += line.size() + (terminated ? 1 : 0);
+        tail_unterminated = !terminated;
       }
     }
   }
@@ -607,12 +658,153 @@ void ResultCache::persist_to(const std::string& path) {
   if (needs_header) {
     persist_out_ << header_line() << '\n';
     persist_out_.flush();
+    scanned_bytes = header_line().size() + 1;
+  } else if (tail_unterminated) {
+    persist_out_ << '\n';
+    persist_out_.flush();
+    ++scanned_bytes;
   }
+  store_bytes_ = scanned_bytes;
+  store_index_->rebuild(std::move(refs), ++next_generation_);
   persist_path_ = path;
   // Covered (auto-compaction armed) only when a rewrite could not lose
   // anything: the store is fresh, or this cache fully loaded it and has
   // evicted nothing since.
   store_covered_ = store_entries_ == 0 || path == fully_loaded_path_;
+}
+
+std::uint64_t ResultCache::store_generation() const {
+  return store_index_->generation();
+}
+
+std::optional<ResultCache::QueryPage> ResultCache::query(
+    const QueryFilter& filter, std::size_t limit,
+    const std::string& cursor_token, std::string* error_code) const {
+  const auto fail = [&](const char* code) {
+    if (error_code != nullptr) {
+      *error_code = code;
+    }
+    return std::optional<QueryPage>{};
+  };
+  std::string path;
+  {
+    std::lock_guard lock(mutex_);
+    path = persist_path_;
+  }
+  if (path.empty()) {
+    return fail("no-store");
+  }
+  std::optional<CacheKey> after;
+  std::optional<std::uint64_t> required_generation;
+  if (!cursor_token.empty()) {
+    const auto cursor = decode_query_cursor(cursor_token);
+    if (!cursor.has_value()) {
+      return fail("bad-cursor");
+    }
+    if (cursor->generation == 0) {
+      return fail("stale-cursor");
+    }
+    required_generation = cursor->generation;
+    after = cursor->last;
+  }
+  // Snapshot isolation: neither cache lock is held while the page's lines
+  // are read back (writers never stall behind a scrape) — instead the store
+  // generation is captured with the refs and re-checked after the reads. A
+  // compaction in between moved the bytes, so the page is discarded: a
+  // first page transparently retries against the new revision, a cursor
+  // resume surfaces `stale-cursor`.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const std::uint64_t generation = store_index_->generation();
+    if (generation == 0) {
+      return fail("no-store");
+    }
+    if (required_generation.has_value() && generation != *required_generation) {
+      return fail("stale-cursor");
+    }
+    const StoreIndex::Selection selection =
+        store_index_->collect(filter, after, limit);
+    QueryPage page;
+    page.generation = generation;
+    page.matched = selection.matched;
+    page.exhausted = selection.exhausted;
+    bool torn = false;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        torn = true;
+      }
+      std::string line;
+      for (const StoreRef& ref : selection.refs) {
+        if (torn) {
+          break;
+        }
+        line.resize(ref.length);
+        in.seekg(static_cast<std::streamoff>(ref.offset));
+        if (!in.read(line.data(), static_cast<std::streamsize>(ref.length))) {
+          torn = true;
+          break;
+        }
+        ++page.entries_read;
+        const auto parsed = parse_store_entry(line);
+        if (!parsed.has_value() || !(parsed->first == ref.key)) {
+          torn = true;  // the bytes under this offset were reclaimed
+          break;
+        }
+        page.lines.push_back(line);
+      }
+    }
+    if (torn || store_index_->generation() != generation) {
+      if (required_generation.has_value()) {
+        return fail("stale-cursor");
+      }
+      continue;
+    }
+    if (!page.exhausted && !selection.refs.empty()) {
+      page.cursor = encode_query_cursor(generation, selection.refs.back().key);
+    }
+    return page;
+  }
+  return fail("stale-cursor");
+}
+
+std::optional<std::string> ResultCache::fetch_entry(const CacheKey& key) const {
+  std::string path;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Serve from memory without touching recency: format_entry is a pure
+      // function of (key, record), so this is bit-identical to the line the
+      // store holds for the same entry.
+      return format_entry(*it->second);
+    }
+    path = persist_path_;
+  }
+  if (path.empty()) {
+    return std::nullopt;
+  }
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto ref = store_index_->find(key);
+    if (!ref.has_value()) {
+      return std::nullopt;
+    }
+    const std::uint64_t generation = store_index_->generation();
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::string line(ref->length, '\0');
+      in.seekg(static_cast<std::streamoff>(ref->offset));
+      if (in.read(line.data(), static_cast<std::streamsize>(ref->length))) {
+        const auto parsed = parse_store_entry(line);
+        if (parsed.has_value() && parsed->first == key) {
+          return line;
+        }
+      }
+    }
+    if (store_index_->generation() == generation) {
+      return std::nullopt;  // genuinely gone or corrupt, not a racing rewrite
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace ao::orchestrator

@@ -3,11 +3,13 @@
 #include <cstdint>
 #include <fstream>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "obs/profiler.hpp"
@@ -44,6 +46,19 @@ struct CacheKey {
 struct CacheKeyHash {
   std::size_t operator()(const CacheKey& key) const;
 };
+
+/// Location of one entry line inside a write-through store file — the unit
+/// the StoreIndex (store_index.hpp) maps keys to.
+struct StoreRef {
+  CacheKey key;
+  std::uint64_t offset = 0;  ///< byte offset of the entry line
+  std::uint32_t length = 0;  ///< line length, excluding the newline
+
+  bool operator==(const StoreRef&) const = default;
+};
+
+class StoreIndex;
+struct QueryFilter;
 
 /// Builds the cache key for a job: structured fields plus the digest of the
 /// kind-specific payload. `options_fp` is the campaign-wide
@@ -125,6 +140,7 @@ class ResultCache {
 
   /// `capacity` = maximum retained measurements; at least 1.
   explicit ResultCache(std::size_t capacity = 4096);
+  ~ResultCache();
 
   /// Returns the cached record and refreshes its recency, or nullopt.
   std::optional<MeasurementRecord> lookup(const CacheKey& key);
@@ -228,6 +244,46 @@ class ResultCache {
   /// duplicates + evicted); 0 when detached.
   std::size_t store_entries() const;
 
+  // ------------------------------------------------------ query engine ----
+
+  /// One page of a `query` reply: verbatim store entry lines in
+  /// cache_key_less order (store_index.hpp), plus the cursor that resumes
+  /// strictly after them.
+  struct QueryPage {
+    std::vector<std::string> lines;  ///< store bytes, newest line per key
+    std::size_t matched = 0;   ///< matches at/after this page's start
+    bool exhausted = true;     ///< no match remains past lines.back()
+    std::string cursor;        ///< resume token; "" when exhausted
+    std::uint64_t generation = 0;  ///< store revision the page was cut from
+    std::size_t entries_read = 0;  ///< store lines actually fetched
+  };
+
+  /// Serves one page of matching store entries through the secondary index —
+  /// at most `limit` seeks into the store file instead of a full replay.
+  /// Snapshot isolation: the page is cut against one store generation; if a
+  /// compaction rewrites the store mid-read, a first page transparently
+  /// retries while a cursor resume fails with "stale-cursor" (the caller
+  /// restarts its traversal). `cursor` is the token of a previous page (""
+  /// for the first). On failure returns nullopt with *error_code set to
+  /// "no-store", "bad-cursor" or "stale-cursor".
+  std::optional<QueryPage> query(const QueryFilter& filter, std::size_t limit,
+                                 const std::string& cursor,
+                                 std::string* error_code) const;
+
+  /// The newest store entry line for `key`: formatted from memory when the
+  /// key is retained (without perturbing recency), else seeked out of the
+  /// indexed store. nullopt when the key is gone from both. The `follow`
+  /// replay path reads through this.
+  std::optional<std::string> fetch_entry(const CacheKey& key) const;
+
+  /// Store revision counter: stamped on attach, bumped by every rewrite of
+  /// the active store (compaction, save() onto it). 0 = detached. Cursors
+  /// carry it so stale readers fail structurally (docs/service.md).
+  std::uint64_t store_generation() const;
+
+  /// The live secondary index (docs/orchestrator.md#store-index).
+  const StoreIndex& store_index() const { return *store_index_; }
+
   /// Attaches a timeline profiler: save()/serialize_store() record
   /// `serialize` spans and merge_store()/merge_buffer() record `merge`
   /// spans, inheriting the calling thread's open scope (so a merge inside a
@@ -243,16 +299,21 @@ class ResultCache {
   void insert_locked(const CacheKey& key, const MeasurementRecord& record,
                      bool write_through, std::string* line_out,
                      bool* compact_out);
-  /// Appends one formatted entry line to the write-through stream (no-op
-  /// when `line` is empty or the store is detached). Takes io_mutex_ only.
-  void append_line(const std::string& line);
+  /// Appends one formatted entry line for `key` to the write-through stream
+  /// and indexes its offset (no-op when `line` is empty or the store is
+  /// detached). Takes io_mutex_ only.
+  void append_line(const std::string& line, const CacheKey& key);
   /// Compacts the attached store if still attached — the deferred half of
   /// an auto-compaction decision made under mutex_.
   void compact_if_attached();
   std::size_t save_locked(const std::string& path);
   /// Writes the header + retained entries (least recent first) to `out` —
-  /// the one body behind save_locked() and serialize_store().
-  void write_store_locked(std::ostream& out) const;
+  /// the one body behind save_locked() and serialize_store(). When `refs`
+  /// is non-null it receives each entry's (key, offset, length) and
+  /// `*total_bytes` the full store size — the compaction path rebuilds the
+  /// index from them.
+  void write_store_locked(std::ostream& out, std::vector<StoreRef>* refs,
+                          std::uint64_t* total_bytes) const;
   std::size_t serialize_size_hint_locked() const;
   std::size_t load_impl(const std::string& path, bool write_through);
   /// The shared merge loop behind load()/merge_store()/merge_buffer().
@@ -272,6 +333,13 @@ class ResultCache {
   std::ofstream persist_out_;  ///< guarded by io_mutex_
   std::string persist_path_;   ///< guarded by mutex_ ("" = detached)
   std::size_t store_entries_ = 0;  ///< entry lines in the active store
+  std::uint64_t store_bytes_ = 0;  ///< store file size; guarded by io_mutex_
+  /// Monotonic store-revision source (guarded by mutex_, which every writer
+  /// of the store file holds); the current revision lives in store_index_.
+  std::uint64_t next_generation_ = 0;
+  /// Secondary index over the active store (internally locked; its mutex is
+  /// a leaf — taken under mutex_/io_mutex_, never the reverse).
+  std::unique_ptr<StoreIndex> store_index_;
   double compact_min_live_ratio_ = 0.5;
   std::size_t compact_min_entries_ = 256;
   /// True while every valid entry line of the active store has its key

@@ -5,7 +5,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "orchestrator/result_cache.hpp"
 #include "util/error.hpp"
+#include "util/hex.hpp"
 
 namespace ao::service {
 namespace {
@@ -555,6 +557,45 @@ std::optional<CampaignRequest> parse_request_lines(
     *error = "request block never reached 'run'";
   }
   return std::nullopt;
+}
+
+std::string encode_follow_cursor(std::uint64_t campaign_id,
+                                 std::uint64_t position) {
+  std::string body = "aof1.";
+  body += util::to_hex_u64(campaign_id);
+  body += '.';
+  body += util::to_hex_u64(position);
+  return body + '.' +
+         util::to_hex_u64(
+             orchestrator::store_digest(body.data(), body.size()));
+}
+
+std::optional<FollowCursor> decode_follow_cursor(const std::string& token) {
+  // aof1.<campaign-id>.<position>.<digest>
+  const std::size_t first = token.find('.');
+  if (first == std::string::npos || token.substr(0, first) != "aof1") {
+    return std::nullopt;
+  }
+  const std::size_t second = token.find('.', first + 1);
+  const std::size_t third =
+      second == std::string::npos ? second : token.find('.', second + 1);
+  if (third == std::string::npos ||
+      token.find('.', third + 1) != std::string::npos) {
+    return std::nullopt;
+  }
+  std::uint64_t digest = 0;
+  if (!util::parse_hex_u64(token.substr(third + 1), digest) ||
+      digest != orchestrator::store_digest(token.data(), third)) {
+    return std::nullopt;
+  }
+  FollowCursor cursor;
+  if (!util::parse_hex_u64(token.substr(first + 1, second - first - 1),
+                           cursor.campaign_id) ||
+      !util::parse_hex_u64(token.substr(second + 1, third - second - 1),
+                           cursor.position)) {
+    return std::nullopt;
+  }
+  return cursor;
 }
 
 }  // namespace ao::service

@@ -111,6 +111,11 @@ bool valid_campaign_name(const std::string& name);
 ///   no-store        store command without a write-through store attached
 ///   aborted         the campaign was cancelled by an `abort <name>` command
 ///   deadline-exceeded  the campaign's `deadline <ms>` budget ran out
+///   bad-query       malformed `query` filter (unknown predicate or value)
+///   bad-cursor      unparseable/forged resume token on `query`/`follow`
+///   stale-cursor    structurally valid cursor whose store generation (or
+///                   retained campaign journal) was rewritten underneath it
+///   unknown-campaign  `follow` for a campaign no journal remembers
 struct ProtocolError {
   std::string code;
   std::string message;
@@ -160,5 +165,23 @@ std::string plan_key(const CampaignRequest& request);
 /// Lowercased figure-legend name → GemmImpl ("cpu-single", "gpu-mps", …).
 /// Throws util::InvalidArgument for unknown names.
 soc::GemmImpl gemm_impl_from_string(const std::string& name);
+
+/// Resume token of a `follow` stream: `aof1.<campaign-id>.<position>.<digest>`
+/// (lowercase hex fields; digest = store digest of the token up to its final
+/// dot). Position = records already delivered; the reply resumes with the
+/// next one, so a client that replays its last token never sees a record
+/// twice. The same FNV-1a digest as store entry lines keeps truncated or
+/// bit-flipped tokens structurally rejectable.
+std::string encode_follow_cursor(std::uint64_t campaign_id,
+                                 std::uint64_t position);
+
+struct FollowCursor {
+  std::uint64_t campaign_id = 0;
+  std::uint64_t position = 0;
+};
+
+/// Returns nullopt on any malformation (wrong magic, missing or non-hex
+/// fields, digest mismatch).
+std::optional<FollowCursor> decode_follow_cursor(const std::string& token);
 
 }  // namespace ao::service

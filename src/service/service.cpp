@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "orchestrator/store_index.hpp"
 #include "service/shard_planner.hpp"
 #include "service/worker_link.hpp"
 #include "service/worker_pool.hpp"
@@ -347,7 +348,13 @@ bool CampaignService::serve(std::istream& in, std::ostream& out) {
             << t.outbox_peak << " outbox-blocked " << t.outbox_blocked
             << " outbox-dropped " << t.outbox_dropped << " plan-hits "
             << plans.hits << " plan-misses " << plans.misses
-            << " plan-entries " << plans.size << '\n';
+            << " plan-entries " << plans.size << " queries " << t.queries
+            << " query-records " << t.query_records << " follows "
+            << t.follows << " stale-cursors " << t.stale_cursors << '\n';
+      } else if (words[0] == "query") {
+        reply_query(words, line, out);
+      } else if (words[0] == "follow") {
+        reply_follow(words, line, out);
       } else if (words[0] == "profile") {
         reply_profile(words.size() > 1 ? words[1] : "", out);
       } else if (words[0] == "metrics") {
@@ -442,6 +449,10 @@ void CampaignService::reply_metrics(std::ostream& out) {
   const orchestrator::PlanCache::Stats plans = plan_cache_.stats();
   count(Metric::kPlanCacheHitsTotal, plans.hits);
   count(Metric::kPlanCacheMissesTotal, plans.misses);
+  count(Metric::kQueriesTotal, t.queries);
+  count(Metric::kQueryRecordsTotal, t.query_records);
+  count(Metric::kFollowsTotal, t.follows);
+  count(Metric::kStaleCursorsTotal, t.stale_cursors);
   count(Metric::kQueueDepth, queue_.queued_count());
   count(Metric::kCampaignsRunning, queue_.running_count());
   count(Metric::kOutboxPeakDepth, t.outbox_peak);
@@ -682,6 +693,11 @@ void CampaignService::run_campaign(const CampaignRequest& request,
   out << "started campaign " << id << '\n';
   out.flush();
 
+  // The campaign's follow journal: every record key in stream order, so a
+  // disconnected client can replay the stream from the store later.
+  const std::shared_ptr<CampaignJournal> journal =
+      open_journal(id, request.name);
+
   // The cooperative stop hook the execution paths poll wherever stopping is
   // safe: between scheduler jobs, between remote shards, around the local
   // fallback. It never interrupts a measurement mid-flight.
@@ -697,10 +713,17 @@ void CampaignService::run_campaign(const CampaignRequest& request,
       (config_.remote_only && request.shards > 1 && group_count != 0)) {
     run_sharded(request, compiled, plan_cache_key, id,
                 std::max<std::size_t>(1, shard_count), expected_records,
-                root.id(), should_stop, out);
+                root.id(), should_stop, journal.get(), out);
   } else {
     run_in_process(request, compiled, id, expected_records, root.id(),
-                   should_stop, out);
+                   should_stop, journal.get(), out);
+  }
+  {
+    // A journal that reaches this point replayed every record the campaign
+    // settled; follow replies report it as `complete` (a cancelled campaign
+    // keeps whatever it streamed before the cut, marked `partial`).
+    std::lock_guard lock(journal_mutex_);
+    journal->complete = cancel_code(*cancel).empty();
   }
   // The root span closes here so the drain below sees it; the timeline,
   // phase totals and (optionally) the JSON artifact settle with it.
@@ -714,7 +737,8 @@ void CampaignService::run_in_process(
     const CampaignRequest& request,
     const std::shared_ptr<const orchestrator::CompiledCampaign>& compiled,
     std::uint64_t id, std::size_t expected_records, std::uint64_t root_span,
-    const orchestrator::StopFn& should_stop, std::ostream& out) {
+    const orchestrator::StopFn& should_stop, CampaignJournal* journal,
+    std::ostream& out) {
   JobQueue queue;
   orchestrator::push_groups(queue, compiled->groups);
 
@@ -743,6 +767,7 @@ void CampaignService::run_in_process(
               obs::TimelineProfiler::kInheritParent, "record");
           const orchestrator::CacheKey key =
               orchestrator::key_for_job(job, options_fp);
+          journal_append(journal, key);
           std::lock_guard lock(out_mutex);
           out << "record " << orchestrator::format_store_entry(key, record)
               << '\n';
@@ -791,7 +816,7 @@ void CampaignService::run_sharded(
     const std::string& plan_cache_key, std::uint64_t id,
     std::size_t shard_count, std::size_t expected_records,
     std::uint64_t root_span, const orchestrator::StopFn& should_stop,
-    std::ostream& out) {
+    CampaignJournal* journal, std::ostream& out) {
   const std::vector<orchestrator::Campaign::JobGroup>& groups =
       compiled->groups;
   const std::uint64_t options_fp =
@@ -823,9 +848,11 @@ void CampaignService::run_sharded(
       hit = cache_.lookup(orchestrator::key_for_job(root, options_fp));
     }
     if (hit.has_value()) {
-      const std::string entry = orchestrator::format_store_entry(
-          orchestrator::key_for_job(root, options_fp), *hit);
+      const orchestrator::CacheKey key =
+          orchestrator::key_for_job(root, options_fp);
+      const std::string entry = orchestrator::format_store_entry(key, *hit);
       seen.insert(entry);
+      journal_append(journal, key);
       out << "record " << entry << '\n';
       ++streamed;
       ++warm_hits;
@@ -895,9 +922,9 @@ void CampaignService::run_sharded(
     // concurrent campaign, unless remote_only forbids it.
     std::vector<WorkerPool::ShardTask> leftover;
     remote = run_shards_remote(request, tasks, expected_records, root_span,
-                               should_stop, &seen, &streamed, &merged,
-                               &remote_executed, &retries, &leftover, &failure,
-                               out);
+                               should_stop, journal, &seen, &streamed,
+                               &merged, &remote_executed, &retries, &leftover,
+                               &failure, out);
     if (remote) {
       if (config_.remote_only) {
         // Leftover shards may not touch this host; report them (unless the
@@ -945,8 +972,9 @@ void CampaignService::run_sharded(
           // Only structurally sound entries are streamed (the merge below
           // re-validates through ResultCache::load anyway), and only lines
           // no remote attempt of this shard already shipped.
-          if (orchestrator::parse_store_entry(line).has_value() &&
-              seen.insert(line).second) {
+          const auto parsed = orchestrator::parse_store_entry(line);
+          if (parsed.has_value() && seen.insert(line).second) {
+            journal_append(journal, parsed->first);
             out << "record " << line << '\n';
             ++streamed;
             ++tail.records;
@@ -1050,7 +1078,7 @@ bool CampaignService::run_shards_remote(
     const CampaignRequest& request,
     const std::vector<WorkerPool::ShardTask>& tasks,
     std::size_t expected_records, std::uint64_t root_span,
-    const orchestrator::StopFn& should_stop,
+    const orchestrator::StopFn& should_stop, CampaignJournal* journal,
     std::unordered_set<std::string>* seen, std::size_t* streamed,
     std::size_t* merged, std::size_t* remote_executed,
     std::size_t* retries_used, std::vector<WorkerPool::ShardTask>* leftover,
@@ -1109,7 +1137,8 @@ bool CampaignService::run_shards_remote(
     // Stream each entry the moment its frame arrives — unless an earlier
     // attempt of a retried shard already shipped it. The merge below
     // re-validates everything through merge_buffer anyway.
-    if (!orchestrator::parse_store_entry(line).has_value()) {
+    const auto parsed = orchestrator::parse_store_entry(line);
+    if (!parsed.has_value()) {
       return;
     }
     obs::TimelineProfiler::Scope serialize(
@@ -1119,6 +1148,7 @@ bool CampaignService::run_shards_remote(
     if (!seen->insert(line).second) {
       return;
     }
+    journal_append(journal, parsed->first);
     out << "record " << line << '\n';
     ++*streamed;
     out << "progress " << *streamed << "/" << expected_records << '\n';
@@ -1328,6 +1358,297 @@ bool CampaignService::run_shards_remote(
     }
   }
   return true;
+}
+
+// ----------------------------------------------------------- read path ----
+
+namespace {
+
+/// Query replies default to one modest page; the cap bounds what a single
+/// command can make the daemon read back from disk.
+constexpr std::size_t kDefaultQueryLimit = 64;
+constexpr std::size_t kMaxQueryLimit = 4096;
+
+/// Strict decimal parse (the query grammar's size/limit values); rejects
+/// empty strings, signs and any non-digit.
+bool parse_decimal_u64(const std::string& text, std::uint64_t* value) {
+  if (text.empty() || text.size() > 20) {
+    return false;
+  }
+  std::uint64_t parsed = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *value = parsed;
+  return true;
+}
+
+/// Reverse of orchestrator::to_string(JobKind) — the `kind` filter values
+/// are the documented job-kind names ("gemm-measure", "sme-gemm", ...).
+std::optional<JobKind> job_kind_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < orchestrator::kJobKindCount; ++i) {
+    const auto kind = static_cast<JobKind>(i);
+    if (orchestrator::to_string(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::shared_ptr<CampaignService::CampaignJournal> CampaignService::open_journal(
+    std::uint64_t id, const std::string& name) {
+  auto journal = std::make_shared<CampaignJournal>();
+  journal->id = id;
+  journal->name = name;
+  std::lock_guard lock(journal_mutex_);
+  journals_.push_back(journal);
+  while (journals_.size() > kMaxJournals) {
+    journals_.pop_front();
+  }
+  return journal;
+}
+
+void CampaignService::journal_append(CampaignJournal* journal,
+                                     const orchestrator::CacheKey& key) {
+  if (journal == nullptr) {
+    return;
+  }
+  std::lock_guard lock(journal_mutex_);
+  journal->keys.push_back(key);
+}
+
+std::shared_ptr<CampaignService::CampaignJournal> CampaignService::find_journal(
+    const std::string& name) const {
+  std::lock_guard lock(journal_mutex_);
+  for (auto it = journals_.rbegin(); it != journals_.rend(); ++it) {
+    if ((*it)->name == name) {
+      return *it;
+    }
+  }
+  return nullptr;
+}
+
+void CampaignService::note_query_span(std::uint64_t started_ns,
+                                      const std::string& label) {
+  // Read-path spans have no campaign root to ride into a timeline, so their
+  // phase totals and histogram observation settle here, directly.
+  const std::uint64_t now = profiler_.now();
+  profiler_.record(obs::Phase::kQuery, started_ns, now, 0, label);
+  const std::uint64_t duration = now - started_ns;
+  {
+    std::lock_guard lock(profile_mutex_);
+    auto& [count, total_ns] =
+        phase_totals_[static_cast<std::size_t>(obs::Phase::kQuery)];
+    ++count;
+    total_ns += duration;
+  }
+  metrics_.observe(obs::Metric::kPhaseDurationNs, duration, "query");
+}
+
+void CampaignService::reply_query(const std::vector<std::string>& words,
+                                  const std::string& line, std::ostream& out) {
+  const std::uint64_t started_ns = profiler_.now();
+  orchestrator::QueryFilter filter;
+  std::size_t limit = kDefaultQueryLimit;
+  std::string cursor;
+  for (std::size_t i = 1; i < words.size(); i += 2) {
+    if (i + 1 >= words.size()) {
+      reply_error(out, "bad-query", "filter '" + words[i] + "' needs a value",
+                  line);
+      return;
+    }
+    const std::string& keyword = words[i];
+    const std::string& value = words[i + 1];
+    std::uint64_t number = 0;
+    if (keyword == "kind") {
+      const auto kind = job_kind_from_name(value);
+      if (!kind.has_value()) {
+        reply_error(out, "bad-query", "unknown job kind: " + value, line);
+        return;
+      }
+      filter.kind = *kind;
+    } else if (keyword == "chip") {
+      try {
+        filter.chip = soc::chip_model_from_string(value);
+      } catch (const std::exception&) {
+        reply_error(out, "bad-query", "unknown chip: " + value, line);
+        return;
+      }
+    } else if (keyword == "impl") {
+      try {
+        filter.impl = gemm_impl_from_string(value);
+      } catch (const std::exception&) {
+        reply_error(out, "bad-query", "unknown impl: " + value, line);
+        return;
+      }
+    } else if (keyword == "size") {
+      if (!parse_decimal_u64(value, &number)) {
+        reply_error(out, "bad-query", "bad size: " + value, line);
+        return;
+      }
+      filter.n_min = filter.n_max = number;
+    } else if (keyword == "size-min") {
+      if (!parse_decimal_u64(value, &number)) {
+        reply_error(out, "bad-query", "bad size-min: " + value, line);
+        return;
+      }
+      filter.n_min = number;
+    } else if (keyword == "size-max") {
+      if (!parse_decimal_u64(value, &number)) {
+        reply_error(out, "bad-query", "bad size-max: " + value, line);
+        return;
+      }
+      filter.n_max = number;
+    } else if (keyword == "limit") {
+      if (!parse_decimal_u64(value, &number) || number < 1 ||
+          number > kMaxQueryLimit) {
+        reply_error(out, "bad-query",
+                    "limit must be in [1, " +
+                        std::to_string(kMaxQueryLimit) + "]: " + value,
+                    line);
+        return;
+      }
+      limit = static_cast<std::size_t>(number);
+    } else if (keyword == "cursor") {
+      cursor = value;
+    } else {
+      reply_error(out, "bad-query", "unknown query filter: " + keyword, line);
+      return;
+    }
+  }
+
+  std::string code;
+  const auto page = cache_.query(filter, limit, cursor, &code);
+  if (!page.has_value()) {
+    if (code == "stale-cursor") {
+      std::lock_guard lock(totals_mutex_);
+      ++totals_.stale_cursors;
+    }
+    reply_error(out, code,
+                code == "no-store" ? "no write-through store attached"
+                : code == "bad-cursor"
+                    ? "unparseable cursor token"
+                    : "cursor outlived a store rewrite; restart the query",
+                line);
+    return;
+  }
+  for (const std::string& entry : page->lines) {
+    out << "query-record " << entry << '\n';
+  }
+  out << "query-page count " << page->lines.size() << " matched "
+      << page->matched << " generation " << page->generation << " read "
+      << page->entries_read << " cursor "
+      << (page->exhausted ? std::string("end") : page->cursor) << '\n';
+  {
+    std::lock_guard lock(totals_mutex_);
+    ++totals_.queries;
+    totals_.query_records += page->lines.size();
+  }
+  note_query_span(started_ns, "indexed read " +
+                                  std::to_string(page->entries_read) + "/" +
+                                  std::to_string(cache_.store_entries()) +
+                                  " matched " +
+                                  std::to_string(page->matched));
+}
+
+void CampaignService::reply_follow(const std::vector<std::string>& words,
+                                   const std::string& line,
+                                   std::ostream& out) {
+  const std::uint64_t started_ns = profiler_.now();
+  if (words.size() != 2 && !(words.size() == 4 && words[2] == "from")) {
+    reply_error(out, "bad-request", "usage: follow <name> [from <cursor>]",
+                line);
+    return;
+  }
+  const std::string& name = words[1];
+  if (!valid_campaign_name(name)) {
+    reply_error(out, "bad-name", "invalid campaign name: " + name, line);
+    return;
+  }
+  const std::shared_ptr<CampaignJournal> journal = find_journal(name);
+  if (journal == nullptr) {
+    reply_error(out, "unknown-campaign",
+                "no retained record stream for campaign: " + name, line);
+    return;
+  }
+  std::uint64_t journal_id = 0;
+  std::vector<orchestrator::CacheKey> keys;
+  bool complete = false;
+  {
+    // Snapshot under the lock; the replay below reads only the store, so a
+    // still-running campaign keeps streaming while we serve the past.
+    std::lock_guard lock(journal_mutex_);
+    journal_id = journal->id;
+    keys = journal->keys;
+    complete = journal->complete;
+  }
+  std::uint64_t position = 0;
+  if (words.size() == 4) {
+    const auto cursor = decode_follow_cursor(words[3]);
+    if (!cursor.has_value()) {
+      reply_error(out, "bad-cursor", "unparseable follow cursor", line);
+      return;
+    }
+    if (cursor->campaign_id != journal_id) {
+      // A token from an older run of this name: its journal was superseded,
+      // so replaying against the newer stream would duplicate or skip
+      // records.
+      {
+        std::lock_guard lock(totals_mutex_);
+        ++totals_.stale_cursors;
+      }
+      reply_error(out, "stale-cursor",
+                  "cursor belongs to a superseded campaign run; restart the "
+                  "follow",
+                  line);
+      return;
+    }
+    if (cursor->position > keys.size()) {
+      reply_error(out, "bad-cursor", "cursor beyond the retained stream",
+                  line);
+      return;
+    }
+    position = cursor->position;
+  }
+
+  std::size_t sent = 0;
+  for (std::size_t i = static_cast<std::size_t>(position); i < keys.size();
+       ++i) {
+    const auto entry = cache_.fetch_entry(keys[i]);
+    if (!entry.has_value()) {
+      {
+        std::lock_guard lock(totals_mutex_);
+        ++totals_.stale_cursors;
+      }
+      reply_error(out, "stale-cursor",
+                  "record " + std::to_string(i) +
+                      " left the store (evicted, then compacted away); "
+                      "restart the follow",
+                  line);
+      return;
+    }
+    // Each record carries the token that resumes AFTER it — the client
+    // keeps the last token it read and never sees a record twice.
+    out << "follow-record " << encode_follow_cursor(journal_id, i + 1) << ' '
+        << *entry << '\n';
+    ++sent;
+  }
+  out << "follow campaign " << journal_id << " name " << name << " records "
+      << sent << " position " << keys.size() << " cursor "
+      << encode_follow_cursor(journal_id, keys.size()) << " state "
+      << (complete ? "complete" : "partial") << '\n';
+  {
+    std::lock_guard lock(totals_mutex_);
+    ++totals_.follows;
+    totals_.query_records += sent;
+  }
+  note_query_span(started_ns,
+                  "follow " + name + " records " + std::to_string(sent));
 }
 
 }  // namespace ao::service

@@ -128,6 +128,10 @@ class CampaignService {
     std::size_t outbox_blocked = 0;  ///< record pushes stalled by a slow
                                      ///< client (backpressure events)
     std::size_t outbox_dropped = 0;  ///< record lines dropped by aborts
+    std::size_t queries = 0;         ///< `query` commands served
+    std::size_t query_records = 0;   ///< entry lines streamed by query/follow
+    std::size_t follows = 0;         ///< `follow` streams served
+    std::size_t stale_cursors = 0;   ///< reads rejected with `stale-cursor`
   };
 
   explicit CampaignService(Config config);
@@ -189,23 +193,27 @@ class CampaignService {
   /// Folds one cancelled campaign into the totals.
   void note_cancelled(const std::string& code);
 
+  struct CampaignJournal;  // defined below, next to its helpers
+
   void run_campaign(const CampaignRequest& request, std::ostream& session_out);
   /// Both execution paths receive the campaign's compiled expansion (a
   /// PlanCache checkout made in run_campaign) instead of re-expanding the
   /// request; run_sharded also gets the plan key so it can consult the
   /// shard-partition memo.
+  /// `journal` (may be null) records every streamed CacheKey for `follow`.
   void run_in_process(
       const CampaignRequest& request,
       const std::shared_ptr<const orchestrator::CompiledCampaign>& compiled,
       std::uint64_t id, std::size_t expected_records, std::uint64_t root_span,
-      const orchestrator::StopFn& should_stop, std::ostream& out);
+      const orchestrator::StopFn& should_stop, CampaignJournal* journal,
+      std::ostream& out);
   void run_sharded(
       const CampaignRequest& request,
       const std::shared_ptr<const orchestrator::CompiledCampaign>& compiled,
       const std::string& plan_cache_key, std::uint64_t id,
       std::size_t shard_count, std::size_t expected_records,
       std::uint64_t root_span, const orchestrator::StopFn& should_stop,
-      std::ostream& out);
+      CampaignJournal* journal, std::ostream& out);
   /// Runs the planned shard tasks on checked-out remote workers (one driver
   /// thread per lease draining a shared work queue). Returns false when no
   /// worker could be leased and local fallback is allowed; true when remote
@@ -221,6 +229,7 @@ class CampaignService {
                          const std::vector<WorkerPool::ShardTask>& tasks,
                          std::size_t expected_records, std::uint64_t root_span,
                          const orchestrator::StopFn& should_stop,
+                         CampaignJournal* journal,
                          std::unordered_set<std::string>* seen,
                          std::size_t* streamed, std::size_t* merged,
                          std::size_t* remote_executed,
@@ -245,6 +254,39 @@ class CampaignService {
   /// Prometheus requires it) and streams the text exposition, terminated by
   /// the `# EOF` marker.
   void reply_metrics(std::ostream& out);
+
+  /// The record stream of one campaign, retained for `follow` replays: the
+  /// CacheKeys of every record the campaign streamed (or would have
+  /// streamed), in emission order, deduplicated exactly like the live
+  /// stream. The records themselves stay in the result store; a replay
+  /// re-reads them through ResultCache::fetch_entry().
+  struct CampaignJournal {
+    std::uint64_t id = 0;
+    std::string name;
+    std::vector<orchestrator::CacheKey> keys;  ///< guarded by journal_mutex_
+    bool complete = false;  ///< the campaign finished (vs died / was cut)
+  };
+
+  /// Registers a fresh journal for a starting campaign (old ones roll off
+  /// beyond kMaxJournals) and returns it.
+  std::shared_ptr<CampaignJournal> open_journal(std::uint64_t id,
+                                                const std::string& name);
+  void journal_append(CampaignJournal* journal,
+                      const orchestrator::CacheKey& key);
+  /// Newest retained journal named `name`; nullptr when none survives.
+  std::shared_ptr<CampaignJournal> find_journal(const std::string& name) const;
+
+  /// Handles `query [filters...]`: an indexed, snapshot-isolated page of
+  /// store entries (docs/service.md#queries).
+  void reply_query(const std::vector<std::string>& words,
+                   const std::string& line, std::ostream& out);
+  /// Handles `follow <name> [from <cursor>]`: replays a campaign's record
+  /// stream from the store, resuming after the cursor.
+  void reply_follow(const std::vector<std::string>& words,
+                    const std::string& line, std::ostream& out);
+  /// Settles one read-path command's telemetry: the kQuery span plus its
+  /// phase totals/histogram (read spans have no campaign root to ride).
+  void note_query_span(std::uint64_t started_ns, const std::string& label);
 
   Config config_;
   orchestrator::ResultCache cache_;
@@ -294,6 +336,11 @@ class CampaignService {
   /// Histograms accumulate as campaigns finish; counters and gauges are
   /// refreshed from Totals / queue / registry at scrape time.
   obs::MetricsRegistry metrics_;
+
+  /// Recent campaigns' record streams for `follow` (bounded, oldest first).
+  static constexpr std::size_t kMaxJournals = 8;
+  mutable std::mutex journal_mutex_;
+  std::deque<std::shared_ptr<CampaignJournal>> journals_;
 };
 
 }  // namespace ao::service

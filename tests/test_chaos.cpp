@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -907,6 +909,174 @@ TEST(FaultStreamTest, WorkerSessionDistinguishesCleanEofFromFrameFaults) {
     std::ostringstream out;
     EXPECT_EQ(run_worker_session(in, out, "w"), 1);
   }
+}
+
+// --------------------------------------------------- query crash recovery --
+
+orchestrator::CacheKey recovery_key(std::size_t i) {
+  orchestrator::CacheKey key;
+  key.kind = orchestrator::JobKind::kGemmMeasure;
+  key.chip = soc::kAllChipModels[i % 4];
+  key.impl = soc::GemmImpl::kCpuSingle;
+  key.n = 32 + 16 * (i % 5);
+  key.payload_fingerprint = 7000 + i;
+  key.options_fingerprint = 11;
+  return key;
+}
+
+orchestrator::MeasurementRecord recovery_record(std::size_t i) {
+  harness::GemmMeasurement m;
+  const auto key = recovery_key(i);
+  m.n = key.n;
+  m.chip = key.chip;
+  m.impl = key.impl;
+  m.best_gflops = 64.25 + static_cast<double>(i);
+  m.time_ns.add(2.5e6 + static_cast<double>(i));
+  return m;
+}
+
+/// Every `query-record` payload of one full query session.
+std::vector<std::string> query_records(CampaignService& service) {
+  std::vector<std::string> records;
+  for (const auto& line : serve_lines(service, "query limit 4096\n")) {
+    if (line.rfind("query-record ", 0) == 0) {
+      records.push_back(line.substr(13));
+    }
+  }
+  return records;
+}
+
+TEST(Chaos, SigkilledWriterColdRebuildsAndServesIdenticalQueries) {
+  const auto dir = temp_dir("sigkill_query");
+  const std::string killed = (dir / "killed.store").string();
+  const std::string pristine = (dir / "pristine.store").string();
+
+  // The undisturbed twin: the same 14 points, written and closed cleanly.
+  {
+    orchestrator::ResultCache cache;
+    cache.persist_to(pristine);
+    for (std::size_t i = 0; i < 14; ++i) {
+      cache.insert(recovery_key(i), recovery_record(i));
+    }
+  }
+
+  // The victim: a child process writes the same points, then dies by
+  // SIGKILL with a torn, newline-less entry fragment at the store's tail —
+  // the exact on-disk state an append cut mid-write leaves behind.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    orchestrator::ResultCache cache;
+    cache.persist_to(killed);
+    for (std::size_t i = 0; i < 14; ++i) {
+      cache.insert(recovery_key(i), recovery_record(i));
+    }
+    std::ofstream torn(killed, std::ios::app);
+    torn << "entry 0 1 0 40 1b63 b torn-mid-write";  // no newline, no digest
+    torn.flush();
+    raise(SIGKILL);
+    _exit(42);  // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Restart "the daemon" over the killed store: the cold-start index scan
+  // must skip the torn tail and serve queries bit-identical to the twin.
+  CampaignService::Config undisturbed_config;
+  undisturbed_config.store_path = pristine;
+  CampaignService undisturbed(undisturbed_config);
+  CampaignService::Config recovered_config;
+  recovered_config.store_path = killed;
+  CampaignService recovered(recovered_config);
+
+  const auto expected = query_records(undisturbed);
+  ASSERT_EQ(expected.size(), 14u);
+  EXPECT_EQ(query_records(recovered), expected);
+
+  // The recovered daemon keeps appending correctly: new campaign records
+  // land after the (terminated) torn tail and stay queryable.
+  const auto lines = serve_lines(recovered,
+                                 "begin aftermath\n"
+                                 "chips m1\n"
+                                 "impls cpu-single\n"
+                                 "sizes 24\n"
+                                 "repetitions 1\n"
+                                 "run\n");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back().rfind("done campaign ", 0), 0u) << lines.back();
+  const auto grown = query_records(recovered);
+  EXPECT_GT(grown.size(), expected.size());
+  for (const auto& record : grown) {
+    EXPECT_TRUE(orchestrator::parse_store_entry(record).has_value())
+        << record;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Chaos, FollowResumedFromAnyCursorDeliversEveryRecordExactlyOnce) {
+  const auto dir = temp_dir("follow_resume");
+  CampaignService::Config config;
+  config.store_path = (dir / "follow.store").string();
+  CampaignService service(config);
+
+  const auto campaign = serve_lines(service,
+                                    "begin resilient\n"
+                                    "chips m1,m2\n"
+                                    "impls cpu-single\n"
+                                    "sizes 32,48\n"
+                                    "repetitions 1\n"
+                                    "run\n");
+  ASSERT_FALSE(campaign.empty());
+  ASSERT_EQ(campaign.back().rfind("done campaign ", 0), 0u);
+
+  // The full stream, as one uninterrupted follow: (resume-token, entry).
+  std::vector<std::pair<std::string, std::string>> full;
+  for (const auto& line : serve_lines(service, "follow resilient\n")) {
+    if (line.rfind("follow-record ", 0) == 0) {
+      std::istringstream words(line);
+      std::string tag;
+      std::string token;
+      words >> tag >> token;
+      std::string entry;
+      std::getline(words, entry);
+      full.emplace_back(token, entry.substr(1));
+    }
+  }
+  ASSERT_GE(full.size(), 2u);
+
+  // Drop the connection after every possible prefix; resume from the last
+  // token the client read. Prefix + resumed tail must equal the full
+  // stream bit-identically — every record exactly once, none skipped.
+  for (std::size_t k = 0; k <= full.size(); ++k) {
+    const std::string command =
+        k == 0 ? "follow resilient\n"
+               : "follow resilient from " + full[k - 1].first + "\n";
+    std::vector<std::string> resumed;
+    std::string terminal;
+    for (const auto& line : serve_lines(service, command)) {
+      if (line.rfind("follow-record ", 0) == 0) {
+        std::istringstream words(line);
+        std::string tag;
+        std::string token;
+        words >> tag >> token;
+        std::string entry;
+        std::getline(words, entry);
+        resumed.push_back(entry.substr(1));
+      } else if (line.rfind("follow ", 0) == 0) {
+        terminal = line;
+      }
+    }
+    ASSERT_EQ(resumed.size(), full.size() - k) << "prefix " << k;
+    for (std::size_t i = 0; i < resumed.size(); ++i) {
+      EXPECT_EQ(resumed[i], full[k + i].second)
+          << "prefix " << k << " record " << i;
+    }
+    EXPECT_NE(terminal.find(" state complete"), std::string::npos)
+        << terminal;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

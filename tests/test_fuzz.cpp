@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "orchestrator/result_cache.hpp"
 #include "power/powermetrics.hpp"
 #include "service/frame.hpp"
+#include "service/service.hpp"
 #include "util/csv_writer.hpp"
 #include "util/rng.hpp"
 
@@ -359,6 +361,215 @@ TEST(StoreMergeFuzz, CorruptedBuffersMergeOnlyIntactEntries) {
       EXPECT_TRUE(*original == record) << "round " << round;
     }
   }
+}
+
+// ----------------------------------------------------- query/follow fuzz ---
+
+/// One protocol session against the service; replies split into lines.
+std::vector<std::string> fuzz_serve(service::CampaignService& service,
+                                    const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  service.serve(in, out);
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// The stable replies a mutated read-path line may earn. Anything else —
+/// and any crash — fails the sweep.
+bool structured_read_reply(const std::string& line) {
+  static const char* kPrefixes[] = {
+      "query-record ", "query-page ",  "follow-record ", "follow ",
+      "error bad-query ", "error bad-cursor ", "error stale-cursor ",
+      "error unknown-campaign ", "error bad-name ", "error bad-request ",
+      "error unknown-command ", "error no-store ", "error bad-state ",
+      "error bad-directive ", "pong", "ok compact",
+  };
+  for (const char* prefix : kPrefixes) {
+    if (line.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A service with a populated store and one retained campaign journal —
+/// the substrate every read-path fuzz round mutates requests against.
+std::string fuzz_store_path() {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ao_queryfuzz.store";
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+void populate_campaign(service::CampaignService& service) {
+  const auto lines = fuzz_serve(service,
+                                "begin fuzzq\n"
+                                "chips m1,m2\n"
+                                "impls cpu-single\n"
+                                "sizes 32,48\n"
+                                "repetitions 1\n"
+                                "run\n");
+  ASSERT_FALSE(lines.empty());
+  ASSERT_EQ(lines.back().rfind("done campaign ", 0), 0u) << lines.back();
+}
+
+/// The cursor of the first `query-page` reply, "" when the page exhausted.
+std::string first_query_cursor(service::CampaignService& service,
+                               std::size_t limit) {
+  const auto lines = fuzz_serve(
+      service, "query limit " + std::to_string(limit) + "\n");
+  for (const auto& line : lines) {
+    const std::size_t at = line.rfind(" cursor ");
+    if (line.rfind("query-page ", 0) == 0 && at != std::string::npos) {
+      const std::string token = line.substr(at + 8);
+      return token == "end" ? std::string() : token;
+    }
+  }
+  return {};
+}
+
+TEST(QueryFuzz, MutatedRequestLinesFailStructurallyNeverCrash) {
+  const std::string store = fuzz_store_path();
+  service::CampaignService::Config config;
+  config.store_path = store;
+  service::CampaignService service(config);
+  populate_campaign(service);
+
+  const std::string query_cursor = first_query_cursor(service, 1);
+  ASSERT_FALSE(query_cursor.empty());
+  // A follow cursor, clipped off the terminal follow reply.
+  std::string follow_cursor;
+  for (const auto& line : fuzz_serve(service, "follow fuzzq\n")) {
+    const std::size_t at = line.rfind(" cursor ");
+    if (line.rfind("follow ", 0) == 0 && at != std::string::npos) {
+      std::istringstream rest(line.substr(at + 8));
+      rest >> follow_cursor;
+    }
+  }
+  ASSERT_FALSE(follow_cursor.empty());
+
+  const std::vector<std::string> corpus = {
+      "query",
+      "query limit 2",
+      "query kind gemm-measure chip m1 impl cpu-single",
+      "query size-min 16 size-max 64 limit 3",
+      "query cursor " + query_cursor,
+      "follow fuzzq",
+      "follow fuzzq from " + follow_cursor,
+  };
+  const std::string splice_tokens[] = {
+      "kind",   "chip",  "impl",       "size",  "limit",  "cursor",
+      "from",   "m9",    "sme-gemm",   "0",     "999999", "aoq1",
+      "aof1.0", "-1",    "0x10",       "fuzzq", "query",  "follow",
+  };
+
+  util::Xoshiro256 rng(90210);
+  for (int round = 0; round < 400; ++round) {
+    std::string line = corpus[rng.next_below(corpus.size())];
+    switch (rng.next_below(3)) {
+      case 0:  // truncate
+        line = line.substr(0, rng.next_below(line.size() + 1));
+        break;
+      case 1: {  // flip one byte into another printable
+        const std::size_t at = rng.next_below(line.size());
+        line[at] = static_cast<char>('!' + rng.next_below(94));
+        break;
+      }
+      default: {  // splice a token somewhere
+        const std::string& token =
+            splice_tokens[rng.next_below(std::size(splice_tokens))];
+        const std::size_t at = rng.next_below(line.size() + 1);
+        line = line.substr(0, at) + " " + token + " " + line.substr(at);
+        break;
+      }
+    }
+    const auto replies = fuzz_serve(service, line + "\nping\n");
+    ASSERT_FALSE(replies.empty()) << "round " << round << ": " << line;
+    // The session survived to the pong, and every reply is structured.
+    EXPECT_EQ(replies.back(), "pong") << "round " << round << ": " << line;
+    for (const auto& reply : replies) {
+      EXPECT_TRUE(structured_read_reply(reply))
+          << "round " << round << " line '" << line << "' -> " << reply;
+    }
+  }
+  std::filesystem::remove(store);
+}
+
+TEST(QueryFuzz, MutatedCursorsAreRejectedReplaysAreIdentical) {
+  const std::string store = fuzz_store_path();
+  service::CampaignService::Config config;
+  config.store_path = store;
+  service::CampaignService service(config);
+  populate_campaign(service);
+
+  const std::string cursor = first_query_cursor(service, 1);
+  ASSERT_FALSE(cursor.empty());
+
+  // Replay: the identical cursor twice serves the identical page — a resume
+  // after a dropped connection never skips or duplicates.
+  const std::string resume = "query limit 1 cursor " + cursor + "\n";
+  EXPECT_EQ(fuzz_serve(service, resume), fuzz_serve(service, resume));
+
+  // Every truncation and every byte flip of the token is rejected with a
+  // structured cursor error — never a wrong-but-plausible page.
+  for (std::size_t len = 0; len < cursor.size(); ++len) {
+    const auto replies = fuzz_serve(
+        service, "query cursor " + cursor.substr(0, len) + "\n");
+    ASSERT_EQ(replies.size(), 1u) << "prefix " << len;
+    // Length 0 leaves `cursor` valueless — a filter error, not a cursor one.
+    EXPECT_TRUE(replies[0].rfind("error bad-cursor ", 0) == 0 ||
+                replies[0].rfind("error bad-query ", 0) == 0)
+        << "prefix " << len << " -> " << replies[0];
+  }
+  util::Xoshiro256 rng(777);
+  for (std::size_t at = 0; at < cursor.size(); ++at) {
+    std::string mutated = cursor;
+    do {
+      mutated[at] = static_cast<char>('!' + rng.next_below(94));
+    } while (mutated[at] == cursor[at]);
+    const auto replies =
+        fuzz_serve(service, "query cursor " + mutated + "\n");
+    ASSERT_EQ(replies.size(), 1u) << "flip at " << at;
+    EXPECT_EQ(replies[0].rfind("error bad-cursor ", 0), 0u)
+        << "flip at " << at << " -> " << replies[0];
+  }
+
+  // A cursor that outlives a compaction fails structurally as stale — the
+  // offsets it rode on were reclaimed by the rewrite.
+  const auto compacted = fuzz_serve(service, "compact\n");
+  ASSERT_FALSE(compacted.empty());
+  EXPECT_EQ(compacted[0].rfind("ok compact", 0), 0u) << compacted[0];
+  const auto stale = fuzz_serve(service, resume);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rfind("error stale-cursor ", 0), 0u) << stale[0];
+
+  // Follow cursors: mutations of a real token are rejected the same way.
+  std::string follow_cursor;
+  for (const auto& line : fuzz_serve(service, "follow fuzzq\n")) {
+    const std::size_t at = line.rfind(" cursor ");
+    if (line.rfind("follow ", 0) == 0 && at != std::string::npos) {
+      std::istringstream rest(line.substr(at + 8));
+      rest >> follow_cursor;
+    }
+  }
+  ASSERT_FALSE(follow_cursor.empty());
+  for (std::size_t len = 0; len < follow_cursor.size(); ++len) {
+    const auto replies = fuzz_serve(
+        service,
+        "follow fuzzq from " + follow_cursor.substr(0, len) + "\n");
+    ASSERT_EQ(replies.size(), 1u) << "prefix " << len;
+    // Length 0 leaves a three-word line — a usage error, not a cursor one.
+    EXPECT_TRUE(replies[0].rfind("error bad-cursor ", 0) == 0 ||
+                replies[0].rfind("error bad-request ", 0) == 0)
+        << "prefix " << len << " -> " << replies[0];
+  }
+  std::filesystem::remove(store);
 }
 
 }  // namespace

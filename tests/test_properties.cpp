@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "mem/cache_model.hpp"
 #include "mem/memory_controller.hpp"
+#include "orchestrator/result_cache.hpp"
+#include "orchestrator/store_index.hpp"
 #include "service/frame.hpp"
 #include "soc/perf_model.hpp"
 #include "util/error.hpp"
@@ -388,6 +394,171 @@ TEST(FrameProperty, BatchedRecordLinesSplitBackExactly) {
     }
     EXPECT_EQ(split, lines) << "batch " << batch;
   }
+}
+
+// ----------------------------------------------------- query properties ----
+
+/// A store with duplicate appends and kind/chip/size diversity — the
+/// worst-case shape for an index that must keep the newest line per key.
+std::string build_query_store(orchestrator::ResultCache& cache,
+                              const std::string& tag) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ao_queryprop_" + tag + ".store");
+  std::filesystem::remove(path);
+  cache.persist_to(path.string());
+  util::Xoshiro256 rng(607);
+  for (std::size_t i = 0; i < 36; ++i) {
+    orchestrator::CacheKey key;
+    key.kind = i % 2 == 0 ? orchestrator::JobKind::kGemmMeasure
+                          : orchestrator::JobKind::kSmeGemm;
+    key.chip = kAllChipModels[i % 4];
+    key.impl = kAllGemmImpls[i % 6];
+    key.n = 16 * (1 + i % 5);
+    key.payload_fingerprint = 400 + i;
+    key.options_fingerprint = 3;
+    if (key.kind == orchestrator::JobKind::kSmeGemm) {
+      orchestrator::SmeRecord r;
+      r.chip = key.chip;
+      r.n = key.n;
+      r.seed = key.payload_fingerprint;
+      r.modeled_gflops = 150.0 + static_cast<double>(i);
+      cache.insert(key, r);
+    } else {
+      harness::GemmMeasurement m;
+      m.n = key.n;
+      m.chip = key.chip;
+      m.impl = key.impl;
+      m.best_gflops = 80.0 + static_cast<double>(i);
+      m.time_ns.add(1e6 + static_cast<double>(rng.next_below(1000)));
+      cache.insert(key, m);
+    }
+    if (rng.next_below(3) == 0) {
+      // Duplicate append: same key, refreshed record — the store now holds
+      // a dead line the index must shadow.
+      cache.insert(key, *cache.lookup(key));
+    }
+  }
+  return path.string();
+}
+
+/// The ground truth a paged traversal must reproduce: every valid entry
+/// line of the store file, deduplicated by key (last line wins, exactly the
+/// load() replay rule), filtered, in cache_key_less order.
+std::vector<std::string> brute_force_scan(
+    const std::string& path, const orchestrator::QueryFilter& filter) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<std::pair<orchestrator::CacheKey, std::string>> newest;
+  while (std::getline(in, line)) {
+    const auto parsed = orchestrator::parse_store_entry(line);
+    if (!parsed.has_value()) {
+      continue;
+    }
+    bool replaced = false;
+    for (auto& [key, kept] : newest) {
+      if (key == parsed->first) {
+        kept = line;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      newest.emplace_back(parsed->first, line);
+    }
+  }
+  std::vector<std::pair<orchestrator::CacheKey, std::string>> matching;
+  for (auto& entry : newest) {
+    if (filter.matches(entry.first)) {
+      matching.push_back(std::move(entry));
+    }
+  }
+  std::sort(matching.begin(), matching.end(),
+            [](const auto& a, const auto& b) {
+              return orchestrator::cache_key_less(a.first, b.first);
+            });
+  std::vector<std::string> lines;
+  for (auto& [key, kept] : matching) {
+    lines.push_back(std::move(kept));
+  }
+  return lines;
+}
+
+/// Concatenation of a full paged traversal at `page_size`, resuming from
+/// the cursor of each page.
+std::vector<std::string> paged_traversal(
+    const orchestrator::ResultCache& cache,
+    const orchestrator::QueryFilter& filter, std::size_t page_size) {
+  std::vector<std::string> lines;
+  std::string cursor;
+  while (true) {
+    std::string code;
+    const auto page = cache.query(filter, page_size, cursor, &code);
+    EXPECT_TRUE(page.has_value()) << code;
+    if (!page.has_value()) {
+      return lines;
+    }
+    EXPECT_LE(page->lines.size(), page_size);
+    lines.insert(lines.end(), page->lines.begin(), page->lines.end());
+    if (page->exhausted) {
+      return lines;
+    }
+    EXPECT_FALSE(page->cursor.empty());
+    cursor = page->cursor;
+  }
+}
+
+TEST(QueryProperty, EveryPageSizeConcatenatesBitIdenticallyToTheFullScan) {
+  orchestrator::ResultCache cache;
+  const std::string path = build_query_store(cache, "pagesizes");
+
+  std::vector<orchestrator::QueryFilter> filters(3);
+  filters[1].kind = orchestrator::JobKind::kSmeGemm;
+  filters[2].chip = soc::ChipModel::kM2;
+  filters[2].n_min = 32;
+  filters[2].n_max = 64;
+
+  for (std::size_t f = 0; f < filters.size(); ++f) {
+    const auto expected = brute_force_scan(path, filters[f]);
+    const auto unpaged = paged_traversal(cache, filters[f], 4096);
+    EXPECT_EQ(unpaged, expected) << "filter " << f << " unpaged";
+    ASSERT_FALSE(f == 0 && expected.empty());  // the store must have content
+    // Every page size from 1 to N reassembles the identical byte stream.
+    for (std::size_t page_size = 1; page_size <= expected.size() + 1;
+         ++page_size) {
+      EXPECT_EQ(paged_traversal(cache, filters[f], page_size), expected)
+          << "filter " << f << " page size " << page_size;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(QueryProperty, RebuiltIndexIsEquivalentToTheIncrementalOne) {
+  orchestrator::ResultCache incremental;
+  const std::string path = build_query_store(incremental, "rebuild");
+  const auto live = incremental.store_index().snapshot();
+  ASSERT_FALSE(live.empty());
+
+  // Cold attach of the same file: the scanned-up index must agree with the
+  // incrementally maintained one on every key, offset and length.
+  {
+    orchestrator::ResultCache cold;
+    cold.persist_to(path);
+    EXPECT_EQ(cold.store_index().snapshot(), live);
+  }
+
+  // Compaction rewrites the file; the rebuilt index must again agree with a
+  // cold scan of the rewritten bytes — and pages identically.
+  orchestrator::QueryFilter all;
+  const auto before = paged_traversal(incremental, all, 5);
+  incremental.load(path);  // keep evicted lines loadable before the rewrite
+  incremental.compact();
+  const auto rebuilt = incremental.store_index().snapshot();
+  orchestrator::ResultCache cold;
+  cold.persist_to(path);
+  EXPECT_EQ(cold.store_index().snapshot(), rebuilt);
+  EXPECT_EQ(paged_traversal(incremental, all, 5), before);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "fault_stream.hpp"
 #include "orchestrator/record.hpp"
 #include "orchestrator/result_cache.hpp"
+#include "orchestrator/store_index.hpp"
 #include "service/campaign_queue.hpp"
 #include "service/frame.hpp"
 #include "service/protocol.hpp"
@@ -1699,6 +1701,168 @@ TEST(CampaignService, RemoteBatchedWorkersStayBitIdentical) {
   const auto batched_entries = entries_by_key(service.cache());
   ASSERT_EQ(batched_entries.size(), 20u);
   EXPECT_EQ(batched_entries, entries_by_key(single.cache()));
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- query stress ------
+
+/// One complete paged traversal through concurrent sessions: page size 3,
+/// resuming from each page's cursor, restarting from scratch whenever a
+/// compaction staled the cursor. Returns the concatenated entry payloads;
+/// asserts structural consistency (parseable lines, strictly increasing
+/// keys) on every page it sees.
+std::vector<std::string> stress_traversal(CampaignService& service) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<std::string> collected;
+    std::optional<orchestrator::CacheKey> previous;
+    std::string cursor;
+    bool stale = false;
+    while (true) {
+      const std::string command =
+          cursor.empty() ? "query limit 3\n"
+                         : "query limit 3 cursor " + cursor + "\n";
+      std::string page_cursor;
+      bool saw_page = false;
+      for (const auto& line : serve_lines(service, command)) {
+        if (starts_with(line, "query-record ")) {
+          const std::string payload = line.substr(13);
+          const auto parsed = orchestrator::parse_store_entry(payload);
+          EXPECT_TRUE(parsed.has_value()) << payload;
+          if (parsed.has_value()) {
+            if (previous.has_value()) {
+              // Strictly increasing keys: no duplicate or reordered record
+              // can appear inside one traversal, races or not.
+              EXPECT_TRUE(
+                  orchestrator::cache_key_less(*previous, parsed->first));
+            }
+            previous = parsed->first;
+          }
+          collected.push_back(payload);
+        } else if (starts_with(line, "query-page ")) {
+          saw_page = true;
+          const std::size_t at = line.rfind(" cursor ");
+          EXPECT_NE(at, std::string::npos) << line;
+          if (at == std::string::npos) {
+            return {};
+          }
+          page_cursor = line.substr(at + 8);
+        } else if (starts_with(line, "error stale-cursor ")) {
+          stale = true;
+        } else {
+          ADD_FAILURE() << "unexpected reply: " << line;
+        }
+      }
+      if (stale) {
+        break;  // restart the traversal against the rewritten store
+      }
+      EXPECT_TRUE(saw_page);
+      if (!saw_page) {
+        return {};
+      }
+      if (page_cursor == "end") {
+        return collected;
+      }
+      cursor = page_cursor;
+    }
+  }
+  ADD_FAILURE() << "no traversal completed in 64 attempts";
+  return {};
+}
+
+TEST(CampaignService, PagedQueriesRacingInsertsAndCompactionStayConsistent) {
+  const auto dir = temp_dir("query_stress");
+  CampaignService::Config config;
+  config.store_path = (dir / "stress.store").string();
+  CampaignService service(config);
+
+  // Seed the store so readers always have pages to walk.
+  serve_lines(service,
+              "begin seed\nchips m1,m2\nimpls cpu-single\nsizes 16,24\n"
+              "repetitions 1\nrun\n");
+
+  std::atomic<bool> writing{true};
+  std::thread writer([&service, &writing] {
+    const std::size_t sizes[] = {32, 40, 48, 56, 64, 80};
+    for (std::size_t round = 0; round < std::size(sizes); ++round) {
+      std::ostringstream request;
+      request << "begin stress" << round << "\nchips m1,m2,m3\n"
+              << "impls cpu-single,cpu-omp\nsizes " << sizes[round]
+              << "\nrepetitions 1\nrun\n";
+      serve_lines(service, request.str());
+      // Rewrite the store under the readers' feet: in-flight cursors must
+      // go structurally stale, never serve reclaimed offsets.
+      serve_lines(service, "compact\n");
+    }
+    writing.store(false);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<std::size_t> traversals{0};
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&service, &writing, &traversals] {
+      while (writing.load()) {
+        if (!stress_traversal(service).empty()) {
+          traversals.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_GT(traversals.load(), 0u);
+
+  // Post-quiescence: a final paged traversal must equal the brute-force
+  // ground truth of the settled store file — newest line per key, in
+  // cache_key_less order.
+  const auto settled = stress_traversal(service);
+  std::ifstream in(config.store_path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::map<std::string, std::pair<orchestrator::CacheKey, std::string>>
+      newest;  // serialized key -> (key, newest line)
+  while (std::getline(in, line)) {
+    const auto parsed = orchestrator::parse_store_entry(line);
+    if (parsed.has_value()) {
+      std::ostringstream id;
+      id << static_cast<int>(parsed->first.kind) << ' '
+         << static_cast<int>(parsed->first.chip) << ' '
+         << static_cast<int>(parsed->first.impl) << ' ' << parsed->first.n
+         << ' ' << parsed->first.payload_fingerprint << ' '
+         << parsed->first.options_fingerprint;
+      newest[id.str()] = {parsed->first, line};
+    }
+  }
+  std::vector<std::pair<orchestrator::CacheKey, std::string>> ground;
+  for (auto& [id, entry] : newest) {
+    ground.push_back(std::move(entry));
+  }
+  std::sort(ground.begin(), ground.end(), [](const auto& a, const auto& b) {
+    return orchestrator::cache_key_less(a.first, b.first);
+  });
+  ASSERT_EQ(settled.size(), ground.size());
+  for (std::size_t i = 0; i < settled.size(); ++i) {
+    EXPECT_EQ(settled[i], ground[i].second) << "position " << i;
+  }
+
+  // The read path left its marks on the service's telemetry surfaces.
+  const auto stats = serve_lines(service, "stats\n");
+  ASSERT_FALSE(stats.empty());
+  const std::string& totals = stats.back();  // the terminal "stats ..." line
+  ASSERT_TRUE(starts_with(totals, "stats ")) << totals;
+  EXPECT_NE(totals.find(" queries "), std::string::npos) << totals;
+  EXPECT_NE(totals.find(" stale-cursors "), std::string::npos) << totals;
+  const auto metrics = serve_lines(service, "metrics\n");
+  bool queries_counter = false;
+  bool query_phase = false;
+  for (const auto& sample : metrics) {
+    queries_counter |= sample == "# TYPE ao_queries_total counter";
+    query_phase |=
+        starts_with(sample, "ao_phase_duration_ns_count{phase=\"query\"}");
+  }
+  EXPECT_TRUE(queries_counter);
+  EXPECT_TRUE(query_phase);
   std::filesystem::remove_all(dir);
 }
 

@@ -13,6 +13,11 @@
 //   ao_campaignctl --socket <path> abort --name <campaign>
 //   ao_campaignctl --socket <path> profile [--name <campaign>] [--json]
 //   ao_campaignctl --socket <path> metrics               Prometheus scrape
+//   ao_campaignctl --socket <path> query [--kind <k>] [--chip <c>]
+//                  [--impl <i>] [--size <n> | --size-min <n> --size-max <n>]
+//                  [--limit <n>] [--cursor <token>] [--json]
+//   ao_campaignctl --socket <path> follow --name <campaign>
+//                  [--from <cursor>] [--json]
 //   ao_campaignctl --verify-store <file>                offline store check
 //
 // --socket also accepts host:port for a daemon listening with --tcp on
@@ -35,6 +40,15 @@
 // (counters/gauges/histograms, names in docs/observability.md's metric
 // glossary) up to and including its `# EOF` terminator — pipe it straight
 // into a node_exporter textfile or a pushgateway.
+//
+// `query` runs one indexed, snapshot-isolated page over the daemon's
+// result store (grammar in docs/service.md#queries): `query-record` lines
+// verbatim plus the `query-page` trailer whose cursor token — unless it is
+// `end` — feeds the next page via --cursor. `follow` replays a retained
+// campaign's record stream from the store; each `follow-record` line leads
+// with the token that resumes AFTER it, so a script that keeps the last
+// token it read and reruns with --from never sees a record twice. --json
+// wraps either reply in one machine-readable object built client-side.
 //
 // Submit exits 0 when a `done` reply arrived, 1 on any `error` reply or a
 // dropped connection; structured errors (`error <code> ... | line: ...`)
@@ -112,6 +126,11 @@ int converse(ao::service::SocketStream& stream,
   std::vector<ProfileSpan> profile_spans;
   std::vector<std::string> profile_phases;  // raw profile-phase lines
 
+  // Buffered read-path replies for --json: query keeps the raw entry
+  // payloads, follow keeps (resume-token, entry) pairs.
+  std::vector<std::string> query_records;
+  std::vector<std::pair<std::string, std::string>> follow_records;
+
   // Per-shard progress surfaced from the service's `shard <i> ...` events:
   // "<records> done" once the shard's done event arrived, "started" before.
   // Printed after `done` AND after an error reply — a failed sharded
@@ -138,8 +157,24 @@ int converse(ao::service::SocketStream& stream,
     const bool profile_line =
         first == "profile-span" || first == "profile-phase" ||
         first == "profile";
-    if (!(json && profile_line)) {
+    const bool read_line =
+        first == "query-record" || first == "query-page" ||
+        first == "follow-record" || (mode == "follow" && first == "follow");
+    if (!(json && (profile_line || read_line))) {
       std::cout << reply << '\n';
+    }
+    if (json && first == "query-record") {
+      // "query-record <entry line>" — keep the payload verbatim.
+      query_records.push_back(
+          reply.size() > 13 ? reply.substr(13) : std::string());
+    } else if (json && first == "follow-record") {
+      // "follow-record <resume-token> <entry line>"
+      std::string rest;
+      std::getline(words, rest);
+      if (!rest.empty() && rest.front() == ' ') {
+        rest.erase(0, 1);
+      }
+      follow_records.emplace_back(second, rest);
     }
     if (json && first == "profile-span") {
       // "profile-span <id> <parent> <phase> <start-ns> <dur-ns> <origin>
@@ -271,6 +306,82 @@ int converse(ao::service::SocketStream& stream,
       std::cout << "\n  ]\n}\n";
       return 0;
     }
+    if (mode == "query" && first == "query-page") {
+      if (!json) {
+        return 0;
+      }
+      // "query-page count <n> matched <m> generation <g> read <r>
+      //  cursor <token|end>"
+      std::string word;
+      std::string count;
+      std::string matched;
+      std::string generation;
+      std::string read;
+      std::string cursor;
+      words.clear();
+      words.str(reply);
+      words >> word >> word >> count >> word >> matched >> word >>
+          generation >> word >> read >> word >> cursor;
+      std::cout << "{\n  \"schema\": \"ao-query/1\",\n  \"count\": " << count
+                << ",\n  \"matched\": " << matched
+                << ",\n  \"generation\": " << generation
+                << ",\n  \"read\": " << read << ",\n  \"cursor\": ";
+      if (cursor == "end") {
+        std::cout << "null";
+      } else {
+        std::cout << '"';
+        json_escape(std::cout, cursor);
+        std::cout << '"';
+      }
+      std::cout << ",\n  \"records\": [";
+      bool first_record = true;
+      for (const std::string& record : query_records) {
+        std::cout << (first_record ? "\n" : ",\n") << "    \"";
+        json_escape(std::cout, record);
+        std::cout << '"';
+        first_record = false;
+      }
+      std::cout << "\n  ]\n}\n";
+      return 0;
+    }
+    if (mode == "follow" && first == "follow") {
+      if (!json) {
+        return 0;
+      }
+      // "follow campaign <id> name <name> records <n> position <p>
+      //  cursor <token> state <complete|partial>"
+      std::string word;
+      std::string id = "0";
+      std::string name;
+      std::string records;
+      std::string position;
+      std::string cursor;
+      std::string state;
+      words.clear();
+      words.str(reply);
+      words >> word >> word >> id >> word >> name >> word >> records >>
+          word >> position >> word >> cursor >> word >> state;
+      std::cout << "{\n  \"schema\": \"ao-follow/1\",\n  \"campaign\": "
+                << (id.empty() ? "0" : id) << ",\n  \"name\": \"";
+      json_escape(std::cout, name);
+      std::cout << "\",\n  \"position\": " << position
+                << ",\n  \"cursor\": \"";
+      json_escape(std::cout, cursor);
+      std::cout << "\",\n  \"state\": \"";
+      json_escape(std::cout, state);
+      std::cout << "\",\n  \"records\": [";
+      bool first_record = true;
+      for (const auto& [token, entry] : follow_records) {
+        std::cout << (first_record ? "\n" : ",\n") << "    {\"cursor\": \"";
+        json_escape(std::cout, token);
+        std::cout << "\", \"entry\": \"";
+        json_escape(std::cout, entry);
+        std::cout << "\"}";
+        first_record = false;
+      }
+      std::cout << "\n  ]\n}\n";
+      return 0;
+    }
     if (mode == "queue" && first == "queue") {
       return 0;
     }
@@ -297,6 +408,15 @@ int main(int argc, char** argv) {
   std::string deadline_ms;
   std::string retries;
   std::string profile_name;
+  std::string query_kind;
+  std::string query_chip;
+  std::string query_impl;
+  std::string query_size;
+  std::string query_size_min;
+  std::string query_size_max;
+  std::string query_limit;
+  std::string query_cursor;
+  std::string follow_from;
   bool json = false;
   std::string command = "submit";
   for (int i = 1; i < argc; ++i) {
@@ -316,6 +436,24 @@ int main(int argc, char** argv) {
       profile_name = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--kind") == 0 && i + 1 < argc) {
+      query_kind = argv[++i];
+    } else if (std::strcmp(argv[i], "--chip") == 0 && i + 1 < argc) {
+      query_chip = argv[++i];
+    } else if (std::strcmp(argv[i], "--impl") == 0 && i + 1 < argc) {
+      query_impl = argv[++i];
+    } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
+      query_size = argv[++i];
+    } else if (std::strcmp(argv[i], "--size-min") == 0 && i + 1 < argc) {
+      query_size_min = argv[++i];
+    } else if (std::strcmp(argv[i], "--size-max") == 0 && i + 1 < argc) {
+      query_size_max = argv[++i];
+    } else if (std::strcmp(argv[i], "--limit") == 0 && i + 1 < argc) {
+      query_limit = argv[++i];
+    } else if (std::strcmp(argv[i], "--cursor") == 0 && i + 1 < argc) {
+      query_cursor = argv[++i];
+    } else if (std::strcmp(argv[i], "--from") == 0 && i + 1 < argc) {
+      follow_from = argv[++i];
     } else if (std::strcmp(argv[i], "--verify-store") == 0 && i + 1 < argc) {
       verify_path = argv[++i];
     } else if (argv[i][0] != '-') {
@@ -339,6 +477,12 @@ int main(int argc, char** argv) {
                  "abort --name <campaign>\n"
                  "       ao_campaignctl --socket <path | host:port> "
                  "profile [--name <campaign>] [--json]\n"
+                 "       ao_campaignctl --socket <path | host:port> "
+                 "query [--kind <k>] [--chip <c>] [--impl <i>] "
+                 "[--size <n> | --size-min <n> --size-max <n>] "
+                 "[--limit <n>] [--cursor <token>] [--json]\n"
+                 "       ao_campaignctl --socket <path | host:port> "
+                 "follow --name <campaign> [--from <cursor>] [--json]\n"
                  "       ao_campaignctl --verify-store <file>\n";
     return 2;
   }
@@ -396,6 +540,41 @@ int main(int argc, char** argv) {
   } else if (command == "profile") {
     lines.push_back(profile_name.empty() ? "profile"
                                          : "profile " + profile_name);
+  } else if (command == "query") {
+    std::string request = "query";
+    if (!query_kind.empty()) {
+      request += " kind " + query_kind;
+    }
+    if (!query_chip.empty()) {
+      request += " chip " + query_chip;
+    }
+    if (!query_impl.empty()) {
+      request += " impl " + query_impl;
+    }
+    if (!query_size.empty()) {
+      request += " size " + query_size;
+    }
+    if (!query_size_min.empty()) {
+      request += " size-min " + query_size_min;
+    }
+    if (!query_size_max.empty()) {
+      request += " size-max " + query_size_max;
+    }
+    if (!query_limit.empty()) {
+      request += " limit " + query_limit;
+    }
+    if (!query_cursor.empty()) {
+      request += " cursor " + query_cursor;
+    }
+    lines.push_back(request);
+  } else if (command == "follow") {
+    if (profile_name.empty()) {
+      std::cerr << "ao_campaignctl: follow needs --name <campaign>\n";
+      return 2;
+    }
+    lines.push_back(follow_from.empty()
+                        ? "follow " + profile_name
+                        : "follow " + profile_name + " from " + follow_from);
   } else {
     std::cerr << "ao_campaignctl: unknown command " << command << "\n";
     return 2;
